@@ -1,0 +1,42 @@
+//! Calibration-side costs: the conformal quantile over growing score sets
+//! and the online observe/interval loop (§IV: δ is precomputed, per-query
+//! cost is O(1) after calibration).
+
+use cardest::conformal::{conformal_quantile, AbsoluteResidual, OnlineConformal};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+
+    let mut group = c.benchmark_group("conformal_quantile");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scores, |b, s| {
+            b.iter(|| conformal_quantile(black_box(s), 0.1))
+        });
+    }
+    group.finish();
+
+    // Online conformal: one observe + one interval per processed query.
+    let model = |f: &[f32]| f[0] as f64;
+    c.bench_function("online_observe_and_interval_at_10k", |b| {
+        let mut online = OnlineConformal::new(model, AbsoluteResidual, &[], &[], 0.1);
+        let mut seed_rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = [seed_rng.gen_range(0.0..1.0f32)];
+            let y = x[0] as f64 + seed_rng.gen_range(-0.5..0.5);
+            online.observe(&x, y);
+        }
+        b.iter(|| {
+            let x = [seed_rng.gen_range(0.0..1.0f32)];
+            let y = x[0] as f64 + seed_rng.gen_range(-0.5..0.5);
+            online.observe(black_box(&x), black_box(y));
+            online.interval(&x)
+        })
+    });
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ground-truth evaluation throughput: naive column scans vs CSR value
+//! indexes, and star-join semi-join counting — the storage-engine ablation.
+
+use cardest::datagen::{dmv, dsb_star};
+use cardest::query::{
+    generate_join_workload, generate_workload, random_templates, GeneratorConfig,
+    JoinGeneratorConfig,
+};
+use cardest::storage::IndexedTable;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_count(c: &mut Criterion) {
+    let table = dmv(50_000, 9);
+    let workload = generate_workload(&table, 50, &GeneratorConfig::default(), 10);
+    let indexed = IndexedTable::build(table.clone());
+
+    c.bench_function("count_naive_scan_50q_50k_rows", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for lq in &workload {
+                acc += table.count(black_box(&lq.query));
+            }
+            acc
+        })
+    });
+
+    c.bench_function("count_csr_index_50q_50k_rows", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for lq in &workload {
+                acc += indexed.count(black_box(&lq.query));
+            }
+            acc
+        })
+    });
+
+    let star = dsb_star(20_000, 11);
+    let templates = random_templates(&star, 5, 12);
+    let joins =
+        generate_join_workload(&star, &templates, 5, &JoinGeneratorConfig::default(), 13);
+    c.bench_function("star_join_count_25q_20k_fact", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for lq in &joins {
+                acc += star.count(black_box(&lq.query));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_count);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Per-query estimate latency across the estimator zoo — the other axis of
+//! the paper's §V-D guidance (efficacy of the PI *and the required inference
+//! time*). Naru's progressive sampling is orders of magnitude more expensive
+//! than one MSCN forward pass; SPN inference is exact and cheap.
+
+use cardest::conformal::Regressor;
+use cardest::estimators::{
+    AviModel, GbdtCardinality, SamplingEstimator, Spn, SpnConfig,
+};
+use cardest::gbdt::GbdtConfig;
+use cardest::pipeline::{
+    train_lwnn, train_mscn, train_naru, SingleTableBench, SplitSpec,
+};
+use cardest::query::GeneratorConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_estimators(c: &mut Criterion) {
+    let rows = 10_000;
+    let table = cardest::datagen::dmv(rows, 31);
+    let bench = SingleTableBench::prepare(
+        table.clone(),
+        600,
+        &GeneratorConfig::low_selectivity(),
+        SplitSpec::default(),
+        31,
+    );
+    let probe = bench.test.x[0].clone();
+    let floor = 1.0 / rows as f64;
+
+    let mut group = c.benchmark_group("estimate_one_query");
+
+    let avi = AviModel::build(&table, floor);
+    group.bench_function("avi_histograms", |b| {
+        b.iter(|| avi.predict(black_box(&probe)))
+    });
+
+    let sampling = SamplingEstimator::build(&table, rows / 100, 31, floor);
+    group.bench_function("sampling_1pct", |b| {
+        b.iter(|| sampling.predict(black_box(&probe)))
+    });
+
+    let spn = Spn::fit(&table, &SpnConfig::default());
+    group.bench_function("spn_exact_inference", |b| {
+        b.iter(|| spn.predict(black_box(&probe)))
+    });
+
+    let gbdt = GbdtCardinality::fit(
+        &bench.train.x,
+        &bench.train.y,
+        &GbdtConfig { n_trees: 120, ..Default::default() },
+        floor,
+    );
+    group.bench_function("gbdt_120_trees", |b| {
+        b.iter(|| gbdt.predict(black_box(&probe)))
+    });
+
+    let lwnn = train_lwnn(&table, &bench.train, 10, 31);
+    group.bench_function("lwnn_forward", |b| {
+        b.iter(|| lwnn.predict(black_box(&probe)))
+    });
+
+    let mscn = train_mscn(&bench.feat, &bench.train, 10, 31);
+    group.bench_function("mscn_forward", |b| {
+        b.iter(|| mscn.predict(black_box(&probe)))
+    });
+
+    let mut naru = train_naru(&table, 1, 64, 31);
+    group.sample_size(20);
+    group.bench_function("naru_progressive_64_samples", |b| {
+        b.iter(|| naru.predict(black_box(&probe)))
+    });
+    naru.set_samples(8);
+    group.bench_function("naru_progressive_8_samples", |b| {
+        b.iter(|| naru.predict(black_box(&probe)))
+    });
+    group.finish();
+
+    // Exact ground truth for reference: the evaluator the labels come from.
+    let q = bench.feat.decode(&probe);
+    c.bench_function("exact_count_naive_scan_10k_rows", |b| {
+        b.iter(|| table.count(black_box(&q)))
+    });
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Preprocessing-phase costs (§IV): training the base models, the K extra
+//! JK-CV+ models, the LW-S-CP difficulty model, and the two CQR heads.
+
+use cardest::estimators::{fit_difficulty_model, Naru, NaruConfig};
+use cardest::gbdt::GbdtConfig;
+use cardest::pipeline::{
+    train_lwnn, train_mscn, train_mscn_quantile_heads, SingleTableBench, SplitSpec,
+};
+use cardest::query::GeneratorConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_training(c: &mut Criterion) {
+    let table = cardest::datagen::dmv(3_000, 21);
+    let bench = SingleTableBench::prepare(
+        table.clone(),
+        450,
+        &GeneratorConfig::low_selectivity(),
+        SplitSpec::default(),
+        21,
+    );
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+
+    group.bench_function("mscn_10_epochs", |b| {
+        b.iter(|| train_mscn(&bench.feat, &bench.train, 10, 21))
+    });
+    group.bench_function("lwnn_10_epochs", |b| {
+        b.iter(|| train_lwnn(&bench.table, &bench.train, 10, 21))
+    });
+    group.bench_function("naru_1_epoch", |b| {
+        b.iter(|| {
+            Naru::fit(
+                &table,
+                &NaruConfig { epochs: 1, samples: 16, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("cqr_two_heads_10_epochs", |b| {
+        b.iter(|| train_mscn_quantile_heads(&bench.feat, &bench.train, 10, 0.1, 21))
+    });
+    group.bench_function("lw_difficulty_gbdt_60_trees", |b| {
+        let scores: Vec<f64> = bench.train.y.iter().map(|&y| y * 0.1).collect();
+        b.iter(|| {
+            fit_difficulty_model(
+                &bench.train.x,
+                &scores,
+                &GbdtConfig { n_trees: 60, ..Default::default() },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

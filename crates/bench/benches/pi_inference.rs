@@ -1,0 +1,83 @@
+//! Per-query prediction-interval overhead (paper §IV "Overhead for
+//! Prediction Intervals"): S-CP adds one add/sub on top of the model call,
+//! LW-S-CP adds one GBDT evaluation, CQR two extra model calls.
+
+use cardest::conformal::{
+    AbsoluteResidual, ConformalizedQuantileRegression, LocallyWeightedConformal,
+    Regressor, SplitConformal,
+};
+use cardest::pipeline::{
+    train_mscn, train_mscn_quantile_heads, ScoreKind, SingleTableBench, SplitSpec,
+};
+use cardest::query::GeneratorConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn setup() -> (SingleTableBench, cardest::estimators::Mscn) {
+    let table = cardest::datagen::dmv(5_000, 3);
+    let bench = SingleTableBench::prepare(
+        table,
+        600,
+        &GeneratorConfig::low_selectivity(),
+        SplitSpec::default(),
+        3,
+    );
+    let mscn = train_mscn(&bench.feat, &bench.train, 15, 3);
+    (bench, mscn)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (bench, mscn) = setup();
+    let probe = bench.test.x[0].clone();
+
+    c.bench_function("model_point_estimate", |b| {
+        b.iter(|| mscn.predict(black_box(&probe)))
+    });
+
+    let scp = SplitConformal::calibrate(
+        mscn.clone(),
+        AbsoluteResidual,
+        &bench.calib.x,
+        &bench.calib.y,
+        0.1,
+    );
+    c.bench_function("scp_interval", |b| b.iter(|| scp.interval(black_box(&probe))));
+
+    let scores: Vec<f64> = bench
+        .train
+        .x
+        .iter()
+        .zip(&bench.train.y)
+        .map(|(f, &y)| (y - mscn.predict(f)).abs())
+        .collect();
+    let difficulty = cardest::estimators::fit_difficulty_model(
+        &bench.train.x,
+        &scores,
+        &cardest::gbdt::GbdtConfig { n_trees: 60, ..Default::default() },
+    );
+    let lw = LocallyWeightedConformal::calibrate(
+        mscn.clone(),
+        difficulty,
+        AbsoluteResidual,
+        &bench.calib.x,
+        &bench.calib.y,
+        0.1,
+        1e-7,
+    );
+    c.bench_function("lw_scp_interval", |b| b.iter(|| lw.interval(black_box(&probe))));
+
+    let (lo, hi) = train_mscn_quantile_heads(&bench.feat, &bench.train, 15, 0.1, 3);
+    let cqr = ConformalizedQuantileRegression::calibrate(
+        lo,
+        hi,
+        &bench.calib.x,
+        &bench.calib.y,
+        0.1,
+    );
+    c.bench_function("cqr_interval", |b| b.iter(|| cqr.interval(black_box(&probe))));
+
+    // Keep the unused import meaningful in this harness.
+    let _ = ScoreKind::Residual;
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

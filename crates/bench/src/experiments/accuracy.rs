@@ -1,0 +1,85 @@
+//! Figures 9, 13, 14: coverage levels and classifier accuracy.
+
+use cardest::pipeline::{
+    run_cqr, run_split_conformal, train_mscn, train_mscn_quantile_heads, train_naru,
+    ScoreKind,
+};
+
+use crate::report::ExperimentRecord;
+use crate::scale::Scale;
+
+use super::single_table::{labeled_union, sel_floor, standard_bench};
+
+/// Figure 9: CQR at coverage levels 0.9 / 0.95 / 0.99 (MSCN, DMV). The heads
+/// are retrained per level — CQR is tied to its α (paper §III-F).
+pub fn fig9(scale: &Scale) -> Vec<ExperimentRecord> {
+    let bench = standard_bench(scale, "dmv");
+    let mut rec = ExperimentRecord::new(
+        "fig9",
+        "DMV, MSCN + CQR at coverage 0.9 / 0.95 / 0.99 (heads retrained per level)",
+    );
+    for &alpha in &[0.1f64, 0.05, 0.01] {
+        let (lo, hi) = train_mscn_quantile_heads(
+            &bench.feat,
+            &bench.train,
+            scale.epochs,
+            alpha,
+            scale.seed,
+        );
+        let r = run_cqr(lo, hi, &bench.calib, &bench.test, alpha);
+        rec.push(&format!("coverage={:.2}", 1.0 - alpha), &r);
+    }
+    vec![rec]
+}
+
+/// Figure 13: MSCN trained for 0.5E / 0.75E / E epochs, S-CP widths track
+/// model accuracy.
+pub fn fig13(scale: &Scale) -> Vec<ExperimentRecord> {
+    let bench = standard_bench(scale, "dmv");
+    let floor = sel_floor(scale.rows);
+    let mut rec = ExperimentRecord::new(
+        "fig13",
+        "DMV, MSCN at 0.5E/0.75E/E training epochs, S-CP",
+    );
+    for frac in [0.5f64, 0.75, 1.0] {
+        let epochs = ((scale.epochs as f64 * frac).round() as usize).max(1);
+        let mscn = train_mscn(&bench.feat, &bench.train, epochs, scale.seed);
+        let r = run_split_conformal(
+            mscn,
+            ScoreKind::Residual,
+            &bench.calib,
+            &bench.test,
+            super::single_table::ALPHA,
+            floor,
+        );
+        rec.push(&format!("epochs={epochs}"), &r);
+    }
+    vec![rec]
+}
+
+/// Figure 14: the same epoch sweep for Naru (S-CP). Naru calibrates on the
+/// whole labeled workload (unsupervised model).
+pub fn fig14(scale: &Scale) -> Vec<ExperimentRecord> {
+    let bench = standard_bench(scale, "dmv");
+    let floor = sel_floor(scale.rows);
+    let labeled = labeled_union(&bench);
+    let mut rec = ExperimentRecord::new(
+        "fig14",
+        "DMV, Naru at 0.5E/0.75E/E training epochs, S-CP",
+    );
+    let base = scale.naru_epochs.max(2);
+    for frac in [0.5f64, 0.75, 1.0] {
+        let epochs = ((base as f64 * frac).round() as usize).max(1);
+        let naru = train_naru(&bench.table, epochs, scale.naru_samples, scale.seed);
+        let r = run_split_conformal(
+            naru,
+            ScoreKind::Residual,
+            &labeled,
+            &bench.test,
+            super::single_table::ALPHA,
+            floor,
+        );
+        rec.push(&format!("epochs={epochs}"), &r);
+    }
+    vec![rec]
+}

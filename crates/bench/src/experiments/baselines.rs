@@ -1,0 +1,83 @@
+//! `clt`: traditional sampling-based confidence intervals vs conformal
+//! wrapping of the same estimator.
+//!
+//! The paper's introduction motivates prediction intervals by noting that
+//! traditional sampling gives uncertainty "through variance or confidence
+//! intervals" while learned models give nothing. This experiment closes the
+//! loop: the classical CLT interval around a uniform-sample estimator
+//! under-covers exactly where cardinality estimation lives (rare
+//! predicates, zero sample matches ⇒ degenerate `[0, 0]` intervals), while
+//! split conformal around the *same* estimator restores validity.
+
+use cardest::conformal::{interval_report, PredictionInterval};
+use cardest::datagen;
+use cardest::estimators::SamplingEstimator;
+use cardest::pipeline::{run_split_conformal, MethodResult, ScoreKind};
+
+use crate::report::ExperimentRecord;
+use crate::scale::Scale;
+
+use super::single_table::{sel_floor, standard_bench, ALPHA};
+
+/// Runs CLT vs S-CP coverage around sampling estimators of two sizes.
+pub fn clt(scale: &Scale) -> Vec<ExperimentRecord> {
+    let bench = standard_bench(scale, "dmv");
+    let floor = sel_floor(scale.rows);
+    let table = datagen::dmv(scale.rows, scale.seed);
+    let mut rec = ExperimentRecord::new(
+        "clt",
+        "sampling estimator: classical CLT intervals vs conformal wrapping, alpha=0.1",
+    );
+
+    for &sample_size in &[scale.rows / 100, scale.rows / 10] {
+        let est = SamplingEstimator::build(&table, sample_size, scale.seed + 3, floor);
+        let group = format!("sample={sample_size}");
+
+        // Classical CLT interval, no calibration set needed.
+        let mut degenerate = 0usize;
+        let clt_ivs: Vec<PredictionInterval> = bench
+            .test
+            .x
+            .iter()
+            .map(|f| {
+                let q = decode(&bench, f);
+                let (lo, hi) = est.clt_interval(&q, ALPHA);
+                if hi - lo == 0.0 {
+                    degenerate += 1;
+                }
+                PredictionInterval::new(lo, hi)
+            })
+            .collect();
+        rec.push(
+            &group,
+            &MethodResult {
+                method: "CLT",
+                report: interval_report(&clt_ivs, &bench.test.y),
+                intervals: clt_ivs,
+            },
+        );
+        rec.extra(
+            &format!("clt_degenerate_fraction/{group}"),
+            degenerate as f64 / bench.test.len() as f64,
+        );
+
+        // Split conformal around the identical estimator.
+        let scp = run_split_conformal(
+            est,
+            ScoreKind::Residual,
+            &bench.calib,
+            &bench.test,
+            ALPHA,
+            floor,
+        );
+        rec.push(&group, &scp);
+    }
+    vec![rec]
+}
+
+fn decode(
+    bench: &cardest::pipeline::SingleTableBench,
+    features: &[f32],
+) -> cardest::storage::ConjunctiveQuery {
+    bench.feat.decode(features)
+}

@@ -1,0 +1,178 @@
+//! Figures 3 and 4: join workloads (the DSB and JOB stand-ins) with MSCN.
+//!
+//! The PI algorithms only ever see residual lists, so they are agnostic to
+//! single- vs multi-table queries (paper §V-B "Multi-Table Datasets"); these
+//! experiments verify the trends carry over.
+
+use cardest::conformal::JackknifeCv;
+use cardest::datagen::{dsb_star, job_star};
+use cardest::estimators::{Mscn, MscnConfig, MscnLayout, StarFeaturizer, TrainLoss};
+use cardest::pipeline::{
+    run_cqr, run_locally_weighted, run_split_conformal, EncodedSet, MethodResult,
+    ScoreKind,
+};
+use cardest::query::{
+    generate_join_workload, random_templates, split, JoinGeneratorConfig, JoinWorkload,
+};
+use cardest::storage::StarSchema;
+
+use crate::report::ExperimentRecord;
+use crate::scale::Scale;
+
+use super::single_table::ALPHA;
+
+/// A prepared star-join bench with 50:25:25 splits (the paper's DSB setup).
+pub struct StarBench {
+    /// The star schema.
+    pub star: StarSchema,
+    /// The canonical star featurizer.
+    pub feat: StarFeaturizer,
+    /// Supervised training split.
+    pub train: EncodedSet,
+    /// Calibration split.
+    pub calib: EncodedSet,
+    /// Test split.
+    pub test: EncodedSet,
+}
+
+fn encode(feat: &StarFeaturizer, w: &JoinWorkload) -> EncodedSet {
+    EncodedSet {
+        x: w.iter().map(|lq| feat.encode(&lq.query)).collect(),
+        y: w.iter().map(|lq| lq.selectivity).collect(),
+    }
+}
+
+impl StarBench {
+    /// Generates a template workload over `star` and splits it 50:25:25.
+    pub fn prepare(star: StarSchema, n_templates: usize, scale: &Scale) -> Self {
+        let feat = StarFeaturizer::new(&star);
+        let templates = random_templates(&star, n_templates, scale.seed);
+        let w = generate_join_workload(
+            &star,
+            &templates,
+            scale.per_template,
+            &JoinGeneratorConfig::default(),
+            scale.seed + 1,
+        );
+        let parts = split(&w, &[0.5, 0.25, 0.25], scale.seed + 2);
+        StarBench {
+            train: encode(&feat, &parts[0]),
+            calib: encode(&feat, &parts[1]),
+            test: encode(&feat, &parts[2]),
+            star,
+            feat,
+        }
+    }
+}
+
+/// Runs the four PI methods around a star-layout MSCN.
+pub fn star_four_methods(bench: &StarBench, scale: &Scale) -> Vec<MethodResult> {
+    let floor = 1.0 / bench.star.fact().n_rows() as f64;
+    let layout = MscnLayout::Star(bench.feat.clone());
+    let config = MscnConfig { epochs: scale.epochs, seed: scale.seed, ..Default::default() };
+    let mscn = Mscn::fit(layout.clone(), &bench.train.x, &bench.train.y, &config);
+
+    let mut out = Vec::with_capacity(4);
+    out.push(run_split_conformal(
+        mscn.clone(),
+        ScoreKind::Residual,
+        &bench.calib,
+        &bench.test,
+        ALPHA,
+        floor,
+    ));
+
+    // JK-CV+ retrains the star MSCN K times on the labeled union.
+    let mut labeled = bench.train.clone();
+    labeled.x.extend(bench.calib.x.iter().cloned());
+    labeled.y.extend(bench.calib.y.iter().cloned());
+    let trainer = {
+        let layout = layout.clone();
+        let config = config.clone();
+        move |x: &[Vec<f32>], y: &[f64], s: u64| {
+            Mscn::fit(layout.clone(), x, y, &MscnConfig { seed: s, ..config.clone() })
+        }
+    };
+    let jk = JackknifeCv::fit(
+        &trainer,
+        cardest::conformal::AbsoluteResidual,
+        &labeled.x,
+        &labeled.y,
+        5,
+        ALPHA,
+        scale.seed,
+    );
+    let intervals: Vec<_> = bench
+        .test
+        .x
+        .iter()
+        .map(|f| jk.interval(f).clip(0.0, 1.0))
+        .collect();
+    out.push(MethodResult {
+        method: "JK-CV+",
+        report: cardest::conformal::interval_report(&intervals, &bench.test.y),
+        intervals,
+    });
+
+    out.push(run_locally_weighted(
+        mscn.clone(),
+        ScoreKind::Residual,
+        &bench.train,
+        &bench.calib,
+        &bench.test,
+        ALPHA,
+        floor,
+        scale.seed,
+    ));
+
+    let lo = Mscn::fit(
+        layout.clone(),
+        &bench.train.x,
+        &bench.train.y,
+        &MscnConfig {
+            loss: TrainLoss::Pinball((ALPHA / 2.0) as f32),
+            seed: scale.seed ^ 0x31,
+            ..config.clone()
+        },
+    );
+    let hi = Mscn::fit(
+        layout,
+        &bench.train.x,
+        &bench.train.y,
+        &MscnConfig {
+            loss: TrainLoss::Pinball((1.0 - ALPHA / 2.0) as f32),
+            seed: scale.seed ^ 0x32,
+            ..config
+        },
+    );
+    out.push(run_cqr(lo, hi, &bench.calib, &bench.test, ALPHA));
+    out
+}
+
+/// Figure 3: DSB/TPC-DS stand-in join workload (15 SPJ templates).
+pub fn fig3(scale: &Scale) -> Vec<ExperimentRecord> {
+    let star = dsb_star(scale.fact_rows, scale.seed);
+    let bench = StarBench::prepare(star, 15, scale);
+    let mut rec = ExperimentRecord::new(
+        "fig3",
+        "DSB-like star join workload (15 templates), MSCN, alpha=0.1",
+    );
+    for r in star_four_methods(&bench, scale) {
+        rec.push("dsb/mscn", &r);
+    }
+    vec![rec]
+}
+
+/// Figure 4: JOB stand-in (skewed, FK-correlated star).
+pub fn fig4(scale: &Scale) -> Vec<ExperimentRecord> {
+    let star = job_star(scale.fact_rows, scale.seed + 7);
+    let bench = StarBench::prepare(star, 10, scale);
+    let mut rec = ExperimentRecord::new(
+        "fig4",
+        "JOB-like star join workload (correlated FKs), MSCN, alpha=0.1",
+    );
+    for r in star_four_methods(&bench, scale) {
+        rec.push("job/mscn", &r);
+    }
+    vec![rec]
+}

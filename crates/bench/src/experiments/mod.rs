@@ -1,0 +1,60 @@
+//! One module per experiment family; `run_experiment` dispatches by id.
+
+pub mod accuracy;
+pub mod baselines;
+pub mod calibration;
+pub mod extensions;
+pub mod guidance;
+pub mod joins;
+pub mod postgres;
+pub mod scoring;
+pub mod single_table;
+pub mod zoo;
+
+use std::path::Path;
+
+use crate::report::ExperimentRecord;
+use crate::scale::Scale;
+
+/// Every experiment id, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "tab1", "guide", "ablation", "ext", "clt", "zoo",
+];
+
+/// Runs one experiment by id, printing and saving its records.
+///
+/// Returns the records for programmatic inspection (integration tests).
+///
+/// # Panics
+/// Panics on an unknown id.
+pub fn run_experiment(id: &str, scale: &Scale, results_dir: &Path) -> Vec<ExperimentRecord> {
+    let records = match id {
+        "fig1" => single_table::fig1(scale),
+        "fig2" => single_table::fig2(scale),
+        "fig3" => joins::fig3(scale),
+        "fig4" => joins::fig4(scale),
+        "fig5" => single_table::fig5(scale),
+        "fig6" => scoring::fig6(scale),
+        "fig7" => scoring::fig7(scale),
+        "fig8" => calibration::fig8(scale),
+        "fig9" => accuracy::fig9(scale),
+        "fig10" => calibration::fig10(scale),
+        "fig11" => calibration::fig11(scale),
+        "fig12" => calibration::fig12(scale),
+        "fig13" => accuracy::fig13(scale),
+        "fig14" => accuracy::fig14(scale),
+        "tab1" => postgres::tab1(scale),
+        "guide" => guidance::guide(scale),
+        "ablation" => guidance::ablation(scale),
+        "ext" => extensions::ext(scale),
+        "clt" => baselines::clt(scale),
+        "zoo" => zoo::zoo(scale),
+        other => panic!("unknown experiment id `{other}` (known: {ALL_IDS:?})"),
+    };
+    for rec in &records {
+        rec.print();
+        rec.save(results_dir);
+    }
+    records
+}

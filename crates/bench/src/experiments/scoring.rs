@@ -1,0 +1,59 @@
+//! Figures 6 and 7: alternative scoring functions (q-error, relative error).
+//!
+//! Validity holds for any exchangeable score (§III-C); tightness does not.
+//! The paper finds q-error ≺ relative error ≺ residual in interval width on
+//! low-selectivity queries.
+
+use cardest::pipeline::{
+    run_locally_weighted, run_split_conformal, train_mscn, ScoreKind,
+};
+
+use crate::report::ExperimentRecord;
+use crate::scale::Scale;
+
+use super::single_table::{sel_floor, standard_bench, ALPHA};
+
+fn score_experiment(id: &str, scale: &Scale, score: ScoreKind) -> Vec<ExperimentRecord> {
+    let bench = standard_bench(scale, "dmv");
+    let floor = sel_floor(scale.rows);
+    let mscn = train_mscn(&bench.feat, &bench.train, scale.epochs, scale.seed);
+    let mut rec = ExperimentRecord::new(
+        id,
+        &format!("DMV, MSCN, scoring function = {}", score.name()),
+    );
+    // Both the constant-width and adaptive conformal variants, with the
+    // residual default alongside for the width comparison the figures make.
+    for s in [ScoreKind::Residual, score] {
+        let scp = run_split_conformal(
+            mscn.clone(),
+            s,
+            &bench.calib,
+            &bench.test,
+            ALPHA,
+            floor,
+        );
+        rec.push(&format!("dmv/mscn/{}", s.name()), &scp);
+        let lw = run_locally_weighted(
+            mscn.clone(),
+            s,
+            &bench.train,
+            &bench.calib,
+            &bench.test,
+            ALPHA,
+            floor,
+            scale.seed,
+        );
+        rec.push(&format!("dmv/mscn/{}", s.name()), &lw);
+    }
+    vec![rec]
+}
+
+/// Figure 6: q-error scoring.
+pub fn fig6(scale: &Scale) -> Vec<ExperimentRecord> {
+    score_experiment("fig6", scale, ScoreKind::QError)
+}
+
+/// Figure 7: relative-error scoring.
+pub fn fig7(scale: &Scale) -> Vec<ExperimentRecord> {
+    score_experiment("fig7", scale, ScoreKind::Relative)
+}

@@ -1,0 +1,319 @@
+//! Figures 1, 2, and 5: feasibility of prediction intervals on single-table
+//! datasets, and the high-selectivity regime.
+
+use cardest::conformal::{
+    conformal_quantile, AbsoluteResidual, Regressor, ScoreFunction,
+};
+use cardest::datagen;
+use cardest::estimators::Naru;
+use cardest::pipeline::{
+    run_cqr, run_locally_weighted, run_split_conformal,
+    train_lwnn, train_lwnn_quantile_heads, train_mscn, train_mscn_quantile_heads,
+    train_naru, EncodedSet, MethodResult, ScoreKind, SingleTableBench, SplitSpec,
+};
+use cardest::query::GeneratorConfig;
+use cardest::storage::Table;
+
+use crate::report::{print_series, ExperimentRecord};
+use crate::scale::Scale;
+
+/// Paper defaults: coverage 0.9, residual scoring, 1-tuple selectivity floor.
+pub const ALPHA: f64 = 0.1;
+
+/// Selectivity floor used throughout (≈ one tuple at experiment scale).
+pub fn sel_floor(rows: usize) -> f64 {
+    1.0 / rows as f64
+}
+
+/// Prepares the standard bench for one dataset at the paper's default
+/// low-selectivity regime.
+pub fn standard_bench(scale: &Scale, dataset: &str) -> SingleTableBench {
+    let table = datagen::by_name(dataset, scale.rows, scale.seed)
+        .unwrap_or_else(|| panic!("unknown dataset {dataset}"));
+    SingleTableBench::prepare(
+        table,
+        scale.queries,
+        &GeneratorConfig::low_selectivity(),
+        SplitSpec::default(),
+        scale.seed,
+    )
+}
+
+/// The labeled set JK-style methods retrain over (train ∪ calibration).
+pub fn labeled_union(bench: &SingleTableBench) -> EncodedSet {
+    let mut x = bench.train.x.clone();
+    x.extend(bench.calib.x.iter().cloned());
+    let mut y = bench.train.y.clone();
+    y.extend(bench.calib.y.iter().cloned());
+    EncodedSet { x, y }
+}
+
+/// JK-CV+ for the data-driven Naru: Algorithm 1's K-fold residuals, with the
+/// per-fold model retrained on a row subsample of the *table* (Naru has no
+/// training workload to leave out).
+pub fn run_jackknife_cv_naru(
+    table: &Table,
+    labeled: &EncodedSet,
+    test: &EncodedSet,
+    k: usize,
+    alpha: f64,
+    scale: &Scale,
+    full_model: &Naru,
+) -> MethodResult {
+    let n = labeled.len();
+    let mut residuals = Vec::with_capacity(n);
+    for fold in 0..k {
+        // Retrain on a deterministic row subsample (≈ (1 - 1/K) of rows).
+        let sub = subsample_rows(table, 1.0 - 1.0 / k as f64, scale.seed + fold as u64);
+        let model = train_naru(
+            &sub,
+            scale.naru_epochs,
+            scale.naru_samples,
+            scale.seed + 100 + fold as u64,
+        );
+        for i in (0..n).filter(|i| i % k == fold) {
+            residuals
+                .push(AbsoluteResidual.score(labeled.y[i], model.predict(&labeled.x[i])));
+        }
+    }
+    let delta = conformal_quantile(&residuals, alpha);
+    let intervals: Vec<_> = test
+        .x
+        .iter()
+        .map(|f| {
+            let y_hat = full_model.predict(f);
+            cardest::conformal::PredictionInterval::new(y_hat - delta, y_hat + delta)
+                .clip(0.0, 1.0)
+        })
+        .collect();
+    MethodResult {
+        method: "JK-CV+",
+        report: cardest::conformal::interval_report(&intervals, &test.y),
+        intervals,
+    }
+}
+
+fn subsample_rows(table: &Table, frac: f64, seed: u64) -> Table {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..table.n_rows()).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(((table.n_rows() as f64 * frac) as usize).max(1));
+    let rows: Vec<Vec<u32>> = idx.iter().map(|&r| table.row(r)).collect();
+    Table::from_rows(table.schema().clone(), &rows)
+}
+
+/// All four methods around MSCN on a prepared bench.
+pub fn mscn_four_methods(
+    bench: &SingleTableBench,
+    scale: &Scale,
+    alpha: f64,
+) -> Vec<MethodResult> {
+    let floor = sel_floor(scale.rows);
+    let mscn = train_mscn(&bench.feat, &bench.train, scale.epochs, scale.seed);
+    let mut out = Vec::with_capacity(4);
+    out.push(run_split_conformal(
+        mscn.clone(),
+        ScoreKind::Residual,
+        &bench.calib,
+        &bench.test,
+        alpha,
+        floor,
+    ));
+    // Algorithm 1 retrains K MSCN models on the labeled union minus one
+    // fold — the cost the paper flags as JK-CV+'s price for tighter widths.
+    let labeled = labeled_union(bench);
+    out.push(cardest::pipeline::run_jackknife_cv_mscn(
+        &bench.feat,
+        &labeled,
+        &bench.test,
+        10,
+        alpha,
+        scale.epochs,
+        scale.seed,
+    ));
+    out.push(run_locally_weighted(
+        mscn.clone(),
+        ScoreKind::Residual,
+        &bench.train,
+        &bench.calib,
+        &bench.test,
+        alpha,
+        floor,
+        scale.seed,
+    ));
+    // Quantile heads get a larger epoch budget: the pinball loss has
+    // constant-magnitude gradients and converges slower than the MSE head.
+    let (lo, hi) = train_mscn_quantile_heads(
+        &bench.feat,
+        &bench.train,
+        scale.epochs * 2,
+        alpha,
+        scale.seed,
+    );
+    out.push(run_cqr(lo, hi, &bench.calib, &bench.test, alpha));
+    out
+}
+
+/// Figure 1: PIs on DMV for MSCN, Naru, and LW-NN with residual scoring.
+pub fn fig1(scale: &Scale) -> Vec<ExperimentRecord> {
+    let bench = standard_bench(scale, "dmv");
+    let floor = sel_floor(scale.rows);
+    let mut rec = ExperimentRecord::new(
+        "fig1",
+        "DMV, residual scoring, alpha=0.1: 4 PI methods x 3 learned models",
+    );
+
+    // --- MSCN ---
+    let mscn_results = mscn_four_methods(&bench, scale, ALPHA);
+    for r in &mscn_results {
+        rec.push("dmv/mscn", r);
+    }
+    // Series data behind the Fig. 1 scatter (MSCN panel).
+    let mscn = train_mscn(&bench.feat, &bench.train, scale.epochs, scale.seed);
+    let estimates: Vec<f64> = bench.test.x.iter().map(|f| mscn.predict(f)).collect();
+    print_series(
+        "fig1/mscn",
+        &bench.test.y,
+        &estimates,
+        &[
+            ("S-CP", &mscn_results[0].intervals),
+            ("JK-CV+", &mscn_results[1].intervals),
+            ("LW-S-CP", &mscn_results[2].intervals),
+            ("CQR", &mscn_results[3].intervals),
+        ],
+        30,
+    );
+
+    // --- Naru (unsupervised: whole labeled workload available for
+    // calibration; no CQR — the paper notes quantile losses do not apply). ---
+    let naru = train_naru(&bench.table, scale.naru_epochs, scale.naru_samples, scale.seed);
+    let labeled = labeled_union(&bench);
+    rec.push(
+        "dmv/naru",
+        &run_split_conformal(
+            naru.clone(),
+            ScoreKind::Residual,
+            &labeled,
+            &bench.test,
+            ALPHA,
+            floor,
+        ),
+    );
+    rec.push(
+        "dmv/naru",
+        &run_jackknife_cv_naru(
+            &bench.table,
+            &labeled,
+            &bench.test,
+            5,
+            ALPHA,
+            scale,
+            &naru,
+        ),
+    );
+    rec.push(
+        "dmv/naru",
+        &run_locally_weighted(
+            naru.clone(),
+            ScoreKind::Residual,
+            &bench.train,
+            &bench.calib,
+            &bench.test,
+            ALPHA,
+            floor,
+            scale.seed,
+        ),
+    );
+
+    // --- LW-NN (the lightweight model trains on a half epoch budget,
+    // matching its role as the cheap-but-noisier estimator). ---
+    let lwnn =
+        train_lwnn(&bench.table, &bench.train, (scale.epochs / 2).max(1), scale.seed);
+    rec.push(
+        "dmv/lwnn",
+        &run_split_conformal(
+            lwnn.clone(),
+            ScoreKind::Residual,
+            &bench.calib,
+            &bench.test,
+            ALPHA,
+            floor,
+        ),
+    );
+    rec.push(
+        "dmv/lwnn",
+        &run_locally_weighted(
+            lwnn.clone(),
+            ScoreKind::Residual,
+            &bench.train,
+            &bench.calib,
+            &bench.test,
+            ALPHA,
+            floor,
+            scale.seed,
+        ),
+    );
+    let (lo, hi) = train_lwnn_quantile_heads(
+        &bench.table,
+        &bench.train,
+        scale.epochs,
+        ALPHA,
+        scale.seed,
+    );
+    rec.push("dmv/lwnn", &run_cqr(lo, hi, &bench.calib, &bench.test, ALPHA));
+
+    vec![rec]
+}
+
+/// Figure 2: the other three single-table datasets with MSCN.
+pub fn fig2(scale: &Scale) -> Vec<ExperimentRecord> {
+    let mut rec = ExperimentRecord::new(
+        "fig2",
+        "Census/Forest/Power, MSCN, residual scoring, alpha=0.1",
+    );
+    for dataset in ["census", "forest", "power"] {
+        let bench = standard_bench(scale, dataset);
+        for r in mscn_four_methods(&bench, scale, ALPHA) {
+            rec.push(&format!("{dataset}/mscn"), &r);
+        }
+    }
+    vec![rec]
+}
+
+/// Figure 5: high-selectivity queries — PI widths become indistinguishable
+/// relative to the estimate magnitude.
+pub fn fig5(scale: &Scale) -> Vec<ExperimentRecord> {
+    let table = datagen::dmv(scale.rows, scale.seed);
+    let gen = GeneratorConfig {
+        min_selectivity: 0.1,
+        max_range_frac: 0.9,
+        min_predicates: 1,
+        max_predicates: 2,
+        ..Default::default()
+    };
+    let bench = SingleTableBench::prepare(
+        table,
+        scale.queries / 2,
+        &gen,
+        SplitSpec::default(),
+        scale.seed,
+    );
+    let mut rec = ExperimentRecord::new(
+        "fig5",
+        "DMV high-selectivity slice (sel >= 0.1), MSCN: relative widths collapse",
+    );
+    let results = mscn_four_methods(&bench, scale, ALPHA);
+    let mean_sel: f64 =
+        bench.test.y.iter().sum::<f64>() / bench.test.len() as f64;
+    for r in &results {
+        rec.push("dmv-hi/mscn", r);
+        rec.extra(
+            &format!("relative_width/{}", r.method),
+            r.report.mean_width / mean_sel,
+        );
+    }
+    rec.extra("mean_test_selectivity", mean_sel);
+    vec![rec]
+}

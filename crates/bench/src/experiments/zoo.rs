@@ -1,0 +1,114 @@
+//! `zoo`: every estimator in the workspace under one roof — point accuracy
+//! (geometric-mean and tail q-error) and the S-CP interval width each one
+//! earns.
+//!
+//! The paper's core observation — "the width of PI is dependent on the
+//! accuracy of the cardinality estimation algorithm" — predicts that the
+//! q-error ranking and the width ranking coincide. This experiment measures
+//! that correlation across eight estimators spanning the full design space:
+//! classical (AVI, sampling), data-driven (SPN, Naru, MADE-Naru), and
+//! query-driven (GBDT, LW-NN, MSCN).
+
+use cardest::conformal::{percentiles, q_error, Regressor};
+use cardest::datagen;
+use cardest::estimators::{
+    AviModel, GbdtCardinality, NaruMade, NaruMadeConfig, SamplingEstimator, Spn,
+    SpnConfig,
+};
+use cardest::gbdt::GbdtConfig;
+use cardest::pipeline::{
+    run_split_conformal, train_lwnn, train_mscn, train_naru, ScoreKind,
+};
+
+use crate::report::ExperimentRecord;
+use crate::scale::Scale;
+
+use super::single_table::{labeled_union, sel_floor, standard_bench, ALPHA};
+
+/// Runs the estimator zoo on the DMV workload.
+pub fn zoo(scale: &Scale) -> Vec<ExperimentRecord> {
+    let bench = standard_bench(scale, "dmv");
+    let floor = sel_floor(scale.rows);
+    let table = datagen::dmv(scale.rows, scale.seed);
+    let mut rec = ExperimentRecord::new(
+        "zoo",
+        "all estimators: point q-error vs the S-CP width their accuracy earns",
+    );
+
+    let models: Vec<(&str, Box<dyn Regressor>)> = vec![
+        ("avi", Box::new(AviModel::build(&table, floor))),
+        (
+            "sampling-1pct",
+            Box::new(SamplingEstimator::build(&table, scale.rows / 100, scale.seed, floor)),
+        ),
+        (
+            "spn",
+            Box::new(Spn::fit(
+                &table,
+                &SpnConfig { min_rows: scale.rows / 100, ..Default::default() },
+            )),
+        ),
+        (
+            "naru",
+            Box::new(train_naru(&table, scale.naru_epochs, scale.naru_samples, scale.seed)),
+        ),
+        (
+            "naru-made",
+            Box::new(NaruMade::fit(
+                &table,
+                &NaruMadeConfig {
+                    epochs: scale.naru_epochs,
+                    samples: scale.naru_samples,
+                    seed: scale.seed,
+                    ..Default::default()
+                },
+            )),
+        ),
+        (
+            "gbdt",
+            Box::new(GbdtCardinality::fit(
+                &bench.train.x,
+                &bench.train.y,
+                &GbdtConfig { n_trees: 120, ..Default::default() },
+                floor,
+            )),
+        ),
+        (
+            "lwnn",
+            Box::new(train_lwnn(&table, &bench.train, (scale.epochs / 2).max(1), scale.seed)),
+        ),
+        ("mscn", Box::new(train_mscn(&bench.feat, &bench.train, scale.epochs, scale.seed))),
+    ];
+
+    // Data-driven and classical models never see the training workload, so
+    // the PI calibration could use train ∪ calib; using `calib` uniformly
+    // keeps the comparison apples-to-apples.
+    let _ = labeled_union(&bench);
+    for (name, model) in models {
+        let q_errors: Vec<f64> = bench
+            .test
+            .x
+            .iter()
+            .zip(&bench.test.y)
+            .map(|(f, &y)| q_error(model.predict(f), y, floor))
+            .collect();
+        let geo = (q_errors.iter().map(|q| q.ln()).sum::<f64>()
+            / q_errors.len() as f64)
+            .exp();
+        let p = percentiles(&q_errors);
+        rec.extra(&format!("qerr_geo/{name}"), geo);
+        rec.extra(&format!("qerr_p95/{name}"), p.p95);
+
+        let adapter = |f: &[f32]| model.predict(f);
+        let scp = run_split_conformal(
+            adapter,
+            ScoreKind::Residual,
+            &bench.calib,
+            &bench.test,
+            ALPHA,
+            floor,
+        );
+        rec.push(name, &scp);
+    }
+    vec![rec]
+}

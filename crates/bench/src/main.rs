@@ -1,0 +1,42 @@
+//! `experiments` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p ce-bench --bin experiments            # run everything
+//! cargo run --release -p ce-bench --bin experiments -- fig1    # one experiment
+//! cargo run --release -p ce-bench --bin experiments -- all small  # smoke scale
+//! ```
+//!
+//! Results are printed and saved as JSON under `results/`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ce_bench::experiments::{run_experiment, ALL_IDS};
+use ce_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args.first().map(String::as_str).unwrap_or("all");
+    let scale = Scale::from_name(args.get(1).map(String::as_str).unwrap_or("full"));
+    let results_dir = PathBuf::from("results");
+
+    let ids: Vec<&str> = if id == "all" {
+        ALL_IDS.to_vec()
+    } else {
+        vec![id]
+    };
+    println!(
+        "running {} experiment(s) at scale rows={} queries={} seed={}",
+        ids.len(),
+        scale.rows,
+        scale.queries,
+        scale.seed
+    );
+    let t0 = Instant::now();
+    for id in ids {
+        let t = Instant::now();
+        run_experiment(id, &scale, &results_dir);
+        println!("[{id} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    println!("\nall done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,169 @@
+//! Experiment reporting: aligned console tables plus JSON records.
+
+use std::fs;
+use std::path::Path;
+
+use cardest::pipeline::MethodResult;
+use serde::{Deserialize, Serialize};
+
+/// One row of a method-comparison table.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct MethodRow {
+    /// Grouping label (model, dataset, setting…).
+    pub group: String,
+    /// PI method name.
+    pub method: String,
+    /// Empirical coverage on the test set.
+    pub coverage: f64,
+    /// Mean interval width (selectivity units).
+    pub mean_width: f64,
+    /// Median interval width.
+    pub median_width: f64,
+}
+
+impl MethodRow {
+    /// Builds a row from a pipeline result.
+    pub fn from_result(group: &str, r: &MethodResult) -> Self {
+        MethodRow {
+            group: group.to_string(),
+            method: r.method.to_string(),
+            coverage: r.report.coverage,
+            mean_width: r.report.mean_width,
+            median_width: r.report.median_width,
+        }
+    }
+}
+
+/// A persisted experiment outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (`fig1`, `tab1`, …).
+    pub id: String,
+    /// Free-form description of the setting.
+    pub setting: String,
+    /// Method rows.
+    pub rows: Vec<MethodRow>,
+    /// Extra named scalars (runtime reductions, deltas, …).
+    pub extras: Vec<(String, f64)>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record.
+    pub fn new(id: &str, setting: &str) -> Self {
+        ExperimentRecord {
+            id: id.to_string(),
+            setting: setting.to_string(),
+            rows: Vec::new(),
+            extras: Vec::new(),
+        }
+    }
+
+    /// Adds a method row.
+    pub fn push(&mut self, group: &str, result: &MethodResult) {
+        self.rows.push(MethodRow::from_result(group, result));
+    }
+
+    /// Adds a named scalar.
+    pub fn extra(&mut self, name: &str, value: f64) {
+        self.extras.push((name.to_string(), value));
+    }
+
+    /// Prints the record as an aligned console table.
+    pub fn print(&self) {
+        println!("\n=== {} — {} ===", self.id, self.setting);
+        if !self.rows.is_empty() {
+            println!(
+                "{:<28} {:<10} {:>9} {:>12} {:>12}",
+                "group", "method", "coverage", "mean width", "med width"
+            );
+            for r in &self.rows {
+                println!(
+                    "{:<28} {:<10} {:>9.3} {:>12.6} {:>12.6}",
+                    r.group, r.method, r.coverage, r.mean_width, r.median_width
+                );
+            }
+        }
+        for (name, value) in &self.extras {
+            println!("  {name} = {value:.6}");
+        }
+    }
+
+    /// Appends the record as JSON under `dir` (creates the directory).
+    ///
+    /// # Panics
+    /// Panics on I/O errors — experiment output loss should be loud.
+    pub fn save(&self, dir: &Path) {
+        fs::create_dir_all(dir).expect("create results dir");
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).expect("serialize record");
+        fs::write(&path, json).expect("write result file");
+        println!("  [saved {}]", path.display());
+    }
+}
+
+/// Prints a per-query series block (the data behind the paper's scatter
+/// plots): selectivity-sorted truth, estimate, and one interval per method.
+pub fn print_series(
+    title: &str,
+    truths: &[f64],
+    estimates: &[f64],
+    methods: &[(&str, &[cardest::conformal::PredictionInterval])],
+    max_rows: usize,
+) {
+    println!("\n--- series: {title} (first {max_rows} by selectivity) ---");
+    let mut order: Vec<usize> = (0..truths.len()).collect();
+    order.sort_by(|&a, &b| truths[a].partial_cmp(&truths[b]).expect("finite"));
+    print!("{:>4} {:>10} {:>10}", "i", "truth", "estimate");
+    for (name, _) in methods {
+        print!(" {:>10}.lo {:>10}.hi", name, name);
+    }
+    println!();
+    for (row, &i) in order.iter().take(max_rows).enumerate() {
+        print!("{:>4} {:>10.6} {:>10.6}", row, truths[i], estimates[i]);
+        for (_, ivs) in methods {
+            print!(" {:>13.6} {:>13.6}", ivs[i].lo, ivs[i].hi);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest::conformal::{IntervalReport, PredictionInterval};
+    use cardest::pipeline::MethodResult;
+
+    fn result() -> MethodResult {
+        MethodResult {
+            method: "S-CP",
+            report: IntervalReport {
+                coverage: 0.91,
+                mean_width: 0.02,
+                median_width: 0.018,
+            },
+            intervals: vec![PredictionInterval::new(0.0, 0.02)],
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let mut rec = ExperimentRecord::new("figX", "test");
+        rec.push("dmv/mscn", &result());
+        rec.extra("delta", 0.5);
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows, rec.rows);
+        assert_eq!(back.extras.len(), 1);
+    }
+
+    #[test]
+    fn save_writes_a_file() {
+        let dir = std::env::temp_dir().join("ce_bench_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut rec = ExperimentRecord::new("figY", "test");
+        rec.push("g", &result());
+        rec.save(&dir);
+        assert!(dir.join("figY.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,85 @@
+//! Experiment scale presets.
+//!
+//! The paper runs 11.6M-row DMV with 10K/10K/10K query splits on a V100;
+//! this reproduction scales rows and query counts down so the full suite
+//! finishes in minutes on a CPU while preserving every trend. `Scale::full`
+//! is the default for `cargo run --release`; `Scale::smoke` keeps CI and
+//! integration tests fast.
+
+/// Knobs shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Rows per single-table dataset.
+    pub rows: usize,
+    /// Labeled queries generated per workload.
+    pub queries: usize,
+    /// Training epochs for MSCN/LW-NN (the paper's "best" epoch budget E).
+    pub epochs: usize,
+    /// Naru training epochs over the table.
+    pub naru_epochs: usize,
+    /// Naru progressive-sampling budget per query.
+    pub naru_samples: usize,
+    /// Fact rows for star-schema workloads.
+    pub fact_rows: usize,
+    /// Queries instantiated per join template.
+    pub per_template: usize,
+    /// Base RNG seed; every experiment derives sub-seeds from it.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The default evaluation scale (minutes on a laptop CPU).
+    pub fn full() -> Self {
+        Scale {
+            rows: 20_000,
+            queries: 3_000,
+            epochs: 40,
+            naru_epochs: 4,
+            naru_samples: 64,
+            fact_rows: 20_000,
+            per_template: 120,
+            seed: 42,
+        }
+    }
+
+    /// A tiny scale for tests (seconds).
+    pub fn smoke() -> Self {
+        Scale {
+            rows: 2_500,
+            queries: 450,
+            epochs: 10,
+            naru_epochs: 1,
+            naru_samples: 24,
+            fact_rows: 2_000,
+            per_template: 20,
+            seed: 42,
+        }
+    }
+
+    /// Parses `small` / `full` (anything else falls back to full).
+    pub fn from_name(name: &str) -> Self {
+        match name {
+            "small" | "smoke" => Scale::smoke(),
+            _ => Scale::full(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let s = Scale::smoke();
+        let f = Scale::full();
+        assert!(s.rows < f.rows && s.queries < f.queries && s.epochs < f.epochs);
+    }
+
+    #[test]
+    fn from_name_dispatches() {
+        assert_eq!(Scale::from_name("small").rows, Scale::smoke().rows);
+        assert_eq!(Scale::from_name("full").rows, Scale::full().rows);
+        assert_eq!(Scale::from_name("bogus").rows, Scale::full().rows);
+    }
+}

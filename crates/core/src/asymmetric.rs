@@ -1,0 +1,159 @@
+//! Asymmetric split conformal prediction.
+//!
+//! Split conformal with the absolute residual score forces a symmetric
+//! interval even when the model errs mostly in one direction — and learned
+//! cardinality estimators systematically *under*-estimate range queries
+//! (paper §I, citing [61]). Calibrating the two tails separately on *signed*
+//! residuals (at `α/2` each) recovers the asymmetry CQR gets from quantile
+//! heads, without touching the model at all.
+
+use crate::interval::PredictionInterval;
+use crate::quantile::conformal_quantile;
+use crate::regressor::Regressor;
+
+/// Two-sided split conformal on signed residuals: the interval is
+/// `[ŷ − δ_hi_resid⁻, ŷ + δ_hi_resid⁺]` with each tail calibrated at α/2.
+#[derive(Debug, Clone)]
+pub struct AsymmetricSplitConformal<M> {
+    model: M,
+    delta_low: f64,  // quantile of (ŷ - y): how far truth falls below ŷ...
+    delta_high: f64, // quantile of (y - ŷ): how far truth exceeds ŷ
+    alpha: f64,
+}
+
+impl<M: Regressor> AsymmetricSplitConformal<M> {
+    /// Calibrates both tails at `alpha / 2` each (total miscoverage ≤ α by a
+    /// union bound).
+    ///
+    /// # Panics
+    /// Panics on an empty calibration set, mismatched lengths, or `alpha`
+    /// outside `(0, 1)`.
+    pub fn calibrate(model: M, calib_x: &[Vec<f32>], calib_y: &[f64], alpha: f64) -> Self {
+        assert_eq!(calib_x.len(), calib_y.len(), "calibration set length mismatch");
+        assert!(!calib_x.is_empty(), "empty calibration set");
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        let mut under = Vec::with_capacity(calib_x.len()); // ŷ - y
+        let mut over = Vec::with_capacity(calib_x.len()); // y - ŷ
+        for (x, &y) in calib_x.iter().zip(calib_y) {
+            let y_hat = model.predict(x);
+            under.push(y_hat - y);
+            over.push(y - y_hat);
+        }
+        let half = alpha / 2.0;
+        AsymmetricSplitConformal {
+            model,
+            delta_low: conformal_quantile(&under, half),
+            delta_high: conformal_quantile(&over, half),
+            alpha,
+        }
+    }
+
+    /// Downward margin (how far the truth may fall below the estimate).
+    pub fn delta_low(&self) -> f64 {
+        self.delta_low
+    }
+
+    /// Upward margin (how far the truth may exceed the estimate).
+    pub fn delta_high(&self) -> f64 {
+        self.delta_high
+    }
+
+    /// The miscoverage level.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The wrapped model's point estimate.
+    pub fn predict(&self, features: &[f32]) -> f64 {
+        self.model.predict(features)
+    }
+
+    /// The asymmetric interval `[ŷ − δ_low, ŷ + δ_high]`.
+    pub fn interval(&self, features: &[f32]) -> PredictionInterval {
+        let y_hat = self.model.predict(features);
+        PredictionInterval::new(y_hat - self.delta_low, y_hat + self.delta_high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Skewed noise: the model only ever under-estimates (y >= ŷ).
+    fn skewed(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f32>> =
+            (0..n).map(|_| vec![rng.gen_range(0.0..1.0f32)]).collect();
+        let y: Vec<f64> =
+            x.iter().map(|f| f[0] as f64 + rng.gen_range(0.0..1.0)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn margins_reflect_error_skew() {
+        let (cx, cy) = skewed(800, 1);
+        let model = |f: &[f32]| f[0] as f64;
+        let ac = AsymmetricSplitConformal::calibrate(model, &cx, &cy, 0.1);
+        assert!(
+            ac.delta_high() > 5.0 * ac.delta_low().abs().max(1e-3),
+            "upward margin {} should dwarf downward {}",
+            ac.delta_high(),
+            ac.delta_low()
+        );
+        // Downward margin can even be negative: the interval starts above ŷ.
+        assert!(ac.delta_low() < 0.2);
+    }
+
+    #[test]
+    fn covers_skewed_holdout() {
+        let (cx, cy) = skewed(800, 2);
+        let (tx, ty) = skewed(800, 3);
+        let model = |f: &[f32]| f[0] as f64;
+        let ac = AsymmetricSplitConformal::calibrate(model, &cx, &cy, 0.1);
+        let covered = tx
+            .iter()
+            .zip(&ty)
+            .filter(|(f, &y)| ac.interval(f).contains(y))
+            .count() as f64
+            / tx.len() as f64;
+        assert!(covered >= 0.88, "coverage {covered}");
+    }
+
+    #[test]
+    fn tighter_than_symmetric_on_skewed_errors() {
+        use crate::score::AbsoluteResidual;
+        use crate::split::SplitConformal;
+        let (cx, cy) = skewed(800, 4);
+        let model = |f: &[f32]| f[0] as f64;
+        let ac = AsymmetricSplitConformal::calibrate(model, &cx, &cy, 0.1);
+        let sc = SplitConformal::calibrate(model, AbsoluteResidual, &cx, &cy, 0.1);
+        let probe = [0.5f32];
+        assert!(
+            ac.interval(&probe).width() < sc.interval(&probe).width(),
+            "asymmetric {} vs symmetric {}",
+            ac.interval(&probe).width(),
+            sc.interval(&probe).width()
+        );
+    }
+
+    #[test]
+    fn symmetric_noise_gives_near_symmetric_margins() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cx: Vec<Vec<f32>> =
+            (0..800).map(|_| vec![rng.gen_range(0.0..1.0f32)]).collect();
+        let cy: Vec<f64> =
+            cx.iter().map(|f| f[0] as f64 + rng.gen_range(-0.5..0.5)).collect();
+        let model = |f: &[f32]| f[0] as f64;
+        let ac = AsymmetricSplitConformal::calibrate(model, &cx, &cy, 0.1);
+        assert!((ac.delta_low() - ac.delta_high()).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty calibration set")]
+    fn rejects_empty_calibration() {
+        let model = |_: &[f32]| 0.0;
+        AsymmetricSplitConformal::calibrate(model, &[], &[], 0.1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Conformalized quantile regression (paper Algorithm 4, after Romano et al.).
+
+use crate::interval::PredictionInterval;
+use crate::quantile::conformal_quantile;
+use crate::regressor::Regressor;
+
+/// Conformalized quantile regression: two quantile models `Q̂_l` (τ = α/2)
+/// and `Q̂_u` (τ = 1 − α/2) give a heuristic, naturally *asymmetric* and
+/// adaptive interval; conformal calibration of the score
+/// `max(Q̂_l(X) − y, y − Q̂_u(X))` turns it into a rigorous one.
+///
+/// This is the most intrusive of the four methods (the quantile heads need
+/// the pinball loss, i.e. a change to the learned model's loss function) and,
+/// per the paper, the tightest.
+#[derive(Debug, Clone)]
+pub struct ConformalizedQuantileRegression<L, U> {
+    lower: L,
+    upper: U,
+    delta: f64,
+    alpha: f64,
+}
+
+impl<L: Regressor, U: Regressor> ConformalizedQuantileRegression<L, U> {
+    /// Calibrates on `(calib_x, calib_y)` at miscoverage `alpha`.
+    ///
+    /// `lower`/`upper` must already be trained with pinball losses at
+    /// τ = α/2 and τ = 1 − α/2 for the *same* `alpha` — CQR is tied to a
+    /// fixed coverage level (retrain the heads to change it).
+    ///
+    /// # Panics
+    /// Panics on an empty calibration set, mismatched lengths, or `alpha`
+    /// outside `(0, 1)`.
+    pub fn calibrate(
+        lower: L,
+        upper: U,
+        calib_x: &[Vec<f32>],
+        calib_y: &[f64],
+        alpha: f64,
+    ) -> Self {
+        assert_eq!(calib_x.len(), calib_y.len(), "calibration set length mismatch");
+        assert!(!calib_x.is_empty(), "empty calibration set");
+        let scores: Vec<f64> = calib_x
+            .iter()
+            .zip(calib_y)
+            .map(|(x, &y)| {
+                let ql = lower.predict(x);
+                let qu = upper.predict(x);
+                (ql - y).max(y - qu)
+            })
+            .collect();
+        let delta = conformal_quantile(&scores, alpha);
+        ConformalizedQuantileRegression { lower, upper, delta, alpha }
+    }
+
+    /// The calibrated conformity margin δ (can be negative when the raw
+    /// quantile band over-covers — CQR then *shrinks* the band).
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The miscoverage level.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The raw (unconformalized) quantile band, for diagnostics.
+    pub fn raw_band(&self, features: &[f32]) -> PredictionInterval {
+        PredictionInterval::new(self.lower.predict(features), self.upper.predict(features))
+    }
+
+    /// The conformalized prediction interval `[Q̂_l(X) − δ, Q̂_u(X) + δ]`.
+    pub fn interval(&self, features: &[f32]) -> PredictionInterval {
+        let ql = self.lower.predict(features);
+        let qu = self.upper.predict(features);
+        PredictionInterval::new(ql - self.delta, qu + self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// y = x + U(0, x): true α/2 and 1-α/2 conditional quantiles are known.
+    fn hetero(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f32>> =
+            (0..n).map(|_| vec![rng.gen_range(0.5..4.0f32)]).collect();
+        let y: Vec<f64> =
+            x.iter().map(|f| f[0] as f64 + rng.gen_range(0.0..f[0] as f64)).collect();
+        (x, y)
+    }
+
+    /// Oracle quantile heads for the hetero data at alpha = 0.1.
+    fn oracle_lower(f: &[f32]) -> f64 {
+        f[0] as f64 + 0.05 * f[0] as f64
+    }
+    fn oracle_upper(f: &[f32]) -> f64 {
+        f[0] as f64 + 0.95 * f[0] as f64
+    }
+
+    #[test]
+    fn oracle_heads_need_almost_no_correction() {
+        let (cx, cy) = hetero(1000, 1);
+        let cqr = ConformalizedQuantileRegression::calibrate(
+            oracle_lower,
+            oracle_upper,
+            &cx,
+            &cy,
+            0.1,
+        );
+        assert!(cqr.delta().abs() < 0.1, "oracle delta {}", cqr.delta());
+    }
+
+    #[test]
+    fn covers_holdout_and_adapts_width() {
+        let (cx, cy) = hetero(1000, 2);
+        let (tx, ty) = hetero(1000, 3);
+        let cqr = ConformalizedQuantileRegression::calibrate(
+            oracle_lower,
+            oracle_upper,
+            &cx,
+            &cy,
+            0.1,
+        );
+        let covered = tx
+            .iter()
+            .zip(&ty)
+            .filter(|(x, &y)| cqr.interval(x).contains(y))
+            .count() as f64
+            / tx.len() as f64;
+        assert!(covered >= 0.87, "coverage {covered}");
+        assert!(cqr.interval(&[3.5]).width() > 2.0 * cqr.interval(&[0.6]).width());
+    }
+
+    #[test]
+    fn miscalibrated_heads_get_corrected() {
+        // Heads that are far too narrow (both predict the median).
+        let (cx, cy) = hetero(1000, 4);
+        let (tx, ty) = hetero(1000, 5);
+        let median = |f: &[f32]| f[0] as f64 * 1.5;
+        let cqr =
+            ConformalizedQuantileRegression::calibrate(median, median, &cx, &cy, 0.1);
+        assert!(cqr.delta() > 0.0, "narrow heads need widening");
+        let covered = tx
+            .iter()
+            .zip(&ty)
+            .filter(|(x, &y)| cqr.interval(x).contains(y))
+            .count() as f64
+            / tx.len() as f64;
+        assert!(covered >= 0.87, "coverage {covered}");
+    }
+
+    #[test]
+    fn overly_wide_heads_get_shrunk() {
+        let (cx, cy) = hetero(1000, 6);
+        let wide_lo = |f: &[f32]| f[0] as f64 - 50.0;
+        let wide_hi = |f: &[f32]| f[0] as f64 + 50.0;
+        let cqr =
+            ConformalizedQuantileRegression::calibrate(wide_lo, wide_hi, &cx, &cy, 0.1);
+        assert!(cqr.delta() < 0.0, "over-wide heads should shrink: {}", cqr.delta());
+        let band = cqr.raw_band(&[2.0]);
+        let conf = cqr.interval(&[2.0]);
+        assert!(conf.width() < band.width());
+    }
+
+    #[test]
+    fn interval_is_asymmetric_around_point_estimate() {
+        let (cx, cy) = hetero(500, 7);
+        let cqr = ConformalizedQuantileRegression::calibrate(
+            oracle_lower,
+            oracle_upper,
+            &cx,
+            &cy,
+            0.1,
+        );
+        // Conditional mean for y = x + U(0, x) is 1.5 x; the band [1.05x,
+        // 1.95x] sits asymmetrically around it only in absolute terms —
+        // check asymmetry vs the *median head midpoint* instead: interval
+        // endpoints differ in distance from 1.5x only through delta, so use
+        // a skewed-noise check: lower gap << upper gap relative to x itself.
+        let x = [2.0f32];
+        let iv = cqr.interval(&x);
+        let point = 2.0f64; // the underlying model estimate f(x) = x
+        assert!(iv.hi - point > point - iv.lo, "upper side should be wider");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty calibration set")]
+    fn rejects_empty_calibration() {
+        ConformalizedQuantileRegression::calibrate(
+            |_: &[f32]| 0.0,
+            |_: &[f32]| 0.0,
+            &[],
+            &[],
+            0.1,
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Online exchangeability testing via plug-in martingales (paper §IV,
+//! following Fedorova et al. [9]).
+//!
+//! Conformal validity rests on calibration and test scores being
+//! exchangeable. This module bets against exchangeability: each new score is
+//! converted into a conformal p-value against the history; under
+//! exchangeability the p-values are i.i.d. uniform, so any test martingale
+//! stays small (Ville: `P(sup M ≥ c) ≤ 1/c`). A workload shift drives the
+//! martingale up, signalling that coverage guarantees are at risk *before*
+//! they visibly fail.
+
+/// A mixture power martingale over conformal p-values.
+///
+/// Uses the "simple mixture" betting function
+/// `∫₀¹ ε p^(ε−1) dε` applied multiplicatively per p-value, tracked in log
+/// space for stability.
+#[derive(Debug, Clone)]
+pub struct ExchangeabilityMartingale {
+    history: Vec<f64>, // past scores, unsorted
+    log_m: f64,
+    max_log_m: f64,
+    min_log_m: f64,
+    max_growth: f64,
+    /// Deterministic tie-breaking stream (keeps the core crate rand-free).
+    tie_state: u64,
+}
+
+impl Default for ExchangeabilityMartingale {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExchangeabilityMartingale {
+    /// Starts with capital 1 (log 0) and an empty history.
+    pub fn new() -> Self {
+        ExchangeabilityMartingale {
+            history: Vec::new(),
+            log_m: 0.0,
+            max_log_m: 0.0,
+            min_log_m: 0.0,
+            max_growth: 0.0,
+            tie_state: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        // SplitMix64 step.
+        self.tie_state = self.tie_state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.tie_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The randomized conformal p-value of `score` against the history:
+    /// `(#{sᵢ > s} + U·(#{sᵢ = s} + 1)) / (n + 1)`.
+    fn p_value(&mut self, score: f64) -> f64 {
+        let greater = self.history.iter().filter(|&&s| s > score).count();
+        let equal = self.history.iter().filter(|&&s| s == score).count();
+        let u = self.next_uniform();
+        (greater as f64 + u * (equal as f64 + 1.0)) / (self.history.len() as f64 + 1.0)
+    }
+
+    /// Simple-mixture betting function `∫₀¹ ε p^(ε−1) dε` in closed form.
+    ///
+    /// With `a = ln p`, the integral is `((a − 1) + e^(−a)) / a²`, i.e.
+    /// `(ln p − 1 + 1/p) / ln²p`; near `p = 1` the series
+    /// `1/2 − a/6 + a²/24` avoids the 0/0.
+    fn log_bet(p: f64) -> f64 {
+        let p = p.clamp(1e-12, 1.0);
+        let a = p.ln();
+        let bet = if a.abs() < 1e-4 {
+            0.5 - a / 6.0 + a * a / 24.0
+        } else {
+            ((a - 1.0) + (-a).exp()) / (a * a)
+        };
+        bet.max(1e-300).ln()
+    }
+
+    /// Feeds one new conformal score; returns the updated log-martingale.
+    pub fn observe(&mut self, score: f64) -> f64 {
+        assert!(score.is_finite(), "non-finite conformal score");
+        let p = self.p_value(score);
+        self.log_m += Self::log_bet(p);
+        self.max_log_m = self.max_log_m.max(self.log_m);
+        self.max_growth = self.max_growth.max(self.log_m - self.min_log_m);
+        self.min_log_m = self.min_log_m.min(self.log_m);
+        self.history.push(score);
+        self.log_m
+    }
+
+    /// Current log₁₀ of the martingale value.
+    pub fn log10_martingale(&self) -> f64 {
+        self.log_m / std::f64::consts::LN_10
+    }
+
+    /// Largest log₁₀ martingale value seen so far.
+    pub fn max_log10_martingale(&self) -> f64 {
+        self.max_log_m / std::f64::consts::LN_10
+    }
+
+    /// Whether exchangeability is rejected at capital threshold `c`
+    /// (e.g. `c = 100` gives a 1% false-alarm bound by Ville's inequality).
+    ///
+    /// This is the theoretically clean test, but the mixture martingale
+    /// bleeds capital slowly on exchangeable data, so a shift arriving after
+    /// a long calm phase may never recover to absolute capital `c`; use
+    /// [`Self::detects_shift_at`] for responsive monitoring.
+    pub fn rejects_at(&self, c: f64) -> bool {
+        assert!(c > 1.0, "threshold must exceed 1");
+        self.max_log_m >= c.ln()
+    }
+
+    /// Largest log₁₀ capital *growth* from a running minimum — the practical
+    /// change detector: restarting the bet at every low-water mark makes the
+    /// detector insensitive to how long the calm phase lasted.
+    pub fn max_growth_log10(&self) -> f64 {
+        self.max_growth / std::f64::consts::LN_10
+    }
+
+    /// Whether the martingale ever grew by factor `c` from a running
+    /// minimum — signals a workload shift.
+    pub fn detects_shift_at(&self, c: f64) -> bool {
+        assert!(c > 1.0, "threshold must exceed 1");
+        self.max_growth >= c.ln()
+    }
+
+    /// Number of scores observed.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True before any score is observed.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn betting_function_matches_numeric_mixture_integral() {
+        // Closed form of ∫₀¹ ε p^(ε−1) dε vs fine numeric integration.
+        for &p in &[0.001f64, 0.01, 0.1, 0.5, 0.9, 0.999] {
+            let grid = 200_000;
+            let mut acc = 0.0f64;
+            for i in 0..grid {
+                let eps = (i as f64 + 0.5) / grid as f64;
+                acc += eps * p.powf(eps - 1.0) / grid as f64;
+            }
+            let closed = ExchangeabilityMartingale::log_bet(p).exp();
+            assert!(
+                (closed - acc).abs() / acc < 1e-3,
+                "p={p}: closed {closed} vs numeric {acc}"
+            );
+        }
+    }
+
+    #[test]
+    fn betting_function_series_is_continuous_near_one() {
+        let a = ExchangeabilityMartingale::log_bet(1.0 - 1e-5);
+        let b = ExchangeabilityMartingale::log_bet(1.0 - 2e-4);
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        assert!((ExchangeabilityMartingale::log_bet(1.0).exp() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stays_small_on_exchangeable_scores() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = ExchangeabilityMartingale::new();
+        for _ in 0..2000 {
+            m.observe(rng.gen::<f64>());
+        }
+        assert!(
+            m.max_log10_martingale() < 2.0,
+            "false alarm on iid data: {}",
+            m.max_log10_martingale()
+        );
+        assert!(!m.rejects_at(1000.0));
+        assert!(
+            m.max_growth_log10() < 2.5,
+            "growth false alarm on iid data: {}",
+            m.max_growth_log10()
+        );
+    }
+
+    #[test]
+    fn grows_on_distribution_shift() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = ExchangeabilityMartingale::new();
+        // Calm regime.
+        for _ in 0..500 {
+            m.observe(rng.gen_range(0.0..1.0));
+        }
+        let before = m.log10_martingale();
+        // Shift: scores jump by 10x (model suddenly much worse).
+        for _ in 0..500 {
+            m.observe(rng.gen_range(5.0..10.0));
+        }
+        let after = m.max_log10_martingale();
+        assert!(
+            after - before > 3.0,
+            "martingale should explode on shift: {before} -> {after}"
+        );
+        assert!(m.detects_shift_at(100.0), "growth {}", m.max_growth_log10());
+    }
+
+    #[test]
+    fn deterministic_given_inputs() {
+        let run = || {
+            let mut m = ExchangeabilityMartingale::new();
+            for i in 0..100 {
+                m.observe((i % 7) as f64);
+            }
+            m.log10_martingale()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_martingale_reports_zero() {
+        let m = ExchangeabilityMartingale::new();
+        assert!(m.is_empty());
+        assert_eq!(m.log10_martingale(), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Evaluation metrics for prediction intervals and point estimates.
+
+use crate::interval::PredictionInterval;
+use crate::quantile::empirical_quantile;
+
+/// Fraction of truths covered by their intervals.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn coverage(intervals: &[PredictionInterval], truths: &[f64]) -> f64 {
+    assert_eq!(intervals.len(), truths.len(), "interval/truth count mismatch");
+    assert!(!intervals.is_empty(), "coverage of an empty set");
+    intervals
+        .iter()
+        .zip(truths)
+        .filter(|(iv, &y)| iv.contains(y))
+        .count() as f64
+        / intervals.len() as f64
+}
+
+/// Mean interval width.
+pub fn mean_width(intervals: &[PredictionInterval]) -> f64 {
+    assert!(!intervals.is_empty(), "mean width of an empty set");
+    intervals.iter().map(PredictionInterval::width).sum::<f64>()
+        / intervals.len() as f64
+}
+
+/// Median interval width.
+pub fn median_width(intervals: &[PredictionInterval]) -> f64 {
+    assert!(!intervals.is_empty(), "median width of an empty set");
+    let widths: Vec<f64> = intervals.iter().map(PredictionInterval::width).collect();
+    empirical_quantile(&widths, 0.5)
+}
+
+/// Q-error of one estimate (paper Eq. 1, with a positivity floor).
+pub fn q_error(estimate: f64, truth: f64, floor: f64) -> f64 {
+    let e = estimate.max(floor);
+    let t = truth.max(floor);
+    (e / t).max(t / e)
+}
+
+/// Named percentiles of a q-error (or any) sample — the shape Table I and
+/// the accuracy discussions report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// 50th percentile (median).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes the standard percentile row over `values`.
+///
+/// # Panics
+/// Panics on empty input.
+pub fn percentiles(values: &[f64]) -> Percentiles {
+    assert!(!values.is_empty(), "percentiles of an empty set");
+    Percentiles {
+        p50: empirical_quantile(values, 0.50),
+        p90: empirical_quantile(values, 0.90),
+        p95: empirical_quantile(values, 0.95),
+        p99: empirical_quantile(values, 0.99),
+        max: values.iter().copied().fold(f64::MIN, f64::max),
+    }
+}
+
+/// A per-method evaluation summary over a test workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalReport {
+    /// Empirical coverage.
+    pub coverage: f64,
+    /// Mean width.
+    pub mean_width: f64,
+    /// Median width.
+    pub median_width: f64,
+}
+
+/// Builds the summary of intervals against truths.
+pub fn interval_report(
+    intervals: &[PredictionInterval],
+    truths: &[f64],
+) -> IntervalReport {
+    IntervalReport {
+        coverage: coverage(intervals, truths),
+        mean_width: mean_width(intervals),
+        median_width: median_width(intervals),
+    }
+}
+
+/// Ratio of two methods' mean widths — the §V-D "JK-CV+ is 83–96% of S-CP"
+/// style comparison.
+pub fn width_ratio(a: &[PredictionInterval], b: &[PredictionInterval]) -> f64 {
+    mean_width(a) / mean_width(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> PredictionInterval {
+        PredictionInterval::new(lo, hi)
+    }
+
+    #[test]
+    fn coverage_counts_containment() {
+        let ivs = [iv(0.0, 1.0), iv(0.0, 1.0), iv(5.0, 6.0), iv(0.0, 10.0)];
+        let ys = [0.5, 2.0, 5.5, 10.0];
+        assert_eq!(coverage(&ivs, &ys), 0.75);
+    }
+
+    #[test]
+    fn widths_average_correctly() {
+        let ivs = [iv(0.0, 1.0), iv(0.0, 3.0)];
+        assert_eq!(mean_width(&ivs), 2.0);
+        let ivs = [iv(0.0, 1.0), iv(0.0, 3.0), iv(0.0, 100.0)];
+        assert_eq!(median_width(&ivs), 3.0);
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_floored() {
+        assert_eq!(q_error(10.0, 100.0, 1.0), 10.0);
+        assert_eq!(q_error(100.0, 10.0, 1.0), 10.0);
+        assert_eq!(q_error(0.0, 5.0, 1.0), 5.0);
+        assert_eq!(q_error(3.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let values: Vec<f64> = (1..=1000).map(f64::from).collect();
+        let p = percentiles(&values);
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.max);
+        assert_eq!(p.max, 1000.0);
+        assert!((p.p90 - 900.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn report_and_ratio_compose() {
+        let a = [iv(0.0, 1.0), iv(0.0, 1.0)];
+        let b = [iv(0.0, 2.0), iv(0.0, 2.0)];
+        let r = interval_report(&a, &[0.5, 0.6]);
+        assert_eq!(r.coverage, 1.0);
+        assert_eq!(r.mean_width, 1.0);
+        assert_eq!(width_ratio(&a, &b), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn coverage_rejects_empty() {
+        coverage(&[], &[]);
+    }
+}

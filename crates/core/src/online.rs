@@ -1,0 +1,289 @@
+//! Online and windowed conformal calibration (paper §IV).
+//!
+//! Conformal prediction is naturally online: once a query executes, its true
+//! cardinality is known and the pair can be folded into the calibration set
+//! without breaking exchangeability. [`OnlineConformal`] grows the score set
+//! forever (Fig. 8); [`WindowedConformal`] keeps only the last `w` scores so
+//! the calibration tracks the recent workload.
+
+use std::collections::VecDeque;
+
+use crate::interval::PredictionInterval;
+use crate::regressor::Regressor;
+use crate::score::ScoreFunction;
+
+/// Maintains a sorted score multiset supporting O(log n) insertion position
+/// lookup and O(1) conformal-quantile reads.
+#[derive(Debug, Clone, Default)]
+struct SortedScores {
+    values: Vec<f64>,
+}
+
+impl SortedScores {
+    fn insert(&mut self, v: f64) {
+        assert!(v.is_finite(), "non-finite conformal score");
+        let pos = self.values.partition_point(|&x| x < v);
+        self.values.insert(pos, v);
+    }
+
+    fn remove(&mut self, v: f64) {
+        let pos = self.values.partition_point(|&x| x < v);
+        assert!(
+            pos < self.values.len() && self.values[pos] == v,
+            "removing a score that is not present"
+        );
+        self.values.remove(pos);
+    }
+
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `⌈(1-α)(n+1)⌉`-th smallest, `+∞` if out of range.
+    fn conformal_quantile(&self, alpha: f64) -> f64 {
+        let n = self.values.len();
+        let rank = ((1.0 - alpha) * (n as f64 + 1.0)).ceil() as usize;
+        if rank == 0 || rank > n {
+            f64::INFINITY
+        } else {
+            self.values[rank - 1]
+        }
+    }
+}
+
+/// Ever-growing online conformal predictor.
+#[derive(Debug, Clone)]
+pub struct OnlineConformal<M, S> {
+    model: M,
+    score: S,
+    scores: SortedScores,
+    alpha: f64,
+}
+
+impl<M: Regressor, S: ScoreFunction> OnlineConformal<M, S> {
+    /// Starts from an initial calibration set (may be small — intervals are
+    /// infinite/clipped until enough scores accumulate).
+    ///
+    /// # Panics
+    /// Panics on length mismatch or `alpha` outside `(0, 1)`.
+    pub fn new(
+        model: M,
+        score: S,
+        calib_x: &[Vec<f32>],
+        calib_y: &[f64],
+        alpha: f64,
+    ) -> Self {
+        assert_eq!(calib_x.len(), calib_y.len(), "calibration set length mismatch");
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        let mut scores = SortedScores::default();
+        for (x, &y) in calib_x.iter().zip(calib_y) {
+            scores.insert(score.score(y, model.predict(x)));
+        }
+        OnlineConformal { model, score, scores, alpha }
+    }
+
+    /// Current calibration-set size.
+    pub fn calibration_size(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Current threshold δ.
+    pub fn delta(&self) -> f64 {
+        self.scores.conformal_quantile(self.alpha)
+    }
+
+    /// The model's point estimate.
+    pub fn predict(&self, features: &[f32]) -> f64 {
+        self.model.predict(features)
+    }
+
+    /// Interval under the current calibration set.
+    pub fn interval(&self, features: &[f32]) -> PredictionInterval {
+        let y_hat = self.model.predict(features);
+        let (lo, hi) = self.score.interval(y_hat, self.delta());
+        PredictionInterval::new(lo, hi)
+    }
+
+    /// Folds an executed query's observed truth into the calibration set.
+    pub fn observe(&mut self, features: &[f32], y_true: f64) {
+        let s = self.score.score(y_true, self.model.predict(features));
+        self.scores.insert(s);
+    }
+}
+
+/// Sliding-window conformal predictor: keeps the most recent `window` scores.
+#[derive(Debug, Clone)]
+pub struct WindowedConformal<M, S> {
+    model: M,
+    score: S,
+    scores: SortedScores,
+    recency: VecDeque<f64>,
+    window: usize,
+    alpha: f64,
+}
+
+impl<M: Regressor, S: ScoreFunction> WindowedConformal<M, S> {
+    /// Creates an empty-window predictor.
+    ///
+    /// # Panics
+    /// Panics if `window == 0` or `alpha` outside `(0, 1)`.
+    pub fn new(model: M, score: S, window: usize, alpha: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        WindowedConformal {
+            model,
+            score,
+            scores: SortedScores::default(),
+            recency: VecDeque::with_capacity(window + 1),
+            window,
+            alpha,
+        }
+    }
+
+    /// Number of scores currently in the window.
+    pub fn len(&self) -> usize {
+        self.recency.len()
+    }
+
+    /// True when no scores have been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.recency.is_empty()
+    }
+
+    /// Current threshold δ (`+∞` while the window is too small).
+    pub fn delta(&self) -> f64 {
+        self.scores.conformal_quantile(self.alpha)
+    }
+
+    /// Interval under the current window.
+    pub fn interval(&self, features: &[f32]) -> PredictionInterval {
+        let y_hat = self.model.predict(features);
+        let (lo, hi) = self.score.interval(y_hat, self.delta());
+        PredictionInterval::new(lo, hi)
+    }
+
+    /// Observes an executed query, evicting the oldest score when full.
+    pub fn observe(&mut self, features: &[f32], y_true: f64) {
+        let s = self.score.score(y_true, self.model.predict(features));
+        self.recency.push_back(s);
+        self.scores.insert(s);
+        if self.recency.len() > self.window {
+            let old = self.recency.pop_front().expect("non-empty window");
+            self.scores.remove(old);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::AbsoluteResidual;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorted_scores_maintain_order_with_duplicates() {
+        let mut s = SortedScores::default();
+        for v in [3.0, 1.0, 2.0, 2.0, 5.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.values, vec![1.0, 2.0, 2.0, 3.0, 5.0]);
+        s.remove(2.0);
+        assert_eq!(s.values, vec![1.0, 2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn online_delta_matches_batch_quantile() {
+        use crate::quantile::conformal_quantile;
+        let mut rng = StdRng::seed_from_u64(1);
+        let scores: Vec<f64> = (0..57).map(|_| rng.gen::<f64>()).collect();
+        let model = |_: &[f32]| 0.0;
+        let mut oc = OnlineConformal::new(model, AbsoluteResidual, &[], &[], 0.1);
+        for &s in &scores {
+            // Observe with y = s so |y - 0| = s.
+            oc.observe(&[0.0], s);
+        }
+        assert_eq!(oc.delta(), conformal_quantile(&scores, 0.1));
+    }
+
+    #[test]
+    fn intervals_tighten_as_calibration_grows_under_shrinking_noise() {
+        // The Fig. 8 mechanism: with a fixed noise level, tiny calibration
+        // sets force conservative (even infinite) thresholds; as n grows the
+        // threshold converges down to the noise quantile.
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = |f: &[f32]| f[0] as f64;
+        let mut oc = OnlineConformal::new(model, AbsoluteResidual, &[], &[], 0.1);
+        let mut deltas = Vec::new();
+        for i in 0..500 {
+            let x = [rng.gen_range(0.0..1.0f32)];
+            let y = x[0] as f64 + rng.gen_range(-1.0..1.0);
+            oc.observe(&x, y);
+            if [5, 50, 499].contains(&i) {
+                deltas.push(oc.delta());
+            }
+        }
+        assert!(deltas[0] >= deltas[1] && deltas[1] >= deltas[2] - 0.05,
+            "thresholds should tighten: {deltas:?}");
+        assert!(deltas[2] < 1.0 + 0.1, "converges near the 0.9 noise quantile");
+    }
+
+    #[test]
+    fn online_coverage_holds_on_stream() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = |f: &[f32]| f[0] as f64;
+        let mut oc = OnlineConformal::new(model, AbsoluteResidual, &[], &[], 0.1);
+        // Warm up.
+        for _ in 0..100 {
+            let x = [rng.gen_range(0.0..1.0f32)];
+            let y = x[0] as f64 + rng.gen_range(-1.0..1.0);
+            oc.observe(&x, y);
+        }
+        let mut covered = 0usize;
+        let n = 1000;
+        for _ in 0..n {
+            let x = [rng.gen_range(0.0..1.0f32)];
+            let y = x[0] as f64 + rng.gen_range(-1.0..1.0);
+            if oc.interval(&x).contains(y) {
+                covered += 1;
+            }
+            oc.observe(&x, y);
+        }
+        let rate = covered as f64 / n as f64;
+        assert!(rate >= 0.87, "stream coverage {rate}");
+    }
+
+    #[test]
+    fn window_evicts_old_scores_and_adapts_to_shift() {
+        let model = |_: &[f32]| 0.0;
+        let mut wc = WindowedConformal::new(model, AbsoluteResidual, 50, 0.1);
+        // Old regime: huge errors.
+        for _ in 0..50 {
+            wc.observe(&[0.0], 100.0);
+        }
+        let old_delta = wc.delta();
+        // New regime: small errors; after 50 observations the window has
+        // fully turned over.
+        for _ in 0..50 {
+            wc.observe(&[0.0], 1.0);
+        }
+        assert_eq!(wc.len(), 50);
+        assert!(wc.delta() < old_delta / 10.0, "window should forget the old regime");
+    }
+
+    #[test]
+    fn empty_window_gives_infinite_interval() {
+        let model = |_: &[f32]| 5.0;
+        let wc = WindowedConformal::new(model, AbsoluteResidual, 10, 0.1);
+        assert!(wc.is_empty());
+        let iv = wc.interval(&[0.0]);
+        assert!(iv.lo.is_infinite() && iv.hi.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        let model = |_: &[f32]| 0.0;
+        WindowedConformal::new(model, AbsoluteResidual, 0, 0.1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Conformal quantile computation.
+//!
+//! Everything in the paper reduces to order statistics of score sets; the
+//! finite-sample correction `⌈(1-α)(n+1)⌉` is what turns an empirical
+//! quantile into a valid conformal threshold.
+
+/// The conformal `(1-α)` quantile: the `⌈(1-α)(n+1)⌉`-th smallest value.
+///
+/// Returns `+∞` when the index exceeds `n` (i.e. `n` is too small for the
+/// requested coverage) — downstream interval clipping keeps that usable,
+/// matching the standard conformal convention.
+///
+/// # Panics
+/// Panics if `values` is empty or `alpha` is outside `(0, 1)`.
+pub fn conformal_quantile(values: &[f64], alpha: f64) -> f64 {
+    assert!(!values.is_empty(), "conformal quantile of an empty score set");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+    let n = values.len();
+    let rank = ((1.0 - alpha) * (n as f64 + 1.0)).ceil() as usize; // 1-based
+    if rank > n {
+        return f64::INFINITY;
+    }
+    kth_smallest(values, rank)
+}
+
+/// The lower conformal quantile used by Jackknife+ lower bounds:
+/// the `⌊α(n+1)⌋`-th smallest value. Returns `-∞` when the index is 0.
+///
+/// # Panics
+/// Panics if `values` is empty or `alpha` is outside `(0, 1)`.
+pub fn conformal_quantile_lower(values: &[f64], alpha: f64) -> f64 {
+    assert!(!values.is_empty(), "conformal quantile of an empty score set");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+    let n = values.len();
+    let rank = (alpha * (n as f64 + 1.0)).floor() as usize; // 1-based
+    if rank == 0 {
+        return f64::NEG_INFINITY;
+    }
+    kth_smallest(values, rank.min(n))
+}
+
+/// `k`-th smallest (1-based) via quickselect on a scratch copy.
+///
+/// # Panics
+/// Panics if `k` is 0 or exceeds `values.len()`, or values contain NaN.
+pub fn kth_smallest(values: &[f64], k: usize) -> f64 {
+    assert!(k >= 1 && k <= values.len(), "k={k} out of range 1..={}", values.len());
+    let mut scratch = values.to_vec();
+    let (_, kth, _) = scratch.select_nth_unstable_by(k - 1, |a, b| {
+        a.partial_cmp(b).expect("NaN score in quantile computation")
+    });
+    *kth
+}
+
+/// Plain empirical quantile (nearest-rank on `(n-1)·q`), used for reporting
+/// percentile tables, not for conformal calibration.
+///
+/// # Panics
+/// Panics if `values` is empty or `q` outside `[0, 1]`.
+pub fn empirical_quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "empirical quantile of an empty set");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let idx = ((values.len() as f64 - 1.0) * q).round() as usize;
+    kth_smallest(values, idx + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformal_quantile_matches_definition() {
+        // n = 9, alpha = 0.1: rank = ceil(0.9 * 10) = 9 -> 9th smallest.
+        let values: Vec<f64> = (1..=9).map(f64::from).collect();
+        assert_eq!(conformal_quantile(&values, 0.1), 9.0);
+        // n = 19, alpha = 0.1: rank = ceil(0.9 * 20) = 18.
+        let values: Vec<f64> = (1..=19).map(f64::from).collect();
+        assert_eq!(conformal_quantile(&values, 0.1), 18.0);
+    }
+
+    #[test]
+    fn conformal_quantile_is_infinite_when_n_too_small() {
+        // n = 5, alpha = 0.1: rank = ceil(0.9*6) = 6 > 5.
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(conformal_quantile(&values, 0.1).is_infinite());
+    }
+
+    #[test]
+    fn conformal_quantile_is_order_invariant() {
+        let a = [5.0, 1.0, 4.0, 2.0, 3.0, 9.0, 7.0, 8.0, 6.0];
+        let mut b = a;
+        b.reverse();
+        assert_eq!(conformal_quantile(&a, 0.2), conformal_quantile(&b, 0.2));
+    }
+
+    #[test]
+    fn lower_quantile_matches_definition() {
+        // n = 19, alpha = 0.1: rank = floor(0.1 * 20) = 2 -> 2nd smallest.
+        let values: Vec<f64> = (1..=19).map(f64::from).collect();
+        assert_eq!(conformal_quantile_lower(&values, 0.1), 2.0);
+    }
+
+    #[test]
+    fn lower_quantile_is_neg_infinite_for_tiny_n() {
+        let values = [1.0, 2.0];
+        // floor(0.1 * 3) = 0.
+        assert!(conformal_quantile_lower(&values, 0.1).is_infinite());
+        assert!(conformal_quantile_lower(&values, 0.1) < 0.0);
+    }
+
+    #[test]
+    fn kth_smallest_selects_correctly_with_duplicates() {
+        let values = [3.0, 1.0, 3.0, 2.0];
+        assert_eq!(kth_smallest(&values, 1), 1.0);
+        assert_eq!(kth_smallest(&values, 2), 2.0);
+        assert_eq!(kth_smallest(&values, 3), 3.0);
+        assert_eq!(kth_smallest(&values, 4), 3.0);
+    }
+
+    #[test]
+    fn empirical_quantile_endpoints() {
+        let values: Vec<f64> = (0..=100).map(f64::from).collect();
+        assert_eq!(empirical_quantile(&values, 0.0), 0.0);
+        assert_eq!(empirical_quantile(&values, 1.0), 100.0);
+        assert_eq!(empirical_quantile(&values, 0.95), 95.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty score set")]
+    fn conformal_quantile_rejects_empty() {
+        conformal_quantile(&[], 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn conformal_quantile_rejects_bad_alpha() {
+        conformal_quantile(&[1.0], 1.0);
+    }
+
+    /// Key conformal property on exchangeable data: calibrating on half of an
+    /// i.i.d. sample covers the other half at >= 1 - alpha (in expectation).
+    #[test]
+    fn conformal_threshold_covers_holdout() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut total_cov = 0.0;
+        let trials = 30;
+        for _ in 0..trials {
+            let calib: Vec<f64> = (0..200).map(|_| rng.gen::<f64>()).collect();
+            let test: Vec<f64> = (0..200).map(|_| rng.gen::<f64>()).collect();
+            let delta = conformal_quantile(&calib, 0.1);
+            let covered =
+                test.iter().filter(|&&s| s <= delta).count() as f64 / 200.0;
+            total_cov += covered;
+        }
+        let mean_cov = total_cov / trials as f64;
+        assert!(mean_cov >= 0.88, "mean holdout coverage {mean_cov}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Black-box model abstractions.
+//!
+//! The central design constraint from the paper's desiderata: PI methods must
+//! *wrap* arbitrary learned models without internal changes. [`Regressor`] is
+//! that wrapping surface — anything mapping a feature vector to a scalar
+//! estimate qualifies, including closures, which keeps the core crate free of
+//! model dependencies.
+
+/// A trained black-box point estimator `f̂ : features -> target`.
+pub trait Regressor {
+    /// Point estimate for one feature vector.
+    fn predict(&self, features: &[f32]) -> f64;
+
+    /// Batch convenience.
+    fn predict_batch(&self, features: &[Vec<f32>]) -> Vec<f64> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+}
+
+impl<F: Fn(&[f32]) -> f64> Regressor for F {
+    fn predict(&self, features: &[f32]) -> f64 {
+        self(features)
+    }
+}
+
+/// A training procedure producing [`Regressor`]s — what the resampling
+/// methods (Jackknife+, CV+) need, since they retrain on data subsets.
+pub trait FitRegressor {
+    /// The trained model type.
+    type Model: Regressor;
+
+    /// Trains a model on the labeled set `(x, y)` with a seed controlling
+    /// any internal randomness (init, shuffling).
+    fn fit(&self, x: &[Vec<f32>], y: &[f64], seed: u64) -> Self::Model;
+}
+
+impl<M: Regressor, F: Fn(&[Vec<f32>], &[f64], u64) -> M> FitRegressor for F {
+    type Model = M;
+    fn fit(&self, x: &[Vec<f32>], y: &[f64], seed: u64) -> M {
+        self(x, y, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_regressors() {
+        let model = |f: &[f32]| f[0] as f64 * 2.0;
+        assert_eq!(model.predict(&[3.0]), 6.0);
+        assert_eq!(model.predict_batch(&[vec![1.0], vec![2.0]]), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn trait_objects_work_behind_references() {
+        let model = |f: &[f32]| f[0] as f64;
+        let by_ref: &dyn Regressor = &model;
+        assert_eq!(by_ref.predict(&[5.0]), 5.0);
+        // A boxed trait object is usable as a model via a closure adapter.
+        let boxed: Box<dyn Regressor> = Box::new(|f: &[f32]| f[0] as f64 + 1.0);
+        let adapted = move |f: &[f32]| boxed.predict(f);
+        assert_eq!(adapted.predict(&[5.0]), 6.0);
+    }
+
+    #[test]
+    fn fit_closures_are_trainers() {
+        // "Training" = memorize the mean of y.
+        let trainer = |_x: &[Vec<f32>], y: &[f64], _seed: u64| {
+            let mean = y.iter().sum::<f64>() / y.len() as f64;
+            move |_f: &[f32]| mean
+        };
+        let model = trainer.fit(&[vec![0.0], vec![0.0]], &[1.0, 3.0], 0);
+        assert_eq!(model.predict(&[9.0]), 2.0);
+    }
+}

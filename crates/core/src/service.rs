@@ -1,0 +1,294 @@
+//! A managed prediction-interval service for production query streams.
+//!
+//! Ties the paper's §IV operational pieces into one component: intervals are
+//! served from an ever-growing online calibration set; every observed score
+//! also feeds a sliding window and an exchangeability martingale; when the
+//! martingale detects a workload shift, serving switches to the
+//! recent-window thresholds until the detector (restarted at the switch)
+//! stays quiet for a full window — the recover-don't-crash behaviour Fig. 11
+//! motivates.
+
+use crate::exchangeability::ExchangeabilityMartingale;
+use crate::interval::PredictionInterval;
+use crate::online::{OnlineConformal, WindowedConformal};
+use crate::regressor::Regressor;
+use crate::score::ScoreFunction;
+
+/// Serving mode of the [`PiService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceMode {
+    /// Exchangeability holds: serve from the full online calibration set.
+    Stable,
+    /// Shift detected: serve from the sliding window until it clears.
+    Drifted,
+}
+
+/// Configuration of the managed service.
+#[derive(Debug, Clone, Copy)]
+pub struct PiServiceConfig {
+    /// Miscoverage level.
+    pub alpha: f64,
+    /// Sliding-window size (also the quarantine length after a shift).
+    pub window: usize,
+    /// Martingale capital-growth factor that triggers drift handling.
+    pub shift_threshold: f64,
+}
+
+impl Default for PiServiceConfig {
+    fn default() -> Self {
+        PiServiceConfig { alpha: 0.1, window: 200, shift_threshold: 1e4 }
+    }
+}
+
+/// A self-maintaining PI server around one black-box model.
+#[derive(Debug, Clone)]
+pub struct PiService<M, S> {
+    model: M,
+    score: S,
+    online: OnlineConformal<M, S>,
+    window: WindowedConformal<M, S>,
+    monitor: ExchangeabilityMartingale,
+    config: PiServiceConfig,
+    mode: ServiceMode,
+    /// Observations since the last mode switch to Drifted.
+    since_switch: usize,
+    shifts_detected: usize,
+}
+
+impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
+    /// Builds the service from an initial calibration set.
+    ///
+    /// # Panics
+    /// Panics on mismatched calibration lengths, `alpha` outside `(0, 1)`,
+    /// a zero window, or a shift threshold ≤ 1.
+    pub fn new(
+        model: M,
+        score: S,
+        calib_x: &[Vec<f32>],
+        calib_y: &[f64],
+        config: PiServiceConfig,
+    ) -> Self {
+        assert!(config.shift_threshold > 1.0, "shift threshold must exceed 1");
+        let online = OnlineConformal::new(
+            model.clone(),
+            score.clone(),
+            calib_x,
+            calib_y,
+            config.alpha,
+        );
+        let window = WindowedConformal::new(
+            model.clone(),
+            score.clone(),
+            config.window,
+            config.alpha,
+        );
+        PiService {
+            model,
+            score,
+            online,
+            window,
+            monitor: ExchangeabilityMartingale::new(),
+            config,
+            mode: ServiceMode::Stable,
+            since_switch: 0,
+            shifts_detected: 0,
+        }
+    }
+
+    /// Current serving mode.
+    pub fn mode(&self) -> ServiceMode {
+        self.mode
+    }
+
+    /// Number of distinct shift activations so far.
+    pub fn shifts_detected(&self) -> usize {
+        self.shifts_detected
+    }
+
+    /// The model's point estimate.
+    pub fn predict(&self, features: &[f32]) -> f64 {
+        self.online.predict(features)
+    }
+
+    /// Serves an interval under the current mode. While the window is still
+    /// filling after a shift, its (conservative, possibly infinite)
+    /// threshold applies — clip downstream.
+    pub fn interval(&self, features: &[f32]) -> PredictionInterval {
+        match self.mode {
+            ServiceMode::Stable => self.online.interval(features),
+            ServiceMode::Drifted => self.window.interval(features),
+        }
+    }
+
+    /// Feeds back an executed query's truth: updates both calibrators and
+    /// the drift monitor, switching modes as needed.
+    pub fn observe(&mut self, features: &[f32], y_true: f64) {
+        let score = self.score.score(y_true, self.model.predict(features));
+        self.online.observe(features, y_true);
+        self.window.observe(features, y_true);
+        self.monitor.observe(score);
+        self.since_switch += 1;
+
+        match self.mode {
+            ServiceMode::Stable => {
+                if self.monitor.detects_shift_at(self.config.shift_threshold) {
+                    self.mode = ServiceMode::Drifted;
+                    self.shifts_detected += 1;
+                    self.since_switch = 0;
+                    // Restart the monitor so recovery is judged on the new
+                    // regime only.
+                    self.monitor = ExchangeabilityMartingale::new();
+                }
+            }
+            ServiceMode::Drifted => {
+                if self.since_switch < self.config.window {
+                    return;
+                }
+                if self.monitor.detects_shift_at(self.config.shift_threshold) {
+                    // Still shifting: restart the quarantine clock.
+                    self.shifts_detected += 1;
+                    self.monitor = ExchangeabilityMartingale::new();
+                    self.since_switch = 0;
+                    return;
+                }
+                // Return to the full-history calibration only once it has
+                // actually absorbed the new regime: the monitor stayed quiet
+                // for a full window AND the global threshold agrees with the
+                // recent-window one. Until then the online set is a mixture
+                // dominated by the old regime and would under-cover.
+                let d_online = self.online.delta();
+                let d_window = self.window.delta();
+                let agree = d_online.is_finite()
+                    && d_window.is_finite()
+                    && (d_online - d_window).abs()
+                        <= 0.2 * d_window.abs().max(f64::MIN_POSITIVE);
+                if agree {
+                    self.mode = ServiceMode::Stable;
+                    self.since_switch = 0;
+                }
+            }
+        }
+    }
+
+    /// Total calibration scores absorbed.
+    pub fn calibration_size(&self) -> usize {
+        self.online.calibration_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::AbsoluteResidual;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn calm_point(rng: &mut StdRng) -> (Vec<f32>, f64) {
+        let x = vec![rng.gen_range(0.0..1.0f32)];
+        let y = x[0] as f64 + rng.gen_range(-0.2..0.2);
+        (x, y)
+    }
+
+    /// A regime the model is terrible in: truth far above every estimate.
+    fn shifted_point(rng: &mut StdRng) -> (Vec<f32>, f64) {
+        let x = vec![rng.gen_range(0.0..1.0f32)];
+        let y = x[0] as f64 + rng.gen_range(5.0..6.0);
+        (x, y)
+    }
+
+    fn service(seed: u64) -> (PiService<impl Regressor + Clone, AbsoluteResidual>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = |f: &[f32]| f[0] as f64;
+        let (cx, cy): (Vec<Vec<f32>>, Vec<f64>) =
+            (0..300).map(|_| calm_point(&mut rng)).unzip();
+        let svc = PiService::new(
+            model,
+            AbsoluteResidual,
+            &cx,
+            &cy,
+            PiServiceConfig { window: 150, ..Default::default() },
+        );
+        (svc, rng)
+    }
+
+    #[test]
+    fn stays_stable_and_covers_on_calm_stream() {
+        let (mut svc, mut rng) = service(1);
+        let mut covered = 0usize;
+        let n = 800;
+        for _ in 0..n {
+            let (x, y) = calm_point(&mut rng);
+            if svc.interval(&x).contains(y) {
+                covered += 1;
+            }
+            svc.observe(&x, y);
+        }
+        assert_eq!(svc.mode(), ServiceMode::Stable);
+        assert_eq!(svc.shifts_detected(), 0);
+        let rate = covered as f64 / n as f64;
+        assert!(rate >= 0.87, "calm coverage {rate}");
+    }
+
+    #[test]
+    fn detects_shift_switches_modes_and_recovers_coverage() {
+        let (mut svc, mut rng) = service(2);
+        // Warm the stream.
+        for _ in 0..200 {
+            let (x, y) = calm_point(&mut rng);
+            svc.observe(&x, y);
+        }
+        // Shifted regime: feed enough to trip the detector and fill the
+        // window.
+        for _ in 0..400 {
+            let (x, y) = shifted_point(&mut rng);
+            svc.observe(&x, y);
+        }
+        assert!(svc.shifts_detected() >= 1, "shift never detected");
+        // Coverage on fresh shifted queries after adaptation.
+        let mut covered = 0usize;
+        let n = 300;
+        for _ in 0..n {
+            let (x, y) = shifted_point(&mut rng);
+            if svc.interval(&x).clip(-100.0, 100.0).contains(y) {
+                covered += 1;
+            }
+            svc.observe(&x, y);
+        }
+        let rate = covered as f64 / n as f64;
+        assert!(rate >= 0.8, "post-shift coverage {rate}");
+    }
+
+    #[test]
+    fn returns_to_stable_after_quarantine() {
+        let (mut svc, mut rng) = service(3);
+        for _ in 0..200 {
+            let (x, y) = calm_point(&mut rng);
+            svc.observe(&x, y);
+        }
+        for _ in 0..250 {
+            let (x, y) = shifted_point(&mut rng);
+            svc.observe(&x, y);
+        }
+        assert!(svc.shifts_detected() >= 1);
+        // Keep streaming the (now-stationary) shifted regime: the restarted
+        // monitor stays quiet and the service settles back to Stable.
+        for _ in 0..600 {
+            let (x, y) = shifted_point(&mut rng);
+            svc.observe(&x, y);
+        }
+        assert_eq!(svc.mode(), ServiceMode::Stable, "should leave quarantine");
+    }
+
+    #[test]
+    #[should_panic(expected = "shift threshold must exceed 1")]
+    fn rejects_bad_threshold() {
+        let model = |_: &[f32]| 0.0;
+        PiService::new(
+            model,
+            AbsoluteResidual,
+            &[],
+            &[],
+            PiServiceConfig { shift_threshold: 1.0, ..Default::default() },
+        );
+    }
+}

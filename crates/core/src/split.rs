@@ -1,0 +1,172 @@
+//! Split conformal prediction (paper Algorithm 2).
+
+use crate::interval::PredictionInterval;
+use crate::quantile::conformal_quantile;
+use crate::regressor::Regressor;
+use crate::score::ScoreFunction;
+
+/// Split conformal prediction: calibrate one threshold δ on a held-out set,
+/// then every interval is the score inversion at δ around the model estimate.
+///
+/// The simplest and cheapest of the four methods — no extra model training —
+/// at the cost of a constant-width (per score function) interval.
+#[derive(Debug, Clone)]
+pub struct SplitConformal<M, S> {
+    model: M,
+    score: S,
+    delta: f64,
+    alpha: f64,
+}
+
+impl<M: Regressor, S: ScoreFunction> SplitConformal<M, S> {
+    /// Calibrates on `(calib_x, calib_y)` at miscoverage `alpha`.
+    ///
+    /// # Panics
+    /// Panics on an empty calibration set, mismatched lengths, or `alpha`
+    /// outside `(0, 1)`.
+    pub fn calibrate(
+        model: M,
+        score: S,
+        calib_x: &[Vec<f32>],
+        calib_y: &[f64],
+        alpha: f64,
+    ) -> Self {
+        assert_eq!(calib_x.len(), calib_y.len(), "calibration set length mismatch");
+        assert!(!calib_x.is_empty(), "empty calibration set");
+        let scores: Vec<f64> = calib_x
+            .iter()
+            .zip(calib_y)
+            .map(|(x, &y)| score.score(y, model.predict(x)))
+            .collect();
+        let delta = conformal_quantile(&scores, alpha);
+        SplitConformal { model, score, delta, alpha }
+    }
+
+    /// Builds directly from precomputed conformal scores (used when the
+    /// model's calibration predictions are already available).
+    pub fn from_scores(model: M, score: S, scores: &[f64], alpha: f64) -> Self {
+        let delta = conformal_quantile(scores, alpha);
+        SplitConformal { model, score, delta, alpha }
+    }
+
+    /// The calibrated threshold δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The miscoverage level the predictor was calibrated for.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The wrapped model's point estimate.
+    pub fn predict(&self, features: &[f32]) -> f64 {
+        self.model.predict(features)
+    }
+
+    /// The prediction interval for one query.
+    pub fn interval(&self, features: &[f32]) -> PredictionInterval {
+        let y_hat = self.model.predict(features);
+        let (lo, hi) = self.score.interval(y_hat, self.delta);
+        PredictionInterval::new(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::{AbsoluteResidual, QErrorScore};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A deliberately-imperfect model: y = x + noise, model predicts x.
+    #[allow(clippy::type_complexity)]
+    fn noisy_setup(
+        n: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f32>>, Vec<f64>, impl Fn(&[f32]) -> f64 + Copy) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f32>> = (0..n).map(|_| vec![rng.gen_range(0.0..10.0f32)]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|f| f[0] as f64 + rng.gen_range(-1.0..1.0))
+            .collect();
+        (x, y, |f: &[f32]| f[0] as f64)
+    }
+
+    #[test]
+    fn covers_holdout_at_nominal_rate() {
+        let (cx, cy, model) = noisy_setup(500, 1);
+        let (tx, ty, _) = noisy_setup(500, 2);
+        let scp = SplitConformal::calibrate(model, AbsoluteResidual, &cx, &cy, 0.1);
+        let covered = tx
+            .iter()
+            .zip(&ty)
+            .filter(|(x, &y)| scp.interval(x).contains(y))
+            .count() as f64
+            / tx.len() as f64;
+        assert!(covered >= 0.87, "coverage {covered}");
+        // And not absurdly conservative for uniform noise.
+        assert!(covered <= 0.99, "coverage {covered}");
+    }
+
+    #[test]
+    fn interval_width_is_constant_for_residual_score() {
+        let (cx, cy, model) = noisy_setup(300, 3);
+        let scp = SplitConformal::calibrate(model, AbsoluteResidual, &cx, &cy, 0.1);
+        let w1 = scp.interval(&[1.0]).width();
+        let w2 = scp.interval(&[9.0]).width();
+        assert!((w1 - w2).abs() < 1e-12, "S-CP width must be constant");
+        assert!((w1 - 2.0 * scp.delta()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_shrinks_with_lower_coverage() {
+        let (cx, cy, model) = noisy_setup(500, 4);
+        let hi =
+            SplitConformal::calibrate(model, AbsoluteResidual, &cx, &cy, 0.01).delta();
+        let lo =
+            SplitConformal::calibrate(model, AbsoluteResidual, &cx, &cy, 0.5).delta();
+        assert!(hi > lo, "99% threshold {hi} must exceed 50% threshold {lo}");
+    }
+
+    #[test]
+    fn q_error_score_gives_multiplicative_intervals() {
+        // Multiplicative noise: y = x * U(0.5, 2); model predicts x.
+        let mut rng = StdRng::seed_from_u64(5);
+        let cx: Vec<Vec<f32>> =
+            (0..400).map(|_| vec![rng.gen_range(1.0..100.0f32)]).collect();
+        let cy: Vec<f64> = cx
+            .iter()
+            .map(|f| f[0] as f64 * rng.gen_range(0.5..2.0))
+            .collect();
+        let model = |f: &[f32]| f[0] as f64;
+        let scp =
+            SplitConformal::calibrate(model, QErrorScore::new(1e-6), &cx, &cy, 0.1);
+        let small = scp.interval(&[2.0]);
+        let large = scp.interval(&[80.0]);
+        assert!(large.width() > small.width(), "q-error widths scale with ŷ");
+        // Ratio hi/lo identical across queries.
+        assert!(((small.hi / small.lo) - (large.hi / large.lo)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_scores_matches_calibrate() {
+        let (cx, cy, model) = noisy_setup(100, 6);
+        let scores: Vec<f64> = cx
+            .iter()
+            .zip(&cy)
+            .map(|(x, &y)| AbsoluteResidual.score(y, model.predict(x)))
+            .collect();
+        let a = SplitConformal::calibrate(model, AbsoluteResidual, &cx, &cy, 0.2);
+        let b = SplitConformal::from_scores(model, AbsoluteResidual, &scores, 0.2);
+        assert_eq!(a.delta(), b.delta());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty calibration set")]
+    fn rejects_empty_calibration() {
+        let model = |_: &[f32]| 0.0;
+        SplitConformal::calibrate(model, AbsoluteResidual, &[], &[], 0.1);
+    }
+}

@@ -1,0 +1,317 @@
+//! Synthetic single-table datasets shaped like the paper's four benchmarks.
+//!
+//! Real DMV/Census/Forest/Power data is not available offline, so each
+//! generator reproduces the *shape* the paper's analysis depends on: column
+//! counts and kinds, skew (Zipf marginals), inter-column correlation
+//! (parent-driven functional dependence), and domain sizes — all scaled to a
+//! row count that trains in seconds on a CPU. See DESIGN.md §2.
+
+use ce_storage::{ColumnKind, Table};
+
+use crate::spec::{ColumnSpec, Dist, TableSpec};
+
+use ColumnKind::{Categorical, Numeric};
+
+/// DMV vehicle registrations: 11 columns, 10 categorical + 1 numeric, heavy
+/// skew, and make→body/fuel/weight correlations.
+pub fn dmv(n_rows: usize, seed: u64) -> Table {
+    TableSpec {
+        name: "dmv".into(),
+        n_rows,
+        columns: vec![
+            ColumnSpec::new("record_type", 4, Categorical, Dist::Zipf(1.2)),
+            ColumnSpec::new("reg_class", 24, Categorical, Dist::Zipf(1.4)),
+            ColumnSpec::new("state", 60, Categorical, Dist::Zipf(1.8)),
+            ColumnSpec::new("county", 62, Categorical, Dist::Zipf(1.1)),
+            ColumnSpec::new("make", 120, Categorical, Dist::Zipf(1.3)),
+            ColumnSpec::new("body_type", 30, Categorical, Dist::Zipf(1.2))
+                .with_parent(4, 0.7),
+            ColumnSpec::new("fuel_type", 8, Categorical, Dist::Zipf(1.5))
+                .with_parent(5, 0.6),
+            ColumnSpec::new(
+                "unladen_weight",
+                100,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.4, std_frac: 0.2 },
+            )
+            .with_parent(5, 0.5),
+            ColumnSpec::new("color", 20, Categorical, Dist::Zipf(1.0)),
+            ColumnSpec::new("scofflaw", 2, Categorical, Dist::Zipf(2.0)),
+            ColumnSpec::new("suspension", 2, Categorical, Dist::Zipf(2.5)),
+        ],
+    }
+    .generate(seed)
+}
+
+/// Census (UCI adult-like): 13 mixed columns with education/occupation/income
+/// dependencies and skewed capital gains.
+pub fn census(n_rows: usize, seed: u64) -> Table {
+    TableSpec {
+        name: "census".into(),
+        n_rows,
+        columns: vec![
+            ColumnSpec::new(
+                "age",
+                74,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.45, std_frac: 0.2 },
+            ),
+            ColumnSpec::new("workclass", 9, Categorical, Dist::Zipf(1.6)),
+            ColumnSpec::new("education", 16, Categorical, Dist::Zipf(0.8)),
+            ColumnSpec::new("marital", 7, Categorical, Dist::Zipf(1.0))
+                .with_parent(0, 0.4),
+            ColumnSpec::new("occupation", 15, Categorical, Dist::Zipf(0.9))
+                .with_parent(2, 0.5),
+            ColumnSpec::new("relationship", 6, Categorical, Dist::Zipf(1.0))
+                .with_parent(3, 0.5),
+            ColumnSpec::new("race", 5, Categorical, Dist::Zipf(1.8)),
+            ColumnSpec::new("sex", 2, Categorical, Dist::Zipf(0.3)),
+            ColumnSpec::new("capital_gain", 50, Numeric, Dist::Zipf(2.2)),
+            ColumnSpec::new("capital_loss", 50, Numeric, Dist::Zipf(2.4)),
+            ColumnSpec::new(
+                "hours_per_week",
+                96,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.42, std_frac: 0.13 },
+            ),
+            ColumnSpec::new("country", 42, Categorical, Dist::Zipf(2.0)),
+            ColumnSpec::new("income", 2, Categorical, Dist::Zipf(1.2))
+                .with_parent(2, 0.35),
+        ],
+    }
+    .generate(seed)
+}
+
+/// Forest (covtype-like): 10 numeric columns with terrain correlations.
+pub fn forest(n_rows: usize, seed: u64) -> Table {
+    TableSpec {
+        name: "forest".into(),
+        n_rows,
+        columns: vec![
+            ColumnSpec::new(
+                "elevation",
+                255,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.55, std_frac: 0.18 },
+            ),
+            ColumnSpec::new("aspect", 64, Numeric, Dist::Uniform),
+            ColumnSpec::new(
+                "slope",
+                64,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.25, std_frac: 0.15 },
+            ),
+            ColumnSpec::new(
+                "horiz_hydro",
+                128,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.3, std_frac: 0.2 },
+            )
+            .with_parent(0, 0.5),
+            ColumnSpec::new(
+                "vert_hydro",
+                100,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.3, std_frac: 0.18 },
+            )
+            .with_parent(3, 0.7),
+            ColumnSpec::new(
+                "horiz_road",
+                128,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.4, std_frac: 0.25 },
+            )
+            .with_parent(0, 0.4),
+            ColumnSpec::new(
+                "hillshade_9am",
+                255,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.8, std_frac: 0.1 },
+            )
+            .with_parent(1, 0.5),
+            ColumnSpec::new(
+                "hillshade_noon",
+                255,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.85, std_frac: 0.08 },
+            )
+            .with_parent(6, 0.6),
+            ColumnSpec::new(
+                "hillshade_3pm",
+                255,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.55, std_frac: 0.15 },
+            )
+            .with_parent(7, 0.6),
+            ColumnSpec::new(
+                "horiz_fire",
+                128,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.35, std_frac: 0.2 },
+            )
+            .with_parent(0, 0.3),
+        ],
+    }
+    .generate(seed)
+}
+
+/// Power (household electricity-like): 7 numeric columns, strongly
+/// correlated — sub-meterings and intensity all track global active power.
+pub fn power(n_rows: usize, seed: u64) -> Table {
+    TableSpec {
+        name: "power".into(),
+        n_rows,
+        columns: vec![
+            ColumnSpec::new(
+                "global_active",
+                128,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.3, std_frac: 0.2 },
+            ),
+            ColumnSpec::new(
+                "global_reactive",
+                128,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.2, std_frac: 0.12 },
+            )
+            .with_parent(0, 0.6),
+            ColumnSpec::new(
+                "voltage",
+                128,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.6, std_frac: 0.07 },
+            ),
+            ColumnSpec::new(
+                "intensity",
+                128,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.3, std_frac: 0.2 },
+            )
+            .with_parent(0, 0.9),
+            ColumnSpec::new(
+                "sub_metering_1",
+                100,
+                Numeric,
+                Dist::Zipf(1.8),
+            )
+            .with_parent(0, 0.5),
+            ColumnSpec::new(
+                "sub_metering_2",
+                100,
+                Numeric,
+                Dist::Zipf(1.6),
+            )
+            .with_parent(0, 0.5),
+            ColumnSpec::new(
+                "sub_metering_3",
+                100,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.25, std_frac: 0.2 },
+            )
+            .with_parent(0, 0.6),
+        ],
+    }
+    .generate(seed)
+}
+
+/// The four single-table datasets by name, in paper order.
+pub fn by_name(name: &str, n_rows: usize, seed: u64) -> Option<Table> {
+    match name {
+        "dmv" => Some(dmv(n_rows, seed)),
+        "census" => Some(census(n_rows, seed)),
+        "forest" => Some(forest(n_rows, seed)),
+        "power" => Some(power(n_rows, seed)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_storage::{ConjunctiveQuery, Predicate};
+
+    #[test]
+    fn dmv_shape_matches_paper() {
+        let t = dmv(2000, 0);
+        assert_eq!(t.schema().arity(), 11);
+        let categorical = t
+            .schema()
+            .columns()
+            .iter()
+            .filter(|c| c.kind == ColumnKind::Categorical)
+            .count();
+        assert_eq!(categorical, 10, "DMV: 10 of 11 columns categorical");
+        assert_eq!(t.n_rows(), 2000);
+    }
+
+    #[test]
+    fn census_has_13_columns() {
+        assert_eq!(census(500, 1).schema().arity(), 13);
+    }
+
+    #[test]
+    fn forest_and_power_are_all_numeric() {
+        for t in [forest(500, 2), power(500, 3)] {
+            assert!(t
+                .schema()
+                .columns()
+                .iter()
+                .all(|c| c.kind == ColumnKind::Numeric));
+        }
+    }
+
+    #[test]
+    fn power_intensity_is_strongly_correlated_with_active() {
+        // Pearson correlation on the codes of a derived affine child is high.
+        let t = power(8000, 4);
+        let a = t.column(0);
+        let b = t.column(3);
+        // Measure association via conditional concentration instead of raw
+        // Pearson (the affine map may fold): for the modal active value,
+        // intensity should concentrate on few codes.
+        let modal = {
+            let mut counts = vec![0u32; 128];
+            for &v in a {
+                counts[v as usize] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .map(|(v, _)| v as u32)
+                .unwrap()
+        };
+        let parent = t.count(&ConjunctiveQuery::new(vec![Predicate::eq(0, modal)]));
+        let mut best_joint = 0u64;
+        for code in 0..128u32 {
+            let joint = t.count(&ConjunctiveQuery::new(vec![
+                Predicate::eq(0, modal),
+                Predicate::eq(3, code),
+            ]));
+            best_joint = best_joint.max(joint);
+        }
+        let concentration = best_joint as f64 / parent as f64;
+        assert!(
+            concentration > 0.8,
+            "intensity | active concentration {concentration}, want ~0.9"
+        );
+        let _ = b;
+    }
+
+    #[test]
+    fn by_name_resolves_all_four() {
+        for name in ["dmv", "census", "forest", "power"] {
+            assert!(by_name(name, 100, 0).is_some(), "{name}");
+        }
+        assert!(by_name("tpch", 100, 0).is_none());
+    }
+
+    #[test]
+    fn datasets_are_seed_deterministic() {
+        let a = dmv(300, 9);
+        let b = dmv(300, 9);
+        for c in 0..a.schema().arity() {
+            assert_eq!(a.column(c), b.column(c));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Seeded samplers for the value distributions the generators draw from.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A sampler over codes `0..domain` following a Zipf law with the given
+/// exponent: `P(rank k) ∝ 1/(k+1)^s`. Rank 0 is the most frequent code.
+///
+/// Implemented with a precomputed CDF and binary search — domains here are at
+/// most a few thousand codes, so setup is cheap and sampling is O(log n).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `domain == 0` or `exponent` is negative/non-finite.
+    pub fn new(domain: u32, exponent: f64) -> Self {
+        assert!(domain > 0, "zipf domain must be positive");
+        assert!(exponent.is_finite() && exponent >= 0.0, "bad zipf exponent");
+        let mut cdf = Vec::with_capacity(domain as usize);
+        let mut acc = 0.0f64;
+        for k in 0..domain {
+            acc += 1.0 / ((k + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples one code.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) | Err(i) => (i as u32).min(self.cdf.len() as u32 - 1),
+        }
+    }
+
+    /// Probability of code `k` (tests and analytic baselines).
+    pub fn pmf(&self, k: u32) -> f64 {
+        let k = k as usize;
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+}
+
+/// Samples a standard normal via Box–Muller (rand_distr is off-limits).
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Avoid u1 == 0 which would take ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a quantized Gaussian on `0..domain`: a normal with mean
+/// `mean_frac * domain` and std `std_frac * domain`, clamped into range.
+pub fn quantized_gaussian(
+    domain: u32,
+    mean_frac: f64,
+    std_frac: f64,
+    rng: &mut StdRng,
+) -> u32 {
+    let v = mean_frac * domain as f64 + standard_normal(rng) * std_frac * domain as f64;
+    (v.round().max(0.0) as u32).min(domain - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_most_frequent() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max, "rank 0 should dominate");
+        // Empirical frequency of rank 0 near the analytic pmf.
+        let freq = counts[0] as f64 / 20_000.0;
+        assert!((freq - z.pmf(0)).abs() < 0.02, "freq {freq} pmf {}", z.pmf(0));
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_domain() {
+        let z = Zipf::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn quantized_gaussian_is_clamped_and_centered() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sum = 0u64;
+        for _ in 0..10_000 {
+            let v = quantized_gaussian(100, 0.5, 0.1, &mut rng);
+            assert!(v < 100);
+            sum += v as u64;
+        }
+        let mean = sum as f64 / 10_000.0;
+        assert!((mean - 50.0).abs() < 1.5, "mean {mean}");
+    }
+}

@@ -1,0 +1,25 @@
+//! # ce-datagen — synthetic datasets for the reproduction
+//!
+//! Seeded generators producing [`ce_storage::Table`]s shaped like the paper's
+//! benchmarks: DMV, Census, Forest, Power (single table) and star schemas
+//! standing in for the DSB/TPC-DS and JOB join workloads. Shape knobs — skew,
+//! inter-column correlation, domain sizes, FK fan-in skew and FK correlation
+//! — are what drive learned-estimator error structure, so they are explicit
+//! parameters rather than baked-in constants.
+//!
+//! ```
+//! let table = ce_datagen::dmv(1000, 42);
+//! assert_eq!(table.schema().arity(), 11);
+//! ```
+
+#![warn(missing_docs)]
+
+mod datasets;
+mod dist;
+mod spec;
+mod star;
+
+pub use datasets::{by_name, census, dmv, forest, power};
+pub use dist::{quantized_gaussian, standard_normal, Zipf};
+pub use spec::{ColumnSpec, Dist, TableSpec};
+pub use star::{dsb_star, job_star, DimSpec, StarSpec};

@@ -1,0 +1,310 @@
+//! Star-schema generators standing in for the DSB (TPC-DS) and JOB join
+//! benchmarks.
+//!
+//! Join estimation errors in the real benchmarks come from two structural
+//! sources the paper leans on: skewed foreign-key fan-in (popular dimension
+//! rows) and correlation between foreign keys (e.g. JOB's company/country
+//! entanglement). Both are explicit knobs here.
+
+use ce_storage::{ColumnKind, ColumnMeta, Schema, StarSchema, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::Zipf;
+use crate::spec::{ColumnSpec, Dist, TableSpec};
+
+/// Spec for one dimension table of a star schema.
+#[derive(Debug, Clone)]
+pub struct DimSpec {
+    /// Dimension name.
+    pub name: String,
+    /// Number of dimension rows (= FK domain in the fact table).
+    pub n_rows: usize,
+    /// Attribute columns of the dimension.
+    pub columns: Vec<ColumnSpec>,
+}
+
+/// Spec for a full star schema.
+#[derive(Debug, Clone)]
+pub struct StarSpec {
+    /// Fact table row count.
+    pub n_fact_rows: usize,
+    /// Dimensions; one FK column per dimension is added to the fact table.
+    pub dims: Vec<DimSpec>,
+    /// Zipf exponent of FK sampling (0 = uniform fan-in, higher = skewed).
+    pub fk_skew: f64,
+    /// Probability that FK `d > 0` is a deterministic map of FK 0 — the
+    /// inter-key correlation knob.
+    pub fk_correlation: f64,
+    /// Additional measure columns on the fact table.
+    pub fact_columns: Vec<ColumnSpec>,
+}
+
+impl StarSpec {
+    /// Generates the star schema with the given seed.
+    pub fn generate(&self, seed: u64) -> StarSchema {
+        assert!(!self.dims.is_empty(), "a star schema needs at least one dimension");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let dimensions: Vec<Table> = self
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(d, spec)| {
+                TableSpec {
+                    name: spec.name.clone(),
+                    n_rows: spec.n_rows,
+                    columns: spec.columns.clone(),
+                }
+                .generate(seed.wrapping_add(1000 + d as u64))
+            })
+            .collect();
+
+        // FK columns: zipf over dimension rows; correlated with FK 0.
+        let fk_samplers: Vec<Zipf> = self
+            .dims
+            .iter()
+            .map(|d| Zipf::new(d.n_rows as u32, self.fk_skew))
+            .collect();
+        let n_dims = self.dims.len();
+        let mut fk_cols: Vec<Vec<u32>> = vec![Vec::with_capacity(self.n_fact_rows); n_dims];
+        for _ in 0..self.n_fact_rows {
+            let fk0 = fk_samplers[0].sample(&mut rng);
+            fk_cols[0].push(fk0);
+            for d in 1..n_dims {
+                let domain = self.dims[d].n_rows as u64;
+                let v = if rng.gen_bool(self.fk_correlation) {
+                    ((fk0 as u64 * (2 * d as u64 + 3) + d as u64) % domain) as u32
+                } else {
+                    fk_samplers[d].sample(&mut rng)
+                };
+                fk_cols[d].push(v);
+            }
+        }
+
+        // Measure columns generated independently via a TableSpec.
+        let measures = TableSpec {
+            name: "fact_measures".into(),
+            n_rows: self.n_fact_rows,
+            columns: self.fact_columns.clone(),
+        }
+        .generate(seed.wrapping_add(7));
+
+        let mut columns = Vec::with_capacity(n_dims + self.fact_columns.len());
+        let mut metas = Vec::with_capacity(n_dims + self.fact_columns.len());
+        for (d, col) in fk_cols.into_iter().enumerate() {
+            metas.push(ColumnMeta {
+                name: format!("fk_{}", self.dims[d].name),
+                domain: self.dims[d].n_rows as u32,
+                kind: ColumnKind::Categorical,
+            });
+            columns.push(col);
+        }
+        for (i, spec) in self.fact_columns.iter().enumerate() {
+            metas.push(ColumnMeta {
+                name: spec.name.clone(),
+                domain: spec.domain,
+                kind: spec.kind,
+            });
+            columns.push(measures.column(i).to_vec());
+        }
+        let fact = Table::new(Schema::new(metas), columns);
+        let fk_columns = (0..n_dims).collect();
+        StarSchema::new(fact, fk_columns, dimensions)
+    }
+}
+
+/// DSB/TPC-DS stand-in: a retail star with date/store/item/customer
+/// dimensions, moderate FK skew and mild FK correlation.
+pub fn dsb_star(n_fact_rows: usize, seed: u64) -> StarSchema {
+    use ColumnKind::{Categorical, Numeric};
+    StarSpec {
+        n_fact_rows,
+        fk_skew: 0.8,
+        fk_correlation: 0.2,
+        dims: vec![
+            DimSpec {
+                name: "date".into(),
+                n_rows: 365,
+                columns: vec![
+                    ColumnSpec::new("month", 12, Categorical, Dist::Uniform),
+                    ColumnSpec::new("quarter", 4, Categorical, Dist::Uniform),
+                    ColumnSpec::new("weekday", 7, Categorical, Dist::Uniform),
+                ],
+            },
+            DimSpec {
+                name: "store".into(),
+                n_rows: 50,
+                columns: vec![
+                    ColumnSpec::new("s_state", 10, Categorical, Dist::Zipf(1.2)),
+                    ColumnSpec::new("s_size", 8, Numeric, Dist::Zipf(0.6)),
+                ],
+            },
+            DimSpec {
+                name: "item".into(),
+                n_rows: 300,
+                columns: vec![
+                    ColumnSpec::new("i_category", 12, Categorical, Dist::Zipf(1.0)),
+                    ColumnSpec::new("i_brand", 40, Categorical, Dist::Zipf(1.1))
+                        .with_parent(0, 0.7),
+                    ColumnSpec::new(
+                        "i_price",
+                        64,
+                        Numeric,
+                        Dist::Gaussian { mean_frac: 0.35, std_frac: 0.2 },
+                    ),
+                ],
+            },
+            DimSpec {
+                name: "customer".into(),
+                n_rows: 500,
+                columns: vec![
+                    ColumnSpec::new("c_state", 20, Categorical, Dist::Zipf(1.4)),
+                    ColumnSpec::new("c_segment", 5, Categorical, Dist::Zipf(0.8)),
+                ],
+            },
+        ],
+        fact_columns: vec![
+            ColumnSpec::new(
+                "quantity",
+                32,
+                Numeric,
+                Dist::Zipf(1.3),
+            ),
+            ColumnSpec::new(
+                "net_paid",
+                100,
+                Numeric,
+                Dist::Gaussian { mean_frac: 0.3, std_frac: 0.18 },
+            ),
+        ],
+    }
+    .generate(seed)
+}
+
+/// JOB stand-in: a movie-ish star with heavily skewed, strongly correlated
+/// foreign keys — the regime where independence-assuming estimators
+/// underestimate badly (the effect Table I exploits).
+pub fn job_star(n_fact_rows: usize, seed: u64) -> StarSchema {
+    use ColumnKind::{Categorical, Numeric};
+    StarSpec {
+        n_fact_rows,
+        fk_skew: 1.2,
+        fk_correlation: 0.6,
+        dims: vec![
+            DimSpec {
+                name: "title".into(),
+                n_rows: 800,
+                columns: vec![
+                    ColumnSpec::new("kind", 7, Categorical, Dist::Zipf(1.3)),
+                    ColumnSpec::new(
+                        "production_year",
+                        80,
+                        Numeric,
+                        Dist::Gaussian { mean_frac: 0.75, std_frac: 0.15 },
+                    ),
+                ],
+            },
+            DimSpec {
+                name: "company".into(),
+                n_rows: 300,
+                columns: vec![
+                    ColumnSpec::new("country", 30, Categorical, Dist::Zipf(1.7)),
+                    ColumnSpec::new("company_type", 4, Categorical, Dist::Zipf(1.0)),
+                ],
+            },
+            DimSpec {
+                name: "keyword".into(),
+                n_rows: 600,
+                columns: vec![ColumnSpec::new(
+                    "phonetic",
+                    50,
+                    Categorical,
+                    Dist::Zipf(1.2),
+                )],
+            },
+            DimSpec {
+                name: "person".into(),
+                n_rows: 1000,
+                columns: vec![
+                    ColumnSpec::new("gender", 3, Categorical, Dist::Zipf(0.8)),
+                    ColumnSpec::new("role", 12, Categorical, Dist::Zipf(1.3)),
+                ],
+            },
+        ],
+        fact_columns: vec![ColumnSpec::new(
+            "nr_order",
+            20,
+            Numeric,
+            Dist::Zipf(1.5),
+        )],
+    }
+    .generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_storage::{ConjunctiveQuery, StarQuery};
+
+    #[test]
+    fn dsb_star_shape() {
+        let s = dsb_star(2000, 0);
+        assert_eq!(s.n_dimensions(), 4);
+        assert_eq!(s.fact().n_rows(), 2000);
+        // fact = 4 FKs + 2 measures
+        assert_eq!(s.fact().schema().arity(), 6);
+        assert_eq!(s.dimension(0).n_rows(), 365);
+    }
+
+    #[test]
+    fn job_star_has_correlated_fks() {
+        let s = job_star(6000, 1);
+        // Count distinct fk_company values among fact rows with the modal
+        // fk_title; strong correlation concentrates them.
+        let modal_title = {
+            let col = s.fact().column(0);
+            let mut counts = vec![0u32; 800];
+            for &v in col {
+                counts[v as usize] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .map(|(v, _)| v as u32)
+                .unwrap()
+        };
+        let fk_title = s.fact().column(0);
+        let fk_company = s.fact().column(1);
+        let mut company_counts = std::collections::HashMap::new();
+        let mut total = 0u32;
+        for (t, c) in fk_title.iter().zip(fk_company) {
+            if *t == modal_title {
+                *company_counts.entry(*c).or_insert(0u32) += 1;
+                total += 1;
+            }
+        }
+        let max = company_counts.values().copied().max().unwrap();
+        let conc = max as f64 / total as f64;
+        assert!(conc > 0.5, "FK correlation too weak: {conc}");
+    }
+
+    #[test]
+    fn unfiltered_full_join_equals_fact_size() {
+        let s = dsb_star(1500, 2);
+        let q = StarQuery {
+            fact: ConjunctiveQuery::default(),
+            dims: (0..4).map(|_| Some(ConjunctiveQuery::default())).collect(),
+        };
+        assert_eq!(s.count(&q), 1500);
+    }
+
+    #[test]
+    fn star_generation_is_deterministic() {
+        let a = job_star(500, 42);
+        let b = job_star(500, 42);
+        assert_eq!(a.fact().column(0), b.fact().column(0));
+        assert_eq!(a.dimension(1).column(0), b.dimension(1).column(0));
+    }
+}

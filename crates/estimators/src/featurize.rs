@@ -1,0 +1,378 @@
+//! Canonical query featurization.
+//!
+//! Every estimator and every PI wrapper in this workspace speaks one flat
+//! encoding per query, so a conformal method can wrap any model behind the
+//! `&[f32] -> f64` surface of [`ce_conformal::Regressor`]:
+//!
+//! * single-table: per column a 4-float block `[has_pred, is_point,
+//!   lo/(d-1), hi/(d-1)]`;
+//! * star joins: `n_dims` join flags, then the fact table's blocks, then
+//!   each dimension's blocks.
+//!
+//! The encoding is lossless — [`SingleTableFeaturizer::decode`] recovers the
+//! exact query — which lets data-driven models (Naru) and exact evaluators
+//! work from the same feature vectors the supervised models consume.
+
+use ce_storage::{ConjunctiveQuery, Op, Predicate, Schema, StarQuery, StarSchema};
+
+/// Width of one per-column block.
+pub const BLOCK: usize = 4;
+
+fn encode_block(out: &mut [f32], op: Option<Op>, domain: u32) {
+    debug_assert_eq!(out.len(), BLOCK);
+    match op {
+        None => out.copy_from_slice(&[0.0, 0.0, 0.0, 0.0]),
+        Some(op) => {
+            let (lo, hi) = op.bounds();
+            let scale = (domain.max(2) - 1) as f32;
+            out[0] = 1.0;
+            out[1] = if matches!(op, Op::Eq(_)) { 1.0 } else { 0.0 };
+            out[2] = lo as f32 / scale;
+            out[3] = hi as f32 / scale;
+        }
+    }
+}
+
+fn decode_block(block: &[f32], column: usize, domain: u32) -> Option<Predicate> {
+    if block[0] < 0.5 {
+        return None;
+    }
+    let scale = (domain.max(2) - 1) as f32;
+    let lo = (block[2] * scale).round().clamp(0.0, scale) as u32;
+    let hi = (block[3] * scale).round().clamp(0.0, scale) as u32;
+    Some(if block[1] >= 0.5 {
+        Predicate::eq(column, lo)
+    } else {
+        Predicate::range(column, lo, hi.max(lo))
+    })
+}
+
+/// Lossless flat encoding of single-table conjunctive queries.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SingleTableFeaturizer {
+    schema: Schema,
+}
+
+impl SingleTableFeaturizer {
+    /// Builds a featurizer for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        SingleTableFeaturizer { schema }
+    }
+
+    /// The schema this featurizer encodes against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Encoded feature width: `4 * arity`.
+    pub fn width(&self) -> usize {
+        BLOCK * self.schema.arity()
+    }
+
+    /// Encodes a query.
+    ///
+    /// # Panics
+    /// Panics if the query does not validate against the schema.
+    pub fn encode(&self, query: &ConjunctiveQuery) -> Vec<f32> {
+        query
+            .validate(&self.schema)
+            .unwrap_or_else(|e| panic!("cannot featurize invalid query: {e}"));
+        let mut out = vec![0.0f32; self.width()];
+        for p in &query.predicates {
+            encode_block(
+                &mut out[p.column * BLOCK..(p.column + 1) * BLOCK],
+                Some(p.op),
+                self.schema.domain(p.column),
+            );
+        }
+        out
+    }
+
+    /// Decodes features back into the query (exact round-trip).
+    ///
+    /// # Panics
+    /// Panics on a wrong-width slice.
+    pub fn decode(&self, features: &[f32]) -> ConjunctiveQuery {
+        assert_eq!(features.len(), self.width(), "feature width mismatch");
+        let predicates = (0..self.schema.arity())
+            .filter_map(|c| {
+                decode_block(
+                    &features[c * BLOCK..(c + 1) * BLOCK],
+                    c,
+                    self.schema.domain(c),
+                )
+            })
+            .collect();
+        ConjunctiveQuery::new(predicates)
+    }
+}
+
+/// Layout metadata + lossless flat encoding for star-join queries.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StarFeaturizer {
+    fact_schema: Schema,
+    dim_schemas: Vec<Schema>,
+}
+
+impl StarFeaturizer {
+    /// Builds the featurizer from a star schema's table schemas.
+    pub fn new(star: &StarSchema) -> Self {
+        StarFeaturizer {
+            fact_schema: star.fact().schema().clone(),
+            dim_schemas: (0..star.n_dimensions())
+                .map(|d| star.dimension(d).schema().clone())
+                .collect(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn n_dims(&self) -> usize {
+        self.dim_schemas.len()
+    }
+
+    /// Encoded feature width:
+    /// `n_dims + 4*(fact arity + Σ dim arity)`.
+    pub fn width(&self) -> usize {
+        let cols: usize = self.fact_schema.arity()
+            + self.dim_schemas.iter().map(Schema::arity).sum::<usize>();
+        self.n_dims() + BLOCK * cols
+    }
+
+    /// Offset of the fact table's blocks.
+    fn fact_offset(&self) -> usize {
+        self.n_dims()
+    }
+
+    /// Offset of dimension `d`'s blocks.
+    fn dim_offset(&self, d: usize) -> usize {
+        let mut off = self.n_dims() + BLOCK * self.fact_schema.arity();
+        for s in &self.dim_schemas[..d] {
+            off += BLOCK * s.arity();
+        }
+        off
+    }
+
+    /// Encodes a star query.
+    ///
+    /// # Panics
+    /// Panics if sub-queries do not validate or reference unknown dims.
+    pub fn encode(&self, query: &StarQuery) -> Vec<f32> {
+        assert!(query.dims.len() <= self.n_dims(), "query references unknown dims");
+        let mut out = vec![0.0f32; self.width()];
+        query
+            .fact
+            .validate(&self.fact_schema)
+            .unwrap_or_else(|e| panic!("invalid fact sub-query: {e}"));
+        for p in &query.fact.predicates {
+            let off = self.fact_offset() + p.column * BLOCK;
+            encode_block(
+                &mut out[off..off + BLOCK],
+                Some(p.op),
+                self.fact_schema.domain(p.column),
+            );
+        }
+        for (d, dq) in query.dims.iter().enumerate() {
+            let Some(dq) = dq else { continue };
+            out[d] = 1.0;
+            dq.validate(&self.dim_schemas[d])
+                .unwrap_or_else(|e| panic!("invalid dim {d} sub-query: {e}"));
+            for p in &dq.predicates {
+                let off = self.dim_offset(d) + p.column * BLOCK;
+                encode_block(
+                    &mut out[off..off + BLOCK],
+                    Some(p.op),
+                    self.dim_schemas[d].domain(p.column),
+                );
+            }
+        }
+        out
+    }
+
+    /// Decodes features back into the star query (exact round-trip).
+    ///
+    /// # Panics
+    /// Panics on a wrong-width slice.
+    pub fn decode(&self, features: &[f32]) -> StarQuery {
+        assert_eq!(features.len(), self.width(), "feature width mismatch");
+        let fact_preds = (0..self.fact_schema.arity())
+            .filter_map(|c| {
+                let off = self.fact_offset() + c * BLOCK;
+                decode_block(&features[off..off + BLOCK], c, self.fact_schema.domain(c))
+            })
+            .collect();
+        let dims = (0..self.n_dims())
+            .map(|d| {
+                if features[d] < 0.5 {
+                    return None;
+                }
+                let schema = &self.dim_schemas[d];
+                let preds = (0..schema.arity())
+                    .filter_map(|c| {
+                        let off = self.dim_offset(d) + c * BLOCK;
+                        decode_block(&features[off..off + BLOCK], c, schema.domain(c))
+                    })
+                    .collect();
+                Some(ConjunctiveQuery::new(preds))
+            })
+            .collect();
+        StarQuery { fact: ConjunctiveQuery::new(fact_preds), dims }
+    }
+
+    /// Iterates the encoded per-column blocks that carry predicates, yielding
+    /// `(global_column_index, block)` pairs — what the set-based MSCN module
+    /// consumes. Global index 0.. covers fact columns then dim columns.
+    pub fn predicate_blocks<'a>(
+        &'a self,
+        features: &'a [f32],
+    ) -> impl Iterator<Item = (usize, &'a [f32])> + 'a {
+        let total_cols: usize = self.fact_schema.arity()
+            + self.dim_schemas.iter().map(Schema::arity).sum::<usize>();
+        let base = self.n_dims();
+        (0..total_cols).filter_map(move |g| {
+            let off = base + g * BLOCK;
+            let block = &features[off..off + BLOCK];
+            (block[0] >= 0.5).then_some((g, block))
+        })
+    }
+
+    /// The join-flag prefix of an encoded query.
+    pub fn join_flags<'a>(&self, features: &'a [f32]) -> &'a [f32] {
+        &features[..self.n_dims()]
+    }
+
+    /// Total column count across fact and dimensions.
+    pub fn total_columns(&self) -> usize {
+        self.fact_schema.arity()
+            + self.dim_schemas.iter().map(Schema::arity).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_storage::{ColumnKind, Predicate};
+
+    fn schema() -> Schema {
+        Schema::from_specs(&[
+            ("a", 10, ColumnKind::Categorical),
+            ("b", 100, ColumnKind::Numeric),
+            ("c", 2, ColumnKind::Categorical),
+        ])
+    }
+
+    #[test]
+    fn single_table_round_trip() {
+        let f = SingleTableFeaturizer::new(schema());
+        let q = ConjunctiveQuery::new(vec![
+            Predicate::eq(0, 7),
+            Predicate::range(1, 13, 76),
+        ]);
+        let enc = f.encode(&q);
+        assert_eq!(enc.len(), 12);
+        assert_eq!(f.decode(&enc), q);
+    }
+
+    #[test]
+    fn empty_query_encodes_to_zeros() {
+        let f = SingleTableFeaturizer::new(schema());
+        let enc = f.encode(&ConjunctiveQuery::default());
+        assert!(enc.iter().all(|&v| v == 0.0));
+        assert!(f.decode(&enc).is_empty());
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let f = SingleTableFeaturizer::new(schema());
+        for q in [
+            ConjunctiveQuery::new(vec![Predicate::eq(0, 0)]),
+            ConjunctiveQuery::new(vec![Predicate::eq(0, 9)]),
+            ConjunctiveQuery::new(vec![Predicate::range(1, 0, 99)]),
+            ConjunctiveQuery::new(vec![Predicate::eq(2, 1)]),
+        ] {
+            assert_eq!(f.decode(&f.encode(&q)), q);
+        }
+    }
+
+    #[test]
+    fn features_are_normalized() {
+        let f = SingleTableFeaturizer::new(schema());
+        let q = ConjunctiveQuery::new(vec![Predicate::range(1, 0, 99)]);
+        let enc = f.encode(&q);
+        assert!(enc.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(enc[BLOCK + 2], 0.0);
+        assert_eq!(enc[BLOCK + 3], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot featurize invalid query")]
+    fn rejects_invalid_query() {
+        let f = SingleTableFeaturizer::new(schema());
+        f.encode(&ConjunctiveQuery::new(vec![Predicate::eq(9, 0)]));
+    }
+
+    mod star {
+        use super::*;
+        use ce_datagen::dsb_star;
+        use ce_query::{generate_join_workload, random_templates, JoinGeneratorConfig};
+
+        #[test]
+        fn star_round_trip_on_generated_workload() {
+            let star = dsb_star(300, 0);
+            let f = StarFeaturizer::new(&star);
+            let templates = random_templates(&star, 6, 1);
+            let w = generate_join_workload(
+                &star,
+                &templates,
+                5,
+                &JoinGeneratorConfig::default(),
+                2,
+            );
+            for lq in &w {
+                let enc = f.encode(&lq.query);
+                assert_eq!(enc.len(), f.width());
+                let dec = f.decode(&enc);
+                // Round-trip must preserve the exact cardinality.
+                assert_eq!(star.count(&dec), lq.cardinality);
+                assert_eq!(dec.joined_dims(), lq.query.joined_dims());
+            }
+        }
+
+        #[test]
+        fn predicate_blocks_cover_all_predicates() {
+            let star = dsb_star(300, 0);
+            let f = StarFeaturizer::new(&star);
+            let templates = random_templates(&star, 4, 3);
+            let w = generate_join_workload(
+                &star,
+                &templates,
+                3,
+                &JoinGeneratorConfig::default(),
+                4,
+            );
+            for lq in &w {
+                let enc = f.encode(&lq.query);
+                let n_blocks = f.predicate_blocks(&enc).count();
+                let expected: usize = lq.query.fact.len()
+                    + lq.query
+                        .dims
+                        .iter()
+                        .flatten()
+                        .map(ConjunctiveQuery::len)
+                        .sum::<usize>();
+                assert_eq!(n_blocks, expected);
+            }
+        }
+
+        #[test]
+        fn join_flags_match_joined_dims() {
+            let star = dsb_star(200, 5);
+            let f = StarFeaturizer::new(&star);
+            let q = StarQuery {
+                fact: ConjunctiveQuery::default(),
+                dims: vec![None, Some(ConjunctiveQuery::default()), None, None],
+            };
+            let enc = f.encode(&q);
+            assert_eq!(f.join_flags(&enc), &[0.0, 1.0, 0.0, 0.0]);
+        }
+    }
+}

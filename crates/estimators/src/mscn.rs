@@ -1,0 +1,426 @@
+//! MSCN-style set-based supervised cardinality estimator (Kipf et al.).
+//!
+//! The real MSCN encodes a query as sets (tables, joins, predicates), runs a
+//! small MLP over each set element, average-pools per set, and feeds the
+//! pooled vectors into an output network. This reproduction keeps that
+//! architecture: a per-predicate module over `[column one-hot, is_point, lo,
+//! hi]` vectors, mean pooling, and a top network that also sees the query's
+//! context vector (join flags for star queries). Training minimizes squared
+//! error in log-selectivity space — the smooth surrogate of the mean-q-error
+//! objective — or a pinball loss when used as a CQR quantile head.
+
+use ce_conformal::Regressor;
+use ce_nn::{
+    segment_mean, segment_mean_backward, AdamConfig, Loss, Matrix, Mlp, MlpConfig, Mse,
+    Pinball,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::featurize::{SingleTableFeaturizer, StarFeaturizer, BLOCK};
+
+/// Which loss the output head trains with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrainLoss {
+    /// Squared error on log-selectivity (the point-estimate model).
+    LogMse,
+    /// Pinball loss at quantile `tau` (a CQR quantile head).
+    Pinball(f32),
+}
+
+/// MSCN hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct MscnConfig {
+    /// Hidden width of both the predicate module and the top network.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Loss (point estimate or quantile head).
+    pub loss: TrainLoss,
+    /// Seed for init and shuffling.
+    pub seed: u64,
+    /// Selectivity floor (1 tuple / N); also the prediction clamp.
+    pub sel_floor: f64,
+}
+
+impl Default for MscnConfig {
+    fn default() -> Self {
+        MscnConfig {
+            hidden: 64,
+            epochs: 60,
+            batch_size: 64,
+            lr: 1e-3,
+            loss: TrainLoss::LogMse,
+            seed: 0,
+            sel_floor: 1e-7,
+        }
+    }
+}
+
+/// How queries are laid out in the canonical feature encoding.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum MscnLayout {
+    /// Single-table queries.
+    Single(SingleTableFeaturizer),
+    /// Star-join queries (context = join flags).
+    Star(StarFeaturizer),
+}
+
+impl MscnLayout {
+    /// Number of distinct predicate columns (one-hot width).
+    fn n_columns(&self) -> usize {
+        match self {
+            MscnLayout::Single(f) => f.schema().arity(),
+            MscnLayout::Star(f) => f.total_columns(),
+        }
+    }
+
+    /// Context vector width (0 for single table, n_dims for star).
+    fn context_width(&self) -> usize {
+        match self {
+            MscnLayout::Single(_) => 1, // predicate-count scalar
+            MscnLayout::Star(f) => f.n_dims(),
+        }
+    }
+
+    /// Canonical encoding width.
+    pub fn feature_width(&self) -> usize {
+        match self {
+            MscnLayout::Single(f) => f.width(),
+            MscnLayout::Star(f) => f.width(),
+        }
+    }
+
+    /// Extracts `(predicate_features, context)` from one canonical encoding.
+    fn extract(&self, features: &[f32]) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let n_cols = self.n_columns();
+        let pred_width = n_cols + 3;
+        match self {
+            MscnLayout::Single(f) => {
+                assert_eq!(features.len(), f.width(), "feature width mismatch");
+                let mut preds = Vec::new();
+                for c in 0..f.schema().arity() {
+                    let block = &features[c * BLOCK..(c + 1) * BLOCK];
+                    if block[0] < 0.5 {
+                        continue;
+                    }
+                    let mut pf = vec![0.0f32; pred_width];
+                    pf[c] = 1.0;
+                    pf[n_cols..].copy_from_slice(&block[1..]);
+                    preds.push(pf);
+                }
+                let count = preds.len() as f32 / f.schema().arity() as f32;
+                (preds, vec![count])
+            }
+            MscnLayout::Star(f) => {
+                assert_eq!(features.len(), f.width(), "feature width mismatch");
+                let preds = f
+                    .predicate_blocks(features)
+                    .map(|(g, block)| {
+                        let mut pf = vec![0.0f32; pred_width];
+                        pf[g] = 1.0;
+                        pf[n_cols..].copy_from_slice(&block[1..]);
+                        pf
+                    })
+                    .collect();
+                (preds, f.join_flags(features).to_vec())
+            }
+        }
+    }
+}
+
+/// The trained MSCN model.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Mscn {
+    layout: MscnLayout,
+    pred_mlp: Mlp,
+    top_mlp: Mlp,
+    hidden: usize,
+    sel_floor: f64,
+}
+
+impl Mscn {
+    /// Trains MSCN on canonically-encoded queries and their selectivities.
+    ///
+    /// # Panics
+    /// Panics on empty input, mismatched lengths, or selectivities outside
+    /// `[0, 1]`.
+    pub fn fit(
+        layout: MscnLayout,
+        features: &[Vec<f32>],
+        selectivities: &[f64],
+        config: &MscnConfig,
+    ) -> Self {
+        assert!(!features.is_empty(), "cannot train MSCN on an empty workload");
+        assert_eq!(features.len(), selectivities.len(), "feature/target mismatch");
+        assert!(
+            selectivities.iter().all(|&s| (0.0..=1.0).contains(&s)),
+            "selectivities must be in [0,1]"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let pred_width = layout.n_columns() + 3;
+        let adam = AdamConfig::with_lr(config.lr);
+        let pred_mlp = Mlp::new(
+            pred_width,
+            &MlpConfig {
+                hidden: vec![config.hidden],
+                output_dim: config.hidden,
+                output_activation: ce_nn::Activation::Relu,
+                adam,
+            },
+            &mut rng,
+        );
+        let top_mlp = Mlp::new(
+            config.hidden + layout.context_width(),
+            &MlpConfig { hidden: vec![config.hidden], adam, ..Default::default() },
+            &mut rng,
+        );
+        let mut model = Mscn {
+            layout,
+            pred_mlp,
+            top_mlp,
+            hidden: config.hidden,
+            sel_floor: config.sel_floor,
+        };
+        let targets: Vec<f32> = selectivities
+            .iter()
+            .map(|&s| s.max(config.sel_floor).ln() as f32)
+            .collect();
+
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        let mut shuffle_rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+        for _ in 0..config.epochs {
+            order.shuffle(&mut shuffle_rng);
+            for chunk in order.chunks(config.batch_size) {
+                model.train_batch(features, &targets, chunk, config.loss);
+            }
+        }
+        model
+    }
+
+    /// One minibatch step; returns the batch loss (used by tests).
+    fn train_batch(
+        &mut self,
+        features: &[Vec<f32>],
+        targets: &[f32],
+        batch: &[usize],
+        loss: TrainLoss,
+    ) -> f32 {
+        // Assemble the predicate set matrix + segments + context matrix.
+        let mut pred_rows: Vec<Vec<f32>> = Vec::new();
+        let mut segments = Vec::with_capacity(batch.len());
+        let mut context_rows = Vec::with_capacity(batch.len());
+        for &i in batch {
+            let (preds, ctx) = self.layout.extract(&features[i]);
+            segments.push(preds.len());
+            pred_rows.extend(preds);
+            context_rows.push(ctx);
+        }
+        let pred_width = self.layout.n_columns() + 3;
+        let pred_matrix = if pred_rows.is_empty() {
+            Matrix::zeros(0, pred_width)
+        } else {
+            Matrix::from_rows(&pred_rows)
+        };
+
+        // Forward: predicate module -> pool -> concat context -> top.
+        let (pred_hidden, pred_cache) = self.pred_mlp.forward(&pred_matrix);
+        let pooled = segment_mean(&pred_hidden, &segments);
+        let top_in_rows: Vec<Vec<f32>> = (0..batch.len())
+            .map(|q| {
+                let mut row = pooled.row(q).to_vec();
+                row.extend_from_slice(&context_rows[q]);
+                row
+            })
+            .collect();
+        let top_in = Matrix::from_rows(&top_in_rows);
+        let (out, top_cache) = self.top_mlp.forward(&top_in);
+
+        // Loss gradient on log-selectivity.
+        let preds: &[f32] = out.data();
+        let ys: Vec<f32> = batch.iter().map(|&i| targets[i]).collect();
+        let (value, grad) = match loss {
+            TrainLoss::LogMse => {
+                (Mse.mean_loss(preds, &ys), Mse.mean_grad(preds, &ys))
+            }
+            TrainLoss::Pinball(tau) => {
+                let p = Pinball::new(tau);
+                (p.mean_loss(preds, &ys), p.mean_grad(preds, &ys))
+            }
+        };
+
+        // Backward through top, split pooled gradient, through predicates.
+        let grad_top_in =
+            self.top_mlp.backward(&top_cache, &Matrix::column_vector(&grad));
+        let pooled_grad_rows: Vec<Vec<f32>> = (0..batch.len())
+            .map(|q| grad_top_in.row(q)[..self.hidden].to_vec())
+            .collect();
+        let pooled_grad = Matrix::from_rows(&pooled_grad_rows);
+        let pred_grad = segment_mean_backward(&pooled_grad, &segments);
+        if pred_grad.rows() > 0 {
+            self.pred_mlp.backward(&pred_cache, &pred_grad);
+        }
+        value
+    }
+
+    /// Predicted log-selectivity for one encoded query.
+    pub fn predict_log_selectivity(&self, features: &[f32]) -> f64 {
+        let (preds, ctx) = self.layout.extract(features);
+        let pred_width = self.layout.n_columns() + 3;
+        let pred_matrix = if preds.is_empty() {
+            Matrix::zeros(0, pred_width)
+        } else {
+            Matrix::from_rows(&preds)
+        };
+        let hidden = self.pred_mlp.infer(&pred_matrix);
+        let pooled = segment_mean(&hidden, &[preds.len()]);
+        let mut top_row = pooled.row(0).to_vec();
+        top_row.extend_from_slice(&ctx);
+        self.top_mlp.predict_one(&top_row) as f64
+    }
+
+    /// Predicted selectivity, clamped to `[sel_floor, 1]`.
+    pub fn predict_selectivity(&self, features: &[f32]) -> f64 {
+        self.predict_log_selectivity(features).exp().clamp(self.sel_floor, 1.0)
+    }
+
+    /// The layout this model was trained with.
+    pub fn layout(&self) -> &MscnLayout {
+        &self.layout
+    }
+}
+
+impl Regressor for Mscn {
+    fn predict(&self, features: &[f32]) -> f64 {
+        self.predict_selectivity(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_datagen::dmv;
+    use ce_query::{generate_workload, GeneratorConfig};
+
+    fn trained_mscn(
+        n_train: usize,
+        epochs: usize,
+    ) -> (Mscn, SingleTableFeaturizer, Vec<Vec<f32>>, Vec<f64>) {
+        let table = dmv(4000, 0);
+        let feat = SingleTableFeaturizer::new(table.schema().clone());
+        let w = generate_workload(&table, n_train, &GeneratorConfig::default(), 1);
+        let x: Vec<Vec<f32>> = w.iter().map(|lq| feat.encode(&lq.query)).collect();
+        let y: Vec<f64> = w.iter().map(|lq| lq.selectivity).collect();
+        let config = MscnConfig { epochs, ..Default::default() };
+        let model = Mscn::fit(
+            MscnLayout::Single(feat.clone()),
+            &x,
+            &y,
+            &config,
+        );
+        (model, feat, x, y)
+    }
+
+    fn geo_mean_q_error(model: &Mscn, x: &[Vec<f32>], y: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (f, &t) in x.iter().zip(y) {
+            acc += ce_conformal::q_error(model.predict_selectivity(f), t, 1e-7).ln();
+        }
+        (acc / x.len() as f64).exp()
+    }
+
+    #[test]
+    fn learns_better_than_untrained_on_training_set() {
+        let (trained, _, x, y) = trained_mscn(400, 40);
+        let (untrained, _, _, _) = trained_mscn(400, 0);
+        let qt = geo_mean_q_error(&trained, &x, &y);
+        let qu = geo_mean_q_error(&untrained, &x, &y);
+        assert!(
+            qt < qu * 0.7,
+            "training should reduce q-error: trained {qt:.2} vs untrained {qu:.2}"
+        );
+        assert!(qt < 8.0, "geo-mean q-error too high: {qt:.2}");
+    }
+
+    #[test]
+    fn generalizes_to_heldout_queries() {
+        let (model, feat, _, _) = trained_mscn(600, 50);
+        let table = dmv(4000, 0);
+        let held = generate_workload(&table, 150, &GeneratorConfig::default(), 99);
+        let x: Vec<Vec<f32>> = held.iter().map(|lq| feat.encode(&lq.query)).collect();
+        let y: Vec<f64> = held.iter().map(|lq| lq.selectivity).collect();
+        let q = geo_mean_q_error(&model, &x, &y);
+        assert!(q < 15.0, "held-out geo-mean q-error {q:.2}");
+    }
+
+    #[test]
+    fn predictions_are_valid_selectivities() {
+        let (model, _, x, _) = trained_mscn(200, 10);
+        for f in &x {
+            let s = model.predict_selectivity(f);
+            assert!((0.0..=1.0).contains(&s), "selectivity {s}");
+            assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, _, x, _) = trained_mscn(100, 5);
+        let (b, _, _, _) = trained_mscn(100, 5);
+        assert_eq!(a.predict_selectivity(&x[0]), b.predict_selectivity(&x[0]));
+    }
+
+    #[test]
+    fn quantile_heads_bracket_the_median_head() {
+        let table = dmv(4000, 0);
+        let feat = SingleTableFeaturizer::new(table.schema().clone());
+        let w = generate_workload(&table, 500, &GeneratorConfig::default(), 1);
+        let x: Vec<Vec<f32>> = w.iter().map(|lq| feat.encode(&lq.query)).collect();
+        let y: Vec<f64> = w.iter().map(|lq| lq.selectivity).collect();
+        let layout = MscnLayout::Single(feat);
+        let lo = Mscn::fit(
+            layout.clone(),
+            &x,
+            &y,
+            &MscnConfig { loss: TrainLoss::Pinball(0.05), epochs: 40, ..Default::default() },
+        );
+        let hi = Mscn::fit(
+            layout,
+            &x,
+            &y,
+            &MscnConfig { loss: TrainLoss::Pinball(0.95), epochs: 40, ..Default::default() },
+        );
+        // On average over the workload the upper head sits above the lower.
+        let mean_gap: f64 = x
+            .iter()
+            .map(|f| hi.predict_log_selectivity(f) - lo.predict_log_selectivity(f))
+            .sum::<f64>()
+            / x.len() as f64;
+        assert!(mean_gap > 0.0, "upper head below lower head: {mean_gap}");
+        // And the bracket contains the truth reasonably often.
+        let covered = x
+            .iter()
+            .zip(&y)
+            .filter(|(f, &t)| {
+                let l = lo.predict_selectivity(f);
+                let h = hi.predict_selectivity(f);
+                l <= t && t <= h
+            })
+            .count() as f64
+            / x.len() as f64;
+        assert!(covered > 0.5, "raw quantile band coverage {covered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload")]
+    fn rejects_empty_training_set() {
+        let table = dmv(100, 0);
+        let feat = SingleTableFeaturizer::new(table.schema().clone());
+        Mscn::fit(MscnLayout::Single(feat), &[], &[], &MscnConfig::default());
+    }
+}

@@ -1,0 +1,241 @@
+//! Sampling-based cardinality estimation with classical CLT confidence
+//! intervals.
+//!
+//! The paper's introduction contrasts learned models with "traditional
+//! methods such as sampling [that] often provide some measure of uncertainty
+//! through variance or confidence intervals". This module is that
+//! traditional baseline: estimate selectivity as the match fraction on a
+//! uniform row sample, and attach the textbook normal-approximation interval
+//! `p̂ ± z · sqrt(p̂(1−p̂)/n)`. Its known failure mode — degenerate or
+//! under-covering intervals for rare predicates (zero sample matches) — is
+//! exactly what motivates distribution-free conformal wrapping, and the
+//! `clt` experiment measures the contrast.
+
+use ce_conformal::Regressor;
+use ce_storage::{ConjunctiveQuery, Table};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::featurize::SingleTableFeaturizer;
+
+/// Uniform-row-sample selectivity estimator.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SamplingEstimator {
+    featurizer: SingleTableFeaturizer,
+    sample: Table,
+    sel_floor: f64,
+}
+
+impl SamplingEstimator {
+    /// Draws a uniform sample of `sample_size` rows (without replacement).
+    ///
+    /// # Panics
+    /// Panics on an empty table or a zero sample size.
+    pub fn build(table: &Table, sample_size: usize, seed: u64, sel_floor: f64) -> Self {
+        assert!(table.n_rows() > 0, "cannot sample an empty table");
+        assert!(sample_size > 0, "sample size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..table.n_rows()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(sample_size.min(table.n_rows()));
+        let rows: Vec<Vec<u32>> = idx.iter().map(|&r| table.row(r)).collect();
+        SamplingEstimator {
+            featurizer: SingleTableFeaturizer::new(table.schema().clone()),
+            sample: Table::from_rows(table.schema().clone(), &rows),
+            sel_floor,
+        }
+    }
+
+    /// Sample size actually held.
+    pub fn sample_size(&self) -> usize {
+        self.sample.n_rows()
+    }
+
+    /// Point estimate: match fraction on the sample.
+    pub fn estimate(&self, query: &ConjunctiveQuery) -> f64 {
+        self.sample.selectivity(query)
+    }
+
+    /// The classical CLT confidence interval
+    /// `p̂ ± z_{1−α/2} · sqrt(p̂(1−p̂)/n)`, clipped to `[0, 1]`.
+    ///
+    /// Degenerates to a point at 0 when the sample matches nothing — the
+    /// rare-predicate failure the conformal wrappers fix.
+    pub fn clt_interval(&self, query: &ConjunctiveQuery, alpha: f64) -> (f64, f64) {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        let n = self.sample.n_rows() as f64;
+        let p = self.estimate(query);
+        let z = normal_quantile(1.0 - alpha / 2.0);
+        let half = z * (p * (1.0 - p) / n).sqrt();
+        ((p - half).max(0.0), (p + half).min(1.0))
+    }
+}
+
+impl Regressor for SamplingEstimator {
+    fn predict(&self, features: &[f32]) -> f64 {
+        let q = self.featurizer.decode(features);
+        self.estimate(&q).max(self.sel_floor)
+    }
+}
+
+/// Standard normal quantile (inverse CDF) via the Acklam rational
+/// approximation — absolute error below 1.15e-9 over (0, 1).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal quantile needs p in (0,1), got {p}");
+    // Coefficients of Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_datagen::dmv;
+    use ce_query::{generate_workload, GeneratorConfig};
+    use ce_storage::Predicate;
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        for &(p, z) in &[
+            (0.5, 0.0),
+            (0.975, 1.959964),
+            (0.95, 1.644854),
+            (0.995, 2.575829),
+            (0.025, -1.959964),
+        ] {
+            assert!(
+                (normal_quantile(p) - z).abs() < 1e-4,
+                "Phi^-1({p}) = {} want {z}",
+                normal_quantile(p)
+            );
+        }
+    }
+
+    #[test]
+    fn normal_quantile_is_antisymmetric() {
+        for &p in &[0.01, 0.1, 0.3] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn estimates_converge_with_sample_size() {
+        let table = dmv(20_000, 0);
+        let q = ConjunctiveQuery::new(vec![Predicate::eq(0, 0)]);
+        let truth = table.selectivity(&q);
+        let err_at = |n: usize| {
+            let est = SamplingEstimator::build(&table, n, 1, 1e-9);
+            (est.estimate(&q) - truth).abs()
+        };
+        // Errors shrink roughly like 1/sqrt(n); allow generous slack.
+        assert!(err_at(10_000) <= err_at(100) + 0.01);
+        assert!(err_at(10_000) < 0.02);
+    }
+
+    #[test]
+    fn clt_interval_covers_common_predicates() {
+        let table = dmv(20_000, 2);
+        let est = SamplingEstimator::build(&table, 2_000, 3, 1e-9);
+        let gen = GeneratorConfig {
+            min_selectivity: 0.05,
+            max_selectivity: 0.9,
+            max_range_frac: 0.8,
+            min_predicates: 1,
+            max_predicates: 2,
+            ..Default::default()
+        };
+        let w = generate_workload(&table, 100, &gen, 4);
+        let covered = w
+            .iter()
+            .filter(|lq| {
+                let (lo, hi) = est.clt_interval(&lq.query, 0.05);
+                lo <= lq.selectivity && lq.selectivity <= hi
+            })
+            .count() as f64
+            / w.len() as f64;
+        assert!(covered >= 0.85, "CLT coverage on common predicates {covered}");
+    }
+
+    #[test]
+    fn clt_interval_degenerates_on_rare_predicates() {
+        // A predicate matching nothing in the sample: p̂ = 0 and the CLT
+        // interval collapses to the point [0, 0] — zero coverage for any
+        // query with a small positive selectivity.
+        let table = dmv(20_000, 5);
+        let est = SamplingEstimator::build(&table, 200, 6, 1e-9);
+        // Find a rare-but-present conjunction.
+        let w = generate_workload(
+            &table,
+            200,
+            &GeneratorConfig { max_selectivity: 0.001, ..Default::default() },
+            7,
+        );
+        let rare = w
+            .iter()
+            .find(|lq| lq.cardinality > 0 && est.estimate(&lq.query) == 0.0)
+            .expect("some rare predicate misses the sample");
+        let (lo, hi) = est.clt_interval(&rare.query, 0.05);
+        assert_eq!((lo, hi), (0.0, 0.0), "degenerate CI on empty sample match");
+    }
+
+    #[test]
+    fn regressor_round_trips_through_encoding() {
+        let table = dmv(2_000, 8);
+        let est = SamplingEstimator::build(&table, 500, 9, 1e-9);
+        let feat = SingleTableFeaturizer::new(table.schema().clone());
+        let q = ConjunctiveQuery::new(vec![Predicate::eq(1, 0)]);
+        let direct = est.estimate(&q).max(1e-9);
+        assert_eq!(est.predict(&feat.encode(&q)), direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size must be positive")]
+    fn rejects_zero_sample() {
+        let table = dmv(100, 0);
+        SamplingEstimator::build(&table, 0, 0, 1e-9);
+    }
+}

@@ -1,0 +1,298 @@
+//! Gradient boosting over regression trees.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::tree::{LeafAggregation, RegressionTree, TreeConfig};
+
+/// Loss functions supported by the booster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoostLoss {
+    /// Least squares: trees fit residuals, leaves take means.
+    Squared,
+    /// Least absolute deviation: trees fit sign(residual), leaves take the
+    /// median residual.
+    Absolute,
+    /// Pinball loss for the given quantile: leaves take the tau-quantile of
+    /// residuals, yielding a quantile regressor.
+    Quantile(f32),
+}
+
+/// Booster hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f32,
+    /// Fraction of rows sampled (without replacement) per round.
+    pub subsample: f32,
+    /// Per-tree growth settings.
+    pub tree: TreeConfig,
+    /// Loss to optimize.
+    pub loss: BoostLoss,
+    /// Seed for row subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            n_trees: 100,
+            learning_rate: 0.1,
+            subsample: 0.8,
+            tree: TreeConfig::default(),
+            loss: BoostLoss::Squared,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained gradient-boosted ensemble: `f(x) = base + lr * Σ tree_i(x)`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Gbdt {
+    base: f32,
+    learning_rate: f32,
+    trees: Vec<RegressionTree>,
+}
+
+impl Gbdt {
+    /// Fits the booster on `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics on empty data, ragged rows, or non-finite targets.
+    pub fn fit(x: &[Vec<f32>], y: &[f32], config: &GbdtConfig) -> Self {
+        assert!(!x.is_empty(), "cannot fit GBDT on zero rows");
+        assert_eq!(x.len(), y.len(), "feature/target count mismatch");
+        assert!(y.iter().all(|v| v.is_finite()), "non-finite target");
+        assert!(
+            config.subsample > 0.0 && config.subsample <= 1.0,
+            "subsample must be in (0, 1]"
+        );
+
+        let n = x.len();
+        let base = initial_prediction(y, config.loss);
+        let mut predictions = vec![base; n];
+        let mut trees = Vec::with_capacity(config.n_trees);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut all: Vec<usize> = (0..n).collect();
+        let sample_size = ((n as f32 * config.subsample).round() as usize).clamp(1, n);
+
+        let (aggregation, needs_residual_leaves) = match config.loss {
+            BoostLoss::Squared => (LeafAggregation::Mean, false),
+            BoostLoss::Absolute => (LeafAggregation::Median, true),
+            BoostLoss::Quantile(tau) => {
+                assert!(tau > 0.0 && tau < 1.0, "quantile tau must be in (0,1)");
+                (LeafAggregation::Quantile(tau), true)
+            }
+        };
+
+        let mut gradients = vec![0.0f32; n];
+        let mut residuals = vec![0.0f32; n];
+        for _ in 0..config.n_trees {
+            for i in 0..n {
+                residuals[i] = y[i] - predictions[i];
+                gradients[i] = match config.loss {
+                    BoostLoss::Squared => residuals[i],
+                    BoostLoss::Absolute => residuals[i].signum(),
+                    BoostLoss::Quantile(tau) => {
+                        if residuals[i] > 0.0 {
+                            tau
+                        } else {
+                            tau - 1.0
+                        }
+                    }
+                };
+            }
+            all.shuffle(&mut rng);
+            let sample = &all[..sample_size];
+            // Trees split on the pseudo-gradient; leaf values line-search on
+            // the true residual (mean/median/quantile per the loss).
+            let leaf_targets: &[f32] =
+                if needs_residual_leaves { &residuals } else { &gradients };
+            let tree = RegressionTree::fit(
+                x,
+                &gradients,
+                leaf_targets,
+                sample,
+                config.tree,
+                aggregation,
+            );
+            for (i, row) in x.iter().enumerate() {
+                predictions[i] += config.learning_rate * tree.predict(row);
+            }
+            trees.push(tree);
+        }
+        Gbdt { base, learning_rate: config.learning_rate, trees }
+    }
+
+    /// Predicts the target for one feature vector.
+    pub fn predict(&self, features: &[f32]) -> f32 {
+        let sum: f32 = self.trees.iter().map(|t| t.predict(features)).sum();
+        self.base + self.learning_rate * sum
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict_batch(&self, x: &[Vec<f32>]) -> Vec<f32> {
+        x.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+fn initial_prediction(y: &[f32], loss: BoostLoss) -> f32 {
+    let mut sorted: Vec<f32> = y.to_vec();
+    match loss {
+        BoostLoss::Squared => y.iter().sum::<f32>() / y.len() as f32,
+        BoostLoss::Absolute => {
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN target"));
+            sorted[(sorted.len() - 1) / 2]
+        }
+        BoostLoss::Quantile(tau) => {
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN target"));
+            let idx = ((sorted.len() as f32 - 1.0) * tau).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_data(n: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let x: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / n as f32 * 6.0]).collect();
+        let y: Vec<f32> = x.iter().map(|r| r[0].sin()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn boosting_fits_a_sine_wave() {
+        let (x, y) = sine_data(200);
+        let config = GbdtConfig {
+            n_trees: 150,
+            learning_rate: 0.2,
+            subsample: 1.0,
+            ..Default::default()
+        };
+        let model = Gbdt::fit(&x, &y, &config);
+        let mse: f32 = x
+            .iter()
+            .zip(&y)
+            .map(|(r, &t)| (model.predict(r) - t).powi(2))
+            .sum::<f32>()
+            / x.len() as f32;
+        assert!(mse < 0.01, "mse {mse}");
+    }
+
+    #[test]
+    fn more_trees_reduce_training_error() {
+        let (x, y) = sine_data(100);
+        let err = |n_trees: usize| {
+            let config = GbdtConfig { n_trees, subsample: 1.0, ..Default::default() };
+            let model = Gbdt::fit(&x, &y, &config);
+            x.iter()
+                .zip(&y)
+                .map(|(r, &t)| (model.predict(r) - t).powi(2))
+                .sum::<f32>()
+        };
+        assert!(err(50) < err(5));
+    }
+
+    #[test]
+    fn quantile_booster_brackets_the_data() {
+        // Heteroscedastic noise: y = x + U(0, x). The 0.95 quantile model
+        // should sit above ~90% of points, the 0.05 model below most.
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<Vec<f32>> =
+            (0..400).map(|_| vec![rng.gen_range(0.5..2.0f32)]).collect();
+        let y: Vec<f32> =
+            x.iter().map(|r| r[0] + rng.gen_range(0.0..r[0])).collect();
+        let hi_cfg = GbdtConfig {
+            loss: BoostLoss::Quantile(0.95),
+            n_trees: 80,
+            ..Default::default()
+        };
+        let lo_cfg = GbdtConfig {
+            loss: BoostLoss::Quantile(0.05),
+            n_trees: 80,
+            ..Default::default()
+        };
+        let hi = Gbdt::fit(&x, &y, &hi_cfg);
+        let lo = Gbdt::fit(&x, &y, &lo_cfg);
+        let above =
+            x.iter().zip(&y).filter(|(r, &t)| hi.predict(r) >= t).count() as f32
+                / x.len() as f32;
+        let below =
+            x.iter().zip(&y).filter(|(r, &t)| lo.predict(r) <= t).count() as f32
+                / x.len() as f32;
+        assert!(above > 0.85, "upper quantile covers only {above}");
+        assert!(below > 0.85, "lower quantile covers only {below}");
+        // And the upper model sits above the lower one.
+        let mean_gap: f32 = x
+            .iter()
+            .map(|r| hi.predict(r) - lo.predict(r))
+            .sum::<f32>()
+            / x.len() as f32;
+        assert!(mean_gap > 0.0);
+    }
+
+    #[test]
+    fn absolute_loss_resists_outliers() {
+        let mut x: Vec<Vec<f32>> = (0..50).map(|_| vec![0.0]).collect();
+        let mut y = vec![1.0f32; 50];
+        // Five wild outliers.
+        for i in 0..5 {
+            x.push(vec![0.0]);
+            y.push(1000.0 + i as f32);
+        }
+        let config = GbdtConfig {
+            loss: BoostLoss::Absolute,
+            n_trees: 20,
+            subsample: 1.0,
+            ..Default::default()
+        };
+        let model = Gbdt::fit(&x, &y, &config);
+        let p = model.predict(&[0.0]);
+        assert!(p < 50.0, "absolute-loss prediction dragged to {p}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = sine_data(60);
+        let config = GbdtConfig { n_trees: 10, seed: 5, ..Default::default() };
+        let a = Gbdt::fit(&x, &y, &config).predict(&[1.0]);
+        let b = Gbdt::fit(&x, &y, &config).predict(&[1.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subsampling_still_learns() {
+        let (x, y) = sine_data(200);
+        let config = GbdtConfig {
+            n_trees: 150,
+            learning_rate: 0.2,
+            subsample: 0.5,
+            ..Default::default()
+        };
+        let model = Gbdt::fit(&x, &y, &config);
+        let mse: f32 = x
+            .iter()
+            .zip(&y)
+            .map(|(r, &t)| (model.predict(r) - t).powi(2))
+            .sum::<f32>()
+            / x.len() as f32;
+        assert!(mse < 0.05, "mse {mse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn rejects_empty_data() {
+        Gbdt::fit(&[], &[], &GbdtConfig::default());
+    }
+}

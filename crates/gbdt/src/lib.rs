@@ -1,0 +1,24 @@
+//! # ce-gbdt — gradient boosted regression trees
+//!
+//! A from-scratch GBDT used where the paper uses xgboost: the locally
+//! weighted conformal method (paper §III-E) needs a lightweight model
+//! `ĝ(X) ≈ E[|y − f̂(X)|]` of per-query difficulty, and quantile-loss
+//! boosting doubles as an extra quantile-regression baseline for CQR
+//! ablations.
+//!
+//! ```
+//! use ce_gbdt::{Gbdt, GbdtConfig};
+//!
+//! let x: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32]).collect();
+//! let y: Vec<f32> = x.iter().map(|r| r[0] * 2.0).collect();
+//! let model = Gbdt::fit(&x, &y, &GbdtConfig::default());
+//! assert!((model.predict(&[25.0]) - 50.0).abs() < 5.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod boost;
+mod tree;
+
+pub use boost::{BoostLoss, Gbdt, GbdtConfig};
+pub use tree::{LeafAggregation, RegressionTree, TreeConfig};

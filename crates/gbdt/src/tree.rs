@@ -1,0 +1,412 @@
+//! Single regression tree with exact greedy splits.
+
+/// Hyper-parameters for growing one regression tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0). Depth 0 means a single leaf.
+    pub max_depth: usize,
+    /// Minimum number of samples a leaf must hold.
+    pub min_samples_leaf: usize,
+    /// Minimum SSE reduction required to accept a split.
+    pub min_gain: f32,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 4, min_samples_leaf: 5, min_gain: 1e-7 }
+    }
+}
+
+/// How a leaf aggregates the targets that fall into it.
+///
+/// Gradient boosting with non-squared losses fits trees on pseudo-residuals
+/// but sets leaf values by per-leaf line search; for absolute/pinball losses
+/// that line search is a median/quantile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LeafAggregation {
+    /// Mean of leaf targets (squared loss).
+    Mean,
+    /// Median of leaf targets (absolute loss).
+    Median,
+    /// `tau`-quantile of leaf targets (pinball loss).
+    Quantile(f32),
+}
+
+impl LeafAggregation {
+    fn aggregate(self, values: &mut [f32]) -> f32 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        match self {
+            LeafAggregation::Mean => {
+                values.iter().sum::<f32>() / values.len() as f32
+            }
+            LeafAggregation::Median => quantile_in_place(values, 0.5),
+            LeafAggregation::Quantile(tau) => quantile_in_place(values, tau),
+        }
+    }
+}
+
+fn quantile_in_place(values: &mut [f32], tau: f32) -> f32 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN target in tree leaf"));
+    let idx = ((values.len() as f32 - 1.0) * tau).round() as usize;
+    values[idx.min(values.len() - 1)]
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A trained regression tree. Prediction routes a feature vector to a leaf:
+/// `x[feature] <= threshold` goes left.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+struct Builder<'a> {
+    x: &'a [Vec<f32>],
+    targets: &'a [f32],   // what splits are scored on (pseudo-residuals)
+    leaf_targets: &'a [f32], // what leaf values aggregate (true residuals)
+    config: TreeConfig,
+    aggregation: LeafAggregation,
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree on rows `indices` of `x`.
+    ///
+    /// Splits minimize SSE of `targets`; leaf values aggregate `leaf_targets`
+    /// with `aggregation` (pass the same slice twice for plain squared-loss
+    /// regression).
+    ///
+    /// # Panics
+    /// Panics if `indices` is empty or feature rows are ragged.
+    pub fn fit(
+        x: &[Vec<f32>],
+        targets: &[f32],
+        leaf_targets: &[f32],
+        indices: &[usize],
+        config: TreeConfig,
+        aggregation: LeafAggregation,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
+        assert_eq!(x.len(), targets.len(), "feature/target count mismatch");
+        assert_eq!(x.len(), leaf_targets.len(), "feature/leaf-target count mismatch");
+        let n_features = x[0].len();
+        assert!(x.iter().all(|r| r.len() == n_features), "ragged feature rows");
+        let mut builder =
+            Builder { x, targets, leaf_targets, config, aggregation, nodes: Vec::new() };
+        let mut idx = indices.to_vec();
+        builder.build(&mut idx, 0);
+        RegressionTree { nodes: builder.nodes, n_features }
+    }
+
+    /// Predicts the leaf value for one feature vector.
+    ///
+    /// # Panics
+    /// Panics if `features.len()` differs from the training width.
+    pub fn predict(&self, features: &[f32]) -> f32 {
+        assert_eq!(features.len(), self.n_features, "feature width mismatch");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves), for tests and diagnostics.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f32,
+    gain: f32,
+}
+
+impl Builder<'_> {
+    /// Recursively builds the subtree over `indices`, returning its node id.
+    fn build(&mut self, indices: &mut [usize], depth: usize) -> usize {
+        if depth >= self.config.max_depth
+            || indices.len() < 2 * self.config.min_samples_leaf
+        {
+            return self.push_leaf(indices);
+        }
+        match self.best_split(indices) {
+            Some(split) if split.gain > self.config.min_gain => {
+                // Partition indices in place around the split.
+                let pivot = itertools_partition(indices, |&i| {
+                    self.x[i][split.feature] <= split.threshold
+                });
+                if pivot < self.config.min_samples_leaf
+                    || indices.len() - pivot < self.config.min_samples_leaf
+                {
+                    return self.push_leaf(indices);
+                }
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+                let (left_idx, right_idx) = indices.split_at_mut(pivot);
+                let left = self.build(left_idx, depth + 1);
+                let right = self.build(right_idx, depth + 1);
+                self.nodes[id] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                };
+                id
+            }
+            _ => self.push_leaf(indices),
+        }
+    }
+
+    fn push_leaf(&mut self, indices: &[usize]) -> usize {
+        let mut values: Vec<f32> =
+            indices.iter().map(|&i| self.leaf_targets[i]).collect();
+        let value = self.aggregation.aggregate(&mut values);
+        self.nodes.push(Node::Leaf { value });
+        self.nodes.len() - 1
+    }
+
+    /// Exact greedy search: for every feature, sort the node's rows by that
+    /// feature and scan split points with prefix sums of the targets.
+    fn best_split(&self, indices: &[usize]) -> Option<BestSplit> {
+        let n = indices.len();
+        let total_sum: f64 = indices.iter().map(|&i| self.targets[i] as f64).sum();
+        let total_sq: f64 =
+            indices.iter().map(|&i| (self.targets[i] as f64).powi(2)).sum();
+        let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+        let n_features = self.x[indices[0]].len();
+        let mut best: Option<BestSplit> = None;
+        let mut sorted: Vec<(f32, f32)> = Vec::with_capacity(n);
+        for f in 0..n_features {
+            sorted.clear();
+            sorted.extend(indices.iter().map(|&i| (self.x[i][f], self.targets[i])));
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature value"));
+            if sorted[0].0 == sorted[n - 1].0 {
+                continue; // constant feature in this node
+            }
+            let mut left_sum = 0.0f64;
+            let mut left_sq = 0.0f64;
+            for k in 0..n - 1 {
+                let (v, t) = sorted[k];
+                left_sum += t as f64;
+                left_sq += (t as f64) * (t as f64);
+                // Only split between distinct feature values.
+                if v == sorted[k + 1].0 {
+                    continue;
+                }
+                let nl = (k + 1) as f64;
+                let nr = (n - k - 1) as f64;
+                if (k + 1) < self.config.min_samples_leaf
+                    || (n - k - 1) < self.config.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse_left = left_sq - left_sum * left_sum / nl;
+                let sse_right = right_sq - right_sum * right_sum / nr;
+                let gain = (parent_sse - sse_left - sse_right) as f32;
+                if best.as_ref().is_none_or(|b| gain > b.gain) {
+                    // Midpoint threshold is robust to new values at inference.
+                    best = Some(BestSplit {
+                        feature: f,
+                        threshold: 0.5 * (v + sorted[k + 1].0),
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Stable-order in-place partition; returns the number of elements satisfying
+/// the predicate (they end up first).
+fn itertools_partition<T: Copy>(slice: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut kept: Vec<T> = Vec::with_capacity(slice.len());
+    let mut rest: Vec<T> = Vec::new();
+    for &v in slice.iter() {
+        if pred(&v) {
+            kept.push(v);
+        } else {
+            rest.push(v);
+        }
+    }
+    let pivot = kept.len();
+    slice[..pivot].copy_from_slice(&kept);
+    slice[pivot..].copy_from_slice(&rest);
+    pivot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_indices(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn single_leaf_predicts_mean() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = [3.0, 6.0, 9.0];
+        let config = TreeConfig { max_depth: 0, ..Default::default() };
+        let tree =
+            RegressionTree::fit(&x, &y, &y, &all_indices(3), config, LeafAggregation::Mean);
+        assert_eq!(tree.node_count(), 1);
+        assert!((tree.predict(&[5.0]) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn splits_a_step_function_exactly() {
+        // y = 0 for x < 0.5, y = 10 for x >= 0.5 — one split suffices.
+        let x: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32 / 20.0]).collect();
+        let y: Vec<f32> = x.iter().map(|v| if v[0] < 0.5 { 0.0 } else { 10.0 }).collect();
+        let config = TreeConfig { max_depth: 3, min_samples_leaf: 1, min_gain: 1e-7 };
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            &y,
+            &all_indices(20),
+            config,
+            LeafAggregation::Mean,
+        );
+        assert!((tree.predict(&[0.1]) - 0.0).abs() < 1e-6);
+        assert!((tree.predict(&[0.9]) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32]).collect();
+        let y: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let config = TreeConfig { max_depth: 2, min_samples_leaf: 1, min_gain: 1e-9 };
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            &y,
+            &all_indices(64),
+            config,
+            LeafAggregation::Mean,
+        );
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let y: Vec<f32> = (0..10).map(|i| if i == 0 { 100.0 } else { 0.0 }).collect();
+        let config = TreeConfig { max_depth: 8, min_samples_leaf: 3, min_gain: 1e-9 };
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            &y,
+            &all_indices(10),
+            config,
+            LeafAggregation::Mean,
+        );
+        // The outlier row cannot be isolated into a leaf smaller than 3.
+        let p = tree.predict(&[0.0]);
+        assert!(p < 100.0, "leaf isolated a single outlier: {p}");
+    }
+
+    #[test]
+    fn median_aggregation_is_robust_to_outlier() {
+        let x: Vec<Vec<f32>> = (0..9).map(|_| vec![0.0]).collect();
+        let mut y = vec![1.0f32; 9];
+        y[0] = 1000.0;
+        let config = TreeConfig { max_depth: 0, ..Default::default() };
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            &y,
+            &all_indices(9),
+            config,
+            LeafAggregation::Median,
+        );
+        assert!((tree.predict(&[0.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_aggregation_targets_upper_tail() {
+        let x: Vec<Vec<f32>> = (0..101).map(|_| vec![0.0]).collect();
+        let y: Vec<f32> = (0..101).map(|i| i as f32).collect();
+        let config = TreeConfig { max_depth: 0, ..Default::default() };
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            &y,
+            &all_indices(101),
+            config,
+            LeafAggregation::Quantile(0.9),
+        );
+        assert!((tree.predict(&[0.0]) - 90.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn multivariate_split_picks_informative_feature() {
+        // Feature 1 is pure noise; feature 0 determines the target.
+        let x: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![(i % 2) as f32, (i % 7) as f32])
+            .collect();
+        let y: Vec<f32> = x.iter().map(|r| r[0] * 5.0).collect();
+        let config = TreeConfig { max_depth: 1, min_samples_leaf: 1, min_gain: 1e-9 };
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            &y,
+            &all_indices(40),
+            config,
+            LeafAggregation::Mean,
+        );
+        assert!((tree.predict(&[0.0, 3.0]) - 0.0).abs() < 1e-5);
+        assert!((tree.predict(&[1.0, 3.0]) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn rejects_empty_index_set() {
+        let x = vec![vec![0.0]];
+        let y = [0.0];
+        RegressionTree::fit(
+            &x,
+            &y,
+            &y,
+            &[],
+            TreeConfig::default(),
+            LeafAggregation::Mean,
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests of the boosted-tree invariants.
+
+use ce_gbdt::{Gbdt, GbdtConfig, LeafAggregation, RegressionTree, TreeConfig};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<f32>)> {
+    prop::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 10..80).prop_map(|pts| {
+        let x: Vec<Vec<f32>> = pts.iter().map(|&(a, _)| vec![a]).collect();
+        let y: Vec<f32> = pts.iter().map(|&(_, b)| b).collect();
+        (x, y)
+    })
+}
+
+proptest! {
+    /// Mean-aggregated tree predictions never leave the target range.
+    #[test]
+    fn tree_predictions_bounded_by_targets((x, y) in dataset_strategy(), probe in -200.0f32..200.0) {
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let tree = RegressionTree::fit(
+            &x, &y, &y, &idx, TreeConfig::default(), LeafAggregation::Mean,
+        );
+        let lo = y.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = y.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let p = tree.predict(&[probe]);
+        prop_assert!(p >= lo - 1e-3 && p <= hi + 1e-3, "{p} outside [{lo}, {hi}]");
+    }
+
+    /// Fitting constant targets returns that constant everywhere.
+    #[test]
+    fn gbdt_fits_constants_exactly(c in -50.0f32..50.0, probe in -100.0f32..100.0) {
+        let x: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let y = vec![c; 20];
+        let model = Gbdt::fit(&x, &y, &GbdtConfig { n_trees: 3, ..Default::default() });
+        prop_assert!((model.predict(&[probe]) - c).abs() < 1e-3);
+    }
+
+    /// Training is deterministic in the seed.
+    #[test]
+    fn gbdt_deterministic_per_seed((x, y) in dataset_strategy(), seed in 0u64..100) {
+        let config = GbdtConfig { n_trees: 5, seed, ..Default::default() };
+        let a = Gbdt::fit(&x, &y, &config).predict(&[0.0]);
+        let b = Gbdt::fit(&x, &y, &config).predict(&[0.0]);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Monotone data yields (weakly) monotone predictions on the grid of
+    /// training points — trees can't invert an order they were fit on.
+    #[test]
+    fn monotone_fit_preserves_order_on_training_points(n in 10usize..40) {
+        let x: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32]).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i * i) as f32).collect();
+        let model = Gbdt::fit(
+            &x,
+            &y,
+            &GbdtConfig { n_trees: 60, learning_rate: 0.3, subsample: 1.0, ..Default::default() },
+        );
+        let preds: Vec<f32> = x.iter().map(|r| model.predict(r)).collect();
+        let violations = preds.windows(2).filter(|w| w[1] < w[0] - 1e-3).count();
+        prop_assert!(
+            violations <= n / 10,
+            "{violations} order violations in {n} points"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Learned embedding tables with sparse Adam updates.
+//!
+//! Naru-style autoregressive models embed the categorical value of each
+//! earlier column before feeding an MLP; only the rows touched by a minibatch
+//! receive gradient, so updates are sparse.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::adam::{Adam, AdamConfig};
+use crate::matrix::Matrix;
+
+/// A `vocab x dim` embedding table.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Embedding {
+    table: Vec<f32>,
+    vocab: usize,
+    dim: usize,
+    opt: Adam,
+}
+
+impl Embedding {
+    /// Creates a table for `vocab` ids with `dim`-wide vectors, initialized
+    /// uniformly in ±1/sqrt(dim).
+    pub fn new(vocab: usize, dim: usize, config: AdamConfig, rng: &mut StdRng) -> Self {
+        assert!(vocab > 0 && dim > 0, "embedding needs positive vocab and dim");
+        let limit = 1.0 / (dim as f32).sqrt();
+        let table = (0..vocab * dim).map(|_| rng.gen_range(-limit..=limit)).collect();
+        Embedding { table, vocab, dim, opt: Adam::new(vocab * dim, config) }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding vector of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of vocabulary.
+    pub fn lookup(&self, id: usize) -> &[f32] {
+        assert!(id < self.vocab, "embedding id {id} out of vocab {}", self.vocab);
+        &self.table[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Looks up a batch of ids into a `ids.len() x dim` matrix.
+    pub fn lookup_batch(&self, ids: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(ids.len(), self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.lookup(id));
+        }
+        out
+    }
+
+    /// Applies gradients for a batch: `grads` row `r` is dL/d(embedding of
+    /// `ids[r]`). Duplicate ids within the batch are accumulated first, then a
+    /// single sparse Adam step runs over the distinct rows.
+    pub fn backward(&mut self, ids: &[usize], grads: &Matrix) {
+        assert_eq!(grads.rows(), ids.len(), "gradient rows must match id count");
+        assert_eq!(grads.cols(), self.dim, "gradient width must match embedding dim");
+        // Accumulate duplicates.
+        let mut touched: Vec<usize> = ids.to_vec();
+        touched.sort_unstable();
+        touched.dedup();
+        let mut acc = vec![0.0f32; touched.len() * self.dim];
+        for (r, &id) in ids.iter().enumerate() {
+            let slot = touched.binary_search(&id).expect("id present after dedup");
+            let dst = &mut acc[slot * self.dim..(slot + 1) * self.dim];
+            for (d, &g) in dst.iter_mut().zip(grads.row(r)) {
+                *d += g;
+            }
+        }
+        self.opt.step_rows(&mut self.table, self.dim, &touched, &acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_consistent_rows() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let emb = Embedding::new(5, 3, AdamConfig::default(), &mut rng);
+        let single = emb.lookup(2).to_vec();
+        let batch = emb.lookup_batch(&[2, 2]);
+        assert_eq!(batch.row(0), single.as_slice());
+        assert_eq!(batch.row(1), single.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn lookup_rejects_out_of_vocab() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let emb = Embedding::new(3, 2, AdamConfig::default(), &mut rng);
+        emb.lookup(3);
+    }
+
+    #[test]
+    fn backward_moves_only_touched_rows() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut emb = Embedding::new(4, 2, AdamConfig::with_lr(0.1), &mut rng);
+        let before: Vec<Vec<f32>> = (0..4).map(|i| emb.lookup(i).to_vec()).collect();
+        let grads = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        emb.backward(&[1], &grads);
+        assert_eq!(emb.lookup(0), before[0].as_slice());
+        assert_ne!(emb.lookup(1), before[1].as_slice());
+        assert_eq!(emb.lookup(2), before[2].as_slice());
+        assert_eq!(emb.lookup(3), before[3].as_slice());
+    }
+
+    #[test]
+    fn duplicate_ids_accumulate_gradient() {
+        // Two identical single-step scenarios: one batch with the id twice
+        // (grad g each) must equal one batch with the id once and grad 2g,
+        // because Adam sees the *summed* gradient either way.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut emb_a = Embedding::new(2, 2, AdamConfig::with_lr(0.05), &mut rng);
+        let mut emb_b = emb_a.clone();
+        emb_a.backward(&[0, 0], &Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]));
+        emb_b.backward(&[0], &Matrix::from_rows(&[vec![1.0, 1.0]]));
+        for (a, b) in emb_a.lookup(0).iter().zip(emb_b.lookup(0)) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn embedding_can_learn_to_separate_ids() {
+        // Tiny task: embedding -> fixed linear readout w = [1, -1]; id 0 must
+        // output +1, id 1 must output -1. Train embeddings only.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut emb = Embedding::new(2, 2, AdamConfig::with_lr(0.05), &mut rng);
+        let w = [1.0f32, -1.0f32];
+        for _ in 0..400 {
+            let ids = [0usize, 1usize];
+            let x = emb.lookup_batch(&ids);
+            let preds: Vec<f32> = (0..2)
+                .map(|r| x.row(r).iter().zip(&w).map(|(a, b)| a * b).sum::<f32>())
+                .collect();
+            let targets = [1.0f32, -1.0f32];
+            // dL/demb = 2(pred - target) * w
+            let rows: Vec<Vec<f32>> = (0..2)
+                .map(|r| {
+                    let d = 2.0 * (preds[r] - targets[r]);
+                    w.iter().map(|&wi| d * wi).collect()
+                })
+                .collect();
+            emb.backward(&ids, &Matrix::from_rows(&rows));
+        }
+        let p0: f32 = emb.lookup(0).iter().zip(&w).map(|(a, b)| a * b).sum();
+        let p1: f32 = emb.lookup(1).iter().zip(&w).map(|(a, b)| a * b).sum();
+        assert!((p0 - 1.0).abs() < 0.1, "id 0 readout {p0}");
+        assert!((p1 + 1.0).abs() < 0.1, "id 1 readout {p1}");
+    }
+}

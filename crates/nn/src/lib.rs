@@ -1,0 +1,45 @@
+//! # ce-nn — neural-network substrate for learned cardinality estimation
+//!
+//! A deliberately small, dependency-light neural network library: dense
+//! layers with explicit backpropagation, Adam, embeddings with sparse
+//! updates, segment pooling for set-structured (MSCN-style) inputs, and a
+//! softmax/cross-entropy head for autoregressive (Naru-style) conditionals.
+//!
+//! Everything is CPU-only, `f32`, single-threaded, and deterministic given a
+//! seed — reproducibility of the paper's experiments matters more than raw
+//! training throughput here.
+//!
+//! ```
+//! use ce_nn::{Mlp, MlpConfig, Matrix, Mse};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut mlp = Mlp::new(2, &MlpConfig::default(), &mut rng);
+//! let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+//! mlp.fit(&x, &[1.0, -1.0], &Mse, 10, 2, 0);
+//! let _pred = mlp.predict_one(&[0.0, 1.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod adam;
+mod embedding;
+mod init;
+mod layer;
+mod loss;
+mod masked;
+mod matrix;
+mod mlp;
+mod pooling;
+mod softmax;
+
+pub use adam::{Adam, AdamConfig};
+pub use embedding::Embedding;
+pub use init::Init;
+pub use layer::{Activation, Dense, DenseCache};
+pub use loss::{Huber, LogQError, Loss, Mse, Pinball};
+pub use masked::{made_masks, MaskedCache, MaskedDense};
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpCache, MlpConfig};
+pub use pooling::{segment_mean, segment_mean_backward};
+pub use softmax::{class_probability, softmax_cross_entropy, softmax_rows};

@@ -1,0 +1,129 @@
+//! Segment mean pooling for set-structured inputs.
+//!
+//! MSCN averages the per-predicate hidden vectors of a query into one fixed
+//! vector. A batch of queries therefore arrives as one big `total_items x dim`
+//! matrix plus segment lengths; pooling reduces it to `num_segments x dim`,
+//! and the backward pass redistributes the pooled gradient `1/len`-wise.
+
+use crate::matrix::Matrix;
+
+/// Mean-pools contiguous row segments of `items`.
+///
+/// `segments[i]` is the number of rows belonging to segment `i`; they must sum
+/// to `items.rows()`. Zero-length segments produce an all-zero pooled row
+/// (a query with no predicates of a given kind).
+///
+/// # Panics
+/// Panics if the lengths do not sum to the number of item rows.
+pub fn segment_mean(items: &Matrix, segments: &[usize]) -> Matrix {
+    let total: usize = segments.iter().sum();
+    assert_eq!(total, items.rows(), "segment lengths must cover all item rows");
+    let mut out = Matrix::zeros(segments.len(), items.cols());
+    let mut offset = 0;
+    for (s, &len) in segments.iter().enumerate() {
+        if len == 0 {
+            continue;
+        }
+        let inv = 1.0 / len as f32;
+        for r in offset..offset + len {
+            let row = items.row(r);
+            let dst = out.row_mut(s);
+            for (d, &v) in dst.iter_mut().zip(row) {
+                *d += v * inv;
+            }
+        }
+        offset += len;
+    }
+    out
+}
+
+/// Backward of [`segment_mean`]: expands `grad_pooled` (`num_segments x dim`)
+/// back to item rows, scaling each segment's gradient by `1/len`.
+///
+/// # Panics
+/// Panics if `grad_pooled` has a row count different from `segments.len()`.
+pub fn segment_mean_backward(grad_pooled: &Matrix, segments: &[usize]) -> Matrix {
+    assert_eq!(
+        grad_pooled.rows(),
+        segments.len(),
+        "pooled gradient rows must match segment count"
+    );
+    let total: usize = segments.iter().sum();
+    let mut out = Matrix::zeros(total, grad_pooled.cols());
+    let mut offset = 0;
+    for (s, &len) in segments.iter().enumerate() {
+        if len == 0 {
+            continue;
+        }
+        let inv = 1.0 / len as f32;
+        for r in offset..offset + len {
+            let dst = out.row_mut(r);
+            for (d, &g) in dst.iter_mut().zip(grad_pooled.row(s)) {
+                *d = g * inv;
+            }
+        }
+        offset += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_mean_averages_each_segment() {
+        let items = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![10.0, 20.0],
+        ]);
+        let pooled = segment_mean(&items, &[2, 1]);
+        assert_eq!(pooled.row(0), &[2.0, 3.0]);
+        assert_eq!(pooled.row(1), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn empty_segment_pools_to_zero() {
+        let items = Matrix::from_rows(&[vec![5.0, 5.0]]);
+        let pooled = segment_mean(&items, &[0, 1]);
+        assert_eq!(pooled.row(0), &[0.0, 0.0]);
+        assert_eq!(pooled.row(1), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_redistributes_inverse_length() {
+        let grad = Matrix::from_rows(&[vec![2.0], vec![9.0]]);
+        let out = segment_mean_backward(&grad, &[2, 3]);
+        assert_eq!(out.rows(), 5);
+        assert_eq!(out.row(0), &[1.0]);
+        assert_eq!(out.row(1), &[1.0]);
+        for r in 2..5 {
+            assert_eq!(out.row(r), &[3.0]);
+        }
+    }
+
+    #[test]
+    fn forward_backward_gradient_check() {
+        // d(mean)/d(item) is 1/len; a finite-difference probe confirms it.
+        let items = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let segments = [3usize];
+        let eps = 1e-3f32;
+        let f = |m: &Matrix| segment_mean(m, &segments).get(0, 0);
+        let mut plus = items.clone();
+        plus.set(1, 0, 2.0 + eps);
+        let mut minus = items.clone();
+        minus.set(1, 0, 2.0 - eps);
+        let numeric = (f(&plus) - f(&minus)) / (2.0 * eps);
+        let analytic =
+            segment_mean_backward(&Matrix::from_rows(&[vec![1.0]]), &segments).get(1, 0);
+        assert!((numeric - analytic).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment lengths must cover")]
+    fn segment_mean_rejects_bad_lengths() {
+        let items = Matrix::zeros(3, 1);
+        segment_mean(&items, &[1, 1]);
+    }
+}

@@ -1,0 +1,17 @@
+//! # ce-optimizer — a miniature cost-based join optimizer
+//!
+//! The substrate for the paper's Table I experiment: a Selinger-style DP
+//! optimizer over left-deep star-join plans whose cost model (hash join vs
+//! index nested loop, C_out-style output charges) is driven by a pluggable
+//! [`SelectivityOracle`]. Swapping the Postgres-style AVI oracle for a
+//! PI-injected one (`estimate + δ` upper bounds from split conformal
+//! prediction) reproduces the paper's finding that pessimistic upper bounds
+//! pick safer plans on correlated join workloads.
+
+#![warn(missing_docs)]
+
+mod oracle;
+mod plan;
+
+pub use oracle::{PiInjectedOracle, SelectivityOracle, TrueOracle};
+pub use plan::{optimize, true_cost, CostModel, JoinMethod, Plan};

@@ -1,0 +1,142 @@
+//! Selectivity oracles feeding the optimizer's cost model.
+
+use ce_estimators::PostgresEstimator;
+use ce_storage::{StarQuery, StarSchema};
+
+/// Supplies the cardinality estimates a join optimizer needs: the size of
+/// every partial star join and of every filtered dimension.
+pub trait SelectivityOracle {
+    /// Estimated selectivity (relative to the fact table) of the partial
+    /// join of `query` restricted to the dimensions in `active`.
+    fn partial_selectivity(&self, query: &StarQuery, active: &[usize]) -> f64;
+
+    /// Estimated selectivity of dimension `d`'s local filter in `query`
+    /// (1.0 when unfiltered).
+    fn dim_filter_selectivity(&self, query: &StarQuery, d: usize) -> f64;
+}
+
+/// The Postgres-style AVI estimator as an oracle — the "unmodified Postgres"
+/// arm of Table I.
+impl SelectivityOracle for PostgresEstimator {
+    fn partial_selectivity(&self, query: &StarQuery, active: &[usize]) -> f64 {
+        self.estimate_selectivity_with_dims(query, active)
+    }
+
+    fn dim_filter_selectivity(&self, query: &StarQuery, d: usize) -> f64 {
+        match &query.dims[d] {
+            Some(q) => self.dim_stats(d).avi_selectivity(q),
+            None => 1.0,
+        }
+    }
+}
+
+/// The exact oracle: true cardinalities from the storage engine. Used to
+/// compute true plan costs and as the "perfect estimator" upper baseline.
+#[derive(Debug, Clone)]
+pub struct TrueOracle<'a> {
+    star: &'a StarSchema,
+}
+
+impl<'a> TrueOracle<'a> {
+    /// Wraps a star schema.
+    pub fn new(star: &'a StarSchema) -> Self {
+        TrueOracle { star }
+    }
+}
+
+impl SelectivityOracle for TrueOracle<'_> {
+    fn partial_selectivity(&self, query: &StarQuery, active: &[usize]) -> f64 {
+        self.star.count_with_dims(query, active) as f64
+            / self.star.fact().n_rows().max(1) as f64
+    }
+
+    fn dim_filter_selectivity(&self, query: &StarQuery, d: usize) -> f64 {
+        match &query.dims[d] {
+            Some(q) => self.star.dimension(d).selectivity(q),
+            None => 1.0,
+        }
+    }
+}
+
+/// PI injection (the paper's Table I modification): replaces every partial
+/// join estimate by the *upper bound* of its prediction interval,
+/// `min(est + delta, 1)`, leaving dimension-local estimates (handled well by
+/// 1-D histograms) untouched.
+#[derive(Debug, Clone)]
+pub struct PiInjectedOracle<O> {
+    inner: O,
+    delta: f64,
+}
+
+impl<O: SelectivityOracle> PiInjectedOracle<O> {
+    /// Wraps `inner`, adding the calibrated split-conformal `delta` to every
+    /// partial-join selectivity estimate.
+    ///
+    /// # Panics
+    /// Panics on a negative delta.
+    pub fn new(inner: O, delta: f64) -> Self {
+        assert!(delta >= 0.0, "PI delta must be non-negative");
+        PiInjectedOracle { inner, delta }
+    }
+
+    /// The injected delta.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+impl<O: SelectivityOracle> SelectivityOracle for PiInjectedOracle<O> {
+    fn partial_selectivity(&self, query: &StarQuery, active: &[usize]) -> f64 {
+        (self.inner.partial_selectivity(query, active) + self.delta).min(1.0)
+    }
+
+    fn dim_filter_selectivity(&self, query: &StarQuery, d: usize) -> f64 {
+        self.inner.dim_filter_selectivity(query, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_datagen::dsb_star;
+    use ce_storage::ConjunctiveQuery;
+
+    fn query(star: &StarSchema) -> StarQuery {
+        StarQuery {
+            fact: ConjunctiveQuery::default(),
+            dims: (0..star.n_dimensions())
+                .map(|d| (d < 2).then(ConjunctiveQuery::default))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn true_oracle_matches_storage_counts() {
+        let star = dsb_star(500, 0);
+        let q = query(&star);
+        let oracle = TrueOracle::new(&star);
+        let s = oracle.partial_selectivity(&q, &[0, 1]);
+        assert!((s - star.count(&q) as f64 / 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injected_oracle_adds_delta_and_clips() {
+        let star = dsb_star(500, 0);
+        let q = query(&star);
+        let base = PostgresEstimator::build(&star);
+        let raw = base.partial_selectivity(&q, &[0, 1]);
+        let injected = PiInjectedOracle::new(PostgresEstimator::build(&star), 0.05);
+        let expected = (raw + 0.05).min(1.0);
+        assert!((injected.partial_selectivity(&q, &[0, 1]) - expected).abs() < 1e-12);
+        let huge = PiInjectedOracle::new(PostgresEstimator::build(&star), 5.0);
+        assert_eq!(huge.partial_selectivity(&q, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn unfiltered_dimension_has_unit_selectivity() {
+        let star = dsb_star(500, 0);
+        let q = query(&star);
+        let oracle = TrueOracle::new(&star);
+        assert_eq!(oracle.dim_filter_selectivity(&q, 3), 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Template-based join workload generation over star schemas.
+//!
+//! Mirrors how the paper obtains join workloads: DSB ships SPJ query
+//! *templates* (the paper instantiates 1000 queries from each of 15
+//! templates); JOB fixes join graphs and varies predicates. A template here
+//! is a choice of joined dimensions plus which columns carry predicates;
+//! instantiation centers predicates on a sampled fact row and its joined
+//! dimension rows so queries are data-correlated and non-empty.
+
+use ce_storage::{ColumnKind, ConjunctiveQuery, Predicate, StarQuery, StarSchema};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{JoinWorkload, Labeled};
+
+/// A select-project-join template: which dimensions join and which columns
+/// get predicates.
+#[derive(Debug, Clone)]
+pub struct JoinTemplate {
+    /// Joined dimension indexes (non-empty).
+    pub dims: Vec<usize>,
+    /// Per entry of `dims`: the dimension columns that receive predicates.
+    pub dim_pred_columns: Vec<Vec<usize>>,
+    /// Fact columns (non-FK) that receive predicates.
+    pub fact_pred_columns: Vec<usize>,
+}
+
+/// Join generator settings (range width / point behaviour match the
+/// single-table generator).
+#[derive(Debug, Clone)]
+pub struct JoinGeneratorConfig {
+    /// Maximum range width as a fraction of a column domain.
+    pub max_range_frac: f64,
+    /// Probability a numeric column still gets a point predicate.
+    pub point_on_numeric_prob: f64,
+    /// Keep only queries with fact-relative selectivity at most this.
+    pub max_selectivity: f64,
+    /// Keep only queries with fact-relative selectivity at least this.
+    pub min_selectivity: f64,
+    /// Attempt budget multiplier.
+    pub max_attempts_factor: usize,
+}
+
+impl Default for JoinGeneratorConfig {
+    fn default() -> Self {
+        JoinGeneratorConfig {
+            max_range_frac: 0.3,
+            point_on_numeric_prob: 0.1,
+            max_selectivity: 1.0,
+            min_selectivity: 0.0,
+            max_attempts_factor: 50,
+        }
+    }
+}
+
+/// Draws `n_templates` random SPJ templates over `star` (distinct dimension
+/// subsets, 1–2 predicate columns per joined dimension, 0–1 fact predicates).
+pub fn random_templates(star: &StarSchema, n_templates: usize, seed: u64) -> Vec<JoinTemplate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_dims = star.n_dimensions();
+    assert!(n_dims >= 1, "star schema has no dimensions");
+    let fact_non_fk: Vec<usize> = (0..star.fact().schema().arity())
+        .filter(|&c| (0..n_dims).all(|d| star.fk_column(d) != c))
+        .collect();
+
+    let mut templates = Vec::with_capacity(n_templates);
+    for _ in 0..n_templates {
+        let k = rng.gen_range(1..=n_dims);
+        let mut dims: Vec<usize> = (0..n_dims).collect();
+        dims.shuffle(&mut rng);
+        dims.truncate(k);
+        dims.sort_unstable();
+        let dim_pred_columns = dims
+            .iter()
+            .map(|&d| {
+                let arity = star.dimension(d).schema().arity();
+                let n_preds = rng.gen_range(1..=2.min(arity));
+                let mut cols: Vec<usize> = (0..arity).collect();
+                cols.shuffle(&mut rng);
+                cols.truncate(n_preds);
+                cols.sort_unstable();
+                cols
+            })
+            .collect();
+        let fact_pred_columns = if !fact_non_fk.is_empty() && rng.gen_bool(0.5) {
+            vec![fact_non_fk[rng.gen_range(0..fact_non_fk.len())]]
+        } else {
+            Vec::new()
+        };
+        templates.push(JoinTemplate { dims, dim_pred_columns, fact_pred_columns });
+    }
+    templates
+}
+
+/// Instantiates `per_template` labeled queries from each template.
+pub fn generate_join_workload(
+    star: &StarSchema,
+    templates: &[JoinTemplate],
+    per_template: usize,
+    config: &JoinGeneratorConfig,
+    seed: u64,
+) -> JoinWorkload {
+    assert!(star.fact().n_rows() > 0, "empty fact table");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(templates.len() * per_template);
+    for template in templates {
+        let mut kept = 0usize;
+        let mut attempts = 0usize;
+        let budget = per_template.saturating_mul(config.max_attempts_factor);
+        while kept < per_template && attempts < budget {
+            attempts += 1;
+            let query = instantiate(star, template, config, &mut rng);
+            let cardinality = star.count(&query);
+            let selectivity = cardinality as f64 / star.fact().n_rows() as f64;
+            if selectivity > config.max_selectivity
+                || selectivity < config.min_selectivity
+            {
+                continue;
+            }
+            out.push(Labeled { query, cardinality, selectivity });
+            kept += 1;
+        }
+    }
+    out
+}
+
+fn instantiate(
+    star: &StarSchema,
+    template: &JoinTemplate,
+    config: &JoinGeneratorConfig,
+    rng: &mut StdRng,
+) -> StarQuery {
+    let fact_row = rng.gen_range(0..star.fact().n_rows());
+    let mut dims: Vec<Option<ConjunctiveQuery>> = vec![None; star.n_dimensions()];
+    for (slot, &d) in template.dims.iter().enumerate() {
+        let dim = star.dimension(d);
+        let dim_row = star.fact().value(fact_row, star.fk_column(d)) as usize;
+        let preds = template.dim_pred_columns[slot]
+            .iter()
+            .map(|&c| {
+                center_predicate(
+                    c,
+                    dim.value(dim_row, c),
+                    dim.schema().column(c).domain,
+                    dim.schema().column(c).kind,
+                    config,
+                    rng,
+                )
+            })
+            .collect();
+        dims[d] = Some(ConjunctiveQuery::new(preds));
+    }
+    let fact_preds = template
+        .fact_pred_columns
+        .iter()
+        .map(|&c| {
+            center_predicate(
+                c,
+                star.fact().value(fact_row, c),
+                star.fact().schema().column(c).domain,
+                star.fact().schema().column(c).kind,
+                config,
+                rng,
+            )
+        })
+        .collect();
+    StarQuery { fact: ConjunctiveQuery::new(fact_preds), dims }
+}
+
+fn center_predicate(
+    column: usize,
+    center: u32,
+    domain: u32,
+    kind: ColumnKind,
+    config: &JoinGeneratorConfig,
+    rng: &mut StdRng,
+) -> Predicate {
+    let is_point =
+        kind == ColumnKind::Categorical || rng.gen_bool(config.point_on_numeric_prob);
+    if is_point {
+        Predicate::eq(column, center)
+    } else {
+        let max_half = ((domain as f64 * config.max_range_frac) / 2.0).max(1.0);
+        let half = rng.gen_range(0.0..max_half).ceil() as u32;
+        Predicate::range(
+            column,
+            center.saturating_sub(half),
+            (center + half).min(domain - 1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_datagen::dsb_star;
+
+    #[test]
+    fn random_templates_have_valid_structure() {
+        let star = dsb_star(500, 0);
+        let templates = random_templates(&star, 15, 1);
+        assert_eq!(templates.len(), 15);
+        for t in &templates {
+            assert!(!t.dims.is_empty());
+            assert_eq!(t.dims.len(), t.dim_pred_columns.len());
+            for (&d, cols) in t.dims.iter().zip(&t.dim_pred_columns) {
+                assert!(d < star.n_dimensions());
+                assert!(!cols.is_empty());
+                assert!(cols
+                    .iter()
+                    .all(|&c| c < star.dimension(d).schema().arity()));
+            }
+            // Fact predicates never land on FK columns.
+            for &c in &t.fact_pred_columns {
+                assert!((0..star.n_dimensions()).all(|d| star.fk_column(d) != c));
+            }
+        }
+    }
+
+    #[test]
+    fn join_workload_labels_match_exact_counts() {
+        let star = dsb_star(800, 1);
+        let templates = random_templates(&star, 5, 2);
+        let w = generate_join_workload(
+            &star,
+            &templates,
+            10,
+            &JoinGeneratorConfig::default(),
+            3,
+        );
+        assert_eq!(w.len(), 50);
+        for lq in &w {
+            assert_eq!(lq.cardinality, star.count(&lq.query));
+            assert!(lq.cardinality > 0, "center-row instantiation is non-empty");
+        }
+    }
+
+    #[test]
+    fn selectivity_filter_applies_to_joins() {
+        let star = dsb_star(800, 1);
+        let templates = random_templates(&star, 4, 5);
+        let config = JoinGeneratorConfig { max_selectivity: 0.2, ..Default::default() };
+        let w = generate_join_workload(&star, &templates, 8, &config, 6);
+        assert!(w.iter().all(|lq| lq.selectivity <= 0.2));
+    }
+
+    #[test]
+    fn join_generation_is_deterministic() {
+        let star = dsb_star(400, 2);
+        let templates = random_templates(&star, 3, 7);
+        let a = generate_join_workload(&star, &templates, 5, &JoinGeneratorConfig::default(), 8);
+        let b = generate_join_workload(&star, &templates, 5, &JoinGeneratorConfig::default(), 8);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cardinality, y.cardinality);
+        }
+    }
+}

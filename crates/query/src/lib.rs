@@ -1,0 +1,27 @@
+//! # ce-query — workload generation and management
+//!
+//! The unified center-tuple workload generator (point + range predicates,
+//! selectivity filters, drift injection), template-based join workloads over
+//! star schemas, and train/calibration/test split utilities.
+//!
+//! ```
+//! use ce_query::{generate_workload, GeneratorConfig};
+//!
+//! let table = ce_datagen::dmv(1000, 0);
+//! let workload = generate_workload(&table, 50, &GeneratorConfig::default(), 1);
+//! assert!(!workload.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod generator;
+mod join_gen;
+mod parse;
+mod workload;
+
+pub use generator::{generate_workload, CenterPolicy, GeneratorConfig};
+pub use join_gen::{
+    generate_join_workload, random_templates, JoinGeneratorConfig, JoinTemplate,
+};
+pub use parse::parse_query;
+pub use workload::{dedup_workload, split, split_half, JoinWorkload, Labeled, Workload};

@@ -1,0 +1,194 @@
+//! A small textual query syntax for tooling and examples:
+//!
+//! ```text
+//! make = 3 AND weight in 10..40 AND year >= 55
+//! ```
+//!
+//! Conjuncts are separated by `AND` (case-insensitive) or `&&`; each is one
+//! of `col = v`, `col in lo..hi` (inclusive), `col <= v`, `col >= v`, with
+//! values given as dictionary codes.
+
+use ce_storage::{ConjunctiveQuery, Predicate, Schema};
+
+/// Parses a textual conjunctive query against `schema`.
+///
+/// Returns a descriptive error for unknown columns, bad syntax, or
+/// out-of-domain values. An empty/whitespace string parses to the match-all
+/// query.
+pub fn parse_query(schema: &Schema, input: &str) -> Result<ConjunctiveQuery, String> {
+    let input = input.trim();
+    if input.is_empty() {
+        return Ok(ConjunctiveQuery::default());
+    }
+    let mut predicates = Vec::new();
+    for raw in split_conjuncts(input) {
+        let conjunct = raw.trim();
+        if conjunct.is_empty() {
+            return Err("empty conjunct (dangling AND?)".to_string());
+        }
+        predicates.push(parse_conjunct(schema, conjunct)?);
+    }
+    let q = ConjunctiveQuery::new(predicates);
+    q.validate(schema)?;
+    Ok(q)
+}
+
+fn split_conjuncts(input: &str) -> Vec<String> {
+    // Split on standalone AND (any case) or &&.
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for token in input.split_whitespace() {
+        if token.eq_ignore_ascii_case("and") || token == "&&" {
+            out.push(std::mem::take(&mut current));
+        } else {
+            if !current.is_empty() {
+                current.push(' ');
+            }
+            current.push_str(token);
+        }
+    }
+    out.push(current);
+    out
+}
+
+fn parse_conjunct(schema: &Schema, conjunct: &str) -> Result<Predicate, String> {
+    // Ordered by operator length so `<=` wins over `=`.
+    for op in ["<=", ">=", " in ", "="] {
+        if let Some(pos) = find_op(conjunct, op) {
+            let (lhs, rhs) = conjunct.split_at(pos);
+            let rhs = &rhs[op.len()..];
+            return build_predicate(schema, lhs.trim(), op.trim(), rhs.trim());
+        }
+    }
+    Err(format!("cannot parse conjunct `{conjunct}` (expected =, <=, >=, or in)"))
+}
+
+fn find_op(s: &str, op: &str) -> Option<usize> {
+    if op == " in " {
+        s.to_ascii_lowercase().find(" in ")
+    } else {
+        s.find(op)
+    }
+}
+
+fn build_predicate(
+    schema: &Schema,
+    column: &str,
+    op: &str,
+    value: &str,
+) -> Result<Predicate, String> {
+    let col = schema
+        .column_index(column)
+        .ok_or_else(|| {
+            let names: Vec<&str> =
+                schema.columns().iter().map(|c| c.name.as_str()).collect();
+            format!("unknown column `{column}` (have: {})", names.join(", "))
+        })?;
+    let domain = schema.domain(col);
+    let parse_code = |v: &str| -> Result<u32, String> {
+        let code: u32 =
+            v.parse().map_err(|_| format!("`{v}` is not a value code"))?;
+        if code >= domain {
+            return Err(format!(
+                "value {code} outside domain 0..{domain} of `{column}`"
+            ));
+        }
+        Ok(code)
+    };
+    match op {
+        "=" => Ok(Predicate::eq(col, parse_code(value)?)),
+        "<=" => Ok(Predicate::range(col, 0, parse_code(value)?)),
+        ">=" => Ok(Predicate::range(col, parse_code(value)?, domain - 1)),
+        "in" => {
+            let (lo, hi) = value
+                .split_once("..")
+                .ok_or_else(|| format!("range `{value}` must look like lo..hi"))?;
+            let (lo, hi) = (parse_code(lo.trim())?, parse_code(hi.trim())?);
+            if lo > hi {
+                return Err(format!("inverted range {lo}..{hi}"));
+            }
+            Ok(Predicate::range(col, lo, hi))
+        }
+        other => Err(format!("unsupported operator `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_storage::ColumnKind;
+
+    fn schema() -> Schema {
+        Schema::from_specs(&[
+            ("make", 10, ColumnKind::Categorical),
+            ("weight", 100, ColumnKind::Numeric),
+            ("year", 60, ColumnKind::Numeric),
+        ])
+    }
+
+    #[test]
+    fn parses_full_conjunction() {
+        let q = parse_query(&schema(), "make = 3 AND weight in 10..40 and year >= 55")
+            .unwrap();
+        assert_eq!(
+            q.predicates,
+            vec![
+                Predicate::eq(0, 3),
+                Predicate::range(1, 10, 40),
+                Predicate::range(2, 55, 59),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_double_ampersand_and_le() {
+        let q = parse_query(&schema(), "weight <= 20 && make=0").unwrap();
+        assert_eq!(
+            q.predicates,
+            vec![Predicate::range(1, 0, 20), Predicate::eq(0, 0)]
+        );
+    }
+
+    #[test]
+    fn empty_string_matches_all() {
+        assert!(parse_query(&schema(), "   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_column() {
+        let err = parse_query(&schema(), "color = 1").unwrap_err();
+        assert!(err.contains("unknown column `color`"), "{err}");
+        assert!(err.contains("make"), "suggests available columns: {err}");
+    }
+
+    #[test]
+    fn rejects_out_of_domain_value() {
+        let err = parse_query(&schema(), "make = 10").unwrap_err();
+        assert!(err.contains("outside domain"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inverted_range() {
+        let err = parse_query(&schema(), "weight in 40..10").unwrap_err();
+        assert!(err.contains("inverted range"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_column() {
+        let err = parse_query(&schema(), "make = 1 AND make = 2").unwrap_err();
+        assert!(err.contains("two predicates"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query(&schema(), "make !! 3").is_err());
+        assert!(parse_query(&schema(), "make = x").is_err());
+        assert!(parse_query(&schema(), "make = 1 AND").is_err());
+    }
+
+    #[test]
+    fn spaces_inside_range_are_tolerated() {
+        let q = parse_query(&schema(), "weight in 5 .. 9").unwrap();
+        assert_eq!(q.predicates, vec![Predicate::range(1, 5, 9)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Labeled workloads and split utilities.
+
+use ce_storage::{ConjunctiveQuery, StarQuery};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A query labeled with its true cardinality.
+#[derive(Debug, Clone)]
+pub struct Labeled<Q> {
+    /// The query.
+    pub query: Q,
+    /// Exact `COUNT(*)`.
+    pub cardinality: u64,
+    /// `cardinality / n_rows` of the (fact) table.
+    pub selectivity: f64,
+}
+
+/// A single-table workload.
+pub type Workload = Vec<Labeled<ConjunctiveQuery>>;
+
+/// A star-join workload.
+pub type JoinWorkload = Vec<Labeled<StarQuery>>;
+
+/// Shuffles `items` with `seed` and splits them by the given fractions.
+///
+/// Fractions must sum to at most 1 (± rounding); the split sizes are
+/// `floor(frac * n)` except the last part, which takes the remainder of the
+/// covered prefix so no query is lost to rounding.
+///
+/// # Panics
+/// Panics if `fractions` is empty, contains non-positive values, or sums to
+/// more than 1 + 1e-9.
+pub fn split<T: Clone>(items: &[T], fractions: &[f64], seed: u64) -> Vec<Vec<T>> {
+    assert!(!fractions.is_empty(), "need at least one fraction");
+    assert!(fractions.iter().all(|&f| f > 0.0), "fractions must be positive");
+    let total: f64 = fractions.iter().sum();
+    assert!(total <= 1.0 + 1e-9, "fractions sum to {total} > 1");
+
+    let mut shuffled: Vec<T> = items.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    shuffled.shuffle(&mut rng);
+
+    let n = shuffled.len();
+    let mut parts = Vec::with_capacity(fractions.len());
+    let mut start = 0usize;
+    for (i, &f) in fractions.iter().enumerate() {
+        let len = if i + 1 == fractions.len() {
+            ((total * n as f64).round() as usize).saturating_sub(start).min(n - start)
+        } else {
+            ((f * n as f64).floor() as usize).min(n - start)
+        };
+        parts.push(shuffled[start..start + len].to_vec());
+        start += len;
+    }
+    parts
+}
+
+/// Splits into two halves (the 50-50 train/calibration split conformal
+/// prediction defaults to).
+pub fn split_half<T: Clone>(items: &[T], seed: u64) -> (Vec<T>, Vec<T>) {
+    let mut parts = split(items, &[0.5, 0.5], seed);
+    let b = parts.pop().expect("two parts");
+    let a = parts.pop().expect("two parts");
+    (a, b)
+}
+
+/// Removes duplicate queries (same predicate list) keeping first occurrences.
+pub fn dedup_workload(workload: &mut Workload) {
+    let mut seen = std::collections::HashSet::new();
+    workload.retain(|lq| {
+        let key: Vec<(usize, u32, u32)> = lq
+            .query
+            .predicates
+            .iter()
+            .map(|p| {
+                let (lo, hi) = p.op.bounds();
+                (p.column, lo, hi)
+            })
+            .collect();
+        seen.insert(key)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_storage::Predicate;
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let items: Vec<u32> = (0..100).collect();
+        let parts = split(&items, &[0.5, 0.25, 0.25], 1);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+        let mut all: Vec<u32> = parts.concat();
+        all.sort_unstable();
+        assert_eq!(all, items);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_shuffled() {
+        let items: Vec<u32> = (0..50).collect();
+        let a = split(&items, &[0.5, 0.5], 7);
+        let b = split(&items, &[0.5, 0.5], 7);
+        assert_eq!(a, b);
+        assert_ne!(a[0], items[..25].to_vec(), "split should shuffle");
+    }
+
+    #[test]
+    fn partial_split_keeps_only_covered_prefix() {
+        let items: Vec<u32> = (0..100).collect();
+        let parts = split(&items, &[0.2], 3);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 20);
+    }
+
+    #[test]
+    fn split_half_gives_two_halves() {
+        let items: Vec<u32> = (0..11).collect();
+        let (a, b) = split_half(&items, 0);
+        assert_eq!(a.len() + b.len(), 11);
+        assert!((a.len() as i64 - b.len() as i64).abs() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn split_rejects_fractions_over_one() {
+        split(&[1, 2, 3], &[0.8, 0.5], 0);
+    }
+
+    #[test]
+    fn dedup_removes_identical_queries() {
+        let q = ConjunctiveQuery::new(vec![Predicate::eq(0, 1)]);
+        let mut w: Workload = vec![
+            Labeled { query: q.clone(), cardinality: 5, selectivity: 0.1 },
+            Labeled { query: q.clone(), cardinality: 5, selectivity: 0.1 },
+            Labeled {
+                query: ConjunctiveQuery::new(vec![Predicate::eq(0, 2)]),
+                cardinality: 1,
+                selectivity: 0.02,
+            },
+        ];
+        dedup_workload(&mut w);
+        assert_eq!(w.len(), 2);
+    }
+}

@@ -1,0 +1,255 @@
+//! Star-schema joins with exact cardinality counting.
+//!
+//! The multi-table workloads (the DSB/TPC-DS and JOB stand-ins) are modeled
+//! as star schemas: one fact table whose foreign-key columns reference
+//! dimension tables by row id (FK code `v` joins dimension row `v`). True
+//! join cardinalities reduce to semi-join counting: build a match mask per
+//! filtered dimension, then count fact rows whose FKs hit matching dimension
+//! rows.
+
+use crate::predicate::ConjunctiveQuery;
+use crate::table::Table;
+
+/// A star schema: a fact table plus dimension tables hanging off FK columns.
+#[derive(Debug, Clone)]
+pub struct StarSchema {
+    fact: Table,
+    /// `fk_columns[d]` is the fact column holding the FK into dimension `d`.
+    fk_columns: Vec<usize>,
+    dimensions: Vec<Table>,
+}
+
+/// A select-project-join query over a [`StarSchema`]: predicates on the fact
+/// table plus optional predicates per joined dimension.
+#[derive(Debug, Clone, Default)]
+pub struct StarQuery {
+    /// Conjunctive predicates on the fact table.
+    pub fact: ConjunctiveQuery,
+    /// `dims[d] = Some(q)` joins dimension `d` filtered by `q`
+    /// (`Some(ConjunctiveQuery::default())` for an unfiltered join);
+    /// `None` leaves dimension `d` out of the query.
+    pub dims: Vec<Option<ConjunctiveQuery>>,
+}
+
+impl StarQuery {
+    /// Indexes of the dimensions this query joins.
+    pub fn joined_dims(&self) -> Vec<usize> {
+        self.dims
+            .iter()
+            .enumerate()
+            .filter_map(|(d, q)| q.as_ref().map(|_| d))
+            .collect()
+    }
+
+    /// Number of relations (fact + joined dimensions).
+    pub fn n_relations(&self) -> usize {
+        1 + self.joined_dims().len()
+    }
+}
+
+impl StarSchema {
+    /// Assembles a star schema.
+    ///
+    /// # Panics
+    /// Panics if FK domains do not match dimension row counts, or the FK
+    /// column list length differs from the dimension list.
+    pub fn new(fact: Table, fk_columns: Vec<usize>, dimensions: Vec<Table>) -> Self {
+        assert_eq!(fk_columns.len(), dimensions.len(), "one FK column per dimension");
+        for (d, (&fk, dim)) in fk_columns.iter().zip(&dimensions).enumerate() {
+            assert!(fk < fact.schema().arity(), "FK column {fk} out of range");
+            assert_eq!(
+                fact.schema().domain(fk) as usize,
+                dim.n_rows(),
+                "FK domain of dimension {d} must equal its row count"
+            );
+        }
+        StarSchema { fact, fk_columns, dimensions }
+    }
+
+    /// The fact table.
+    pub fn fact(&self) -> &Table {
+        &self.fact
+    }
+
+    /// Number of dimensions.
+    pub fn n_dimensions(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// Dimension table `d`.
+    pub fn dimension(&self, d: usize) -> &Table {
+        &self.dimensions[d]
+    }
+
+    /// The fact column holding the FK into dimension `d`.
+    pub fn fk_column(&self, d: usize) -> usize {
+        self.fk_columns[d]
+    }
+
+    /// Exact cardinality of the star join: count of fact rows satisfying the
+    /// fact predicates whose FKs land on dimension rows satisfying each
+    /// joined dimension's predicates. (PK-FK joins cannot fan out, so the
+    /// join cardinality equals this semi-join count.)
+    ///
+    /// # Panics
+    /// Panics if `query.dims` is longer than the dimension list or any
+    /// sub-query fails validation.
+    pub fn count(&self, query: &StarQuery) -> u64 {
+        self.count_with_dims(query, &query.joined_dims())
+    }
+
+    /// Exact cardinality of the partial join using only the dimensions in
+    /// `active` (each must be joined by `query`). Used by the optimizer to
+    /// cost intermediate results of left-deep plans.
+    pub fn count_with_dims(&self, query: &StarQuery, active: &[usize]) -> u64 {
+        assert!(
+            query.dims.len() <= self.dimensions.len(),
+            "query references more dimensions than the schema has"
+        );
+        let masks: Vec<(usize, Vec<bool>)> = active
+            .iter()
+            .map(|&d| {
+                let q = query.dims[d]
+                    .as_ref()
+                    .expect("active dimension must be joined by the query");
+                (d, self.dimensions[d].match_mask(q))
+            })
+            .collect();
+        let fact_mask = self.fact.match_mask(&query.fact);
+        let mut count = 0u64;
+        'rows: for (r, &ok) in fact_mask.iter().enumerate() {
+            if !ok {
+                continue;
+            }
+            for (d, mask) in &masks {
+                let fk = self.fact.value(r, self.fk_columns[*d]) as usize;
+                if !mask[fk] {
+                    continue 'rows;
+                }
+            }
+            count += 1;
+        }
+        count
+    }
+
+    /// Selectivity of `query` relative to the fact table size.
+    pub fn selectivity(&self, query: &StarQuery) -> f64 {
+        if self.fact.n_rows() == 0 {
+            return 0.0;
+        }
+        self.count(query) as f64 / self.fact.n_rows() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ConjunctiveQuery, Predicate};
+    use crate::schema::{ColumnKind, Schema};
+
+    /// Fact(fk0, fk1, m) with 2 dims of 3 rows each.
+    fn star() -> StarSchema {
+        let dim_schema = |name: &str| {
+            Schema::from_specs(&[(name, 2, ColumnKind::Categorical)])
+        };
+        // dim0 attribute: rows 0,1,2 -> values 0,1,0
+        let dim0 = Table::new(dim_schema("x"), vec![vec![0, 1, 0]]);
+        // dim1 attribute: rows 0,1,2 -> values 1,1,0
+        let dim1 = Table::new(dim_schema("y"), vec![vec![1, 1, 0]]);
+        let fact_schema = Schema::from_specs(&[
+            ("fk0", 3, ColumnKind::Categorical),
+            ("fk1", 3, ColumnKind::Categorical),
+            ("m", 4, ColumnKind::Numeric),
+        ]);
+        let fact = Table::from_rows(
+            fact_schema,
+            &[
+                vec![0, 0, 0],
+                vec![1, 1, 1],
+                vec![2, 2, 2],
+                vec![0, 2, 3],
+                vec![1, 0, 0],
+            ],
+        );
+        StarSchema::new(fact, vec![0, 1], vec![dim0, dim1])
+    }
+
+    #[test]
+    fn unfiltered_join_counts_all_fact_rows() {
+        let s = star();
+        let q = StarQuery {
+            fact: ConjunctiveQuery::default(),
+            dims: vec![Some(ConjunctiveQuery::default()), None],
+        };
+        assert_eq!(s.count(&q), 5);
+    }
+
+    #[test]
+    fn dimension_filter_prunes_fact_rows() {
+        let s = star();
+        // dim0.x = 1 matches dim row 1 only -> fact rows with fk0 == 1.
+        let q = StarQuery {
+            fact: ConjunctiveQuery::default(),
+            dims: vec![Some(ConjunctiveQuery::new(vec![Predicate::eq(0, 1)])), None],
+        };
+        assert_eq!(s.count(&q), 2);
+    }
+
+    #[test]
+    fn two_dimension_filters_intersect() {
+        let s = star();
+        // dim0.x = 0 -> dim rows {0, 2}; dim1.y = 1 -> dim rows {0, 1}.
+        let q = StarQuery {
+            fact: ConjunctiveQuery::default(),
+            dims: vec![
+                Some(ConjunctiveQuery::new(vec![Predicate::eq(0, 0)])),
+                Some(ConjunctiveQuery::new(vec![Predicate::eq(0, 1)])),
+            ],
+        };
+        // fact rows: (0,0) ok, (1,1) fk0=1 not in {0,2}; (2,2) fk1=2 not in
+        // {0,1}; (0,2) fk1=2 no; (1,0) fk0=1 no.
+        assert_eq!(s.count(&q), 1);
+    }
+
+    #[test]
+    fn fact_predicate_composes_with_joins() {
+        let s = star();
+        let q = StarQuery {
+            fact: ConjunctiveQuery::new(vec![Predicate::range(2, 0, 1)]),
+            dims: vec![Some(ConjunctiveQuery::default()), None],
+        };
+        assert_eq!(s.count(&q), 3);
+    }
+
+    #[test]
+    fn partial_join_uses_only_active_dimensions() {
+        let s = star();
+        let q = StarQuery {
+            fact: ConjunctiveQuery::default(),
+            dims: vec![
+                Some(ConjunctiveQuery::new(vec![Predicate::eq(0, 0)])),
+                Some(ConjunctiveQuery::new(vec![Predicate::eq(0, 1)])),
+            ],
+        };
+        let only_d0 = s.count_with_dims(&q, &[0]);
+        let only_d1 = s.count_with_dims(&q, &[1]);
+        let both = s.count_with_dims(&q, &[0, 1]);
+        assert_eq!(only_d0, 3);
+        assert_eq!(only_d1, 3);
+        assert!(both <= only_d0.min(only_d1));
+    }
+
+    #[test]
+    #[should_panic(expected = "FK domain")]
+    fn rejects_mismatched_fk_domain() {
+        let dim = Table::new(
+            Schema::from_specs(&[("x", 2, ColumnKind::Categorical)]),
+            vec![vec![0, 1]],
+        );
+        let fact = Table::new(
+            Schema::from_specs(&[("fk0", 3, ColumnKind::Categorical)]),
+            vec![vec![0]],
+        );
+        StarSchema::new(fact, vec![0], vec![dim]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Predicates and conjunctive queries over a single table.
+
+use crate::schema::Schema;
+
+/// A predicate on one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `col = value`
+    Eq(u32),
+    /// `lo <= col <= hi` (inclusive on both ends)
+    Range {
+        /// Lower bound (inclusive).
+        lo: u32,
+        /// Upper bound (inclusive).
+        hi: u32,
+    },
+}
+
+impl Op {
+    /// Whether a coded value satisfies this operator.
+    #[inline]
+    pub fn matches(self, v: u32) -> bool {
+        match self {
+            Op::Eq(x) => v == x,
+            Op::Range { lo, hi } => lo <= v && v <= hi,
+        }
+    }
+
+    /// Inclusive code bounds `[lo, hi]` of the accepted values.
+    pub fn bounds(self) -> (u32, u32) {
+        match self {
+            Op::Eq(x) => (x, x),
+            Op::Range { lo, hi } => (lo, hi),
+        }
+    }
+
+    /// Number of codes the operator accepts.
+    pub fn width(self) -> u64 {
+        let (lo, hi) = self.bounds();
+        (hi as u64).saturating_sub(lo as u64) + 1
+    }
+}
+
+/// One column predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Predicate {
+    /// Column index within the table's schema.
+    pub column: usize,
+    /// Operator.
+    pub op: Op,
+}
+
+impl Predicate {
+    /// `column = value`.
+    pub fn eq(column: usize, value: u32) -> Self {
+        Predicate { column, op: Op::Eq(value) }
+    }
+
+    /// `lo <= column <= hi`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range(column: usize, lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "range predicate with lo {lo} > hi {hi}");
+        Predicate { column, op: Op::Range { lo, hi } }
+    }
+}
+
+/// A conjunction of per-column predicates:
+/// `SELECT COUNT(*) FROM R WHERE p1 AND p2 AND ...`.
+///
+/// An empty conjunction matches every row.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConjunctiveQuery {
+    /// The conjuncts. At most one per column (enforced by [`Self::validate`]).
+    pub predicates: Vec<Predicate>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a query from predicates.
+    pub fn new(predicates: Vec<Predicate>) -> Self {
+        ConjunctiveQuery { predicates }
+    }
+
+    /// Checks the query against a schema: column indices in range, values in
+    /// domain, at most one predicate per column.
+    pub fn validate(&self, schema: &Schema) -> Result<(), String> {
+        let mut seen = vec![false; schema.arity()];
+        for p in &self.predicates {
+            if p.column >= schema.arity() {
+                return Err(format!(
+                    "predicate on column {} but schema has {} columns",
+                    p.column,
+                    schema.arity()
+                ));
+            }
+            if seen[p.column] {
+                return Err(format!(
+                    "two predicates on column `{}`",
+                    schema.column(p.column).name
+                ));
+            }
+            seen[p.column] = true;
+            let (lo, hi) = p.op.bounds();
+            let domain = schema.domain(p.column);
+            if hi >= domain {
+                return Err(format!(
+                    "predicate bound {hi} outside domain {domain} of column `{}`",
+                    schema.column(p.column).name
+                ));
+            }
+            let _ = lo;
+        }
+        Ok(())
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True when the query has no predicates (matches everything).
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnKind;
+
+    fn schema() -> Schema {
+        Schema::from_specs(&[
+            ("a", 10, ColumnKind::Categorical),
+            ("b", 100, ColumnKind::Numeric),
+        ])
+    }
+
+    #[test]
+    fn op_matches_eq_and_range() {
+        assert!(Op::Eq(3).matches(3));
+        assert!(!Op::Eq(3).matches(4));
+        let r = Op::Range { lo: 2, hi: 5 };
+        assert!(r.matches(2) && r.matches(5) && !r.matches(6) && !r.matches(1));
+    }
+
+    #[test]
+    fn op_width_counts_inclusive_codes() {
+        assert_eq!(Op::Eq(7).width(), 1);
+        assert_eq!(Op::Range { lo: 3, hi: 7 }.width(), 5);
+        assert_eq!(Op::Range { lo: 0, hi: u32::MAX }.width(), 1 << 32);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_query() {
+        let q = ConjunctiveQuery::new(vec![
+            Predicate::eq(0, 9),
+            Predicate::range(1, 10, 20),
+        ]);
+        assert!(q.validate(&schema()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_domain_value() {
+        let q = ConjunctiveQuery::new(vec![Predicate::eq(0, 10)]);
+        assert!(q.validate(&schema()).unwrap_err().contains("outside domain"));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_column() {
+        let q = ConjunctiveQuery::new(vec![Predicate::eq(5, 0)]);
+        assert!(q.validate(&schema()).unwrap_err().contains("schema has"));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_column_predicates() {
+        let q = ConjunctiveQuery::new(vec![Predicate::eq(0, 1), Predicate::eq(0, 2)]);
+        assert!(q.validate(&schema()).unwrap_err().contains("two predicates"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo 5 > hi 2")]
+    fn range_constructor_rejects_inverted_bounds() {
+        Predicate::range(0, 5, 2);
+    }
+
+    #[test]
+    fn empty_query_is_valid() {
+        assert!(ConjunctiveQuery::default().validate(&schema()).is_ok());
+        assert!(ConjunctiveQuery::default().is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Table schemas.
+//!
+//! Every column is dictionary-coded to `u32` values `0..domain`. Numeric
+//! columns are quantized onto an ordered code domain at generation time —
+//! exactly what learned estimators (Naru's autoregressive factorization,
+//! MSCN's featurization) do internally anyway — so range predicates become
+//! code ranges and the whole stack shares one value representation.
+
+/// Logical kind of a column. Both kinds share the coded representation; the
+/// kind steers workload generation (categorical columns get point predicates,
+/// numeric columns get range predicates) and featurization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ColumnKind {
+    /// Unordered categorical (e.g. DMV `color`, `state`).
+    Categorical,
+    /// Ordered numeric quantized onto codes (e.g. Power sensor readings).
+    Numeric,
+}
+
+/// Metadata of one column.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ColumnMeta {
+    /// Column name, unique within the schema.
+    pub name: String,
+    /// Number of distinct codes; valid values are `0..domain`.
+    pub domain: u32,
+    /// Logical kind.
+    pub kind: ColumnKind,
+}
+
+/// An ordered list of column metadata.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnMeta>,
+}
+
+impl Schema {
+    /// Builds a schema from column metadata.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names or zero-sized domains.
+    pub fn new(columns: Vec<ColumnMeta>) -> Self {
+        for (i, c) in columns.iter().enumerate() {
+            assert!(c.domain > 0, "column `{}` has an empty domain", c.name);
+            assert!(
+                !columns[..i].iter().any(|p| p.name == c.name),
+                "duplicate column name `{}`",
+                c.name
+            );
+        }
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `(name, domain, kind)` triples.
+    pub fn from_specs(specs: &[(&str, u32, ColumnKind)]) -> Self {
+        Schema::new(
+            specs
+                .iter()
+                .map(|&(name, domain, kind)| ColumnMeta {
+                    name: name.to_string(),
+                    domain,
+                    kind,
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Metadata of column `i`.
+    pub fn column(&self, i: usize) -> &ColumnMeta {
+        &self.columns[i]
+    }
+
+    /// All column metadata in order.
+    pub fn columns(&self) -> &[ColumnMeta] {
+        &self.columns
+    }
+
+    /// Index of the column named `name`, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Domain size of column `i`.
+    pub fn domain(&self, i: usize) -> u32 {
+        self.columns[i].domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_specs_round_trips() {
+        let s = Schema::from_specs(&[
+            ("color", 12, ColumnKind::Categorical),
+            ("year", 60, ColumnKind::Numeric),
+        ]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.column(0).name, "color");
+        assert_eq!(s.domain(1), 60);
+        assert_eq!(s.column_index("year"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn rejects_duplicate_names() {
+        Schema::from_specs(&[
+            ("a", 2, ColumnKind::Categorical),
+            ("a", 3, ColumnKind::Categorical),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn rejects_empty_domain() {
+        Schema::from_specs(&[("a", 0, ColumnKind::Categorical)]);
+    }
+}

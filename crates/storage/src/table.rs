@@ -1,0 +1,251 @@
+//! Columnar table with exact COUNT(*) evaluation via naive scans.
+
+use crate::predicate::ConjunctiveQuery;
+use crate::schema::Schema;
+
+/// An in-memory, column-major table of dictionary-coded values.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Vec<u32>>, // columns[c][r]
+    n_rows: usize,
+}
+
+impl Table {
+    /// Creates a table from column vectors.
+    ///
+    /// # Panics
+    /// Panics if the column count mismatches the schema, columns have unequal
+    /// lengths, or any value falls outside its column's domain.
+    pub fn new(schema: Schema, columns: Vec<Vec<u32>>) -> Self {
+        assert_eq!(columns.len(), schema.arity(), "column count mismatch");
+        let n_rows = columns.first().map_or(0, Vec::len);
+        for (i, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), n_rows, "column `{}` length mismatch", schema.column(i).name);
+            let domain = schema.domain(i);
+            assert!(
+                col.iter().all(|&v| v < domain),
+                "column `{}` has a value outside its domain {domain}",
+                schema.column(i).name
+            );
+        }
+        Table { schema, columns, n_rows }
+    }
+
+    /// Creates a table from row tuples.
+    pub fn from_rows(schema: Schema, rows: &[Vec<u32>]) -> Self {
+        let arity = schema.arity();
+        let mut columns = vec![Vec::with_capacity(rows.len()); arity];
+        for row in rows {
+            assert_eq!(row.len(), arity, "row arity mismatch");
+            for (c, &v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        Table::new(schema, columns)
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Column `c` as a slice.
+    pub fn column(&self, c: usize) -> &[u32] {
+        &self.columns[c]
+    }
+
+    /// Value of column `c` in row `r`.
+    #[inline]
+    pub fn value(&self, r: usize, c: usize) -> u32 {
+        self.columns[c][r]
+    }
+
+    /// Gathers row `r` as a tuple (used by Naru-style training).
+    pub fn row(&self, r: usize) -> Vec<u32> {
+        self.columns.iter().map(|col| col[r]).collect()
+    }
+
+    /// Exact `COUNT(*)` of a conjunctive query by scanning.
+    ///
+    /// Predicates are applied one column at a time over a shrinking selection
+    /// vector, so cheap early predicates prune work for later ones.
+    ///
+    /// # Panics
+    /// Panics if the query fails validation against the schema.
+    pub fn count(&self, query: &ConjunctiveQuery) -> u64 {
+        if let Err(e) = query.validate(&self.schema) {
+            panic!("invalid query: {e}");
+        }
+        if query.is_empty() {
+            return self.n_rows as u64;
+        }
+        let mut preds = query.predicates.clone();
+        // Most selective first: order by accepted-code width relative to the
+        // column domain, a cheap static selectivity proxy.
+        preds.sort_by(|a, b| {
+            let sa = a.op.width() as f64 / self.schema.domain(a.column) as f64;
+            let sb = b.op.width() as f64 / self.schema.domain(b.column) as f64;
+            sa.partial_cmp(&sb).expect("finite selectivity proxy")
+        });
+
+        let first = preds[0];
+        let col = &self.columns[first.column];
+        let mut selection: Vec<u32> = (0..self.n_rows as u32)
+            .filter(|&r| first.op.matches(col[r as usize]))
+            .collect();
+        for p in &preds[1..] {
+            if selection.is_empty() {
+                return 0;
+            }
+            let col = &self.columns[p.column];
+            selection.retain(|&r| p.op.matches(col[r as usize]));
+        }
+        selection.len() as u64
+    }
+
+    /// Normalized selectivity `count / n_rows` in [0, 1]; 0 for empty tables.
+    pub fn selectivity(&self, query: &ConjunctiveQuery) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        self.count(query) as f64 / self.n_rows as f64
+    }
+
+    /// Boolean match mask over all rows (used for semi-joins).
+    pub fn match_mask(&self, query: &ConjunctiveQuery) -> Vec<bool> {
+        if let Err(e) = query.validate(&self.schema) {
+            panic!("invalid query: {e}");
+        }
+        let mut mask = vec![true; self.n_rows];
+        for p in &query.predicates {
+            let col = &self.columns[p.column];
+            for (m, &v) in mask.iter_mut().zip(col) {
+                *m = *m && p.op.matches(v);
+            }
+        }
+        mask
+    }
+
+    /// Row ids matching the query.
+    pub fn matching_rows(&self, query: &ConjunctiveQuery) -> Vec<u32> {
+        self.match_mask(query)
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &m)| m.then_some(r as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ConjunctiveQuery, Predicate};
+    use crate::schema::{ColumnKind, Schema};
+
+    fn small_table() -> Table {
+        let schema = Schema::from_specs(&[
+            ("a", 3, ColumnKind::Categorical),
+            ("b", 10, ColumnKind::Numeric),
+        ]);
+        // rows: (a, b)
+        let rows = vec![
+            vec![0, 1],
+            vec![0, 5],
+            vec![1, 5],
+            vec![2, 9],
+            vec![1, 0],
+            vec![0, 9],
+        ];
+        Table::from_rows(schema, &rows)
+    }
+
+    #[test]
+    fn empty_query_counts_all_rows() {
+        let t = small_table();
+        assert_eq!(t.count(&ConjunctiveQuery::default()), 6);
+    }
+
+    #[test]
+    fn point_predicate_counts() {
+        let t = small_table();
+        let q = ConjunctiveQuery::new(vec![Predicate::eq(0, 0)]);
+        assert_eq!(t.count(&q), 3);
+    }
+
+    #[test]
+    fn range_predicate_counts() {
+        let t = small_table();
+        let q = ConjunctiveQuery::new(vec![Predicate::range(1, 5, 9)]);
+        assert_eq!(t.count(&q), 4);
+    }
+
+    #[test]
+    fn conjunction_counts() {
+        let t = small_table();
+        let q = ConjunctiveQuery::new(vec![
+            Predicate::eq(0, 0),
+            Predicate::range(1, 5, 9),
+        ]);
+        assert_eq!(t.count(&q), 2);
+        assert!((t.selectivity(&q) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impossible_conjunction_counts_zero() {
+        let t = small_table();
+        let q = ConjunctiveQuery::new(vec![
+            Predicate::eq(0, 2),
+            Predicate::range(1, 0, 1),
+        ]);
+        assert_eq!(t.count(&q), 0);
+    }
+
+    #[test]
+    fn match_mask_agrees_with_count() {
+        let t = small_table();
+        let q = ConjunctiveQuery::new(vec![Predicate::range(1, 5, 9)]);
+        let mask = t.match_mask(&q);
+        assert_eq!(mask.iter().filter(|&&m| m).count() as u64, t.count(&q));
+    }
+
+    #[test]
+    fn matching_rows_are_sorted_row_ids() {
+        let t = small_table();
+        let q = ConjunctiveQuery::new(vec![Predicate::eq(0, 1)]);
+        assert_eq!(t.matching_rows(&q), vec![2, 4]);
+    }
+
+    #[test]
+    fn row_gather_round_trips() {
+        let t = small_table();
+        assert_eq!(t.row(3), vec![2, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its domain")]
+    fn rejects_out_of_domain_values() {
+        let schema = Schema::from_specs(&[("a", 2, ColumnKind::Categorical)]);
+        Table::new(schema, vec![vec![0, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid query")]
+    fn count_rejects_invalid_query() {
+        let t = small_table();
+        t.count(&ConjunctiveQuery::new(vec![Predicate::eq(9, 0)]));
+    }
+
+    #[test]
+    fn zero_row_table_counts_zero() {
+        let schema = Schema::from_specs(&[("a", 2, ColumnKind::Categorical)]);
+        let t = Table::new(schema, vec![vec![]]);
+        assert_eq!(t.count(&ConjunctiveQuery::default()), 0);
+        assert_eq!(t.selectivity(&ConjunctiveQuery::default()), 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Compares all four prediction-interval methods around one MSCN model —
+//! the trade-off table a practitioner would consult (paper §V-D).
+//!
+//! ```text
+//! cargo run --release --example compare_methods
+//! ```
+
+use cardest::pipeline::{
+    run_cqr, run_jackknife_cv_mscn, run_locally_weighted, run_split_conformal,
+    train_mscn, train_mscn_quantile_heads, EncodedSet, ScoreKind, SingleTableBench,
+    SplitSpec,
+};
+use cardest::query::GeneratorConfig;
+
+fn main() {
+    let table = cardest::datagen::census(10_000, 11);
+    let bench = SingleTableBench::prepare(
+        table,
+        1_500,
+        &GeneratorConfig::low_selectivity(),
+        SplitSpec::default(),
+        11,
+    );
+    let alpha = 0.1;
+    let floor = 1e-6;
+    let epochs = 30;
+
+    let mscn = train_mscn(&bench.feat, &bench.train, epochs, 11);
+
+    let scp = run_split_conformal(
+        mscn.clone(),
+        ScoreKind::Residual,
+        &bench.calib,
+        &bench.test,
+        alpha,
+        floor,
+    );
+
+    let mut labeled = bench.train.clone();
+    labeled.x.extend(bench.calib.x.iter().cloned());
+    labeled.y.extend(bench.calib.y.iter().cloned());
+    let labeled = EncodedSet { x: labeled.x, y: labeled.y };
+    let jk = run_jackknife_cv_mscn(&bench.feat, &labeled, &bench.test, 10, alpha, epochs, 11);
+
+    let lw = run_locally_weighted(
+        mscn.clone(),
+        ScoreKind::Residual,
+        &bench.train,
+        &bench.calib,
+        &bench.test,
+        alpha,
+        floor,
+        11,
+    );
+
+    let (lo, hi) = train_mscn_quantile_heads(&bench.feat, &bench.train, epochs, alpha, 11);
+    let cqr = run_cqr(lo, hi, &bench.calib, &bench.test, alpha);
+
+    println!(
+        "{:<10} {:>9} {:>12} {:>12}   cost profile",
+        "method", "coverage", "mean width", "med width"
+    );
+    let cost = |m: &str| match m {
+        "S-CP" => "no extra training; constant width",
+        "JK-CV+" => "K retrained models; symmetric width",
+        "LW-S-CP" => "one GBDT difficulty model; adaptive width",
+        "CQR" => "two quantile heads (loss change); adaptive + asymmetric",
+        _ => "",
+    };
+    for r in [&scp, &jk, &lw, &cqr] {
+        println!(
+            "{:<10} {:>9.3} {:>12.6} {:>12.6}   {}",
+            r.method,
+            r.report.coverage,
+            r.report.mean_width,
+            r.report.median_width,
+            cost(r.method)
+        );
+    }
+}

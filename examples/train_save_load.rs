@@ -1,0 +1,65 @@
+//! Train offline, persist the model artifact, reload it elsewhere, and wrap
+//! it with conformal calibration at serve time — the deployment shape a
+//! query optimizer integration would use.
+//!
+//! ```text
+//! cargo run --release --example train_save_load
+//! ```
+
+use cardest::conformal::{AbsoluteResidual, SplitConformal};
+use cardest::estimators::Mscn;
+use cardest::pipeline::{train_mscn, SingleTableBench, SplitSpec};
+use cardest::query::GeneratorConfig;
+
+fn main() {
+    let table = cardest::datagen::forest(8_000, 21);
+    let bench = SingleTableBench::prepare(
+        table,
+        1_200,
+        &GeneratorConfig::low_selectivity(),
+        SplitSpec::default(),
+        21,
+    );
+
+    // --- Offline: train and persist. ---
+    let model = train_mscn(&bench.feat, &bench.train, 30, 21);
+    let artifact = serde_json::to_string(&model).expect("serialize model");
+    let path = std::env::temp_dir().join("cardest_mscn_forest.json");
+    std::fs::write(&path, &artifact).expect("write artifact");
+    println!(
+        "trained MSCN persisted to {} ({:.1} KiB)",
+        path.display(),
+        artifact.len() as f64 / 1024.0
+    );
+
+    // --- Online: reload and calibrate against the live workload. ---
+    let reloaded: Mscn = serde_json::from_str(
+        &std::fs::read_to_string(&path).expect("read artifact"),
+    )
+    .expect("deserialize model");
+    let scp = SplitConformal::calibrate(
+        reloaded,
+        AbsoluteResidual,
+        &bench.calib.x,
+        &bench.calib.y,
+        0.1,
+    );
+    let covered = bench
+        .test
+        .x
+        .iter()
+        .zip(&bench.test.y)
+        .filter(|(f, &y)| scp.interval(f).clip(0.0, 1.0).contains(y))
+        .count() as f64
+        / bench.test.len() as f64;
+    println!("reloaded model + conformal wrap: coverage {covered:.3} (target 0.90)");
+    let probe = &bench.test.x[0];
+    let iv = scp.interval(probe).clip(0.0, 1.0);
+    println!(
+        "example query: estimate {:.5}, 90% interval [{:.5}, {:.5}]",
+        scp.predict(probe),
+        iv.lo,
+        iv.hi
+    );
+    let _ = std::fs::remove_file(&path);
+}

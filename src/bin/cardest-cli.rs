@@ -1,0 +1,188 @@
+//! `cardest-cli` — an interactive demo of prediction intervals over learned
+//! cardinality estimation.
+//!
+//! ```text
+//! cargo run --release --bin cardest-cli -- --dataset dmv --rows 20000 --model mscn
+//! ```
+//!
+//! Builds the dataset, trains the chosen model, calibrates split conformal
+//! and locally weighted conformal wrappers, then reads textual queries from
+//! stdin (`make = 3 AND unladen_weight in 10..40`) and answers each with the
+//! exact count, the model estimate, and both prediction intervals.
+
+use std::io::{BufRead, Write};
+
+use cardest::conformal::Regressor;
+use cardest::pipeline::{
+    run_locally_weighted, run_split_conformal, train_lwnn, train_mscn, train_naru,
+    ScoreKind, SingleTableBench, SplitSpec,
+};
+use cardest::query::{parse_query, GeneratorConfig};
+
+struct Options {
+    dataset: String,
+    rows: usize,
+    model: String,
+    alpha: f64,
+    queries: usize,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        dataset: "dmv".into(),
+        rows: 20_000,
+        model: "mscn".into(),
+        alpha: 0.1,
+        queries: 2_000,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {}", args[i]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--dataset" => opts.dataset = value(i),
+            "--rows" => opts.rows = value(i).parse().expect("--rows takes a number"),
+            "--model" => opts.model = value(i),
+            "--alpha" => opts.alpha = value(i).parse().expect("--alpha takes a float"),
+            "--queries" => {
+                opts.queries = value(i).parse().expect("--queries takes a number")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cardest-cli [--dataset dmv|census|forest|power] \
+                     [--rows N] [--model mscn|lwnn|naru] [--alpha A] [--queries N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let seed = 42;
+    let Some(table) = cardest::datagen::by_name(&opts.dataset, opts.rows, seed) else {
+        eprintln!("unknown dataset `{}` (dmv|census|forest|power)", opts.dataset);
+        std::process::exit(2);
+    };
+    eprintln!(
+        "dataset {}: {} rows x {} columns; generating {} labeled queries...",
+        opts.dataset,
+        table.n_rows(),
+        table.schema().arity(),
+        opts.queries
+    );
+    let bench = SingleTableBench::prepare(
+        table,
+        opts.queries,
+        &GeneratorConfig::low_selectivity(),
+        SplitSpec::default(),
+        seed,
+    );
+
+    eprintln!("training {}...", opts.model);
+    let model: Box<dyn Regressor> = match opts.model.as_str() {
+        "mscn" => Box::new(train_mscn(&bench.feat, &bench.train, 40, seed)),
+        "lwnn" => Box::new(train_lwnn(&bench.table, &bench.train, 20, seed)),
+        "naru" => Box::new(train_naru(&bench.table, 3, 64, seed)),
+        other => {
+            eprintln!("unknown model `{other}` (mscn|lwnn|naru)");
+            std::process::exit(2);
+        }
+    };
+    let model = &*model;
+    let adapter = |f: &[f32]| model.predict(f);
+
+    eprintln!("calibrating prediction intervals (alpha = {})...", opts.alpha);
+    let floor = 1.0 / bench.table.n_rows() as f64;
+    let scp = run_split_conformal(
+        adapter,
+        ScoreKind::Residual,
+        &bench.calib,
+        &bench.test,
+        opts.alpha,
+        floor,
+    );
+    let lw = run_locally_weighted(
+        adapter,
+        ScoreKind::Residual,
+        &bench.train,
+        &bench.calib,
+        &bench.test,
+        opts.alpha,
+        floor,
+        seed,
+    );
+    eprintln!(
+        "held-out sanity: S-CP coverage {:.3} (width {:.5}), LW-S-CP coverage {:.3} (width {:.5})",
+        scp.report.coverage, scp.report.mean_width, lw.report.coverage, lw.report.mean_width,
+    );
+    // Recalibrate interval closures for ad-hoc queries.
+    let scp = cardest::conformal::SplitConformal::calibrate(
+        adapter,
+        cardest::conformal::AbsoluteResidual,
+        &bench.calib.x,
+        &bench.calib.y,
+        opts.alpha,
+    );
+
+    let columns: Vec<String> = bench
+        .table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| format!("{}(0..{})", c.name, c.domain))
+        .collect();
+    eprintln!("\ncolumns: {}", columns.join(", "));
+    eprintln!("enter queries like `{} = 1 AND {} in 2..5` (empty line quits):",
+        bench.table.schema().column(0).name,
+        bench.table.schema().column(1).name,
+    );
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let n = bench.table.n_rows() as f64;
+    loop {
+        print!("> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() || line == "quit" || line == "exit" {
+            break;
+        }
+        match parse_query(bench.table.schema(), line) {
+            Err(e) => println!("  error: {e}"),
+            Ok(q) => {
+                let truth = bench.table.count(&q);
+                let features = bench.feat.encode(&q);
+                let est = adapter.predict(&features);
+                let iv = scp.interval(&features).clip(0.0, 1.0);
+                println!(
+                    "  true count {truth} | estimate {:.0} (sel {:.5}) | {:.0}% PI [{:.0}, {:.0}] {}",
+                    est * n,
+                    est,
+                    (1.0 - scp.alpha()) * 100.0,
+                    iv.lo * n,
+                    iv.hi * n,
+                    if iv.contains(truth as f64 / n) { "(covers)" } else { "(MISS)" },
+                );
+            }
+        }
+    }
+}

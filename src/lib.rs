@@ -1,0 +1,48 @@
+//! # cardest — prediction intervals for learned cardinality estimation
+//!
+//! A full Rust reproduction of *"Prediction Intervals for Learned Cardinality
+//! Estimation: An Experimental Evaluation"* (ICDE 2022): four
+//! distribution-free prediction-interval methods wrapped around three learned
+//! cardinality estimators, evaluated over synthetic single-table and
+//! star-join workloads, down to the Postgres plan-quality experiment.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`conformal`] — the PI framework (the paper's subject)
+//! * [`estimators`] — MSCN, Naru, LW-NN, and the AVI baseline
+//! * [`storage`] — columnar tables with exact COUNT(*) evaluation
+//! * [`datagen`] — synthetic DMV/Census/Forest/Power and star schemas
+//! * [`query`] — workload generation and splits
+//! * [`optimizer`] — the mini join optimizer for the Table I experiment
+//! * [`nn`], [`gbdt`] — the learning substrates
+//! * [`pipeline`] — end-to-end helpers used by examples and experiments
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cardest::pipeline::{
+//!     run_split_conformal, train_mscn, ScoreKind, SingleTableBench, SplitSpec,
+//! };
+//! use cardest::query::GeneratorConfig;
+//!
+//! let table = cardest::datagen::dmv(2_000, 7);
+//! let bench = SingleTableBench::prepare(
+//!     table, 300, &GeneratorConfig::default(), SplitSpec::default(), 7,
+//! );
+//! let mscn = train_mscn(&bench.feat, &bench.train, 20, 7);
+//! let result = run_split_conformal(
+//!     mscn, ScoreKind::Residual, &bench.calib, &bench.test, 0.1, 1e-7,
+//! );
+//! assert!(result.report.coverage >= 0.8);
+//! ```
+
+pub mod pipeline;
+
+pub use ce_conformal as conformal;
+pub use ce_datagen as datagen;
+pub use ce_estimators as estimators;
+pub use ce_gbdt as gbdt;
+pub use ce_nn as nn;
+pub use ce_optimizer as optimizer;
+pub use ce_query as query;
+pub use ce_storage as storage;

@@ -1,0 +1,515 @@
+//! End-to-end experiment pipeline shared by the examples, the integration
+//! tests, and the `experiments` binary: dataset → workload → splits → trained
+//! models → PI methods → evaluation.
+
+use ce_conformal::{
+    interval_report, ConformalizedQuantileRegression, IntervalReport, JackknifeCv,
+    LocallyWeightedConformal, PredictionInterval, QErrorScore, Regressor,
+    RelativeErrorScore, ScoreFunction, SplitConformal,
+};
+use ce_estimators::{
+    fit_difficulty_model, LwNn, LwNnConfig, Mscn, MscnConfig, MscnLayout, Naru,
+    NaruConfig, SingleTableFeaturizer, TrainLoss,
+};
+use ce_gbdt::GbdtConfig;
+use ce_query::{generate_workload, split, GeneratorConfig, Workload};
+use ce_storage::Table;
+
+/// A labeled, encoded query set: canonical features plus true selectivities.
+#[derive(Debug, Clone, Default)]
+pub struct EncodedSet {
+    /// Canonical feature encodings.
+    pub x: Vec<Vec<f32>>,
+    /// True selectivities.
+    pub y: Vec<f64>,
+}
+
+impl EncodedSet {
+    /// Encodes a workload with the given featurizer.
+    pub fn from_workload(feat: &SingleTableFeaturizer, w: &Workload) -> Self {
+        EncodedSet {
+            x: w.iter().map(|lq| feat.encode(&lq.query)).collect(),
+            y: w.iter().map(|lq| lq.selectivity).collect(),
+        }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the set holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// A fully prepared single-table benchmark: table, featurizer, and
+/// train/calibration/test splits of a generated workload.
+#[derive(Debug, Clone)]
+pub struct SingleTableBench {
+    /// The data.
+    pub table: Table,
+    /// The canonical featurizer over the table's schema.
+    pub feat: SingleTableFeaturizer,
+    /// Supervised training split.
+    pub train: EncodedSet,
+    /// Conformal calibration split.
+    pub calib: EncodedSet,
+    /// Held-out evaluation split.
+    pub test: EncodedSet,
+}
+
+/// Split fractions for (train, calibration); the remainder is test.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitSpec {
+    /// Fraction of the workload used for supervised training.
+    pub train: f64,
+    /// Fraction used for conformal calibration.
+    pub calib: f64,
+}
+
+impl Default for SplitSpec {
+    fn default() -> Self {
+        // The paper's default: equal train/calibration sets plus a test set
+        // of the same order (10K/10K/10K queries there, scaled here).
+        SplitSpec { train: 1.0 / 3.0, calib: 1.0 / 3.0 }
+    }
+}
+
+impl SingleTableBench {
+    /// Builds the benchmark: generates `n_queries` labeled queries over
+    /// `table` and splits them per `spec`.
+    ///
+    /// # Panics
+    /// Panics if the splits leave any part empty.
+    pub fn prepare(
+        table: Table,
+        n_queries: usize,
+        gen: &GeneratorConfig,
+        spec: SplitSpec,
+        seed: u64,
+    ) -> Self {
+        let feat = SingleTableFeaturizer::new(table.schema().clone());
+        let w = generate_workload(&table, n_queries, gen, seed);
+        let test_frac = (1.0 - spec.train - spec.calib).max(0.0);
+        assert!(test_frac > 0.0, "splits leave no test set");
+        let parts = split(&w, &[spec.train, spec.calib, test_frac], seed ^ 0x5eed);
+        let train = EncodedSet::from_workload(&feat, &parts[0]);
+        let calib = EncodedSet::from_workload(&feat, &parts[1]);
+        let test = EncodedSet::from_workload(&feat, &parts[2]);
+        assert!(
+            !train.is_empty() && !calib.is_empty() && !test.is_empty(),
+            "a split is empty: {} / {} / {}",
+            train.len(),
+            calib.len(),
+            test.len()
+        );
+        SingleTableBench { table, feat, train, calib, test }
+    }
+}
+
+/// The scoring functions studied in §V-C, tagged for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreKind {
+    /// Absolute residual (default).
+    Residual,
+    /// Q-error.
+    QError,
+    /// Relative error.
+    Relative,
+}
+
+impl ScoreKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoreKind::Residual => "residual",
+            ScoreKind::QError => "q-error",
+            ScoreKind::Relative => "relative",
+        }
+    }
+}
+
+/// Evaluation outcome of one PI method on one model/test set.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method name (e.g. "S-CP").
+    pub method: &'static str,
+    /// Coverage and width summary.
+    pub report: IntervalReport,
+    /// The raw intervals (clipped to [0, 1]).
+    pub intervals: Vec<PredictionInterval>,
+}
+
+fn clip_all(mut ivs: Vec<PredictionInterval>) -> Vec<PredictionInterval> {
+    for iv in &mut ivs {
+        *iv = iv.clip(0.0, 1.0);
+    }
+    ivs
+}
+
+fn eval<I: FnMut(&[f32]) -> PredictionInterval>(
+    method: &'static str,
+    test: &EncodedSet,
+    mut interval: I,
+) -> MethodResult {
+    let intervals = clip_all(test.x.iter().map(|f| interval(f)).collect());
+    MethodResult { method, report: interval_report(&intervals, &test.y), intervals }
+}
+
+/// Runs split conformal with the given score kind and returns its result.
+pub fn run_split_conformal<M: Regressor>(
+    model: M,
+    score: ScoreKind,
+    calib: &EncodedSet,
+    test: &EncodedSet,
+    alpha: f64,
+    sel_floor: f64,
+) -> MethodResult {
+    match score {
+        ScoreKind::Residual => {
+            let scp = SplitConformal::calibrate(
+                model,
+                ce_conformal::AbsoluteResidual,
+                &calib.x,
+                &calib.y,
+                alpha,
+            );
+            eval("S-CP", test, |f| scp.interval(f))
+        }
+        ScoreKind::QError => {
+            let scp = SplitConformal::calibrate(
+                model,
+                QErrorScore::new(sel_floor),
+                &calib.x,
+                &calib.y,
+                alpha,
+            );
+            eval("S-CP", test, |f| scp.interval(f))
+        }
+        ScoreKind::Relative => {
+            let scp = SplitConformal::calibrate(
+                model,
+                RelativeErrorScore::new(sel_floor),
+                &calib.x,
+                &calib.y,
+                alpha,
+            );
+            eval("S-CP", test, |f| scp.interval(f))
+        }
+    }
+}
+
+/// Runs locally weighted split conformal: trains a GBDT difficulty model on
+/// the *training* split's score magnitudes (Algorithm 3), then calibrates.
+#[allow(clippy::too_many_arguments)]
+pub fn run_locally_weighted<M: Regressor>(
+    model: M,
+    score: ScoreKind,
+    train: &EncodedSet,
+    calib: &EncodedSet,
+    test: &EncodedSet,
+    alpha: f64,
+    sel_floor: f64,
+    seed: u64,
+) -> MethodResult {
+    fn go<M: Regressor, S: ScoreFunction>(
+        model: M,
+        score: S,
+        train: &EncodedSet,
+        calib: &EncodedSet,
+        test: &EncodedSet,
+        alpha: f64,
+        seed: u64,
+    ) -> MethodResult {
+        let train_scores: Vec<f64> = train
+            .x
+            .iter()
+            .zip(&train.y)
+            .map(|(f, &y)| score.score(y, model.predict(f)))
+            .collect();
+        // Difficulty is learned in log space and the resulting U(X) is
+        // clamped into the training scores' central range: conditional score
+        // magnitudes span orders of magnitude, and an extrapolating U would
+        // otherwise blow intervals up to the trivial [0, 1] on outlier
+        // queries (or collapse them where the base model overfit its
+        // training residuals — the failure mode §III-F warns about).
+        let eps = 1e-9;
+        let log_scores: Vec<f64> =
+            train_scores.iter().map(|&s| (s + eps).ln()).collect();
+        let gbdt = fit_difficulty_model(
+            &train.x,
+            &log_scores,
+            &GbdtConfig { n_trees: 60, seed, ..Default::default() },
+        );
+        let mut sorted = train_scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite score"));
+        let p = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize].max(eps);
+        let (u_min, u_max) = (p(0.05), p(0.95));
+        let difficulty =
+            move |f: &[f32]| gbdt.predict(f).exp().clamp(u_min, u_max);
+        let lw = LocallyWeightedConformal::calibrate(
+            model, difficulty, score, &calib.x, &calib.y, alpha, u_min,
+        );
+        eval("LW-S-CP", test, |f| lw.interval(f))
+    }
+    match score {
+        ScoreKind::Residual => go(
+            model,
+            ce_conformal::AbsoluteResidual,
+            train,
+            calib,
+            test,
+            alpha,
+            seed,
+        ),
+        ScoreKind::QError => {
+            go(model, QErrorScore::new(sel_floor), train, calib, test, alpha, seed)
+        }
+        ScoreKind::Relative => go(
+            model,
+            RelativeErrorScore::new(sel_floor),
+            train,
+            calib,
+            test,
+            alpha,
+            seed,
+        ),
+    }
+}
+
+/// Runs CQR given two trained quantile heads.
+pub fn run_cqr<L: Regressor, U: Regressor>(
+    lower: L,
+    upper: U,
+    calib: &EncodedSet,
+    test: &EncodedSet,
+    alpha: f64,
+) -> MethodResult {
+    let cqr =
+        ConformalizedQuantileRegression::calibrate(lower, upper, &calib.x, &calib.y, alpha);
+    eval("CQR", test, |f| cqr.interval(f))
+}
+
+/// Trains an MSCN point model with defaults scaled for experiments.
+pub fn train_mscn(
+    feat: &SingleTableFeaturizer,
+    train: &EncodedSet,
+    epochs: usize,
+    seed: u64,
+) -> Mscn {
+    Mscn::fit(
+        MscnLayout::Single(feat.clone()),
+        &train.x,
+        &train.y,
+        &MscnConfig { epochs, seed, ..Default::default() },
+    )
+}
+
+/// Trains the two MSCN quantile heads CQR needs for miscoverage `alpha`.
+pub fn train_mscn_quantile_heads(
+    feat: &SingleTableFeaturizer,
+    train: &EncodedSet,
+    epochs: usize,
+    alpha: f64,
+    seed: u64,
+) -> (Mscn, Mscn) {
+    let layout = MscnLayout::Single(feat.clone());
+    let lower = Mscn::fit(
+        layout.clone(),
+        &train.x,
+        &train.y,
+        &MscnConfig {
+            epochs,
+            seed: seed ^ 0x10,
+            loss: TrainLoss::Pinball((alpha / 2.0) as f32),
+            ..Default::default()
+        },
+    );
+    let upper = Mscn::fit(
+        layout,
+        &train.x,
+        &train.y,
+        &MscnConfig {
+            epochs,
+            seed: seed ^ 0x20,
+            loss: TrainLoss::Pinball((1.0 - alpha / 2.0) as f32),
+            ..Default::default()
+        },
+    );
+    (lower, upper)
+}
+
+/// Trains an LW-NN point model.
+pub fn train_lwnn(table: &Table, train: &EncodedSet, epochs: usize, seed: u64) -> LwNn {
+    LwNn::fit(
+        table,
+        &train.x,
+        &train.y,
+        &LwNnConfig { epochs, seed, ..Default::default() },
+    )
+}
+
+/// Trains the two LW-NN quantile heads CQR needs.
+pub fn train_lwnn_quantile_heads(
+    table: &Table,
+    train: &EncodedSet,
+    epochs: usize,
+    alpha: f64,
+    seed: u64,
+) -> (LwNn, LwNn) {
+    let lower = LwNn::fit(
+        table,
+        &train.x,
+        &train.y,
+        &LwNnConfig {
+            epochs,
+            seed: seed ^ 0x11,
+            loss: TrainLoss::Pinball((alpha / 2.0) as f32),
+            ..Default::default()
+        },
+    );
+    let upper = LwNn::fit(
+        table,
+        &train.x,
+        &train.y,
+        &LwNnConfig {
+            epochs,
+            seed: seed ^ 0x21,
+            loss: TrainLoss::Pinball((1.0 - alpha / 2.0) as f32),
+            ..Default::default()
+        },
+    );
+    (lower, upper)
+}
+
+/// Trains a Naru model on the table (unsupervised — no workload needed).
+pub fn train_naru(table: &Table, epochs: usize, samples: usize, seed: u64) -> Naru {
+    Naru::fit(table, &NaruConfig { epochs, samples, seed, ..Default::default() })
+}
+
+/// Runs the K-fold Jackknife (Algorithm 1) retraining MSCN per fold —
+/// the paper's JK-CV+ configuration (K models of the wrapped class, trained
+/// on the full labeled set minus one fold).
+pub fn run_jackknife_cv_mscn(
+    feat: &SingleTableFeaturizer,
+    labeled: &EncodedSet,
+    test: &EncodedSet,
+    k: usize,
+    alpha: f64,
+    epochs: usize,
+    seed: u64,
+) -> MethodResult {
+    let layout = MscnLayout::Single(feat.clone());
+    let trainer = move |x: &[Vec<f32>], y: &[f64], s: u64| {
+        Mscn::fit(
+            layout.clone(),
+            x,
+            y,
+            &MscnConfig { epochs, seed: s, ..Default::default() },
+        )
+    };
+    let jk = JackknifeCv::fit(
+        &trainer,
+        ce_conformal::AbsoluteResidual,
+        &labeled.x,
+        &labeled.y,
+        k,
+        alpha,
+        seed,
+    );
+    eval("JK-CV+", test, |f| jk.interval(f))
+}
+
+/// Runs the K-fold Jackknife (Algorithm 1) around a cheap retrainable model.
+///
+/// Retraining a deep model K times per experiment is exactly the cost the
+/// paper flags for JK-CV+; the experiments use LW-NN (the lightest model) as
+/// the retrainable learner unless stated otherwise.
+pub fn run_jackknife_cv_lwnn(
+    table: &Table,
+    labeled: &EncodedSet,
+    test: &EncodedSet,
+    k: usize,
+    alpha: f64,
+    epochs: usize,
+    seed: u64,
+) -> MethodResult {
+    let table = table.clone();
+    let trainer = move |x: &[Vec<f32>], y: &[f64], s: u64| {
+        LwNn::fit(
+            &table,
+            x,
+            y,
+            &LwNnConfig { epochs, seed: s, ..Default::default() },
+        )
+    };
+    let jk = JackknifeCv::fit(
+        &trainer,
+        ce_conformal::AbsoluteResidual,
+        &labeled.x,
+        &labeled.y,
+        k,
+        alpha,
+        seed,
+    );
+    eval("JK-CV+", test, |f| jk.interval(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_datagen::dmv;
+
+    #[test]
+    fn prepare_splits_cover_requested_fractions() {
+        let table = dmv(2000, 0);
+        let bench = SingleTableBench::prepare(
+            table,
+            300,
+            &GeneratorConfig::default(),
+            SplitSpec::default(),
+            1,
+        );
+        let total = bench.train.len() + bench.calib.len() + bench.test.len();
+        assert_eq!(total, 300);
+        assert!(bench.train.len() >= 90 && bench.calib.len() >= 90);
+    }
+
+    #[test]
+    fn split_conformal_pipeline_covers() {
+        let table = dmv(2000, 0);
+        let bench = SingleTableBench::prepare(
+            table,
+            900,
+            &GeneratorConfig::default(),
+            SplitSpec::default(),
+            2,
+        );
+        let model = train_mscn(&bench.feat, &bench.train, 25, 0);
+        let result = run_split_conformal(
+            model,
+            ScoreKind::Residual,
+            &bench.calib,
+            &bench.test,
+            0.1,
+            1e-7,
+        );
+        assert!(result.report.coverage >= 0.85, "coverage {}", result.report.coverage);
+        assert!(result.report.mean_width > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no test set")]
+    fn prepare_rejects_full_splits() {
+        let table = dmv(100, 0);
+        SingleTableBench::prepare(
+            table,
+            50,
+            &GeneratorConfig::default(),
+            SplitSpec { train: 0.5, calib: 0.5 },
+            0,
+        );
+    }
+}

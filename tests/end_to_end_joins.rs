@@ -1,0 +1,138 @@
+//! End-to-end integration over star-join workloads: featurization, the
+//! star-layout MSCN, PI wrapping, and the optimizer injection experiment.
+
+use cardest::conformal::{conformal_quantile, AbsoluteResidual, SplitConformal};
+use cardest::datagen::{dsb_star, job_star};
+use cardest::estimators::{Mscn, MscnConfig, MscnLayout, PostgresEstimator, StarFeaturizer};
+use cardest::optimizer::{optimize, true_cost, CostModel, PiInjectedOracle};
+use cardest::query::{
+    generate_join_workload, random_templates, split, JoinGeneratorConfig, JoinWorkload,
+};
+use cardest::storage::StarSchema;
+
+fn encode(feat: &StarFeaturizer, w: &JoinWorkload) -> (Vec<Vec<f32>>, Vec<f64>) {
+    (
+        w.iter().map(|lq| feat.encode(&lq.query)).collect(),
+        w.iter().map(|lq| lq.selectivity).collect(),
+    )
+}
+
+fn star_workload(star: &StarSchema, seed: u64) -> JoinWorkload {
+    let templates = random_templates(star, 8, seed);
+    generate_join_workload(star, &templates, 40, &JoinGeneratorConfig::default(), seed + 1)
+}
+
+#[test]
+fn star_mscn_with_split_conformal_covers() {
+    let star = dsb_star(4_000, 0);
+    let feat = StarFeaturizer::new(&star);
+    let w = star_workload(&star, 0);
+    let parts = split(&w, &[0.5, 0.25, 0.25], 1);
+    let (tx, ty) = encode(&feat, &parts[0]);
+    let (cx, cy) = encode(&feat, &parts[1]);
+    let (ex, ey) = encode(&feat, &parts[2]);
+
+    let mscn = Mscn::fit(
+        MscnLayout::Star(feat),
+        &tx,
+        &ty,
+        &MscnConfig { epochs: 25, ..Default::default() },
+    );
+    let scp = SplitConformal::calibrate(mscn, AbsoluteResidual, &cx, &cy, 0.1);
+    let covered = ex
+        .iter()
+        .zip(&ey)
+        .filter(|(f, &y)| scp.interval(f).clip(0.0, 1.0).contains(y))
+        .count() as f64
+        / ex.len() as f64;
+    assert!(covered >= 0.85, "join-query coverage {covered}");
+}
+
+#[test]
+fn star_featurizer_round_trips_preserve_cardinality() {
+    let star = job_star(2_000, 1);
+    let feat = StarFeaturizer::new(&star);
+    for lq in star_workload(&star, 2).iter().take(60) {
+        let decoded = feat.decode(&feat.encode(&lq.query));
+        assert_eq!(star.count(&decoded), lq.cardinality);
+    }
+}
+
+#[test]
+fn pi_injection_does_not_hurt_and_usually_helps_plan_cost() {
+    let star = job_star(5_000, 3);
+    let estimator = PostgresEstimator::build(&star);
+    let cm = CostModel::default();
+    let templates: Vec<_> = random_templates(&star, 16, 4)
+        .into_iter()
+        .filter(|t| t.dims.len() >= 2)
+        .collect();
+    let gen = JoinGeneratorConfig {
+        min_selectivity: 0.01,
+        max_selectivity: 0.5,
+        ..Default::default()
+    };
+    let w = generate_join_workload(&star, &templates, 30, &gen, 5);
+    assert!(w.len() >= 40, "workload too small: {}", w.len());
+    let parts = split(&w, &[0.5, 0.5], 6);
+    let (calib, test) = (&parts[0], &parts[1]);
+
+    let scores: Vec<f64> = calib
+        .iter()
+        .map(|lq| (lq.selectivity - estimator.estimate_selectivity(&lq.query)).abs())
+        .collect();
+    let delta = conformal_quantile(&scores, 0.1);
+    assert!(delta.is_finite() && delta > 0.0);
+    let injected = PiInjectedOracle::new(estimator.clone(), delta);
+
+    let mut plain = 0.0;
+    let mut with_pi = 0.0;
+    for lq in test {
+        let (p0, _) = optimize(&star, &lq.query, &estimator, &cm);
+        let (p1, _) = optimize(&star, &lq.query, &injected, &cm);
+        plain += true_cost(&star, &lq.query, &p0, &cm);
+        with_pi += true_cost(&star, &lq.query, &p1, &cm);
+    }
+    assert!(
+        with_pi <= plain * 1.02,
+        "PI injection should not meaningfully hurt: {with_pi} vs {plain}"
+    );
+}
+
+#[test]
+fn upper_bounds_reduce_tail_q_error_under_underestimation() {
+    use cardest::conformal::{percentiles, q_error};
+    let star = job_star(5_000, 7);
+    let estimator = PostgresEstimator::build(&star);
+    let templates: Vec<_> = random_templates(&star, 16, 8)
+        .into_iter()
+        .filter(|t| t.dims.len() >= 2)
+        .collect();
+    let gen = JoinGeneratorConfig {
+        min_selectivity: 0.01,
+        max_selectivity: 0.5,
+        ..Default::default()
+    };
+    let w = generate_join_workload(&star, &templates, 30, &gen, 9);
+    let parts = split(&w, &[0.5, 0.5], 10);
+    let scores: Vec<f64> = parts[0]
+        .iter()
+        .map(|lq| (lq.selectivity - estimator.estimate_selectivity(&lq.query)).abs())
+        .collect();
+    let delta = conformal_quantile(&scores, 0.1);
+    let n = star.fact().n_rows() as f64;
+    let (mut q_plain, mut q_pi) = (Vec::new(), Vec::new());
+    for lq in &parts[1] {
+        let est = estimator.estimate_selectivity(&lq.query);
+        q_plain.push(q_error(est * n, lq.cardinality as f64, 1.0));
+        q_pi.push(q_error((est + delta).min(1.0) * n, lq.cardinality as f64, 1.0));
+    }
+    let pp = percentiles(&q_plain);
+    let pi = percentiles(&q_pi);
+    assert!(
+        pi.p90 < pp.p90,
+        "upper bound should cut the q-error tail: {} vs {}",
+        pi.p90,
+        pp.p90
+    );
+}

@@ -1,0 +1,208 @@
+//! End-to-end integration: dataset → workload → models → every PI method,
+//! checking the paper's headline properties at test scale.
+
+use cardest::conformal::Regressor;
+use cardest::pipeline::{
+    run_cqr, run_jackknife_cv_mscn, run_locally_weighted, run_split_conformal,
+    train_lwnn, train_mscn, train_mscn_quantile_heads, train_naru, EncodedSet,
+    ScoreKind, SingleTableBench, SplitSpec,
+};
+use cardest::query::GeneratorConfig;
+
+const ALPHA: f64 = 0.1;
+const FLOOR: f64 = 1e-6;
+
+fn bench() -> SingleTableBench {
+    let table = cardest::datagen::dmv(4_000, 0);
+    SingleTableBench::prepare(
+        table,
+        900,
+        &GeneratorConfig::low_selectivity(),
+        SplitSpec::default(),
+        0,
+    )
+}
+
+#[test]
+fn all_four_methods_cover_mscn() {
+    let b = bench();
+    let mscn = train_mscn(&b.feat, &b.train, 20, 0);
+
+    let scp = run_split_conformal(
+        mscn.clone(),
+        ScoreKind::Residual,
+        &b.calib,
+        &b.test,
+        ALPHA,
+        FLOOR,
+    );
+    assert!(scp.report.coverage >= 0.85, "S-CP coverage {}", scp.report.coverage);
+
+    let lw = run_locally_weighted(
+        mscn.clone(),
+        ScoreKind::Residual,
+        &b.train,
+        &b.calib,
+        &b.test,
+        ALPHA,
+        FLOOR,
+        0,
+    );
+    assert!(lw.report.coverage >= 0.85, "LW coverage {}", lw.report.coverage);
+
+    let mut labeled = b.train.clone();
+    labeled.x.extend(b.calib.x.iter().cloned());
+    labeled.y.extend(b.calib.y.iter().cloned());
+    let labeled = EncodedSet { x: labeled.x, y: labeled.y };
+    let jk = run_jackknife_cv_mscn(&b.feat, &labeled, &b.test, 5, ALPHA, 15, 0);
+    assert!(jk.report.coverage >= 0.85, "JK coverage {}", jk.report.coverage);
+
+    let (lo, hi) = train_mscn_quantile_heads(&b.feat, &b.train, 40, ALPHA, 0);
+    let cqr = run_cqr(lo, hi, &b.calib, &b.test, ALPHA);
+    assert!(cqr.report.coverage >= 0.85, "CQR coverage {}", cqr.report.coverage);
+
+    // All intervals are clipped into valid selectivity space.
+    for r in [&scp, &lw, &jk, &cqr] {
+        for iv in &r.intervals {
+            assert!(iv.lo >= 0.0 && iv.hi <= 1.0 && iv.lo <= iv.hi);
+        }
+    }
+}
+
+#[test]
+fn locally_weighted_is_adaptive_while_scp_is_constant() {
+    let b = bench();
+    let mscn = train_mscn(&b.feat, &b.train, 20, 1);
+    let scp = run_split_conformal(
+        mscn.clone(),
+        ScoreKind::Residual,
+        &b.calib,
+        &b.test,
+        ALPHA,
+        FLOOR,
+    );
+    let lw = run_locally_weighted(
+        mscn,
+        ScoreKind::Residual,
+        &b.train,
+        &b.calib,
+        &b.test,
+        ALPHA,
+        FLOOR,
+        1,
+    );
+    // Clipping to [0, 1] perturbs both, so compare relative width spread:
+    // the adaptive method's widths must disperse far more than S-CP's
+    // (whose unclipped width is one constant).
+    let spread = |ivs: &[cardest::conformal::PredictionInterval]| {
+        let widths: Vec<f64> = ivs.iter().map(|iv| iv.width()).collect();
+        let mean = widths.iter().sum::<f64>() / widths.len() as f64;
+        let var = widths.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>()
+            / widths.len() as f64;
+        var.sqrt() / mean
+    };
+    assert!(
+        spread(&lw.intervals) > 2.0 * spread(&scp.intervals),
+        "LW should vary more: {} vs {}",
+        spread(&lw.intervals),
+        spread(&scp.intervals)
+    );
+}
+
+#[test]
+fn naru_covers_and_is_tighter_than_lwnn() {
+    let b = bench();
+    let naru = train_naru(&b.table, 2, 48, 0);
+    let lwnn = train_lwnn(&b.table, &b.train, 10, 0);
+    let naru_r = run_split_conformal(
+        naru,
+        ScoreKind::Residual,
+        &b.calib,
+        &b.test,
+        ALPHA,
+        FLOOR,
+    );
+    let lwnn_r = run_split_conformal(
+        lwnn,
+        ScoreKind::Residual,
+        &b.calib,
+        &b.test,
+        ALPHA,
+        FLOOR,
+    );
+    assert!(naru_r.report.coverage >= 0.85, "naru coverage {}", naru_r.report.coverage);
+    assert!(lwnn_r.report.coverage >= 0.85, "lwnn coverage {}", lwnn_r.report.coverage);
+    // The paper's accuracy ordering: the data-driven Naru earns tighter
+    // intervals than the lightweight LW-NN.
+    assert!(
+        naru_r.report.mean_width < lwnn_r.report.mean_width,
+        "naru {} vs lwnn {}",
+        naru_r.report.mean_width,
+        lwnn_r.report.mean_width
+    );
+}
+
+#[test]
+fn higher_coverage_means_wider_intervals() {
+    let b = bench();
+    let mscn = train_mscn(&b.feat, &b.train, 20, 2);
+    let w90 = run_split_conformal(
+        mscn.clone(),
+        ScoreKind::Residual,
+        &b.calib,
+        &b.test,
+        0.10,
+        FLOOR,
+    )
+    .report
+    .mean_width;
+    let w99 = run_split_conformal(
+        mscn,
+        ScoreKind::Residual,
+        &b.calib,
+        &b.test,
+        0.01,
+        FLOOR,
+    )
+    .report
+    .mean_width;
+    assert!(w99 >= w90, "99% width {w99} must be >= 90% width {w90}");
+}
+
+#[test]
+fn better_trained_model_earns_tighter_intervals() {
+    let b = bench();
+    let weak = train_mscn(&b.feat, &b.train, 2, 3);
+    let strong = train_mscn(&b.feat, &b.train, 40, 3);
+    let width = |m: cardest::estimators::Mscn| {
+        run_split_conformal(m, ScoreKind::Residual, &b.calib, &b.test, ALPHA, FLOOR)
+            .report
+            .mean_width
+    };
+    let ww = width(weak);
+    let ws = width(strong);
+    assert!(ws < ww, "strong model width {ws} vs weak {ww}");
+}
+
+#[test]
+fn point_estimates_sit_inside_their_intervals() {
+    let b = bench();
+    let mscn = train_mscn(&b.feat, &b.train, 20, 4);
+    let scp = run_split_conformal(
+        mscn.clone(),
+        ScoreKind::Residual,
+        &b.calib,
+        &b.test,
+        ALPHA,
+        FLOOR,
+    );
+    for (f, iv) in b.test.x.iter().zip(&scp.intervals) {
+        let est = mscn.predict(f).clamp(0.0, 1.0);
+        assert!(
+            iv.contains(est),
+            "estimate {est} outside its own interval [{}, {}]",
+            iv.lo,
+            iv.hi
+        );
+    }
+}

@@ -7,6 +7,7 @@ pub mod extensions;
 pub mod guidance;
 pub mod joins;
 pub mod postgres;
+pub mod resilience;
 pub mod scoring;
 pub mod single_table;
 pub mod zoo;
@@ -20,6 +21,7 @@ use crate::scale::Scale;
 pub const ALL_IDS: &[&str] = &[
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
     "fig11", "fig12", "fig13", "fig14", "tab1", "guide", "ablation", "ext", "clt", "zoo",
+    "resil",
 ];
 
 /// Runs one experiment by id, printing and saving its records.
@@ -50,6 +52,7 @@ pub fn run_experiment(id: &str, scale: &Scale, results_dir: &Path) -> Vec<Experi
         "ext" => extensions::ext(scale),
         "clt" => baselines::clt(scale),
         "zoo" => zoo::zoo(scale),
+        "resil" => resilience::resil(scale),
         other => panic!("unknown experiment id `{other}` (known: {ALL_IDS:?})"),
     };
     for rec in &records {

@@ -1,0 +1,203 @@
+//! `resil`: fault-injected serving through the resilient fallback chain.
+//!
+//! The paper evaluates PI methods on well-behaved models; a production
+//! interval server fronts a *black-box* estimator that can emit NaN or
+//! panic outright. This experiment streams the DMV workload through a
+//! [`ResilientService`] whose MSCN primary is wrapped in a seeded
+//! [`ChaosRegressor`] (20% NaN predictions + 5% panics, the acceptance
+//! profile), with classical fallbacks — AVI histogram, then row sampling —
+//! each conformally calibrated on its *own* error profile. The claim under
+//! test: availability and coverage survive the faults (queries are answered
+//! by a fallback whose interval reflects its own accuracy), and the only
+//! casualty is width.
+//!
+//! Three regimes are reported:
+//! * `fault-free` — the same chain with an un-wrapped primary (baseline).
+//! * `chaos` — static calibration, faults at serve time.
+//! * `chaos-online` — prequential serving (observe after every query), so
+//!   NaN observations feed back into the online calibration as +∞ scores;
+//!   once the non-finite fraction exceeds α the primary's threshold goes
+//!   conservative (infinite), demonstrating widen-don't-crash degradation.
+
+use cardest::conformal::{
+    install_quiet_chaos_hook, interval_report, AbsoluteResidual, ChaosConfig, ChaosRegressor,
+    OnlineConformal, PredictionInterval, ResilienceStats, ResilientService,
+};
+use cardest::estimators::{AviModel, SamplingEstimator};
+use cardest::pipeline::{train_mscn, MethodResult, SingleTableBench};
+
+use crate::report::ExperimentRecord;
+use crate::scale::Scale;
+
+use super::single_table::{sel_floor, standard_bench, ALPHA};
+
+/// Fault rates fixed by the acceptance criterion.
+const NAN_RATE: f64 = 0.2;
+const PANIC_RATE: f64 = 0.05;
+/// Minimum stream length (the test split is cycled to reach it).
+const STREAM_LEN: usize = 1000;
+
+/// Builds the three-estimator fallback chain: (chaos-wrapped) MSCN primary,
+/// then AVI histogram, then 1% row sampling — the classical estimators each
+/// wrapped in their own conformal calibration so a fallback answer is
+/// widened by the fallback's historical errors, not the primary's.
+fn build_service(
+    bench: &SingleTableBench,
+    scale: &Scale,
+    chaos: Option<ChaosConfig>,
+) -> ResilientService {
+    let floor = sel_floor(scale.rows);
+    let mscn = train_mscn(&bench.feat, &bench.train, scale.epochs, scale.seed);
+    let primary: Box<dyn cardest::conformal::PiEstimator> = match chaos {
+        Some(config) => Box::new(OnlineConformal::new(
+            ChaosRegressor::new(mscn, config),
+            AbsoluteResidual,
+            &bench.calib.x,
+            &bench.calib.y,
+            ALPHA,
+        )),
+        None => Box::new(OnlineConformal::new(
+            mscn,
+            AbsoluteResidual,
+            &bench.calib.x,
+            &bench.calib.y,
+            ALPHA,
+        )),
+    };
+    let avi = AviModel::build(&bench.table, floor);
+    let sampling = SamplingEstimator::build(
+        &bench.table,
+        (scale.rows / 100).max(50),
+        scale.seed + 7,
+        floor,
+    );
+    ResilientService::new(primary)
+        .with_fallback(Box::new(OnlineConformal::new(
+            avi,
+            AbsoluteResidual,
+            &bench.calib.x,
+            &bench.calib.y,
+            ALPHA,
+        )))
+        .with_fallback(Box::new(OnlineConformal::new(
+            sampling,
+            AbsoluteResidual,
+            &bench.calib.x,
+            &bench.calib.y,
+            ALPHA,
+        )))
+        .with_expected_dims(bench.test.x[0].len())
+}
+
+/// Streams `stream` (indices into the test split) through the service,
+/// returning clipped intervals. With the conservative floor enabled the
+/// service always answers; a rejected input would surface as the infinite
+/// interval rather than aborting the stream.
+fn serve_stream(
+    service: &mut ResilientService,
+    bench: &SingleTableBench,
+    stream: &[usize],
+    prequential: bool,
+) -> Vec<PredictionInterval> {
+    stream
+        .iter()
+        .map(|&i| {
+            let x = &bench.test.x[i];
+            let iv = service
+                .interval(x)
+                .unwrap_or_else(|_| {
+                    PredictionInterval::new(f64::NEG_INFINITY, f64::INFINITY)
+                })
+                .clip(0.0, 1.0);
+            if prequential {
+                service.observe(x, bench.test.y[i]);
+            }
+            iv
+        })
+        .collect()
+}
+
+fn result(method: &'static str, intervals: Vec<PredictionInterval>, truths: &[f64]) -> MethodResult {
+    MethodResult { method, report: interval_report(&intervals, truths), intervals }
+}
+
+fn push_stats(rec: &mut ExperimentRecord, prefix: &str, stats: &ResilienceStats) {
+    rec.extra(&format!("{prefix}/answer_rate"), stats.answer_rate());
+    rec.extra(&format!("{prefix}/fallback_rate"), stats.fallback_rate());
+    rec.extra(
+        &format!("{prefix}/floor_rate"),
+        stats.floor_served as f64 / stats.queries.max(1) as f64,
+    );
+    rec.extra(&format!("{prefix}/panics_caught"), stats.panics_caught as f64);
+    rec.extra(&format!("{prefix}/estimator_failures"), stats.estimator_failures as f64);
+    rec.extra(&format!("{prefix}/breaker_trips"), stats.breaker_trips as f64);
+    for (pos, &n) in stats.served_by.iter().enumerate() {
+        rec.extra(&format!("{prefix}/served_by_{pos}"), n as f64);
+    }
+}
+
+/// The resilience experiment (id `resil`).
+pub fn resil(scale: &Scale) -> Vec<ExperimentRecord> {
+    install_quiet_chaos_hook();
+    let bench = standard_bench(scale, "dmv");
+    let dims = bench.test.x[0].len();
+
+    let stream_len = STREAM_LEN.max(bench.test.len());
+    let stream: Vec<usize> = (0..stream_len).map(|i| i % bench.test.len()).collect();
+    let truths: Vec<f64> = stream.iter().map(|&i| bench.test.y[i]).collect();
+
+    let mut rec = ExperimentRecord::new(
+        "resil",
+        "DMV/MSCN under 20% NaN + 5% panic chaos: resilient chain vs fault-free",
+    );
+    rec.extra("stream_len", stream_len as f64);
+
+    // Fault-free baseline: identical chain, un-wrapped primary.
+    let mut clean = build_service(&bench, scale, None);
+    let clean_ivs = serve_stream(&mut clean, &bench, &stream, false);
+    let clean_report = interval_report(&clean_ivs, &truths);
+    push_stats(&mut rec, "clean", &clean.stats().clone());
+    rec.push("dmv/mscn", &result("fault-free", clean_ivs, &truths));
+
+    // Chaotic serving, static calibration. The chaos warmup spans exactly
+    // the calibration predictions, so the primary calibrates on the healthy
+    // model and every fault lands at serve time.
+    let chaos_config = ChaosConfig {
+        nan_rate: NAN_RATE,
+        panic_rate: PANIC_RATE,
+        warmup_calls: bench.calib.len() as u64,
+        seed: scale.seed,
+        ..Default::default()
+    };
+    let mut chaotic = build_service(&bench, scale, Some(chaos_config));
+    let chaos_ivs = serve_stream(&mut chaotic, &bench, &stream, false);
+    let chaos_report = interval_report(&chaos_ivs, &truths);
+    let chaos_stats = chaotic.stats().clone();
+    push_stats(&mut rec, "chaos", &chaos_stats);
+    rec.extra("coverage_gap", clean_report.coverage - chaos_report.coverage);
+    rec.extra("width_ratio", chaos_report.mean_width / clean_report.mean_width);
+    rec.push("dmv/mscn", &result("chaos", chaos_ivs, &truths));
+
+    // Input sanitization probes (after the stats snapshot so the headline
+    // answer rate reflects the fault stream alone): a NaN feature vector and
+    // a wrong-dimension vector must be refused before any model runs.
+    let nan_query = vec![f32::NAN; dims];
+    assert!(chaotic.interval(&nan_query).is_err(), "NaN features must be rejected");
+    assert!(chaotic.interval(&[0.0f32]).is_err(), "wrong dims must be rejected");
+    rec.extra("rejected_probes", chaotic.stats().rejected_inputs as f64);
+
+    // Prequential regime: every truth is observed, including ones where the
+    // chaotic primary NaNs — those become +∞ scores and push the online
+    // threshold conservative, so coverage rises and width pays for it.
+    let online_config = ChaosConfig { seed: scale.seed + 1, ..chaos_config };
+    let mut online = build_service(&bench, scale, Some(online_config));
+    let online_ivs = serve_stream(&mut online, &bench, &stream, true);
+    push_stats(&mut rec, "online", &online.stats().clone());
+    rec.push("dmv/mscn", &result("chaos-online", online_ivs, &truths));
+
+    // Completing both chaotic streams without aborting is the zero-panic
+    // guarantee; record it explicitly for the acceptance check.
+    rec.extra("process_panics", 0.0);
+
+    vec![rec]
+}

@@ -292,3 +292,44 @@ fn zoo_width_tracks_accuracy() {
         "width should track accuracy: {concordant}/{total} concordant"
     );
 }
+
+#[test]
+fn resil_serves_through_chaos_within_acceptance() {
+    let recs = run("resil");
+    let rec = &recs[0];
+    // Completing the run at all is the zero-process-panic guarantee; the
+    // experiment records it explicitly too.
+    assert_eq!(extra(rec, "process_panics"), 0.0);
+    assert!(extra(rec, "stream_len") >= 1000.0);
+    // Chaos was really injected and really isolated.
+    assert!(extra(rec, "chaos/panics_caught") > 0.0, "no panics were injected");
+    assert!(extra(rec, "chaos/estimator_failures") > 0.0, "no NaNs were injected");
+    assert!(extra(rec, "chaos/fallback_rate") > 0.1, "fallbacks never engaged");
+    // Acceptance: >= 99% of queries answered, coverage within 5 points of
+    // the fault-free chain.
+    assert!(
+        extra(rec, "chaos/answer_rate") >= 0.99,
+        "answer rate {}",
+        extra(rec, "chaos/answer_rate")
+    );
+    assert!(
+        extra(rec, "coverage_gap").abs() <= 0.05,
+        "coverage gap {}",
+        extra(rec, "coverage_gap")
+    );
+    // Sanitization refused both malformed probes.
+    assert_eq!(extra(rec, "rejected_probes"), 2.0);
+    // The prequential regime may only get *more* conservative: NaN
+    // observations become infinite scores, never lost coverage.
+    let cov = |method: &str| {
+        rec.rows
+            .iter()
+            .find(|r| r.method == method)
+            .unwrap_or_else(|| panic!("missing row {method}"))
+            .coverage
+    };
+    assert!(cov("chaos-online") >= cov("fault-free") - 0.05);
+    for r in &rec.rows {
+        assert!(r.coverage >= 0.8, "{} coverage {}", r.method, r.coverage);
+    }
+}

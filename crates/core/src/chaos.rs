@@ -1,0 +1,256 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! [`ChaosRegressor`] wraps any [`Regressor`] and corrupts a configurable,
+//! seeded fraction of its predictions: NaN outputs, outright panics, latency
+//! spikes, and constant-output degradation — the black-box failure modes a
+//! production interval server in front of a learned estimator must survive.
+//! Injection is driven by a SplitMix64 stream held in a `Cell`, so runs are
+//! exactly reproducible from the seed and the wrapper still satisfies the
+//! `&self` prediction API (the core crate stays rand-free).
+
+use std::cell::Cell;
+use std::fmt;
+
+use crate::regressor::Regressor;
+
+/// Typed payload for injected panics, so panic hooks and `catch_unwind`
+/// consumers can distinguish chaos from genuine bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPanic;
+
+impl fmt::Display for ChaosPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("injected chaos panic")
+    }
+}
+
+/// Fault rates and shapes for a [`ChaosRegressor`]. All rates are
+/// probabilities in `[0, 1]`, rolled independently per prediction.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Probability a prediction is replaced by NaN.
+    pub nan_rate: f64,
+    /// Probability a prediction panics (with a [`ChaosPanic`] payload).
+    pub panic_rate: f64,
+    /// Probability a prediction sleeps for `latency_us` first.
+    pub latency_rate: f64,
+    /// Injected latency in microseconds.
+    pub latency_us: u64,
+    /// Probability a prediction is replaced by `degraded_output` (a stuck
+    /// model that keeps answering the same thing).
+    pub degrade_rate: f64,
+    /// The constant a degraded prediction returns.
+    pub degraded_output: f64,
+    /// Number of initial predictions served faithfully before any fault is
+    /// injected — models the deploy-then-degrade failure mode, and lets a
+    /// conformal wrapper calibrate on the healthy model before chaos starts.
+    pub warmup_calls: u64,
+    /// Seed of the deterministic injection stream.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            nan_rate: 0.0,
+            panic_rate: 0.0,
+            latency_rate: 0.0,
+            latency_us: 100,
+            degrade_rate: 0.0,
+            degraded_output: 0.0,
+            warmup_calls: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Counters of what a [`ChaosRegressor`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Total predictions requested (including ones that panicked).
+    pub calls: u64,
+    /// NaN outputs injected.
+    pub nans: u64,
+    /// Panics injected.
+    pub panics: u64,
+    /// Latency spikes injected.
+    pub latencies: u64,
+    /// Constant-output degradations injected.
+    pub degraded: u64,
+}
+
+/// A [`Regressor`] wrapper that deterministically injects faults.
+#[derive(Debug)]
+pub struct ChaosRegressor<M> {
+    inner: M,
+    config: ChaosConfig,
+    state: Cell<u64>,
+    stats: Cell<ChaosStats>,
+}
+
+impl<M> ChaosRegressor<M> {
+    /// Wraps `inner` with the given fault profile.
+    pub fn new(inner: M, config: ChaosConfig) -> Self {
+        // Avoid the degenerate all-zero SplitMix64 stream start.
+        let state = config.seed ^ 0x5851_f42d_4c95_7f2d;
+        ChaosRegressor { inner, config, state: Cell::new(state), stats: Cell::default() }
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats.get()
+    }
+
+    /// The fault profile in use.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Next uniform draw in `[0, 1)` from the SplitMix64 stream.
+    fn next_unit(&self) -> f64 {
+        let seed = self.state.get().wrapping_add(0x9e37_79b9_7f4a_7c15);
+        self.state.set(seed);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut ChaosStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+}
+
+impl<M: Regressor> Regressor for ChaosRegressor<M> {
+    fn predict(&self, features: &[f32]) -> f64 {
+        self.bump(|s| s.calls += 1);
+        if self.stats.get().calls <= self.config.warmup_calls {
+            return self.inner.predict(features);
+        }
+        if self.next_unit() < self.config.latency_rate {
+            self.bump(|s| s.latencies += 1);
+            std::thread::sleep(std::time::Duration::from_micros(self.config.latency_us));
+        }
+        if self.next_unit() < self.config.panic_rate {
+            self.bump(|s| s.panics += 1);
+            std::panic::panic_any(ChaosPanic);
+        }
+        if self.next_unit() < self.config.nan_rate {
+            self.bump(|s| s.nans += 1);
+            return f64::NAN;
+        }
+        if self.next_unit() < self.config.degrade_rate {
+            self.bump(|s| s.degraded += 1);
+            return self.config.degraded_output;
+        }
+        self.inner.predict(features)
+    }
+}
+
+/// Installs a process-wide panic hook that silences [`ChaosPanic`] payloads
+/// (they are expected and caught by the resilience layer) while delegating
+/// every other panic to the previously installed hook. Idempotent.
+pub fn install_quiet_chaos_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ChaosPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_model() -> impl Fn(&[f32]) -> f64 {
+        |f: &[f32]| f[0] as f64
+    }
+
+    #[test]
+    fn zero_rates_are_transparent() {
+        let chaos = ChaosRegressor::new(base_model(), ChaosConfig::default());
+        for i in 0..100 {
+            assert_eq!(chaos.predict(&[i as f32]), i as f64);
+        }
+        let s = chaos.stats();
+        assert_eq!(s.calls, 100);
+        assert_eq!((s.nans, s.panics, s.degraded), (0, 0, 0));
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let chaos = ChaosRegressor::new(
+                base_model(),
+                ChaosConfig { nan_rate: 0.3, degrade_rate: 0.2, seed, ..Default::default() },
+            );
+            let outs: Vec<f64> = (0..200).map(|i| chaos.predict(&[i as f32])).collect();
+            (outs, chaos.stats())
+        };
+        let (a, sa) = run(7);
+        let (b, sb) = run(7);
+        assert_eq!(sa, sb);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y || (x.is_nan() && y.is_nan())));
+        let (_, sc) = run(8);
+        assert_ne!(sa, sc, "different seeds give different fault patterns");
+    }
+
+    #[test]
+    fn nan_rate_is_respected_approximately() {
+        let chaos = ChaosRegressor::new(
+            base_model(),
+            ChaosConfig { nan_rate: 0.2, seed: 3, ..Default::default() },
+        );
+        let n = 2000;
+        let nans = (0..n).filter(|&i| chaos.predict(&[i as f32]).is_nan()).count();
+        let rate = nans as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.04, "observed NaN rate {rate}");
+        assert_eq!(chaos.stats().nans as usize, nans);
+    }
+
+    #[test]
+    fn panics_carry_the_typed_payload() {
+        install_quiet_chaos_hook();
+        let chaos = ChaosRegressor::new(
+            base_model(),
+            ChaosConfig { panic_rate: 1.0, seed: 1, ..Default::default() },
+        );
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            chaos.predict(&[1.0])
+        }));
+        let payload = caught.expect_err("must panic");
+        assert!(payload.downcast_ref::<ChaosPanic>().is_some());
+        assert_eq!(chaos.stats().panics, 1);
+    }
+
+    #[test]
+    fn warmup_delays_faults() {
+        let chaos = ChaosRegressor::new(
+            base_model(),
+            ChaosConfig { nan_rate: 1.0, warmup_calls: 10, seed: 2, ..Default::default() },
+        );
+        for i in 0..10 {
+            assert_eq!(chaos.predict(&[i as f32]), i as f64, "warmup call {i} is clean");
+        }
+        assert!(chaos.predict(&[0.0]).is_nan(), "faults start after warmup");
+        assert_eq!(chaos.stats().nans, 1);
+    }
+
+    #[test]
+    fn degradation_returns_the_stuck_constant() {
+        let chaos = ChaosRegressor::new(
+            base_model(),
+            ChaosConfig { degrade_rate: 1.0, degraded_output: 42.0, seed: 5, ..Default::default() },
+        );
+        assert_eq!(chaos.predict(&[7.0]), 42.0);
+        assert_eq!(chaos.stats().degraded, 1);
+    }
+}

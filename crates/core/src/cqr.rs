@@ -1,7 +1,8 @@
 //! Conformalized quantile regression (paper Algorithm 4, after Romano et al.).
 
+use crate::error::{check_alpha, check_lengths, CardEstError};
 use crate::interval::PredictionInterval;
-use crate::quantile::conformal_quantile;
+use crate::quantile::{conformal_quantile, try_conformal_quantile};
 use crate::regressor::Regressor;
 
 /// Conformalized quantile regression: two quantile models `Q̂_l` (τ = α/2)
@@ -52,6 +53,31 @@ impl<L: Regressor, U: Regressor> ConformalizedQuantileRegression<L, U> {
         ConformalizedQuantileRegression { lower, upper, delta, alpha }
     }
 
+    /// Non-panicking [`ConformalizedQuantileRegression::calibrate`]: an
+    /// empty calibration set degrades to `δ = +∞` (intervals cover
+    /// everything); shape problems become errors.
+    pub fn try_calibrate(
+        lower: L,
+        upper: U,
+        calib_x: &[Vec<f32>],
+        calib_y: &[f64],
+        alpha: f64,
+    ) -> Result<Self, CardEstError> {
+        check_lengths(calib_x.len(), calib_y.len())?;
+        check_alpha(alpha)?;
+        let scores: Vec<f64> = calib_x
+            .iter()
+            .zip(calib_y)
+            .map(|(x, &y)| {
+                let ql = lower.predict(x);
+                let qu = upper.predict(x);
+                (ql - y).max(y - qu)
+            })
+            .collect();
+        let delta = try_conformal_quantile(&scores, alpha)?;
+        Ok(ConformalizedQuantileRegression { lower, upper, delta, alpha })
+    }
+
     /// The calibrated conformity margin δ (can be negative when the raw
     /// quantile band over-covers — CQR then *shrinks* the band).
     pub fn delta(&self) -> f64 {
@@ -73,6 +99,20 @@ impl<L: Regressor, U: Regressor> ConformalizedQuantileRegression<L, U> {
         let ql = self.lower.predict(features);
         let qu = self.upper.predict(features);
         PredictionInterval::new(ql - self.delta, qu + self.delta)
+    }
+
+    /// Like [`ConformalizedQuantileRegression::interval`], but a non-finite
+    /// quantile-head prediction is reported as
+    /// [`CardEstError::NonFiniteScore`].
+    pub fn try_interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        let ql = self.lower.predict(features);
+        let qu = self.upper.predict(features);
+        for (v, context) in [(ql, "lower quantile head"), (qu, "upper quantile head")] {
+            if !v.is_finite() {
+                return Err(CardEstError::NonFiniteScore { value: v, context });
+            }
+        }
+        Ok(PredictionInterval::new(ql - self.delta, qu + self.delta))
     }
 }
 
@@ -196,5 +236,39 @@ mod tests {
             &[],
             0.1,
         );
+    }
+
+    #[test]
+    fn try_calibrate_degrades_on_empty_and_flags_nan_heads() {
+        use crate::error::CardEstError;
+        let cqr = ConformalizedQuantileRegression::try_calibrate(
+            |_: &[f32]| 0.0,
+            |_: &[f32]| 1.0,
+            &[],
+            &[],
+            0.1,
+        )
+        .expect("empty calibration degrades, not errors");
+        assert!(cqr.delta().is_infinite());
+        assert!(cqr.interval(&[0.0]).contains(1e15));
+        let (cx, cy) = hetero(100, 8);
+        let nan_head = |_: &[f32]| f64::NAN;
+        // Both heads NaN -> every score NaN -> delta pinned at +inf (NaN
+        // sorts above all finite values under total order).
+        let bad = ConformalizedQuantileRegression::try_calibrate(
+            nan_head, nan_head, &cx, &cy, 0.1,
+        )
+        .expect("NaN heads widen delta instead of erroring at calibration");
+        assert!(bad.delta().is_infinite(), "NaN scores pin delta at +inf");
+        // A single NaN head still calibrates (max() ignores the NaN arm)
+        // but serving flags the corrupt head per query.
+        let half_bad = ConformalizedQuantileRegression::try_calibrate(
+            nan_head, oracle_upper, &cx, &cy, 0.1,
+        )
+        .expect("calibration survives");
+        assert!(matches!(
+            half_bad.try_interval(&[1.0]),
+            Err(CardEstError::NonFiniteScore { context: "lower quantile head", .. })
+        ));
     }
 }

@@ -11,8 +11,13 @@ pub struct PredictionInterval {
 }
 
 impl PredictionInterval {
-    /// Creates an interval, ordering the endpoints if needed.
+    /// Creates an interval, ordering the endpoints if needed. A NaN endpoint
+    /// carries no information and is replaced by the conservative infinite
+    /// endpoint for its side, so `width`/`contains` stay well-defined (an
+    /// interval never silently excludes everything because of a NaN).
     pub fn new(lo: f64, hi: f64) -> Self {
+        let lo = if lo.is_nan() { f64::NEG_INFINITY } else { lo };
+        let hi = if hi.is_nan() { f64::INFINITY } else { hi };
         if lo <= hi {
             PredictionInterval { lo, hi }
         } else {
@@ -55,6 +60,17 @@ mod tests {
     fn new_orders_endpoints() {
         let i = PredictionInterval::new(3.0, 1.0);
         assert_eq!((i.lo, i.hi), (1.0, 3.0));
+    }
+
+    #[test]
+    fn nan_endpoints_degrade_to_infinite() {
+        let i = PredictionInterval::new(f64::NAN, 5.0);
+        assert_eq!((i.lo, i.hi), (f64::NEG_INFINITY, 5.0));
+        let i = PredictionInterval::new(1.0, f64::NAN);
+        assert_eq!((i.lo, i.hi), (1.0, f64::INFINITY));
+        let i = PredictionInterval::new(f64::NAN, f64::NAN);
+        assert!(i.contains(0.0), "all-NaN input covers everything, excludes nothing");
+        assert!(!i.lo.is_nan() && !i.hi.is_nan());
     }
 
     #[test]

@@ -102,11 +102,13 @@ impl<M: Regressor> JackknifePlus<M> {
     }
 
     /// Median of the leave-one-out model predictions — a robust point
-    /// estimate that comes for free.
+    /// estimate that comes for free. Ordered by [`f64::total_cmp`], so a NaN
+    /// from one corrupt LOO model sorts to an extreme instead of aborting;
+    /// the median stays meaningful as long as most models are healthy.
     pub fn predict(&self, features: &[f32]) -> f64 {
         let mut preds: Vec<f64> =
             self.models.iter().map(|m| m.predict(features)).collect();
-        preds.sort_by(|a, b| a.partial_cmp(b).expect("finite prediction"));
+        preds.sort_by(f64::total_cmp);
         preds[preds.len() / 2]
     }
 

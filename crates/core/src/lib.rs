@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 
 mod asymmetric;
+mod chaos;
 mod cqr;
+mod error;
 mod exchangeability;
 mod interval;
 mod jackknife;
@@ -48,12 +50,15 @@ mod metrics;
 mod online;
 mod quantile;
 mod regressor;
+mod resilient;
 mod score;
 mod service;
 mod split;
 
 pub use asymmetric::AsymmetricSplitConformal;
+pub use chaos::{install_quiet_chaos_hook, ChaosConfig, ChaosPanic, ChaosRegressor, ChaosStats};
 pub use cqr::ConformalizedQuantileRegression;
+pub use error::CardEstError;
 pub use exchangeability::ExchangeabilityMartingale;
 pub use interval::PredictionInterval;
 pub use jackknife::{CvPlus, JackknifeCv, JackknifePlus};
@@ -67,8 +72,12 @@ pub use metrics::{
 pub use online::{OnlineConformal, WindowedConformal};
 pub use quantile::{
     conformal_quantile, conformal_quantile_lower, empirical_quantile, kth_smallest,
+    try_conformal_quantile, try_conformal_quantile_lower,
 };
 pub use regressor::{FitRegressor, Regressor};
+pub use resilient::{
+    BreakerConfig, BreakerState, PiEstimator, ResilienceStats, ResilientService,
+};
 pub use score::{AbsoluteResidual, QErrorScore, RelativeErrorScore, ScoreFunction};
 pub use service::{PiService, PiServiceConfig, ServiceMode};
 pub use split::SplitConformal;

@@ -8,6 +8,7 @@
 //! marginal guarantee for locality; a conservative rank inflation keeps
 //! empirical coverage near nominal.
 
+use crate::error::{check_alpha, check_lengths, CardEstError};
 use crate::interval::PredictionInterval;
 use crate::regressor::Regressor;
 use crate::score::ScoreFunction;
@@ -59,6 +60,37 @@ impl<M: Regressor, S: ScoreFunction> LocalizedConformal<M, S> {
         }
     }
 
+    /// Non-panicking [`LocalizedConformal::calibrate`]: an empty calibration
+    /// set is valid and serves infinite intervals until real neighbours
+    /// exist; shape/parameter problems become errors.
+    pub fn try_calibrate(
+        model: M,
+        score: S,
+        calib_x: &[Vec<f32>],
+        calib_y: &[f64],
+        k: usize,
+        alpha: f64,
+    ) -> Result<Self, CardEstError> {
+        check_lengths(calib_x.len(), calib_y.len())?;
+        check_alpha(alpha)?;
+        if k == 0 {
+            return Err(CardEstError::InvalidParameter("neighbourhood size must be positive"));
+        }
+        let calib_scores: Vec<f64> = calib_x
+            .iter()
+            .zip(calib_y)
+            .map(|(x, &y)| score.score(y, model.predict(x)))
+            .collect();
+        Ok(LocalizedConformal {
+            model,
+            score,
+            calib_x: calib_x.to_vec(),
+            calib_scores,
+            k: k.min(calib_x.len().max(1)),
+            alpha,
+        })
+    }
+
     /// Squared L2 distance between feature vectors.
     fn dist2(a: &[f32], b: &[f32]) -> f64 {
         a.iter()
@@ -79,11 +111,16 @@ impl<M: Regressor, S: ScoreFunction> LocalizedConformal<M, S> {
             .zip(&self.calib_scores)
             .map(|(x, &s)| (Self::dist2(features, x), s))
             .collect();
-        // Partial selection of the k nearest.
+        if dists.is_empty() {
+            // No neighbours yet (try_calibrate with an empty set): serve the
+            // conservative infinite threshold instead of indexing.
+            return f64::INFINITY;
+        }
+        // Partial selection of the k nearest; total_cmp sends a NaN distance
+        // (non-finite query features) to the far end instead of panicking,
+        // so such a query just calibrates on an arbitrary neighbourhood.
         let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("finite distance")
-        });
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let neighbour_scores: Vec<f64> =
             dists[..k].iter().map(|&(_, s)| s).collect();
         crate::quantile::conformal_quantile(&neighbour_scores, self.alpha)
@@ -99,6 +136,20 @@ impl<M: Regressor, S: ScoreFunction> LocalizedConformal<M, S> {
         let y_hat = self.model.predict(features);
         let (lo, hi) = self.score.interval(y_hat, self.local_delta(features));
         PredictionInterval::new(lo, hi)
+    }
+
+    /// Like [`LocalizedConformal::interval`], but a non-finite model
+    /// prediction is reported as [`CardEstError::NonFiniteScore`].
+    pub fn try_interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        let y_hat = self.model.predict(features);
+        if !y_hat.is_finite() {
+            return Err(CardEstError::NonFiniteScore {
+                value: y_hat,
+                context: "model prediction",
+            });
+        }
+        let (lo, hi) = self.score.interval(y_hat, self.local_delta(features));
+        Ok(PredictionInterval::new(lo, hi))
     }
 
     /// Neighbourhood size in use.
@@ -207,6 +258,30 @@ mod tests {
             0.1,
         );
         assert_eq!(lcp.k(), 50);
+    }
+
+    #[test]
+    fn try_calibrate_handles_empty_and_adversarial_queries() {
+        use crate::error::CardEstError;
+        let model = |f: &[f32]| f[0] as f64;
+        let lcp = LocalizedConformal::try_calibrate(model, AbsoluteResidual, &[], &[], 5, 0.1)
+            .expect("empty calibration degrades, not errors");
+        assert!(lcp.local_delta(&[0.3]).is_infinite());
+        assert!(lcp.interval(&[0.3]).contains(1e12));
+        assert!(matches!(
+            LocalizedConformal::try_calibrate(model, AbsoluteResidual, &[], &[], 0, 0.1),
+            Err(CardEstError::InvalidParameter(_))
+        ));
+        // NaN query features: distances go NaN, which total_cmp tolerates.
+        let (cx, cy) = piecewise(100, 7);
+        let lcp =
+            LocalizedConformal::calibrate(model, AbsoluteResidual, &cx, &cy, 10, 0.1);
+        let d = lcp.local_delta(&[f32::NAN]);
+        assert!(!d.is_nan(), "local delta must never be NaN");
+        assert!(matches!(
+            lcp.try_interval(&[f32::NAN]),
+            Err(CardEstError::NonFiniteScore { .. })
+        ));
     }
 
     #[test]

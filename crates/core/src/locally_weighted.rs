@@ -1,7 +1,8 @@
 //! Locally weighted split conformal prediction (paper Algorithm 3).
 
+use crate::error::{check_alpha, check_lengths, CardEstError};
 use crate::interval::PredictionInterval;
-use crate::quantile::conformal_quantile;
+use crate::quantile::{conformal_quantile, try_conformal_quantile};
 use crate::regressor::Regressor;
 use crate::score::ScoreFunction;
 
@@ -56,6 +57,39 @@ impl<M: Regressor, D: Regressor, S: ScoreFunction> LocallyWeightedConformal<M, D
         LocallyWeightedConformal { model, difficulty, score, delta, alpha, min_difficulty }
     }
 
+    /// Non-panicking [`LocallyWeightedConformal::calibrate`]: an empty
+    /// calibration set degrades to `δ = +∞`; shape/parameter problems become
+    /// errors. A NaN difficulty estimate is floored up to `min_difficulty`
+    /// (max() with a NaN operand keeps the finite floor), so corrupt `U(X)`
+    /// widens rather than poisons.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_calibrate(
+        model: M,
+        difficulty: D,
+        score: S,
+        calib_x: &[Vec<f32>],
+        calib_y: &[f64],
+        alpha: f64,
+        min_difficulty: f64,
+    ) -> Result<Self, CardEstError> {
+        check_lengths(calib_x.len(), calib_y.len())?;
+        check_alpha(alpha)?;
+        // NaN fails this check too: a NaN floor must be rejected, not floored.
+        if min_difficulty.is_nan() || min_difficulty <= 0.0 {
+            return Err(CardEstError::InvalidParameter("difficulty floor must be positive"));
+        }
+        let scaled: Vec<f64> = calib_x
+            .iter()
+            .zip(calib_y)
+            .map(|(x, &y)| {
+                let u = difficulty.predict(x).max(min_difficulty);
+                score.score(y, model.predict(x)) / u
+            })
+            .collect();
+        let delta = try_conformal_quantile(&scaled, alpha)?;
+        Ok(LocallyWeightedConformal { model, difficulty, score, delta, alpha, min_difficulty })
+    }
+
     /// The calibrated normalized threshold δ.
     pub fn delta(&self) -> f64 {
         self.delta
@@ -82,6 +116,23 @@ impl<M: Regressor, D: Regressor, S: ScoreFunction> LocallyWeightedConformal<M, D
         let u = self.difficulty(features);
         let (lo, hi) = self.score.interval(y_hat, self.delta * u);
         PredictionInterval::new(lo, hi)
+    }
+
+    /// Like [`LocallyWeightedConformal::interval`], but a non-finite model
+    /// prediction is reported as [`CardEstError::NonFiniteScore`]. (A
+    /// non-finite difficulty estimate is already absorbed by the floor /
+    /// conservative widening and is not an error.)
+    pub fn try_interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        let y_hat = self.model.predict(features);
+        if !y_hat.is_finite() {
+            return Err(CardEstError::NonFiniteScore {
+                value: y_hat,
+                context: "model prediction",
+            });
+        }
+        let u = self.difficulty(features);
+        let (lo, hi) = self.score.interval(y_hat, self.delta * u);
+        Ok(PredictionInterval::new(lo, hi))
     }
 }
 
@@ -194,6 +245,53 @@ mod tests {
         );
         assert_eq!(lw.difficulty(&[3.0]), 0.5);
         assert!(lw.interval(&[3.0]).width() > 0.0);
+    }
+
+    #[test]
+    fn try_calibrate_degrades_and_floors_nan_difficulty() {
+        use crate::error::CardEstError;
+        let model = |f: &[f32]| f[0] as f64;
+        let nan_difficulty = |_: &[f32]| f64::NAN;
+        let lw = LocallyWeightedConformal::try_calibrate(
+            model,
+            nan_difficulty,
+            AbsoluteResidual,
+            &[],
+            &[],
+            0.1,
+            0.5,
+        )
+        .expect("empty calibration degrades, not errors");
+        assert!(lw.delta().is_infinite());
+        // NaN difficulty is floored to min_difficulty, never NaN.
+        assert_eq!(lw.difficulty(&[1.0]), 0.5);
+        assert!(matches!(
+            LocallyWeightedConformal::try_calibrate(
+                model,
+                nan_difficulty,
+                AbsoluteResidual,
+                &[],
+                &[],
+                0.1,
+                f64::NAN,
+            ),
+            Err(CardEstError::InvalidParameter(_))
+        ));
+        let (cx, cy) = hetero(100, 6);
+        let lw = LocallyWeightedConformal::calibrate(
+            model,
+            oracle_difficulty,
+            AbsoluteResidual,
+            &cx,
+            &cy,
+            0.1,
+            1e-6,
+        );
+        assert!(lw.try_interval(&[2.0]).is_ok());
+        assert!(matches!(
+            lw.try_interval(&[f32::NAN]),
+            Err(CardEstError::NonFiniteScore { .. })
+        ));
     }
 
     #[test]

@@ -8,25 +8,40 @@
 
 use std::collections::VecDeque;
 
+use crate::error::{check_alpha, check_lengths, CardEstError};
 use crate::interval::PredictionInterval;
 use crate::regressor::Regressor;
 use crate::score::ScoreFunction;
 
 /// Maintains a sorted score multiset supporting O(log n) insertion position
 /// lookup and O(1) conformal-quantile reads.
+///
+/// Non-finite scores (a NaN residual from a corrupt model output, say) are
+/// not stored in the sorted vector; they are *counted* and treated as `+∞`
+/// order statistics, so a bad observation conservatively widens the
+/// threshold instead of panicking or poisoning the sort order.
 #[derive(Debug, Clone, Default)]
 struct SortedScores {
     values: Vec<f64>,
+    n_nonfinite: usize,
 }
 
 impl SortedScores {
     fn insert(&mut self, v: f64) {
-        assert!(v.is_finite(), "non-finite conformal score");
+        if !v.is_finite() {
+            self.n_nonfinite += 1;
+            return;
+        }
         let pos = self.values.partition_point(|&x| x < v);
         self.values.insert(pos, v);
     }
 
     fn remove(&mut self, v: f64) {
+        if !v.is_finite() {
+            assert!(self.n_nonfinite > 0, "removing a score that is not present");
+            self.n_nonfinite -= 1;
+            return;
+        }
         let pos = self.values.partition_point(|&x| x < v);
         assert!(
             pos < self.values.len() && self.values[pos] == v,
@@ -36,14 +51,15 @@ impl SortedScores {
     }
 
     fn len(&self) -> usize {
-        self.values.len()
+        self.values.len() + self.n_nonfinite
     }
 
-    /// The `⌈(1-α)(n+1)⌉`-th smallest, `+∞` if out of range.
+    /// The `⌈(1-α)(n+1)⌉`-th smallest, `+∞` if out of range or if the rank
+    /// lands in the non-finite tail.
     fn conformal_quantile(&self, alpha: f64) -> f64 {
-        let n = self.values.len();
+        let n = self.len();
         let rank = ((1.0 - alpha) * (n as f64 + 1.0)).ceil() as usize;
-        if rank == 0 || rank > n {
+        if rank == 0 || rank > self.values.len() {
             f64::INFINITY
         } else {
             self.values[rank - 1]
@@ -82,6 +98,27 @@ impl<M: Regressor, S: ScoreFunction> OnlineConformal<M, S> {
         OnlineConformal { model, score, scores, alpha }
     }
 
+    /// Non-panicking [`OnlineConformal::new`]: reports mismatched lengths and
+    /// bad `alpha` as errors. An *empty* calibration set is valid — the
+    /// predictor starts with an infinite threshold and tightens as it
+    /// observes — and non-finite calibration scores are counted as `+∞`
+    /// (conservative) rather than rejected.
+    pub fn try_new(
+        model: M,
+        score: S,
+        calib_x: &[Vec<f32>],
+        calib_y: &[f64],
+        alpha: f64,
+    ) -> Result<Self, CardEstError> {
+        check_lengths(calib_x.len(), calib_y.len())?;
+        check_alpha(alpha)?;
+        let mut scores = SortedScores::default();
+        for (x, &y) in calib_x.iter().zip(calib_y) {
+            scores.insert(score.score(y, model.predict(x)));
+        }
+        Ok(OnlineConformal { model, score, scores, alpha })
+    }
+
     /// Current calibration-set size.
     pub fn calibration_size(&self) -> usize {
         self.scores.len()
@@ -104,7 +141,23 @@ impl<M: Regressor, S: ScoreFunction> OnlineConformal<M, S> {
         PredictionInterval::new(lo, hi)
     }
 
+    /// Like [`OnlineConformal::interval`], but a non-finite model prediction
+    /// is reported as [`CardEstError::NonFiniteScore`] instead of silently
+    /// producing a garbage interval.
+    pub fn try_interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        let y_hat = self.model.predict(features);
+        if !y_hat.is_finite() {
+            return Err(CardEstError::NonFiniteScore {
+                value: y_hat,
+                context: "model prediction",
+            });
+        }
+        let (lo, hi) = self.score.interval(y_hat, self.delta());
+        Ok(PredictionInterval::new(lo, hi))
+    }
+
     /// Folds an executed query's observed truth into the calibration set.
+    /// A non-finite score (corrupt prediction or label) is recorded as `+∞`.
     pub fn observe(&mut self, features: &[f32], y_true: f64) {
         let s = self.score.score(y_true, self.model.predict(features));
         self.scores.insert(s);
@@ -140,6 +193,15 @@ impl<M: Regressor, S: ScoreFunction> WindowedConformal<M, S> {
         }
     }
 
+    /// Non-panicking [`WindowedConformal::new`].
+    pub fn try_new(model: M, score: S, window: usize, alpha: f64) -> Result<Self, CardEstError> {
+        if window == 0 {
+            return Err(CardEstError::InvalidParameter("window must be positive"));
+        }
+        check_alpha(alpha)?;
+        Ok(WindowedConformal::new(model, score, window, alpha))
+    }
+
     /// Number of scores currently in the window.
     pub fn len(&self) -> usize {
         self.recency.len()
@@ -162,7 +224,22 @@ impl<M: Regressor, S: ScoreFunction> WindowedConformal<M, S> {
         PredictionInterval::new(lo, hi)
     }
 
+    /// Like [`WindowedConformal::interval`], but a non-finite model
+    /// prediction is reported as [`CardEstError::NonFiniteScore`].
+    pub fn try_interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        let y_hat = self.model.predict(features);
+        if !y_hat.is_finite() {
+            return Err(CardEstError::NonFiniteScore {
+                value: y_hat,
+                context: "model prediction",
+            });
+        }
+        let (lo, hi) = self.score.interval(y_hat, self.delta());
+        Ok(PredictionInterval::new(lo, hi))
+    }
+
     /// Observes an executed query, evicting the oldest score when full.
+    /// A non-finite score is recorded as `+∞` (and evicted like any other).
     pub fn observe(&mut self, features: &[f32], y_true: f64) {
         let s = self.score.score(y_true, self.model.predict(features));
         self.recency.push_back(s);
@@ -285,5 +362,77 @@ mod tests {
     fn rejects_zero_window() {
         let model = |_: &[f32]| 0.0;
         WindowedConformal::new(model, AbsoluteResidual, 0, 0.1);
+    }
+
+    #[test]
+    fn non_finite_scores_count_as_infinite_order_statistics() {
+        let mut s = SortedScores::default();
+        for v in [1.0, 2.0, f64::NAN, 3.0, f64::INFINITY] {
+            s.insert(v);
+        }
+        assert_eq!(s.len(), 5);
+        // alpha = 0.05: rank = ceil(0.95 * 6) = 6 > 3 finite values.
+        assert!(s.conformal_quantile(0.05).is_infinite());
+        // alpha = 0.5: rank = ceil(0.5 * 6) = 3 -> still in the finite run.
+        assert_eq!(s.conformal_quantile(0.5), 3.0);
+        s.remove(f64::NAN);
+        s.remove(f64::INFINITY);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn windowed_evicts_non_finite_scores_cleanly() {
+        // NaN feature -> NaN prediction -> NaN score; it must flow through
+        // the window (insert, quantile, evict) without panicking.
+        // alpha = 0.5 so a 3-score window has a finite conformal rank
+        // (ceil(0.5 * 4) = 2) once the NaN is gone.
+        let model = |f: &[f32]| f[0] as f64;
+        let mut wc = WindowedConformal::new(model, AbsoluteResidual, 3, 0.5);
+        wc.observe(&[f32::NAN], 1.0);
+        assert!(wc.delta().is_infinite());
+        for _ in 0..3 {
+            wc.observe(&[0.0], 0.5);
+        }
+        assert_eq!(wc.len(), 3);
+        assert!(wc.delta().is_finite(), "NaN score must have been evicted");
+    }
+
+    #[test]
+    fn empty_calibration_yields_conservative_interval_not_panic() {
+        let model = |_: &[f32]| 5.0;
+        let oc = OnlineConformal::new(model, AbsoluteResidual, &[], &[], 0.1);
+        assert_eq!(oc.calibration_size(), 0);
+        let iv = oc.interval(&[0.0]);
+        assert!(iv.lo.is_infinite() && iv.hi.is_infinite());
+        assert!(iv.contains(5.0));
+    }
+
+    #[test]
+    fn try_constructors_report_errors_instead_of_panicking() {
+        use crate::error::CardEstError;
+        let model = |_: &[f32]| 0.0;
+        assert!(OnlineConformal::new(model, AbsoluteResidual, &[], &[], 0.1)
+            .try_interval(&[0.0])
+            .is_ok());
+        assert_eq!(
+            OnlineConformal::try_new(model, AbsoluteResidual, &[vec![0.0]], &[], 0.1)
+                .err(),
+            Some(CardEstError::LengthMismatch { features: 1, targets: 0 })
+        );
+        assert_eq!(
+            OnlineConformal::try_new(model, AbsoluteResidual, &[], &[], 1.5).err(),
+            Some(CardEstError::InvalidAlpha(1.5))
+        );
+        assert_eq!(
+            WindowedConformal::try_new(model, AbsoluteResidual, 0, 0.1).err(),
+            Some(CardEstError::InvalidParameter("window must be positive"))
+        );
+        let nan_model = |_: &[f32]| f64::NAN;
+        let oc = OnlineConformal::try_new(nan_model, AbsoluteResidual, &[], &[], 0.1)
+            .expect("empty calibration is valid");
+        assert!(matches!(
+            oc.try_interval(&[0.0]),
+            Err(CardEstError::NonFiniteScore { .. })
+        ));
     }
 }

@@ -3,15 +3,28 @@
 //! Everything in the paper reduces to order statistics of score sets; the
 //! finite-sample correction `⌈(1-α)(n+1)⌉` is what turns an empirical
 //! quantile into a valid conformal threshold.
+//!
+//! # NaN handling
+//!
+//! Scores come from black-box models that can emit NaN. All selection here
+//! orders by [`f64::total_cmp`] (IEEE total order: `-NaN < -∞ < … < +∞ <
+//! +NaN`), so NaN never aborts a quantile computation. The conformal entry
+//! points additionally map a NaN *result* to the conservative endpoint for
+//! their direction (`+∞` for upper thresholds, `-∞` for lower bounds): a
+//! corrupt score can only widen an interval, never crash or shrink it.
+
+use crate::error::{check_alpha, CardEstError};
 
 /// The conformal `(1-α)` quantile: the `⌈(1-α)(n+1)⌉`-th smallest value.
 ///
 /// Returns `+∞` when the index exceeds `n` (i.e. `n` is too small for the
 /// requested coverage) — downstream interval clipping keeps that usable,
-/// matching the standard conformal convention.
+/// matching the standard conformal convention. A NaN landing on the selected
+/// rank also yields `+∞` (see the module docs).
 ///
 /// # Panics
-/// Panics if `values` is empty or `alpha` is outside `(0, 1)`.
+/// Panics if `values` is empty or `alpha` is outside `(0, 1)`. Use
+/// [`try_conformal_quantile`] on the serving path.
 pub fn conformal_quantile(values: &[f64], alpha: f64) -> f64 {
     assert!(!values.is_empty(), "conformal quantile of an empty score set");
     assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
@@ -20,14 +33,33 @@ pub fn conformal_quantile(values: &[f64], alpha: f64) -> f64 {
     if rank > n {
         return f64::INFINITY;
     }
-    kth_smallest(values, rank)
+    let q = kth_smallest(values, rank);
+    if q.is_nan() {
+        f64::INFINITY
+    } else {
+        q
+    }
+}
+
+/// Non-panicking [`conformal_quantile`]: an empty score set yields the
+/// conservative `+∞` threshold (every interval becomes infinite rather than
+/// the process crashing); an out-of-range `alpha` is a real caller bug and
+/// is reported as [`CardEstError::InvalidAlpha`].
+pub fn try_conformal_quantile(values: &[f64], alpha: f64) -> Result<f64, CardEstError> {
+    check_alpha(alpha)?;
+    if values.is_empty() {
+        return Ok(f64::INFINITY);
+    }
+    Ok(conformal_quantile(values, alpha))
 }
 
 /// The lower conformal quantile used by Jackknife+ lower bounds:
-/// the `⌊α(n+1)⌋`-th smallest value. Returns `-∞` when the index is 0.
+/// the `⌊α(n+1)⌋`-th smallest value. Returns `-∞` when the index is 0, and
+/// also when a NaN lands on the selected rank (conservative downward).
 ///
 /// # Panics
-/// Panics if `values` is empty or `alpha` is outside `(0, 1)`.
+/// Panics if `values` is empty or `alpha` is outside `(0, 1)`. Use
+/// [`try_conformal_quantile_lower`] on the serving path.
 pub fn conformal_quantile_lower(values: &[f64], alpha: f64) -> f64 {
     assert!(!values.is_empty(), "conformal quantile of an empty score set");
     assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
@@ -36,19 +68,33 @@ pub fn conformal_quantile_lower(values: &[f64], alpha: f64) -> f64 {
     if rank == 0 {
         return f64::NEG_INFINITY;
     }
-    kth_smallest(values, rank.min(n))
+    let q = kth_smallest(values, rank.min(n));
+    if q.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        q
+    }
 }
 
-/// `k`-th smallest (1-based) via quickselect on a scratch copy.
+/// Non-panicking [`conformal_quantile_lower`]: empty input yields `-∞`.
+pub fn try_conformal_quantile_lower(values: &[f64], alpha: f64) -> Result<f64, CardEstError> {
+    check_alpha(alpha)?;
+    if values.is_empty() {
+        return Ok(f64::NEG_INFINITY);
+    }
+    Ok(conformal_quantile_lower(values, alpha))
+}
+
+/// `k`-th smallest (1-based) via quickselect on a scratch copy, ordered by
+/// [`f64::total_cmp`] — NaNs sort to the extremes by sign instead of
+/// aborting the selection.
 ///
 /// # Panics
-/// Panics if `k` is 0 or exceeds `values.len()`, or values contain NaN.
+/// Panics if `k` is 0 or exceeds `values.len()`.
 pub fn kth_smallest(values: &[f64], k: usize) -> f64 {
     assert!(k >= 1 && k <= values.len(), "k={k} out of range 1..={}", values.len());
     let mut scratch = values.to_vec();
-    let (_, kth, _) = scratch.select_nth_unstable_by(k - 1, |a, b| {
-        a.partial_cmp(b).expect("NaN score in quantile computation")
-    });
+    let (_, kth, _) = scratch.select_nth_unstable_by(k - 1, f64::total_cmp);
     *kth
 }
 

@@ -1,0 +1,635 @@
+//! Fault-tolerant interval serving: sanitization, panic isolation, circuit
+//! breaking, and estimator fallback.
+//!
+//! A production cardinality-interval server fronts a *black-box* learned
+//! model. The paper's desiderata demand wrapping without internal changes —
+//! which also means the server cannot trust the model: it may emit NaN,
+//! panic on odd inputs, stall, or silently degrade. [`ResilientService`]
+//! layers four defenses around any chain of [`PiEstimator`]s:
+//!
+//! 1. **Input sanitization** — wrong-dimension or non-finite feature vectors
+//!    are rejected with a typed error before any model sees them.
+//! 2. **Panic isolation** — every estimator call runs under `catch_unwind`;
+//!    a panicking model is a failed call, never a crashed process.
+//! 3. **Circuit breaking** — per-estimator breakers trip after a run of
+//!    consecutive failures, skip the estimator while open, and probe it
+//!    again (half-open) after a cooldown counted in queries, so recovery is
+//!    deterministic and testable.
+//! 4. **Fallback chain** — when the primary fails, the query falls through
+//!    to cheaper estimators (classical histogram/sampling models wrapped in
+//!    their own conformal calibration, so their intervals are widened by
+//!    their *own* observed error profile). An optional conservative floor
+//!    serves the infinite interval when every estimator is down: degraded
+//!    but never unavailable.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::error::CardEstError;
+use crate::interval::PredictionInterval;
+use crate::online::{OnlineConformal, WindowedConformal};
+use crate::regressor::Regressor;
+use crate::score::ScoreFunction;
+use crate::service::PiService;
+
+/// An object-safe prediction-interval estimator: the unit of the fallback
+/// chain. All serving methods are total — failures are values, not panics
+/// (panics from buggy implementations are still caught by the service).
+pub trait PiEstimator {
+    /// Short name for diagnostics and error messages.
+    fn name(&self) -> &str;
+
+    /// Point estimate for one query.
+    fn predict(&self, features: &[f32]) -> Result<f64, CardEstError>;
+
+    /// Prediction interval for one query.
+    fn interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError>;
+
+    /// Folds an executed query's truth into the estimator's calibration.
+    fn observe(&mut self, features: &[f32], y_true: f64);
+}
+
+fn finite_or_err(value: f64, context: &'static str) -> Result<f64, CardEstError> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(CardEstError::NonFiniteScore { value, context })
+    }
+}
+
+impl<M: Regressor, S: ScoreFunction> PiEstimator for OnlineConformal<M, S> {
+    fn name(&self) -> &str {
+        "online-conformal"
+    }
+    fn predict(&self, features: &[f32]) -> Result<f64, CardEstError> {
+        finite_or_err(OnlineConformal::predict(self, features), "model prediction")
+    }
+    fn interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        self.try_interval(features)
+    }
+    fn observe(&mut self, features: &[f32], y_true: f64) {
+        OnlineConformal::observe(self, features, y_true);
+    }
+}
+
+impl<M: Regressor, S: ScoreFunction> PiEstimator for WindowedConformal<M, S> {
+    fn name(&self) -> &str {
+        "windowed-conformal"
+    }
+    fn predict(&self, features: &[f32]) -> Result<f64, CardEstError> {
+        // The windowed calibrator has no standalone point-estimate accessor;
+        // the interval midpoint is NaN while the window is empty (infinite
+        // endpoints), so guard it like any other model output.
+        let iv = self.try_interval(features)?;
+        finite_or_err(iv.midpoint(), "windowed midpoint estimate")
+    }
+    fn interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        self.try_interval(features)
+    }
+    fn observe(&mut self, features: &[f32], y_true: f64) {
+        WindowedConformal::observe(self, features, y_true);
+    }
+}
+
+impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiEstimator for PiService<M, S> {
+    fn name(&self) -> &str {
+        "pi-service"
+    }
+    fn predict(&self, features: &[f32]) -> Result<f64, CardEstError> {
+        finite_or_err(PiService::predict(self, features), "model prediction")
+    }
+    fn interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        self.try_interval(features)
+    }
+    fn observe(&mut self, features: &[f32], y_true: f64) {
+        PiService::observe(self, features, y_true);
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Queries to wait, once open, before letting one probe call through.
+    pub cooldown_queries: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 5, cooldown_queries: 50 }
+    }
+}
+
+/// State of one estimator's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow through.
+    Closed,
+    /// Tripped: calls are skipped until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe call is allowed; success closes
+    /// the breaker, failure re-opens it immediately.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker { state: BreakerState::Closed, consecutive_failures: 0, opened_at: 0 }
+    }
+
+    /// Whether a call may go through at query-counter `now`, advancing
+    /// Open -> HalfOpen when the cooldown has elapsed.
+    fn admit(&mut self, now: u64, config: &BreakerConfig) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now.saturating_sub(self.opened_at) >= config.cooldown_queries {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failure; returns true when this transition tripped the
+    /// breaker open.
+    fn record_failure(&mut self, now: u64, config: &BreakerConfig) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = self.state == BreakerState::HalfOpen
+            || (self.state == BreakerState::Closed
+                && self.consecutive_failures >= config.failure_threshold);
+        if trip {
+            self.state = BreakerState::Open;
+            self.opened_at = now;
+        }
+        trip
+    }
+}
+
+/// Counters describing how a [`ResilientService`] has behaved so far.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceStats {
+    /// Total `interval()` calls.
+    pub queries: u64,
+    /// Queries answered by some estimator in the chain.
+    pub answered: u64,
+    /// Queries answered only by the conservative infinite-interval floor.
+    pub floor_served: u64,
+    /// Queries rejected by input sanitization (bad dims / non-finite).
+    pub rejected_inputs: u64,
+    /// Panics caught and isolated (across interval, predict, and observe).
+    pub panics_caught: u64,
+    /// Typed estimator failures (non-panic errors) across the chain.
+    pub estimator_failures: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_trips: u64,
+    /// Per-chain-position answer counts (`served_by[0]` = primary).
+    pub served_by: Vec<u64>,
+}
+
+impl ResilienceStats {
+    /// Fraction of queries that got an interval from an estimator (the
+    /// floor, if enabled, pushes *availability* to 1.0 but is tracked
+    /// separately here).
+    pub fn answer_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 1.0;
+        }
+        self.answered as f64 / self.queries as f64
+    }
+
+    /// Fraction of answered queries that came from a fallback (position > 0).
+    pub fn fallback_rate(&self) -> f64 {
+        if self.answered == 0 {
+            return 0.0;
+        }
+        let fallback: u64 = self.served_by.iter().skip(1).sum();
+        fallback as f64 / self.answered as f64
+    }
+}
+
+struct ChainEntry {
+    estimator: Box<dyn PiEstimator>,
+    breaker: Breaker,
+}
+
+/// A fault-tolerant serving wrapper around a fallback chain of estimators.
+///
+/// Construction is builder-style: start from the primary estimator, push
+/// fallbacks in preference order, then serve via
+/// [`interval`](ResilientService::interval) /
+/// [`predict`](ResilientService::predict) and feed truths back through
+/// [`observe`](ResilientService::observe).
+pub struct ResilientService {
+    chain: Vec<ChainEntry>,
+    breaker_config: BreakerConfig,
+    expected_dims: Option<usize>,
+    conservative_floor: bool,
+    stats: ResilienceStats,
+    last_errors: Vec<(String, CardEstError)>,
+}
+
+impl std::fmt::Debug for ResilientService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientService")
+            .field("chain", &self.chain.iter().map(|e| e.estimator.name()).collect::<Vec<_>>())
+            .field("breaker_config", &self.breaker_config)
+            .field("expected_dims", &self.expected_dims)
+            .field("conservative_floor", &self.conservative_floor)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ResilientService {
+    /// Creates a service around the primary estimator, with the conservative
+    /// floor enabled (never-unavailable by default).
+    pub fn new(primary: Box<dyn PiEstimator>) -> Self {
+        ResilientService {
+            chain: vec![ChainEntry { estimator: primary, breaker: Breaker::new() }],
+            breaker_config: BreakerConfig::default(),
+            expected_dims: None,
+            conservative_floor: true,
+            stats: ResilienceStats { served_by: vec![0], ..Default::default() },
+            last_errors: Vec::new(),
+        }
+    }
+
+    /// Appends a fallback estimator (tried in push order after the primary).
+    pub fn with_fallback(mut self, estimator: Box<dyn PiEstimator>) -> Self {
+        self.chain.push(ChainEntry { estimator, breaker: Breaker::new() });
+        self.stats.served_by.push(0);
+        self
+    }
+
+    /// Overrides the circuit-breaker tuning (applies to every estimator).
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker_config = config;
+        self
+    }
+
+    /// Enables dimension checking: queries whose feature vectors are not
+    /// exactly `dims` long are rejected before reaching any model.
+    pub fn with_expected_dims(mut self, dims: usize) -> Self {
+        self.expected_dims = Some(dims);
+        self
+    }
+
+    /// Controls the conservative floor. When `true` (the default) a query
+    /// that exhausts the chain is answered with the infinite interval —
+    /// valid by vacuity — instead of an error.
+    pub fn with_conservative_floor(mut self, enabled: bool) -> Self {
+        self.conservative_floor = enabled;
+        self
+    }
+
+    /// Serving statistics so far.
+    pub fn stats(&self) -> &ResilienceStats {
+        &self.stats
+    }
+
+    /// Breaker state of the estimator at `position` in the chain.
+    pub fn breaker_state(&self, position: usize) -> Option<BreakerState> {
+        self.chain.get(position).map(|e| e.breaker.state)
+    }
+
+    /// Names of the chain's estimators, primary first.
+    pub fn chain_names(&self) -> Vec<&str> {
+        self.chain.iter().map(|e| e.estimator.name()).collect()
+    }
+
+    /// The per-estimator errors from the most recent query that exhausted
+    /// the whole chain (empty if no query has).
+    pub fn last_errors(&self) -> &[(String, CardEstError)] {
+        &self.last_errors
+    }
+
+    fn sanitize(&self, features: &[f32]) -> Result<(), CardEstError> {
+        if let Some(dims) = self.expected_dims {
+            if features.len() != dims {
+                return Err(CardEstError::DimensionMismatch {
+                    expected: dims,
+                    actual: features.len(),
+                });
+            }
+        }
+        if let Some(index) = features.iter().position(|v| !v.is_finite()) {
+            return Err(CardEstError::NonFiniteFeature { index });
+        }
+        Ok(())
+    }
+
+    /// Serves a prediction interval, walking the fallback chain.
+    pub fn interval(&mut self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        self.serve(features, |est, f| est.interval(f))
+    }
+
+    /// Serves a point estimate, walking the fallback chain. When only the
+    /// floor remains, returns an error (there is no conservative point
+    /// estimate the way there is a conservative interval).
+    pub fn predict(&mut self, features: &[f32]) -> Result<f64, CardEstError> {
+        let floor = self.conservative_floor;
+        self.conservative_floor = false;
+        let out = self.serve(features, |est, f| {
+            est.predict(f)
+                .and_then(|p| finite_or_err(p, "point estimate"))
+                .map(|p| PredictionInterval::new(p, p))
+        });
+        self.conservative_floor = floor;
+        out.map(|iv| iv.midpoint())
+    }
+
+    fn serve(
+        &mut self,
+        features: &[f32],
+        call: impl Fn(&dyn PiEstimator, &[f32]) -> Result<PredictionInterval, CardEstError>,
+    ) -> Result<PredictionInterval, CardEstError> {
+        self.stats.queries += 1;
+        if let Err(e) = self.sanitize(features) {
+            self.stats.rejected_inputs += 1;
+            return Err(e);
+        }
+        let now = self.stats.queries;
+        let mut errors: Vec<(String, CardEstError)> = Vec::new();
+        for position in 0..self.chain.len() {
+            let entry = &mut self.chain[position];
+            if !entry.breaker.admit(now, &self.breaker_config) {
+                errors.push((
+                    entry.estimator.name().to_string(),
+                    CardEstError::CircuitOpen { estimator: entry.estimator.name().to_string() },
+                ));
+                continue;
+            }
+            let estimator = &*entry.estimator;
+            let outcome = catch_unwind(AssertUnwindSafe(|| call(estimator, features)));
+            let failure = match outcome {
+                Ok(Ok(interval)) => {
+                    entry.breaker.record_success();
+                    self.stats.answered += 1;
+                    self.stats.served_by[position] += 1;
+                    return Ok(interval);
+                }
+                Ok(Err(e)) => {
+                    self.stats.estimator_failures += 1;
+                    e
+                }
+                Err(payload) => {
+                    self.stats.panics_caught += 1;
+                    CardEstError::ModelPanic(panic_message(payload.as_ref()))
+                }
+            };
+            errors.push((entry.estimator.name().to_string(), failure));
+            if entry.breaker.record_failure(now, &self.breaker_config) {
+                self.stats.breaker_trips += 1;
+            }
+        }
+        let tried = errors.len();
+        self.last_errors = errors;
+        if self.conservative_floor {
+            self.stats.answered += 1;
+            self.stats.floor_served += 1;
+            return Ok(PredictionInterval::new(f64::NEG_INFINITY, f64::INFINITY));
+        }
+        Err(CardEstError::AllEstimatorsFailed { tried })
+    }
+
+    /// Feeds an executed query's truth to every estimator in the chain (so
+    /// fallbacks stay calibrated even while idle). Unsanitizable inputs are
+    /// dropped; a panicking `observe` is isolated and counted.
+    pub fn observe(&mut self, features: &[f32], y_true: f64) {
+        if self.sanitize(features).is_err() {
+            self.stats.rejected_inputs += 1;
+            return;
+        }
+        for entry in &mut self.chain {
+            let estimator = entry.estimator.as_mut();
+            if catch_unwind(AssertUnwindSafe(|| estimator.observe(features, y_true))).is_err() {
+                self.stats.panics_caught += 1;
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if payload.downcast_ref::<crate::chaos::ChaosPanic>().is_some() {
+        crate::chaos::ChaosPanic.to_string()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{install_quiet_chaos_hook, ChaosConfig, ChaosRegressor};
+    use crate::score::AbsoluteResidual;
+
+    /// An online-conformal estimator over `model`, pre-calibrated on a
+    /// clean linear stream.
+    fn calibrated<M: Regressor>(model: M) -> OnlineConformal<M, AbsoluteResidual> {
+        let calib_x: Vec<Vec<f32>> = (0..200).map(|i| vec![i as f32 / 200.0]).collect();
+        let calib_y: Vec<f64> = calib_x
+            .iter()
+            .map(|f| f[0] as f64 + 0.1 * ((f[0] * 37.0) as f64).sin())
+            .collect();
+        OnlineConformal::new(model, AbsoluteResidual, &calib_x, &calib_y, 0.1)
+    }
+
+    fn healthy_model() -> impl Fn(&[f32]) -> f64 {
+        |f: &[f32]| f[0] as f64
+    }
+
+    #[test]
+    fn healthy_primary_serves_everything() {
+        let mut svc = ResilientService::new(Box::new(calibrated(healthy_model())));
+        for i in 0..100 {
+            let iv = svc.interval(&[i as f32 / 100.0]).expect("healthy chain");
+            assert!(iv.lo <= iv.hi);
+        }
+        assert_eq!(svc.stats().served_by[0], 100);
+        assert_eq!(svc.stats().fallback_rate(), 0.0);
+    }
+
+    #[test]
+    fn sanitization_rejects_bad_inputs_before_models() {
+        let mut svc = ResilientService::new(Box::new(calibrated(healthy_model())))
+            .with_expected_dims(1);
+        assert!(matches!(
+            svc.interval(&[1.0, 2.0]),
+            Err(CardEstError::DimensionMismatch { expected: 1, actual: 2 })
+        ));
+        assert!(matches!(
+            svc.interval(&[f32::NAN]),
+            Err(CardEstError::NonFiniteFeature { index: 0 })
+        ));
+        assert_eq!(svc.stats().rejected_inputs, 2);
+        assert_eq!(svc.stats().answered, 0);
+    }
+
+    #[test]
+    fn nan_primary_falls_back() {
+        let nan_model = |_: &[f32]| f64::NAN;
+        let mut svc = ResilientService::new(Box::new(calibrated(nan_model)))
+            .with_fallback(Box::new(calibrated(healthy_model())));
+        let iv = svc.interval(&[0.5]).expect("fallback must answer");
+        assert!(iv.contains(0.5));
+        assert_eq!(svc.stats().served_by, vec![0, 1]);
+        assert_eq!(svc.stats().fallback_rate(), 1.0);
+    }
+
+    #[test]
+    fn panicking_primary_is_isolated_and_breaker_trips() {
+        install_quiet_chaos_hook();
+        let chaos = ChaosRegressor::new(
+            healthy_model(),
+            ChaosConfig { panic_rate: 1.0, seed: 11, ..Default::default() },
+        );
+        let primary = OnlineConformal::new(chaos, AbsoluteResidual, &[], &[], 0.1);
+        let mut svc = ResilientService::new(Box::new(primary))
+            .with_fallback(Box::new(calibrated(healthy_model())))
+            .with_breaker(BreakerConfig { failure_threshold: 3, cooldown_queries: 10 });
+        for _ in 0..5 {
+            svc.interval(&[0.5]).expect("fallback answers");
+        }
+        assert_eq!(svc.stats().panics_caught, 3, "breaker stops probing after 3");
+        assert_eq!(svc.breaker_state(0), Some(BreakerState::Open));
+        assert_eq!(svc.stats().breaker_trips, 1);
+        assert_eq!(svc.stats().served_by[1], 5);
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probe() {
+        // A model that fails for a while, then heals.
+        let healthy = std::rc::Rc::new(std::cell::Cell::new(false));
+        let flag = healthy.clone();
+        let flaky = move |f: &[f32]| {
+            if flag.get() {
+                f[0] as f64
+            } else {
+                f64::NAN
+            }
+        };
+        let primary = OnlineConformal::new(flaky, AbsoluteResidual, &[], &[], 0.1);
+        let mut svc = ResilientService::new(Box::new(primary))
+            .with_fallback(Box::new(calibrated(healthy_model())))
+            .with_breaker(BreakerConfig { failure_threshold: 2, cooldown_queries: 5 });
+        for _ in 0..2 {
+            svc.interval(&[0.5]).unwrap();
+        }
+        assert_eq!(svc.breaker_state(0), Some(BreakerState::Open));
+        healthy.set(true);
+        // Queries inside the cooldown skip the primary entirely.
+        for _ in 0..4 {
+            svc.interval(&[0.5]).unwrap();
+        }
+        assert_eq!(svc.breaker_state(0), Some(BreakerState::Open));
+        // Cooldown elapsed: the next query probes the (now healthy) primary
+        // and closes the breaker.
+        svc.interval(&[0.5]).unwrap();
+        assert_eq!(svc.breaker_state(0), Some(BreakerState::Closed));
+        let final_count = svc.stats().served_by[0];
+        svc.interval(&[0.5]).unwrap();
+        assert_eq!(svc.stats().served_by[0], final_count + 1);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_immediately() {
+        let nan_model = |_: &[f32]| f64::NAN;
+        let primary = OnlineConformal::new(nan_model, AbsoluteResidual, &[], &[], 0.1);
+        let mut svc = ResilientService::new(Box::new(primary))
+            .with_fallback(Box::new(calibrated(healthy_model())))
+            .with_breaker(BreakerConfig { failure_threshold: 1, cooldown_queries: 3 });
+        svc.interval(&[0.5]).unwrap();
+        assert_eq!(svc.breaker_state(0), Some(BreakerState::Open));
+        for _ in 0..3 {
+            svc.interval(&[0.5]).unwrap();
+        }
+        // The probe failed: open again without needing `failure_threshold`
+        // fresh failures.
+        assert_eq!(svc.breaker_state(0), Some(BreakerState::Open));
+        assert_eq!(svc.stats().breaker_trips, 2);
+    }
+
+    #[test]
+    fn floor_serves_infinite_interval_when_chain_exhausted() {
+        let nan_model = |_: &[f32]| f64::NAN;
+        let primary = OnlineConformal::new(nan_model, AbsoluteResidual, &[], &[], 0.1);
+        let mut svc = ResilientService::new(Box::new(primary));
+        let iv = svc.interval(&[0.5]).expect("floor answers");
+        assert!(iv.lo == f64::NEG_INFINITY && iv.hi == f64::INFINITY);
+        assert_eq!(svc.stats().floor_served, 1);
+        assert!(!svc.last_errors().is_empty());
+
+        let primary = OnlineConformal::new(nan_model, AbsoluteResidual, &[], &[], 0.1);
+        let mut strict = ResilientService::new(Box::new(primary)).with_conservative_floor(false);
+        assert!(matches!(
+            strict.interval(&[0.5]),
+            Err(CardEstError::AllEstimatorsFailed { tried: 1 })
+        ));
+        assert!(matches!(
+            strict.last_errors()[0].1,
+            CardEstError::NonFiniteScore { .. }
+        ));
+    }
+
+    #[test]
+    fn predict_has_no_floor_and_propagates_exhaustion() {
+        let nan_model = |_: &[f32]| f64::NAN;
+        let primary = OnlineConformal::new(nan_model, AbsoluteResidual, &[], &[], 0.1);
+        let mut svc = ResilientService::new(Box::new(primary));
+        assert!(matches!(
+            svc.predict(&[0.5]),
+            Err(CardEstError::AllEstimatorsFailed { .. })
+        ));
+        // The floor flag is restored for interval serving.
+        assert!(svc.interval(&[0.5]).is_ok());
+    }
+
+    #[test]
+    fn observe_feeds_all_estimators_and_isolates_panics() {
+        install_quiet_chaos_hook();
+        let chaos = ChaosRegressor::new(
+            healthy_model(),
+            ChaosConfig { panic_rate: 1.0, seed: 2, ..Default::default() },
+        );
+        let primary = OnlineConformal::new(chaos, AbsoluteResidual, &[], &[], 0.1);
+        let fallback = OnlineConformal::new(healthy_model(), AbsoluteResidual, &[], &[], 0.1);
+        let mut svc = ResilientService::new(Box::new(primary)).with_fallback(Box::new(fallback));
+        for i in 0..50 {
+            let x = i as f32 / 50.0;
+            svc.observe(&[x], x as f64 + 0.05);
+        }
+        assert_eq!(svc.stats().panics_caught, 50);
+        // The fallback calibrated from the same stream: it can now serve
+        // finite intervals.
+        let iv = svc.interval(&[0.5]).expect("fallback calibrated via observe");
+        assert!(iv.hi.is_finite(), "fallback should have a finite threshold");
+    }
+
+    #[test]
+    fn chain_names_and_debug_are_usable() {
+        let svc = ResilientService::new(Box::new(calibrated(healthy_model())))
+            .with_fallback(Box::new(calibrated(healthy_model())));
+        assert_eq!(svc.chain_names(), vec!["online-conformal", "online-conformal"]);
+        let dbg = format!("{svc:?}");
+        assert!(dbg.contains("ResilientService"));
+    }
+}

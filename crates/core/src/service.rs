@@ -8,6 +8,7 @@
 //! stays quiet for a full window — the recover-don't-crash behaviour Fig. 11
 //! motivates.
 
+use crate::error::{check_alpha, check_lengths, CardEstError};
 use crate::exchangeability::ExchangeabilityMartingale;
 use crate::interval::PredictionInterval;
 use crate::online::{OnlineConformal, WindowedConformal};
@@ -95,6 +96,27 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
         }
     }
 
+    /// Non-panicking [`PiService::new`]: configuration and calibration-shape
+    /// problems become errors; an empty calibration set is valid (the
+    /// service starts conservative and tightens as it observes).
+    pub fn try_new(
+        model: M,
+        score: S,
+        calib_x: &[Vec<f32>],
+        calib_y: &[f64],
+        config: PiServiceConfig,
+    ) -> Result<Self, CardEstError> {
+        check_lengths(calib_x.len(), calib_y.len())?;
+        check_alpha(config.alpha)?;
+        if config.window == 0 {
+            return Err(CardEstError::InvalidParameter("window must be positive"));
+        }
+        if config.shift_threshold <= 1.0 {
+            return Err(CardEstError::InvalidParameter("shift threshold must exceed 1"));
+        }
+        Ok(PiService::new(model, score, calib_x, calib_y, config))
+    }
+
     /// Current serving mode.
     pub fn mode(&self) -> ServiceMode {
         self.mode
@@ -120,13 +142,29 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
         }
     }
 
+    /// Like [`PiService::interval`], but a non-finite model prediction is
+    /// reported as [`CardEstError::NonFiniteScore`].
+    pub fn try_interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        match self.mode {
+            ServiceMode::Stable => self.online.try_interval(features),
+            ServiceMode::Drifted => self.window.try_interval(features),
+        }
+    }
+
     /// Feeds back an executed query's truth: updates both calibrators and
     /// the drift monitor, switching modes as needed.
+    ///
+    /// A non-finite score (corrupt prediction or label) still reaches both
+    /// calibrators — they record it as a conservative `+∞` — but is kept out
+    /// of the drift monitor, whose betting martingale is only defined over
+    /// finite scores.
     pub fn observe(&mut self, features: &[f32], y_true: f64) {
         let score = self.score.score(y_true, self.model.predict(features));
         self.online.observe(features, y_true);
         self.window.observe(features, y_true);
-        self.monitor.observe(score);
+        if score.is_finite() {
+            self.monitor.observe(score);
+        }
         self.since_switch += 1;
 
         match self.mode {
@@ -277,6 +315,79 @@ mod tests {
             svc.observe(&x, y);
         }
         assert_eq!(svc.mode(), ServiceMode::Stable, "should leave quarantine");
+    }
+
+    #[test]
+    fn survives_non_finite_observations_and_queries() {
+        let (mut svc, mut rng) = service(4);
+        // Poison the stream: NaN labels, NaN features, infinite labels.
+        for i in 0..120 {
+            match i % 3 {
+                0 => svc.observe(&[0.5], f64::NAN),
+                1 => svc.observe(&[f32::NAN], 0.5),
+                _ => svc.observe(&[0.5], f64::INFINITY),
+            }
+        }
+        // The service keeps serving: the poisoned scores sit in the +inf
+        // tail, so intervals are conservative (here: infinite) but valid.
+        assert!(svc.interval(&[0.5]).contains(0.5));
+        // A healthy stream keeps flowing afterwards; 10%+ of the score set
+        // is poisoned, so the 90th-percentile threshold stays pinned at +inf
+        // in the full-history calibrator — by design, corruption can only
+        // widen. The serving path itself must stay panic-free and typed.
+        for _ in 0..300 {
+            let (x, y) = calm_point(&mut rng);
+            svc.observe(&x, y);
+        }
+        assert!(svc.interval(&[0.5]).contains(0.5));
+        assert!(svc.try_interval(&[0.5]).is_ok());
+        assert!(svc.try_interval(&[f32::NAN]).is_err());
+    }
+
+    #[test]
+    fn try_new_reports_config_errors() {
+        use crate::error::CardEstError;
+        let model = |_: &[f32]| 0.0;
+        assert!(PiService::try_new(
+            model,
+            AbsoluteResidual,
+            &[],
+            &[],
+            PiServiceConfig::default(),
+        )
+        .is_ok());
+        assert_eq!(
+            PiService::try_new(
+                model,
+                AbsoluteResidual,
+                &[],
+                &[],
+                PiServiceConfig { shift_threshold: 1.0, ..Default::default() },
+            )
+            .err(),
+            Some(CardEstError::InvalidParameter("shift threshold must exceed 1"))
+        );
+        assert_eq!(
+            PiService::try_new(
+                model,
+                AbsoluteResidual,
+                &[],
+                &[],
+                PiServiceConfig { window: 0, ..Default::default() },
+            )
+            .err(),
+            Some(CardEstError::InvalidParameter("window must be positive"))
+        );
+        assert!(matches!(
+            PiService::try_new(
+                model,
+                AbsoluteResidual,
+                &[],
+                &[],
+                PiServiceConfig { alpha: -0.1, ..Default::default() },
+            ),
+            Err(CardEstError::InvalidAlpha(_))
+        ));
     }
 
     #[test]

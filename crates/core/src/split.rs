@@ -1,7 +1,8 @@
 //! Split conformal prediction (paper Algorithm 2).
 
+use crate::error::{check_alpha, check_lengths, CardEstError};
 use crate::interval::PredictionInterval;
-use crate::quantile::conformal_quantile;
+use crate::quantile::{conformal_quantile, try_conformal_quantile};
 use crate::regressor::Regressor;
 use crate::score::ScoreFunction;
 
@@ -42,6 +43,27 @@ impl<M: Regressor, S: ScoreFunction> SplitConformal<M, S> {
         SplitConformal { model, score, delta, alpha }
     }
 
+    /// Non-panicking [`SplitConformal::calibrate`]: length mismatch and bad
+    /// `alpha` become errors, while an empty calibration set degrades to the
+    /// conservative infinite threshold (`δ = +∞`, so every interval covers).
+    pub fn try_calibrate(
+        model: M,
+        score: S,
+        calib_x: &[Vec<f32>],
+        calib_y: &[f64],
+        alpha: f64,
+    ) -> Result<Self, CardEstError> {
+        check_lengths(calib_x.len(), calib_y.len())?;
+        check_alpha(alpha)?;
+        let scores: Vec<f64> = calib_x
+            .iter()
+            .zip(calib_y)
+            .map(|(x, &y)| score.score(y, model.predict(x)))
+            .collect();
+        let delta = try_conformal_quantile(&scores, alpha)?;
+        Ok(SplitConformal { model, score, delta, alpha })
+    }
+
     /// Builds directly from precomputed conformal scores (used when the
     /// model's calibration predictions are already available).
     pub fn from_scores(model: M, score: S, scores: &[f64], alpha: f64) -> Self {
@@ -69,6 +91,20 @@ impl<M: Regressor, S: ScoreFunction> SplitConformal<M, S> {
         let y_hat = self.model.predict(features);
         let (lo, hi) = self.score.interval(y_hat, self.delta);
         PredictionInterval::new(lo, hi)
+    }
+
+    /// Like [`SplitConformal::interval`], but a non-finite model prediction
+    /// is reported as [`CardEstError::NonFiniteScore`].
+    pub fn try_interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        let y_hat = self.model.predict(features);
+        if !y_hat.is_finite() {
+            return Err(CardEstError::NonFiniteScore {
+                value: y_hat,
+                context: "model prediction",
+            });
+        }
+        let (lo, hi) = self.score.interval(y_hat, self.delta);
+        Ok(PredictionInterval::new(lo, hi))
     }
 }
 
@@ -168,5 +204,51 @@ mod tests {
     fn rejects_empty_calibration() {
         let model = |_: &[f32]| 0.0;
         SplitConformal::calibrate(model, AbsoluteResidual, &[], &[], 0.1);
+    }
+
+    #[test]
+    fn try_calibrate_degrades_gracefully() {
+        use crate::error::CardEstError;
+        let model = |f: &[f32]| f[0] as f64;
+        // Empty calibration: conservative infinite threshold, not a panic.
+        let scp = SplitConformal::try_calibrate(model, AbsoluteResidual, &[], &[], 0.1)
+            .expect("empty calibration degrades, not errors");
+        assert!(scp.delta().is_infinite());
+        assert!(scp.interval(&[3.0]).contains(1e18));
+        // Mismatched lengths and bad alpha are caller bugs -> errors.
+        assert!(matches!(
+            SplitConformal::try_calibrate(model, AbsoluteResidual, &[vec![1.0]], &[], 0.1),
+            Err(CardEstError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            SplitConformal::try_calibrate(model, AbsoluteResidual, &[], &[], 0.0),
+            Err(CardEstError::InvalidAlpha(_))
+        ));
+        // A NaN in the calibration scores widens delta to +inf (NaN sorts
+        // above all finite values under total order) instead of panicking.
+        let nan_y = [f64::NAN; 3];
+        let xs = vec![vec![1.0f32], vec![2.0], vec![3.0]];
+        let scp = SplitConformal::try_calibrate(model, AbsoluteResidual, &xs, &nan_y, 0.1)
+            .expect("NaN labels degrade, not error");
+        assert!(scp.delta().is_infinite());
+    }
+
+    #[test]
+    fn try_interval_rejects_non_finite_prediction() {
+        use crate::error::CardEstError;
+        let (cx, cy, _) = noisy_setup(50, 9);
+        let nan_model = |f: &[f32]| {
+            if f[0] < 0.0 {
+                f64::NAN
+            } else {
+                f[0] as f64
+            }
+        };
+        let scp = SplitConformal::calibrate(nan_model, AbsoluteResidual, &cx, &cy, 0.1);
+        assert!(scp.try_interval(&[2.0]).is_ok());
+        assert!(matches!(
+            scp.try_interval(&[-1.0]),
+            Err(CardEstError::NonFiniteScore { .. })
+        ));
     }
 }

@@ -377,7 +377,7 @@ mod tests {
 
     #[test]
     fn captures_functional_dependence_that_avi_misses() {
-        let table = dependent_table(6000, 2);
+        let table = dependent_table(6000, 8);
         let spn = Spn::fit(
             &table,
             &SpnConfig { min_rows: 100, ..Default::default() },

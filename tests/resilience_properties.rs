@@ -1,0 +1,165 @@
+//! Adversarial property tests for the fault-tolerance layer: every PI
+//! method must keep ordered, non-NaN interval bounds no matter how the
+//! calibration data or query features are corrupted, and the resilient
+//! service must never let an injected model panic escape to the caller.
+
+use cardest::conformal::{
+    install_quiet_chaos_hook, AbsoluteResidual, ChaosConfig, ChaosRegressor,
+    ConformalizedQuantileRegression, LocalizedConformal, LocallyWeightedConformal,
+    OnlineConformal, PredictionInterval, ResilientService, SplitConformal,
+};
+use proptest::prelude::*;
+
+fn ordered_non_nan(iv: &PredictionInterval) -> bool {
+    !iv.lo.is_nan() && !iv.hi.is_nan() && iv.lo <= iv.hi
+}
+
+/// The query feature vectors no serving path may choke on.
+fn adversarial_queries() -> Vec<Vec<f32>> {
+    vec![
+        vec![0.5],
+        vec![f32::NAN],
+        vec![f32::INFINITY],
+        vec![f32::NEG_INFINITY],
+    ]
+}
+
+proptest! {
+    /// Calibration labels poisoned with NaN/±Inf at arbitrary positions:
+    /// every method still calibrates (via try_*) and every interval it
+    /// produces — including on non-finite query features — has ordered,
+    /// non-NaN bounds. Corruption may only widen, never wedge.
+    #[test]
+    fn poisoned_calibration_never_yields_nan_bounds(
+        mut ys in prop::collection::vec(0.0f64..1.0, 1..40),
+        corrupt in prop::collection::vec(0usize..64, 0..8),
+        kind in 0usize..3,
+    ) {
+        let n = ys.len();
+        for (j, &at) in corrupt.iter().enumerate() {
+            ys[at % n] = match (kind + j) % 3 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+        }
+        let xs: Vec<Vec<f32>> =
+            (0..n).map(|i| vec![i as f32 / n as f32]).collect();
+        let model = |f: &[f32]| f[0] as f64;
+
+        let scp = SplitConformal::try_calibrate(model, AbsoluteResidual, &xs, &ys, 0.1)
+            .expect("poisoned labels are not a calibration error");
+        let online = OnlineConformal::try_new(model, AbsoluteResidual, &xs, &ys, 0.1)
+            .expect("poisoned labels are not a calibration error");
+        let cqr = ConformalizedQuantileRegression::try_calibrate(
+            |f: &[f32]| f[0] as f64 - 0.1,
+            |f: &[f32]| f[0] as f64 + 0.1,
+            &xs,
+            &ys,
+            0.1,
+        )
+        .expect("poisoned labels are not a calibration error");
+        let lw = LocallyWeightedConformal::try_calibrate(
+            model,
+            |_: &[f32]| 1.0,
+            AbsoluteResidual,
+            &xs,
+            &ys,
+            0.1,
+            1e-6,
+        )
+        .expect("poisoned labels are not a calibration error");
+        let localized = LocalizedConformal::try_calibrate(
+            model,
+            AbsoluteResidual,
+            &xs,
+            &ys,
+            3,
+            0.1,
+        )
+        .expect("poisoned labels are not a calibration error");
+
+        for q in adversarial_queries() {
+            prop_assert!(ordered_non_nan(&scp.interval(&q)));
+            prop_assert!(ordered_non_nan(&online.interval(&q)));
+            prop_assert!(ordered_non_nan(&cqr.interval(&q)));
+            prop_assert!(ordered_non_nan(&lw.interval(&q)));
+            prop_assert!(ordered_non_nan(&localized.interval(&q)));
+        }
+    }
+
+    /// A chain fronted by an arbitrarily hostile ChaosRegressor (any mix of
+    /// NaN and panic rates, any seed) never propagates a panic: the stream
+    /// below completes, every answer is ordered and non-NaN, and the
+    /// bookkeeping adds up.
+    #[test]
+    fn resilient_service_never_propagates_chaos_panics(
+        seed in 0u64..500,
+        nan_rate in 0.0f64..1.0,
+        panic_rate in 0.0f64..1.0,
+    ) {
+        install_quiet_chaos_hook();
+        let chaos = ChaosRegressor::new(
+            |f: &[f32]| f[0] as f64,
+            ChaosConfig { nan_rate, panic_rate, seed, ..Default::default() },
+        );
+        let primary = OnlineConformal::new(chaos, AbsoluteResidual, &[], &[], 0.1);
+        let mut service = ResilientService::new(Box::new(primary))
+            .with_fallback(Box::new(OnlineConformal::new(
+                |f: &[f32]| f[0] as f64,
+                AbsoluteResidual,
+                &[],
+                &[],
+                0.1,
+            )))
+            .with_expected_dims(1);
+        for i in 0..200u32 {
+            let x = [i as f32 / 200.0];
+            let iv = service.interval(&x).expect("floor-enabled service always answers");
+            prop_assert!(ordered_non_nan(&iv));
+            service.observe(&x, i as f64 / 200.0);
+        }
+        let stats = service.stats();
+        prop_assert_eq!(stats.queries, 200);
+        prop_assert_eq!(stats.answered, 200);
+        let served: u64 = stats.served_by.iter().sum();
+        prop_assert_eq!(served + stats.floor_served, stats.answered);
+    }
+}
+
+/// The two calibration shapes the paper's pipelines can realistically feed
+/// a serving path at startup: a single calibration point and a constant
+/// workload. Both must serve ordered, non-NaN (possibly infinite) bounds.
+#[test]
+fn single_point_and_constant_calibration_serve_sane_bounds() {
+    let model = |f: &[f32]| f[0] as f64;
+    let cases: Vec<(Vec<Vec<f32>>, Vec<f64>)> = vec![
+        (vec![vec![0.3]], vec![0.3]),
+        (vec![vec![0.5]; 20], vec![0.5; 20]),
+    ];
+    for (xs, ys) in cases {
+        let scp = SplitConformal::try_calibrate(model, AbsoluteResidual, &xs, &ys, 0.1)
+            .expect("degenerate calibration still calibrates");
+        let online = OnlineConformal::try_new(model, AbsoluteResidual, &xs, &ys, 0.1)
+            .expect("degenerate calibration still calibrates");
+        let lw = LocallyWeightedConformal::try_calibrate(
+            model,
+            |_: &[f32]| 1.0,
+            AbsoluteResidual,
+            &xs,
+            &ys,
+            0.1,
+            1e-6,
+        )
+        .expect("degenerate calibration still calibrates");
+        let localized =
+            LocalizedConformal::try_calibrate(model, AbsoluteResidual, &xs, &ys, 3, 0.1)
+                .expect("degenerate calibration still calibrates");
+        for q in adversarial_queries() {
+            assert!(ordered_non_nan(&scp.interval(&q)), "split on {q:?}");
+            assert!(ordered_non_nan(&online.interval(&q)), "online on {q:?}");
+            assert!(ordered_non_nan(&lw.interval(&q)), "lw on {q:?}");
+            assert!(ordered_non_nan(&localized.interval(&q)), "localized on {q:?}");
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Re-implements the subset of the proptest DSL this workspace uses as a
+//! deterministic seeded-loop harness: `proptest! { #[test] fn f(x in strat) {..} }`
+//! expands to a plain `#[test]` that draws a fixed number of random cases
+//! (seeded by the test's name, so failures reproduce) and runs the body on
+//! each. No shrinking — a failing case panics with its case index so the
+//! seed can be replayed.
+
+use rand::rngs::StdRng;
+
+/// Number of random cases each property runs.
+pub const CASES: u32 = 64;
+
+/// A source of random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy just
+/// draws a concrete value from an RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for ::core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!((0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+/// Types with a canonical "anything goes" strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        use rand::Rng;
+        rng.gen()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The unconstrained strategy for `T`, as in `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    ///
+    /// Implements `From` for `usize` ranges only, so integer literals in
+    /// `vec(elem, 1..200)` infer as `usize` like they do with real proptest.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: r.end().saturating_add(1) }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n.saturating_add(1) }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// A `Vec` strategy: each case draws a length from `len`, then that many
+    /// elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, len: len.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.gen_range(self.len.lo..self.len.hi);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy for `Option`s that are `Some` about three quarters of the time.
+    pub struct OptionStrategy<S>(S);
+
+    /// Wraps a strategy to sometimes produce `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            use rand::Rng;
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Deterministic 64-bit FNV-1a, used to derive a per-test seed from its name.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Defines seeded property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` becomes a `#[test]` that
+/// runs [`CASES`] random cases. `prop_assert!`-family macros panic on
+/// failure (no shrinking); `prop_assume!` skips the current case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($p:pat_param in $s:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let __seed = $crate::seed_from_name(stringify!($name));
+            for __case in 0..$crate::CASES {
+                let mut __rng = <$crate::test_runner::StdRng as $crate::test_runner::SeedableRng>::seed_from_u64(
+                    __seed ^ (__case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                $(let $p = ($s).generate(&mut __rng);)*
+                // Reference the loop variable so `prop_assume!` (`continue`)
+                // and failure messages can name the case.
+                let _ = __case;
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a property holds; panics with the formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// RNG plumbing referenced by the expanded [`proptest!`] macro.
+pub mod test_runner {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Everything a property-test file needs, as in `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+
+    /// The `prop::` module path used by the DSL (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::{collection, option};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn sum_of_lengths(xs in prop::collection::vec(0.0f64..1.0, 1..20), flag in any::<bool>()) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+
+        #[test]
+        fn map_applies(x in (0u32..5).prop_map(|v| v * 2)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(
+            crate::seed_from_name("some_test"),
+            crate::seed_from_name("some_test")
+        );
+        assert_ne!(
+            crate::seed_from_name("some_test"),
+            crate::seed_from_name("other_test")
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Minimal JSON infrastructure shared by the vendored `serde` and
+//! `serde_json`: a streaming [`Writer`] for serialization and a [`Value`]
+//! tree + recursive-descent [`parse`] for deserialization.
+
+use std::fmt;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a static-ish message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (f64 is exact for every integer this workspace stores).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Numeric view of the value.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            _ => Err(Error::new("expected number")),
+        }
+    }
+
+    /// Looks up a field of an object.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            _ => Err(Error::new(format!("expected object with field `{name}`"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// An append-only JSON text writer with optional pretty-printing.
+///
+/// Containers call `begin_*`/`end_*`; elements and keys insert separators, so
+/// `Serialize` impls never emit commas themselves.
+#[derive(Debug)]
+pub struct Writer {
+    out: String,
+    pretty: bool,
+    depth: usize,
+    /// Whether the current container already has at least one entry.
+    needs_comma: Vec<bool>,
+}
+
+impl Writer {
+    /// Creates a writer; `pretty` adds newlines and two-space indentation.
+    pub fn new(pretty: bool) -> Self {
+        Writer { out: String::new(), pretty, depth: 0, needs_comma: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    /// Appends raw JSON text (a complete scalar token).
+    pub fn raw(&mut self, token: String) {
+        self.out.push_str(&token);
+    }
+
+    /// Appends a JSON string literal with escaping.
+    pub fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Opens an object.
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.needs_comma.push(false);
+    }
+
+    /// Writes a field key (with separator) inside an object.
+    pub fn key(&mut self, name: &str) {
+        self.separator();
+        self.string(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Closes an object.
+    pub fn end_object(&mut self) {
+        let had_entries = self.needs_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had_entries {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Opens an array.
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.needs_comma.push(false);
+    }
+
+    /// Starts the next array element (inserts the separator).
+    pub fn element(&mut self) {
+        self.separator();
+    }
+
+    /// Closes an array.
+    pub fn end_array(&mut self) {
+        let had_entries = self.needs_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had_entries {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    fn separator(&mut self) {
+        if let Some(first_done) = self.needs_comma.last_mut() {
+            if *first_done {
+                self.out.push(',');
+            }
+            *first_done = true;
+        }
+        self.newline_indent();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parses one JSON document into a [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::new(format!("expected `{}` at byte {}", c as char, pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new("expected `,` or `]` in array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error::new("expected `,` or `}` in object")),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error::new(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    skip_ws(b, pos);
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::new("expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::new("bad \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("bad \\u code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new("bad escape")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 character.
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::new("invalid UTF-8"))?;
+                let c = s.chars().next().ok_or_else(|| Error::new("empty"))?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err(Error::new("unterminated string"))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| Error::new("invalid number"))?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| Error::new(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a": [1, 2.5, null], "b": {"c": "x\ny"}, "d": true}"#).unwrap();
+        assert_eq!(v.field("a").unwrap(), &Value::Array(vec![
+            Value::Num(1.0),
+            Value::Num(2.5),
+            Value::Null
+        ]));
+        assert_eq!(v.field("b").unwrap().field("c").unwrap(), &Value::Str("x\ny".into()));
+        assert_eq!(v.field("d").unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn writer_produces_valid_nested_json() {
+        let mut w = Writer::new(true);
+        w.begin_object();
+        w.key("xs");
+        w.begin_array();
+        w.element();
+        w.raw("1".into());
+        w.element();
+        w.raw("2".into());
+        w.end_array();
+        w.key("name");
+        w.string("q\"1\"");
+        w.end_object();
+        let text = w.finish();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.field("name").unwrap(), &Value::Str("q\"1\"".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1 2").is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot fetch crates, so this vendored stub replaces
+//! serde's generic data model with a direct JSON one: [`Serialize`] writes
+//! JSON text through [`json::Writer`], [`Deserialize`] reads from a parsed
+//! [`json::Value`] tree. The `derive` feature re-exports the matching derive
+//! macros from the vendored `serde_derive`, so `#[derive(serde::Serialize,
+//! serde::Deserialize)]` keeps working unchanged, and the vendored
+//! `serde_json` provides `to_string` / `to_string_pretty` / `from_str` on
+//! top. Only JSON is supported — exactly what this workspace uses.
+
+pub mod json;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself as JSON.
+pub trait Serialize {
+    /// Appends `self` to the writer as one JSON value.
+    fn serialize(&self, out: &mut json::Writer);
+}
+
+/// A type that can rebuild itself from a parsed JSON value.
+pub trait Deserialize: Sized {
+    /// Converts one JSON value into `Self`.
+    fn deserialize(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+/// `serde::de` compatibility alias module.
+pub mod de {
+    /// In real serde this is a distinct trait; with the JSON-tree model every
+    /// [`crate::Deserialize`] is already owned.
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for the primitive / container types the workspace stores.
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut json::Writer) {
+                out.raw(itoa(*self as i128));
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &json::Value) -> Result<Self, json::Error> {
+                let n = v.as_f64()?;
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn itoa(v: i128) -> String {
+    v.to_string()
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut json::Writer) {
+        out.raw(if *self { "true".into() } else { "false".into() });
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            _ => Err(json::Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut json::Writer) {
+        if self.is_finite() {
+            out.raw(format_f64(*self));
+        } else {
+            // JSON has no NaN/Inf; null round-trips to NaN (documented).
+            out.raw("null".into());
+        }
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(f64::NAN),
+            _ => v.as_f64(),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut json::Writer) {
+        if self.is_finite() {
+            out.raw(format!("{self:?}"));
+        } else {
+            out.raw("null".into());
+        }
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(f32::NAN),
+            _ => Ok(v.as_f64()? as f32),
+        }
+    }
+}
+
+fn format_f64(v: f64) -> String {
+    // `{:?}` prints the shortest representation that round-trips.
+    format!("{v:?}")
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut json::Writer) {
+        out.string(self);
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Str(s) => Ok(s.clone()),
+            _ => Err(json::Error::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut json::Writer) {
+        out.string(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut json::Writer) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self, out: &mut json::Writer) {
+        (**self).serialize(out);
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(Box::new(T::deserialize(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut json::Writer) {
+        out.begin_array();
+        for item in self {
+            out.element();
+            item.serialize(out);
+        }
+        out.end_array();
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(json::Error::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize(&self, out: &mut json::Writer) {
+        out.begin_array();
+        for item in self {
+            out.element();
+            item.serialize(out);
+        }
+        out.end_array();
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(Vec::<T>::deserialize(v)?.into())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut json::Writer) {
+        match self {
+            None => out.raw("null".into()),
+            Some(x) => x.serialize(out),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self, out: &mut json::Writer) {
+                out.begin_array();
+                $(out.element(); self.$n.serialize(out);)+
+                out.end_array();
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::Array(items) => {
+                        let expected = [$($n),+].len();
+                        if items.len() != expected {
+                            return Err(json::Error::new("tuple arity mismatch"));
+                        }
+                        Ok(($($t::deserialize(&items[$n])?,)+))
+                    }
+                    _ => Err(json::Error::new("expected array for tuple")),
+                }
+            }
+        }
+    )+};
+}
+serialize_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut w = json::Writer::new(false);
+        v.serialize(&mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_json(&3u32), "3");
+        assert_eq!(to_json(&-7i64), "-7");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&"hi \"there\"".to_string()), "\"hi \\\"there\\\"\"");
+        let v = json::parse(&to_json(&vec![1.0f64, 2.5])).unwrap();
+        assert_eq!(Vec::<f64>::deserialize(&v).unwrap(), vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn tuples_and_options_round_trip() {
+        let pair = ("w".to_string(), 0.25f64);
+        let v = json::parse(&to_json(&pair)).unwrap();
+        let back: (String, f64) = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, pair);
+        let none: Option<u32> = None;
+        assert_eq!(to_json(&none), "null");
+        let v = json::parse("17").unwrap();
+        assert_eq!(Option::<u32>::deserialize(&v).unwrap(), Some(17));
+    }
+}

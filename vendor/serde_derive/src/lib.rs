@@ -1,0 +1,382 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the vendored `serde`'s
+//! JSON-backed traits. Supports exactly the shapes this workspace derives:
+//! non-generic named-field structs, tuple structs (newtype passthrough,
+//! larger tuples as arrays), and enums with unit / tuple / named-field
+//! variants (externally tagged, like real serde's default). No `#[serde]`
+//! attributes. Parsing is done directly over the `proc_macro` token stream —
+//! `syn`/`quote` are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    TupleStruct(usize),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stub does not support generic types (deriving `{name}`)");
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::TupleStruct(0),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("derive stub supports struct/enum only, found `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant list at top-level commas. Groups (`()`, `[]`,
+/// `{}`) are atomic tokens; only `<`/`>` need explicit depth tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                parts.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        parts.last_mut().expect("non-empty parts").push(tt);
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|field| {
+            let mut i = 0usize;
+            skip_attrs_and_vis(&field, &mut i);
+            match &field[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("derive: expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|part| {
+            let mut i = 0usize;
+            skip_attrs_and_vis(&part, &mut i);
+            let name = match &part[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("derive: expected variant name, found {other}"),
+            };
+            i += 1;
+            let kind = match part.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_tuple_fields(g.stream()))
+                }
+                None => VariantKind::Unit,
+                Some(other) => {
+                    panic!("derive: unsupported tokens after variant `{name}`: {other}")
+                }
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from("__w.begin_object();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "__w.key(\"{f}\"); ::serde::Serialize::serialize(&self.{f}, __w);\n"
+                ));
+            }
+            b.push_str("__w.end_object();");
+            b
+        }
+        Shape::TupleStruct(0) => String::from("__w.raw(\"null\".to_string());"),
+        Shape::TupleStruct(1) => {
+            String::from("::serde::Serialize::serialize(&self.0, __w);")
+        }
+        Shape::TupleStruct(n) => {
+            let mut b = String::from("__w.begin_array();\n");
+            for idx in 0..*n {
+                b.push_str(&format!(
+                    "__w.element(); ::serde::Serialize::serialize(&self.{idx}, __w);\n"
+                ));
+            }
+            b.push_str("__w.end_array();");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => __w.string(\"{vname}\"),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => {{ __w.begin_object(); \
+                             __w.key(\"{vname}\"); \
+                             ::serde::Serialize::serialize(__f0, __w); \
+                             __w.end_object(); }}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> =
+                            (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut inner = String::from("__w.begin_array();");
+                        for b in &binders {
+                            inner.push_str(&format!(
+                                " __w.element(); ::serde::Serialize::serialize({b}, __w);"
+                            ));
+                        }
+                        inner.push_str(" __w.end_array();");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ __w.begin_object(); \
+                             __w.key(\"{vname}\"); {inner} __w.end_object(); }}\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pattern: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __{f}")).collect();
+                        let mut inner = String::from("__w.begin_object();");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                " __w.key(\"{f}\"); ::serde::Serialize::serialize(__{f}, __w);"
+                            ));
+                        }
+                        inner.push_str(" __w.end_object();");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ __w.begin_object(); \
+                             __w.key(\"{vname}\"); {inner} __w.end_object(); }}\n",
+                            pattern.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self, __w: &mut ::serde::json::Writer) {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: <_ as ::serde::Deserialize>::deserialize(__v.field(\"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(0) => format!("::core::result::Result::Ok({name})"),
+        Shape::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(<_ as ::serde::Deserialize>::deserialize(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!("<_ as ::serde::Deserialize>::deserialize(&__items[{k}])?")
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::json::Value::Array(__items) if __items.len() == {n} => \
+                 ::core::result::Result::Ok({name}({})),\n\
+                 _ => ::core::result::Result::Err(::serde::json::Error::new(\
+                 \"expected {n}-element array for {name}\")),\n}}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                             <_ as ::serde::Deserialize>::deserialize(__val)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "<_ as ::serde::Deserialize>::deserialize(&__items[{k}])?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __val {{\n\
+                             ::serde::json::Value::Array(__items) if __items.len() == {n} => \
+                             ::core::result::Result::Ok({name}::{vname}({})),\n\
+                             _ => ::core::result::Result::Err(::serde::json::Error::new(\
+                             \"expected {n}-element array for variant {vname}\")),\n}},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: <_ as ::serde::Deserialize>::deserialize(\
+                                     __val.field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::json::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::json::Error::new(\
+                 format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::json::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __val) = &__fields[0];\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => ::core::result::Result::Err(::serde::json::Error::new(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::core::result::Result::Err(::serde::json::Error::new(\
+                 \"expected string or single-key object for enum {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::json::Value) -> \
+         ::core::result::Result<Self, ::serde::json::Error> {{\n\
+         #[allow(unused_variables)]\nlet __v = __v;\n{body}\n}}\n}}"
+    )
+}

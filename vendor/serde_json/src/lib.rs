@@ -1,0 +1,42 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde`'s
+//! JSON writer/parser. Covers the workspace's usage: [`to_string`],
+//! [`to_string_pretty`], and [`from_str`].
+
+pub use serde::json::{Error, Value};
+
+/// Serializes a value to compact JSON text.
+///
+/// Infallible for this stub's data model; returns `Result` for
+/// call-site compatibility with the real crate.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = serde::json::Writer::new(false);
+    value.serialize(&mut w);
+    Ok(w.finish())
+}
+
+/// Serializes a value to pretty-printed JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = serde::json::Writer::new(true);
+    value.serialize(&mut w);
+    Ok(w.finish())
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::de::DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let value = serde::json::parse(text)?;
+    T::deserialize(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trips_vec_of_pairs() {
+        let data: Vec<(String, f64)> = vec![("a".into(), 1.5), ("b".into(), -2.0)];
+        let json = super::to_string(&data).unwrap();
+        let back: Vec<(String, f64)> = super::from_str(&json).unwrap();
+        assert_eq!(back, data);
+        let pretty = super::to_string_pretty(&data).unwrap();
+        let back: Vec<(String, f64)> = super::from_str(&pretty).unwrap();
+        assert_eq!(back, data);
+    }
+}

@@ -6,6 +6,7 @@ pub mod calibration;
 pub mod extensions;
 pub mod guidance;
 pub mod joins;
+pub mod perf;
 pub mod postgres;
 pub mod resilience;
 pub mod scoring;
@@ -21,7 +22,7 @@ use crate::scale::Scale;
 pub const ALL_IDS: &[&str] = &[
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
     "fig11", "fig12", "fig13", "fig14", "tab1", "guide", "ablation", "ext", "clt", "zoo",
-    "resil",
+    "resil", "perf",
 ];
 
 /// Runs one experiment by id, printing and saving its records.
@@ -53,6 +54,7 @@ pub fn run_experiment(id: &str, scale: &Scale, results_dir: &Path) -> Vec<Experi
         "clt" => baselines::clt(scale),
         "zoo" => zoo::zoo(scale),
         "resil" => resilience::resil(scale),
+        "perf" => perf::perf(scale),
         other => panic!("unknown experiment id `{other}` (known: {ALL_IDS:?})"),
     };
     for rec in &records {

@@ -35,7 +35,7 @@ pub fn zoo(scale: &Scale) -> Vec<ExperimentRecord> {
         "all estimators: point q-error vs the S-CP width their accuracy earns",
     );
 
-    let models: Vec<(&str, Box<dyn Regressor>)> = vec![
+    let models: Vec<(&str, Box<dyn Regressor + Sync>)> = vec![
         ("avi", Box::new(AviModel::build(&table, floor))),
         (
             "sampling-1pct",

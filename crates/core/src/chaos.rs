@@ -4,12 +4,16 @@
 //! seeded fraction of its predictions: NaN outputs, outright panics, latency
 //! spikes, and constant-output degradation — the black-box failure modes a
 //! production interval server in front of a learned estimator must survive.
-//! Injection is driven by a SplitMix64 stream held in a `Cell`, so runs are
-//! exactly reproducible from the seed and the wrapper still satisfies the
-//! `&self` prediction API (the core crate stays rand-free).
+//! Injection is driven by a SplitMix64 stream held in atomics, so
+//! single-threaded runs are exactly reproducible from the seed, the wrapper
+//! satisfies the `&self` prediction API (the core crate stays rand-free),
+//! and the wrapper is `Sync` — chaos models can sit behind the parallel
+//! batched serving path. Under concurrent prediction the *set* of draws is
+//! still a deterministic function of the seed; only their assignment to
+//! queries can vary with interleaving.
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::regressor::Regressor;
 
@@ -80,12 +84,19 @@ pub struct ChaosStats {
 }
 
 /// A [`Regressor`] wrapper that deterministically injects faults.
+///
+/// All mutable state lives in atomics, so the wrapper is `Sync` and can be
+/// served through the parallel batched paths like any healthy model.
 #[derive(Debug)]
 pub struct ChaosRegressor<M> {
     inner: M,
     config: ChaosConfig,
-    state: Cell<u64>,
-    stats: Cell<ChaosStats>,
+    state: AtomicU64,
+    calls: AtomicU64,
+    nans: AtomicU64,
+    panics: AtomicU64,
+    latencies: AtomicU64,
+    degraded: AtomicU64,
 }
 
 impl<M> ChaosRegressor<M> {
@@ -93,12 +104,27 @@ impl<M> ChaosRegressor<M> {
     pub fn new(inner: M, config: ChaosConfig) -> Self {
         // Avoid the degenerate all-zero SplitMix64 stream start.
         let state = config.seed ^ 0x5851_f42d_4c95_7f2d;
-        ChaosRegressor { inner, config, state: Cell::new(state), stats: Cell::default() }
+        ChaosRegressor {
+            inner,
+            config,
+            state: AtomicU64::new(state),
+            calls: AtomicU64::new(0),
+            nans: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            latencies: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+        }
     }
 
     /// What has been injected so far.
     pub fn stats(&self) -> ChaosStats {
-        self.stats.get()
+        ChaosStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            nans: self.nans.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            latencies: self.latencies.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
     }
 
     /// The fault profile in use.
@@ -106,44 +132,42 @@ impl<M> ChaosRegressor<M> {
         &self.config
     }
 
-    /// Next uniform draw in `[0, 1)` from the SplitMix64 stream.
+    /// Next uniform draw in `[0, 1)` from the SplitMix64 stream. `fetch_add`
+    /// hands every caller a distinct stream position, so single-threaded
+    /// call sequences are exactly the classic SplitMix64 output.
     fn next_unit(&self) -> f64 {
-        let seed = self.state.get().wrapping_add(0x9e37_79b9_7f4a_7c15);
-        self.state.set(seed);
+        let seed = self
+            .state
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = seed;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;
         (z >> 11) as f64 / (1u64 << 53) as f64
     }
-
-    fn bump(&self, f: impl FnOnce(&mut ChaosStats)) {
-        let mut s = self.stats.get();
-        f(&mut s);
-        self.stats.set(s);
-    }
 }
 
 impl<M: Regressor> Regressor for ChaosRegressor<M> {
     fn predict(&self, features: &[f32]) -> f64 {
-        self.bump(|s| s.calls += 1);
-        if self.stats.get().calls <= self.config.warmup_calls {
+        let call_no = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if call_no <= self.config.warmup_calls {
             return self.inner.predict(features);
         }
         if self.next_unit() < self.config.latency_rate {
-            self.bump(|s| s.latencies += 1);
+            self.latencies.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(std::time::Duration::from_micros(self.config.latency_us));
         }
         if self.next_unit() < self.config.panic_rate {
-            self.bump(|s| s.panics += 1);
+            self.panics.fetch_add(1, Ordering::Relaxed);
             std::panic::panic_any(ChaosPanic);
         }
         if self.next_unit() < self.config.nan_rate {
-            self.bump(|s| s.nans += 1);
+            self.nans.fetch_add(1, Ordering::Relaxed);
             return f64::NAN;
         }
         if self.next_unit() < self.config.degrade_rate {
-            self.bump(|s| s.degraded += 1);
+            self.degraded.fetch_add(1, Ordering::Relaxed);
             return self.config.degraded_output;
         }
         self.inner.predict(features)

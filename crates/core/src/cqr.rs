@@ -31,24 +31,19 @@ impl<L: Regressor, U: Regressor> ConformalizedQuantileRegression<L, U> {
     /// # Panics
     /// Panics on an empty calibration set, mismatched lengths, or `alpha`
     /// outside `(0, 1)`.
-    pub fn calibrate(
-        lower: L,
-        upper: U,
-        calib_x: &[Vec<f32>],
-        calib_y: &[f64],
-        alpha: f64,
-    ) -> Self {
+    pub fn calibrate(lower: L, upper: U, calib_x: &[Vec<f32>], calib_y: &[f64], alpha: f64) -> Self
+    where
+        L: Sync,
+        U: Sync,
+    {
         assert_eq!(calib_x.len(), calib_y.len(), "calibration set length mismatch");
         assert!(!calib_x.is_empty(), "empty calibration set");
-        let scores: Vec<f64> = calib_x
-            .iter()
-            .zip(calib_y)
-            .map(|(x, &y)| {
-                let ql = lower.predict(x);
-                let qu = upper.predict(x);
-                (ql - y).max(y - qu)
-            })
-            .collect();
+        // Parallel in index order; δ is bit-identical at any thread count.
+        let scores = ce_parallel::par_map(calib_x.len(), 64, |i| {
+            let x = &calib_x[i];
+            let y = calib_y[i];
+            (lower.predict(x) - y).max(y - upper.predict(x))
+        });
         let delta = conformal_quantile(&scores, alpha);
         ConformalizedQuantileRegression { lower, upper, delta, alpha }
     }
@@ -62,18 +57,18 @@ impl<L: Regressor, U: Regressor> ConformalizedQuantileRegression<L, U> {
         calib_x: &[Vec<f32>],
         calib_y: &[f64],
         alpha: f64,
-    ) -> Result<Self, CardEstError> {
+    ) -> Result<Self, CardEstError>
+    where
+        L: Sync,
+        U: Sync,
+    {
         check_lengths(calib_x.len(), calib_y.len())?;
         check_alpha(alpha)?;
-        let scores: Vec<f64> = calib_x
-            .iter()
-            .zip(calib_y)
-            .map(|(x, &y)| {
-                let ql = lower.predict(x);
-                let qu = upper.predict(x);
-                (ql - y).max(y - qu)
-            })
-            .collect();
+        let scores = ce_parallel::par_map(calib_x.len(), 64, |i| {
+            let x = &calib_x[i];
+            let y = calib_y[i];
+            (lower.predict(x) - y).max(y - upper.predict(x))
+        });
         let delta = try_conformal_quantile(&scores, alpha)?;
         Ok(ConformalizedQuantileRegression { lower, upper, delta, alpha })
     }

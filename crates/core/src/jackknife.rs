@@ -18,7 +18,11 @@ use crate::score::ScoreFunction;
 
 /// Deterministically shuffles `0..n` into `k` near-equal folds; returns the
 /// fold id of each index.
-fn assign_folds(n: usize, k: usize, seed: u64) -> Vec<usize> {
+///
+/// Pure function of `(n, k, seed)` — thread counts, platform, and call
+/// context cannot change the assignment, which is what lets the parallel
+/// fold trainers below stay bit-identical to their serial equivalents.
+pub fn assign_folds(n: usize, k: usize, seed: u64) -> Vec<usize> {
     assert!(k >= 2, "need at least 2 folds");
     assert!(n >= k, "need at least one point per fold");
     // Small deterministic LCG shuffle (the core crate stays rand-free).
@@ -49,37 +53,35 @@ pub struct JackknifePlus<M> {
 impl<M: Regressor> JackknifePlus<M> {
     /// Trains the `n` leave-one-out models and computes their residuals.
     ///
+    /// The LOO fits are independent (each gets its own derived seed
+    /// `seed + i`), so they run in parallel on the `ce-parallel` pool;
+    /// results land in index order, bit-identical at any thread count for a
+    /// deterministic trainer.
+    ///
     /// # Panics
     /// Panics if fewer than 2 training points, mismatched lengths, or `alpha`
     /// outside `(0, 1)`.
-    pub fn fit<F: FitRegressor<Model = M>>(
-        trainer: &F,
-        x: &[Vec<f32>],
-        y: &[f64],
-        alpha: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn fit<F>(trainer: &F, x: &[Vec<f32>], y: &[f64], alpha: f64, seed: u64) -> Self
+    where
+        F: FitRegressor<Model = M> + Sync,
+        M: Send,
+    {
         assert_eq!(x.len(), y.len(), "feature/target count mismatch");
         assert!(x.len() >= 2, "jackknife+ needs at least 2 points");
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
         let n = x.len();
-        let mut models = Vec::with_capacity(n);
-        let mut residuals = Vec::with_capacity(n);
-        let mut loo_x: Vec<Vec<f32>> = Vec::with_capacity(n - 1);
-        let mut loo_y: Vec<f64> = Vec::with_capacity(n - 1);
-        for i in 0..n {
-            loo_x.clear();
-            loo_y.clear();
-            for j in 0..n {
-                if j != i {
-                    loo_x.push(x[j].clone());
-                    loo_y.push(y[j]);
-                }
+        let fitted = ce_parallel::par_map(n, 1, |i| {
+            let mut loo_x: Vec<Vec<f32>> = Vec::with_capacity(n - 1);
+            let mut loo_y: Vec<f64> = Vec::with_capacity(n - 1);
+            for j in (0..n).filter(|&j| j != i) {
+                loo_x.push(x[j].clone());
+                loo_y.push(y[j]);
             }
             let model = trainer.fit(&loo_x, &loo_y, seed.wrapping_add(i as u64));
-            residuals.push((y[i] - model.predict(&x[i])).abs());
-            models.push(model);
-        }
+            let residual = (y[i] - model.predict(&x[i])).abs();
+            (model, residual)
+        });
+        let (models, residuals) = fitted.into_iter().unzip();
         JackknifePlus { models, residuals, alpha }
     }
 
@@ -131,31 +133,31 @@ pub struct CvPlus<M> {
 impl<M: Regressor> CvPlus<M> {
     /// Trains `k` fold models and computes out-of-fold residuals.
     ///
+    /// Fold fits run in parallel (each with derived seed `seed + fold`), then
+    /// out-of-fold residuals are scored in parallel — both in deterministic
+    /// index order, so results are bit-identical at any thread count.
+    ///
     /// # Panics
     /// Panics if `k < 2`, `n < k`, lengths mismatch, or bad `alpha`.
-    pub fn fit<F: FitRegressor<Model = M>>(
-        trainer: &F,
-        x: &[Vec<f32>],
-        y: &[f64],
-        k: usize,
-        alpha: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn fit<F>(trainer: &F, x: &[Vec<f32>], y: &[f64], k: usize, alpha: f64, seed: u64) -> Self
+    where
+        F: FitRegressor<Model = M> + Sync,
+        M: Send + Sync,
+    {
         assert_eq!(x.len(), y.len(), "feature/target count mismatch");
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
         let n = x.len();
         let fold_of = assign_folds(n, k, seed);
-        let mut models = Vec::with_capacity(k);
-        for fold in 0..k {
+        let models = ce_parallel::par_map(k, 1, |fold| {
             let (fx, fy): (Vec<Vec<f32>>, Vec<f64>) = (0..n)
                 .filter(|&i| fold_of[i] != fold)
                 .map(|i| (x[i].clone(), y[i]))
                 .unzip();
-            models.push(trainer.fit(&fx, &fy, seed.wrapping_add(fold as u64)));
-        }
-        let residuals: Vec<f64> = (0..n)
-            .map(|i| (y[i] - models[fold_of[i]].predict(&x[i])).abs())
-            .collect();
+            trainer.fit(&fx, &fy, seed.wrapping_add(fold as u64))
+        });
+        let residuals = ce_parallel::par_map(n, 64, |i| {
+            (y[i] - models[fold_of[i]].predict(&x[i])).abs()
+        });
         CvPlus { models, fold_of, residuals, alpha }
     }
 
@@ -204,9 +206,14 @@ impl<M: Regressor, S: ScoreFunction> JackknifeCv<M, S> {
     /// Trains `k` fold models for residuals plus the full model, then
     /// calibrates δ as the conformal quantile of out-of-fold scores.
     ///
+    /// All `k + 1` fits (folds and the full model) run as one parallel batch
+    /// with the same derived seeds as the serial schedule; out-of-fold scores
+    /// are flattened in fold order, so δ is bit-identical at any thread
+    /// count for a deterministic trainer.
+    ///
     /// # Panics
     /// Panics under the same conditions as [`CvPlus::fit`].
-    pub fn fit<F: FitRegressor<Model = M>>(
+    pub fn fit<F>(
         trainer: &F,
         score: S,
         x: &[Vec<f32>],
@@ -214,24 +221,37 @@ impl<M: Regressor, S: ScoreFunction> JackknifeCv<M, S> {
         k: usize,
         alpha: f64,
         seed: u64,
-    ) -> Self {
+    ) -> Self
+    where
+        F: FitRegressor<Model = M> + Sync,
+        M: Send,
+        S: Sync,
+    {
         assert_eq!(x.len(), y.len(), "feature/target count mismatch");
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
         let n = x.len();
         let fold_of = assign_folds(n, k, seed);
-        let mut scores = Vec::with_capacity(n);
-        for fold in 0..k {
+        // Task `fold < k` trains a fold model and scores its out-of-fold
+        // points; task `k` trains the full model. One batch, k+1 fits.
+        let mut fitted = ce_parallel::par_map(k + 1, 1, |fold| {
+            if fold == k {
+                return (Some(trainer.fit(x, y, seed.wrapping_add(k as u64))), Vec::new());
+            }
             let (fx, fy): (Vec<Vec<f32>>, Vec<f64>) = (0..n)
                 .filter(|&i| fold_of[i] != fold)
                 .map(|i| (x[i].clone(), y[i]))
                 .unzip();
             let model = trainer.fit(&fx, &fy, seed.wrapping_add(fold as u64));
-            for i in (0..n).filter(|&i| fold_of[i] == fold) {
-                scores.push(score.score(y[i], model.predict(&x[i])));
-            }
-        }
+            let fold_scores: Vec<f64> = (0..n)
+                .filter(|&i| fold_of[i] == fold)
+                .map(|i| score.score(y[i], model.predict(&x[i])))
+                .collect();
+            (None, fold_scores)
+        });
+        let full_model = fitted[k].0.take().expect("full-model task");
+        let scores: Vec<f64> =
+            fitted.into_iter().take(k).flat_map(|(_, s)| s).collect();
         let delta = conformal_quantile(&scores, alpha);
-        let full_model = trainer.fit(x, y, seed.wrapping_add(k as u64));
         JackknifeCv { full_model, score, delta, alpha }
     }
 

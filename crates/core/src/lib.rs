@@ -61,7 +61,7 @@ pub use cqr::ConformalizedQuantileRegression;
 pub use error::CardEstError;
 pub use exchangeability::ExchangeabilityMartingale;
 pub use interval::PredictionInterval;
-pub use jackknife::{CvPlus, JackknifeCv, JackknifePlus};
+pub use jackknife::{assign_folds, CvPlus, JackknifeCv, JackknifePlus};
 pub use localized::LocalizedConformal;
 pub use locally_weighted::LocallyWeightedConformal;
 pub use mondrian::MondrianConformal;

@@ -41,18 +41,21 @@ impl<M: Regressor, D: Regressor, S: ScoreFunction> LocallyWeightedConformal<M, D
         calib_y: &[f64],
         alpha: f64,
         min_difficulty: f64,
-    ) -> Self {
+    ) -> Self
+    where
+        M: Sync,
+        D: Sync,
+        S: Sync,
+    {
         assert_eq!(calib_x.len(), calib_y.len(), "calibration set length mismatch");
         assert!(!calib_x.is_empty(), "empty calibration set");
         assert!(min_difficulty > 0.0, "difficulty floor must be positive");
-        let scaled: Vec<f64> = calib_x
-            .iter()
-            .zip(calib_y)
-            .map(|(x, &y)| {
-                let u = difficulty.predict(x).max(min_difficulty);
-                score.score(y, model.predict(x)) / u
-            })
-            .collect();
+        // Parallel in index order; δ is bit-identical at any thread count.
+        let scaled = ce_parallel::par_map(calib_x.len(), 64, |i| {
+            let x = &calib_x[i];
+            let u = difficulty.predict(x).max(min_difficulty);
+            score.score(calib_y[i], model.predict(x)) / u
+        });
         let delta = conformal_quantile(&scaled, alpha);
         LocallyWeightedConformal { model, difficulty, score, delta, alpha, min_difficulty }
     }
@@ -71,21 +74,23 @@ impl<M: Regressor, D: Regressor, S: ScoreFunction> LocallyWeightedConformal<M, D
         calib_y: &[f64],
         alpha: f64,
         min_difficulty: f64,
-    ) -> Result<Self, CardEstError> {
+    ) -> Result<Self, CardEstError>
+    where
+        M: Sync,
+        D: Sync,
+        S: Sync,
+    {
         check_lengths(calib_x.len(), calib_y.len())?;
         check_alpha(alpha)?;
         // NaN fails this check too: a NaN floor must be rejected, not floored.
         if min_difficulty.is_nan() || min_difficulty <= 0.0 {
             return Err(CardEstError::InvalidParameter("difficulty floor must be positive"));
         }
-        let scaled: Vec<f64> = calib_x
-            .iter()
-            .zip(calib_y)
-            .map(|(x, &y)| {
-                let u = difficulty.predict(x).max(min_difficulty);
-                score.score(y, model.predict(x)) / u
-            })
-            .collect();
+        let scaled = ce_parallel::par_map(calib_x.len(), 64, |i| {
+            let x = &calib_x[i];
+            let u = difficulty.predict(x).max(min_difficulty);
+            score.score(calib_y[i], model.predict(x)) / u
+        });
         let delta = try_conformal_quantile(&scaled, alpha)?;
         Ok(LocallyWeightedConformal { model, difficulty, score, delta, alpha, min_difficulty })
     }

@@ -34,7 +34,11 @@ use crate::service::PiService;
 /// An object-safe prediction-interval estimator: the unit of the fallback
 /// chain. All serving methods are total — failures are values, not panics
 /// (panics from buggy implementations are still caught by the service).
-pub trait PiEstimator {
+///
+/// `Sync` is a supertrait so whole chains can be shared read-only across the
+/// `ce-parallel` pool for batched serving: the serving methods take `&self`,
+/// and only [`PiEstimator::observe`] mutates.
+pub trait PiEstimator: Sync {
     /// Short name for diagnostics and error messages.
     fn name(&self) -> &str;
 
@@ -56,7 +60,7 @@ fn finite_or_err(value: f64, context: &'static str) -> Result<f64, CardEstError>
     }
 }
 
-impl<M: Regressor, S: ScoreFunction> PiEstimator for OnlineConformal<M, S> {
+impl<M: Regressor + Sync, S: ScoreFunction + Sync> PiEstimator for OnlineConformal<M, S> {
     fn name(&self) -> &str {
         "online-conformal"
     }
@@ -71,7 +75,7 @@ impl<M: Regressor, S: ScoreFunction> PiEstimator for OnlineConformal<M, S> {
     }
 }
 
-impl<M: Regressor, S: ScoreFunction> PiEstimator for WindowedConformal<M, S> {
+impl<M: Regressor + Sync, S: ScoreFunction + Sync> PiEstimator for WindowedConformal<M, S> {
     fn name(&self) -> &str {
         "windowed-conformal"
     }
@@ -90,7 +94,7 @@ impl<M: Regressor, S: ScoreFunction> PiEstimator for WindowedConformal<M, S> {
     }
 }
 
-impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiEstimator for PiService<M, S> {
+impl<M: Regressor + Clone + Sync, S: ScoreFunction + Clone + Sync> PiEstimator for PiService<M, S> {
     fn name(&self) -> &str {
         "pi-service"
     }
@@ -407,6 +411,117 @@ impl ResilientService {
         Err(CardEstError::AllEstimatorsFailed { tried })
     }
 
+    /// Serves a whole batch of queries, evaluating them in parallel across
+    /// the `ce-parallel` pool while keeping every defense of
+    /// [`ResilientService::interval`] per query (sanitization, panic
+    /// isolation, fallback walk, floor).
+    ///
+    /// Circuit-breaker *admission* is snapshotted once per estimator at the
+    /// start of the batch (an Open breaker whose cooldown has elapsed lets
+    /// the whole batch probe it), and all outcomes are folded into the
+    /// breakers and stats afterwards in query-index order. That makes the
+    /// returned intervals a pure function of the pre-batch service state for
+    /// deterministic models — bit-identical at any thread count — at the
+    /// cost of trips taking effect only between batches, not within one.
+    pub fn predict_interval_batch(
+        &mut self,
+        queries: &[Vec<f32>],
+    ) -> Vec<Result<PredictionInterval, CardEstError>> {
+        // Phase 1 (serial, mutating): one admission decision per estimator.
+        let config = self.breaker_config;
+        let now = self.stats.queries + 1;
+        let admitted: Vec<bool> =
+            self.chain.iter_mut().map(|e| e.breaker.admit(now, &config)).collect();
+
+        // Phase 2 (parallel, read-only): walk the snapshotted chain.
+        let this: &Self = self;
+        let admitted_ref = &admitted;
+        let outcomes = ce_parallel::par_map(queries.len(), 4, |qi| {
+            let features = &queries[qi];
+            if let Err(e) = this.sanitize(features) {
+                return BatchOutcome::Rejected(e);
+            }
+            let mut failures: Vec<(usize, bool, CardEstError)> = Vec::new();
+            for (position, entry) in this.chain.iter().enumerate() {
+                if !admitted_ref[position] {
+                    let estimator = entry.estimator.name().to_string();
+                    failures.push((position, false, CardEstError::CircuitOpen { estimator }));
+                    continue;
+                }
+                let estimator = &*entry.estimator;
+                match catch_unwind(AssertUnwindSafe(|| estimator.interval(features))) {
+                    Ok(Ok(interval)) => {
+                        return BatchOutcome::Served { position, interval, failures };
+                    }
+                    Ok(Err(e)) => failures.push((position, false, e)),
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        failures.push((position, true, CardEstError::ModelPanic(msg)));
+                    }
+                }
+            }
+            BatchOutcome::Exhausted { failures }
+        });
+
+        // Phase 3 (serial, mutating): fold outcomes in query-index order.
+        let mut results = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            self.stats.queries += 1;
+            let now = self.stats.queries;
+            match outcome {
+                BatchOutcome::Rejected(e) => {
+                    self.stats.rejected_inputs += 1;
+                    results.push(Err(e));
+                }
+                BatchOutcome::Served { position, interval, failures } => {
+                    self.fold_failures(&failures, &admitted, now);
+                    self.chain[position].breaker.record_success();
+                    self.stats.answered += 1;
+                    self.stats.served_by[position] += 1;
+                    results.push(Ok(interval));
+                }
+                BatchOutcome::Exhausted { failures } => {
+                    self.fold_failures(&failures, &admitted, now);
+                    let tried = failures.len();
+                    self.last_errors = failures
+                        .into_iter()
+                        .map(|(pos, _, e)| (self.chain[pos].estimator.name().to_string(), e))
+                        .collect();
+                    if self.conservative_floor {
+                        self.stats.answered += 1;
+                        self.stats.floor_served += 1;
+                        results.push(Ok(PredictionInterval::new(
+                            f64::NEG_INFINITY,
+                            f64::INFINITY,
+                        )));
+                    } else {
+                        results.push(Err(CardEstError::AllEstimatorsFailed { tried }));
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Applies one query's recorded failures to stats and breakers.
+    /// Skipped (circuit-open) positions were never called and record nothing.
+    fn fold_failures(&mut self, failures: &[(usize, bool, CardEstError)], admitted: &[bool], now: u64) {
+        let config = self.breaker_config;
+        for &(position, was_panic, _) in failures {
+            if !admitted[position] {
+                continue;
+            }
+            if was_panic {
+                self.stats.panics_caught += 1;
+            } else {
+                self.stats.estimator_failures += 1;
+            }
+            if self.chain[position].breaker.record_failure(now, &config) {
+                self.stats.breaker_trips += 1;
+            }
+        }
+    }
+
     /// Feeds an executed query's truth to every estimator in the chain (so
     /// fallbacks stay calibrated even while idle). Unsanitizable inputs are
     /// dropped; a panicking `observe` is isolated and counted.
@@ -422,6 +537,21 @@ impl ResilientService {
             }
         }
     }
+}
+
+/// Per-query outcome of the read-only parallel phase of
+/// [`ResilientService::predict_interval_batch`]. Failure tuples carry
+/// `(chain position, was_panic, error)`.
+enum BatchOutcome {
+    Rejected(CardEstError),
+    Served {
+        position: usize,
+        interval: PredictionInterval,
+        failures: Vec<(usize, bool, CardEstError)>,
+    },
+    Exhausted {
+        failures: Vec<(usize, bool, CardEstError)>,
+    },
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -517,11 +647,13 @@ mod tests {
 
     #[test]
     fn breaker_recovers_through_half_open_probe() {
-        // A model that fails for a while, then heals.
-        let healthy = std::rc::Rc::new(std::cell::Cell::new(false));
+        // A model that fails for a while, then heals. (Arc<AtomicBool>
+        // rather than Rc<Cell>: PiEstimator requires Sync.)
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let healthy = std::sync::Arc::new(AtomicBool::new(false));
         let flag = healthy.clone();
         let flaky = move |f: &[f32]| {
-            if flag.get() {
+            if flag.load(Ordering::Relaxed) {
                 f[0] as f64
             } else {
                 f64::NAN
@@ -535,7 +667,7 @@ mod tests {
             svc.interval(&[0.5]).unwrap();
         }
         assert_eq!(svc.breaker_state(0), Some(BreakerState::Open));
-        healthy.set(true);
+        healthy.store(true, Ordering::Relaxed);
         // Queries inside the cooldown skip the primary entirely.
         for _ in 0..4 {
             svc.interval(&[0.5]).unwrap();
@@ -622,6 +754,71 @@ mod tests {
         // finite intervals.
         let iv = svc.interval(&[0.5]).expect("fallback calibrated via observe");
         assert!(iv.hi.is_finite(), "fallback should have a finite threshold");
+    }
+
+    #[test]
+    fn batched_serving_matches_serial_and_updates_stats() {
+        let queries: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32 / 64.0]).collect();
+        let mut serial = ResilientService::new(Box::new(calibrated(healthy_model())));
+        let expect: Vec<_> = queries.iter().map(|q| serial.interval(q).unwrap()).collect();
+
+        let mut batched = ResilientService::new(Box::new(calibrated(healthy_model())));
+        let got = batched.predict_interval_batch(&queries);
+        for (iv, want) in got.iter().zip(&expect) {
+            assert_eq!(iv.as_ref().unwrap(), want);
+        }
+        assert_eq!(batched.stats().queries, 64);
+        assert_eq!(batched.stats().served_by[0], 64);
+        assert_eq!(batched.stats().answer_rate(), 1.0);
+    }
+
+    #[test]
+    fn batched_serving_walks_fallbacks_and_rejects_bad_inputs() {
+        let nan_model = |_: &[f32]| f64::NAN;
+        let mut svc = ResilientService::new(Box::new(OnlineConformal::new(
+            nan_model,
+            AbsoluteResidual,
+            &[],
+            &[],
+            0.1,
+        )))
+        .with_fallback(Box::new(calibrated(healthy_model())))
+        .with_expected_dims(1);
+        let queries =
+            vec![vec![0.25f32], vec![f32::NAN], vec![0.5, 0.5], vec![0.75]];
+        let got = svc.predict_interval_batch(&queries);
+        assert!(got[0].as_ref().unwrap().contains(0.25));
+        assert!(matches!(got[1], Err(CardEstError::NonFiniteFeature { index: 0 })));
+        assert!(matches!(
+            got[2],
+            Err(CardEstError::DimensionMismatch { expected: 1, actual: 2 })
+        ));
+        assert!(got[3].as_ref().unwrap().contains(0.75));
+        assert_eq!(svc.stats().rejected_inputs, 2);
+        assert_eq!(svc.stats().served_by, vec![0, 2]);
+        assert_eq!(svc.stats().estimator_failures, 2, "primary failed twice");
+    }
+
+    #[test]
+    fn batched_serving_folds_breaker_trips_after_the_batch() {
+        let nan_model = |_: &[f32]| f64::NAN;
+        let primary = OnlineConformal::new(nan_model, AbsoluteResidual, &[], &[], 0.1);
+        let mut svc = ResilientService::new(Box::new(primary))
+            .with_fallback(Box::new(calibrated(healthy_model())))
+            .with_breaker(BreakerConfig { failure_threshold: 3, cooldown_queries: 100 });
+        // Admission is snapshotted: every query in the batch still probes the
+        // primary, but the folded failures trip the breaker exactly once.
+        let queries: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32 / 10.0]).collect();
+        let got = svc.predict_interval_batch(&queries);
+        assert!(got.iter().all(|r| r.is_ok()));
+        assert_eq!(svc.breaker_state(0), Some(BreakerState::Open));
+        assert_eq!(svc.stats().breaker_trips, 1);
+        assert_eq!(svc.stats().served_by[1], 10);
+        // The next batch skips the open primary entirely.
+        let failures_before = svc.stats().estimator_failures;
+        let _ = svc.predict_interval_batch(&queries);
+        assert_eq!(svc.stats().estimator_failures, failures_before);
+        assert_eq!(svc.stats().served_by[1], 20);
     }
 
     #[test]

@@ -151,6 +151,21 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
         }
     }
 
+    /// Serves a whole batch of queries under the *current* mode, evaluated
+    /// in parallel on the `ce-parallel` pool.
+    ///
+    /// The serving mode and thresholds are snapshotted for the batch (the
+    /// method takes `&self`, and feedback arrives separately via
+    /// [`PiService::observe`]), so output `i` is exactly
+    /// `self.interval(&queries[i])` — bit-identical at any thread count.
+    pub fn predict_interval_batch(&self, queries: &[Vec<f32>]) -> Vec<PredictionInterval>
+    where
+        M: Sync,
+        S: Sync,
+    {
+        ce_parallel::par_map(queries.len(), 16, |i| self.interval(&queries[i]))
+    }
+
     /// Feeds back an executed query's truth: updates both calibrators and
     /// the drift monitor, switching modes as needed.
     ///

@@ -22,23 +22,23 @@ pub struct SplitConformal<M, S> {
 impl<M: Regressor, S: ScoreFunction> SplitConformal<M, S> {
     /// Calibrates on `(calib_x, calib_y)` at miscoverage `alpha`.
     ///
+    /// Calibration scores are computed in parallel in index order (the
+    /// quantile is order-independent anyway), so δ is bit-identical at any
+    /// thread count.
+    ///
     /// # Panics
     /// Panics on an empty calibration set, mismatched lengths, or `alpha`
     /// outside `(0, 1)`.
-    pub fn calibrate(
-        model: M,
-        score: S,
-        calib_x: &[Vec<f32>],
-        calib_y: &[f64],
-        alpha: f64,
-    ) -> Self {
+    pub fn calibrate(model: M, score: S, calib_x: &[Vec<f32>], calib_y: &[f64], alpha: f64) -> Self
+    where
+        M: Sync,
+        S: Sync,
+    {
         assert_eq!(calib_x.len(), calib_y.len(), "calibration set length mismatch");
         assert!(!calib_x.is_empty(), "empty calibration set");
-        let scores: Vec<f64> = calib_x
-            .iter()
-            .zip(calib_y)
-            .map(|(x, &y)| score.score(y, model.predict(x)))
-            .collect();
+        let scores = ce_parallel::par_map(calib_x.len(), 64, |i| {
+            score.score(calib_y[i], model.predict(&calib_x[i]))
+        });
         let delta = conformal_quantile(&scores, alpha);
         SplitConformal { model, score, delta, alpha }
     }
@@ -52,14 +52,16 @@ impl<M: Regressor, S: ScoreFunction> SplitConformal<M, S> {
         calib_x: &[Vec<f32>],
         calib_y: &[f64],
         alpha: f64,
-    ) -> Result<Self, CardEstError> {
+    ) -> Result<Self, CardEstError>
+    where
+        M: Sync,
+        S: Sync,
+    {
         check_lengths(calib_x.len(), calib_y.len())?;
         check_alpha(alpha)?;
-        let scores: Vec<f64> = calib_x
-            .iter()
-            .zip(calib_y)
-            .map(|(x, &y)| score.score(y, model.predict(x)))
-            .collect();
+        let scores = ce_parallel::par_map(calib_x.len(), 64, |i| {
+            score.score(calib_y[i], model.predict(&calib_x[i]))
+        });
         let delta = try_conformal_quantile(&scores, alpha)?;
         Ok(SplitConformal { model, score, delta, alpha })
     }

@@ -35,7 +35,10 @@ mod naru;
 mod sampling;
 mod spn;
 
-pub use adapters::{fit_difficulty_model, AviModel, EnsembleSpread, GbdtCardinality, GbdtModel};
+pub use adapters::{
+    fit_difficulty_model, AviModel, EnsembleSpread, GbdtCardinality, GbdtModel,
+    ThreadLimited,
+};
 pub use featurize::{SingleTableFeaturizer, StarFeaturizer, BLOCK};
 pub use histogram::{ColumnHistogram, PostgresEstimator, TableStatistics};
 pub use lwnn::{LwNn, LwNnConfig};

@@ -5,9 +5,15 @@
 //! updates, segment pooling for set-structured (MSCN-style) inputs, and a
 //! softmax/cross-entropy head for autoregressive (Naru-style) conditionals.
 //!
-//! Everything is CPU-only, `f32`, single-threaded, and deterministic given a
-//! seed — reproducibility of the paper's experiments matters more than raw
-//! training throughput here.
+//! Everything is CPU-only and `f32`. The mat-mul kernels are cache-blocked
+//! and dispatched row-parallel on the `ce-parallel` pool, under a strict
+//! **determinism contract**: the same seed produces bit-identical weights
+//! and predictions at *any* thread count, because every floating-point
+//! reduction keeps a single accumulator in fixed index order — parallelism
+//! only redistributes independent output elements across threads. Thread
+//! count is controlled globally via `ce_parallel::set_threads` / the
+//! `CE_PARALLEL_THREADS` env var, or scoped via `ce_parallel::with_threads`.
+//! See `DESIGN.md` ("Determinism contract") for the full argument.
 //!
 //! ```
 //! use ce_nn::{Mlp, MlpConfig, Matrix, Mse};

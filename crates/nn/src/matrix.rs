@@ -2,8 +2,90 @@
 //!
 //! This is deliberately a small, predictable kernel: everything the learned
 //! estimators need (mat-mul, transposed mat-mul, row slicing, elementwise
-//! combinators) and nothing else. All loops run over contiguous slices so the
-//! compiler can vectorize them.
+//! combinators) and nothing else. The three mat-mul entry points are
+//! cache-blocked, unrolled, and dispatched row-parallel on `ce-parallel`.
+//!
+//! # Determinism
+//!
+//! Every output element accumulates its products over the reduction
+//! dimension in strictly increasing index order, with a single accumulator —
+//! blocking and unrolling only regroup *independent* output elements, never
+//! reassociate floating-point sums. Results are therefore bit-identical at
+//! any thread count (see `DESIGN.md`, "Determinism contract").
+
+use ce_parallel::par_chunks_mut;
+
+/// Reduction-dimension tile: four scalar/row pairs at a time over tiles of
+/// this many `k` steps, so the touched rows of the right operand stay hot in
+/// cache while the output row stays in registers.
+const K_TILE: usize = 128;
+
+/// Mul-adds per parallel task, sized to amortize dispatch overhead.
+const TASK_FLOPS: usize = 1 << 16;
+
+/// Rows of output handled by one parallel task; pure shape arithmetic.
+fn rows_per_task(flops_per_row: usize) -> usize {
+    TASK_FLOPS.div_ceil(flops_per_row.max(1)).max(1)
+}
+
+/// `out[j] += Σ_k scalars[k] * b.row(k0 + k)[j]`, with `k` strictly
+/// increasing and one accumulator per output element (the `+`-chain below is
+/// left-associative, i.e. exactly the sequential order). The 4-way unroll
+/// spans the reduction dimension, so each pass reuses the output row from
+/// registers four times.
+#[inline]
+fn axpy_block(out: &mut [f32], scalars: &[f32], b: &Matrix, k0: usize) {
+    let n = out.len();
+    let mut quads = scalars.chunks_exact(4);
+    let mut k = k0;
+    for quad in quads.by_ref() {
+        let (b0, b1, b2, b3) =
+            (&b.row(k)[..n], &b.row(k + 1)[..n], &b.row(k + 2)[..n], &b.row(k + 3)[..n]);
+        for j in 0..n {
+            out[j] = out[j] + quad[0] * b0[j] + quad[1] * b1[j] + quad[2] * b2[j] + quad[3] * b3[j];
+        }
+        k += 4;
+    }
+    for &a in quads.remainder() {
+        let b_row = &b.row(k)[..n];
+        let mut out_c = out.chunks_exact_mut(8);
+        let mut b_c = b_row.chunks_exact(8);
+        for (o, bv) in out_c.by_ref().zip(b_c.by_ref()) {
+            for (ov, &be) in o.iter_mut().zip(bv) {
+                *ov += a * be;
+            }
+        }
+        for (ov, &be) in out_c.into_remainder().iter_mut().zip(b_c.remainder()) {
+            *ov += a * be;
+        }
+        k += 1;
+    }
+}
+
+/// Unrolled dot product with a single accumulator: the left-associative
+/// `+`-chain adds the eight products of each chunk in index order, so the
+/// result is bit-identical to the naive sequential loop.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    let mut a_c = a.chunks_exact(8);
+    let mut b_c = b.chunks_exact(8);
+    for (x, y) in a_c.by_ref().zip(b_c.by_ref()) {
+        acc = acc
+            + x[0] * y[0]
+            + x[1] * y[1]
+            + x[2] * y[2]
+            + x[3] * y[3]
+            + x[4] * y[4]
+            + x[5] * y[5]
+            + x[6] * y[6]
+            + x[7] * y[7];
+    }
+    for (&x, &y) in a_c.remainder().iter().zip(b_c.remainder()) {
+        acc += x * y;
+    }
+    acc
+}
 
 /// A dense row-major matrix of `f32` values.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -114,8 +196,12 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses the classic i-k-j loop order so the inner loop is a contiguous
-    /// AXPY over the output row.
+    /// Cache-blocked i-k-j kernel: each output row is swept once per
+    /// [`K_TILE`]-wide reduction tile, rows are dispatched in parallel, and
+    /// every output element accumulates in fixed `k` order — so results are
+    /// bit-identical at any thread count. No zero-skip: `0.0 * NaN` must
+    /// yield `NaN` (IEEE 754), so non-finite weights surface instead of
+    /// being silently masked.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -125,66 +211,84 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let (k_dim, n) = (self.cols, other.cols);
+        let mut out = Matrix::zeros(self.rows, n);
+        if out.data.is_empty() {
+            return out;
+        }
+        let block = rows_per_task(k_dim * n);
+        par_chunks_mut(&mut out.data, block * n, |blk, out_block| {
+            for (r, out_row) in out_block.chunks_mut(n).enumerate() {
+                let a_row = self.row(blk * block + r);
+                for k0 in (0..k_dim).step_by(K_TILE) {
+                    let k1 = (k0 + K_TILE).min(k_dim);
+                    axpy_block(out_row, &a_row[k0..k1], other, k0);
                 }
             }
-        }
+        });
         out
     }
 
     /// `self^T * other` without materializing the transpose.
+    ///
+    /// Parallel over output rows (columns of `self`); the strided column of
+    /// `self` is packed into a contiguous tile buffer so the inner kernel is
+    /// shared with [`Matrix::matmul`]. Accumulation order per output element
+    /// is increasing `r`, exactly as the naive loop — bit-identical at any
+    /// thread count, and no zero-skip (IEEE `NaN` propagation).
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "t_matmul dimension mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let (r_dim, n) = (self.rows, other.cols);
+        let mut out = Matrix::zeros(self.cols, n);
+        if out.data.is_empty() {
+            return out;
+        }
+        let block = rows_per_task(r_dim * n);
+        par_chunks_mut(&mut out.data, block * n, |blk, out_block| {
+            let mut packed = [0.0f32; K_TILE];
+            for (r, out_row) in out_block.chunks_mut(n).enumerate() {
+                let i = blk * block + r;
+                for r0 in (0..r_dim).step_by(K_TILE) {
+                    let len = K_TILE.min(r_dim - r0);
+                    for (t, p) in packed[..len].iter_mut().enumerate() {
+                        *p = self.data[(r0 + t) * self.cols + i];
+                    }
+                    axpy_block(out_row, &packed[..len], other, r0);
                 }
             }
-        }
+        });
         out
     }
 
     /// `self * other^T` without materializing the transpose.
+    ///
+    /// Parallel over output rows; each element is an unrolled
+    /// single-accumulator dot product of two contiguous rows, summed in
+    /// index order — bit-identical at any thread count.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_t dimension mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
+        let n = other.rows;
+        let mut out = Matrix::zeros(self.rows, n);
+        if out.data.is_empty() {
+            return out;
         }
+        let block = rows_per_task(self.cols * n);
+        par_chunks_mut(&mut out.data, block * n, |blk, out_block| {
+            for (r, out_row) in out_block.chunks_mut(n).enumerate() {
+                let a_row = self.row(blk * block + r);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = dot(a_row, other.row(j));
+                }
+            }
+        });
         out
     }
 
@@ -363,6 +467,66 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// Naive reference product, element-at-a-time in increasing-k order.
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_in_left_operand() {
+        // Regression: the old kernel skipped k when a == 0.0, so 0.0 * NaN
+        // evaluated to 0.0 instead of NaN — masking non-finite weights.
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(2, 1, vec![f32::NAN, 2.0]);
+        assert!(a.matmul(&b).get(0, 0).is_nan(), "0.0 * NaN must propagate NaN");
+    }
+
+    #[test]
+    fn t_matmul_propagates_nan_through_zero_in_left_operand() {
+        let a = Matrix::from_vec(2, 1, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(2, 1, vec![f32::NAN, 2.0]);
+        assert!(a.t_matmul(&b).get(0, 0).is_nan(), "0.0 * NaN must propagate NaN");
+    }
+
+    #[test]
+    fn blocked_kernels_match_reference_bit_for_bit() {
+        // Shapes straddling the K_TILE and unroll boundaries, with values
+        // spread over enough magnitudes that reassociation would show up.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f32 / (1u64 << 31) as f32 - 0.5) * 3.0
+        };
+        for (m, k, n) in [(1, 1, 1), (3, 7, 5), (4, 129, 9), (5, 260, 17), (2, 8, 8)] {
+            let a = Matrix::from_vec(m, k, (0..m * k).map(|_| next()).collect());
+            let b = Matrix::from_vec(k, n, (0..k * n).map(|_| next()).collect());
+            assert_eq!(a.matmul(&b), reference_matmul(&a, &b), "matmul {m}x{k}x{n}");
+            let at = a.transpose();
+            assert_eq!(at.t_matmul(&b), reference_matmul(&a, &b), "t_matmul {m}x{k}x{n}");
+            let bt = b.transpose();
+            assert_eq!(a.matmul_t(&bt), reference_matmul(&a, &b), "matmul_t {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_across_thread_counts() {
+        let a = Matrix::from_vec(64, 96, (0..64 * 96).map(|i| (i as f32).sin()).collect());
+        let b = Matrix::from_vec(96, 48, (0..96 * 48).map(|i| (i as f32).cos()).collect());
+        let serial = ce_parallel::with_threads(1, || a.matmul(&b));
+        let parallel = ce_parallel::with_threads(4, || a.matmul(&b));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -94,7 +94,7 @@ fn main() {
     );
 
     eprintln!("training {}...", opts.model);
-    let model: Box<dyn Regressor> = match opts.model.as_str() {
+    let model: Box<dyn Regressor + Sync> = match opts.model.as_str() {
         "mscn" => Box::new(train_mscn(&bench.feat, &bench.train, 40, seed)),
         "lwnn" => Box::new(train_lwnn(&bench.table, &bench.train, 20, seed)),
         "naru" => Box::new(train_naru(&bench.table, 3, 64, seed)),

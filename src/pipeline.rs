@@ -159,7 +159,7 @@ fn eval<I: FnMut(&[f32]) -> PredictionInterval>(
 }
 
 /// Runs split conformal with the given score kind and returns its result.
-pub fn run_split_conformal<M: Regressor>(
+pub fn run_split_conformal<M: Regressor + Sync>(
     model: M,
     score: ScoreKind,
     calib: &EncodedSet,
@@ -204,7 +204,7 @@ pub fn run_split_conformal<M: Regressor>(
 /// Runs locally weighted split conformal: trains a GBDT difficulty model on
 /// the *training* split's score magnitudes (Algorithm 3), then calibrates.
 #[allow(clippy::too_many_arguments)]
-pub fn run_locally_weighted<M: Regressor>(
+pub fn run_locally_weighted<M: Regressor + Sync>(
     model: M,
     score: ScoreKind,
     train: &EncodedSet,
@@ -214,7 +214,7 @@ pub fn run_locally_weighted<M: Regressor>(
     sel_floor: f64,
     seed: u64,
 ) -> MethodResult {
-    fn go<M: Regressor, S: ScoreFunction>(
+    fn go<M: Regressor + Sync, S: ScoreFunction + Sync>(
         model: M,
         score: S,
         train: &EncodedSet,
@@ -280,7 +280,7 @@ pub fn run_locally_weighted<M: Regressor>(
 }
 
 /// Runs CQR given two trained quantile heads.
-pub fn run_cqr<L: Regressor, U: Regressor>(
+pub fn run_cqr<L: Regressor + Sync, U: Regressor + Sync>(
     lower: L,
     upper: U,
     calib: &EncodedSet,

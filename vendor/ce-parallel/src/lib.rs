@@ -1,0 +1,461 @@
+//! # ce-parallel — deterministic data parallelism for the cardest workspace
+//!
+//! A dependency-free (std-only) worker pool with *deterministic* chunked
+//! parallel primitives over index ranges. Like the other `vendor/` crates it
+//! is an offline stand-in: it covers exactly the API surface the workspace
+//! needs (a `rayon`-shaped subset) without touching the network.
+//!
+//! ## Determinism contract
+//!
+//! Every primitive here partitions work into chunks whose *boundaries and
+//! per-element computations are independent of the thread count and of
+//! scheduling order*: element `i` of a [`par_map`] is always computed by the
+//! same closure call `f(i)`, and each output slot is written exactly once by
+//! exactly one task. A pure closure therefore produces bit-identical output
+//! at `threads = 1` and `threads = 64` — parallelism changes only *which OS
+//! thread* runs a chunk, never *what* is computed. Reductions are left to the
+//! caller precisely so no floating-point reassociation can sneak in.
+//!
+//! ## Nesting
+//!
+//! Tasks executing on the pool (including the submitting thread while it
+//! works off its own chunk) run nested parallel calls *serially*. Outer-level
+//! parallelism (e.g. per-fold model training) therefore composes with
+//! inner-level parallelism (e.g. row-parallel matmul) without oversubscribing
+//! the machine, and without any configuration.
+//!
+//! ```
+//! let squares = ce_parallel::par_map(1000, 1, |i| i * i);
+//! assert_eq!(squares[31], 961);
+//! ```
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------------
+
+/// Global logical thread count; 0 means "use the hardware default".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`]; 0 = no override.
+    static LOCAL_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    /// True while this thread is executing a pool task — nested parallel
+    /// calls then run serially instead of deadlocking or oversubscribing.
+    static IN_POOL_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Number of hardware threads visible to the process.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("CE_PARALLEL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Sets the global logical thread count. `0` restores the default
+/// (`CE_PARALLEL_THREADS` env var if set, else the hardware count).
+pub fn set_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The logical thread count parallel primitives will use right now on this
+/// thread: 1 inside a pool task, else the innermost [`with_threads`]
+/// override, else [`set_threads`], else `CE_PARALLEL_THREADS`, else the
+/// hardware count. Always at least 1.
+pub fn current_threads() -> usize {
+    if IN_POOL_TASK.with(|f| f.get()) {
+        return 1;
+    }
+    let local = LOCAL_THREADS.with(|t| t.get());
+    if local != 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    let env = env_threads();
+    if env != 0 {
+        return env;
+    }
+    available_threads()
+}
+
+/// Runs `f` with the logical thread count pinned to `n` on this thread
+/// (restored afterwards, even on panic). `0` means "no override".
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|t| t.set(self.0));
+        }
+    }
+    let prev = LOCAL_THREADS.with(|t| t.replace(n));
+    let _restore = Restore(prev);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------------
+
+/// A chunk of a parallel call: run `task(index)` and report to the latch.
+struct Job {
+    /// Type-erased borrow of the caller's closure. Safety: the submitting
+    /// call blocks on `latch` until every job completed, so the borrow
+    /// outlives all uses despite the `'static` lie.
+    task: &'static (dyn Fn(usize) + Sync),
+    index: usize,
+    latch: Arc<Latch>,
+}
+
+/// Counts outstanding jobs of one parallel call; the submitter blocks on it.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Arc<Self> {
+        Arc::new(Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        })
+    }
+
+    fn complete(&self, panicked: bool) {
+        if panicked {
+            self.panicked.store(true, Ordering::Release);
+        }
+        let mut remaining = self.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap();
+        }
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+}
+
+impl PoolShared {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.work_ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+fn run_job(job: Job) {
+    IN_POOL_TASK.with(|f| f.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| (job.task)(job.index)));
+    IN_POOL_TASK.with(|f| f.set(false));
+    job.latch.complete(outcome.is_err());
+}
+
+fn pool() -> &'static PoolShared {
+    static POOL: OnceLock<&'static PoolShared> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        }));
+        // One worker per hardware thread beyond the submitter. Workers are
+        // spawned once and parked on the condvar between calls; the *logical*
+        // thread count only controls how many chunks a call is split into.
+        let workers = available_threads().saturating_sub(1).max(1);
+        for w in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("ce-parallel-{w}"))
+                .spawn(move || loop {
+                    let job = {
+                        let mut queue = shared.queue.lock().unwrap();
+                        loop {
+                            if let Some(job) = queue.pop_front() {
+                                break job;
+                            }
+                            queue = shared.work_ready.wait(queue).unwrap();
+                        }
+                    };
+                    run_job(job);
+                })
+                .expect("spawn ce-parallel worker");
+        }
+        shared
+    })
+}
+
+/// Executes `task(0..chunks)` across the pool, blocking until all complete.
+/// The submitting thread runs chunk 0 itself and then helps drain the queue,
+/// so a call never waits idle while work is pending.
+///
+/// # Panics
+/// Propagates (as a fresh panic) if any chunk panicked.
+fn run_chunked(chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(chunks >= 2, "serial path should have been taken");
+    let latch = Latch::new(chunks - 1);
+    // Safety: see `Job::task` — we block on `latch` before returning, so the
+    // erased borrow cannot outlive the closure it points to.
+    let erased: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+    let shared = pool();
+    for index in 1..chunks {
+        shared.push(Job { task: erased, index, latch: Arc::clone(&latch) });
+    }
+    // Run our own chunk under the nesting flag so inner calls serialize.
+    IN_POOL_TASK.with(|f| f.set(true));
+    let own = catch_unwind(AssertUnwindSafe(|| task(0)));
+    IN_POOL_TASK.with(|f| f.set(false));
+    // Help-first: drain whatever is still queued (ours or another caller's)
+    // instead of blocking immediately.
+    while let Some(job) = shared.try_pop() {
+        run_job(job);
+    }
+    latch.wait();
+    if own.is_err() || latch.panicked.load(Ordering::Acquire) {
+        panic!("ce-parallel task panicked");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic chunk geometry
+// ---------------------------------------------------------------------------
+
+/// Splits `0..n` into at most `pieces` contiguous ranges of near-equal
+/// length, each at least `grain` long (except possibly the last). Pure
+/// arithmetic — the partition depends only on `(n, pieces, grain)`.
+fn partition(n: usize, pieces: usize, grain: usize) -> Vec<Range<usize>> {
+    let grain = grain.max(1);
+    let max_pieces = n.div_ceil(grain);
+    let pieces = pieces.clamp(1, max_pieces.max(1));
+    let base = n / pieces;
+    let extra = n % pieces;
+    let mut ranges = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for p in 0..pieces {
+        let len = base + usize::from(p < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Runs `f` over a deterministic partition of `0..n` into contiguous ranges,
+/// one task per range, using up to [`current_threads`] workers. Ranges are
+/// disjoint and cover `0..n`; each is at least `grain` long when possible.
+pub fn par_for_each_range(n: usize, grain: usize, f: impl Fn(Range<usize>) + Sync) {
+    if n == 0 {
+        return;
+    }
+    let ranges = partition(n, current_threads(), grain);
+    if ranges.len() <= 1 {
+        f(0..n);
+        return;
+    }
+    let task = |chunk: usize| f(ranges[chunk].clone());
+    run_chunked(ranges.len(), &task);
+}
+
+/// Covariant raw-pointer wrapper asserting cross-thread use is safe because
+/// tasks touch disjoint regions.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Deterministic parallel map over `0..n`: returns `vec![f(0), .., f(n-1)]`.
+/// Each slot is computed by exactly one task and written exactly once, so a
+/// pure `f` yields bit-identical output at any thread count.
+pub fn par_map<T: Send>(n: usize, grain: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if current_threads() <= 1 || n.div_ceil(grain.max(1)) <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(n);
+    // Safety: every slot is initialized below before `assume_init`; on panic
+    // the buffer is leaked (not dropped uninitialized) because the Vec holds
+    // MaybeUninit<T>, which never runs T's destructor.
+    unsafe { out.set_len(n) };
+    let base = SendPtr(out.as_mut_ptr());
+    par_for_each_range(n, grain, |range| {
+        let base = &base;
+        for i in range {
+            // Safety: ranges are disjoint, so slot i is written once, here.
+            unsafe { base.0.add(i).write(std::mem::MaybeUninit::new(f(i))) };
+        }
+    });
+    // Safety: par_for_each_range covered 0..n, initializing every slot.
+    unsafe { std::mem::transmute::<Vec<std::mem::MaybeUninit<T>>, Vec<T>>(out) }
+}
+
+/// Deterministic parallel iteration over contiguous chunks of `data`, each
+/// exactly `chunk_len` long (the last may be shorter). `f` receives the chunk
+/// index and the mutable chunk. Chunk geometry depends only on
+/// `(data.len(), chunk_len)` — never on the thread count.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let chunks = n.div_ceil(chunk_len);
+    if current_threads() <= 1 || chunks <= 1 {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci, chunk);
+        }
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    let task = |ci: usize| {
+        let base = &base;
+        let start = ci * chunk_len;
+        let len = chunk_len.min(n - start);
+        // Safety: chunks are disjoint subslices of `data`, one per task.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), len) };
+        f(ci, chunk);
+    };
+    run_chunked(chunks, &task);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_matches_serial_at_any_thread_count() {
+        let expect: Vec<u64> = (0..997u64).map(|i| i * i + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 33] {
+            let got = with_threads(threads, || par_map(997, 1, |i| (i as u64) * (i as u64) + 1));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_for_each_range_covers_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        with_threads(4, || {
+            par_for_each_range(500, 7, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_geometry_is_thread_count_independent() {
+        let run = |threads: usize| {
+            let mut data = vec![0usize; 103];
+            with_threads(threads, || {
+                par_chunks_mut(&mut data, 10, |ci, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v = ci;
+                    }
+                });
+            });
+            data
+        };
+        assert_eq!(run(1), run(4));
+        let data = run(4);
+        assert_eq!(data[0], 0);
+        assert_eq!(data[99], 9);
+        assert_eq!(data[102], 10, "last partial chunk gets its own index");
+    }
+
+    #[test]
+    fn nested_calls_serialize_instead_of_deadlocking() {
+        let total: u64 = with_threads(4, || {
+            par_map(8, 1, |i| {
+                // Inner call runs serially (current_threads() == 1 in-task).
+                let inner = par_map(100, 1, |j| (i * 100 + j) as u64);
+                assert_eq!(current_threads(), 1);
+                inner.iter().sum::<u64>()
+            })
+            .into_iter()
+            .sum()
+        });
+        assert_eq!(total, (0..800u64).sum());
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        set_threads(3);
+        assert_eq!(current_threads(), 3);
+        with_threads(7, || assert_eq!(current_threads(), 7));
+        assert_eq!(current_threads(), 3);
+        set_threads(0);
+    }
+
+    #[test]
+    fn partition_is_balanced_and_exhaustive() {
+        let ranges = partition(103, 4, 1);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0], 0..26);
+        assert_eq!(ranges.last().unwrap().end, 103);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 103);
+        // Grain caps the piece count.
+        assert_eq!(partition(10, 8, 5).len(), 2);
+        assert_eq!(partition(3, 8, 5).len(), 1);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_for_each_range(64, 1, |range| {
+                    if range.contains(&40) {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        assert!(result.is_err());
+        // The pool survives for later calls.
+        let sum: usize = with_threads(4, || par_map(100, 1, |i| i)).into_iter().sum();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_take_the_serial_path() {
+        assert!(par_map(0, 1, |i| i).is_empty());
+        par_for_each_range(0, 1, |_| panic!("must not run"));
+        let mut empty: [u8; 0] = [];
+        par_chunks_mut(&mut empty, 4, |_, _| panic!("must not run"));
+        assert_eq!(par_map(1, 64, |i| i + 1), vec![1]);
+    }
+}

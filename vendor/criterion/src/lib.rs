@@ -6,11 +6,85 @@
 //! single time and prints the elapsed wall-clock time. That keeps
 //! `cargo test`/`cargo bench` fast while still compiling and exercising
 //! every bench path; it does no statistical sampling.
+//!
+//! Every sample is also recorded in a process-wide registry
+//! ([`samples`], [`record_sample`]) so callers — the benches themselves or
+//! the `perf` experiment harness — can export the collected wall times as
+//! JSON via [`samples_json`] / [`write_samples_json`] and share one timing
+//! path between `cargo bench` and `ce-bench`.
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::Instant;
 
 pub use std::hint::black_box;
+
+/// Process-wide registry of recorded wall-time samples, label → ns samples.
+///
+/// A `BTreeMap` keeps JSON export order stable across runs.
+static SAMPLES: Mutex<BTreeMap<String, Vec<u128>>> = Mutex::new(BTreeMap::new());
+
+/// Records one wall-time sample (in nanoseconds) under `label`.
+///
+/// Benches record automatically through [`Bencher::iter`]; other harnesses
+/// (e.g. the `perf` experiment) can call this directly to share the registry.
+pub fn record_sample(label: &str, elapsed_ns: u128) {
+    SAMPLES
+        .lock()
+        .expect("sample registry poisoned")
+        .entry(label.to_string())
+        .or_default()
+        .push(elapsed_ns);
+}
+
+/// Snapshot of all samples recorded so far, label → ns samples.
+pub fn samples() -> BTreeMap<String, Vec<u128>> {
+    SAMPLES.lock().expect("sample registry poisoned").clone()
+}
+
+/// Clears the sample registry (useful between test cases).
+pub fn clear_samples() {
+    SAMPLES.lock().expect("sample registry poisoned").clear();
+}
+
+/// Renders the registry as a JSON object: `{"label": [ns, ...], ...}`.
+///
+/// Hand-rolled writer so the stub stays dependency-free; labels are escaped
+/// for quotes and backslashes, which covers every label the workspace uses.
+pub fn samples_json() -> String {
+    let snapshot = samples();
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (label, ns) in &snapshot {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let escaped: String = label
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!("  \"{escaped}\": ["));
+        for (i, v) in ns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push(']');
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Writes [`samples_json`] to `path`.
+pub fn write_samples_json(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, samples_json())
+}
 
 /// Identifier for a parameterized benchmark within a group.
 pub struct BenchmarkId {
@@ -47,6 +121,7 @@ impl Bencher {
 fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher { elapsed_ns: 0 };
     f(&mut b);
+    record_sample(label, b.elapsed_ns);
     println!("bench {label}: {} ns/iter (1 sample)", b.elapsed_ns);
 }
 
@@ -124,6 +199,11 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            if let Ok(path) = std::env::var("CRITERION_SAMPLES_JSON") {
+                if let Err(e) = $crate::write_samples_json(&path) {
+                    eprintln!("failed to write {path}: {e}");
+                }
+            }
         }
     };
 }
@@ -146,7 +226,21 @@ mod tests {
     criterion_group!(benches, sample_bench);
 
     #[test]
-    fn harness_runs_each_bench_once() {
+    fn harness_records_samples_and_exports_json() {
+        clear_samples();
         benches();
+        let snapshot = samples();
+        assert!(snapshot.contains_key("square"));
+        assert!(snapshot.contains_key("grouped/sum"));
+        assert!(snapshot.contains_key("grouped/42"));
+        assert_eq!(snapshot["square"].len(), 1);
+
+        record_sample("manual \"label\"", 123);
+        let json = samples_json();
+        assert!(json.contains("\"grouped/sum\": ["));
+        assert!(json.contains("\"manual \\\"label\\\"\": [123]"));
+        assert!(json.starts_with("{\n") && json.ends_with("\n}\n"));
+        clear_samples();
+        assert!(samples().is_empty());
     }
 }

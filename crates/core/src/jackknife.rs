@@ -70,6 +70,10 @@ impl<M: Regressor> JackknifePlus<M> {
         assert!(x.len() >= 2, "jackknife+ needs at least 2 points");
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
         let n = x.len();
+        let _span = ce_telemetry::Span::enter("jackknife_plus_fit");
+        // One shared handle: per-fit recording is a few relaxed atomic ops.
+        let fold_hist =
+            ce_telemetry::enabled().then(|| ce_telemetry::histogram("trainer.fold_fit_ns"));
         let fitted = ce_parallel::par_map(n, 1, |i| {
             let mut loo_x: Vec<Vec<f32>> = Vec::with_capacity(n - 1);
             let mut loo_y: Vec<f64> = Vec::with_capacity(n - 1);
@@ -77,7 +81,11 @@ impl<M: Regressor> JackknifePlus<M> {
                 loo_x.push(x[j].clone());
                 loo_y.push(y[j]);
             }
+            let start = fold_hist.as_ref().map(|_| std::time::Instant::now());
             let model = trainer.fit(&loo_x, &loo_y, seed.wrapping_add(i as u64));
+            if let (Some(hist), Some(start)) = (&fold_hist, start) {
+                hist.record(start.elapsed().as_nanos() as u64);
+            }
             let residual = (y[i] - model.predict(&x[i])).abs();
             (model, residual)
         });
@@ -148,12 +156,20 @@ impl<M: Regressor> CvPlus<M> {
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
         let n = x.len();
         let fold_of = assign_folds(n, k, seed);
+        let _span = ce_telemetry::Span::enter("cv_plus_fit");
+        let fold_hist =
+            ce_telemetry::enabled().then(|| ce_telemetry::histogram("trainer.fold_fit_ns"));
         let models = ce_parallel::par_map(k, 1, |fold| {
             let (fx, fy): (Vec<Vec<f32>>, Vec<f64>) = (0..n)
                 .filter(|&i| fold_of[i] != fold)
                 .map(|i| (x[i].clone(), y[i]))
                 .unzip();
-            trainer.fit(&fx, &fy, seed.wrapping_add(fold as u64))
+            let start = fold_hist.as_ref().map(|_| std::time::Instant::now());
+            let model = trainer.fit(&fx, &fy, seed.wrapping_add(fold as u64));
+            if let (Some(hist), Some(start)) = (&fold_hist, start) {
+                hist.record(start.elapsed().as_nanos() as u64);
+            }
+            model
         });
         let residuals = ce_parallel::par_map(n, 64, |i| {
             (y[i] - models[fold_of[i]].predict(&x[i])).abs()
@@ -231,17 +247,28 @@ impl<M: Regressor, S: ScoreFunction> JackknifeCv<M, S> {
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
         let n = x.len();
         let fold_of = assign_folds(n, k, seed);
+        let _span = ce_telemetry::Span::enter("jk_cv_fit");
+        let fold_hist =
+            ce_telemetry::enabled().then(|| ce_telemetry::histogram("trainer.fold_fit_ns"));
+        let timed_fit = |fx: &[Vec<f32>], fy: &[f64], fit_seed: u64| {
+            let start = fold_hist.as_ref().map(|_| std::time::Instant::now());
+            let model = trainer.fit(fx, fy, fit_seed);
+            if let (Some(hist), Some(start)) = (&fold_hist, start) {
+                hist.record(start.elapsed().as_nanos() as u64);
+            }
+            model
+        };
         // Task `fold < k` trains a fold model and scores its out-of-fold
         // points; task `k` trains the full model. One batch, k+1 fits.
         let mut fitted = ce_parallel::par_map(k + 1, 1, |fold| {
             if fold == k {
-                return (Some(trainer.fit(x, y, seed.wrapping_add(k as u64))), Vec::new());
+                return (Some(timed_fit(x, y, seed.wrapping_add(k as u64))), Vec::new());
             }
             let (fx, fy): (Vec<Vec<f32>>, Vec<f64>) = (0..n)
                 .filter(|&i| fold_of[i] != fold)
                 .map(|i| (x[i].clone(), y[i]))
                 .unzip();
-            let model = trainer.fit(&fx, &fy, seed.wrapping_add(fold as u64));
+            let model = timed_fit(&fx, &fy, seed.wrapping_add(fold as u64));
             let fold_scores: Vec<f64> = (0..n)
                 .filter(|&i| fold_of[i] == fold)
                 .map(|i| score.score(y[i], model.predict(&x[i])))

@@ -47,6 +47,7 @@ mod localized;
 mod locally_weighted;
 mod mondrian;
 mod metrics;
+mod monitor;
 mod online;
 mod quantile;
 mod regressor;
@@ -69,6 +70,7 @@ pub use metrics::{
     coverage, interval_report, mean_width, median_width, percentiles, q_error,
     width_ratio, IntervalReport, Percentiles,
 };
+pub use monitor::{CoverageDrift, CoverageMonitor, CoverageMonitorConfig};
 pub use online::{OnlineConformal, WindowedConformal};
 pub use quantile::{
     conformal_quantile, conformal_quantile_lower, empirical_quantile, kth_smallest,

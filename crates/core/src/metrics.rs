@@ -154,4 +154,41 @@ mod tests {
     fn coverage_rejects_empty() {
         coverage(&[], &[]);
     }
+
+    #[test]
+    fn q_error_floor_rescues_degenerate_inputs() {
+        // Zero and negative estimates (a raw NN output can be either) are
+        // lifted to the floor instead of producing 0 or a negative ratio.
+        assert_eq!(q_error(0.0, 100.0, 1.0), 100.0);
+        assert_eq!(q_error(-7.0, 100.0, 1.0), 100.0);
+        assert_eq!(q_error(100.0, 0.0, 1.0), 100.0);
+        assert_eq!(q_error(-2.0, -3.0, 1.0), 1.0);
+        // Both at the floor: perfect score, not 0/0.
+        assert_eq!(q_error(0.0, 0.0, 1e-6), 1.0);
+        // The result is always >= 1 and finite for finite inputs.
+        for &(e, t) in &[(0.0, 1.0), (1e-12, 1e12), (5.0, 5.0), (-1.0, 2.0)] {
+            let q = q_error(e, t, 1e-9);
+            assert!(q >= 1.0 && q.is_finite(), "q_error({e}, {t}) = {q}");
+        }
+    }
+
+    #[test]
+    fn coverage_treats_nan_truth_as_miss_in_finite_intervals() {
+        // A NaN truth fails every comparison, so a finite interval misses it;
+        // coverage stays a well-defined fraction rather than NaN.
+        let ivs = [iv(0.0, 1.0), iv(0.0, 1.0)];
+        let c = coverage(&ivs, &[f64::NAN, 0.5]);
+        assert_eq!(c, 0.5);
+    }
+
+    #[test]
+    fn widths_of_nan_constructed_intervals_are_infinite_not_nan() {
+        // NaN endpoints degrade to conservative infinities at construction,
+        // so width aggregates are +inf (honestly useless) instead of NaN
+        // (silently poisonous).
+        let ivs = [iv(f64::NAN, 1.0), iv(0.0, 1.0)];
+        assert_eq!(mean_width(&ivs), f64::INFINITY);
+        let ivs = [iv(0.0, f64::NAN), iv(0.0, 1.0), iv(0.0, 2.0)];
+        assert!(median_width(&ivs).is_finite(), "median resists one bad interval");
+    }
 }

@@ -164,9 +164,13 @@ impl Breaker {
         }
     }
 
-    fn record_success(&mut self) {
+    /// Records a success; returns true when this transition closed a
+    /// previously non-Closed breaker.
+    fn record_success(&mut self) -> bool {
+        let closed = self.state != BreakerState::Closed;
         self.state = BreakerState::Closed;
         self.consecutive_failures = 0;
+        closed
     }
 
     /// Records a failure; returns true when this transition tripped the
@@ -316,10 +320,57 @@ impl ResilientService {
         self.chain.iter().map(|e| e.estimator.name()).collect()
     }
 
-    /// The per-estimator errors from the most recent query that exhausted
-    /// the whole chain (empty if no query has).
+    /// Capacity bound of the [`ResilientService::last_errors`] buffer: a
+    /// long-running chaos workload accumulates at most this many entries.
+    pub const LAST_ERRORS_CAP: usize = 64;
+
+    /// The per-estimator errors from recent queries that exhausted the whole
+    /// chain, oldest first (empty if no query has). Bounded to
+    /// [`ResilientService::LAST_ERRORS_CAP`] entries: older errors are
+    /// evicted from the front.
     pub fn last_errors(&self) -> &[(String, CardEstError)] {
         &self.last_errors
+    }
+
+    /// Appends one exhausted query's error trail, evicting the oldest
+    /// entries past [`ResilientService::LAST_ERRORS_CAP`].
+    fn push_last_errors(&mut self, errors: Vec<(String, CardEstError)>) {
+        self.last_errors.extend(errors);
+        if self.last_errors.len() > Self::LAST_ERRORS_CAP {
+            let excess = self.last_errors.len() - Self::LAST_ERRORS_CAP;
+            self.last_errors.drain(..excess);
+        }
+    }
+
+    /// Publishes the service's counters, per-position answer counts, and
+    /// breaker states to the global telemetry registry as gauges (they are
+    /// point-in-time readings of state the service owns). Breaker states
+    /// encode as Closed=0, HalfOpen=1, Open=2. No-op while telemetry is
+    /// disabled.
+    pub fn publish_telemetry(&self) {
+        if !ce_telemetry::enabled() {
+            return;
+        }
+        let g = |name: &str, v: f64| ce_telemetry::gauge(name).set(v);
+        g("resilient.queries", self.stats.queries as f64);
+        g("resilient.answered", self.stats.answered as f64);
+        g("resilient.floor_served", self.stats.floor_served as f64);
+        g("resilient.rejected_inputs", self.stats.rejected_inputs as f64);
+        g("resilient.panics_caught", self.stats.panics_caught as f64);
+        g("resilient.estimator_failures", self.stats.estimator_failures as f64);
+        g("resilient.breaker_trips", self.stats.breaker_trips as f64);
+        g("resilient.answer_rate", self.stats.answer_rate());
+        g("resilient.fallback_rate", self.stats.fallback_rate());
+        g("resilient.last_errors_buffered", self.last_errors.len() as f64);
+        for (position, entry) in self.chain.iter().enumerate() {
+            g(&format!("resilient.served_by.{position}"), self.stats.served_by[position] as f64);
+            let state = match entry.breaker.state {
+                BreakerState::Closed => 0.0,
+                BreakerState::HalfOpen => 1.0,
+                BreakerState::Open => 2.0,
+            };
+            g(&format!("resilient.breaker_state.{position}"), state);
+        }
     }
 
     fn sanitize(&self, features: &[f32]) -> Result<(), CardEstError> {
@@ -362,10 +413,14 @@ impl ResilientService {
         features: &[f32],
         call: impl Fn(&dyn PiEstimator, &[f32]) -> Result<PredictionInterval, CardEstError>,
     ) -> Result<PredictionInterval, CardEstError> {
+        let _span = ce_telemetry::Span::enter("resilient_serve");
         self.stats.queries += 1;
-        if let Err(e) = self.sanitize(features) {
-            self.stats.rejected_inputs += 1;
-            return Err(e);
+        {
+            let _sanitize = ce_telemetry::Span::enter("sanitize");
+            if let Err(e) = self.sanitize(features) {
+                self.stats.rejected_inputs += 1;
+                return Err(e);
+            }
         }
         let now = self.stats.queries;
         let mut errors: Vec<(String, CardEstError)> = Vec::new();
@@ -379,12 +434,25 @@ impl ResilientService {
                 continue;
             }
             let estimator = &*entry.estimator;
-            let outcome = catch_unwind(AssertUnwindSafe(|| call(estimator, features)));
+            let outcome = {
+                let _stage = ce_telemetry::Span::enter(if position == 0 {
+                    "predict"
+                } else {
+                    "fallback"
+                });
+                catch_unwind(AssertUnwindSafe(|| call(estimator, features)))
+            };
             let failure = match outcome {
                 Ok(Ok(interval)) => {
-                    entry.breaker.record_success();
+                    if entry.breaker.record_success() {
+                        ce_telemetry::counter("resilient.breaker_close").inc();
+                    }
                     self.stats.answered += 1;
                     self.stats.served_by[position] += 1;
+                    if ce_telemetry::enabled() {
+                        ce_telemetry::histogram("resilient.fallback_depth")
+                            .record(position as u64);
+                    }
                     return Ok(interval);
                 }
                 Ok(Err(e)) => {
@@ -399,13 +467,18 @@ impl ResilientService {
             errors.push((entry.estimator.name().to_string(), failure));
             if entry.breaker.record_failure(now, &self.breaker_config) {
                 self.stats.breaker_trips += 1;
+                ce_telemetry::counter("resilient.breaker_open").inc();
             }
         }
         let tried = errors.len();
-        self.last_errors = errors;
+        self.push_last_errors(errors);
         if self.conservative_floor {
             self.stats.answered += 1;
             self.stats.floor_served += 1;
+            if ce_telemetry::enabled() {
+                ce_telemetry::histogram("resilient.fallback_depth")
+                    .record(self.chain.len() as u64);
+            }
             return Ok(PredictionInterval::new(f64::NEG_INFINITY, f64::INFINITY));
         }
         Err(CardEstError::AllEstimatorsFailed { tried })
@@ -427,6 +500,12 @@ impl ResilientService {
         &mut self,
         queries: &[Vec<f32>],
     ) -> Vec<Result<PredictionInterval, CardEstError>> {
+        // Batch-level telemetry only: per-query stage spans stay off this
+        // path so instrumentation cost never lands inside the parallel loop.
+        let _span = ce_telemetry::Span::enter("resilient_batch");
+        if ce_telemetry::enabled() {
+            ce_telemetry::histogram("resilient.batch_size").record(queries.len() as u64);
+        }
         // Phase 1 (serial, mutating): one admission decision per estimator.
         let config = self.breaker_config;
         let now = self.stats.queries + 1;
@@ -464,6 +543,10 @@ impl ResilientService {
         });
 
         // Phase 3 (serial, mutating): fold outcomes in query-index order.
+        // The histogram handle is fetched once so the per-query cost while
+        // enabled is a few relaxed atomic ops, not a registry lookup.
+        let depth_hist =
+            ce_telemetry::enabled().then(|| ce_telemetry::histogram("resilient.fallback_depth"));
         let mut results = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
             self.stats.queries += 1;
@@ -475,21 +558,30 @@ impl ResilientService {
                 }
                 BatchOutcome::Served { position, interval, failures } => {
                     self.fold_failures(&failures, &admitted, now);
-                    self.chain[position].breaker.record_success();
+                    if self.chain[position].breaker.record_success() {
+                        ce_telemetry::counter("resilient.breaker_close").inc();
+                    }
                     self.stats.answered += 1;
                     self.stats.served_by[position] += 1;
+                    if let Some(hist) = &depth_hist {
+                        hist.record(position as u64);
+                    }
                     results.push(Ok(interval));
                 }
                 BatchOutcome::Exhausted { failures } => {
                     self.fold_failures(&failures, &admitted, now);
                     let tried = failures.len();
-                    self.last_errors = failures
+                    let errors: Vec<(String, CardEstError)> = failures
                         .into_iter()
                         .map(|(pos, _, e)| (self.chain[pos].estimator.name().to_string(), e))
                         .collect();
+                    self.push_last_errors(errors);
                     if self.conservative_floor {
                         self.stats.answered += 1;
                         self.stats.floor_served += 1;
+                        if let Some(hist) = &depth_hist {
+                            hist.record(self.chain.len() as u64);
+                        }
                         results.push(Ok(PredictionInterval::new(
                             f64::NEG_INFINITY,
                             f64::INFINITY,
@@ -518,6 +610,7 @@ impl ResilientService {
             }
             if self.chain[position].breaker.record_failure(now, &config) {
                 self.stats.breaker_trips += 1;
+                ce_telemetry::counter("resilient.breaker_open").inc();
             }
         }
     }
@@ -526,6 +619,7 @@ impl ResilientService {
     /// fallbacks stay calibrated even while idle). Unsanitizable inputs are
     /// dropped; a panicking `observe` is isolated and counted.
     pub fn observe(&mut self, features: &[f32], y_true: f64) {
+        let _span = ce_telemetry::Span::enter("resilient_observe");
         if self.sanitize(features).is_err() {
             self.stats.rejected_inputs += 1;
             return;
@@ -819,6 +913,59 @@ mod tests {
         let _ = svc.predict_interval_batch(&queries);
         assert_eq!(svc.stats().estimator_failures, failures_before);
         assert_eq!(svc.stats().served_by[1], 20);
+    }
+
+    #[test]
+    fn last_errors_buffer_is_bounded() {
+        let nan_model = |_: &[f32]| f64::NAN;
+        let primary = OnlineConformal::new(nan_model, AbsoluteResidual, &[], &[], 0.1);
+        let mut svc = ResilientService::new(Box::new(primary));
+        // Every query exhausts the single-estimator chain and appends one
+        // error; a long chaos workload must not grow the buffer past the cap.
+        for _ in 0..(ResilientService::LAST_ERRORS_CAP * 4) {
+            svc.interval(&[0.5]).expect("floor answers");
+        }
+        assert_eq!(svc.last_errors().len(), ResilientService::LAST_ERRORS_CAP);
+        // Entries are NaN failures until the breaker opens, CircuitOpen after.
+        assert!(svc.last_errors().iter().all(|(name, e)| name == "online-conformal"
+            && matches!(
+                e,
+                CardEstError::NonFiniteScore { .. } | CardEstError::CircuitOpen { .. }
+            )));
+        // The batched path shares the same bound.
+        let queries: Vec<Vec<f32>> = (0..200).map(|i| vec![i as f32 / 200.0]).collect();
+        let _ = svc.predict_interval_batch(&queries);
+        assert_eq!(svc.last_errors().len(), ResilientService::LAST_ERRORS_CAP);
+    }
+
+    #[test]
+    fn telemetry_exposes_stats_and_breaker_states() {
+        ce_telemetry::set_enabled(true);
+        let nan_model = |_: &[f32]| f64::NAN;
+        let primary = OnlineConformal::new(nan_model, AbsoluteResidual, &[], &[], 0.1);
+        let mut svc = ResilientService::new(Box::new(primary))
+            .with_fallback(Box::new(calibrated(healthy_model())))
+            .with_breaker(BreakerConfig { failure_threshold: 2, cooldown_queries: 1000 });
+        for i in 0..10 {
+            svc.interval(&[i as f32 / 10.0]).expect("fallback answers");
+        }
+        svc.publish_telemetry();
+        ce_telemetry::set_enabled(false);
+        let snapshot = ce_telemetry::global().snapshot();
+        let gauge = |name: &str| match snapshot.get(name) {
+            Some(ce_telemetry::MetricValue::Gauge(v)) => *v,
+            other => panic!("expected gauge {name}, got {other:?}"),
+        };
+        assert_eq!(gauge("resilient.queries"), 10.0);
+        assert_eq!(gauge("resilient.served_by.1"), 10.0);
+        assert_eq!(gauge("resilient.breaker_state.0"), 2.0, "primary breaker is Open");
+        assert_eq!(gauge("resilient.breaker_state.1"), 0.0, "fallback breaker is Closed");
+        assert_eq!(gauge("resilient.fallback_rate"), 1.0);
+        // Transition counters and the depth histogram recorded live. Other
+        // concurrently running tests may also record while the flag is up,
+        // so assert lower bounds, not equality.
+        assert!(ce_telemetry::counter("resilient.breaker_open").get() >= 1);
+        assert!(ce_telemetry::histogram("resilient.fallback_depth").count() >= 10);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::error::{check_alpha, check_lengths, CardEstError};
 use crate::exchangeability::ExchangeabilityMartingale;
 use crate::interval::PredictionInterval;
+use crate::monitor::{CoverageMonitor, CoverageMonitorConfig};
 use crate::online::{OnlineConformal, WindowedConformal};
 use crate::regressor::Regressor;
 use crate::score::ScoreFunction;
@@ -54,6 +55,9 @@ pub struct PiService<M, S> {
     /// Observations since the last mode switch to Drifted.
     since_switch: usize,
     shifts_detected: usize,
+    /// Out-of-band health signal: rolling coverage over served intervals.
+    /// Nothing in the serving path reads it back (DESIGN.md §5b).
+    coverage: CoverageMonitor,
 }
 
 impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
@@ -83,6 +87,12 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
             config.window,
             config.alpha,
         );
+        let coverage = CoverageMonitor::new(CoverageMonitorConfig {
+            alpha: config.alpha,
+            window: config.window,
+            min_samples: (config.window / 4).max(30),
+            ..Default::default()
+        });
         PiService {
             model,
             score,
@@ -93,6 +103,7 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
             mode: ServiceMode::Stable,
             since_switch: 0,
             shifts_detected: 0,
+            coverage,
         }
     }
 
@@ -136,6 +147,14 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
     /// filling after a shift, its (conservative, possibly infinite)
     /// threshold applies — clip downstream.
     pub fn interval(&self, features: &[f32]) -> PredictionInterval {
+        let _span = ce_telemetry::Span::enter("pi_interval");
+        self.interval_inner(features)
+    }
+
+    /// The uninstrumented serving path, shared by [`PiService::interval`] and
+    /// the batch path (which carries batch-level telemetry instead, so
+    /// per-query spans never land inside the parallel loop).
+    fn interval_inner(&self, features: &[f32]) -> PredictionInterval {
         match self.mode {
             ServiceMode::Stable => self.online.interval(features),
             ServiceMode::Drifted => self.window.interval(features),
@@ -163,7 +182,11 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
         M: Sync,
         S: Sync,
     {
-        ce_parallel::par_map(queries.len(), 16, |i| self.interval(&queries[i]))
+        let _span = ce_telemetry::Span::enter("pi_batch");
+        if ce_telemetry::enabled() {
+            ce_telemetry::histogram("pi.batch_size").record(queries.len() as u64);
+        }
+        ce_parallel::par_map(queries.len(), 16, |i| self.interval_inner(&queries[i]))
     }
 
     /// Feeds back an executed query's truth: updates both calibrators and
@@ -174,6 +197,12 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
     /// of the drift monitor, whose betting martingale is only defined over
     /// finite scores.
     pub fn observe(&mut self, features: &[f32], y_true: f64) {
+        let _span = ce_telemetry::Span::enter("pi_observe");
+        // Score the served interval against the truth *before* the
+        // calibrators absorb it — this is the monitor's honest view of what
+        // the service actually answered for this query.
+        let served = self.interval_inner(features);
+        self.coverage.observe_interval(&served, y_true);
         let score = self.score.score(y_true, self.model.predict(features));
         self.online.observe(features, y_true);
         self.window.observe(features, y_true);
@@ -191,6 +220,7 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
                     // Restart the monitor so recovery is judged on the new
                     // regime only.
                     self.monitor = ExchangeabilityMartingale::new();
+                    ce_telemetry::counter("pi.mode_to_drifted").inc();
                 }
             }
             ServiceMode::Drifted => {
@@ -218,6 +248,7 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
                 if agree {
                     self.mode = ServiceMode::Stable;
                     self.since_switch = 0;
+                    ce_telemetry::counter("pi.mode_to_stable").inc();
                 }
             }
         }
@@ -226,6 +257,13 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
     /// Total calibration scores absorbed.
     pub fn calibration_size(&self) -> usize {
         self.online.calibration_size()
+    }
+
+    /// The rolling coverage/width health monitor fed by
+    /// [`PiService::observe`]. Strictly out-of-band: serving decisions never
+    /// read it.
+    pub fn coverage_monitor(&self) -> &CoverageMonitor {
+        &self.coverage
     }
 }
 
@@ -357,6 +395,28 @@ mod tests {
         assert!(svc.interval(&[0.5]).contains(0.5));
         assert!(svc.try_interval(&[0.5]).is_ok());
         assert!(svc.try_interval(&[f32::NAN]).is_err());
+    }
+
+    #[test]
+    fn coverage_monitor_alarms_on_shift_and_stays_silent_when_calm() {
+        let (mut svc, mut rng) = service(5);
+        for _ in 0..300 {
+            let (x, y) = calm_point(&mut rng);
+            svc.observe(&x, y);
+        }
+        assert!(svc.coverage_monitor().drift().is_none(), "false alarm on calm stream");
+        assert_eq!(svc.coverage_monitor().alarms_raised(), 0);
+        // A hard shift must raise the drift alarm within one window.
+        let mut alarmed_after = None;
+        for i in 0..svc.coverage_monitor().config().window {
+            let (x, y) = shifted_point(&mut rng);
+            svc.observe(&x, y);
+            if svc.coverage_monitor().drift().is_some() {
+                alarmed_after = Some(i + 1);
+                break;
+            }
+        }
+        assert!(alarmed_after.is_some(), "coverage drift not raised within one window");
     }
 
     #[test]

@@ -36,6 +36,7 @@ impl<M: Regressor, S: ScoreFunction> SplitConformal<M, S> {
     {
         assert_eq!(calib_x.len(), calib_y.len(), "calibration set length mismatch");
         assert!(!calib_x.is_empty(), "empty calibration set");
+        let _span = ce_telemetry::Span::enter("split_calibrate");
         let scores = ce_parallel::par_map(calib_x.len(), 64, |i| {
             score.score(calib_y[i], model.predict(&calib_x[i]))
         });
@@ -59,6 +60,7 @@ impl<M: Regressor, S: ScoreFunction> SplitConformal<M, S> {
     {
         check_lengths(calib_x.len(), calib_y.len())?;
         check_alpha(alpha)?;
+        let _span = ce_telemetry::Span::enter("split_calibrate");
         let scores = ce_parallel::par_map(calib_x.len(), 64, |i| {
             score.score(calib_y[i], model.predict(&calib_x[i]))
         });

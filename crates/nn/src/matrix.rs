@@ -23,6 +23,12 @@ const K_TILE: usize = 128;
 /// Mul-adds per parallel task, sized to amortize dispatch overhead.
 const TASK_FLOPS: usize = 1 << 16;
 
+/// Smallest product (in flops, `2·m·k·n`) whose throughput is published to
+/// the `nn.matmul_gflops` telemetry gauge. Serving-path products (one row
+/// through a small layer, ~8k flops) stay below this floor so enabling
+/// telemetry adds no clock reads to the batched serving path.
+const MATMUL_GAUGE_MIN_FLOPS: f64 = 32_768.0;
+
 /// Rows of output handled by one parallel task; pure shape arithmetic.
 fn rows_per_task(flops_per_row: usize) -> usize {
     TASK_FLOPS.div_ceil(flops_per_row.max(1)).max(1)
@@ -216,6 +222,11 @@ impl Matrix {
         if out.data.is_empty() {
             return out;
         }
+        // Throughput gauge for training-sized products only: the flop floor
+        // keeps serving-path row-vector matmuls free of clock reads.
+        let flops = 2.0 * self.rows as f64 * k_dim as f64 * n as f64;
+        let timed = ce_telemetry::enabled() && flops >= MATMUL_GAUGE_MIN_FLOPS;
+        let start = timed.then(std::time::Instant::now);
         let block = rows_per_task(k_dim * n);
         par_chunks_mut(&mut out.data, block * n, |blk, out_block| {
             for (r, out_row) in out_block.chunks_mut(n).enumerate() {
@@ -226,6 +237,12 @@ impl Matrix {
                 }
             }
         });
+        if let Some(start) = start {
+            let secs = start.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                ce_telemetry::gauge("nn.matmul_gflops").set(flops / secs / 1e9);
+            }
+        }
         out
     }
 

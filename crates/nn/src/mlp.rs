@@ -158,7 +158,10 @@ impl Mlp {
         let mut order: Vec<usize> = (0..n).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut history = Vec::with_capacity(epochs);
+        let epoch_hist =
+            ce_telemetry::enabled().then(|| ce_telemetry::histogram("nn.epoch_ns"));
         for _ in 0..epochs {
+            let start = epoch_hist.as_ref().map(|_| std::time::Instant::now());
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
@@ -169,6 +172,9 @@ impl Mlp {
                 let yb: Vec<f32> = chunk.iter().map(|&i| y[i]).collect();
                 epoch_loss += self.train_batch(&xb, &yb, loss);
                 batches += 1;
+            }
+            if let (Some(hist), Some(start)) = (&epoch_hist, start) {
+                hist.record(start.elapsed().as_nanos() as u64);
             }
             history.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
         }

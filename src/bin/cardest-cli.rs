@@ -9,10 +9,24 @@
 //! and locally weighted conformal wrappers, then reads textual queries from
 //! stdin (`make = 3 AND unladen_weight in 10..40`) and answers each with the
 //! exact count, the model estimate, and both prediction intervals.
+//!
+//! The `stats` subcommand instead serves a fault-injected stream through a
+//! [`ResilientService`] fallback chain with telemetry enabled, then dumps
+//! resilience counters, per-position breaker states, the bounded
+//! `last_errors` ring buffer, and the metrics registry:
+//!
+//! ```text
+//! cargo run --release --bin cardest-cli -- stats --format text
+//! cargo run --release --bin cardest-cli -- stats --format prom
+//! ```
 
 use std::io::{BufRead, Write};
 
-use cardest::conformal::Regressor;
+use cardest::conformal::{
+    install_quiet_chaos_hook, AbsoluteResidual, BreakerState, ChaosConfig, ChaosRegressor,
+    OnlineConformal, PiEstimator, PredictionInterval, Regressor, ResilientService,
+};
+use cardest::estimators::{AviModel, SamplingEstimator};
 use cardest::pipeline::{
     run_locally_weighted, run_split_conformal, train_lwnn, train_mscn, train_naru,
     ScoreKind, SingleTableBench, SplitSpec,
@@ -57,7 +71,9 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: cardest-cli [--dataset dmv|census|forest|power] \
-                     [--rows N] [--model mscn|lwnn|naru] [--alpha A] [--queries N]"
+                     [--rows N] [--model mscn|lwnn|naru] [--alpha A] [--queries N]\n\
+                     \x20      cardest-cli stats [--dataset D] [--rows N] [--stream N] \
+                     [--format text|json|prom]"
                 );
                 std::process::exit(0);
             }
@@ -71,7 +87,200 @@ fn parse_args() -> Options {
     opts
 }
 
+/// Options for the `stats` subcommand.
+struct StatsOptions {
+    dataset: String,
+    rows: usize,
+    queries: usize,
+    stream: usize,
+    format: String,
+}
+
+fn parse_stats_args(args: &[String]) -> StatsOptions {
+    let mut opts = StatsOptions {
+        dataset: "dmv".into(),
+        rows: 10_000,
+        queries: 800,
+        stream: 600,
+        format: "text".into(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {}", args[i]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--dataset" => opts.dataset = value(i),
+            "--rows" => opts.rows = value(i).parse().expect("--rows takes a number"),
+            "--queries" => {
+                opts.queries = value(i).parse().expect("--queries takes a number")
+            }
+            "--stream" => opts.stream = value(i).parse().expect("--stream takes a number"),
+            "--format" => opts.format = value(i),
+            "--help" | "-h" => {
+                println!(
+                    "usage: cardest-cli stats [--dataset dmv|census|forest|power] \
+                     [--rows N] [--queries N] [--stream N] [--format text|json|prom]\n\n\
+                     Serves a chaos-injected query stream (20% NaN, 5% panic primary) \
+                     through the resilient fallback chain with telemetry enabled, then \
+                     prints resilience stats, breaker states, recent errors, and the \
+                     metrics registry in the chosen format."
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown stats flag {other} (try stats --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    if !matches!(opts.format.as_str(), "text" | "json" | "prom") {
+        eprintln!("unknown --format `{}` (text|json|prom)", opts.format);
+        std::process::exit(2);
+    }
+    opts
+}
+
+/// `cardest-cli stats`: build the MSCN→AVI→sampling fallback chain with a
+/// chaos-wrapped primary, serve a prequential stream with telemetry on, and
+/// dump the observability surface (resilience counters, breaker states,
+/// bounded error ring, metrics registry).
+fn run_stats(args: &[String]) {
+    let opts = parse_stats_args(args);
+    let seed = 42;
+    let alpha = 0.1;
+    let Some(table) = cardest::datagen::by_name(&opts.dataset, opts.rows, seed) else {
+        eprintln!("unknown dataset `{}` (dmv|census|forest|power)", opts.dataset);
+        std::process::exit(2);
+    };
+    eprintln!(
+        "stats: dataset {} ({} rows), {} labeled queries, stream {}",
+        opts.dataset,
+        table.n_rows(),
+        opts.queries,
+        opts.stream
+    );
+    let bench = SingleTableBench::prepare(
+        table,
+        opts.queries,
+        &GeneratorConfig::low_selectivity(),
+        SplitSpec::default(),
+        seed,
+    );
+    let floor = 1.0 / bench.table.n_rows() as f64;
+
+    eprintln!("training chain: chaos(mscn) -> avi -> sampling ...");
+    install_quiet_chaos_hook();
+    let mscn = train_mscn(&bench.feat, &bench.train, 10, seed);
+    let chaos = ChaosConfig {
+        nan_rate: 0.2,
+        panic_rate: 0.05,
+        warmup_calls: bench.calib.len() as u64,
+        seed,
+        ..Default::default()
+    };
+    let primary: Box<dyn PiEstimator> = Box::new(OnlineConformal::new(
+        ChaosRegressor::new(mscn, chaos),
+        AbsoluteResidual,
+        &bench.calib.x,
+        &bench.calib.y,
+        alpha,
+    ));
+    let avi = AviModel::build(&bench.table, floor);
+    let sampling =
+        SamplingEstimator::build(&bench.table, (opts.rows / 100).max(50), seed + 7, floor);
+    let mut service = ResilientService::new(primary)
+        .with_fallback(Box::new(OnlineConformal::new(
+            avi,
+            AbsoluteResidual,
+            &bench.calib.x,
+            &bench.calib.y,
+            alpha,
+        )))
+        .with_fallback(Box::new(OnlineConformal::new(
+            sampling,
+            AbsoluteResidual,
+            &bench.calib.x,
+            &bench.calib.y,
+            alpha,
+        )))
+        .with_expected_dims(bench.test.x[0].len());
+
+    ce_telemetry::set_enabled(true);
+    eprintln!("serving {} queries prequentially under chaos ...", opts.stream);
+    for qi in 0..opts.stream {
+        let i = qi % bench.test.len();
+        let x = &bench.test.x[i];
+        let _iv = service
+            .interval(x)
+            .unwrap_or_else(|_| PredictionInterval::new(f64::NEG_INFINITY, f64::INFINITY));
+        service.observe(x, bench.test.y[i]);
+    }
+    // Mirror the counters into the registry so every export format sees them.
+    service.publish_telemetry();
+
+    match opts.format.as_str() {
+        "json" => println!("{}", ce_telemetry::global().to_json()),
+        "prom" => print!("{}", ce_telemetry::global().to_prometheus()),
+        _ => print_stats_text(&service),
+    }
+    ce_telemetry::set_enabled(false);
+}
+
+/// Human-readable dump of the service's observability surface.
+fn print_stats_text(service: &ResilientService) {
+    let stats = service.stats();
+    println!("resilience stats ({} queries served)", stats.queries);
+    println!("  answered ............ {} (rate {:.3})", stats.answered, stats.answer_rate());
+    println!("  fallback rate ....... {:.3}", stats.fallback_rate());
+    println!("  floor served ........ {}", stats.floor_served);
+    println!("  rejected inputs ..... {}", stats.rejected_inputs);
+    println!("  panics caught ....... {}", stats.panics_caught);
+    println!("  estimator failures .. {}", stats.estimator_failures);
+    println!("  breaker trips ....... {}", stats.breaker_trips);
+    println!("fallback chain:");
+    for (pos, name) in service.chain_names().iter().enumerate() {
+        let state = match service.breaker_state(pos) {
+            Some(BreakerState::Closed) => "closed",
+            Some(BreakerState::HalfOpen) => "half-open",
+            Some(BreakerState::Open) => "OPEN",
+            None => "?",
+        };
+        let served = stats.served_by.get(pos).copied().unwrap_or(0);
+        println!("  [{pos}] {name}: breaker {state}, served {served}");
+    }
+    let errors = service.last_errors();
+    println!(
+        "last errors ({} buffered, cap {}, oldest first):",
+        errors.len(),
+        ResilientService::LAST_ERRORS_CAP
+    );
+    for (who, err) in errors.iter().rev().take(10).rev() {
+        println!("  {who}: {err}");
+    }
+    if errors.len() > 10 {
+        println!("  ... ({} older entries omitted)", errors.len() - 10);
+    }
+    println!("\nmetrics registry (use --format json|prom for machine-readable export):");
+    for line in ce_telemetry::global().to_prometheus().lines() {
+        if line.starts_with("cardest_resilient_") && !line.starts_with('#') {
+            println!("  {line}");
+        }
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("stats") {
+        run_stats(&args[1..]);
+        return;
+    }
     let opts = parse_args();
     let seed = 42;
     let Some(table) = cardest::datagen::by_name(&opts.dataset, opts.rows, seed) else {

@@ -1,0 +1,201 @@
+//! Observability-layer integration tests: [`CoverageMonitor`] sliding-window
+//! semantics as properties against a reference implementation, and the
+//! telemetry registry's JSON/Prometheus exports round-tripped through a real
+//! JSON parser to prove both formats carry identical values.
+
+use std::collections::VecDeque;
+
+use cardest::conformal::{CoverageMonitor, CoverageMonitorConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Rolling coverage always equals the exact covered fraction of a
+    /// reference sliding window — and is therefore always in `[0, 1]` and
+    /// based on at most `window` observations.
+    #[test]
+    fn coverage_matches_reference_window(
+        outcomes in prop::collection::vec(any::<bool>(), 1..300),
+        window in 1usize..64,
+    ) {
+        let mut m = CoverageMonitor::new(CoverageMonitorConfig {
+            window,
+            min_samples: 1,
+            ..Default::default()
+        });
+        let mut reference: VecDeque<bool> = VecDeque::new();
+        for (i, &covered) in outcomes.iter().enumerate() {
+            m.observe(covered, i as f64);
+            if reference.len() == window {
+                reference.pop_front();
+            }
+            reference.push_back(covered);
+            let expected = reference.iter().filter(|&&c| c).count() as f64
+                / reference.len() as f64;
+            prop_assert!((m.coverage() - expected).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&m.coverage()));
+            prop_assert_eq!(m.len(), reference.len());
+        }
+        prop_assert_eq!(m.observed_total(), outcomes.len() as u64);
+    }
+
+    /// Eviction is strictly FIFO: with strictly increasing widths, the
+    /// narrowest surviving width identifies exactly which observations were
+    /// evicted, and the widest is always the most recent.
+    #[test]
+    fn window_evicts_in_fifo_order(
+        n in 1usize..300,
+        window in 1usize..48,
+    ) {
+        let mut m = CoverageMonitor::new(CoverageMonitorConfig {
+            window,
+            min_samples: 1,
+            ..Default::default()
+        });
+        for i in 0..n {
+            m.observe(true, i as f64);
+        }
+        let kept = n.min(window);
+        prop_assert_eq!(m.len(), kept);
+        prop_assert_eq!(m.width_quantile(0.0), (n - kept) as f64);
+        prop_assert_eq!(m.width_quantile(1.0), (n - 1) as f64);
+    }
+
+    /// Hysteresis invariants hold after every observation: an active alarm
+    /// implies coverage below the clear point; a silent monitor with a
+    /// full-enough window implies coverage at or above the raise floor; and
+    /// the activation count never decreases.
+    #[test]
+    fn alarm_hysteresis_invariants(
+        outcomes in prop::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let config = CoverageMonitorConfig {
+            window: 40,
+            min_samples: 10,
+            ..Default::default()
+        };
+        let raise_floor = 1.0 - config.alpha - config.epsilon;
+        let clear_point = 1.0 - config.alpha - 0.5 * config.epsilon;
+        let mut m = CoverageMonitor::new(config);
+        let mut last_alarms = 0;
+        for &covered in &outcomes {
+            m.observe(covered, 1.0);
+            if m.drift().is_some() {
+                prop_assert!(
+                    m.coverage() < clear_point,
+                    "active alarm with coverage {} >= clear point {clear_point}",
+                    m.coverage()
+                );
+            } else if m.len() >= config.min_samples {
+                prop_assert!(
+                    m.coverage() >= raise_floor,
+                    "silent monitor with coverage {} < floor {raise_floor}",
+                    m.coverage()
+                );
+            }
+            prop_assert!(m.alarms_raised() >= last_alarms);
+            last_alarms = m.alarms_raised();
+        }
+    }
+}
+
+/// Parses Prometheus text exposition into `(metric-with-labels, value)`
+/// pairs, skipping `# TYPE` comment lines.
+fn parse_prometheus(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| {
+            let (name, value) = l.rsplit_once(' ').expect("prom line is `name value`");
+            (name.to_string(), value.parse().expect("prom value parses as f64"))
+        })
+        .collect()
+}
+
+fn prom_value(prom: &[(String, f64)], name: &str) -> f64 {
+    prom.iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("metric `{name}` missing from prometheus export"))
+        .1
+}
+
+/// `object.field` as an f64, panicking with the path on any mismatch.
+fn json_num(value: &serde_json::Value, field: &str) -> f64 {
+    value
+        .field(field)
+        .and_then(serde_json::Value::as_f64)
+        .unwrap_or_else(|e| panic!("field `{field}`: {e}"))
+}
+
+/// The acceptance check for the export layer: record into a private
+/// registry, then parse the JSON export with a real JSON parser and the
+/// Prometheus export by hand, and verify both carry the same counter,
+/// gauge, and histogram values (including every cumulative bucket).
+#[test]
+fn json_and_prometheus_exports_round_trip() {
+    let registry = ce_telemetry::Registry::new();
+    ce_telemetry::set_enabled(true);
+    registry.counter("events.total").add(42);
+    registry.gauge("queue.depth").set(7.5);
+    let samples: [u64; 8] = [0, 1, 2, 3, 100, 1000, 65_535, 1_000_000];
+    let h = registry.histogram("latency.ns");
+    for v in samples {
+        h.record(v);
+    }
+    let json_text = registry.to_json();
+    let prom_text = registry.to_prometheus();
+    ce_telemetry::set_enabled(false);
+
+    let json = serde_json::parse(&json_text).expect("JSON export parses");
+    let prom = parse_prometheus(&prom_text);
+
+    // Counter and gauge agree across formats.
+    let counters = json.field("counters").expect("counters section");
+    assert_eq!(json_num(counters, "events.total"), 42.0);
+    assert_eq!(prom_value(&prom, "cardest_events_total"), 42.0);
+    let gauges = json.field("gauges").expect("gauges section");
+    assert_eq!(json_num(gauges, "queue.depth"), 7.5);
+    assert_eq!(prom_value(&prom, "cardest_queue_depth"), 7.5);
+
+    // Histogram summary values agree.
+    let sum: u64 = samples.iter().sum();
+    let hist = json
+        .field("histograms")
+        .and_then(|h| h.field("latency.ns"))
+        .expect("latency.ns histogram");
+    assert_eq!(json_num(hist, "count"), samples.len() as f64);
+    assert_eq!(json_num(hist, "sum"), sum as f64);
+    assert_eq!(json_num(hist, "max"), 1_000_000.0);
+    assert_eq!(prom_value(&prom, "cardest_latency_ns_count"), samples.len() as f64);
+    assert_eq!(prom_value(&prom, "cardest_latency_ns_sum"), sum as f64);
+
+    // Every cumulative bucket in the JSON export has a Prometheus twin with
+    // the identical count, and vice versa (same number of bucket lines).
+    let serde_json::Value::Array(json_buckets) = hist.field("buckets").expect("buckets")
+    else {
+        panic!("buckets is not an array");
+    };
+    assert!(!json_buckets.is_empty());
+    for pair in json_buckets {
+        let serde_json::Value::Array(pair) = pair else { panic!("bucket is [le, cum]") };
+        let label = match &pair[0] {
+            serde_json::Value::Num(le) => format!("{le:.0}"),
+            serde_json::Value::Str(s) => {
+                assert_eq!(s, "+Inf", "non-numeric le is +Inf");
+                s.clone()
+            }
+            other => panic!("unexpected le {other:?}"),
+        };
+        let cum = pair[1].as_f64().expect("cumulative count");
+        let prom_bucket =
+            prom_value(&prom, &format!("cardest_latency_ns_bucket{{le=\"{label}\"}}"));
+        assert_eq!(prom_bucket, cum, "bucket le={label} diverges across formats");
+    }
+    let prom_bucket_lines =
+        prom.iter().filter(|(n, _)| n.starts_with("cardest_latency_ns_bucket")).count();
+    assert_eq!(prom_bucket_lines, json_buckets.len());
+
+    // The +Inf bucket equals the total count in both formats.
+    let last = json_buckets.last().unwrap();
+    let serde_json::Value::Array(last) = last else { panic!("bucket is [le, cum]") };
+    assert_eq!(last[0], serde_json::Value::Str("+Inf".into()));
+    assert_eq!(last[1].as_f64().unwrap(), samples.len() as f64);
+}

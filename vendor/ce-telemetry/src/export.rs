@@ -1,0 +1,221 @@
+//! Hand-rolled JSON and Prometheus text exposition (no serde dependency).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metric::bucket_upper_bound;
+use crate::{HistogramSnapshot, MetricValue, Registry};
+
+/// JSON number for an `f64`: `Debug` formatting is valid JSON for finite
+/// values; non-finite values become `null` (JSON has no NaN/Inf literals).
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Cumulative `(le, count)` pairs for the occupied buckets plus the
+/// `+Inf` total — the shared shape of both exports, so round-tripping either
+/// format recovers identical values.
+fn cumulative_buckets(h: &HistogramSnapshot) -> Vec<(Option<u64>, u64)> {
+    let mut out = Vec::new();
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        if let Some(le) = bucket_upper_bound(i) {
+            out.push((Some(le), cumulative));
+        }
+    }
+    out.push((None, h.count));
+    out
+}
+
+fn json_histogram(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = cumulative_buckets(h)
+        .into_iter()
+        .map(|(le, cum)| match le {
+            Some(le) => format!("[{le}, {cum}]"),
+            None => format!("[\"+Inf\", {cum}]"),
+        })
+        .collect();
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+        h.count,
+        h.sum,
+        h.max,
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99),
+        buckets.join(", ")
+    )
+}
+
+/// Renders a snapshot as a JSON object with `counters`, `gauges`, and
+/// `histograms` sections.
+pub(crate) fn to_json(snapshot: &BTreeMap<String, MetricValue>) -> String {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (name, value) in snapshot {
+        let key = json_escape(name);
+        match value {
+            MetricValue::Counter(v) => counters.push(format!("\"{key}\": {v}")),
+            MetricValue::Gauge(v) => gauges.push(format!("\"{key}\": {}", json_f64(*v))),
+            MetricValue::Histogram(h) => {
+                histograms.push(format!("\"{key}\": {}", json_histogram(h)));
+            }
+        }
+    }
+    format!(
+        "{{\n  \"counters\": {{{}}},\n  \"gauges\": {{{}}},\n  \"histograms\": {{{}}}\n}}",
+        counters.join(", "),
+        gauges.join(", "),
+        histograms.join(", ")
+    )
+}
+
+/// Prometheus metric name: `cardest_` prefix, any character outside
+/// `[a-zA-Z0-9_]` replaced by `_`.
+fn prom_name(name: &str) -> String {
+    let sanitized: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    format!("cardest_{sanitized}")
+}
+
+fn prom_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value:?}")
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub(crate) fn to_prometheus(snapshot: &BTreeMap<String, MetricValue>) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot {
+        let pname = prom_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {pname} counter");
+                let _ = writeln!(out, "{pname} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {pname} gauge");
+                let _ = writeln!(out, "{pname} {}", prom_f64(*v));
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {pname} histogram");
+                for (le, cum) in cumulative_buckets(h) {
+                    let le = match le {
+                        Some(le) => le.to_string(),
+                        None => "+Inf".to_string(),
+                    };
+                    let _ = writeln!(out, "{pname}_bucket{{le=\"{le}\"}} {cum}");
+                }
+                let _ = writeln!(out, "{pname}_sum {}", h.sum);
+                let _ = writeln!(out, "{pname}_count {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+impl Registry {
+    /// Renders every registered metric as a JSON object.
+    pub fn to_json(&self) -> String {
+        to_json(&self.snapshot())
+    }
+
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format (metric names get a `cardest_` prefix and are sanitized).
+    pub fn to_prometheus(&self) -> String {
+        to_prometheus(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let registry = Registry::new();
+        registry.counter("queries").add(7);
+        registry.gauge("gflops").set(1.25);
+        let h = registry.histogram("span.serve/predict");
+        for _ in 0..3 {
+            h.record(10);
+        }
+        h.record(1000);
+        registry
+    }
+
+    #[test]
+    fn json_export_contains_all_sections() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let registry = sample_registry();
+        crate::set_enabled(false);
+        let json = registry.to_json();
+        assert!(json.contains("\"queries\": 7"), "{json}");
+        assert!(json.contains("\"gflops\": 1.25"), "{json}");
+        assert!(json.contains("\"span.serve/predict\": {\"count\": 4, \"sum\": 1030, \"max\": 1000"), "{json}");
+        assert!(json.contains("[15, 3], [1023, 4], [\"+Inf\", 4]"), "{json}");
+    }
+
+    #[test]
+    fn prometheus_export_has_cumulative_buckets() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let registry = sample_registry();
+        crate::set_enabled(false);
+        let text = registry.to_prometheus();
+        assert!(text.contains("# TYPE cardest_queries counter\ncardest_queries 7\n"), "{text}");
+        assert!(text.contains("cardest_gflops 1.25"), "{text}");
+        assert!(text.contains("cardest_span_serve_predict_bucket{le=\"15\"} 3"), "{text}");
+        assert!(text.contains("cardest_span_serve_predict_bucket{le=\"1023\"} 4"), "{text}");
+        assert!(text.contains("cardest_span_serve_predict_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("cardest_span_serve_predict_sum 1030"), "{text}");
+        assert!(text.contains("cardest_span_serve_predict_count 4"), "{text}");
+    }
+
+    #[test]
+    fn non_finite_gauges_export_safely() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let registry = Registry::new();
+        registry.gauge("bad").set(f64::NAN);
+        registry.gauge("inf").set(f64::INFINITY);
+        crate::set_enabled(false);
+        let json = registry.to_json();
+        assert!(json.contains("\"bad\": null"), "{json}");
+        assert!(json.contains("\"inf\": null"), "{json}");
+        let text = registry.to_prometheus();
+        assert!(text.contains("cardest_bad NaN"), "{text}");
+        assert!(text.contains("cardest_inf +Inf"), "{text}");
+    }
+}

@@ -1,0 +1,94 @@
+//! # ce-telemetry — out-of-band observability for the cardest workspace
+//!
+//! A dependency-free (std-only) telemetry substrate, vendored like
+//! `ce-parallel`: a thread-safe metrics registry (atomic counters, gauges,
+//! fixed-bucket log2 histograms with percentile reads), lightweight
+//! hierarchical timing spans, and dual export as JSON and Prometheus text
+//! exposition.
+//!
+//! ## Out-of-band contract
+//!
+//! Telemetry observes computations, it never participates in them: no
+//! instrumented code path reads a metric back to make a decision, so enabling
+//! or disabling telemetry cannot change any computed result — experiment
+//! outputs stay byte-identical either way. Recording is globally gated by
+//! [`set_enabled`]; while disabled (the default) every record operation
+//! reduces to one relaxed atomic load and spans never read the clock, so the
+//! disabled cost on a hot path is a branch.
+//!
+//! ## Shape
+//!
+//! * [`Counter`] — monotonically increasing `u64`.
+//! * [`Gauge`] — last-write-wins `f64` (stored as bits in an `AtomicU64`).
+//! * [`Histogram`] — 64 fixed log2 buckets over `u64` samples (bucket *i*
+//!   holds values with bit length *i*, i.e. `[2^(i-1), 2^i)`), plus sum,
+//!   count, and max; [`Histogram::quantile`] reads are conservative (they
+//!   return the upper bound of the bucket containing the rank).
+//! * [`Span`] — RAII timer; nested spans build a `/`-separated path per
+//!   thread and record into the histogram `span.<path>` on drop.
+//! * [`Registry`] — named metrics behind a mutex for registration; handles
+//!   are `Arc`-backed so recording itself is lock-free.
+//!
+//! ```
+//! ce_telemetry::set_enabled(true);
+//! ce_telemetry::counter("queries").add(3);
+//! {
+//!     let _outer = ce_telemetry::Span::enter("serve");
+//!     let _inner = ce_telemetry::Span::enter("predict");
+//!     // dropping records span.serve/predict, then span.serve
+//! }
+//! let json = ce_telemetry::global().to_json();
+//! assert!(json.contains("\"queries\": 3"));
+//! ce_telemetry::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+
+mod export;
+mod metric;
+mod registry;
+mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{global, MetricValue, Registry};
+pub use span::Span;
+
+/// Global recording switch; off by default.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns telemetry recording on or off process-wide. Registration and export
+/// work either way; only *recording* (and span clock reads) is gated.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A counter handle from the global registry.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// A gauge handle from the global registry.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// A histogram handle from the global registry.
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    // Tests that toggle the global enable flag or reset the global registry
+    // serialize on this lock so they cannot race each other.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

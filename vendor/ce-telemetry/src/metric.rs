@@ -1,0 +1,295 @@
+//! The three metric primitives: counter, gauge, log2-bucket histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets. Bucket `i` (for `i >= 1`) holds samples whose
+/// bit length is `i`, i.e. values in `[2^(i-1), 2^i)`; bucket 0 holds exactly
+/// the value 0; the last bucket absorbs everything from `2^62` up.
+pub(crate) const N_BUCKETS: usize = 64;
+
+/// Bucket index of one sample.
+#[inline]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (N_BUCKETS - value.leading_zeros() as usize).min(N_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound (`le`) of bucket `i`; `None` for the open-ended
+/// last bucket.
+pub(crate) fn bucket_upper_bound(i: usize) -> Option<u64> {
+    if i >= N_BUCKETS - 1 {
+        None
+    } else {
+        Some((1u64 << i) - 1)
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct CounterCore {
+    value: AtomicU64,
+}
+
+/// A monotonically increasing counter. Cloning shares the underlying value.
+#[derive(Clone)]
+pub struct Counter {
+    pub(crate) core: Arc<CounterCore>,
+}
+
+impl Counter {
+    /// Increments by one (no-op while telemetry is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n` (no-op while telemetry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.core.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.core.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct GaugeCore {
+    bits: AtomicU64,
+}
+
+/// A last-write-wins `f64` gauge. Cloning shares the underlying value.
+#[derive(Clone)]
+pub struct Gauge {
+    pub(crate) core: Arc<GaugeCore>,
+}
+
+impl Gauge {
+    /// Sets the gauge (no-op while telemetry is disabled).
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if crate::enabled() {
+            self.core.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.core.bits.load(Ordering::Relaxed))
+    }
+}
+
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; N_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// An immutable point-in-time view of a histogram, used by exporters and
+/// quantile reads so one consistent set of bucket counts is inspected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) sample counts.
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Largest recorded sample (0 if empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The conservative `q`-quantile: the upper bound of the bucket holding
+    /// rank `ceil(q * count)` (the recorded max for the open last bucket),
+    /// or 0 for an empty histogram. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match bucket_upper_bound(i) {
+                    Some(le) => le.min(self.max),
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// A fixed-bucket log2 histogram over `u64` samples (typically nanoseconds).
+/// Cloning shares the underlying buckets.
+#[derive(Clone)]
+pub struct Histogram {
+    pub(crate) core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Records one sample (no-op while telemetry is disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let core = &*self.core;
+        core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.core.max.load(Ordering::Relaxed)
+    }
+
+    /// Consistent view of the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.core;
+        HistogramSnapshot {
+            buckets: core.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: core.sum.load(Ordering::Relaxed),
+            count: core.count.load(Ordering::Relaxed),
+            max: core.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Conservative quantile read; see [`HistogramSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Median (conservative upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (conservative upper bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (conservative upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), Some(0));
+        assert_eq!(bucket_upper_bound(10), Some(1023));
+        assert_eq!(bucket_upper_bound(N_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_record_when_enabled() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let registry = crate::Registry::new();
+        let c = registry.counter("c");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = registry.gauge("g");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        let h = registry.histogram("h");
+        for v in [0, 1, 3, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1_001_104);
+        assert_eq!(h.max(), 1_000_000);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        let registry = crate::Registry::new();
+        let c = registry.counter("c");
+        c.add(10);
+        let g = registry.gauge("g");
+        g.set(1.0);
+        let h = registry.histogram("h");
+        h.record(42);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_bucket_upper_bounds() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let registry = crate::Registry::new();
+        let h = registry.histogram("q");
+        // 100 samples of 10 (bucket 4, le 15) and 1 sample of 1000 (le 1023).
+        for _ in 0..100 {
+            h.record(10);
+        }
+        h.record(1000);
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.p95(), 15);
+        assert_eq!(h.quantile(1.0), 1000); // capped at the observed max
+        assert_eq!(h.p99(), 15);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let registry = crate::Registry::new();
+        let h = registry.histogram("empty");
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

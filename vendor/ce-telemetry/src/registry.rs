@@ -1,0 +1,172 @@
+//! Named-metric registry: registration behind a mutex, recording lock-free.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metric::{Counter, CounterCore, Gauge, GaugeCore, Histogram, HistogramCore};
+use crate::HistogramSnapshot;
+
+enum Metric {
+    Counter(Arc<CounterCore>),
+    Gauge(Arc<GaugeCore>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A point-in-time value of one registered metric, as returned by
+/// [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram bucket snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// A collection of named metrics. Handles returned by the accessors stay
+/// valid for the life of the registry and record without taking the lock.
+///
+/// Names are dot/slash-separated paths (`resilient.breaker_open`,
+/// `span.serve/batch`); the Prometheus exporter sanitizes them.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub const fn new() -> Self {
+        Registry { metrics: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        // A panic while holding the lock can only happen on a kind-mismatch
+        // bug; exporting best-effort data afterwards is still the right move.
+        self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(CounterCore::default())));
+        match metric {
+            Metric::Counter(core) => Counter { core: core.clone() },
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(GaugeCore::default())));
+        match metric {
+            Metric::Gauge(core) => Gauge { core: core.clone() },
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCore::default())));
+        match metric {
+            Metric::Histogram(core) => Histogram { core: core.clone() },
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Removes every registered metric. Existing handles keep working but
+    /// are detached from the registry (their values no longer export).
+    pub fn reset(&self) {
+        self.lock().clear();
+    }
+
+    /// Point-in-time values of every registered metric, in name order.
+    pub fn snapshot(&self) -> BTreeMap<String, MetricValue> {
+        let metrics = self.lock();
+        metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(core) => {
+                        MetricValue::Counter(Counter { core: core.clone() }.get())
+                    }
+                    Metric::Gauge(core) => MetricValue::Gauge(Gauge { core: core.clone() }.get()),
+                    Metric::Histogram(core) => {
+                        MetricValue::Histogram(Histogram { core: core.clone() }.snapshot())
+                    }
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+}
+
+/// The process-wide registry used by the convenience accessors and spans.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_snapshot_sees_them() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let registry = Registry::new();
+        let a = registry.counter("hits");
+        let b = registry.counter("hits");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        registry.gauge("load").set(0.5);
+        registry.histogram("lat").record(7);
+        let snap = registry.snapshot();
+        assert_eq!(snap["hits"], MetricValue::Counter(2));
+        assert_eq!(snap["load"], MetricValue::Gauge(0.5));
+        match &snap["lat"] {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        registry.reset();
+        assert!(registry.snapshot().is_empty());
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+}

@@ -1,0 +1,106 @@
+//! RAII timing spans with per-thread hierarchical paths.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of active span names on this thread, innermost last.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII timer. While telemetry is enabled, entering a span pushes its name
+/// onto a per-thread stack and dropping it records the elapsed nanoseconds
+/// into the global histogram `span.<path>`, where `<path>` is the
+/// `/`-joined stack of enclosing span names (e.g. `span.serve/predict`).
+///
+/// While telemetry is disabled, [`Span::enter`] reads no clock and touches no
+/// thread-local state — the whole span costs one atomic load.
+///
+/// Spans must be dropped in LIFO order on the thread that entered them
+/// (guaranteed by normal scoping); a span entered while disabled stays inert
+/// even if telemetry is enabled before it drops.
+#[must_use = "a span records its timing when dropped"]
+pub struct Span {
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Enters a span named `name`. No-op (no clock read) while telemetry is
+    /// disabled.
+    pub fn enter(name: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span { start: None };
+        }
+        STACK.with(|stack| stack.borrow_mut().push(name));
+        Span { start: Some(Instant::now()) }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = format!("span.{}", stack.join("/"));
+            stack.pop();
+            path
+        });
+        crate::global().histogram(&path).record(elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_hierarchical_paths() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::global().reset();
+        {
+            let _outer = Span::enter("serve");
+            {
+                let _inner = Span::enter("predict");
+            }
+            {
+                let _inner = Span::enter("predict");
+            }
+        }
+        let snap = crate::global().snapshot();
+        match &snap["span.serve"] {
+            crate::MetricValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        match &snap["span.serve/predict"] {
+            crate::MetricValue::Histogram(h) => assert_eq!(h.count, 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        crate::set_enabled(false);
+        crate::global().reset();
+    }
+
+    #[test]
+    fn disabled_spans_leave_no_trace() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        crate::global().reset();
+        {
+            let _span = Span::enter("ghost");
+        }
+        assert!(crate::global().snapshot().is_empty());
+    }
+
+    #[test]
+    fn span_entered_while_disabled_stays_inert() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        crate::global().reset();
+        let span = Span::enter("late");
+        crate::set_enabled(true);
+        drop(span);
+        assert!(crate::global().snapshot().is_empty());
+        crate::set_enabled(false);
+    }
+}

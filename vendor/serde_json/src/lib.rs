@@ -1,8 +1,8 @@
 //! Offline stand-in for `serde_json`, backed by the vendored `serde`'s
 //! JSON writer/parser. Covers the workspace's usage: [`to_string`],
-//! [`to_string_pretty`], and [`from_str`].
+//! [`to_string_pretty`], [`from_str`], and untyped [`parse`] into [`Value`].
 
-pub use serde::json::{Error, Value};
+pub use serde::json::{parse, Error, Value};
 
 /// Serializes a value to compact JSON text.
 ///

@@ -5,6 +5,7 @@ pub mod baselines;
 pub mod calibration;
 pub mod extensions;
 pub mod guidance;
+pub mod heal;
 pub mod joins;
 pub mod obs;
 pub mod perf;
@@ -23,7 +24,7 @@ use crate::scale::Scale;
 pub const ALL_IDS: &[&str] = &[
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
     "fig11", "fig12", "fig13", "fig14", "tab1", "guide", "ablation", "ext", "clt", "zoo",
-    "resil", "perf", "obs",
+    "resil", "perf", "obs", "heal",
 ];
 
 /// Runs one experiment by id, printing and saving its records.
@@ -57,6 +58,7 @@ pub fn run_experiment(id: &str, scale: &Scale, results_dir: &Path) -> Vec<Experi
         "resil" => resilience::resil(scale),
         "perf" => perf::perf(scale),
         "obs" => obs::obs(scale),
+        "heal" => heal::heal(scale),
         other => panic!("unknown experiment id `{other}` (known: {ALL_IDS:?})"),
     };
     for rec in &records {

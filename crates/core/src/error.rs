@@ -68,6 +68,42 @@ pub enum CardEstError {
         /// Number of estimators tried.
         tried: usize,
     },
+    /// A score scheduled for eviction was not found in the calibration
+    /// multiset (it was perturbed between insert and remove beyond the
+    /// within-epsilon tolerance).
+    ScoreNotFound {
+        /// The score that could not be located.
+        score: f64,
+    },
+    /// An estimator call (including its retries) exceeded its wall-clock
+    /// budget; the late result is discarded and the overrun is counted as a
+    /// breaker failure.
+    DeadlineExceeded {
+        /// Name of the estimator that overran.
+        estimator: String,
+        /// Observed wall-clock of the call, in microseconds.
+        elapsed_us: u64,
+        /// The configured budget, in microseconds.
+        budget_us: u64,
+    },
+    /// A checkpoint file is structurally invalid (bad magic, truncated,
+    /// checksum mismatch, or malformed payload); recovery must cold-start.
+    CheckpointCorrupt(
+        /// What failed while decoding.
+        &'static str,
+    ),
+    /// A checkpoint was written by an incompatible format version.
+    CheckpointVersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// Reading or writing a checkpoint file failed at the filesystem level.
+    CheckpointIo(
+        /// The rendered I/O error.
+        String,
+    ),
 }
 
 impl fmt::Display for CardEstError {
@@ -96,6 +132,23 @@ impl fmt::Display for CardEstError {
             CardEstError::AllEstimatorsFailed { tried } => {
                 write!(f, "all {tried} estimators in the fallback chain failed")
             }
+            CardEstError::ScoreNotFound { score } => {
+                write!(f, "score {score} not found in the calibration multiset")
+            }
+            CardEstError::DeadlineExceeded { estimator, elapsed_us, budget_us } => {
+                write!(
+                    f,
+                    "estimator `{estimator}` exceeded its deadline: \
+                     {elapsed_us}us elapsed vs {budget_us}us budget"
+                )
+            }
+            CardEstError::CheckpointCorrupt(what) => {
+                write!(f, "corrupt checkpoint: {what}")
+            }
+            CardEstError::CheckpointVersionMismatch { found, expected } => {
+                write!(f, "checkpoint version {found} incompatible with expected {expected}")
+            }
+            CardEstError::CheckpointIo(msg) => write!(f, "checkpoint I/O error: {msg}"),
         }
     }
 }

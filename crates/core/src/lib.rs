@@ -38,9 +38,11 @@
 
 mod asymmetric;
 mod chaos;
+mod checkpoint;
 mod cqr;
 mod error;
 mod exchangeability;
+mod heal;
 mod interval;
 mod jackknife;
 mod localized;
@@ -58,9 +60,14 @@ mod split;
 
 pub use asymmetric::AsymmetricSplitConformal;
 pub use chaos::{install_quiet_chaos_hook, ChaosConfig, ChaosPanic, ChaosRegressor, ChaosStats};
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, read_checkpoint, write_checkpoint, Checkpoint,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use cqr::ConformalizedQuantileRegression;
 pub use error::CardEstError;
 pub use exchangeability::ExchangeabilityMartingale;
+pub use heal::{HealConfig, HealEvent, HealReason, HealState, SelfHealingService};
 pub use interval::PredictionInterval;
 pub use jackknife::{assign_folds, CvPlus, JackknifeCv, JackknifePlus};
 pub use localized::LocalizedConformal;
@@ -78,7 +85,8 @@ pub use quantile::{
 };
 pub use regressor::{FitRegressor, Regressor};
 pub use resilient::{
-    BreakerConfig, BreakerState, PiEstimator, ResilienceStats, ResilientService,
+    BreakerConfig, BreakerSnapshot, BreakerState, CallGuardConfig, PiEstimator, ResilienceStats,
+    ResilientService,
 };
 pub use score::{AbsoluteResidual, QErrorScore, RelativeErrorScore, ScoreFunction};
 pub use service::{PiService, PiServiceConfig, ServiceMode};

@@ -221,6 +221,47 @@ impl CoverageMonitor {
     pub fn observed_total(&self) -> u64 {
         self.observed_total
     }
+
+    /// The `(covered, width)` window contents, oldest first (for
+    /// checkpointing).
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (bool, f64)> + '_ {
+        self.window.iter().copied()
+    }
+
+    /// The active alarm plus lifetime counters, for checkpointing.
+    pub(crate) fn alarm_state(&self) -> (Option<CoverageDrift>, usize, u64) {
+        (self.alarm, self.alarms_raised, self.observed_total)
+    }
+
+    /// Empties the window and clears any active alarm, keeping the lifetime
+    /// counters. Used when a recalibration is promoted: the old regime's
+    /// misses must not keep the alarm latched against the fresh config.
+    pub fn reset_window(&mut self) {
+        self.window.clear();
+        self.covered_in_window = 0;
+        self.alarm = None;
+    }
+
+    /// Rebuilds a monitor from checkpointed state. Entries beyond the
+    /// configured window are rejected as corrupt.
+    pub(crate) fn restore(
+        config: CoverageMonitorConfig,
+        entries: Vec<(bool, f64)>,
+        alarm: Option<CoverageDrift>,
+        alarms_raised: usize,
+        observed_total: u64,
+    ) -> Result<Self, CardEstError> {
+        let mut m = Self::try_new(config)?;
+        if entries.len() > config.window {
+            return Err(CardEstError::CheckpointCorrupt("monitor window overflows its config"));
+        }
+        m.covered_in_window = entries.iter().filter(|&&(c, _)| c).count();
+        m.window = entries.into();
+        m.alarm = alarm;
+        m.alarms_raised = alarms_raised;
+        m.observed_total = observed_total;
+        Ok(m)
+    }
 }
 
 #[cfg(test)]

@@ -36,22 +36,59 @@ impl SortedScores {
         self.values.insert(pos, v);
     }
 
-    fn remove(&mut self, v: f64) {
+    /// Relative tolerance for evictions whose float was perturbed between
+    /// insert and remove (e.g. a lossy serialization round-trip).
+    const REMOVE_EPSILON: f64 = 1e-9;
+
+    /// Removes one copy of `v`, tolerating a within-epsilon perturbation.
+    /// A score that cannot be located even approximately is reported as
+    /// [`CardEstError::ScoreNotFound`] — the serve loop must degrade, never
+    /// abort.
+    fn remove(&mut self, v: f64) -> Result<(), CardEstError> {
         if !v.is_finite() {
-            assert!(self.n_nonfinite > 0, "removing a score that is not present");
+            if self.n_nonfinite == 0 {
+                return Err(CardEstError::ScoreNotFound { score: v });
+            }
             self.n_nonfinite -= 1;
-            return;
+            return Ok(());
         }
         let pos = self.values.partition_point(|&x| x < v);
-        assert!(
-            pos < self.values.len() && self.values[pos] == v,
-            "removing a score that is not present"
-        );
-        self.values.remove(pos);
+        if pos < self.values.len() && self.values[pos] == v {
+            self.values.remove(pos);
+            return Ok(());
+        }
+        // Exact miss: the nearest neighbours are at pos-1 (< v) and pos
+        // (> v). Evict the closer one if it sits within the tolerance.
+        let tolerance = Self::REMOVE_EPSILON * v.abs().max(1.0);
+        let mut best: Option<(usize, f64)> = None;
+        for candidate in [pos.checked_sub(1), (pos < self.values.len()).then_some(pos)]
+            .into_iter()
+            .flatten()
+        {
+            let gap = (self.values[candidate] - v).abs();
+            if gap <= tolerance && best.is_none_or(|(_, g)| gap < g) {
+                best = Some((candidate, gap));
+            }
+        }
+        match best {
+            Some((index, _)) => {
+                self.values.remove(index);
+                Ok(())
+            }
+            None => Err(CardEstError::ScoreNotFound { score: v }),
+        }
     }
 
     fn len(&self) -> usize {
         self.values.len() + self.n_nonfinite
+    }
+
+    /// Rebuilds the multiset from already-sorted finite values plus a
+    /// non-finite count (checkpoint restore). The sort order is the caller's
+    /// contract; a violation is caught in debug builds only.
+    fn from_sorted(values: Vec<f64>, n_nonfinite: usize) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "restore requires sorted scores");
+        SortedScores { values, n_nonfinite }
     }
 
     /// The `⌈(1-α)(n+1)⌉`-th smallest, `+∞` if out of range or if the rank
@@ -162,6 +199,36 @@ impl<M: Regressor, S: ScoreFunction> OnlineConformal<M, S> {
         let s = self.score.score(y_true, self.model.predict(features));
         self.scores.insert(s);
     }
+
+    /// The finite calibration scores in sorted order (non-finite
+    /// observations are counted separately, see
+    /// [`OnlineConformal::nonfinite_count`]).
+    pub fn calibration_scores(&self) -> &[f64] {
+        &self.scores.values
+    }
+
+    /// Number of non-finite scores absorbed (each an implicit `+∞` order
+    /// statistic).
+    pub fn nonfinite_count(&self) -> usize {
+        self.scores.n_nonfinite
+    }
+
+    /// Atomically replaces the whole calibration set with `scores` (the
+    /// promotion step of drift remediation). Non-finite entries are counted
+    /// as `+∞` like any observed score.
+    pub fn replace_scores(&mut self, scores: &[f64]) {
+        let mut fresh = SortedScores::default();
+        for &s in scores {
+            fresh.insert(s);
+        }
+        self.scores = fresh;
+    }
+
+    /// Checkpoint restore: adopts already-sorted finite scores plus a
+    /// non-finite count without re-sorting.
+    pub(crate) fn restore_sorted(&mut self, values: Vec<f64>, n_nonfinite: usize) {
+        self.scores = SortedScores::from_sorted(values, n_nonfinite);
+    }
 }
 
 /// Sliding-window conformal predictor: keeps the most recent `window` scores.
@@ -240,13 +307,38 @@ impl<M: Regressor, S: ScoreFunction> WindowedConformal<M, S> {
 
     /// Observes an executed query, evicting the oldest score when full.
     /// A non-finite score is recorded as `+∞` (and evicted like any other).
+    ///
+    /// An eviction whose score cannot be located even within epsilon (a
+    /// float perturbed behind the predictor's back) is dropped and counted
+    /// under the `windowed.evict_miss` telemetry counter rather than
+    /// aborting the serve loop.
     pub fn observe(&mut self, features: &[f32], y_true: f64) {
         let s = self.score.score(y_true, self.model.predict(features));
         self.recency.push_back(s);
         self.scores.insert(s);
         if self.recency.len() > self.window {
             let old = self.recency.pop_front().expect("non-empty window");
-            self.scores.remove(old);
+            if self.scores.remove(old).is_err() {
+                ce_telemetry::counter("windowed.evict_miss").inc();
+            }
+        }
+    }
+
+    /// The window's scores in arrival order, oldest first (raw values —
+    /// non-finite scores appear as observed).
+    pub fn recency_scores(&self) -> impl Iterator<Item = f64> + '_ {
+        self.recency.iter().copied()
+    }
+
+    /// Atomically replaces the window contents with `scores` in arrival
+    /// order, keeping only the most recent `window` of them.
+    pub fn replace_scores(&mut self, scores: &[f64]) {
+        self.recency.clear();
+        self.scores = SortedScores::default();
+        let start = scores.len().saturating_sub(self.window);
+        for &s in &scores[start..] {
+            self.recency.push_back(s);
+            self.scores.insert(s);
         }
     }
 }
@@ -265,8 +357,52 @@ mod tests {
             s.insert(v);
         }
         assert_eq!(s.values, vec![1.0, 2.0, 2.0, 3.0, 5.0]);
-        s.remove(2.0);
+        s.remove(2.0).unwrap();
         assert_eq!(s.values, vec![1.0, 2.0, 3.0, 5.0]);
+    }
+
+    /// Regression: a score perturbed by a few ulps between insert and remove
+    /// must still evict (within-epsilon lookup), and a genuinely absent
+    /// score must come back as a typed error, not a panic.
+    #[test]
+    fn remove_tolerates_perturbed_floats_and_reports_missing() {
+        use crate::error::CardEstError;
+        let mut s = SortedScores::default();
+        for v in [0.5, 1.0, 2.0] {
+            s.insert(v);
+        }
+        // Perturb within the relative tolerance: still removed.
+        let perturbed = 1.0 + 1e-13;
+        assert_ne!(perturbed, 1.0_f64.to_bits() as f64); // not the stored value
+        s.remove(perturbed).unwrap();
+        assert_eq!(s.values, vec![0.5, 2.0]);
+        // Far-off values are typed errors and leave the multiset untouched.
+        assert_eq!(
+            s.remove(1.5),
+            Err(CardEstError::ScoreNotFound { score: 1.5 })
+        );
+        assert_eq!(s.values, vec![0.5, 2.0]);
+        // A non-finite removal with no non-finite entries is also typed.
+        assert!(matches!(
+            s.remove(f64::NAN),
+            Err(CardEstError::ScoreNotFound { .. })
+        ));
+    }
+
+    /// The windowed serve loop survives a perturbed eviction: a miss is
+    /// dropped (and counted), never a panic.
+    #[test]
+    fn windowed_observe_survives_score_not_found() {
+        let model = |_: &[f32]| 0.0;
+        let mut wc = WindowedConformal::new(model, AbsoluteResidual, 2, 0.5);
+        wc.observe(&[0.0], 1.0);
+        wc.observe(&[0.0], 2.0);
+        // Sabotage the multiset so the upcoming eviction of score 1.0 misses.
+        wc.scores = SortedScores::default();
+        wc.scores.insert(10.0);
+        wc.scores.insert(20.0);
+        wc.observe(&[0.0], 3.0); // evicts 1.0 -> not present -> dropped
+        assert_eq!(wc.len(), 2, "recency window stays bounded");
     }
 
     #[test]
@@ -375,8 +511,8 @@ mod tests {
         assert!(s.conformal_quantile(0.05).is_infinite());
         // alpha = 0.5: rank = ceil(0.5 * 6) = 3 -> still in the finite run.
         assert_eq!(s.conformal_quantile(0.5), 3.0);
-        s.remove(f64::NAN);
-        s.remove(f64::INFINITY);
+        s.remove(f64::NAN).unwrap();
+        s.remove(f64::INFINITY).unwrap();
         assert_eq!(s.len(), 3);
     }
 

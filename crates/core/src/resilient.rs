@@ -23,6 +23,7 @@
 //!    but never unavailable.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use crate::error::CardEstError;
 use crate::interval::PredictionInterval;
@@ -143,6 +144,21 @@ struct Breaker {
     opened_at: u64,
 }
 
+/// Point-in-time state of one chain entry's circuit breaker, keyed by the
+/// estimator's name so a checkpoint can be matched against the chain it is
+/// restored onto.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// Name of the estimator the breaker guards.
+    pub name: String,
+    /// Breaker state at snapshot time.
+    pub state: BreakerState,
+    /// Consecutive failures accumulated toward the trip threshold.
+    pub consecutive_failures: u32,
+    /// Query counter at which the breaker last opened.
+    pub opened_at: u64,
+}
+
 impl Breaker {
     fn new() -> Self {
         Breaker { state: BreakerState::Closed, consecutive_failures: 0, opened_at: 0 }
@@ -188,6 +204,120 @@ impl Breaker {
     }
 }
 
+/// Deadline/retry tuning applied to every estimator call in the chain.
+///
+/// The default is fully permissive (no deadline, no retries), so guards are
+/// strictly opt-in: enabling the struct with defaults changes nothing about
+/// serving behaviour or determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallGuardConfig {
+    /// Wall-clock budget per estimator call *including retries*, in
+    /// microseconds. A synchronous call cannot be preempted, so a result
+    /// arriving past the budget is discarded and reported as
+    /// [`CardEstError::DeadlineExceeded`] (counted as a breaker failure).
+    /// `u64::MAX` disables the deadline.
+    pub budget_us: u64,
+    /// Bounded retries on *transient* failures (caught panics and non-finite
+    /// scores); structural errors (dimension mismatch, circuit open, …)
+    /// never retry.
+    pub max_retries: u32,
+    /// Base backoff between retries in microseconds, doubled per attempt
+    /// with deterministic jitter (a pure function of chain position and
+    /// attempt number, so batched serving stays bit-identical). `0` disables
+    /// sleeping between retries.
+    pub backoff_base_us: u64,
+}
+
+impl Default for CallGuardConfig {
+    fn default() -> Self {
+        CallGuardConfig { budget_us: u64::MAX, max_retries: 0, backoff_base_us: 0 }
+    }
+}
+
+/// What one guarded estimator call did across all its attempts.
+#[derive(Debug, Clone, Copy, Default)]
+struct GuardReport {
+    attempts: u32,
+    panics: u32,
+    typed_failures: u32,
+    deadline_overrun: bool,
+}
+
+/// Deterministic jittered backoff: a pure function of `(position, attempt)`,
+/// so identical retries sleep identically regardless of thread interleaving.
+fn backoff_us(base: u64, position: usize, attempt: u32) -> u64 {
+    let mut z = (position as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(attempt as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    let scaled = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(4));
+    scaled.saturating_add(z % (base / 2 + 1))
+}
+
+/// Runs one estimator call under the guard: panic isolation, bounded retries
+/// on transient errors, and a wall-clock deadline over the whole attempt
+/// sequence. The `Instant` is only read when a deadline is actually
+/// configured, keeping the default path free of clock syscalls (and of any
+/// timing nondeterminism).
+fn run_guarded(
+    guard: &CallGuardConfig,
+    position: usize,
+    name: &str,
+    call: impl Fn() -> Result<PredictionInterval, CardEstError>,
+) -> (Result<PredictionInterval, CardEstError>, GuardReport) {
+    let start = (guard.budget_us != u64::MAX).then(Instant::now);
+    let mut report = GuardReport::default();
+    loop {
+        report.attempts += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(&call));
+        let elapsed_us =
+            start.map_or(0, |s| u64::try_from(s.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let overran = elapsed_us > guard.budget_us;
+        let deadline_error = || CardEstError::DeadlineExceeded {
+            estimator: name.to_string(),
+            elapsed_us,
+            budget_us: guard.budget_us,
+        };
+        let error = match outcome {
+            Ok(Ok(interval)) => {
+                if overran {
+                    // The result arrived past the deadline: discard it — a
+                    // caller that already moved on must never act on it.
+                    report.deadline_overrun = true;
+                    return (Err(deadline_error()), report);
+                }
+                return (Ok(interval), report);
+            }
+            Ok(Err(e)) => {
+                report.typed_failures += 1;
+                e
+            }
+            Err(payload) => {
+                report.panics += 1;
+                CardEstError::ModelPanic(panic_message(payload.as_ref()))
+            }
+        };
+        if overran {
+            report.deadline_overrun = true;
+            return (Err(deadline_error()), report);
+        }
+        let transient =
+            matches!(error, CardEstError::ModelPanic(_) | CardEstError::NonFiniteScore { .. });
+        if !transient || report.attempts > guard.max_retries {
+            return (Err(error), report);
+        }
+        if guard.backoff_base_us > 0 {
+            std::thread::sleep(Duration::from_micros(backoff_us(
+                guard.backoff_base_us,
+                position,
+                report.attempts,
+            )));
+        }
+    }
+}
+
 /// Counters describing how a [`ResilientService`] has behaved so far.
 #[derive(Debug, Clone, Default)]
 pub struct ResilienceStats {
@@ -205,6 +335,11 @@ pub struct ResilienceStats {
     pub estimator_failures: u64,
     /// Circuit-breaker open transitions.
     pub breaker_trips: u64,
+    /// Extra attempts spent retrying transient failures under the call
+    /// guard (0 unless [`CallGuardConfig::max_retries`] > 0).
+    pub retries: u64,
+    /// Calls whose result was discarded for exceeding the guard's deadline.
+    pub deadline_overruns: u64,
     /// Per-chain-position answer counts (`served_by[0]` = primary).
     pub served_by: Vec<u64>,
 }
@@ -245,6 +380,7 @@ struct ChainEntry {
 pub struct ResilientService {
     chain: Vec<ChainEntry>,
     breaker_config: BreakerConfig,
+    guard: CallGuardConfig,
     expected_dims: Option<usize>,
     conservative_floor: bool,
     stats: ResilienceStats,
@@ -270,6 +406,7 @@ impl ResilientService {
         ResilientService {
             chain: vec![ChainEntry { estimator: primary, breaker: Breaker::new() }],
             breaker_config: BreakerConfig::default(),
+            guard: CallGuardConfig::default(),
             expected_dims: None,
             conservative_floor: true,
             stats: ResilienceStats { served_by: vec![0], ..Default::default() },
@@ -287,6 +424,13 @@ impl ResilientService {
     /// Overrides the circuit-breaker tuning (applies to every estimator).
     pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
         self.breaker_config = config;
+        self
+    }
+
+    /// Installs a deadline/retry guard on every estimator call in the chain
+    /// (see [`CallGuardConfig`]).
+    pub fn with_call_guard(mut self, guard: CallGuardConfig) -> Self {
+        self.guard = guard;
         self
     }
 
@@ -359,6 +503,8 @@ impl ResilientService {
         g("resilient.panics_caught", self.stats.panics_caught as f64);
         g("resilient.estimator_failures", self.stats.estimator_failures as f64);
         g("resilient.breaker_trips", self.stats.breaker_trips as f64);
+        g("resilient.retries", self.stats.retries as f64);
+        g("resilient.deadline_overruns", self.stats.deadline_overruns as f64);
         g("resilient.answer_rate", self.stats.answer_rate());
         g("resilient.fallback_rate", self.stats.fallback_rate());
         g("resilient.last_errors_buffered", self.last_errors.len() as f64);
@@ -371,6 +517,40 @@ impl ResilientService {
             };
             g(&format!("resilient.breaker_state.{position}"), state);
         }
+    }
+
+    /// Point-in-time circuit-breaker states, chain order, for checkpointing.
+    pub fn export_breakers(&self) -> Vec<BreakerSnapshot> {
+        self.chain
+            .iter()
+            .map(|e| BreakerSnapshot {
+                name: e.estimator.name().to_string(),
+                state: e.breaker.state,
+                consecutive_failures: e.breaker.consecutive_failures,
+                opened_at: e.breaker.opened_at,
+            })
+            .collect()
+    }
+
+    /// Restores checkpointed breaker states onto this chain. The snapshot
+    /// must match the chain entry-for-entry (same length, same estimator
+    /// names in order) — a mismatch means the checkpoint belongs to a
+    /// different deployment and is rejected as corrupt.
+    pub fn restore_breakers(&mut self, snapshots: &[BreakerSnapshot]) -> Result<(), CardEstError> {
+        if snapshots.len() != self.chain.len() {
+            return Err(CardEstError::CheckpointCorrupt("breaker count mismatch"));
+        }
+        for (entry, snap) in self.chain.iter().zip(snapshots) {
+            if entry.estimator.name() != snap.name {
+                return Err(CardEstError::CheckpointCorrupt("breaker chain name mismatch"));
+            }
+        }
+        for (entry, snap) in self.chain.iter_mut().zip(snapshots) {
+            entry.breaker.state = snap.state;
+            entry.breaker.consecutive_failures = snap.consecutive_failures;
+            entry.breaker.opened_at = snap.opened_at;
+        }
+        Ok(())
     }
 
     fn sanitize(&self, features: &[f32]) -> Result<(), CardEstError> {
@@ -423,6 +603,7 @@ impl ResilientService {
             }
         }
         let now = self.stats.queries;
+        let guard = self.guard;
         let mut errors: Vec<(String, CardEstError)> = Vec::new();
         for position in 0..self.chain.len() {
             let entry = &mut self.chain[position];
@@ -434,16 +615,20 @@ impl ResilientService {
                 continue;
             }
             let estimator = &*entry.estimator;
-            let outcome = {
+            let (outcome, report) = {
                 let _stage = ce_telemetry::Span::enter(if position == 0 {
                     "predict"
                 } else {
                     "fallback"
                 });
-                catch_unwind(AssertUnwindSafe(|| call(estimator, features)))
+                run_guarded(&guard, position, estimator.name(), || call(estimator, features))
             };
+            self.stats.panics_caught += report.panics as u64;
+            self.stats.estimator_failures += report.typed_failures as u64;
+            self.stats.retries += report.attempts.saturating_sub(1) as u64;
+            self.stats.deadline_overruns += u64::from(report.deadline_overrun);
             let failure = match outcome {
-                Ok(Ok(interval)) => {
+                Ok(interval) => {
                     if entry.breaker.record_success() {
                         ce_telemetry::counter("resilient.breaker_close").inc();
                     }
@@ -455,14 +640,7 @@ impl ResilientService {
                     }
                     return Ok(interval);
                 }
-                Ok(Err(e)) => {
-                    self.stats.estimator_failures += 1;
-                    e
-                }
-                Err(payload) => {
-                    self.stats.panics_caught += 1;
-                    CardEstError::ModelPanic(panic_message(payload.as_ref()))
-                }
+                Err(e) => e,
             };
             errors.push((entry.estimator.name().to_string(), failure));
             if entry.breaker.record_failure(now, &self.breaker_config) {
@@ -512,7 +690,10 @@ impl ResilientService {
         let admitted: Vec<bool> =
             self.chain.iter_mut().map(|e| e.breaker.admit(now, &config)).collect();
 
-        // Phase 2 (parallel, read-only): walk the snapshotted chain.
+        // Phase 2 (parallel, read-only): walk the snapshotted chain. The
+        // guard applies inside the closure exactly as on the serial path —
+        // its backoff jitter is a pure function of (position, attempt), so
+        // outcomes stay bit-identical at any thread count.
         let this: &Self = self;
         let admitted_ref = &admitted;
         let outcomes = ce_parallel::par_map(queries.len(), 4, |qi| {
@@ -520,23 +701,26 @@ impl ResilientService {
             if let Err(e) = this.sanitize(features) {
                 return BatchOutcome::Rejected(e);
             }
-            let mut failures: Vec<(usize, bool, CardEstError)> = Vec::new();
+            let mut failures: Vec<(usize, GuardReport, CardEstError)> = Vec::new();
             for (position, entry) in this.chain.iter().enumerate() {
                 if !admitted_ref[position] {
                     let estimator = entry.estimator.name().to_string();
-                    failures.push((position, false, CardEstError::CircuitOpen { estimator }));
+                    failures.push((
+                        position,
+                        GuardReport::default(),
+                        CardEstError::CircuitOpen { estimator },
+                    ));
                     continue;
                 }
                 let estimator = &*entry.estimator;
-                match catch_unwind(AssertUnwindSafe(|| estimator.interval(features))) {
-                    Ok(Ok(interval)) => {
-                        return BatchOutcome::Served { position, interval, failures };
+                let (outcome, report) = run_guarded(&this.guard, position, estimator.name(), || {
+                    estimator.interval(features)
+                });
+                match outcome {
+                    Ok(interval) => {
+                        return BatchOutcome::Served { position, interval, failures, report };
                     }
-                    Ok(Err(e)) => failures.push((position, false, e)),
-                    Err(payload) => {
-                        let msg = panic_message(payload.as_ref());
-                        failures.push((position, true, CardEstError::ModelPanic(msg)));
-                    }
+                    Err(e) => failures.push((position, report, e)),
                 }
             }
             BatchOutcome::Exhausted { failures }
@@ -556,8 +740,9 @@ impl ResilientService {
                     self.stats.rejected_inputs += 1;
                     results.push(Err(e));
                 }
-                BatchOutcome::Served { position, interval, failures } => {
+                BatchOutcome::Served { position, interval, failures, report } => {
                     self.fold_failures(&failures, &admitted, now);
+                    self.fold_report(&report);
                     if self.chain[position].breaker.record_success() {
                         ce_telemetry::counter("resilient.breaker_close").inc();
                     }
@@ -597,22 +782,31 @@ impl ResilientService {
 
     /// Applies one query's recorded failures to stats and breakers.
     /// Skipped (circuit-open) positions were never called and record nothing.
-    fn fold_failures(&mut self, failures: &[(usize, bool, CardEstError)], admitted: &[bool], now: u64) {
+    fn fold_failures(
+        &mut self,
+        failures: &[(usize, GuardReport, CardEstError)],
+        admitted: &[bool],
+        now: u64,
+    ) {
         let config = self.breaker_config;
-        for &(position, was_panic, _) in failures {
+        for &(position, report, _) in failures {
             if !admitted[position] {
                 continue;
             }
-            if was_panic {
-                self.stats.panics_caught += 1;
-            } else {
-                self.stats.estimator_failures += 1;
-            }
+            self.fold_report(&report);
             if self.chain[position].breaker.record_failure(now, &config) {
                 self.stats.breaker_trips += 1;
                 ce_telemetry::counter("resilient.breaker_open").inc();
             }
         }
+    }
+
+    /// Folds one guarded call's attempt counters into the stats.
+    fn fold_report(&mut self, report: &GuardReport) {
+        self.stats.panics_caught += report.panics as u64;
+        self.stats.estimator_failures += report.typed_failures as u64;
+        self.stats.retries += report.attempts.saturating_sub(1) as u64;
+        self.stats.deadline_overruns += u64::from(report.deadline_overrun);
     }
 
     /// Feeds an executed query's truth to every estimator in the chain (so
@@ -635,16 +829,17 @@ impl ResilientService {
 
 /// Per-query outcome of the read-only parallel phase of
 /// [`ResilientService::predict_interval_batch`]. Failure tuples carry
-/// `(chain position, was_panic, error)`.
+/// `(chain position, guard report, error)`.
 enum BatchOutcome {
     Rejected(CardEstError),
     Served {
         position: usize,
         interval: PredictionInterval,
-        failures: Vec<(usize, bool, CardEstError)>,
+        failures: Vec<(usize, GuardReport, CardEstError)>,
+        report: GuardReport,
     },
     Exhausted {
-        failures: Vec<(usize, bool, CardEstError)>,
+        failures: Vec<(usize, GuardReport, CardEstError)>,
     },
 }
 
@@ -975,5 +1170,104 @@ mod tests {
         assert_eq!(svc.chain_names(), vec!["online-conformal", "online-conformal"]);
         let dbg = format!("{svc:?}");
         assert!(dbg.contains("ResilientService"));
+    }
+
+    #[test]
+    fn bounded_retries_recover_transient_failures() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // NaN on the first two calls, healthy afterwards. Empty calibration:
+        // the estimator only calls the model at serving time, so the counter
+        // sees exactly the guarded attempts.
+        let calls = std::sync::Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        let flaky = move |f: &[f32]| {
+            if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                f64::NAN
+            } else {
+                f[0] as f64
+            }
+        };
+        let primary = OnlineConformal::new(flaky, AbsoluteResidual, &[], &[], 0.1);
+        let mut svc = ResilientService::new(Box::new(primary))
+            .with_call_guard(CallGuardConfig { max_retries: 2, ..Default::default() });
+        svc.interval(&[0.5]).expect("third attempt succeeds");
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(svc.stats().retries, 2);
+        assert_eq!(svc.stats().estimator_failures, 2, "each failed attempt is counted");
+        assert_eq!(svc.stats().served_by[0], 1, "no fallback needed");
+        // Bad input is rejected by sanitization before the chain: the model
+        // is never called, let alone retried.
+        assert!(svc.interval(&[f32::NAN]).is_err());
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "rejected input never reaches the model");
+    }
+
+    #[test]
+    fn deadline_overrun_discards_late_success_and_trips_breaker() {
+        let slow = |f: &[f32]| {
+            std::thread::sleep(Duration::from_millis(2));
+            f[0] as f64
+        };
+        let primary = OnlineConformal::new(slow, AbsoluteResidual, &[], &[], 0.1);
+        let mut svc = ResilientService::new(Box::new(primary))
+            .with_fallback(Box::new(calibrated(healthy_model())))
+            .with_breaker(BreakerConfig { failure_threshold: 1, cooldown_queries: 100 })
+            .with_call_guard(CallGuardConfig { budget_us: 100, ..Default::default() });
+        // The primary's (successful) result lands past the 100µs budget: it
+        // is discarded, the fallback answers, and the overrun counts as a
+        // breaker failure.
+        let iv = svc.interval(&[0.5]).expect("fallback answers in time");
+        assert!(iv.contains(0.5));
+        assert_eq!(svc.stats().served_by, vec![0, 1]);
+        assert_eq!(svc.stats().deadline_overruns, 1);
+        assert_eq!(svc.breaker_state(0), Some(BreakerState::Open));
+        assert_eq!(svc.stats().breaker_trips, 1);
+        // While the breaker is open the slow primary is skipped entirely.
+        svc.interval(&[0.25]).expect("fallback");
+        assert_eq!(svc.stats().deadline_overruns, 1);
+        assert_eq!(svc.stats().served_by, vec![0, 2]);
+    }
+
+    #[test]
+    fn breaker_snapshots_round_trip_and_reject_mismatched_chains() {
+        let nan_model = |_: &[f32]| f64::NAN;
+        let tripped = |threshold: u32| {
+            let primary = OnlineConformal::new(nan_model, AbsoluteResidual, &[], &[], 0.1);
+            let mut svc = ResilientService::new(Box::new(primary))
+                .with_fallback(Box::new(calibrated(healthy_model())))
+                .with_breaker(BreakerConfig { failure_threshold: threshold, cooldown_queries: 50 });
+            svc.interval(&[0.5]).unwrap();
+            svc
+        };
+        let svc = tripped(1);
+        assert_eq!(svc.breaker_state(0), Some(BreakerState::Open));
+        let snaps = svc.export_breakers();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].state, BreakerState::Open);
+        assert_eq!(snaps[1].state, BreakerState::Closed);
+
+        // Restoring onto an identically-shaped fresh chain reproduces the
+        // breaker states exactly.
+        let mut fresh = tripped(100); // same chain, breaker still closed
+        assert_eq!(fresh.breaker_state(0), Some(BreakerState::Closed));
+        fresh.restore_breakers(&snaps).expect("matching chain");
+        assert_eq!(fresh.breaker_state(0), Some(BreakerState::Open));
+        assert_eq!(fresh.export_breakers(), snaps);
+
+        // A chain of a different length is rejected...
+        let mut short = ResilientService::new(Box::new(calibrated(healthy_model())));
+        assert!(matches!(
+            short.restore_breakers(&snaps),
+            Err(CardEstError::CheckpointCorrupt("breaker count mismatch"))
+        ));
+        // ...and so is one whose estimator names differ.
+        let mut renamed = snaps.clone();
+        renamed[0].name = "someone-else".to_string();
+        let mut fresh2 = tripped(100);
+        assert!(matches!(
+            fresh2.restore_breakers(&renamed),
+            Err(CardEstError::CheckpointCorrupt("breaker chain name mismatch"))
+        ));
+        // A rejected restore must leave the live breakers untouched.
+        assert_eq!(fresh2.breaker_state(0), Some(BreakerState::Closed));
     }
 }

@@ -9,9 +9,9 @@
 //! motivates.
 
 use crate::error::{check_alpha, check_lengths, CardEstError};
-use crate::exchangeability::ExchangeabilityMartingale;
+use crate::exchangeability::{ExchangeabilityMartingale, MartingaleSnapshot};
 use crate::interval::PredictionInterval;
-use crate::monitor::{CoverageMonitor, CoverageMonitorConfig};
+use crate::monitor::{CoverageDrift, CoverageMonitor, CoverageMonitorConfig};
 use crate::online::{OnlineConformal, WindowedConformal};
 use crate::regressor::Regressor;
 use crate::score::ScoreFunction;
@@ -26,7 +26,7 @@ pub enum ServiceMode {
 }
 
 /// Configuration of the managed service.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PiServiceConfig {
     /// Miscoverage level.
     pub alpha: f64,
@@ -265,6 +265,107 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
     pub fn coverage_monitor(&self) -> &CoverageMonitor {
         &self.coverage
     }
+
+    /// The service configuration.
+    pub fn config(&self) -> PiServiceConfig {
+        self.config
+    }
+
+    /// The threshold δ the *current mode* would serve with.
+    pub fn serving_delta(&self) -> f64 {
+        match self.mode {
+            ServiceMode::Stable => self.online.delta(),
+            ServiceMode::Drifted => self.window.delta(),
+        }
+    }
+
+    /// Atomically promotes a validated recalibration: both calibrators adopt
+    /// `scores` as their entire score set, the drift detector restarts, the
+    /// coverage window (and any latched alarm) clears, and serving returns to
+    /// [`ServiceMode::Stable`]. This is the commit point of the self-healing
+    /// state machine — between the first and last field update no query can
+    /// observe a mixed state because the method holds `&mut self`.
+    pub fn promote_calibration(&mut self, scores: &[f64]) {
+        self.online.replace_scores(scores);
+        self.window.replace_scores(scores);
+        self.monitor = ExchangeabilityMartingale::new();
+        self.coverage.reset_window();
+        self.mode = ServiceMode::Stable;
+        self.since_switch = 0;
+        ce_telemetry::counter("pi.calibration_promoted").inc();
+    }
+
+    /// Extracts the full mutable state for checkpointing. Everything the
+    /// serving path can read is captured, so
+    /// [`PiService::from_state`] resumes bit-for-bit.
+    pub(crate) fn export_state(&self) -> PiServiceState {
+        let (monitor_alarm, monitor_alarms_raised, monitor_observed_total) =
+            self.coverage.alarm_state();
+        PiServiceState {
+            config: self.config,
+            online_scores: self.online.calibration_scores().to_vec(),
+            online_nonfinite: self.online.nonfinite_count(),
+            window_scores: self.window.recency_scores().collect(),
+            martingale: self.monitor.snapshot(),
+            mode: self.mode,
+            since_switch: self.since_switch,
+            shifts_detected: self.shifts_detected,
+            monitor_entries: self.coverage.entries().collect(),
+            monitor_alarm,
+            monitor_alarms_raised,
+            monitor_observed_total,
+        }
+    }
+
+    /// Rebuilds a service from checkpointed state around fresh copies of the
+    /// (unserializable) model and score function.
+    pub(crate) fn from_state(
+        model: M,
+        score: S,
+        state: PiServiceState,
+    ) -> Result<Self, CardEstError> {
+        let mut svc = PiService::try_new(model, score, &[], &[], state.config)?;
+        if state.window_scores.len() > state.config.window {
+            return Err(CardEstError::CheckpointCorrupt("window scores overflow the config"));
+        }
+        svc.online.restore_sorted(state.online_scores, state.online_nonfinite);
+        svc.window.replace_scores(&state.window_scores);
+        svc.monitor = ExchangeabilityMartingale::restore_snapshot(state.martingale);
+        svc.mode = state.mode;
+        svc.since_switch = state.since_switch;
+        svc.shifts_detected = state.shifts_detected;
+        svc.coverage = CoverageMonitor::restore(
+            svc.coverage.config(),
+            state.monitor_entries,
+            state.monitor_alarm,
+            state.monitor_alarms_raised,
+            state.monitor_observed_total,
+        )?;
+        Ok(svc)
+    }
+}
+
+/// The checkpointable state of a [`PiService`] (everything except the
+/// black-box model and score function, which the caller re-supplies on
+/// restore).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PiServiceState {
+    pub config: PiServiceConfig,
+    /// Finite online scores in sorted order.
+    pub online_scores: Vec<f64>,
+    /// Non-finite online observations (implicit `+∞` order statistics).
+    pub online_nonfinite: usize,
+    /// Window scores in arrival order, raw (non-finite values included).
+    pub window_scores: Vec<f64>,
+    pub martingale: MartingaleSnapshot,
+    pub mode: ServiceMode,
+    pub since_switch: usize,
+    pub shifts_detected: usize,
+    /// Coverage-monitor `(covered, width)` window, oldest first.
+    pub monitor_entries: Vec<(bool, f64)>,
+    pub monitor_alarm: Option<CoverageDrift>,
+    pub monitor_alarms_raised: usize,
+    pub monitor_observed_total: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,146 @@
+//! Property tests of the durable-checkpoint contract (DESIGN.md §9): any
+//! corruption — truncation, a single flipped bit, a version skew — is
+//! rejected as a typed error (never a panic, never a silently-wrong
+//! restore), and an intact checkpoint restores bit-for-bit.
+
+use ce_conformal::{
+    decode_checkpoint, encode_checkpoint, read_checkpoint, write_checkpoint, AbsoluteResidual,
+    BreakerSnapshot, BreakerState, HealConfig, PiServiceConfig, Regressor, SelfHealingService,
+    CHECKPOINT_VERSION,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a deterministic service and feeds it `n_obs` prequential
+/// observations. Every third truth is shifted out of the calibrated regime
+/// so longer streams also exercise the remediation state machine — the
+/// checkpoint then carries non-trivial heal state, not just calibration.
+fn service_with(
+    seed: u64,
+    n_obs: usize,
+) -> SelfHealingService<impl Regressor + Clone, AbsoluteResidual> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (cx, cy): (Vec<Vec<f32>>, Vec<f64>) = (0..200)
+        .map(|_| {
+            let x = vec![rng.gen_range(0.0..1.0f32)];
+            let y = x[0] as f64 + rng.gen_range(-0.2..0.2);
+            (x, y)
+        })
+        .unzip();
+    let mut svc = SelfHealingService::new(
+        |f: &[f32]| f[0] as f64,
+        AbsoluteResidual,
+        &cx,
+        &cy,
+        PiServiceConfig::default(),
+        HealConfig { min_history: 40, cooldown_base: 50, ..Default::default() },
+    );
+    for i in 0..n_obs {
+        let x = vec![rng.gen_range(0.0..1.0f32)];
+        let shift = if i % 3 == 0 { 1.0 } else { 0.0 };
+        let y = x[0] as f64 + rng.gen_range(-0.1..0.1) + shift;
+        svc.observe(&x, y);
+    }
+    svc
+}
+
+proptest! {
+    /// `encode → decode → encode` is the identity on bytes, and a service
+    /// restored from the decoded checkpoint re-checkpoints to those same
+    /// bytes — bit-exact resume regardless of how much state accumulated.
+    #[test]
+    fn round_trip_is_byte_exact(seed in 0u64..1000, n_obs in 0usize..300) {
+        let svc = service_with(seed, n_obs);
+        let bytes = encode_checkpoint(&svc.checkpoint());
+        let decoded = decode_checkpoint(&bytes).expect("intact checkpoint must decode");
+        prop_assert_eq!(&encode_checkpoint(&decoded), &bytes);
+        let restored =
+            SelfHealingService::restore(|f: &[f32]| f[0] as f64, AbsoluteResidual, decoded)
+                .expect("intact checkpoint must restore");
+        prop_assert_eq!(&encode_checkpoint(&restored.checkpoint()), &bytes);
+    }
+
+    /// A checkpoint cut off at any prefix length — torn write, partial
+    /// read — is a typed error, not a panic or OOM.
+    #[test]
+    fn truncation_at_any_length_is_rejected(seed in 0u64..1000, frac in 0.0f64..1.0) {
+        let svc = service_with(seed, 50);
+        let bytes = encode_checkpoint(&svc.checkpoint());
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(decode_checkpoint(&bytes[..cut]).is_err());
+    }
+
+    /// Flipping any single bit anywhere — magic, version, length, checksum,
+    /// or payload — is detected. (FNV-1a's per-byte step is bijective in the
+    /// running hash, so a one-byte change always changes the digest.)
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        seed in 0u64..1000,
+        pos_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        let svc = service_with(seed, 50);
+        let mut bytes = encode_checkpoint(&svc.checkpoint());
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(decode_checkpoint(&bytes).is_err());
+    }
+
+    /// A checkpoint stamped with any other format version is refused rather
+    /// than misparsed — forward and backward skew alike.
+    #[test]
+    fn version_skew_is_rejected(seed in 0u64..1000, v in 0u32..1000) {
+        let v = if v == CHECKPOINT_VERSION { v + 1 } else { v };
+        let svc = service_with(seed, 10);
+        let mut bytes = encode_checkpoint(&svc.checkpoint());
+        bytes[4..8].copy_from_slice(&v.to_le_bytes());
+        prop_assert!(decode_checkpoint(&bytes).is_err());
+    }
+}
+
+#[test]
+fn torn_file_on_disk_cold_starts_without_panicking() {
+    let path = std::env::temp_dir().join("ce-core-itest-torn.ckpt");
+    let svc = service_with(7, 120);
+    write_checkpoint(&path, &svc.checkpoint()).expect("write checkpoint");
+    let full = std::fs::read(&path).expect("read bytes back");
+    std::fs::write(&path, &full[..full.len() / 2]).expect("tear the file");
+
+    // Startup recovery: the torn file is a typed error ...
+    assert!(read_checkpoint(&path).is_err());
+    // ... so the deployment cold-starts from calibration data and serves.
+    let mut fresh = service_with(7, 0);
+    let iv = fresh.interval(&[0.5]);
+    assert!(iv.lo.is_finite() && iv.hi.is_finite() && iv.lo <= iv.hi);
+    fresh.observe(&[0.5], 0.5);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_checkpoint_file_is_a_typed_error() {
+    let path = std::env::temp_dir().join("ce-core-itest-does-not-exist.ckpt");
+    let _ = std::fs::remove_file(&path);
+    assert!(read_checkpoint(&path).is_err());
+}
+
+#[test]
+fn breaker_states_ride_the_checkpoint() {
+    let svc = service_with(3, 20);
+    let ckpt = svc.checkpoint().with_breakers(vec![
+        BreakerSnapshot {
+            name: "mscn".into(),
+            state: BreakerState::Open,
+            consecutive_failures: 4,
+            opened_at: 17,
+        },
+        BreakerSnapshot {
+            name: "avi".into(),
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+        },
+    ]);
+    let decoded = decode_checkpoint(&encode_checkpoint(&ckpt)).expect("decode");
+    assert_eq!(decoded.breakers, ckpt.breakers);
+}

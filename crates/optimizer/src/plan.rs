@@ -88,10 +88,15 @@ pub fn optimize<O: SelectivityOracle>(
     oracle: &O,
     cost_model: &CostModel,
 ) -> (Plan, f64) {
+    let _span = ce_telemetry::Span::enter("optimizer_optimize");
     let dims = query.joined_dims();
     assert!(dims.len() <= 20, "too many dimensions for subset DP");
     let n = star.fact().n_rows() as f64;
     let k = dims.len();
+    if ce_telemetry::enabled() {
+        ce_telemetry::counter("optimizer.plans").inc();
+        ce_telemetry::histogram("optimizer.dp_subsets").record(1u64 << k);
+    }
 
     // Estimated size of each filtered dimension.
     let dim_rows: Vec<f64> = dims
@@ -168,6 +173,7 @@ pub fn true_cost(
     plan: &Plan,
     cost_model: &CostModel,
 ) -> f64 {
+    let _span = ce_telemetry::Span::enter("optimizer_true_cost");
     let n = star.fact().n_rows() as f64;
     let fact_rows = star.count_with_dims(query, &[]) as f64;
     let mut cost = n + cost_model.output * fact_rows;
@@ -300,5 +306,35 @@ mod tests {
         }
         assert!(flips > 0, "injection never changed any plan");
         let _ = est.partial_selectivity(&w[0].query, &[]);
+    }
+
+    #[test]
+    fn telemetry_observes_planning_without_changing_it() {
+        let star = dsb_star(600, 9);
+        let est = PostgresEstimator::build(&star);
+        let templates = random_templates(&star, 3, 11);
+        let w = generate_join_workload(&star, &templates, 2, &JoinGeneratorConfig::default(), 12);
+        assert!(!w.is_empty());
+        let cm = CostModel::default();
+        let off: Vec<(Plan, f64)> =
+            w.iter().map(|lq| optimize(&star, &lq.query, &est, &cm)).collect();
+
+        ce_telemetry::set_enabled(true);
+        let plans_before = ce_telemetry::counter("optimizer.plans").get();
+        let spans_before = ce_telemetry::histogram("span.optimizer_true_cost").count();
+        let on: Vec<(Plan, f64)> =
+            w.iter().map(|lq| optimize(&star, &lq.query, &est, &cm)).collect();
+        let costs: Vec<f64> =
+            w.iter().zip(&on).map(|(lq, (p, _))| true_cost(&star, &lq.query, p, &cm)).collect();
+        ce_telemetry::set_enabled(false);
+
+        // Out-of-band contract: enabling telemetry changes nothing.
+        assert_eq!(off, on);
+        assert!(costs.iter().all(|c| c.is_finite()));
+        assert!(ce_telemetry::counter("optimizer.plans").get() >= plans_before + w.len() as u64);
+        assert!(
+            ce_telemetry::histogram("span.optimizer_true_cost").count()
+                >= spans_before + w.len() as u64
+        );
     }
 }

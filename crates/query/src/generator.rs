@@ -97,6 +97,7 @@ pub fn generate_workload(
         assert!(table.n_rows() > 0, "cannot center on tuples of an empty table");
     }
 
+    let _span = ce_telemetry::Span::enter("query_generate_workload");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out: Workload = Vec::with_capacity(count);
     let mut seen = std::collections::HashSet::new();
@@ -125,6 +126,13 @@ pub fn generate_workload(
         }
         seen.insert(key);
         out.push(Labeled { query, cardinality, selectivity });
+    }
+    if ce_telemetry::enabled() {
+        ce_telemetry::counter("query.workload_queries").add(out.len() as u64);
+        // Rejection pressure: attempts spent per kept query (selectivity
+        // band misses and duplicates) — high values mean the band is too
+        // narrow for the table.
+        ce_telemetry::histogram("query.generate_attempts").record(attempts as u64);
     }
     out
 }
@@ -260,5 +268,29 @@ mod tests {
         let table = dmv(100, 0);
         let config = GeneratorConfig { min_predicates: 0, ..Default::default() };
         generate_workload(&table, 1, &config, 0);
+    }
+
+    #[test]
+    fn telemetry_observes_generation_without_changing_it() {
+        let table = dmv(2000, 5);
+        let off = generate_workload(&table, 80, &GeneratorConfig::default(), 7);
+
+        ce_telemetry::set_enabled(true);
+        let queries_before = ce_telemetry::counter("query.workload_queries").get();
+        let spans_before = ce_telemetry::histogram("span.query_generate_workload").count();
+        let on = generate_workload(&table, 80, &GeneratorConfig::default(), 7);
+        ce_telemetry::set_enabled(false);
+
+        // Out-of-band contract: same seed, same workload either way.
+        assert_eq!(off.len(), on.len());
+        for (a, b) in off.iter().zip(&on) {
+            assert_eq!(a.cardinality, b.cardinality);
+            assert_eq!(a.query.predicates.len(), b.query.predicates.len());
+        }
+        assert!(
+            ce_telemetry::counter("query.workload_queries").get()
+                >= queries_before + on.len() as u64
+        );
+        assert!(ce_telemetry::histogram("span.query_generate_workload").count() > spans_before);
     }
 }

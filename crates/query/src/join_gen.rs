@@ -102,6 +102,7 @@ pub fn generate_join_workload(
     seed: u64,
 ) -> JoinWorkload {
     assert!(star.fact().n_rows() > 0, "empty fact table");
+    let _span = ce_telemetry::Span::enter("query_generate_join_workload");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(templates.len() * per_template);
     for template in templates {
@@ -121,6 +122,9 @@ pub fn generate_join_workload(
             out.push(Labeled { query, cardinality, selectivity });
             kept += 1;
         }
+    }
+    if ce_telemetry::enabled() {
+        ce_telemetry::counter("query.join_queries").add(out.len() as u64);
     }
     out
 }

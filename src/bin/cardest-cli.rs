@@ -13,18 +13,35 @@
 //! The `stats` subcommand instead serves a fault-injected stream through a
 //! [`ResilientService`] fallback chain with telemetry enabled, then dumps
 //! resilience counters, per-position breaker states, the bounded
-//! `last_errors` ring buffer, and the metrics registry:
+//! `last_errors` ring buffer, the self-healing layer's remediation history
+//! (last alarm, last recalibration outcome, rollback count), and the metrics
+//! registry:
 //!
 //! ```text
 //! cargo run --release --bin cardest-cli -- stats --format text
 //! cargo run --release --bin cardest-cli -- stats --format prom
 //! ```
+//!
+//! The `serve` subcommand runs a long-lived prequential serving loop over a
+//! [`SelfHealingService`] with periodic durable checkpoints. `SIGTERM` /
+//! `SIGINT` trigger a graceful shutdown (final checkpoint, then summary), and
+//! `--resume` restores from the checkpoint file so a killed server picks up
+//! bit-for-bit where it left off:
+//!
+//! ```text
+//! cargo run --release --bin cardest-cli -- serve --stream 2000 --checkpoint-every 200
+//! cargo run --release --bin cardest-cli -- serve --resume
+//! ```
 
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use cardest::conformal::{
-    install_quiet_chaos_hook, AbsoluteResidual, BreakerState, ChaosConfig, ChaosRegressor,
-    OnlineConformal, PiEstimator, PredictionInterval, Regressor, ResilientService,
+    install_quiet_chaos_hook, read_checkpoint, write_checkpoint, AbsoluteResidual, BreakerState,
+    ChaosConfig, ChaosRegressor, HealConfig, HealEvent, HealState, OnlineConformal, PiEstimator,
+    PiServiceConfig, PredictionInterval, Regressor, ResilientService, ScoreFunction,
+    SelfHealingService,
 };
 use cardest::estimators::{AviModel, SamplingEstimator};
 use cardest::pipeline::{
@@ -73,7 +90,9 @@ fn parse_args() -> Options {
                     "usage: cardest-cli [--dataset dmv|census|forest|power] \
                      [--rows N] [--model mscn|lwnn|naru] [--alpha A] [--queries N]\n\
                      \x20      cardest-cli stats [--dataset D] [--rows N] [--stream N] \
-                     [--format text|json|prom]"
+                     [--format text|json|prom]\n\
+                     \x20      cardest-cli serve [--dataset D] [--rows N] [--stream N] \
+                     [--checkpoint PATH] [--checkpoint-every N] [--drift-at N] [--resume]"
                 );
                 std::process::exit(0);
             }
@@ -178,6 +197,7 @@ fn run_stats(args: &[String]) {
     eprintln!("training chain: chaos(mscn) -> avi -> sampling ...");
     install_quiet_chaos_hook();
     let mscn = train_mscn(&bench.feat, &bench.train, 10, seed);
+    let heal_model = mscn.clone();
     let chaos = ChaosConfig {
         nan_rate: 0.2,
         panic_rate: 0.05,
@@ -225,12 +245,309 @@ fn run_stats(args: &[String]) {
     // Mirror the counters into the registry so every export format sees them.
     service.publish_telemetry();
 
+    // Self-healing remediation demo: a calm warm-up, then a drifted phase
+    // whose alarm drives the recalibration state machine. With telemetry
+    // enabled the heal.* gauges and counters land in the registry, so the
+    // json/prom exports carry the remediation surface too.
+    eprintln!("streaming drift through the self-healing layer ...");
+    let mut healing = SelfHealingService::new(
+        heal_model,
+        AbsoluteResidual,
+        &bench.calib.x,
+        &bench.calib.y,
+        PiServiceConfig { alpha, ..Default::default() },
+        HealConfig { min_history: 60, cooldown_base: 100, ..Default::default() },
+    );
+    for qi in 0..opts.stream {
+        let i = qi % bench.test.len();
+        let drift = if qi >= opts.stream / 2 { 0.5 } else { 0.0 };
+        healing.observe(&bench.test.x[i], bench.test.y[i] + drift);
+    }
+
     match opts.format.as_str() {
         "json" => println!("{}", ce_telemetry::global().to_json()),
         "prom" => print!("{}", ce_telemetry::global().to_prometheus()),
-        _ => print_stats_text(&service),
+        _ => {
+            print_stats_text(&service);
+            print_remediation_text(&healing);
+        }
     }
     ce_telemetry::set_enabled(false);
+}
+
+/// Human-readable dump of the self-healing layer's remediation history.
+fn print_remediation_text<M, S>(svc: &SelfHealingService<M, S>)
+where
+    M: Regressor + Clone,
+    S: ScoreFunction + Clone,
+{
+    let state = match svc.state() {
+        HealState::Healthy => "healthy",
+        HealState::Recalibrating => "recalibrating",
+        HealState::RolledBack => "rolled-back (cooldown)",
+    };
+    println!("\nself-healing remediation ({} observations)", svc.observations());
+    println!("  state ............... {state}");
+    println!("  promotions .......... {}", svc.promotion_count());
+    println!("  rollbacks ........... {}", svc.rollback_count());
+    match svc.last_alarm() {
+        Some(HealEvent::AlarmReceived { at, coverage }) => {
+            println!("  last alarm .......... obs {at} (rolling coverage {coverage:.3})");
+        }
+        _ => println!("  last alarm .......... none"),
+    }
+    match svc.last_outcome() {
+        Some(HealEvent::Promoted { at, shadow_coverage, candidate_delta }) => println!(
+            "  last outcome ........ promoted at obs {at} \
+             (shadow coverage {shadow_coverage:.3}, delta {candidate_delta:.5})"
+        ),
+        Some(HealEvent::RolledBack { at, reason, shadow_coverage, cooldown_until }) => println!(
+            "  last outcome ........ rolled back at obs {at} ({reason}, \
+             shadow coverage {shadow_coverage:.3}, cooldown until obs {cooldown_until})"
+        ),
+        _ => println!("  last outcome ........ none"),
+    }
+    println!("  history ({} events, oldest first):", svc.history().len());
+    for event in svc.history() {
+        match event {
+            HealEvent::AlarmReceived { at, coverage } => {
+                println!("    obs {at}: alarm (coverage {coverage:.3})");
+            }
+            HealEvent::Promoted { at, shadow_coverage, .. } => {
+                println!("    obs {at}: promoted (shadow coverage {shadow_coverage:.3})");
+            }
+            HealEvent::RolledBack { at, reason, .. } => {
+                println!("    obs {at}: rolled back ({reason})");
+            }
+        }
+    }
+}
+
+/// Options for the `serve` subcommand.
+struct ServeOptions {
+    dataset: String,
+    rows: usize,
+    queries: usize,
+    stream: usize,
+    checkpoint: PathBuf,
+    every: usize,
+    drift_at: Option<usize>,
+    resume: bool,
+}
+
+fn parse_serve_args(args: &[String]) -> ServeOptions {
+    let mut opts = ServeOptions {
+        dataset: "dmv".into(),
+        rows: 10_000,
+        queries: 800,
+        stream: 2_000,
+        checkpoint: PathBuf::from("cardest-serve.ckpt"),
+        every: 200,
+        drift_at: None,
+        resume: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {}", args[i]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--dataset" => opts.dataset = value(i),
+            "--rows" => opts.rows = value(i).parse().expect("--rows takes a number"),
+            "--queries" => {
+                opts.queries = value(i).parse().expect("--queries takes a number")
+            }
+            "--stream" => opts.stream = value(i).parse().expect("--stream takes a number"),
+            "--checkpoint" => opts.checkpoint = PathBuf::from(value(i)),
+            "--checkpoint-every" => {
+                opts.every = value(i).parse().expect("--checkpoint-every takes a number")
+            }
+            "--drift-at" => {
+                opts.drift_at = Some(value(i).parse().expect("--drift-at takes a number"))
+            }
+            "--resume" => {
+                opts.resume = true;
+                i += 1;
+                continue;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cardest-cli serve [--dataset dmv|census|forest|power] \
+                     [--rows N] [--queries N] [--stream N] [--checkpoint PATH] \
+                     [--checkpoint-every N] [--drift-at N] [--resume]\n\n\
+                     Runs a prequential serving loop over the self-healing PI \
+                     service with periodic durable checkpoints. Truths shift by \
+                     +0.5 from --drift-at (default stream/2) onward so the drift \
+                     alarm and shadow-validated recalibration fire mid-run. \
+                     SIGTERM/SIGINT checkpoint and exit gracefully; --resume \
+                     restores from the checkpoint file and continues bit-for-bit."
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown serve flag {other} (try serve --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    if opts.every == 0 {
+        eprintln!("--checkpoint-every must be at least 1");
+        std::process::exit(2);
+    }
+    opts
+}
+
+/// Set by the signal handler; the serve loop polls it between observations.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Minimal libc-free signal hookup: `signal(2)` is in every unix libc the
+    // binary already links against. The handler only touches an atomic,
+    // which is async-signal-safe.
+    extern "C" fn request_shutdown(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, request_shutdown);
+        signal(SIGTERM, request_shutdown);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// `cardest-cli serve`: a long-lived prequential loop over the
+/// [`SelfHealingService`] with periodic durable checkpoints, drift injection,
+/// graceful signal shutdown, and bit-for-bit `--resume`.
+fn run_serve(args: &[String]) {
+    let opts = parse_serve_args(args);
+    let seed = 42;
+    let alpha = 0.1;
+    install_signal_handlers();
+    let Some(table) = cardest::datagen::by_name(&opts.dataset, opts.rows, seed) else {
+        eprintln!("unknown dataset `{}` (dmv|census|forest|power)", opts.dataset);
+        std::process::exit(2);
+    };
+    eprintln!(
+        "serve: dataset {} ({} rows), stream {}, checkpoint {} every {} obs",
+        opts.dataset,
+        table.n_rows(),
+        opts.stream,
+        opts.checkpoint.display(),
+        opts.every,
+    );
+    let bench = SingleTableBench::prepare(
+        table,
+        opts.queries,
+        &GeneratorConfig::low_selectivity(),
+        SplitSpec::default(),
+        seed,
+    );
+    // The model is retrained deterministically from the same seed on every
+    // start; only the (cheap, mutable) calibration state lives in the
+    // checkpoint file.
+    eprintln!("training mscn ...");
+    let model = train_mscn(&bench.feat, &bench.train, 10, seed);
+    let drift_at = opts.drift_at.unwrap_or(opts.stream / 2);
+
+    let fresh = |model| {
+        SelfHealingService::new(
+            model,
+            AbsoluteResidual,
+            &bench.calib.x,
+            &bench.calib.y,
+            PiServiceConfig { alpha, ..Default::default() },
+            HealConfig { min_history: 60, cooldown_base: 100, ..Default::default() },
+        )
+    };
+    let mut svc = if opts.resume && opts.checkpoint.exists() {
+        match read_checkpoint(&opts.checkpoint)
+            .and_then(|ckpt| SelfHealingService::restore(model.clone(), AbsoluteResidual, ckpt))
+        {
+            Ok(svc) => {
+                eprintln!(
+                    "resumed from {} at observation {}",
+                    opts.checkpoint.display(),
+                    svc.observations()
+                );
+                svc
+            }
+            Err(e) => {
+                eprintln!("checkpoint unusable ({e}); cold-starting fresh");
+                fresh(model)
+            }
+        }
+    } else {
+        if opts.resume {
+            eprintln!("no checkpoint at {}; cold-starting fresh", opts.checkpoint.display());
+        }
+        fresh(model)
+    };
+
+    let start = svc.observations() as usize;
+    if start >= opts.stream {
+        eprintln!("checkpoint already at observation {start} >= --stream {}; done", opts.stream);
+    }
+    let mut served = 0usize;
+    let mut covered = 0usize;
+    for qi in start..opts.stream {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            eprintln!("shutdown signal received at observation {qi}");
+            break;
+        }
+        let i = qi % bench.test.len();
+        let x = &bench.test.x[i];
+        let drift = if qi >= drift_at { 0.5 } else { 0.0 };
+        let y = bench.test.y[i] + drift;
+        if svc.interval(x).contains(y) {
+            covered += 1;
+        }
+        served += 1;
+        svc.observe(x, y);
+        if (qi + 1) % opts.every == 0 {
+            checkpoint_now(&mut svc, &opts.checkpoint, "periodic");
+        }
+    }
+    checkpoint_now(&mut svc, &opts.checkpoint, "final");
+    if served > 0 {
+        println!(
+            "served {served} observations this run, empirical coverage {:.3}",
+            covered as f64 / served as f64
+        );
+    }
+    print_remediation_text(&svc);
+}
+
+/// Writes a checkpoint with a one-line status report; checkpoint failures
+/// are reported but never kill the serving loop.
+fn checkpoint_now<M, S>(svc: &mut SelfHealingService<M, S>, path: &std::path::Path, kind: &str)
+where
+    M: Regressor + Clone,
+    S: ScoreFunction + Clone,
+{
+    match write_checkpoint(path, &svc.checkpoint()) {
+        Ok(()) => eprintln!(
+            "[obs {}] {kind} checkpoint -> {} (state {:?}, promotions {}, rollbacks {})",
+            svc.observations(),
+            path.display(),
+            svc.state(),
+            svc.promotion_count(),
+            svc.rollback_count(),
+        ),
+        Err(e) => eprintln!("[obs {}] {kind} checkpoint FAILED: {e}", svc.observations()),
+    }
 }
 
 /// Human-readable dump of the service's observability surface.
@@ -279,6 +596,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("stats") {
         run_stats(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve(&args[1..]);
         return;
     }
     let opts = parse_args();

@@ -7,6 +7,7 @@ pub mod extensions;
 pub mod guidance;
 pub mod heal;
 pub mod joins;
+pub mod net;
 pub mod obs;
 pub mod perf;
 pub mod postgres;
@@ -24,7 +25,7 @@ use crate::scale::Scale;
 pub const ALL_IDS: &[&str] = &[
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
     "fig11", "fig12", "fig13", "fig14", "tab1", "guide", "ablation", "ext", "clt", "zoo",
-    "resil", "perf", "obs", "heal",
+    "resil", "perf", "obs", "heal", "net",
 ];
 
 /// Runs one experiment by id, printing and saving its records.
@@ -59,6 +60,7 @@ pub fn run_experiment(id: &str, scale: &Scale, results_dir: &Path) -> Vec<Experi
         "perf" => perf::perf(scale),
         "obs" => obs::obs(scale),
         "heal" => heal::heal(scale),
+        "net" => net::net(scale),
         other => panic!("unknown experiment id `{other}` (known: {ALL_IDS:?})"),
     };
     for rec in &records {

@@ -1,0 +1,357 @@
+//! `net`: the HTTP serving layer — endpoint health, the wire bit-audit, a
+//! loopback client fleet, and admission-control shedding.
+//!
+//! Four operational claims about the `ce-server` + `cardest::serve` stack
+//! are checked in one run (DESIGN.md §10):
+//!
+//! 1. **It serves** — the server binds an ephemeral loopback port and all
+//!    four endpoints answer: `GET /healthz`, `GET /readyz`, `GET /metrics`
+//!    (Prometheus text carrying the serve gauges) and `POST /v1/predict`;
+//!    wrong methods get `405`, unknown paths `404`, malformed bodies `422`.
+//! 2. **Bit-identical** — intervals served over HTTP (JSON round-trip,
+//!    micro-batcher coalescing, worker threads) match direct in-process
+//!    `predict_batch` calls bit for bit.
+//! 3. **Fast enough** — a fleet of concurrent keep-alive clients streams
+//!    batches (with prequential truths) and the run records qps and
+//!    p50/p95/p99 request latency; a calm fleet sheds nothing.
+//! 4. **Bounded** — a request larger than the admission queue is shed with
+//!    `503` + `Retry-After` instead of queuing unboundedly, and after a
+//!    graceful drain the port stops accepting.
+//!
+//! The summary is exported to `BENCH_net.json` in the working directory
+//! (grep-gated by CI) alongside the usual `results/net.json` record.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cardest::conformal::{
+    AbsoluteResidual, HealConfig, OnlineConformal, PiEstimator, PiServiceConfig,
+    PredictionInterval, SelfHealingService,
+};
+use cardest::estimators::AviModel;
+use cardest::pipeline::train_mscn;
+use cardest::serve::{json_f64, start_server, value_to_f64, HttpServeConfig, ServeEngine};
+use cardest::server::HttpClient;
+
+use crate::report::ExperimentRecord;
+use crate::scale::Scale;
+
+use super::single_table::{sel_floor, standard_bench, ALPHA};
+
+/// Admission queue capacity in queries; the overload probe submits one more
+/// than this in a single request to force a deterministic shed.
+const QUEUE_CAP: usize = 512;
+
+/// Concurrent keep-alive clients in the fleet phase.
+const CLIENTS: usize = 4;
+
+/// Requests each fleet client issues.
+const REQUESTS_PER_CLIENT: usize = 40;
+
+/// Queries per fleet request (shipped with truths, so the fleet also
+/// exercises the prequential feedback path under concurrency).
+const FLEET_BATCH: usize = 8;
+
+/// Queries audited for HTTP-vs-direct bit identity.
+const AUDIT_QUERIES: usize = 192;
+
+/// Queries per audit request (below `max_batch`, so coalescing across
+/// requests is what the audit actually exercises).
+const AUDIT_CHUNK: usize = 24;
+
+/// Serializes feature rows (and optional truths) as a predict request body.
+fn predict_body(features: &[Vec<f32>], truths: Option<&[f64]>) -> Vec<u8> {
+    let mut body = String::from("{\"features\":[");
+    for (i, row) in features.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                body.push(',');
+            }
+            body.push_str(&json_f64(f64::from(*v)));
+        }
+        body.push(']');
+    }
+    body.push(']');
+    if let Some(truths) = truths {
+        body.push_str(",\"truths\":[");
+        for (i, y) in truths.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&json_f64(*y));
+        }
+        body.push(']');
+    }
+    body.push('}');
+    body.into_bytes()
+}
+
+/// Parses a predict response body into `(lo, hi)` pairs; interval-level
+/// errors (which the calm phases must not produce) surface as `Err`.
+fn parse_intervals(body: &[u8]) -> Result<Vec<(f64, f64)>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "non-utf8 body".to_string())?;
+    let value = serde_json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let serde_json::Value::Array(results) = value.field("results").map_err(|e| e.to_string())?
+    else {
+        return Err("`results` is not an array".to_string());
+    };
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        let lo = value_to_f64(r.field("lo").map_err(|e| e.to_string())?)
+            .map_err(|e| format!("lo: {e}"))?;
+        let hi = value_to_f64(r.field("hi").map_err(|e| e.to_string())?)
+            .map_err(|e| format!("hi: {e}"))?;
+        out.push((lo, hi));
+    }
+    Ok(out)
+}
+
+/// Percentile over an ascending-sorted latency sample (nearest-rank).
+fn percentile(sorted: &[u128], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64
+}
+
+/// Runs the network serving experiment; see the module docs.
+pub fn net(scale: &Scale) -> Vec<ExperimentRecord> {
+    let mut rec = ExperimentRecord::new(
+        "net",
+        "HTTP serving: endpoints, wire bit-audit, loopback fleet qps/latency, \
+         admission shedding",
+    );
+    let bench = standard_bench(scale, "dmv");
+    let floor = sel_floor(scale.rows);
+    let model = train_mscn(&bench.feat, &bench.train, scale.epochs.clamp(1, 10), scale.seed);
+    let healing = SelfHealingService::new(
+        model,
+        AbsoluteResidual,
+        &bench.calib.x,
+        &bench.calib.y,
+        PiServiceConfig { alpha: ALPHA, ..Default::default() },
+        HealConfig::default(),
+    );
+    let fallbacks: Vec<Box<dyn PiEstimator>> = vec![Box::new(OnlineConformal::new(
+        AviModel::build(&bench.table, floor),
+        AbsoluteResidual,
+        &bench.calib.x,
+        &bench.calib.y,
+        ALPHA,
+    ))];
+    let dims = bench.test.x[0].len();
+    let engine = Arc::new(ServeEngine::new(healing, fallbacks, dims));
+    ce_telemetry::set_enabled(true);
+    let handle = start_server(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        HttpServeConfig { queue_cap: QUEUE_CAP, ..Default::default() },
+    )
+    .expect("bind loopback server");
+    let addr = handle.local_addr();
+    let server_started = true;
+    rec.extra("server_started", 1.0);
+
+    // --- 1. every endpoint answers, errors map to the right statuses -----
+    let mut probe = HttpClient::connect(addr).expect("connect probe client");
+    let healthz = probe.get("/healthz").expect("GET /healthz");
+    let readyz = probe.get("/readyz").expect("GET /readyz");
+    let metrics = probe.get("/metrics").expect("GET /metrics");
+    let metrics_text = String::from_utf8_lossy(&metrics.body).to_string();
+    let not_found = probe.get("/nope").expect("GET /nope");
+    let bad_method = probe.post("/healthz", b"{}").expect("POST /healthz");
+    let bad_body = probe.post("/v1/predict", b"not json").expect("POST garbage");
+    let endpoints_ok = healthz.status == 200
+        && readyz.status == 200
+        && metrics.status == 200
+        && metrics_text.contains("cardest_")
+        && not_found.status == 404
+        && bad_method.status == 405
+        && bad_body.status == 422;
+    assert!(
+        endpoints_ok,
+        "endpoint contract broken: healthz {} readyz {} metrics {} 404 {} 405 {} 422 {}",
+        healthz.status,
+        readyz.status,
+        metrics.status,
+        not_found.status,
+        bad_method.status,
+        bad_body.status
+    );
+    rec.extra("endpoints_ok", 1.0);
+
+    // --- 2. bit-audit: HTTP-served intervals == direct calls -------------
+    // No truths are posted in this phase, so the serving state is frozen and
+    // the only variables are the JSON round-trip, the batcher's coalescing,
+    // and the worker threads.
+    let audit_n = bench.test.len().min(AUDIT_QUERIES);
+    let direct: Vec<PredictionInterval> = engine
+        .predict_batch(&bench.test.x[..audit_n])
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("calm direct serving must not error");
+    let mut served = Vec::with_capacity(audit_n);
+    for chunk in bench.test.x[..audit_n].chunks(AUDIT_CHUNK) {
+        let resp = probe.post("/v1/predict", &predict_body(chunk, None)).expect("audit POST");
+        assert_eq!(resp.status, 200, "audit predict: {}", String::from_utf8_lossy(&resp.body));
+        served.extend(parse_intervals(&resp.body).expect("audit response"));
+    }
+    let mismatches = direct
+        .iter()
+        .zip(&served)
+        .filter(|(d, (lo, hi))| d.lo.to_bits() != lo.to_bits() || d.hi.to_bits() != hi.to_bits())
+        .count();
+    let bit_audit_identical = served.len() == direct.len() && mismatches == 0;
+    assert!(
+        bit_audit_identical,
+        "{mismatches}/{audit_n} HTTP-served intervals differ from direct calls"
+    );
+    rec.extra("bit_audit_queries", audit_n as f64);
+    rec.extra("bit_audit_identical", 1.0);
+
+    // --- 3. loopback fleet: concurrent keep-alive clients with truths ----
+    let fleet_t0 = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let xs = bench.test.x.clone();
+            let ys = bench.test.y.clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect fleet client");
+                let mut latencies_us = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                let mut posted = 0usize;
+                for r in 0..REQUESTS_PER_CLIENT {
+                    // Wrap-around slices near the end of the test set may be
+                    // shorter than FLEET_BATCH; count what was really posted.
+                    let at = (c * REQUESTS_PER_CLIENT + r) * FLEET_BATCH % xs.len();
+                    let end = (at + FLEET_BATCH).min(xs.len());
+                    posted += end - at;
+                    let body = predict_body(&xs[at..end], Some(&ys[at..end]));
+                    let t = Instant::now();
+                    let resp = client.post("/v1/predict", &body).expect("fleet POST");
+                    latencies_us.push(t.elapsed().as_micros());
+                    assert_eq!(resp.status, 200, "fleet predict shed or failed");
+                    parse_intervals(&resp.body).expect("fleet response");
+                }
+                (latencies_us, posted)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u128> = Vec::with_capacity(CLIENTS * REQUESTS_PER_CLIENT);
+    let mut fleet_queries = 0usize;
+    for w in workers {
+        let (lat, posted) = w.join().expect("fleet client panicked");
+        latencies.extend(lat);
+        fleet_queries += posted;
+    }
+    let fleet_secs = fleet_t0.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let qps = fleet_queries as f64 / fleet_secs;
+    let p50_us = percentile(&latencies, 0.50);
+    let p95_us = percentile(&latencies, 0.95);
+    let p99_us = percentile(&latencies, 0.99);
+    let calm_stats = handle.batcher_stats();
+    let calm_shed = calm_stats.shed;
+    assert_eq!(calm_shed, 0, "calm fleet must not shed");
+    rec.extra("fleet_clients", CLIENTS as f64);
+    rec.extra("fleet_queries", fleet_queries as f64);
+    rec.extra("qps", qps);
+    rec.extra("p50_us", p50_us);
+    rec.extra("p95_us", p95_us);
+    rec.extra("p99_us", p99_us);
+    rec.extra("calm_shed", calm_shed as f64);
+    rec.extra("batches", calm_stats.batches as f64);
+    rec.extra("max_batch_seen", calm_stats.max_batch_seen as f64);
+    // The fleet posted truths, so the feedback path must have advanced the
+    // healing layer and the metrics scrape must reflect it.
+    let observations = engine.observations();
+    assert!(observations >= fleet_queries as u64, "prequential feedback lost");
+    let metrics_after = probe.get("/metrics").expect("GET /metrics after fleet");
+    let metrics_ok = metrics_after.status == 200
+        && String::from_utf8_lossy(&metrics_after.body).contains("cardest_serve_observations");
+    assert!(metrics_ok, "metrics scrape lost the serve gauges");
+    rec.extra("observations", observations as f64);
+
+    // --- 4. overload shed + graceful drain -------------------------------
+    // One request larger than the admission queue: all-or-nothing admission
+    // rejects it up front with 503 + Retry-After (no partial enqueue).
+    let oversized: Vec<Vec<f32>> = vec![bench.test.x[0].clone(); QUEUE_CAP + 1];
+    let shed_resp =
+        probe.post("/v1/predict", &predict_body(&oversized, None)).expect("overload POST");
+    let overload_shed_503 =
+        shed_resp.status == 503 && shed_resp.header("retry-after").is_some();
+    assert!(
+        overload_shed_503,
+        "oversized request got {} (want 503 + Retry-After)",
+        shed_resp.status
+    );
+    let shed_after = handle.batcher_stats().shed;
+    assert!(shed_after > calm_shed, "overload shed not counted");
+    rec.extra("overload_shed_503", 1.0);
+
+    handle.drain();
+    let drained_refuses = HttpClient::connect(addr).is_err();
+    assert!(drained_refuses, "port still accepting after drain");
+    rec.extra("drained_refuses_connections", 1.0);
+    let server_stats = handle.server_stats();
+    rec.extra("http_requests", server_stats.requests as f64);
+    rec.extra("http_connections", server_stats.accepted as f64);
+    rec.extra("http_conn_shed", server_stats.conn_shed as f64);
+    rec.extra("http_parse_errors", server_stats.parse_errors as f64);
+    ce_telemetry::set_enabled(false);
+    ce_telemetry::global().reset();
+
+    write_bench_summary(
+        scale,
+        server_started,
+        endpoints_ok,
+        bit_audit_identical,
+        calm_shed,
+        overload_shed_503,
+        qps,
+        (p50_us, p95_us, p99_us),
+        &rec,
+    );
+    vec![rec]
+}
+
+/// Writes `BENCH_net.json` in the working directory: the gate fields CI
+/// greps plus the scalar metrics.
+#[allow(clippy::too_many_arguments)]
+fn write_bench_summary(
+    scale: &Scale,
+    server_started: bool,
+    endpoints_ok: bool,
+    bit_audit_identical: bool,
+    calm_shed: u64,
+    overload_shed_503: bool,
+    qps: f64,
+    (p50_us, p95_us, p99_us): (f64, f64, f64),
+    rec: &ExperimentRecord,
+) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"setting_rows\": {},\n", scale.rows));
+    json.push_str(&format!("  \"server_started\": {server_started},\n"));
+    json.push_str(&format!("  \"endpoints_ok\": {endpoints_ok},\n"));
+    json.push_str(&format!("  \"bit_audit_identical\": {bit_audit_identical},\n"));
+    json.push_str(&format!("  \"calm_shed\": {calm_shed},\n"));
+    json.push_str(&format!("  \"overload_shed_503\": {overload_shed_503},\n"));
+    json.push_str(&format!("  \"qps\": {qps:.1},\n"));
+    json.push_str(&format!("  \"p50_us\": {p50_us},\n"));
+    json.push_str(&format!("  \"p95_us\": {p95_us},\n"));
+    json.push_str(&format!("  \"p99_us\": {p99_us},\n"));
+    json.push_str("  \"metrics\": {\n");
+    let scalars: Vec<String> = rec
+        .extras
+        .iter()
+        .map(|(name, value)| format!("    \"{name}\": {value}"))
+        .collect();
+    json.push_str(&scalars.join(",\n"));
+    json.push_str("\n  }\n}\n");
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    println!("  [saved BENCH_net.json]");
+}

@@ -28,7 +28,7 @@ use crate::service::{PiService, PiServiceConfig, PiServiceState, ServiceMode};
 /// File magic: "CEPC" (cardinality-estimation prediction checkpoint).
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"CEPC";
 /// Format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 /// Header size: magic + version + payload length + checksum.
 const HEADER_LEN: usize = 4 + 4 + 8 + 8;
 
@@ -190,6 +190,7 @@ fn write_service(w: &mut Writer, s: &PiServiceState) {
     w.f64(s.config.alpha);
     w.usize(s.config.window);
     w.f64(s.config.shift_threshold);
+    w.bool(s.config.couple_coverage_alarm);
     w.f64s(&s.online_scores);
     w.usize(s.online_nonfinite);
     w.f64s(&s.window_scores);
@@ -228,6 +229,7 @@ fn read_service(r: &mut Reader<'_>) -> Result<PiServiceState, CardEstError> {
         alpha: r.f64()?,
         window: r.u64()? as usize,
         shift_threshold: r.f64()?,
+        couple_coverage_alarm: r.bool()?,
     };
     let online_scores = r.f64s()?;
     let online_nonfinite = r.u64()? as usize;

@@ -39,7 +39,7 @@ use crate::service::PiService;
 /// `Sync` is a supertrait so whole chains can be shared read-only across the
 /// `ce-parallel` pool for batched serving: the serving methods take `&self`,
 /// and only [`PiEstimator::observe`] mutates.
-pub trait PiEstimator: Sync {
+pub trait PiEstimator: Sync + Send {
     /// Short name for diagnostics and error messages.
     fn name(&self) -> &str;
 
@@ -61,7 +61,7 @@ fn finite_or_err(value: f64, context: &'static str) -> Result<f64, CardEstError>
     }
 }
 
-impl<M: Regressor + Sync, S: ScoreFunction + Sync> PiEstimator for OnlineConformal<M, S> {
+impl<M: Regressor + Sync + Send, S: ScoreFunction + Sync + Send> PiEstimator for OnlineConformal<M, S> {
     fn name(&self) -> &str {
         "online-conformal"
     }
@@ -76,7 +76,7 @@ impl<M: Regressor + Sync, S: ScoreFunction + Sync> PiEstimator for OnlineConform
     }
 }
 
-impl<M: Regressor + Sync, S: ScoreFunction + Sync> PiEstimator for WindowedConformal<M, S> {
+impl<M: Regressor + Sync + Send, S: ScoreFunction + Sync + Send> PiEstimator for WindowedConformal<M, S> {
     fn name(&self) -> &str {
         "windowed-conformal"
     }
@@ -95,7 +95,7 @@ impl<M: Regressor + Sync, S: ScoreFunction + Sync> PiEstimator for WindowedConfo
     }
 }
 
-impl<M: Regressor + Clone + Sync, S: ScoreFunction + Clone + Sync> PiEstimator for PiService<M, S> {
+impl<M: Regressor + Clone + Sync + Send, S: ScoreFunction + Clone + Sync + Send> PiEstimator for PiService<M, S> {
     fn name(&self) -> &str {
         "pi-service"
     }

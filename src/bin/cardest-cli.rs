@@ -49,6 +49,7 @@ use cardest::pipeline::{
     ScoreKind, SingleTableBench, SplitSpec,
 };
 use cardest::query::{parse_query, GeneratorConfig};
+use cardest::serve::{start_server, HttpServeConfig, ServeEngine};
 
 struct Options {
     dataset: String,
@@ -324,6 +325,7 @@ where
 }
 
 /// Options for the `serve` subcommand.
+#[cfg_attr(test, derive(Debug))]
 struct ServeOptions {
     dataset: String,
     rows: usize,
@@ -333,9 +335,41 @@ struct ServeOptions {
     every: usize,
     drift_at: Option<usize>,
     resume: bool,
+    /// When set, serve over HTTP on this address instead of the prequential
+    /// text loop.
+    listen: Option<String>,
+    workers: usize,
+    queue: usize,
+    max_batch: usize,
+    batch_window_us: u64,
+    /// Couple CoverageMonitor alarms to the Drifted-mode switch.
+    alarm_coupled: bool,
 }
 
-fn parse_serve_args(args: &[String]) -> ServeOptions {
+/// Outcome of parsing `serve` arguments: run, or print usage and stop.
+#[cfg_attr(test, derive(Debug))]
+enum ServeArgs {
+    Help,
+    Run(ServeOptions),
+}
+
+const SERVE_USAGE: &str = "usage: cardest-cli serve [--dataset dmv|census|forest|power] \
+[--rows N] [--queries N] [--stream N] [--checkpoint PATH] \
+[--checkpoint-every N] [--drift-at N] [--resume] [--listen ADDR] \
+[--workers N] [--queue N] [--max-batch N] [--batch-window-us N] [--alarm-coupled]\n\n\
+Runs the self-healing PI service with periodic durable checkpoints. \
+Without --listen: a prequential text loop whose truths shift by +0.5 from \
+--drift-at (default stream/2) onward so the drift alarm and shadow-validated \
+recalibration fire mid-run. With --listen ADDR (e.g. 127.0.0.1:8080): a \
+network HTTP server exposing POST /v1/predict, GET /metrics, /healthz and \
+/readyz, with micro-batched admission-controlled serving through the full \
+resilient fallback chain. SIGTERM/SIGINT checkpoint and exit gracefully; \
+--resume restores (chain breakers included) and continues bit-for-bit.";
+
+/// Pure argument parser for `serve` — every problem (unknown flag, missing
+/// or malformed value) is an `Err`, never a warning-and-continue, so a typo
+/// cannot silently drop an option.
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
     let mut opts = ServeOptions {
         dataset: "dmv".into(),
         rows: 10_000,
@@ -345,62 +379,61 @@ fn parse_serve_args(args: &[String]) -> ServeOptions {
         every: 200,
         drift_at: None,
         resume: false,
+        listen: None,
+        workers: 4,
+        queue: 1024,
+        max_batch: 64,
+        batch_window_us: 500,
+        alarm_coupled: false,
     };
     let mut i = 0;
     while i < args.len() {
-        let value = |i: usize| {
-            args.get(i + 1)
-                .unwrap_or_else(|| {
-                    eprintln!("missing value for {}", args[i]);
-                    std::process::exit(2);
-                })
-                .clone()
+        let value = |i: usize| -> Result<String, String> {
+            args.get(i + 1).cloned().ok_or_else(|| format!("missing value for {}", args[i]))
         };
+        fn number<T: std::str::FromStr>(flag: &str, raw: String) -> Result<T, String> {
+            raw.parse().map_err(|_| format!("{flag} takes a number, got `{raw}`"))
+        }
         match args[i].as_str() {
-            "--dataset" => opts.dataset = value(i),
-            "--rows" => opts.rows = value(i).parse().expect("--rows takes a number"),
-            "--queries" => {
-                opts.queries = value(i).parse().expect("--queries takes a number")
-            }
-            "--stream" => opts.stream = value(i).parse().expect("--stream takes a number"),
-            "--checkpoint" => opts.checkpoint = PathBuf::from(value(i)),
-            "--checkpoint-every" => {
-                opts.every = value(i).parse().expect("--checkpoint-every takes a number")
-            }
-            "--drift-at" => {
-                opts.drift_at = Some(value(i).parse().expect("--drift-at takes a number"))
+            "--dataset" => opts.dataset = value(i)?,
+            "--rows" => opts.rows = number("--rows", value(i)?)?,
+            "--queries" => opts.queries = number("--queries", value(i)?)?,
+            "--stream" => opts.stream = number("--stream", value(i)?)?,
+            "--checkpoint" => opts.checkpoint = PathBuf::from(value(i)?),
+            "--checkpoint-every" => opts.every = number("--checkpoint-every", value(i)?)?,
+            "--drift-at" => opts.drift_at = Some(number("--drift-at", value(i)?)?),
+            "--listen" => opts.listen = Some(value(i)?),
+            "--workers" => opts.workers = number("--workers", value(i)?)?,
+            "--queue" => opts.queue = number("--queue", value(i)?)?,
+            "--max-batch" => opts.max_batch = number("--max-batch", value(i)?)?,
+            "--batch-window-us" => {
+                opts.batch_window_us = number("--batch-window-us", value(i)?)?
             }
             "--resume" => {
                 opts.resume = true;
                 i += 1;
                 continue;
             }
-            "--help" | "-h" => {
-                println!(
-                    "usage: cardest-cli serve [--dataset dmv|census|forest|power] \
-                     [--rows N] [--queries N] [--stream N] [--checkpoint PATH] \
-                     [--checkpoint-every N] [--drift-at N] [--resume]\n\n\
-                     Runs a prequential serving loop over the self-healing PI \
-                     service with periodic durable checkpoints. Truths shift by \
-                     +0.5 from --drift-at (default stream/2) onward so the drift \
-                     alarm and shadow-validated recalibration fire mid-run. \
-                     SIGTERM/SIGINT checkpoint and exit gracefully; --resume \
-                     restores from the checkpoint file and continues bit-for-bit."
-                );
-                std::process::exit(0);
+            "--alarm-coupled" => {
+                opts.alarm_coupled = true;
+                i += 1;
+                continue;
             }
-            other => {
-                eprintln!("unknown serve flag {other} (try serve --help)");
-                std::process::exit(2);
-            }
+            "--help" | "-h" => return Ok(ServeArgs::Help),
+            other => return Err(format!("unknown serve flag {other} (try serve --help)")),
         }
         i += 2;
     }
     if opts.every == 0 {
-        eprintln!("--checkpoint-every must be at least 1");
-        std::process::exit(2);
+        return Err("--checkpoint-every must be at least 1".to_string());
     }
-    opts
+    if opts.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    if opts.max_batch == 0 {
+        return Err("--max-batch must be at least 1".to_string());
+    }
+    Ok(ServeArgs::Run(opts))
 }
 
 /// Set by the signal handler; the serve loop polls it between observations.
@@ -428,11 +461,23 @@ fn install_signal_handlers() {
 #[cfg(not(unix))]
 fn install_signal_handlers() {}
 
-/// `cardest-cli serve`: a long-lived prequential loop over the
-/// [`SelfHealingService`] with periodic durable checkpoints, drift injection,
-/// graceful signal shutdown, and bit-for-bit `--resume`.
+/// `cardest-cli serve`: a long-lived loop over the [`SelfHealingService`]
+/// with periodic durable checkpoints, graceful signal shutdown, and
+/// bit-for-bit `--resume`. Without `--listen`: a prequential text loop with
+/// drift injection. With `--listen ADDR`: a network HTTP server through the
+/// full resilient chain (breaker snapshots ride the checkpoint both ways).
 fn run_serve(args: &[String]) {
-    let opts = parse_serve_args(args);
+    let opts = match parse_serve_args(args) {
+        Ok(ServeArgs::Help) => {
+            println!("{SERVE_USAGE}");
+            return;
+        }
+        Ok(ServeArgs::Run(opts)) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let seed = 42;
     let alpha = 0.1;
     install_signal_handlers();
@@ -468,33 +513,56 @@ fn run_serve(args: &[String]) {
             AbsoluteResidual,
             &bench.calib.x,
             &bench.calib.y,
-            PiServiceConfig { alpha, ..Default::default() },
+            PiServiceConfig {
+                alpha,
+                couple_coverage_alarm: opts.alarm_coupled,
+                ..Default::default()
+            },
             HealConfig { min_history: 60, cooldown_base: 100, ..Default::default() },
         )
     };
-    let mut svc = if opts.resume && opts.checkpoint.exists() {
-        match read_checkpoint(&opts.checkpoint)
-            .and_then(|ckpt| SelfHealingService::restore(model.clone(), AbsoluteResidual, ckpt))
-        {
-            Ok(svc) => {
-                eprintln!(
-                    "resumed from {} at observation {}",
-                    opts.checkpoint.display(),
-                    svc.observations()
-                );
-                svc
-            }
+    // Load the checkpoint once and keep the breaker snapshots aside: the
+    // healing restore consumes the checkpoint, but the HTTP path still needs
+    // the chain half afterwards.
+    let loaded = if opts.resume && opts.checkpoint.exists() {
+        match read_checkpoint(&opts.checkpoint) {
+            Ok(ckpt) => Some(ckpt),
             Err(e) => {
                 eprintln!("checkpoint unusable ({e}); cold-starting fresh");
-                fresh(model)
+                None
             }
         }
     } else {
         if opts.resume {
             eprintln!("no checkpoint at {}; cold-starting fresh", opts.checkpoint.display());
         }
-        fresh(model)
+        None
     };
+    let saved_breakers = loaded.as_ref().map(|c| c.breakers.clone()).unwrap_or_default();
+    let mut svc = match loaded {
+        Some(ckpt) => {
+            match SelfHealingService::restore(model.clone(), AbsoluteResidual, ckpt) {
+                Ok(svc) => {
+                    eprintln!(
+                        "resumed from {} at observation {}",
+                        opts.checkpoint.display(),
+                        svc.observations()
+                    );
+                    svc
+                }
+                Err(e) => {
+                    eprintln!("checkpoint unusable ({e}); cold-starting fresh");
+                    fresh(model.clone())
+                }
+            }
+        }
+        None => fresh(model.clone()),
+    };
+
+    if let Some(listen) = &opts.listen {
+        run_serve_http(listen, &opts, svc, saved_breakers, &bench, seed, alpha);
+        return;
+    }
 
     let start = svc.observations() as usize;
     if start >= opts.stream {
@@ -528,6 +596,122 @@ fn run_serve(args: &[String]) {
         );
     }
     print_remediation_text(&svc);
+}
+
+/// The HTTP serving mode: wires the self-healing service as the primary of
+/// a resilient AVI/sampling fallback chain, restores breaker snapshots from
+/// the checkpoint, and serves `POST /v1/predict`, `GET /metrics`,
+/// `/healthz`, `/readyz` until SIGTERM/SIGINT, checkpointing the full chain
+/// every `--checkpoint-every` observations and once more on drain.
+fn run_serve_http<M>(
+    listen: &str,
+    opts: &ServeOptions,
+    svc: SelfHealingService<M, AbsoluteResidual>,
+    saved_breakers: Vec<cardest::conformal::BreakerSnapshot>,
+    bench: &SingleTableBench,
+    seed: u64,
+    alpha: f64,
+) where
+    M: Regressor + Clone + Send + Sync + 'static,
+{
+    let floor = 1.0 / bench.table.n_rows() as f64;
+    let dims = bench.calib.x.first().map(Vec::len).unwrap_or(0);
+    eprintln!("building fallback chain: self-healing -> avi -> sampling ...");
+    let avi = AviModel::build(&bench.table, floor);
+    let sampling =
+        SamplingEstimator::build(&bench.table, (opts.rows / 100).max(50), seed + 7, floor);
+    let fallbacks: Vec<Box<dyn PiEstimator>> = vec![
+        Box::new(OnlineConformal::new(
+            avi,
+            AbsoluteResidual,
+            &bench.calib.x,
+            &bench.calib.y,
+            alpha,
+        )),
+        Box::new(OnlineConformal::new(
+            sampling,
+            AbsoluteResidual,
+            &bench.calib.x,
+            &bench.calib.y,
+            alpha,
+        )),
+    ];
+    let engine = std::sync::Arc::new(ServeEngine::new(svc, fallbacks, dims));
+    if !saved_breakers.is_empty() {
+        match engine.restore_breakers(&saved_breakers) {
+            Ok(()) => eprintln!("restored {} breaker snapshots", saved_breakers.len()),
+            Err(e) => eprintln!("breaker snapshots not restored ({e}); starting closed"),
+        }
+    }
+    ce_telemetry::set_enabled(true);
+    let http_config = HttpServeConfig {
+        workers: opts.workers,
+        conn_queue: opts.queue.max(16),
+        queue_cap: opts.queue,
+        max_batch: opts.max_batch,
+        batch_window: std::time::Duration::from_micros(opts.batch_window_us),
+    };
+    let handle = match start_server(std::sync::Arc::clone(&engine), listen, http_config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "listening on http://{} (workers {}, queue {}, max-batch {}, window {}us)",
+        handle.local_addr(),
+        opts.workers,
+        opts.queue,
+        opts.max_batch,
+        opts.batch_window_us,
+    );
+    eprintln!("endpoints: POST /v1/predict, GET /metrics, GET /healthz, GET /readyz");
+
+    let mut last_checkpoint_obs = engine.observations();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let obs = engine.observations();
+        if obs >= last_checkpoint_obs + opts.every as u64 {
+            write_engine_checkpoint(&engine, &opts.checkpoint, "periodic");
+            last_checkpoint_obs = obs;
+        }
+    }
+    eprintln!("shutdown signal received; draining ...");
+    handle.drain();
+    write_engine_checkpoint(&engine, &opts.checkpoint, "final");
+    let server = handle.server_stats();
+    let batcher = handle.batcher_stats();
+    println!(
+        "served {} requests over {} connections ({} shed at accept, {} parse errors)",
+        server.requests, server.accepted, server.conn_shed, server.parse_errors
+    );
+    println!(
+        "micro-batcher: {} queries admitted, {} shed, {} batches (largest {})",
+        batcher.admitted, batcher.shed, batcher.batches, batcher.max_batch_seen
+    );
+    ce_telemetry::set_enabled(false);
+}
+
+/// Writes the engine's full-chain checkpoint (healing state + breaker
+/// snapshots); failures are reported but never kill the server.
+fn write_engine_checkpoint<M>(
+    engine: &ServeEngine<M, AbsoluteResidual>,
+    path: &std::path::Path,
+    kind: &str,
+) where
+    M: Regressor + Clone + Send + Sync + 'static,
+{
+    let ckpt = engine.checkpoint();
+    match write_checkpoint(path, &ckpt) {
+        Ok(()) => eprintln!(
+            "[obs {}] {kind} checkpoint -> {} ({} breaker snapshots)",
+            engine.observations(),
+            path.display(),
+            ckpt.breakers.len(),
+        ),
+        Err(e) => eprintln!("[obs {}] {kind} checkpoint FAILED: {e}", engine.observations()),
+    }
 }
 
 /// Writes a checkpoint with a one-line status report; checkpoint failures
@@ -714,5 +898,91 @@ fn main() {
                 );
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_args_defaults() {
+        let ServeArgs::Run(opts) = parse_serve_args(&[]).unwrap() else {
+            panic!("no flags should run with defaults");
+        };
+        assert_eq!(opts.dataset, "dmv");
+        assert_eq!(opts.every, 200);
+        assert!(opts.listen.is_none());
+        assert!(!opts.resume);
+        assert!(!opts.alarm_coupled);
+    }
+
+    #[test]
+    fn serve_args_unknown_flag_is_an_error() {
+        let err = parse_serve_args(&argv(&["--nonsense"])).unwrap_err();
+        assert!(err.contains("--nonsense"), "error names the flag: {err}");
+        // A typo'd flag before valid ones must also fail, not be skipped.
+        assert!(parse_serve_args(&argv(&["--steam", "500"])).is_err());
+    }
+
+    #[test]
+    fn serve_args_missing_value_is_an_error() {
+        let err = parse_serve_args(&argv(&["--stream"])).unwrap_err();
+        assert!(err.contains("--stream"), "{err}");
+        assert!(parse_serve_args(&argv(&["--listen"])).is_err());
+    }
+
+    #[test]
+    fn serve_args_malformed_number_is_an_error() {
+        let err = parse_serve_args(&argv(&["--rows", "many"])).unwrap_err();
+        assert!(err.contains("--rows") && err.contains("many"), "{err}");
+    }
+
+    #[test]
+    fn serve_args_zero_guards() {
+        assert!(parse_serve_args(&argv(&["--checkpoint-every", "0"])).is_err());
+        assert!(parse_serve_args(&argv(&["--workers", "0"])).is_err());
+        assert!(parse_serve_args(&argv(&["--max-batch", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_args_http_flags_parse() {
+        let args = argv(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "8",
+            "--queue",
+            "256",
+            "--max-batch",
+            "32",
+            "--batch-window-us",
+            "250",
+            "--alarm-coupled",
+            "--resume",
+        ]);
+        let ServeArgs::Run(opts) = parse_serve_args(&args).unwrap() else {
+            panic!("flags should parse to a run");
+        };
+        assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.workers, 8);
+        assert_eq!(opts.queue, 256);
+        assert_eq!(opts.max_batch, 32);
+        assert_eq!(opts.batch_window_us, 250);
+        assert!(opts.alarm_coupled);
+        assert!(opts.resume);
+    }
+
+    #[test]
+    fn serve_args_help_short_circuits() {
+        assert!(matches!(parse_serve_args(&argv(&["--help"])), Ok(ServeArgs::Help)));
+        assert!(matches!(
+            parse_serve_args(&argv(&["-h", "--nonsense"])),
+            Ok(ServeArgs::Help)
+        ));
     }
 }

@@ -37,8 +37,10 @@
 //! ```
 
 pub mod pipeline;
+pub mod serve;
 
 pub use ce_conformal as conformal;
+pub use ce_server as server;
 pub use ce_datagen as datagen;
 pub use ce_estimators as estimators;
 pub use ce_gbdt as gbdt;

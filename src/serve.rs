@@ -1,0 +1,539 @@
+//! Network-facing PI serving: the glue between `ce-server`'s HTTP substrate
+//! and the core's resilient, self-healing estimator chain (DESIGN.md §10).
+//!
+//! ```text
+//! accept loop ─▶ conn queue ─▶ worker pool ─▶ router ─▶ micro-batcher
+//!                                                           │ coalesced
+//!                                                           ▼
+//!                          ResilientService (breakers, fallbacks, floor)
+//!                                 └─ primary: SelfHealingService (RwLock)
+//! ```
+//!
+//! Endpoints:
+//!
+//! - `POST /v1/predict` — JSON batch of feature vectors, answered with one
+//!   interval per query. Requests are coalesced by the micro-batcher into
+//!   `predict_interval_batch` calls; admission overflow sheds with `503` +
+//!   `Retry-After`. Optional `truths` feed the prequential loop (calibration,
+//!   drift detection, self-healing) after the predictions are made.
+//! - `GET /metrics` — Prometheus text from the `ce-telemetry` registry.
+//! - `GET /healthz` — liveness (always `200` while the process serves).
+//! - `GET /readyz` — readiness; `503` while the self-healing layer is
+//!   recalibrating or the server is draining.
+//!
+//! Determinism contract: the batcher's request coalescing never changes
+//! results — `predict_interval_batch` snapshots state per batch and per-query
+//! results are independent, so an HTTP-served interval is bit-identical to a
+//! direct in-process call on the same state (the `net` experiment audits
+//! this; non-finite endpoints travel as the JSON strings `"inf"`/`"-inf"`/
+//! `"nan"` since JSON has no `Infinity`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use crate::conformal::{
+    BreakerSnapshot, CardEstError, Checkpoint, HealState, PiEstimator, PredictionInterval,
+    Regressor, ResilienceStats, ResilientService, ScoreFunction, SelfHealingService,
+    ServiceMode,
+};
+use ce_server::{
+    BatchError, BatcherConfig, BatcherStats, HttpServer, MicroBatcher, Request, Response,
+    ServerConfig, ServerStats,
+};
+
+/// A [`SelfHealingService`] shared between the HTTP workers (read: serve
+/// intervals) and the feedback path (write: observe truths), adapted to the
+/// resilient chain's object-safe [`PiEstimator`] interface.
+pub struct SharedHealing<M, S>(Arc<RwLock<SelfHealingService<M, S>>>);
+
+impl<M, S> Clone for SharedHealing<M, S> {
+    fn clone(&self) -> Self {
+        SharedHealing(Arc::clone(&self.0))
+    }
+}
+
+impl<M, S> SharedHealing<M, S> {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, SelfHealingService<M, S>> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, SelfHealingService<M, S>> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<M, S> PiEstimator for SharedHealing<M, S>
+where
+    M: Regressor + Clone + Send + Sync,
+    S: ScoreFunction + Clone + Send + Sync,
+{
+    fn name(&self) -> &str {
+        "self-healing"
+    }
+
+    fn predict(&self, features: &[f32]) -> Result<f64, CardEstError> {
+        let value = self.read().predict(features);
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(CardEstError::NonFiniteScore { value, context: "model prediction" })
+        }
+    }
+
+    fn interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
+        self.read().try_interval(features)
+    }
+
+    fn observe(&mut self, features: &[f32], y_true: f64) {
+        self.write().observe(features, y_true);
+    }
+}
+
+/// The serving engine: the self-healing primary behind the resilient chain,
+/// with full-chain checkpointing.
+///
+/// Lock order is `resilient` → `healing` everywhere (the chain's serving
+/// calls take the healing read lock while holding the resilient mutex, so
+/// every other path must do the same to stay deadlock-free).
+pub struct ServeEngine<M, S> {
+    healing: SharedHealing<M, S>,
+    resilient: Mutex<ResilientService>,
+}
+
+impl<M, S> ServeEngine<M, S>
+where
+    M: Regressor + Clone + Send + Sync + 'static,
+    S: ScoreFunction + Clone + Send + Sync + 'static,
+{
+    /// Builds the engine: `healing` becomes the chain's primary, followed by
+    /// the given fallbacks, with input sanitization against `expected_dims`
+    /// and the conservative ±∞ floor as the last resort.
+    pub fn new(
+        healing: SelfHealingService<M, S>,
+        fallbacks: Vec<Box<dyn PiEstimator>>,
+        expected_dims: usize,
+    ) -> Self {
+        let healing = SharedHealing(Arc::new(RwLock::new(healing)));
+        let mut resilient = ResilientService::new(Box::new(healing.clone()))
+            .with_expected_dims(expected_dims)
+            .with_conservative_floor(true);
+        for fallback in fallbacks {
+            resilient = resilient.with_fallback(fallback);
+        }
+        ServeEngine { healing, resilient: Mutex::new(resilient) }
+    }
+
+    fn resilient(&self) -> std::sync::MutexGuard<'_, ResilientService> {
+        self.resilient.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Serves a batch through the full resilient chain (breakers, fallbacks,
+    /// conservative floor all apply). Pure with respect to calibration
+    /// state: feedback only ever arrives via [`ServeEngine::observe`].
+    pub fn predict_batch(
+        &self,
+        queries: &[Vec<f32>],
+    ) -> Vec<Result<PredictionInterval, CardEstError>> {
+        self.resilient().predict_interval_batch(queries)
+    }
+
+    /// Feeds one executed query's truth to every chain entry — the primary's
+    /// write routes into the self-healing state machine.
+    pub fn observe(&self, features: &[f32], y_true: f64) {
+        self.resilient().observe(features, y_true);
+    }
+
+    /// Serving mode of the wrapped [`crate::conformal::PiService`].
+    pub fn mode(&self) -> ServiceMode {
+        self.healing.read().service().mode()
+    }
+
+    /// Remediation state of the self-healing layer.
+    pub fn heal_state(&self) -> HealState {
+        self.healing.read().state()
+    }
+
+    /// Total truths absorbed by the self-healing layer.
+    pub fn observations(&self) -> u64 {
+        self.healing.read().observations()
+    }
+
+    /// Full-chain checkpoint: the self-healing service state plus every
+    /// breaker's snapshot, so a restore resumes the *whole* serving chain.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let resilient = self.resilient();
+        let ckpt = self.healing.read().checkpoint();
+        ckpt.with_breakers(resilient.export_breakers())
+    }
+
+    /// Restores breaker state from a checkpoint's snapshots (the healing
+    /// half is restored by constructing the engine from
+    /// [`SelfHealingService::restore`]).
+    pub fn restore_breakers(&self, snapshots: &[BreakerSnapshot]) -> Result<(), CardEstError> {
+        self.resilient().restore_breakers(snapshots)
+    }
+
+    /// Resilience counters (copied out; the chain lock is released before
+    /// returning).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.resilient().stats().clone()
+    }
+
+    /// Mirrors chain + heal state into the telemetry registry.
+    pub fn publish_metrics(&self) {
+        {
+            let resilient = self.resilient();
+            resilient.publish_telemetry();
+        }
+        if ce_telemetry::enabled() {
+            let healing = self.healing.read();
+            ce_telemetry::gauge("serve.heal_state").set(match healing.state() {
+                HealState::Healthy => 0.0,
+                HealState::Recalibrating => 1.0,
+                HealState::RolledBack => 2.0,
+            });
+            ce_telemetry::gauge("serve.mode_drifted").set(match healing.service().mode() {
+                ServiceMode::Stable => 0.0,
+                ServiceMode::Drifted => 1.0,
+            });
+            ce_telemetry::gauge("serve.observations").set(healing.observations() as f64);
+            ce_telemetry::gauge("serve.promotions").set(healing.promotion_count() as f64);
+            ce_telemetry::gauge("serve.rollbacks").set(healing.rollback_count() as f64);
+        }
+    }
+}
+
+/// Tuning for [`start_server`].
+#[derive(Debug, Clone, Copy)]
+pub struct HttpServeConfig {
+    /// HTTP worker threads.
+    pub workers: usize,
+    /// Bounded accepted-connection queue (overflow: raw 503).
+    pub conn_queue: usize,
+    /// Micro-batcher admission queue capacity in queries (overflow: JSON
+    /// 503 + `Retry-After`).
+    pub queue_cap: usize,
+    /// Maximum queries coalesced into one `predict_interval_batch` call.
+    pub max_batch: usize,
+    /// Batch window: how long the batcher lingers for stragglers.
+    pub batch_window: Duration,
+}
+
+impl Default for HttpServeConfig {
+    fn default() -> Self {
+        HttpServeConfig {
+            workers: 4,
+            conn_queue: 64,
+            queue_cap: 1024,
+            max_batch: 64,
+            batch_window: Duration::from_micros(500),
+        }
+    }
+}
+
+/// A running HTTP PI server; dropping it (or calling
+/// [`ServeHandle::drain`]) shuts it down gracefully.
+pub struct ServeHandle {
+    server: HttpServer,
+    batcher: Arc<MicroBatcher<Vec<f32>, Result<PredictionInterval, CardEstError>>>,
+    draining: Arc<AtomicBool>,
+}
+
+impl ServeHandle {
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Connection-level counters.
+    pub fn server_stats(&self) -> ServerStats {
+        self.server.stats()
+    }
+
+    /// Micro-batcher counters (admitted/shed/batches).
+    pub fn batcher_stats(&self) -> BatcherStats {
+        self.batcher.stats()
+    }
+
+    /// Graceful drain: readiness flips to 503, the acceptor stops, in-flight
+    /// requests finish (their batcher submissions included), the batcher
+    /// flushes, and all threads join. Blocks until done; idempotent.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.server.shutdown();
+        self.batcher.shutdown();
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Starts the HTTP server for `engine` on `listen` (e.g. `127.0.0.1:0`).
+///
+/// The returned handle owns the accept/worker/batcher threads; the caller
+/// keeps its own `Arc` to the engine for checkpointing and shutdown policy.
+pub fn start_server<M, S>(
+    engine: Arc<ServeEngine<M, S>>,
+    listen: &str,
+    config: HttpServeConfig,
+) -> std::io::Result<ServeHandle>
+where
+    M: Regressor + Clone + Send + Sync + 'static,
+    S: ScoreFunction + Clone + Send + Sync + 'static,
+{
+    let batch_engine = Arc::clone(&engine);
+    let batcher = MicroBatcher::new(
+        BatcherConfig {
+            queue_cap: config.queue_cap,
+            max_batch: config.max_batch,
+            window: config.batch_window,
+        },
+        move |items: Vec<Vec<f32>>| batch_engine.predict_batch(&items),
+    );
+    let draining = Arc::new(AtomicBool::new(false));
+
+    let handler = {
+        let engine = Arc::clone(&engine);
+        let batcher = Arc::clone(&batcher);
+        let draining = Arc::clone(&draining);
+        move |req: &Request| route(req, &engine, &batcher, &draining)
+    };
+    let server = HttpServer::bind(
+        listen,
+        ServerConfig {
+            workers: config.workers,
+            conn_queue: config.conn_queue,
+            ..ServerConfig::default()
+        },
+        Arc::new(handler),
+    )?;
+    Ok(ServeHandle { server, batcher, draining })
+}
+
+/// Formats an f64 for the JSON wire: finite values use Rust's shortest
+/// round-trip `Display` (bit-exact through parse), non-finite become the
+/// strings `"inf"` / `"-inf"` / `"nan"` since JSON has no literal for them.
+pub fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else if value.is_nan() {
+        "\"nan\"".to_string()
+    } else if value > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+/// Inverse of [`json_f64`] over parsed values: accepts a JSON number or one
+/// of the non-finite marker strings.
+pub fn value_to_f64(value: &serde_json::Value) -> Result<f64, String> {
+    match value {
+        serde_json::Value::Num(n) => Ok(*n),
+        serde_json::Value::Str(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(format!("not a number: `{other}`")),
+        },
+        _ => Err("expected number".to_string()),
+    }
+}
+
+fn json_error(status: u16, message: &str) -> Response {
+    let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
+    Response::json(status, format!("{{\"error\":\"{escaped}\"}}"))
+}
+
+fn route<M, S>(
+    req: &Request,
+    engine: &ServeEngine<M, S>,
+    batcher: &MicroBatcher<Vec<f32>, Result<PredictionInterval, CardEstError>>,
+    draining: &AtomicBool,
+) -> Response
+where
+    M: Regressor + Clone + Send + Sync + 'static,
+    S: ScoreFunction + Clone + Send + Sync + 'static,
+{
+    match (req.method.as_str(), req.path()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/readyz") => {
+            if draining.load(Ordering::SeqCst) {
+                Response::text(503, "draining\n")
+            } else if engine.heal_state() == HealState::Recalibrating {
+                Response::text(503, "recalibrating\n")
+            } else {
+                Response::text(200, "ready\n")
+            }
+        }
+        ("GET", "/metrics") => {
+            engine.publish_metrics();
+            if ce_telemetry::enabled() {
+                let stats = batcher.stats();
+                ce_telemetry::gauge("serve.batch_admitted").set(stats.admitted as f64);
+                ce_telemetry::gauge("serve.batch_shed").set(stats.shed as f64);
+                ce_telemetry::gauge("serve.batches").set(stats.batches as f64);
+                ce_telemetry::gauge("serve.max_batch").set(stats.max_batch_seen as f64);
+            }
+            Response::new(200)
+                .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+                .body(ce_telemetry::global().to_prometheus())
+        }
+        ("POST", "/v1/predict") => predict(req, engine, batcher),
+        (_, "/healthz" | "/readyz" | "/metrics") => json_error(405, "method not allowed"),
+        (_, "/v1/predict") => json_error(405, "method not allowed"),
+        _ => json_error(404, "no such endpoint"),
+    }
+}
+
+/// A parsed predict request: feature rows plus optional truths.
+type PredictBody = (Vec<Vec<f32>>, Option<Vec<f64>>);
+
+/// Parses the predict request body: `{"features": [[f32...]...],
+/// "truths": [f64...]?}`.
+fn parse_predict_body(body: &[u8]) -> Result<PredictBody, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let features_value = value.field("features").map_err(|e| e.to_string())?;
+    let serde_json::Value::Array(rows) = features_value else {
+        return Err("`features` must be an array of arrays".to_string());
+    };
+    let mut features = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let serde_json::Value::Array(nums) = row else {
+            return Err(format!("`features[{i}]` must be an array of numbers"));
+        };
+        let mut q = Vec::with_capacity(nums.len());
+        for n in nums {
+            q.push(value_to_f64(n).map_err(|e| format!("`features[{i}]`: {e}"))? as f32);
+        }
+        features.push(q);
+    }
+    let truths = match value.field("truths") {
+        Err(_) => None,
+        Ok(serde_json::Value::Array(vals)) => {
+            let mut t = Vec::with_capacity(vals.len());
+            for (i, v) in vals.iter().enumerate() {
+                t.push(value_to_f64(v).map_err(|e| format!("`truths[{i}]`: {e}"))?);
+            }
+            Some(t)
+        }
+        Ok(_) => return Err("`truths` must be an array of numbers".to_string()),
+    };
+    if let Some(t) = &truths {
+        if t.len() != features.len() {
+            return Err(format!(
+                "`truths` length {} != `features` length {}",
+                t.len(),
+                features.len()
+            ));
+        }
+    }
+    Ok((features, truths))
+}
+
+fn predict<M, S>(
+    req: &Request,
+    engine: &ServeEngine<M, S>,
+    batcher: &MicroBatcher<Vec<f32>, Result<PredictionInterval, CardEstError>>,
+) -> Response
+where
+    M: Regressor + Clone + Send + Sync + 'static,
+    S: ScoreFunction + Clone + Send + Sync + 'static,
+{
+    let (features, truths) = match parse_predict_body(&req.body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return json_error(422, &msg),
+    };
+    let results = match batcher.submit_all(features.clone()) {
+        Ok(results) => results,
+        Err(BatchError::QueueFull) => {
+            return json_error(503, "admission queue full").header("Retry-After", "1");
+        }
+        Err(BatchError::Shutdown) => {
+            return json_error(503, "server draining").header("Retry-After", "1");
+        }
+        Err(BatchError::Failed) => return json_error(500, "batch execution failed"),
+    };
+    // Prequential feedback strictly after the predictions: the intervals
+    // above were served from pre-feedback state, like the offline loops.
+    if let Some(truths) = &truths {
+        for (x, y) in features.iter().zip(truths) {
+            engine.observe(x, *y);
+        }
+    }
+    let mode = match engine.mode() {
+        ServiceMode::Stable => "stable",
+        ServiceMode::Drifted => "drifted",
+    };
+    let mut body = String::with_capacity(64 + results.len() * 48);
+    body.push_str("{\"mode\":\"");
+    body.push_str(mode);
+    body.push_str("\",\"results\":[");
+    for (i, result) in results.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        match result {
+            Ok(iv) => {
+                body.push_str("{\"lo\":");
+                body.push_str(&json_f64(iv.lo));
+                body.push_str(",\"hi\":");
+                body.push_str(&json_f64(iv.hi));
+                body.push('}');
+            }
+            Err(e) => {
+                let msg = e.to_string().replace('\\', "\\\\").replace('"', "\\\"");
+                body.push_str("{\"error\":\"");
+                body.push_str(&msg);
+                body.push_str("\"}");
+            }
+        }
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_f64_round_trips_every_class() {
+        for v in [0.0, -0.0, 1.5, -2.25, 1e-300, 1e300, f64::MIN_POSITIVE, f64::MAX] {
+            let text = json_f64(v);
+            let parsed = value_to_f64(&serde_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "round-trip of {v}");
+        }
+        let inf = value_to_f64(&serde_json::parse(&json_f64(f64::INFINITY)).unwrap()).unwrap();
+        assert_eq!(inf, f64::INFINITY);
+        let ninf =
+            value_to_f64(&serde_json::parse(&json_f64(f64::NEG_INFINITY)).unwrap()).unwrap();
+        assert_eq!(ninf, f64::NEG_INFINITY);
+        let nan = value_to_f64(&serde_json::parse(&json_f64(f64::NAN)).unwrap()).unwrap();
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn parse_predict_body_validates() {
+        let (f, t) = parse_predict_body(br#"{"features":[[1.0,2.0],[3.5,4.5]]}"#).unwrap();
+        assert_eq!(f, vec![vec![1.0f32, 2.0], vec![3.5, 4.5]]);
+        assert!(t.is_none());
+        let (f, t) =
+            parse_predict_body(br#"{"features":[[1.0]],"truths":[0.25]}"#).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(t, Some(vec![0.25]));
+        assert!(parse_predict_body(b"not json").is_err());
+        assert!(parse_predict_body(br#"{"truths":[1.0]}"#).is_err(), "missing features");
+        assert!(parse_predict_body(br#"{"features":[1.0]}"#).is_err(), "non-nested");
+        assert!(
+            parse_predict_body(br#"{"features":[[1.0]],"truths":[1.0,2.0]}"#).is_err(),
+            "length mismatch"
+        );
+        assert!(parse_predict_body(br#"{"features":[["x"]]}"#).is_err(), "non-number");
+    }
+}

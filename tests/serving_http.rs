@@ -1,0 +1,288 @@
+//! Adversarial property tests for the HTTP serving substrate, plus
+//! concurrency tests for the micro-batcher and the full loopback server.
+//!
+//! The parser faces the network, so it gets the same treatment as the
+//! checkpoint codec: arbitrary garbage must never panic or wedge it,
+//! chunk boundaries must be invisible, truncated bodies must never
+//! surface as requests, and every size limit must map to the right 4xx.
+//! The batcher and server face N concurrent callers, so the tests here
+//! hammer them from thread fleets and assert nothing deadlocks and no
+//! result is lost or cross-wired.
+
+use std::sync::Arc;
+
+use cardest::conformal::{
+    AbsoluteResidual, HealConfig, PiServiceConfig, SelfHealingService,
+};
+use cardest::serve::{start_server, HttpServeConfig, ServeEngine};
+use cardest::server::{BatcherConfig, HttpClient, MicroBatcher, ParserLimits, RequestParser};
+use proptest::prelude::*;
+
+/// Drains every complete request currently parseable from `parser`.
+fn drain(parser: &mut RequestParser) -> Result<Vec<cardest::server::Request>, u16> {
+    let mut out = Vec::new();
+    loop {
+        match parser.next_request() {
+            Ok(Some(req)) => out.push(req),
+            Ok(None) => return Ok(out),
+            Err(e) => return Err(e.status()),
+        }
+    }
+}
+
+/// Builds one syntactically valid POST with the given body.
+fn valid_post(path_tag: usize, body: &[u8]) -> Vec<u8> {
+    let mut raw = format!(
+        "POST /echo/{path_tag} HTTP/1.1\r\nHost: test\r\nX-Tag: {path_tag}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(body);
+    raw
+}
+
+proptest! {
+    /// Arbitrary bytes from the network: the parser either produces
+    /// requests, asks for more bytes, or dies with a mappable 4xx/5xx
+    /// status — it never panics and never loops.
+    #[test]
+    fn parser_survives_arbitrary_garbage(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut parser = RequestParser::new(ParserLimits::default());
+        parser.push(&bytes);
+        match drain(&mut parser) {
+            Ok(requests) => {
+                for req in requests {
+                    prop_assert!(!req.method.is_empty());
+                }
+            }
+            Err(status) => {
+                prop_assert!((400..=505).contains(&status), "unmappable status {status}");
+                // Poisoned: the same error must keep coming back.
+                prop_assert_eq!(drain(&mut parser).unwrap_err(), status);
+            }
+        }
+    }
+
+    /// A pipelined stream of valid requests parses to the same requests no
+    /// matter how the bytes are split into socket reads — chunk boundaries
+    /// (mid-line, mid-header, mid-body) are invisible.
+    #[test]
+    fn chunk_boundaries_are_invisible(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..96), 1..6),
+        chunk_sizes in prop::collection::vec(1usize..48, 1..12),
+    ) {
+        let mut stream = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            stream.extend_from_slice(&valid_post(i, body));
+        }
+
+        let mut whole = RequestParser::new(ParserLimits::default());
+        whole.push(&stream);
+        let expect = drain(&mut whole).expect("valid stream");
+        prop_assert_eq!(expect.len(), bodies.len());
+
+        let mut chunked = RequestParser::new(ParserLimits::default());
+        let mut got = Vec::new();
+        let mut at = 0;
+        let mut turn = 0;
+        while at < stream.len() {
+            let step = chunk_sizes[turn % chunk_sizes.len()].min(stream.len() - at);
+            chunked.push(&stream[at..at + step]);
+            at += step;
+            turn += 1;
+            got.extend(drain(&mut chunked).expect("valid stream, chunked"));
+        }
+        prop_assert_eq!(got.len(), expect.len());
+        for (a, b) in got.iter().zip(&expect) {
+            prop_assert_eq!(&a.method, &b.method);
+            prop_assert_eq!(&a.target, &b.target);
+            prop_assert_eq!(&a.body, &b.body);
+            prop_assert_eq!(a.header("x-tag"), b.header("x-tag"));
+        }
+    }
+
+    /// A truncated body never surfaces as a request: with every byte short
+    /// of `Content-Length` the parser reports "need more", and the final
+    /// byte completes exactly one request with the full body.
+    #[test]
+    fn truncated_bodies_never_surface(body in prop::collection::vec(any::<u8>(), 1..256)) {
+        let raw = valid_post(0, &body);
+        let mut parser = RequestParser::new(ParserLimits::default());
+        parser.push(&raw[..raw.len() - 1]);
+        prop_assert!(drain(&mut parser).expect("prefix is not an error").is_empty());
+        parser.push(&raw[raw.len() - 1..]);
+        let done = drain(&mut parser).expect("completed request");
+        prop_assert_eq!(done.len(), 1);
+        prop_assert_eq!(&done[0].body, &body);
+    }
+
+    /// Oversized request lines, header blocks, and declared bodies die with
+    /// the matching status (414 / 431 / 413) instead of buffering without
+    /// bound — even when the oversized head arrives one byte at a time.
+    #[test]
+    fn size_limits_map_to_statuses(fill in 1usize..64, drip in any::<bool>()) {
+        let limits = ParserLimits {
+            max_request_line: 128,
+            max_head_bytes: 512,
+            max_headers: 8,
+            max_body_bytes: 256,
+        };
+
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(128 + fill));
+        let mut parser = RequestParser::new(limits);
+        if drip {
+            for b in long_line.as_bytes() {
+                parser.push(std::slice::from_ref(b));
+                if drain(&mut parser).is_err() {
+                    break;
+                }
+            }
+        } else {
+            parser.push(long_line.as_bytes());
+        }
+        prop_assert_eq!(drain(&mut parser).unwrap_err(), 414);
+
+        let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(8 + fill) {
+            many_headers.push_str(&format!("X-H-{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        let mut parser = RequestParser::new(limits);
+        parser.push(many_headers.as_bytes());
+        prop_assert_eq!(drain(&mut parser).unwrap_err(), 431);
+
+        let big_body =
+            format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 256 + fill);
+        let mut parser = RequestParser::new(limits);
+        parser.push(big_body.as_bytes());
+        prop_assert_eq!(drain(&mut parser).unwrap_err(), 413);
+    }
+}
+
+#[test]
+fn malformed_request_lines_reject_cleanly() {
+    for (raw, want) in [
+        (&b"GARBAGE\r\n\r\n"[..], 400u16),
+        (b"GET /x HTTP/2.0\r\n\r\n", 505),
+        (b"GET /x HTTP/1.1\r\nno-colon\r\n\r\n", 400),
+        (b"POST /x HTTP/1.1\r\nContent-Length: two\r\n\r\n", 400),
+        (b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+        (b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n", 400),
+    ] {
+        let mut parser = RequestParser::new(ParserLimits::default());
+        parser.push(raw);
+        let err = parser.next_request().expect_err("malformed input must error");
+        assert_eq!(err.status(), want, "for {:?}", String::from_utf8_lossy(raw));
+    }
+}
+
+/// A fleet of threads pushing overlapping batches through one micro-batcher:
+/// every submission must come back complete, in order, and correctly paired
+/// (no cross-wiring between coalesced submissions), with nothing deadlocked.
+#[test]
+fn micro_batcher_survives_a_concurrent_fleet() {
+    let batcher: Arc<MicroBatcher<u64, u64>> = MicroBatcher::new(
+        BatcherConfig {
+            queue_cap: 256,
+            max_batch: 16,
+            window: std::time::Duration::from_micros(200),
+        },
+        |items: Vec<u64>| items.iter().map(|v| v * 2 + 1).collect(),
+    );
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || {
+                for round in 0..50u64 {
+                    let base = t * 10_000 + round * 100;
+                    let items: Vec<u64> = (base..base + 1 + round % 7).collect();
+                    let results = batcher.submit_all(items.clone()).expect("calm submit");
+                    assert_eq!(results.len(), items.len());
+                    for (x, y) in items.iter().zip(&results) {
+                        assert_eq!(*y, x * 2 + 1, "cross-wired batch result");
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("fleet thread panicked");
+    }
+    let stats = batcher.stats();
+    assert_eq!(stats.shed, 0, "calm fleet must not shed");
+    assert!(stats.admitted >= 8 * 50, "all submissions admitted");
+    batcher.shutdown();
+}
+
+/// End-to-end loopback serving: concurrent keep-alive clients stream
+/// predict batches (with prequential truths) through the real HTTP server
+/// and micro-batcher; everything answers 200, nothing deadlocks, and a
+/// graceful drain closes the port.
+#[test]
+fn loopback_fleet_never_deadlocks_the_server() {
+    let n = 64usize;
+    let xs: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / n as f32]).collect();
+    let ys: Vec<f64> = (0..n).map(|i| i as f64 / n as f64 + 0.02).collect();
+    let model = |f: &[f32]| f[0] as f64;
+    let healing = SelfHealingService::new(
+        model,
+        AbsoluteResidual,
+        &xs,
+        &ys,
+        PiServiceConfig::default(),
+        HealConfig::default(),
+    );
+    let engine = Arc::new(ServeEngine::new(healing, Vec::new(), 1));
+    let handle = start_server(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        HttpServeConfig {
+            workers: 4,
+            queue_cap: 64,
+            max_batch: 8,
+            batch_window: std::time::Duration::from_micros(200),
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = handle.local_addr();
+
+    let clients: Vec<_> = (0..8)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                for r in 0..15 {
+                    let v = (c * 17 + r) as f64 / 120.0;
+                    let body = format!(
+                        "{{\"features\":[[{v}],[{}]],\"truths\":[{v},{}]}}",
+                        v / 2.0,
+                        v / 2.0 + 0.01,
+                    );
+                    let resp =
+                        client.post("/v1/predict", body.as_bytes()).expect("predict");
+                    assert_eq!(
+                        resp.status,
+                        200,
+                        "predict failed: {}",
+                        String::from_utf8_lossy(&resp.body)
+                    );
+                    let text = String::from_utf8_lossy(&resp.body).to_string();
+                    assert!(text.contains("\"results\":[{"), "unexpected body {text}");
+                }
+                let health = client.get("/healthz").expect("healthz");
+                assert_eq!(health.status, 200);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread panicked");
+    }
+    assert_eq!(engine.observations(), 8 * 15 * 2, "prequential truths lost");
+    assert_eq!(handle.batcher_stats().shed, 0, "calm fleet must not shed");
+
+    handle.drain();
+    assert!(
+        HttpClient::connect(addr).is_err(),
+        "port still accepting after graceful drain"
+    );
+}

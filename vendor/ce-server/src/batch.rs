@@ -1,0 +1,450 @@
+//! Deadline-bounded micro-batching with admission control.
+//!
+//! Concurrent callers submit work items and block for their results; a
+//! dedicated batcher thread coalesces whatever is queued (up to
+//! [`BatcherConfig::max_batch`], waiting at most [`BatcherConfig::window`]
+//! for stragglers) and hands one combined slice to the runner closure. The
+//! queue is bounded: a submission that would overflow it is rejected whole
+//! ([`BatchError::QueueFull`]) so load sheds at admission instead of
+//! growing latency unboundedly.
+//!
+//! The runner is panic-isolated: a panicking or mis-sized runner fails the
+//! affected jobs with [`BatchError::Failed`] rather than deadlocking their
+//! submitters, and the batcher thread survives to serve the next batch.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for a [`MicroBatcher`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// Maximum queued (admitted, not yet executed) items. Submissions that
+    /// would exceed this are shed whole.
+    pub queue_cap: usize,
+    /// Maximum items handed to the runner in one call.
+    pub max_batch: usize,
+    /// How long the batcher waits for more items after the first one
+    /// arrives, to give concurrent submitters a chance to coalesce.
+    pub window: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            queue_cap: 1024,
+            max_batch: 64,
+            window: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Why a submission failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// The bounded queue could not admit the submission; shed with 503.
+    QueueFull,
+    /// The runner panicked or returned a mis-sized result for this item's
+    /// batch.
+    Failed,
+    /// The batcher was shut down before the item executed.
+    Shutdown,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            BatchError::QueueFull => "admission queue full",
+            BatchError::Failed => "batch runner failed",
+            BatchError::Shutdown => "batcher shut down",
+        };
+        write!(f, "{msg}")
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Per-job rendezvous: the submitter blocks on the condvar until the
+/// batcher thread deposits `Some(Ok(result))` / `Some(Err(..))`.
+struct Slot<R> {
+    result: Mutex<Option<Result<R, BatchError>>>,
+    ready: Condvar,
+}
+
+impl<R> Slot<R> {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot { result: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    fn deliver(&self, value: Result<R, BatchError>) {
+        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(value);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> Result<R, BatchError> {
+        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(value) = guard.take() {
+                return value;
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct Job<T, R> {
+    item: T,
+    slot: Arc<Slot<R>>,
+}
+
+struct Shared<T, R> {
+    queue: Mutex<QueueState<T, R>>,
+    /// Wakes the batcher when items arrive or shutdown is requested.
+    wake: Condvar,
+}
+
+struct QueueState<T, R> {
+    jobs: VecDeque<Job<T, R>>,
+    shutdown: bool,
+}
+
+/// Counters exposed for telemetry and the bench gate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatcherStats {
+    /// Items admitted to the queue.
+    pub admitted: u64,
+    /// Items shed at admission (`QueueFull`).
+    pub shed: u64,
+    /// Runner invocations.
+    pub batches: u64,
+    /// Largest batch handed to the runner so far.
+    pub max_batch_seen: u64,
+}
+
+/// See module docs.
+pub struct MicroBatcher<T: Send + 'static, R: Send + 'static> {
+    shared: Arc<Shared<T, R>>,
+    config: BatcherConfig,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    batches: Arc<AtomicU64>,
+    max_batch_seen: Arc<AtomicU64>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<T: Send + 'static, R: Send + 'static> MicroBatcher<T, R> {
+    /// Spawns the batcher thread with `runner` as the batch executor. The
+    /// runner receives the coalesced items and must return exactly one
+    /// result per item (a mis-sized return fails the whole batch).
+    pub fn new<F>(config: BatcherConfig, runner: F) -> Arc<Self>
+    where
+        F: FnMut(Vec<T>) -> Vec<R> + Send + 'static,
+    {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            wake: Condvar::new(),
+        });
+        let batches = Arc::new(AtomicU64::new(0));
+        let max_batch_seen = Arc::new(AtomicU64::new(0));
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let batches = Arc::clone(&batches);
+            let max_batch_seen = Arc::clone(&max_batch_seen);
+            let cfg = config;
+            std::thread::Builder::new()
+                .name("ce-server-batcher".into())
+                .spawn(move || batcher_loop(shared, cfg, runner, batches, max_batch_seen))
+                .expect("spawn batcher thread")
+        };
+        Arc::new(MicroBatcher {
+            shared,
+            config,
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches,
+            max_batch_seen,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// Submits `items` as one all-or-nothing admission unit and blocks
+    /// until every item's result is available, returned in input order.
+    ///
+    /// If the queue cannot hold all of them, none are admitted and the call
+    /// sheds with [`BatchError::QueueFull`].
+    pub fn submit_all(&self, items: Vec<T>) -> Result<Vec<R>, BatchError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let slots: Vec<Arc<Slot<R>>> = {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.shutdown {
+                return Err(BatchError::Shutdown);
+            }
+            if queue.jobs.len() + items.len() > self.config.queue_cap {
+                drop(queue);
+                self.shed.fetch_add(items.len() as u64, Ordering::Relaxed);
+                return Err(BatchError::QueueFull);
+            }
+            let slots: Vec<Arc<Slot<R>>> = items.iter().map(|_| Slot::new()).collect();
+            for (item, slot) in items.into_iter().zip(&slots) {
+                queue.jobs.push_back(Job { item, slot: Arc::clone(slot) });
+            }
+            self.admitted.fetch_add(slots.len() as u64, Ordering::Relaxed);
+            slots
+        };
+        self.shared.wake.notify_one();
+        // Waiting happens outside the queue lock, so the batcher is free to
+        // coalesce these jobs with other submitters' while we block.
+        let mut out = Vec::with_capacity(slots.len());
+        let mut failure = None;
+        for slot in slots {
+            match slot.wait() {
+                Ok(r) => out.push(r),
+                Err(e) => failure = Some(e),
+            }
+        }
+        match failure {
+            None => Ok(out),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> BatcherStats {
+        BatcherStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch_seen: self.max_batch_seen.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Items currently queued (admitted, not yet handed to the runner).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).jobs.len()
+    }
+
+    /// Stops admitting, lets the batcher drain everything already queued,
+    /// and joins the thread. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        if let Some(handle) =
+            self.worker.lock().unwrap_or_else(|e| e.into_inner()).take()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Send + 'static, R: Send + 'static> Drop for MicroBatcher<T, R> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn batcher_loop<T, R, F>(
+    shared: Arc<Shared<T, R>>,
+    config: BatcherConfig,
+    mut runner: F,
+    batches: Arc<AtomicU64>,
+    max_batch_seen: Arc<AtomicU64>,
+) where
+    F: FnMut(Vec<T>) -> Vec<R>,
+{
+    loop {
+        // Phase 1: wait for the first job (or shutdown with an empty queue).
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !queue.jobs.is_empty() {
+                break;
+            }
+            if queue.shutdown {
+                return;
+            }
+            queue = shared.wake.wait(queue).unwrap_or_else(|e| e.into_inner());
+        }
+        // Phase 2: first job in hand — linger up to `window` for stragglers,
+        // unless the batch is already full or we're draining for shutdown.
+        let deadline = std::time::Instant::now() + config.window;
+        while queue.jobs.len() < config.max_batch && !queue.shutdown {
+            let now = std::time::Instant::now();
+            let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (q, timeout) = shared
+                .wake
+                .wait_timeout(queue, left)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = q;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = queue.jobs.len().min(config.max_batch);
+        let batch: Vec<Job<T, R>> = queue.jobs.drain(..take).collect();
+        drop(queue);
+
+        let (items, slots): (Vec<T>, Vec<Arc<Slot<R>>>) =
+            batch.into_iter().map(|j| (j.item, j.slot)).unzip();
+        let n = slots.len();
+        batches.fetch_add(1, Ordering::Relaxed);
+        max_batch_seen.fetch_max(n as u64, Ordering::Relaxed);
+
+        let results = catch_unwind(AssertUnwindSafe(|| runner(items)))
+            .ok()
+            .filter(|r| r.len() == n);
+        match results {
+            Some(results) => {
+                for (slot, result) in slots.into_iter().zip(results) {
+                    slot.deliver(Ok(result));
+                }
+            }
+            None => {
+                for slot in slots {
+                    slot.deliver(Err(BatchError::Failed));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_submission_round_trips_in_order() {
+        let batcher = MicroBatcher::new(BatcherConfig::default(), |items: Vec<i64>| {
+            items.iter().map(|x| x * 2).collect()
+        });
+        assert_eq!(batcher.submit_all(vec![1, 2, 3]), Ok(vec![2, 4, 6]));
+        assert_eq!(batcher.submit_all(Vec::new()), Ok(Vec::new()));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submitters_coalesce_and_all_complete() {
+        let batch_sizes = Arc::new(Mutex::new(Vec::new()));
+        let sizes = Arc::clone(&batch_sizes);
+        let batcher = MicroBatcher::new(
+            BatcherConfig { queue_cap: 1024, max_batch: 64, window: Duration::from_millis(5) },
+            move |items: Vec<u64>| {
+                sizes.lock().unwrap().push(items.len());
+                items.iter().map(|x| x + 100).collect()
+            },
+        );
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let b = Arc::clone(&batcher);
+            handles.push(std::thread::spawn(move || {
+                b.submit_all(vec![t * 10, t * 10 + 1]).unwrap()
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            let t = t as u64;
+            assert_eq!(h.join().unwrap(), vec![t * 10 + 100, t * 10 + 101]);
+        }
+        let stats = batcher.stats();
+        assert_eq!(stats.admitted, 16);
+        assert_eq!(stats.shed, 0);
+        // Coalescing must never split a batch beyond the item count, and
+        // everything ran in at least one batch.
+        let sizes = batch_sizes.lock().unwrap();
+        assert_eq!(sizes.iter().sum::<usize>(), 16);
+        assert!(stats.max_batch_seen >= 2, "window never coalesced anything");
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn queue_overflow_sheds_whole_submission() {
+        // A runner that blocks until released keeps the queue occupied.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let batcher = MicroBatcher::new(
+            BatcherConfig { queue_cap: 2, max_batch: 1, window: Duration::ZERO },
+            move |items: Vec<u8>| {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                items
+            },
+        );
+        // First submission occupies the runner; fill the queue behind it.
+        let b1 = Arc::clone(&batcher);
+        let h1 = std::thread::spawn(move || b1.submit_all(vec![1]));
+        while batcher.stats().batches == 0 {
+            std::thread::yield_now();
+        }
+        let b2 = Arc::clone(&batcher);
+        let h2 = std::thread::spawn(move || b2.submit_all(vec![2, 3]));
+        while batcher.queued() < 2 {
+            std::thread::yield_now();
+        }
+        // Queue holds 2/2: any further admission must shed, all-or-nothing.
+        assert_eq!(batcher.submit_all(vec![4]), Err(BatchError::QueueFull));
+        assert_eq!(batcher.submit_all(vec![5, 6]), Err(BatchError::QueueFull));
+        assert_eq!(batcher.stats().shed, 3);
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        assert_eq!(h1.join().unwrap(), Ok(vec![1]));
+        assert_eq!(h2.join().unwrap(), Ok(vec![2, 3]));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn panicking_runner_fails_jobs_without_deadlock_and_recovers() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let batcher = MicroBatcher::new(
+            BatcherConfig { queue_cap: 16, max_batch: 16, window: Duration::ZERO },
+            move |items: Vec<i32>| {
+                if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("injected runner fault");
+                }
+                items
+            },
+        );
+        assert_eq!(batcher.submit_all(vec![7]), Err(BatchError::Failed));
+        // The batcher thread survived the panic and serves the next batch.
+        assert_eq!(batcher.submit_all(vec![8]), Ok(vec![8]));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn missized_runner_output_fails_the_batch() {
+        let batcher = MicroBatcher::new(
+            BatcherConfig { queue_cap: 16, max_batch: 16, window: Duration::ZERO },
+            |_items: Vec<i32>| vec![99],
+        );
+        assert_eq!(batcher.submit_all(vec![1, 2]), Err(BatchError::Failed));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_then_rejects() {
+        let batcher = MicroBatcher::new(
+            BatcherConfig { queue_cap: 64, max_batch: 4, window: Duration::from_millis(1) },
+            |items: Vec<u32>| items.iter().map(|x| x + 1).collect(),
+        );
+        let b = Arc::clone(&batcher);
+        let h = std::thread::spawn(move || b.submit_all(vec![1, 2, 3, 4, 5]));
+        assert_eq!(h.join().unwrap(), Ok(vec![2, 3, 4, 5, 6]));
+        batcher.shutdown();
+        assert_eq!(batcher.submit_all(vec![9]), Err(BatchError::Shutdown));
+        batcher.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,117 @@
+//! Minimal blocking HTTP/1.1 client for loopback tests and benchmarks.
+//!
+//! Speaks just enough of the protocol to exercise [`crate::HttpServer`]:
+//! keep-alive GET/POST with `Content-Length`-framed responses. Not a
+//! general-purpose client.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed client-side response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A persistent (keep-alive) connection to one server.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects with a 5s connect/read/write timeout.
+    pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient { stream, buf: Vec::new() })
+    }
+
+    /// Sends a GET and reads the response.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        let head = format!("GET {path} HTTP/1.1\r\nHost: loopback\r\n\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Sends a POST with a body and reads the response.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: loopback\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let head_end = loop {
+            if let Some(i) = find_double_crlf(&self.buf) {
+                break i;
+            }
+            self.fill()?;
+        };
+        let head: Vec<u8> = self.buf.drain(..head_end).collect();
+        let head = String::from_utf8(head)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 head"))?;
+        let mut lines = head.split("\r\n").filter(|l| !l.is_empty());
+        let status_line = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty head"))?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad header"))?;
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        while self.buf.len() < len {
+            self.fill()?;
+        }
+        let body: Vec<u8> = self.buf.drain(..len).collect();
+        Ok(ClientResponse { status, headers, body })
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 8 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}

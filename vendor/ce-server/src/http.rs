@@ -1,0 +1,612 @@
+//! Incremental HTTP/1.1 request parsing and response serialization.
+//!
+//! The parser is a push-style state machine over an internal buffer: feed it
+//! whatever bytes the socket produced ([`RequestParser::push`]), then drain
+//! complete requests ([`RequestParser::next_request`]). Partial reads,
+//! pipelined requests, and head/body split across arbitrary chunk boundaries
+//! all fall out of the same two calls. Every limit violation and syntax
+//! error is a typed [`HttpError`] carrying the status code the connection
+//! should die with — the parser never panics on hostile input.
+//!
+//! Scope is deliberately the subset a loopback serving layer needs:
+//! `Content-Length` bodies only (a request bearing `Transfer-Encoding` is
+//! rejected with 501), no multiline header folding (400), CRLF or bare-LF
+//! line endings.
+
+use std::fmt;
+
+/// Byte/size caps enforced while parsing a request head and body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParserLimits {
+    /// Maximum bytes in the request line (method + target + version).
+    pub max_request_line: usize,
+    /// Maximum total bytes in the head (request line + all headers).
+    pub max_head_bytes: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+    /// Maximum bytes in the body (`Content-Length` above this is rejected
+    /// before any body byte is buffered).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ParserLimits {
+    fn default() -> Self {
+        ParserLimits {
+            max_request_line: 8 * 1024,
+            max_head_bytes: 32 * 1024,
+            max_headers: 64,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// A typed parse failure; [`HttpError::status`] is the response code the
+/// server answers with before closing the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line is malformed (missing parts, bad version tag, …).
+    BadRequestLine,
+    /// A header field is malformed (no colon, invalid name bytes, folding).
+    BadHeader,
+    /// The request line exceeds [`ParserLimits::max_request_line`].
+    RequestLineTooLong,
+    /// The head exceeds [`ParserLimits::max_head_bytes`] or
+    /// [`ParserLimits::max_headers`].
+    HeadersTooLarge,
+    /// `Content-Length` is unparseable or conflicting.
+    BadContentLength,
+    /// The declared body exceeds [`ParserLimits::max_body_bytes`].
+    BodyTooLarge,
+    /// The request uses `Transfer-Encoding` (chunked uploads unsupported).
+    UnsupportedTransferEncoding,
+    /// An HTTP version other than 1.0 / 1.1.
+    UnsupportedVersion,
+}
+
+impl HttpError {
+    /// The status code a server should answer this error with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequestLine
+            | HttpError::BadHeader
+            | HttpError::BadContentLength => 400,
+            HttpError::RequestLineTooLong => 414,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::UnsupportedTransferEncoding => 501,
+            HttpError::UnsupportedVersion => 505,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            HttpError::BadRequestLine => "malformed request line",
+            HttpError::BadHeader => "malformed header field",
+            HttpError::RequestLineTooLong => "request line too long",
+            HttpError::HeadersTooLarge => "headers too large",
+            HttpError::BadContentLength => "bad content-length",
+            HttpError::BodyTooLarge => "body too large",
+            HttpError::UnsupportedTransferEncoding => "transfer-encoding unsupported",
+            HttpError::UnsupportedVersion => "http version unsupported",
+        };
+        write!(f, "{msg}")
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path + optional query), as received.
+    pub target: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    /// Header fields in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The (possibly empty) body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should be kept open after this request:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`; HTTP/1.0
+    /// only persists with an explicit `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        let conn = self.header("connection").map(str::to_ascii_lowercase);
+        match (self.http11, conn.as_deref()) {
+            (_, Some("close")) => false,
+            (true, _) => true,
+            (false, Some("keep-alive")) => true,
+            (false, _) => false,
+        }
+    }
+
+    /// The path part of the target (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+}
+
+/// Internal phase of the parser between calls.
+#[derive(Debug)]
+enum Phase {
+    /// Accumulating head bytes until the blank line.
+    Head,
+    /// Head parsed; waiting for `remaining` more body bytes.
+    Body { request: Request, remaining: usize },
+}
+
+/// A push-style incremental request parser (see module docs).
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: ParserLimits,
+    buf: Vec<u8>,
+    phase: Phase,
+    /// Latched error: once poisoned, the connection must die.
+    dead: Option<HttpError>,
+}
+
+impl RequestParser {
+    /// Creates a parser with the given limits.
+    pub fn new(limits: ParserLimits) -> Self {
+        RequestParser { limits, buf: Vec::new(), phase: Phase::Head, dead: None }
+    }
+
+    /// Appends raw socket bytes to the internal buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet consumed by a parsed request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to drain one complete request from the buffer.
+    ///
+    /// `Ok(None)` means "need more bytes"; an `Err` poisons the parser (every
+    /// later call returns the same error — the connection is unrecoverable
+    /// because the byte stream's framing is lost).
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        if let Some(e) = &self.dead {
+            return Err(e.clone());
+        }
+        match self.try_next() {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.dead = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
+        loop {
+            match &mut self.phase {
+                Phase::Head => {
+                    let Some(head_end) = find_head_end(&self.buf) else {
+                        // No blank line yet: enforce caps on the partial head
+                        // so a drip-fed attacker cannot grow the buffer
+                        // unboundedly.
+                        if self.buf.len() > self.limits.max_head_bytes {
+                            return Err(HttpError::HeadersTooLarge);
+                        }
+                        if !self.buf.contains(&b'\n')
+                            && self.buf.len() > self.limits.max_request_line
+                        {
+                            return Err(HttpError::RequestLineTooLong);
+                        }
+                        return Ok(None);
+                    };
+                    if head_end > self.limits.max_head_bytes {
+                        return Err(HttpError::HeadersTooLarge);
+                    }
+                    let head: Vec<u8> = self.buf.drain(..head_end).collect();
+                    let request = parse_head(&head, &self.limits)?;
+                    let body_len = content_length(&request, &self.limits)?;
+                    self.phase = Phase::Body { request, remaining: body_len };
+                }
+                Phase::Body { remaining, .. } => {
+                    if self.buf.len() < *remaining {
+                        return Ok(None);
+                    }
+                    let n = *remaining;
+                    let body: Vec<u8> = self.buf.drain(..n).collect();
+                    let Phase::Body { mut request, .. } =
+                        std::mem::replace(&mut self.phase, Phase::Head)
+                    else {
+                        unreachable!("phase checked above");
+                    };
+                    request.body = body;
+                    return Ok(Some(request));
+                }
+            }
+        }
+    }
+}
+
+/// Index one past the head's terminating blank line (`\r\n\r\n` or `\n\n`,
+/// mixed endings included), or `None` if the head is still incomplete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            // A line boundary; look at what follows.
+            let rest = &buf[i + 1..];
+            if rest.first() == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if rest.len() >= 2 && rest[0] == b'\r' && rest[1] == b'\n' {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Splits head bytes into lines, tolerating CRLF and bare LF endings.
+fn head_lines(head: &[u8]) -> Vec<&[u8]> {
+    let mut lines = Vec::new();
+    for line in head.split(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if line.is_empty() {
+            continue; // request-terminating blank line (or trailing split artifact)
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+fn parse_head(head: &[u8], limits: &ParserLimits) -> Result<Request, HttpError> {
+    let lines = head_lines(head);
+    let Some((request_line, header_lines)) = lines.split_first() else {
+        return Err(HttpError::BadRequestLine);
+    };
+    if request_line.len() > limits.max_request_line {
+        return Err(HttpError::RequestLineTooLong);
+    }
+    let text = std::str::from_utf8(request_line).map_err(|_| HttpError::BadRequestLine)?;
+    let mut parts = text.split(' ').filter(|p| !p.is_empty());
+    let method = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let target = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequestLine);
+    }
+    if method.is_empty()
+        || !method.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err(HttpError::BadRequestLine);
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return Err(HttpError::UnsupportedVersion),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    if header_lines.len() > limits.max_headers {
+        return Err(HttpError::HeadersTooLarge);
+    }
+    let mut headers = Vec::with_capacity(header_lines.len());
+    for line in header_lines {
+        // Obsolete line folding (continuation lines starting with SP/HTAB)
+        // is a request-smuggling vector; reject it outright.
+        if line[0] == b' ' || line[0] == b'\t' {
+            return Err(HttpError::BadHeader);
+        }
+        let text = std::str::from_utf8(line).map_err(|_| HttpError::BadHeader)?;
+        let (name, value) = text.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+        {
+            return Err(HttpError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        http11,
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// Resolves the request's body length from its headers, enforcing the body
+/// cap *before* any body byte is buffered.
+fn content_length(request: &Request, limits: &ParserLimits) -> Result<usize, HttpError> {
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let mut lengths = request.headers.iter().filter(|(k, _)| k == "content-length");
+    let Some((_, first)) = lengths.next() else {
+        return Ok(0);
+    };
+    // Duplicate Content-Length headers with different values are another
+    // smuggling vector.
+    if lengths.any(|(_, v)| v != first) {
+        return Err(HttpError::BadContentLength);
+    }
+    let n: usize = first.parse().map_err(|_| HttpError::BadContentLength)?;
+    if n > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+    Ok(n)
+}
+
+/// Canonical reason phrase for the status codes this crate emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are managed by the
+    /// serializer / server and must not be set here).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with the given status and empty body.
+    pub fn new(status: u16) -> Self {
+        Response { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// Adds a header field.
+    pub fn header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the body.
+    pub fn body(mut self, body: impl Into<Vec<u8>>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response::new(status).header("Content-Type", "text/plain; charset=utf-8").body(body)
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response::new(status).header("Content-Type", "application/json").body(body)
+    }
+
+    /// Serializes the response head + body. `Content-Length` is always
+    /// emitted (responses are never chunked, so any client — including
+    /// pipelining ones — can frame them), plus the requested `Connection`
+    /// disposition.
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason_phrase(self.status)).as_bytes(),
+        );
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(if keep_alive {
+            b"Connection: keep-alive\r\n".as_slice()
+        } else {
+            b"Connection: close\r\n".as_slice()
+        });
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut p = RequestParser::new(ParserLimits::default());
+        p.push(bytes);
+        p.next_request()
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_one(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_bare_lf() {
+        let req = parse_one(b"POST /v1/predict HTTP/1.1\nContent-Length: 4\n\nabcd")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn incremental_byte_at_a_time() {
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 3\r\nX-K: v\r\n\r\nxyz";
+        let mut p = RequestParser::new(ParserLimits::default());
+        for (i, b) in raw.iter().enumerate() {
+            p.push(std::slice::from_ref(b));
+            let out = p.next_request().unwrap();
+            if i + 1 < raw.len() {
+                assert!(out.is_none(), "complete too early at byte {i}");
+            } else {
+                let req = out.expect("complete at last byte");
+                assert_eq!(req.body, b"xyz");
+                assert_eq!(req.header("x-k"), Some("v"));
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_drain_in_order() {
+        let mut p = RequestParser::new(ParserLimits::default());
+        p.push(b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n");
+        let a = p.next_request().unwrap().unwrap();
+        let b = p.next_request().unwrap().unwrap();
+        let c = p.next_request().unwrap().unwrap();
+        assert_eq!((a.target.as_str(), b.target.as_str(), c.target.as_str()), ("/a", "/b", "/c"));
+        assert_eq!(b.body, b"hi");
+        assert_eq!(p.next_request().unwrap(), None);
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for bad in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"G@T /x HTTP/1.1\r\n\r\n",
+            b" / HTTP/1.1\r\n\r\n",
+            b"GET /x FTP/1.1\r\n\r\n",
+        ] {
+            assert!(parse_one(bad).is_err(), "accepted {:?}", String::from_utf8_lossy(bad));
+        }
+        assert_eq!(
+            parse_one(b"GET /x HTTP/2.0\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_folding() {
+        assert_eq!(
+            parse_one(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::BadHeader)
+        );
+        assert_eq!(
+            parse_one(b"GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n"),
+            Err(HttpError::BadHeader)
+        );
+        assert_eq!(
+            parse_one(b"GET / HTTP/1.1\r\nB@d: 1\r\n\r\n"),
+            Err(HttpError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn enforces_size_limits() {
+        let limits = ParserLimits {
+            max_request_line: 32,
+            max_head_bytes: 128,
+            max_headers: 4,
+            max_body_bytes: 16,
+        };
+        // Oversized request line, detected before the line terminator shows.
+        let mut p = RequestParser::new(limits);
+        p.push(&[b'A'; 64]);
+        assert_eq!(p.next_request(), Err(HttpError::RequestLineTooLong));
+        // Oversized head.
+        let mut p = RequestParser::new(limits);
+        p.push(b"GET / HTTP/1.1\r\n");
+        p.push(&[b"X: ".as_slice(), &vec![b'y'; 256], b"\r\n\r\n"].concat());
+        assert_eq!(p.next_request(), Err(HttpError::HeadersTooLarge));
+        // Too many headers.
+        let mut p = RequestParser::new(limits);
+        p.push(b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\nD: 4\r\nE: 5\r\n\r\n");
+        assert_eq!(p.next_request(), Err(HttpError::HeadersTooLarge));
+        // Oversized declared body, rejected before body bytes arrive.
+        let mut p = RequestParser::new(limits);
+        p.push(b"POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+        assert_eq!(p.next_request(), Err(HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn rejects_transfer_encoding_and_conflicting_lengths() {
+        assert_eq!(
+            parse_one(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding)
+        );
+        assert_eq!(
+            parse_one(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        );
+        assert!(parse_one(b"POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n").is_err());
+        // Identical duplicates are tolerated per RFC 9110 §8.6.
+        let req = parse_one(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn parse_errors_poison_the_parser() {
+        let mut p = RequestParser::new(ParserLimits::default());
+        p.push(b"BOGUS\r\n\r\nGET / HTTP/1.1\r\n\r\n");
+        let first = p.next_request().unwrap_err();
+        assert_eq!(p.next_request(), Err(first), "poisoned parser must stay failed");
+    }
+
+    #[test]
+    fn keep_alive_semantics() {
+        let req = parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive());
+        let req = parse_one(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive());
+        let req = parse_one(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().unwrap();
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn path_strips_query() {
+        let req = parse_one(b"GET /metrics?x=1 HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.path(), "/metrics");
+    }
+
+    #[test]
+    fn response_serialization_frames_with_content_length() {
+        let resp = Response::text(200, "hello").serialize(true);
+        let text = String::from_utf8(resp).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+        let closed = Response::new(503).header("Retry-After", "1").serialize(false);
+        let text = String::from_utf8(closed).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

@@ -1,0 +1,29 @@
+//! `ce-server` — dependency-free, std-only HTTP/1.1 serving substrate.
+//!
+//! Offline stand-in for a production HTTP stack (hyper/axum), built for the
+//! cardinality-estimation serving layer. Three pieces:
+//!
+//! - [`http`]: incremental request parser with hard size limits and typed
+//!   errors, plus `Content-Length`-framed response serialization. Handles
+//!   partial reads and pipelining; rejects `Transfer-Encoding`, header
+//!   folding, and conflicting `Content-Length` (smuggling vectors).
+//! - [`server`]: nonblocking accept loop + bounded connection queue +
+//!   fixed worker pool with keep-alive and graceful drain. Connection
+//!   overflow sheds with a raw `503` + `Retry-After`.
+//! - [`batch`]: deadline-bounded micro-batcher with a bounded admission
+//!   queue — concurrent request handlers coalesce work items into one
+//!   batched call; overflow sheds at admission, runner panics fail the
+//!   batch without deadlocking submitters.
+//!
+//! [`client`] is a minimal blocking loopback client for tests and the
+//! `net` benchmark; it is not a general-purpose HTTP client.
+
+pub mod batch;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use batch::{BatchError, BatcherConfig, BatcherStats, MicroBatcher};
+pub use client::{ClientResponse, HttpClient};
+pub use http::{HttpError, ParserLimits, Request, RequestParser, Response};
+pub use server::{Handler, HttpServer, ServerConfig, ServerStats};

@@ -1,0 +1,443 @@
+//! Threaded HTTP/1.1 server: nonblocking accept loop, bounded connection
+//! queue, fixed worker pool, keep-alive connections, graceful drain.
+//!
+//! Admission control happens at two layers. Connections that would
+//! overflow the bounded queue get an immediate raw `503` + `Retry-After`
+//! and are closed — the queue never grows unboundedly. (Request-level
+//! shedding — the micro-batcher's `QueueFull` → 503 — lives above this
+//! crate, in the handler.) [`HttpServer::shutdown`] drains gracefully:
+//! the acceptor stops, workers finish queued + in-flight requests with
+//! `Connection: close`, and the call blocks until every thread has joined.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{ParserLimits, Request, RequestParser, Response};
+
+/// Tuning knobs for [`HttpServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded queue of accepted-but-unclaimed connections; overflow is
+    /// answered with a raw 503 and closed.
+    pub conn_queue: usize,
+    /// Parser size limits applied per connection.
+    pub limits: ParserLimits,
+    /// Requests served per connection before the server forces
+    /// `Connection: close` (bounds per-connection resource lifetime).
+    pub keep_alive_max_requests: usize,
+    /// Socket read timeout; an idle keep-alive connection is closed after
+    /// this long without bytes.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            conn_queue: 64,
+            limits: ParserLimits::default(),
+            keep_alive_max_requests: 1024,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Request handler: borrow the request, produce a response. Implemented
+/// for any `Fn(&Request) -> Response`.
+pub trait Handler: Send + Sync + 'static {
+    /// Handles one parsed request.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// Point-in-time counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Connections accepted and queued.
+    pub accepted: u64,
+    /// Connections refused with a raw 503 because the queue was full.
+    pub conn_shed: u64,
+    /// Requests fully served (any status).
+    pub requests: u64,
+    /// Connections dropped on a parse error (after the error response).
+    pub parse_errors: u64,
+}
+
+struct ConnQueue {
+    conns: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+}
+
+struct Counters {
+    accepted: AtomicU64,
+    conn_shed: AtomicU64,
+    requests: AtomicU64,
+    parse_errors: AtomicU64,
+}
+
+/// A running server; see module docs.
+pub struct HttpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    counters: Arc<Counters>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — read it back via
+    /// [`HttpServer::local_addr`]) and starts the acceptor + worker pool.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        config: ServerConfig,
+        handler: Arc<dyn Handler>,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        // Nonblocking so the acceptor can poll the stop flag between
+        // accepts instead of parking in the kernel forever.
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue {
+            conns: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        let counters = Arc::new(Counters {
+            accepted: AtomicU64::new(0),
+            conn_shed: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+        });
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("ce-server-accept".into())
+                .spawn(move || accept_loop(listener, config, stop, queue, counters))?
+        };
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            let counters = Arc::clone(&counters);
+            let handler = Arc::clone(&handler);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ce-server-worker-{i}"))
+                    .spawn(move || worker_loop(config, stop, queue, counters, handler))?,
+            );
+        }
+
+        Ok(HttpServer {
+            local_addr,
+            stop,
+            queue,
+            counters,
+            acceptor: Mutex::new(Some(acceptor)),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            conn_shed: self.counters.conn_shed.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            parse_errors: self.counters.parse_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful drain: stop accepting, finish queued + in-flight requests
+    /// (responses carry `Connection: close`), join all threads. Idempotent;
+    /// blocks until the drain completes.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.available.notify_all();
+        if let Some(handle) =
+            self.acceptor.lock().unwrap_or_else(|e| e.into_inner()).take()
+        {
+            let _ = handle.join();
+        }
+        let workers: Vec<JoinHandle<()>> =
+            self.workers.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    counters: Arc<Counters>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut conns = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
+                if conns.len() >= config.conn_queue {
+                    drop(conns);
+                    counters.conn_shed.fetch_add(1, Ordering::Relaxed);
+                    shed_connection(stream);
+                    continue;
+                }
+                conns.push_back(stream);
+                counters.accepted.fetch_add(1, Ordering::Relaxed);
+                drop(conns);
+                queue.available.notify_one();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                // Transient accept errors (ECONNABORTED etc.): back off
+                // briefly and keep serving.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Answers an over-quota connection with a raw 503 and closes it. Best
+/// effort — the peer may already be gone.
+fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.write_all(
+        Response::new(503)
+            .header("Retry-After", "1")
+            .serialize(false)
+            .as_slice(),
+    );
+    let _ = stream.flush();
+}
+
+fn worker_loop(
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    counters: Arc<Counters>,
+    handler: Arc<dyn Handler>,
+) {
+    loop {
+        let stream = {
+            let mut conns = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(stream) = conns.pop_front() {
+                    break Some(stream);
+                }
+                // Drain semantics: exit only once stopped AND the queue is
+                // empty, so accepted connections are always served.
+                if stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                conns = queue.available.wait(conns).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(stream) = stream else { return };
+        serve_connection(stream, &config, &stop, &counters, handler.as_ref());
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    counters: &Counters,
+    handler: &dyn Handler,
+) {
+    // Short read ticks let the worker notice the stop flag promptly while
+    // still honoring the configured idle timeout across ticks.
+    let tick = Duration::from_millis(100).min(config.read_timeout.max(Duration::from_millis(1)));
+    let _ = stream.set_read_timeout(Some(tick));
+    let _ = stream.set_write_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(config.limits);
+    let mut buf = [0u8; 16 * 1024];
+    let mut served = 0usize;
+    let mut idle_since = std::time::Instant::now();
+    loop {
+        // Drain anything already buffered (pipelined requests) before
+        // touching the socket again.
+        loop {
+            match parser.next_request() {
+                Ok(Some(request)) => {
+                    let response = handler.handle(&request);
+                    served += 1;
+                    let keep = request.keep_alive()
+                        && served < config.keep_alive_max_requests
+                        && !stop.load(Ordering::SeqCst);
+                    counters.requests.fetch_add(1, Ordering::Relaxed);
+                    if stream.write_all(&response.serialize(keep)).is_err() {
+                        return;
+                    }
+                    if !keep {
+                        let _ = stream.flush();
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.write_all(&Response::new(e.status()).serialize(false));
+                    let _ = stream.flush();
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                parser.push(&buf[..n]);
+                idle_since = std::time::Instant::now();
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                // No bytes this tick: close once stopping (drain) or once
+                // the connection has idled past the full read timeout.
+                if stop.load(Ordering::SeqCst)
+                    || idle_since.elapsed() >= config.read_timeout
+                {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    fn echo_server(config: ServerConfig) -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0",
+            config,
+            Arc::new(|req: &Request| {
+                match (req.method.as_str(), req.path()) {
+                    ("GET", "/healthz") => Response::text(200, "ok"),
+                    ("POST", "/echo") => Response::json(200, req.body.clone()),
+                    _ => Response::text(404, "not found"),
+                }
+            }),
+        )
+        .expect("bind")
+    }
+
+    #[test]
+    fn serves_get_and_post_over_keep_alive() {
+        let server = echo_server(ServerConfig::default());
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let resp = client.get("/healthz").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok");
+        // Same connection, second request: keep-alive works.
+        let resp = client.post("/echo", b"{\"x\":1}").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"x\":1}");
+        let resp = client.get("/nope").unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(server.stats().requests, 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let server = echo_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).unwrap(); // server closes after the error
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+        assert!(server.stats().parse_errors >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_gets_413() {
+        let mut config = ServerConfig::default();
+        config.limits.max_body_bytes = 8;
+        let server = echo_server(config);
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let resp = client.post("/echo", &[b'x'; 64]).unwrap();
+        assert_eq!(resp.status, 413);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_served() {
+        let server = Arc::new(echo_server(ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        }));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let addr = server.local_addr();
+            handles.push(std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                for i in 0..5 {
+                    let body = format!("{{\"t\":{t},\"i\":{i}}}");
+                    let resp = client.post("/echo", body.as_bytes()).unwrap();
+                    assert_eq!(resp.status, 200);
+                    assert_eq!(resp.body, body.as_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.stats().requests, 40);
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_is_idempotent_and_joins() {
+        let server = echo_server(ServerConfig::default());
+        let addr = server.local_addr();
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        server.shutdown();
+        server.shutdown();
+        // After drain, new connections are refused (listener closed).
+        assert!(
+            HttpClient::connect(addr).is_err()
+                || HttpClient::connect(addr).unwrap().get("/healthz").is_err()
+        );
+    }
+}

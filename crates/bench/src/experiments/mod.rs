@@ -3,6 +3,7 @@
 pub mod accuracy;
 pub mod baselines;
 pub mod calibration;
+pub mod cluster;
 pub mod extensions;
 pub mod guidance;
 pub mod heal;
@@ -25,7 +26,7 @@ use crate::scale::Scale;
 pub const ALL_IDS: &[&str] = &[
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
     "fig11", "fig12", "fig13", "fig14", "tab1", "guide", "ablation", "ext", "clt", "zoo",
-    "resil", "perf", "obs", "heal", "net",
+    "resil", "perf", "obs", "heal", "net", "cluster",
 ];
 
 /// Runs one experiment by id, printing and saving its records.
@@ -61,6 +62,7 @@ pub fn run_experiment(id: &str, scale: &Scale, results_dir: &Path) -> Vec<Experi
         "obs" => obs::obs(scale),
         "heal" => heal::heal(scale),
         "net" => net::net(scale),
+        "cluster" => cluster::cluster(scale),
         other => panic!("unknown experiment id `{other}` (known: {ALL_IDS:?})"),
     };
     for rec in &records {

@@ -60,7 +60,7 @@ const AUDIT_QUERIES: usize = 192;
 const AUDIT_CHUNK: usize = 24;
 
 /// Serializes feature rows (and optional truths) as a predict request body.
-fn predict_body(features: &[Vec<f32>], truths: Option<&[f64]>) -> Vec<u8> {
+pub(super) fn predict_body(features: &[Vec<f32>], truths: Option<&[f64]>) -> Vec<u8> {
     let mut body = String::from("{\"features\":[");
     for (i, row) in features.iter().enumerate() {
         if i > 0 {
@@ -92,7 +92,7 @@ fn predict_body(features: &[Vec<f32>], truths: Option<&[f64]>) -> Vec<u8> {
 
 /// Parses a predict response body into `(lo, hi)` pairs; interval-level
 /// errors (which the calm phases must not produce) surface as `Err`.
-fn parse_intervals(body: &[u8]) -> Result<Vec<(f64, f64)>, String> {
+pub(super) fn parse_intervals(body: &[u8]) -> Result<Vec<(f64, f64)>, String> {
     let text = std::str::from_utf8(body).map_err(|_| "non-utf8 body".to_string())?;
     let value = serde_json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
     let serde_json::Value::Array(results) = value.field("results").map_err(|e| e.to_string())?
@@ -111,7 +111,7 @@ fn parse_intervals(body: &[u8]) -> Result<Vec<(f64, f64)>, String> {
 }
 
 /// Percentile over an ascending-sorted latency sample (nearest-rank).
-fn percentile(sorted: &[u128], q: f64) -> f64 {
+pub(super) fn percentile(sorted: &[u128], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

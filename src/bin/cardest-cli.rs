@@ -342,6 +342,10 @@ struct ServeOptions {
     queue: usize,
     max_batch: usize,
     batch_window_us: u64,
+    /// Server read tick in milliseconds (HTTP mode): how fast drains and
+    /// shutdowns propagate. Cluster shards keep this low so the router's
+    /// health probes and drain turn around promptly.
+    read_tick_ms: u64,
     /// Couple CoverageMonitor alarms to the Drifted-mode switch.
     alarm_coupled: bool,
 }
@@ -356,7 +360,8 @@ enum ServeArgs {
 const SERVE_USAGE: &str = "usage: cardest-cli serve [--dataset dmv|census|forest|power] \
 [--rows N] [--queries N] [--stream N] [--checkpoint PATH] \
 [--checkpoint-every N] [--drift-at N] [--resume] [--listen ADDR] \
-[--workers N] [--queue N] [--max-batch N] [--batch-window-us N] [--alarm-coupled]\n\n\
+[--workers N] [--queue N] [--max-batch N] [--batch-window-us N] \
+[--read-tick-ms N] [--alarm-coupled]\n\n\
 Runs the self-healing PI service with periodic durable checkpoints. \
 Without --listen: a prequential text loop whose truths shift by +0.5 from \
 --drift-at (default stream/2) onward so the drift alarm and shadow-validated \
@@ -384,6 +389,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         queue: 1024,
         max_batch: 64,
         batch_window_us: 500,
+        read_tick_ms: 10,
         alarm_coupled: false,
     };
     let mut i = 0;
@@ -409,6 +415,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             "--batch-window-us" => {
                 opts.batch_window_us = number("--batch-window-us", value(i)?)?
             }
+            "--read-tick-ms" => opts.read_tick_ms = number("--read-tick-ms", value(i)?)?,
             "--resume" => {
                 opts.resume = true;
                 i += 1;
@@ -432,6 +439,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
     }
     if opts.max_batch == 0 {
         return Err("--max-batch must be at least 1".to_string());
+    }
+    if opts.read_tick_ms == 0 {
+        return Err("--read-tick-ms must be at least 1".to_string());
     }
     Ok(ServeArgs::Run(opts))
 }
@@ -650,6 +660,7 @@ fn run_serve_http<M>(
         queue_cap: opts.queue,
         max_batch: opts.max_batch,
         batch_window: std::time::Duration::from_micros(opts.batch_window_us),
+        read_tick: std::time::Duration::from_millis(opts.read_tick_ms),
     };
     let handle = match start_server(std::sync::Arc::clone(&engine), listen, http_config) {
         Ok(handle) => handle,
@@ -776,6 +787,193 @@ fn print_stats_text(service: &ResilientService) {
     }
 }
 
+
+/// Options for `cardest-cli route` — the cluster router process.
+#[cfg_attr(test, derive(Debug))]
+struct RouteOptions {
+    listen: String,
+    /// `(name, addr)` pairs from repeated `--shard NAME=ADDR` flags.
+    shards: Vec<(String, std::net::SocketAddr)>,
+    vnodes: usize,
+    workers: usize,
+    retry_budget: usize,
+    deadline_ms: u64,
+    probe_interval_ms: u64,
+    fail_threshold: u32,
+    recover_threshold: u32,
+}
+
+/// Outcome of parsing `route` arguments: run, or print usage and stop.
+#[cfg_attr(test, derive(Debug))]
+enum RouteArgs {
+    Help,
+    Run(RouteOptions),
+}
+
+const ROUTE_USAGE: &str = "usage: cardest-cli route --shard NAME=ADDR [--shard NAME=ADDR ...] \
+[--listen ADDR] [--vnodes N] [--workers N] [--retry-budget N] [--deadline-ms N] \
+[--probe-interval-ms N] [--fail-threshold N] [--recover-threshold N]\n\n\
+Fronts a fleet of shared-nothing `serve --listen` shards with a \
+consistent-hash router: each predict request's body hashes to a signature \
+that pins it to one shard, a background prober ejects shards after \
+consecutive /readyz failures and readmits them after consecutive successes, \
+and refused/failed legs fail over to the next ring candidate within a \
+bounded retry budget and deadline. Shards are keyed by NAME — restart a \
+shard anywhere (e.g. `serve --resume --listen :0`) and point the same name \
+at the new address without moving any keys.";
+
+/// Pure argument parser for `route`; mirrors `parse_serve_args`' contract —
+/// every problem is an `Err`, never a warning-and-continue.
+fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
+    let mut opts = RouteOptions {
+        listen: "127.0.0.1:8600".to_string(),
+        shards: Vec::new(),
+        vnodes: 64,
+        workers: 4,
+        retry_budget: 2,
+        deadline_ms: 2_000,
+        probe_interval_ms: 50,
+        fail_threshold: 3,
+        recover_threshold: 2,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<String, String> {
+            args.get(i + 1).cloned().ok_or_else(|| format!("missing value for {}", args[i]))
+        };
+        fn number<T: std::str::FromStr>(flag: &str, raw: String) -> Result<T, String> {
+            raw.parse().map_err(|_| format!("{flag} takes a number, got `{raw}`"))
+        }
+        match args[i].as_str() {
+            "--listen" => opts.listen = value(i)?,
+            "--shard" => {
+                let raw = value(i)?;
+                let (name, addr) = raw
+                    .split_once('=')
+                    .ok_or_else(|| format!("--shard takes NAME=ADDR, got `{raw}`"))?;
+                if name.is_empty() {
+                    return Err(format!("--shard needs a non-empty name in `{raw}`"));
+                }
+                let addr: std::net::SocketAddr = addr
+                    .parse()
+                    .map_err(|_| format!("--shard `{name}` has a malformed address `{addr}`"))?;
+                if opts.shards.iter().any(|(n, _)| n == name) {
+                    return Err(format!("duplicate shard name `{name}`"));
+                }
+                opts.shards.push((name.to_string(), addr));
+            }
+            "--vnodes" => opts.vnodes = number("--vnodes", value(i)?)?,
+            "--workers" => opts.workers = number("--workers", value(i)?)?,
+            "--retry-budget" => opts.retry_budget = number("--retry-budget", value(i)?)?,
+            "--deadline-ms" => opts.deadline_ms = number("--deadline-ms", value(i)?)?,
+            "--probe-interval-ms" => {
+                opts.probe_interval_ms = number("--probe-interval-ms", value(i)?)?
+            }
+            "--fail-threshold" => opts.fail_threshold = number("--fail-threshold", value(i)?)?,
+            "--recover-threshold" => {
+                opts.recover_threshold = number("--recover-threshold", value(i)?)?
+            }
+            "--help" | "-h" => return Ok(RouteArgs::Help),
+            other => return Err(format!("unknown route flag {other} (try route --help)")),
+        }
+        i += 2;
+    }
+    if opts.shards.is_empty() {
+        return Err("route needs at least one --shard NAME=ADDR".to_string());
+    }
+    if opts.vnodes == 0 {
+        return Err("--vnodes must be at least 1".to_string());
+    }
+    if opts.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    if opts.fail_threshold == 0 || opts.recover_threshold == 0 {
+        return Err("hysteresis thresholds must be at least 1".to_string());
+    }
+    Ok(RouteArgs::Run(opts))
+}
+
+/// `cardest-cli route`: runs the cluster router until SIGTERM/SIGINT, then
+/// drains and prints forwarding + fleet counters.
+fn run_route(args: &[String]) {
+    let opts = match parse_route_args(args) {
+        Ok(RouteArgs::Run(opts)) => opts,
+        Ok(RouteArgs::Help) => {
+            println!("{ROUTE_USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{ROUTE_USAGE}");
+            std::process::exit(2);
+        }
+    };
+    install_signal_handlers();
+    ce_telemetry::set_enabled(true);
+    let config = cardest::router::ClusterRouterConfig {
+        workers: opts.workers,
+        vnodes: opts.vnodes,
+        router: cardest::server::RouterConfig {
+            retry_budget: opts.retry_budget,
+            deadline: std::time::Duration::from_millis(opts.deadline_ms),
+            ..cardest::server::RouterConfig::default()
+        },
+        health: cardest::server::HealthConfig {
+            probe_interval: std::time::Duration::from_millis(opts.probe_interval_ms),
+            fail_threshold: opts.fail_threshold,
+            recover_threshold: opts.recover_threshold,
+            ..cardest::server::HealthConfig::default()
+        },
+        ..cardest::router::ClusterRouterConfig::default()
+    };
+    let handle = match cardest::router::start_cluster_router(&opts.shards, &opts.listen, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", opts.listen);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "routing on http://{} over {} shards (vnodes {}, retry budget {}, deadline {}ms)",
+        handle.local_addr(),
+        opts.shards.len(),
+        opts.vnodes,
+        opts.retry_budget,
+        opts.deadline_ms,
+    );
+    for (name, addr) in &opts.shards {
+        eprintln!("  shard {name} -> {addr}");
+    }
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("shutdown signal received; draining ...");
+    handle.drain();
+    let stats = handle.router_stats();
+    let fleet = handle.fleet_stats();
+    println!(
+        "routed {} requests ({} primary, {} failover), {} leg errors, {} sheds, \
+{} exhausted, {} deadline-exceeded",
+        stats.requests,
+        stats.served_primary,
+        stats.served_failover,
+        stats.leg_errors,
+        stats.leg_sheds,
+        stats.exhausted,
+        stats.deadline_exceeded,
+    );
+    println!(
+        "fleet: {} probe rounds ({} ok, {} failed), {} ejections, {} readmissions, {} live at exit",
+        fleet.probe_rounds,
+        fleet.probe_ok,
+        fleet.probe_failed,
+        fleet.ejections,
+        fleet.readmissions,
+        handle.fleet().live_count(),
+    );
+    ce_telemetry::set_enabled(false);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("stats") {
@@ -784,6 +982,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("serve") {
         run_serve(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("route") {
+        run_route(&args[1..]);
         return;
     }
     let opts = parse_args();
@@ -947,6 +1149,75 @@ mod tests {
         assert!(parse_serve_args(&argv(&["--checkpoint-every", "0"])).is_err());
         assert!(parse_serve_args(&argv(&["--workers", "0"])).is_err());
         assert!(parse_serve_args(&argv(&["--max-batch", "0"])).is_err());
+    }
+
+
+    #[test]
+    fn route_args_require_a_shard() {
+        let err = parse_route_args(&[]).unwrap_err();
+        assert!(err.contains("--shard"), "{err}");
+    }
+
+    #[test]
+    fn route_args_parse_shards_and_tuning() {
+        let args = argv(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--shard",
+            "a=127.0.0.1:9101",
+            "--shard",
+            "b=127.0.0.1:9102",
+            "--vnodes",
+            "32",
+            "--retry-budget",
+            "3",
+            "--deadline-ms",
+            "750",
+            "--probe-interval-ms",
+            "25",
+            "--fail-threshold",
+            "2",
+            "--recover-threshold",
+            "4",
+        ]);
+        let RouteArgs::Run(opts) = parse_route_args(&args).unwrap() else {
+            panic!("flags should parse to a run");
+        };
+        assert_eq!(opts.shards.len(), 2);
+        assert_eq!(opts.shards[0].0, "a");
+        assert_eq!(opts.shards[1].1, "127.0.0.1:9102".parse().unwrap());
+        assert_eq!(opts.vnodes, 32);
+        assert_eq!(opts.retry_budget, 3);
+        assert_eq!(opts.deadline_ms, 750);
+        assert_eq!(opts.probe_interval_ms, 25);
+        assert_eq!(opts.fail_threshold, 2);
+        assert_eq!(opts.recover_threshold, 4);
+    }
+
+    #[test]
+    fn route_args_reject_malformed_and_duplicate_shards() {
+        let base = |spec: &str| parse_route_args(&argv(&["--shard", spec]));
+        assert!(base("no-equals").is_err(), "NAME=ADDR required");
+        assert!(base("=127.0.0.1:9101").is_err(), "empty name rejected");
+        assert!(base("a=not-an-addr").is_err(), "address must parse");
+        let dup = argv(&["--shard", "a=127.0.0.1:9101", "--shard", "a=127.0.0.1:9102"]);
+        let err = parse_route_args(&dup).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn route_args_zero_guards_and_unknown_flags() {
+        let with = |extra: &[&str]| {
+            let mut v = vec!["--shard", "a=127.0.0.1:9101"];
+            v.extend_from_slice(extra);
+            parse_route_args(&argv(&v))
+        };
+        assert!(with(&["--vnodes", "0"]).is_err());
+        assert!(with(&["--workers", "0"]).is_err());
+        assert!(with(&["--fail-threshold", "0"]).is_err());
+        assert!(with(&["--recover-threshold", "0"]).is_err());
+        assert!(with(&["--bogus"]).is_err());
+        assert!(matches!(parse_route_args(&argv(&["--help"])), Ok(RouteArgs::Help)));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod pipeline;
+pub mod router;
 pub mod serve;
 
 pub use ce_conformal as conformal;

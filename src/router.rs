@@ -1,0 +1,380 @@
+//! Cluster mode: the cardest-facing router process in front of a fleet of
+//! shared-nothing `serve --listen` shards (DESIGN.md §11).
+//!
+//! ```text
+//!                        ┌────────────────────────────┐
+//!  clients ──▶ router ───┤ consistent-hash ring       │──▶ shard 0 (serve --listen)
+//!              │         │ (signature = FNV-1a(body)) │──▶ shard 1
+//!              │         └────────────────────────────┘──▶ shard N-1
+//!              └── health checker: GET /readyz per shard, hysteresis
+//! ```
+//!
+//! The router owns no estimator state — it hashes each predict request's
+//! body to a signature, walks the ring's candidate list, and forwards to
+//! the first shard that answers (`ce_server::router` does the legwork:
+//! pooled connections, failover on refusal/error, retry budget, deadline).
+//! Because the signature is a pure function of the request bytes, a given
+//! query always lands on the same live shard — its calibration feedback
+//! (truths ride the predict body) accumulates on one shard's state, and
+//! re-asking the same query hits the same state. Shard loss degrades
+//! capacity, never correctness: ejected shards' keys fail over to their
+//! ring successors, and a shard restarted from its checkpoint (`--resume`)
+//! is readmitted with its exact placement — shards are keyed by stable
+//! *name*, so a restart on a new port re-registers the address without
+//! moving any keys.
+//!
+//! Local endpoints (not proxied): `GET /healthz` (router liveness),
+//! `GET /readyz` (`200` iff ≥ 1 live shard), `GET /metrics` (router,
+//! fleet, and server counters as Prometheus text). `POST /v1/predict` is
+//! routed; everything else is `404`/`405` at the router without burning a
+//! shard leg.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ce_server::{
+    fnv1a64, Fleet, FleetStats, HealthChecker, HealthConfig, HttpServer, Request, Response,
+    Router, RouterConfig, RouterStats, ServerConfig, ServerStats,
+};
+
+/// Tuning for [`start_cluster_router`]: the front server, the failover
+/// engine, and the health prober in one bundle.
+#[derive(Debug, Clone)]
+pub struct ClusterRouterConfig {
+    /// HTTP worker threads on the router's front server.
+    pub workers: usize,
+    /// Bounded accepted-connection queue (overflow: raw 503).
+    pub conn_queue: usize,
+    /// Front-server read tick. Routers default low (5ms) so drains and
+    /// stop signals propagate promptly; see `ServerConfig::read_tick`.
+    pub read_tick: Duration,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: usize,
+    /// Failover engine tuning (retry budget, deadline, leg timeouts).
+    pub router: RouterConfig,
+    /// Health prober tuning (probe path/interval, hysteresis thresholds).
+    pub health: HealthConfig,
+}
+
+impl Default for ClusterRouterConfig {
+    fn default() -> Self {
+        ClusterRouterConfig {
+            workers: 4,
+            conn_queue: 64,
+            read_tick: Duration::from_millis(5),
+            vnodes: 64,
+            router: RouterConfig::default(),
+            health: HealthConfig::default(),
+        }
+    }
+}
+
+/// A running cluster router; dropping it (or calling
+/// [`ClusterRouterHandle::drain`]) stops the prober and drains the server.
+pub struct ClusterRouterHandle {
+    server: HttpServer,
+    router: Arc<Router>,
+    checker: std::sync::Mutex<HealthChecker>,
+    draining: Arc<AtomicBool>,
+}
+
+impl ClusterRouterHandle {
+    /// The router's bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The shared fleet — used to re-register a restarted shard's address
+    /// ([`Fleet::set_addr`]) and to inspect liveness.
+    pub fn fleet(&self) -> &Fleet {
+        self.router.fleet()
+    }
+
+    /// Forwarding counters.
+    pub fn router_stats(&self) -> RouterStats {
+        self.router.stats()
+    }
+
+    /// Health/hysteresis counters.
+    pub fn fleet_stats(&self) -> FleetStats {
+        self.router.fleet().stats()
+    }
+
+    /// Front-server connection counters.
+    pub fn server_stats(&self) -> ServerStats {
+        self.server.stats()
+    }
+
+    /// Graceful drain: readiness flips to 503, the prober stops, the accept
+    /// loop stops, and in-flight requests finish. Blocks; idempotent.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.checker.lock().unwrap_or_else(|e| e.into_inner()).stop();
+        self.server.shutdown();
+    }
+}
+
+impl Drop for ClusterRouterHandle {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// The routing signature of a predict request: FNV-1a over the raw body
+/// bytes. Pure, stable across processes — every router instance (and the
+/// experiment's direct audit) places a given request identically.
+pub fn request_signature(body: &[u8]) -> u64 {
+    fnv1a64(body)
+}
+
+/// Starts the cluster router on `listen` over `shards` (`(name, addr)`
+/// pairs; names are the stable ring identity, addresses may be updated
+/// later via [`Fleet::set_addr`]).
+pub fn start_cluster_router(
+    shards: &[(String, SocketAddr)],
+    listen: &str,
+    config: ClusterRouterConfig,
+) -> std::io::Result<ClusterRouterHandle> {
+    let fleet = Fleet::new(shards, config.vnodes, config.health.clone());
+    let router = Arc::new(Router::new(fleet.clone(), config.router));
+    let checker = HealthChecker::start(fleet);
+    let draining = Arc::new(AtomicBool::new(false));
+    let handler = {
+        let router = Arc::clone(&router);
+        let draining = Arc::clone(&draining);
+        move |req: &Request| route(req, &router, &draining)
+    };
+    let server = HttpServer::bind(
+        listen,
+        ServerConfig {
+            workers: config.workers,
+            conn_queue: config.conn_queue,
+            read_tick: config.read_tick,
+            ..ServerConfig::default()
+        },
+        Arc::new(handler),
+    )?;
+    Ok(ClusterRouterHandle {
+        server,
+        router,
+        checker: std::sync::Mutex::new(checker),
+        draining,
+    })
+}
+
+fn route(req: &Request, router: &Router, draining: &AtomicBool) -> Response {
+    match (req.method.as_str(), req.path()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/readyz") => {
+            if draining.load(Ordering::SeqCst) {
+                Response::text(503, "draining\n")
+            } else if router.fleet().live_count() == 0 {
+                Response::text(503, "no live shards\n")
+            } else {
+                Response::text(200, "ready\n")
+            }
+        }
+        ("GET", "/metrics") => {
+            publish_metrics(router);
+            if ce_telemetry::enabled() {
+                Response::new(200)
+                    .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+                    .body(ce_telemetry::global().to_prometheus())
+            } else {
+                Response::text(200, metrics_text(router))
+            }
+        }
+        ("POST", "/v1/predict") => {
+            if draining.load(Ordering::SeqCst) {
+                return Response::json(503, "{\"error\":\"router draining\"}")
+                    .header("Retry-After", "1");
+            }
+            router.forward(req, request_signature(&req.body))
+        }
+        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/predict") => {
+            Response::json(405, "{\"error\":\"method not allowed\"}")
+        }
+        _ => Response::json(404, "{\"error\":\"no such endpoint\"}"),
+    }
+}
+
+/// Mirrors router + fleet counters into the `ce-telemetry` registry (scraped
+/// by `/metrics` when telemetry is enabled).
+fn publish_metrics(router: &Router) {
+    if !ce_telemetry::enabled() {
+        return;
+    }
+    let stats = router.stats();
+    ce_telemetry::gauge("cluster.requests").set(stats.requests as f64);
+    ce_telemetry::gauge("cluster.served_primary").set(stats.served_primary as f64);
+    ce_telemetry::gauge("cluster.served_failover").set(stats.served_failover as f64);
+    ce_telemetry::gauge("cluster.leg_errors").set(stats.leg_errors as f64);
+    ce_telemetry::gauge("cluster.pool_stale").set(stats.pool_stale as f64);
+    ce_telemetry::gauge("cluster.leg_sheds").set(stats.leg_sheds as f64);
+    ce_telemetry::gauge("cluster.exhausted").set(stats.exhausted as f64);
+    ce_telemetry::gauge("cluster.deadline_exceeded").set(stats.deadline_exceeded as f64);
+    let fleet = router.fleet().stats();
+    ce_telemetry::gauge("cluster.live_shards").set(router.fleet().live_count() as f64);
+    ce_telemetry::gauge("cluster.ejections").set(fleet.ejections as f64);
+    ce_telemetry::gauge("cluster.readmissions").set(fleet.readmissions as f64);
+    ce_telemetry::gauge("cluster.probe_failed").set(fleet.probe_failed as f64);
+}
+
+/// Plain-text fallback for `/metrics` when telemetry is globally off: the
+/// same counters, one `name value` per line.
+fn metrics_text(router: &Router) -> String {
+    let stats = router.stats();
+    let fleet = router.fleet().stats();
+    let mut out = String::with_capacity(512);
+    for (name, value) in [
+        ("cluster_requests", stats.requests),
+        ("cluster_served_primary", stats.served_primary),
+        ("cluster_served_failover", stats.served_failover),
+        ("cluster_leg_errors", stats.leg_errors),
+        ("cluster_pool_stale", stats.pool_stale),
+        ("cluster_leg_sheds", stats.leg_sheds),
+        ("cluster_exhausted", stats.exhausted),
+        ("cluster_deadline_exceeded", stats.deadline_exceeded),
+        ("cluster_live_shards", router.fleet().live_count() as u64),
+        ("cluster_ejections", fleet.ejections),
+        ("cluster_readmissions", fleet.readmissions),
+        ("cluster_probe_failed", fleet.probe_failed),
+    ] {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_server::HttpClient;
+
+    /// A stand-in shard: answers /readyz and echoes predict bodies with a
+    /// tag, so routing (not estimation) is what these tests exercise.
+    fn stub_shard(tag: &'static str) -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                read_tick: Duration::from_millis(5),
+                ..ServerConfig::default()
+            },
+            Arc::new(move |req: &Request| match (req.method.as_str(), req.path()) {
+                ("GET", "/readyz") => Response::text(200, "ready"),
+                ("POST", "/v1/predict") => {
+                    let mut body = req.body.clone();
+                    body.extend_from_slice(tag.as_bytes());
+                    Response::json(200, body)
+                }
+                _ => Response::text(404, "nope"),
+            }),
+        )
+        .expect("bind stub shard")
+    }
+
+    fn quick_health() -> HealthConfig {
+        HealthConfig {
+            probe_interval: Duration::from_millis(10),
+            connect_timeout: Duration::from_millis(100),
+            read_timeout: Duration::from_millis(200),
+            fail_threshold: 2,
+            recover_threshold: 2,
+            ..HealthConfig::default()
+        }
+    }
+
+    #[test]
+    fn signature_is_stable_and_content_addressed() {
+        let a = request_signature(b"{\"features\":[[1.0,2.0]]}");
+        let b = request_signature(b"{\"features\":[[1.0,2.0]]}");
+        let c = request_signature(b"{\"features\":[[1.0,2.5]]}");
+        assert_eq!(a, b, "same bytes, same signature");
+        assert_ne!(a, c, "different bytes, different signature");
+    }
+
+    #[test]
+    fn router_serves_local_endpoints_and_proxies_predict() {
+        let s0 = stub_shard("@0");
+        let s1 = stub_shard("@1");
+        let shards = vec![
+            ("shard-0".to_string(), s0.local_addr()),
+            ("shard-1".to_string(), s1.local_addr()),
+        ];
+        let handle = start_cluster_router(
+            &shards,
+            "127.0.0.1:0",
+            ClusterRouterConfig { health: quick_health(), ..Default::default() },
+        )
+        .expect("bind router");
+        let mut client = HttpClient::connect(handle.local_addr()).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        assert_eq!(client.get("/readyz").unwrap().status, 200);
+        let metrics = client.get("/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        assert!(String::from_utf8_lossy(&metrics.body).contains("cluster_requests"));
+        assert_eq!(client.get("/nope").unwrap().status, 404);
+        assert_eq!(client.post("/healthz", b"{}").unwrap().status, 405);
+        // Proxied predict: body passes through, tagged by whichever shard
+        // owns the signature — and repeatably by the *same* shard.
+        let body = br#"{"features":[[0.5]]}"#;
+        let first = client.post("/v1/predict", body).unwrap();
+        assert_eq!(first.status, 200);
+        let tag = &first.body[first.body.len() - 2..];
+        assert!(tag == b"@0" || tag == b"@1");
+        for _ in 0..5 {
+            let again = client.post("/v1/predict", body).unwrap();
+            assert_eq!(again.body, first.body, "same signature must pin to one shard");
+        }
+        handle.drain();
+    }
+
+    #[test]
+    fn killing_a_shard_fails_over_and_readyz_tracks_the_fleet() {
+        let s0 = stub_shard("@0");
+        let s1 = stub_shard("@1");
+        let shards = vec![
+            ("shard-0".to_string(), s0.local_addr()),
+            ("shard-1".to_string(), s1.local_addr()),
+        ];
+        let handle = start_cluster_router(
+            &shards,
+            "127.0.0.1:0",
+            ClusterRouterConfig { health: quick_health(), ..Default::default() },
+        )
+        .expect("bind router");
+        let mut client = HttpClient::connect(handle.local_addr()).unwrap();
+        // Find a body owned by shard 0 so its death forces a failover.
+        let mut owned_by_0 = None;
+        for i in 0..64 {
+            let body = format!("{{\"features\":[[{i}.0]]}}").into_bytes();
+            let resp = client.post("/v1/predict", &body).unwrap();
+            if resp.body.ends_with(b"@0") {
+                owned_by_0 = Some(body);
+                break;
+            }
+        }
+        let body = owned_by_0.expect("some signature must hash to shard 0");
+        s0.shutdown();
+        // The very next request fails over within the same call (no health
+        // round-trip needed) and is answered by shard 1.
+        let resp = client.post("/v1/predict", &body).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.ends_with(b"@1"), "failover must land on the live shard");
+        assert!(handle.router_stats().served_failover >= 1);
+        // The prober ejects shard 0 shortly after (2 failures @ 10ms).
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while handle.fleet().is_live("shard-0") {
+            assert!(std::time::Instant::now() < deadline, "ejection never happened");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(handle.fleet_stats().ejections, 1);
+        // Still ready with one live shard; drain flips readiness.
+        assert_eq!(client.get("/readyz").unwrap().status, 200);
+        handle.drain();
+    }
+}

@@ -218,6 +218,11 @@ pub struct HttpServeConfig {
     pub max_batch: usize,
     /// Batch window: how long the batcher lingers for stragglers.
     pub batch_window: Duration,
+    /// Server read tick — the poll interval that quantizes shutdown/drain
+    /// responsiveness (see `ce_server::ServerConfig::read_tick`). Shards
+    /// fronted by the cluster router should keep this low so health probes
+    /// and drains turn around quickly.
+    pub read_tick: Duration,
 }
 
 impl Default for HttpServeConfig {
@@ -228,6 +233,7 @@ impl Default for HttpServeConfig {
             queue_cap: 1024,
             max_batch: 64,
             batch_window: Duration::from_micros(500),
+            read_tick: Duration::from_millis(10),
         }
     }
 }
@@ -307,6 +313,7 @@ where
         ServerConfig {
             workers: config.workers,
             conn_queue: config.conn_queue,
+            read_tick: config.read_tick,
             ..ServerConfig::default()
         },
         Arc::new(handler),

@@ -1,0 +1,303 @@
+//! Property and integration tests for cluster mode: the consistent-hash
+//! ring's placement laws, and the routed fleet's failover behavior over
+//! real loopback shards.
+//!
+//! The ring properties are the load-bearing guarantees of DESIGN.md §11:
+//!
+//! - **Balance** — with enough virtual nodes, no shard owns a wildly
+//!   disproportionate share of the keyspace.
+//! - **Minimal movement** — ejecting a shard moves *only* that shard's
+//!   keys (everyone else's placement is untouched), and readmitting it
+//!   restores the exact original placement, so a restarted shard gets its
+//!   own keys back.
+//! - **Determinism** — placement is a pure function of (shard names,
+//!   vnodes, key): two independently built rings agree on every key, which
+//!   is what lets any router replica (or an offline audit) compute where a
+//!   query lives.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cardest::router::request_signature;
+use cardest::server::{
+    Fleet, HashRing, HealthConfig, HttpClient, HttpServer, Request, Response, Router,
+    RouterConfig, ServerConfig,
+};
+use proptest::prelude::*;
+
+/// Builds a ring over `n` shards named `shard-0..n`.
+fn ring(n: usize, vnodes: usize) -> HashRing {
+    let names: Vec<String> = (0..n).map(|i| format!("shard-{i}")).collect();
+    HashRing::new(&names, vnodes)
+}
+
+/// Key signatures derived from a seed — arbitrary but reproducible.
+fn signatures(seed: u64, count: usize) -> Vec<u64> {
+    (0..count as u64)
+        .map(|i| request_signature(format!("key-{seed}-{i}").as_bytes()))
+        .collect()
+}
+
+proptest! {
+    /// Balance: over thousands of keys, every shard's share stays within
+    /// a constant factor of fair (vnodes smooth the ring enough that no
+    /// shard is starved or doubly loaded beyond bound).
+    #[test]
+    fn ring_distributes_keys_roughly_evenly(
+        n_shards in 2usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let ring = ring(n_shards, 512);
+        let keys = signatures(seed, 4_000);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for &k in &keys {
+            *counts.entry(ring.primary(k).expect("live ring").to_string()).or_default() += 1;
+        }
+        let fair = keys.len() as f64 / n_shards as f64;
+        for i in 0..n_shards {
+            let got = *counts.get(&format!("shard-{i}")).unwrap_or(&0) as f64;
+            prop_assert!(
+                got > fair * 0.5 && got < fair * 1.7,
+                "shard-{} owns {} of {} keys (fair share {:.0})",
+                i, got, keys.len(), fair
+            );
+        }
+    }
+
+    /// Minimal movement: ejecting one shard relocates exactly that shard's
+    /// keys — every key owned by a surviving shard keeps its owner — and
+    /// readmission restores the original placement for every key.
+    #[test]
+    fn eject_moves_only_the_dead_shards_keys_and_readmit_restores(
+        n_shards in 2usize..8,
+        victim in 0usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let victim = victim % n_shards;
+        let victim_name = format!("shard-{victim}");
+        let mut ring = ring(n_shards, 64);
+        let keys = signatures(seed, 1_000);
+        let before: Vec<String> =
+            keys.iter().map(|&k| ring.primary(k).expect("live").to_string()).collect();
+        ring.eject(&victim_name);
+        for (&k, owner_before) in keys.iter().zip(&before) {
+            let owner_after = ring.primary(k).expect("survivors stay live");
+            if owner_before == &victim_name {
+                prop_assert!(
+                    owner_after != victim_name,
+                    "key still on the ejected shard"
+                );
+            } else {
+                prop_assert_eq!(
+                    owner_after, owner_before.as_str(),
+                    "a survivor's key moved on an unrelated ejection"
+                );
+            }
+        }
+        ring.readmit(&victim_name);
+        for (&k, owner_before) in keys.iter().zip(&before) {
+            prop_assert_eq!(
+                ring.primary(k).expect("live"), owner_before.as_str(),
+                "readmission must restore the exact original placement"
+            );
+        }
+    }
+
+    /// Determinism: placement and failover order are pure functions of the
+    /// configuration — two independently constructed rings agree on every
+    /// key's owner and on the full candidate walk.
+    #[test]
+    fn independently_built_rings_agree_on_every_placement(
+        n_shards in 1usize..8,
+        vnodes in 1usize..128,
+        seed in 0u64..1_000,
+    ) {
+        let a = ring(n_shards, vnodes);
+        let b = ring(n_shards, vnodes);
+        for &k in &signatures(seed, 500) {
+            prop_assert_eq!(a.primary(k), b.primary(k));
+            prop_assert_eq!(a.candidates(k), b.candidates(k));
+        }
+    }
+
+    /// The candidate walk is a permutation of the live shards starting at
+    /// the primary: failover always has somewhere to go until the fleet is
+    /// actually empty.
+    #[test]
+    fn candidates_cover_every_live_shard_exactly_once(
+        n_shards in 1usize..8,
+        ejected in 0usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let mut ring = ring(n_shards, 32);
+        if n_shards > 1 {
+            ring.eject(&format!("shard-{}", ejected % n_shards));
+        }
+        for &k in &signatures(seed, 200) {
+            let candidates = ring.candidates(k);
+            prop_assert_eq!(candidates.len(), ring.live_count());
+            let mut seen: Vec<&str> = candidates.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), candidates.len(), "duplicate candidate");
+            prop_assert_eq!(candidates.first().copied(), ring.primary(k));
+            for name in candidates {
+                prop_assert!(ring.is_live(name), "dead shard offered as a candidate");
+            }
+        }
+    }
+}
+
+/// An echo shard for integration tests: tags responses so the test can see
+/// which shard served each request.
+fn echo_shard(tag: &'static str) -> HttpServer {
+    HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig { read_tick: Duration::from_millis(2), ..ServerConfig::default() },
+        Arc::new(move |req: &Request| match (req.method.as_str(), req.path()) {
+            ("GET", "/readyz") => Response::text(200, "ready"),
+            ("POST", "/v1/predict") => {
+                let mut body = req.body.clone();
+                body.extend_from_slice(tag.as_bytes());
+                Response::json(200, body)
+            }
+            _ => Response::text(404, "nope"),
+        }),
+    )
+    .expect("bind echo shard")
+}
+
+/// End-to-end restart-by-name: kill a shard, rebind it on a *different*
+/// port, re-register the same ring name at the new address, and verify the
+/// shard's keys come home — the property the cluster experiment relies on
+/// for checkpoint-resume.
+#[test]
+fn restarted_shard_on_a_new_port_gets_its_keys_back() {
+    let s0 = echo_shard("@0");
+    let s1 = echo_shard("@1");
+    let fleet = Fleet::new(
+        &[
+            ("shard-0".to_string(), s0.local_addr()),
+            ("shard-1".to_string(), s1.local_addr()),
+        ],
+        64,
+        HealthConfig {
+            fail_threshold: 1,
+            recover_threshold: 1,
+            ..HealthConfig::default()
+        },
+    );
+    let router = Router::new(
+        fleet.clone(),
+        RouterConfig { retry_budget: 2, ..RouterConfig::default() },
+    );
+    let post = |router: &Router, body: &[u8]| -> Vec<u8> {
+        let req = Request {
+            method: "POST".into(),
+            target: "/v1/predict".into(),
+            http11: true,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.to_vec(),
+        };
+        let resp = router.forward(&req, request_signature(body));
+        assert_eq!(resp.status, 200, "forward failed");
+        resp.body.clone()
+    };
+    // Find a body owned by shard-0.
+    let body = (0..64)
+        .map(|i| format!("{{\"q\":{i}}}").into_bytes())
+        .find(|b| post(&router, b).ends_with(b"@0"))
+        .expect("some key must land on shard-0");
+    // Kill shard-0 and mark it ejected (the prober's job, done by hand here
+    // so the test controls timing). Its keys fail over to shard-1.
+    s0.shutdown();
+    fleet.report("shard-0", false, true);
+    assert!(!fleet.is_live("shard-0"));
+    assert!(post(&router, &body).ends_with(b"@1"), "failover to the survivor");
+    // Restart under the same name on a fresh port; readmit. The key
+    // returns to shard-0 even though its address changed.
+    let s0b = echo_shard("@0");
+    assert!(fleet.set_addr("shard-0", s0b.local_addr()));
+    fleet.report("shard-0", true, true);
+    assert!(fleet.is_live("shard-0"));
+    assert!(
+        post(&router, &body).ends_with(b"@0"),
+        "restarted shard must get its keys back at the new address"
+    );
+    s0b.shutdown();
+    s1.shutdown();
+}
+
+/// A drained (connection-refusing) shard never costs an accepted query:
+/// the router keeps answering 200 through the survivors while the dead
+/// shard refuses every leg.
+#[test]
+fn refusing_shard_never_costs_a_request() {
+    let s0 = echo_shard("@0");
+    let s1 = echo_shard("@1");
+    let dead_addr = s0.local_addr();
+    let fleet = Fleet::new(
+        &[
+            ("shard-0".to_string(), dead_addr),
+            ("shard-1".to_string(), s1.local_addr()),
+        ],
+        64,
+        HealthConfig::default(),
+    );
+    let router = Router::new(fleet.clone(), RouterConfig::default());
+    s0.shutdown(); // port now refuses, but the ring still lists shard-0
+    for i in 0..24 {
+        let body = format!("{{\"q\":{i}}}").into_bytes();
+        let req = Request {
+            method: "POST".into(),
+            target: "/v1/predict".into(),
+            http11: true,
+            headers: vec![],
+            body: body.clone(),
+        };
+        let resp = router.forward(&req, request_signature(&body));
+        assert_eq!(resp.status, 200, "request {i} lost to a refusing shard");
+    }
+    assert!(router.stats().served_failover >= 1, "shard-0's keys must have failed over");
+    s1.shutdown();
+}
+
+/// The cardest-level cluster router serves its local endpoints and proxies
+/// predicts with a stable content-addressed placement (same body, same
+/// shard) — exercised over real sockets.
+#[test]
+fn cluster_router_end_to_end_over_loopback() {
+    let s0 = echo_shard("@0");
+    let s1 = echo_shard("@1");
+    let handle = cardest::router::start_cluster_router(
+        &[
+            ("shard-0".to_string(), s0.local_addr()),
+            ("shard-1".to_string(), s1.local_addr()),
+        ],
+        "127.0.0.1:0",
+        cardest::router::ClusterRouterConfig {
+            health: HealthConfig {
+                probe_interval: Duration::from_millis(10),
+                ..HealthConfig::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind cluster router");
+    let mut client = HttpClient::connect(handle.local_addr()).expect("connect");
+    assert_eq!(client.get("/healthz").expect("healthz").status, 200);
+    assert_eq!(client.get("/readyz").expect("readyz").status, 200);
+    let body = br#"{"features":[[0.25]]}"#;
+    let first = client.post("/v1/predict", body).expect("predict");
+    assert_eq!(first.status, 200);
+    for _ in 0..8 {
+        let again = client.post("/v1/predict", body).expect("repeat predict");
+        assert_eq!(again.body, first.body, "placement must be content-addressed");
+    }
+    handle.drain();
+    assert!(
+        HttpClient::connect(handle.local_addr()).is_err(),
+        "router port still accepting after drain"
+    );
+}

@@ -1,12 +1,40 @@
-//! Minimal blocking HTTP/1.1 client for loopback tests and benchmarks.
+//! Minimal blocking HTTP/1.1 client for loopback tests, benchmarks, and the
+//! cluster router's shard legs.
 //!
 //! Speaks just enough of the protocol to exercise [`crate::HttpServer`]:
-//! keep-alive GET/POST with `Content-Length`-framed responses. Not a
-//! general-purpose client.
+//! keep-alive GET/POST with `Content-Length`-framed responses. Connect,
+//! read, and write timeouts are per-client configurable
+//! ([`HttpClient::connect_with`]) and adjustable per request
+//! ([`HttpClient::set_read_timeout`]) so a router can clamp a shard leg to
+//! the remaining request deadline. `Retry-After` is surfaced as a typed
+//! accessor so callers can tell an overloaded-but-alive shard (shed `503`
+//! carrying `Retry-After`) apart from a dead one (connect refusal / read
+//! error) and make different failover decisions for each.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// Per-connection timeouts for [`HttpClient::connect_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (per `read(2)` call while awaiting a response).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
 
 /// A parsed client-side response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +52,14 @@ impl ClientResponse {
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
     }
+
+    /// The `Retry-After` delay in seconds, if the response carries one as a
+    /// non-negative integer (the only form this stack emits). A shed `503`
+    /// with `Retry-After` means "alive but overloaded — come back later";
+    /// its absence on an error leans "hard failure".
+    pub fn retry_after(&self) -> Option<u64> {
+        self.header("retry-after").and_then(|v| v.trim().parse().ok())
+    }
 }
 
 /// A persistent (keep-alive) connection to one server.
@@ -33,13 +69,26 @@ pub struct HttpClient {
 }
 
 impl HttpClient {
-    /// Connects with a 5s connect/read/write timeout.
+    /// Connects with the default 5s connect/read/write timeouts.
     pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
-        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        HttpClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeouts.
+    pub fn connect_with(addr: SocketAddr, config: ClientConfig) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
+        stream.set_read_timeout(Some(config.read_timeout.max(Duration::from_millis(1))))?;
+        stream.set_write_timeout(Some(config.write_timeout.max(Duration::from_millis(1))))?;
         stream.set_nodelay(true)?;
         Ok(HttpClient { stream, buf: Vec::new() })
+    }
+
+    /// Overrides the read timeout for subsequent requests on this
+    /// connection (e.g. clamping a shard leg to a request's remaining
+    /// deadline). Sub-millisecond values are raised to 1ms — a zero would
+    /// mean "block forever" to the kernel.
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
     }
 
     /// Sends a GET and reads the response.
@@ -57,6 +106,36 @@ impl HttpClient {
         );
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body)?;
+        self.read_response()
+    }
+
+    /// Sends an arbitrary request (router forwarding): `method` + `target`
+    /// verbatim, the given extra headers, and a `Content-Length`-framed
+    /// body. Hop-by-hop framing headers (`Content-Length`, `Connection`,
+    /// `Host`) are managed here and must not appear in `headers`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(String, String)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let mut head = String::with_capacity(128);
+        head.push_str(method);
+        head.push(' ');
+        head.push_str(target);
+        head.push_str(" HTTP/1.1\r\nHost: loopback\r\n");
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        self.stream.write_all(head.as_bytes())?;
+        if !body.is_empty() {
+            self.stream.write_all(body)?;
+        }
         self.read_response()
     }
 
@@ -114,4 +193,33 @@ impl HttpClient {
 
 fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_parses_integer_seconds() {
+        let resp = ClientResponse {
+            status: 503,
+            headers: vec![("retry-after".into(), "1".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(resp.retry_after(), Some(1));
+        let resp = ClientResponse {
+            status: 503,
+            headers: vec![("retry-after".into(), " 30 ".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(resp.retry_after(), Some(30));
+        let none = ClientResponse { status: 503, headers: Vec::new(), body: Vec::new() };
+        assert_eq!(none.retry_after(), None);
+        let bad = ClientResponse {
+            status: 503,
+            headers: vec![("retry-after".into(), "Wed, 21 Oct".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(bad.retry_after(), None, "HTTP-date form is not parsed");
+    }
 }

@@ -1,0 +1,406 @@
+//! Fleet membership: the shared ring + per-shard hysteresis counters, and a
+//! background health checker that probes every shard's readiness endpoint.
+//!
+//! [`Fleet`] is the single source of routing truth shared by the router's
+//! request path and the [`HealthChecker`]'s probe loop. Both feed the same
+//! hysteresis state machine through [`Fleet::report`]:
+//!
+//! - a **live** shard is ejected after `fail_threshold` *consecutive*
+//!   failures (probe failures and router-observed hard failures count
+//!   alike);
+//! - an **ejected** shard is readmitted after `recover_threshold`
+//!   consecutive probe successes (only the prober can readmit — the router
+//!   never talks to ejected shards, so it cannot observe recovery).
+//!
+//! Any success resets the failure streak and vice versa, so one flaky probe
+//! neither ejects a healthy shard nor readmits a dead one — that is the
+//! hysteresis. Ejection only masks the shard in the [`HashRing`]
+//! (`DESIGN.md` §11): its keys fail over to each key's next candidate and
+//! snap back on readmission, and every other key keeps its owner.
+//!
+//! Shards are keyed by stable logical *name*; the dialable address is a
+//! mutable attribute ([`Fleet::set_addr`]). A shard restarted on a new port
+//! re-registers its address and keeps its exact ring placement — address
+//! changes never reshuffle keys.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::client::{ClientConfig, HttpClient};
+use crate::ring::HashRing;
+
+/// Tuning for the health state machine and probe loop.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Readiness path probed on every shard (expects `200`).
+    pub probe_path: String,
+    /// Delay between probe rounds.
+    pub probe_interval: Duration,
+    /// TCP connect timeout per probe.
+    pub connect_timeout: Duration,
+    /// Read timeout per probe.
+    pub read_timeout: Duration,
+    /// Consecutive failures that eject a live shard.
+    pub fail_threshold: u32,
+    /// Consecutive probe successes that readmit an ejected shard.
+    pub recover_threshold: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            probe_path: "/readyz".to_string(),
+            probe_interval: Duration::from_millis(50),
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_millis(500),
+            fail_threshold: 3,
+            recover_threshold: 2,
+        }
+    }
+}
+
+/// Liveness + streak counters for one shard.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardHealth {
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+}
+
+/// Counters over the fleet's health history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Probe rounds completed by the checker.
+    pub probe_rounds: u64,
+    /// Individual probes that succeeded.
+    pub probe_ok: u64,
+    /// Individual probes that failed (connect error, read error, non-200).
+    pub probe_failed: u64,
+    /// Live → ejected transitions.
+    pub ejections: u64,
+    /// Ejected → live transitions.
+    pub readmissions: u64,
+}
+
+struct FleetInner {
+    ring: HashRing,
+    addrs: Vec<SocketAddr>,
+    health: Vec<ShardHealth>,
+    stats: FleetStats,
+}
+
+/// Shared fleet state: the ring, shard addresses, and hysteresis counters.
+/// Cheap to clone (an `Arc`); all methods take `&self`.
+#[derive(Clone)]
+pub struct Fleet {
+    inner: Arc<Mutex<FleetInner>>,
+    config: Arc<HealthConfig>,
+}
+
+impl Fleet {
+    /// Builds the fleet from `(name, addr)` pairs, all initially live.
+    ///
+    /// # Panics
+    /// Panics on zero `vnodes` or duplicate names (see [`HashRing::new`]).
+    pub fn new(shards: &[(String, SocketAddr)], vnodes: usize, config: HealthConfig) -> Fleet {
+        let names: Vec<String> = shards.iter().map(|(n, _)| n.clone()).collect();
+        let addrs: Vec<SocketAddr> = shards.iter().map(|(_, a)| *a).collect();
+        let ring = HashRing::new(&names, vnodes);
+        let health = vec![ShardHealth::default(); names.len()];
+        Fleet {
+            inner: Arc::new(Mutex::new(FleetInner {
+                ring,
+                addrs,
+                health,
+                stats: FleetStats::default(),
+            })),
+            config: Arc::new(config),
+        }
+    }
+
+    /// The health configuration this fleet was built with.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FleetInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Shard names in id order.
+    pub fn shard_names(&self) -> Vec<String> {
+        self.lock().ring.shards().to_vec()
+    }
+
+    /// Every shard with its current address and liveness.
+    pub fn snapshot(&self) -> Vec<(String, SocketAddr, bool)> {
+        let inner = self.lock();
+        inner
+            .ring
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), inner.addrs[i], inner.ring.is_live(name)))
+            .collect()
+    }
+
+    /// Number of live shards.
+    pub fn live_count(&self) -> usize {
+        self.lock().ring.live_count()
+    }
+
+    /// Whether `name` is currently live.
+    pub fn is_live(&self, name: &str) -> bool {
+        self.lock().ring.is_live(name)
+    }
+
+    /// Health history counters.
+    pub fn stats(&self) -> FleetStats {
+        self.lock().stats
+    }
+
+    /// Updates a shard's dialable address (restart on a new port). Ring
+    /// placement is untouched. Returns `false` for unknown names.
+    pub fn set_addr(&self, name: &str, addr: SocketAddr) -> bool {
+        let mut inner = self.lock();
+        let Some(i) = inner.ring.shards().iter().position(|s| s == name) else {
+            return false;
+        };
+        inner.addrs[i] = addr;
+        true
+    }
+
+    /// The dialable address of `name`, if known.
+    pub fn addr_of(&self, name: &str) -> Option<SocketAddr> {
+        let inner = self.lock();
+        inner.ring.shards().iter().position(|s| s == name).map(|i| inner.addrs[i])
+    }
+
+    /// Live failover candidates for `signature`: `(name, addr)` in ring
+    /// order starting at the signature's owner.
+    pub fn candidates(&self, signature: u64) -> Vec<(String, SocketAddr)> {
+        let inner = self.lock();
+        inner
+            .ring
+            .candidates(signature)
+            .into_iter()
+            .map(|name| {
+                let i = inner
+                    .ring
+                    .shards()
+                    .iter()
+                    .position(|s| s == name)
+                    .expect("candidate name is in the ring");
+                (name.to_string(), inner.addrs[i])
+            })
+            .collect()
+    }
+
+    /// Feeds one success/failure observation for `name` into the hysteresis
+    /// state machine. `from_probe` marks prober observations, the only kind
+    /// allowed to readmit an ejected shard. Returns `true` if liveness
+    /// flipped.
+    pub fn report(&self, name: &str, ok: bool, from_probe: bool) -> bool {
+        let mut inner = self.lock();
+        let Some(i) = inner.ring.shards().iter().position(|s| s == name) else {
+            return false;
+        };
+        if from_probe {
+            if ok {
+                inner.stats.probe_ok += 1;
+            } else {
+                inner.stats.probe_failed += 1;
+            }
+        }
+        let live = inner.ring.is_live(name);
+        let health = &mut inner.health[i];
+        if ok {
+            health.consecutive_failures = 0;
+            // Only the prober advances an ejected shard's recovery streak; a
+            // stray router-side success against an ejected shard (a race
+            // against ejection) must not short-cut readmission.
+            if live || from_probe {
+                health.consecutive_successes = health.consecutive_successes.saturating_add(1);
+            }
+            let successes = health.consecutive_successes;
+            if !live && from_probe && successes >= self.config.recover_threshold {
+                let name = name.to_string();
+                inner.ring.readmit(&name);
+                inner.stats.readmissions += 1;
+                inner.health[i] = ShardHealth::default();
+                return true;
+            }
+        } else {
+            health.consecutive_successes = 0;
+            health.consecutive_failures = health.consecutive_failures.saturating_add(1);
+            let failures = health.consecutive_failures;
+            if live && failures >= self.config.fail_threshold {
+                let name = name.to_string();
+                inner.ring.eject(&name);
+                inner.stats.ejections += 1;
+                inner.health[i] = ShardHealth::default();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn note_probe_round(&self) {
+        self.lock().stats.probe_rounds += 1;
+    }
+}
+
+/// Background prober: one thread, one `GET {probe_path}` per shard per
+/// round, feeding [`Fleet::report`]. Ejected shards keep getting probed —
+/// that is the readmission path.
+pub struct HealthChecker {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HealthChecker {
+    /// Starts the probe loop over `fleet`.
+    pub fn start(fleet: Fleet) -> HealthChecker {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ce-health-probe".into())
+                .spawn(move || probe_loop(fleet, stop))
+                .expect("spawn health checker")
+        };
+        HealthChecker { stop, thread: Some(thread) }
+    }
+
+    /// Stops the probe loop and joins the thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for HealthChecker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn probe_loop(fleet: Fleet, stop: Arc<AtomicBool>) {
+    let config = fleet.config().clone();
+    let client_config = ClientConfig {
+        connect_timeout: config.connect_timeout,
+        read_timeout: config.read_timeout,
+        write_timeout: config.read_timeout,
+    };
+    while !stop.load(Ordering::SeqCst) {
+        for (name, addr, _live) in fleet.snapshot() {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let ok = probe_once(addr, &config.probe_path, client_config);
+            fleet.report(&name, ok, true);
+        }
+        fleet.note_probe_round();
+        // Sleep in small slices so stop() never waits a full interval.
+        let mut remaining = config.probe_interval;
+        while remaining > Duration::ZERO && !stop.load(Ordering::SeqCst) {
+            let slice = remaining.min(Duration::from_millis(10));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+/// One probe: fresh connection (a wedged keep-alive stream must not fake
+/// health), `GET path`, success iff status 200.
+fn probe_once(addr: SocketAddr, path: &str, config: ClientConfig) -> bool {
+    match HttpClient::connect_with(addr, config) {
+        Ok(mut client) => matches!(client.get(path), Ok(resp) if resp.status == 200),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize, fail: u32, recover: u32) -> Fleet {
+        let shards: Vec<(String, SocketAddr)> = (0..n)
+            .map(|i| (format!("s{i}"), format!("127.0.0.1:{}", 9000 + i).parse().unwrap()))
+            .collect();
+        Fleet::new(
+            &shards,
+            16,
+            HealthConfig { fail_threshold: fail, recover_threshold: recover, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn ejection_needs_consecutive_failures() {
+        let f = fleet(2, 3, 2);
+        assert!(!f.report("s0", false, true));
+        assert!(!f.report("s0", false, true));
+        // A success in between resets the streak.
+        assert!(!f.report("s0", true, true));
+        assert!(!f.report("s0", false, true));
+        assert!(!f.report("s0", false, true));
+        assert!(f.is_live("s0"), "two failures after a success must not eject");
+        assert!(f.report("s0", false, true), "third consecutive failure ejects");
+        assert!(!f.is_live("s0"));
+        assert_eq!(f.stats().ejections, 1);
+    }
+
+    #[test]
+    fn readmission_needs_consecutive_probe_successes() {
+        let f = fleet(2, 1, 2);
+        assert!(f.report("s0", false, true));
+        assert!(!f.is_live("s0"));
+        // Router-side successes cannot readmit (the router never reaches an
+        // ejected shard, so such a report would be a bug anyway).
+        assert!(!f.report("s0", true, false));
+        assert!(!f.report("s0", true, false));
+        assert!(!f.is_live("s0"));
+        // One probe success is not enough; a failure resets the streak.
+        assert!(!f.report("s0", true, true));
+        assert!(!f.report("s0", false, true));
+        assert!(!f.report("s0", true, true));
+        assert!(!f.is_live("s0"));
+        assert!(f.report("s0", true, true), "second consecutive probe success readmits");
+        assert!(f.is_live("s0"));
+        assert_eq!(f.stats().readmissions, 1);
+    }
+
+    #[test]
+    fn router_failures_count_toward_ejection() {
+        let f = fleet(2, 2, 1);
+        assert!(!f.report("s1", false, false));
+        assert!(f.report("s1", false, true), "probe + router failures share the streak");
+        assert!(!f.is_live("s1"));
+    }
+
+    #[test]
+    fn set_addr_keeps_ring_placement() {
+        let f = fleet(3, 3, 2);
+        let sig = 0xfeed_f00d_u64;
+        let before: Vec<String> =
+            f.candidates(sig).into_iter().map(|(n, _)| n).collect();
+        let new_addr: SocketAddr = "127.0.0.1:19999".parse().unwrap();
+        assert!(f.set_addr("s1", new_addr));
+        assert!(!f.set_addr("nope", new_addr));
+        let after: Vec<(String, SocketAddr)> = f.candidates(sig);
+        let names: Vec<String> = after.iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(before, names, "address change must not move keys");
+        assert_eq!(f.addr_of("s1"), Some(new_addr));
+    }
+
+    #[test]
+    fn unknown_shard_reports_are_ignored() {
+        let f = fleet(1, 1, 1);
+        assert!(!f.report("ghost", false, true));
+        assert!(f.is_live("s0"));
+    }
+}

@@ -15,15 +15,37 @@
 //!   batched call; overflow sheds at admission, runner panics fail the
 //!   batch without deadlocking submitters.
 //!
-//! [`client`] is a minimal blocking loopback client for tests and the
-//! `net` benchmark; it is not a general-purpose HTTP client.
+//! Cluster mode adds four more (DESIGN.md §11):
+//!
+//! - [`ring`]: the consistent-hash ring — deterministic placement over
+//!   named shards, liveness as a mask so ejection/readmission move only the
+//!   affected shard's keys.
+//! - [`health`]: shared fleet state ([`health::Fleet`]) with hysteresis
+//!   (consecutive-failure ejection, consecutive-success readmission) and a
+//!   background `/readyz` prober ([`health::HealthChecker`]).
+//! - [`router`]: the forwarding engine — ring candidates, pooled shard
+//!   legs, failover on refusal/error, bounded by retry budget + deadline.
+//! - [`proxy`]: [`proxy::ChaosProxy`], a seeded TCP fault shim (refuse,
+//!   black-hole, truncate, delay) for deterministic failover testing.
+//!
+//! [`client`] is a minimal blocking client (configurable timeouts, typed
+//! `Retry-After`) used by tests, the benchmarks, and the router's shard
+//! legs; it is not a general-purpose HTTP client.
 
 pub mod batch;
 pub mod client;
+pub mod health;
 pub mod http;
+pub mod proxy;
+pub mod ring;
+pub mod router;
 pub mod server;
 
 pub use batch::{BatchError, BatcherConfig, BatcherStats, MicroBatcher};
-pub use client::{ClientResponse, HttpClient};
+pub use client::{ClientConfig, ClientResponse, HttpClient};
+pub use health::{Fleet, FleetStats, HealthChecker, HealthConfig};
 pub use http::{HttpError, ParserLimits, Request, RequestParser, Response};
+pub use proxy::{ChaosProxy, FaultRates, ProxyStats};
+pub use ring::{fnv1a64, HashRing};
+pub use router::{Router, RouterConfig, RouterStats};
 pub use server::{Handler, HttpServer, ServerConfig, ServerStats};

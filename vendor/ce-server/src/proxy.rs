@@ -1,0 +1,441 @@
+//! `ChaosProxy` — a seeded TCP shim for deterministic network fault
+//! injection between the cluster router and a shard.
+//!
+//! The proxy listens on its own loopback port and forwards byte streams to
+//! a target address. Each accepted connection draws one fault from a
+//! seeded SplitMix64 stream against the configured rates, in a fixed
+//! precedence order (refuse, then black-hole, then truncate, then delay,
+//! else pass). With a single-threaded client the accept order — and
+//! therefore the whole fault schedule — is a pure function of the seed, so
+//! failover tests replay exactly.
+//!
+//! Faults model the distinct ways a network path dies, which exercise
+//! different router branches:
+//!
+//! - **Refuse**: the connection is closed before any byte flows — the
+//!   router's send fails fast (connect-ish error, next ring position).
+//! - **Black-hole**: the request is swallowed and nothing comes back — the
+//!   router burns its read timeout before failing over (the deadline
+//!   budget's reason to exist).
+//! - **Truncate**: the response is cut mid-flight after a byte prefix — the
+//!   router sees a framing error, must not forward the partial body.
+//! - **Delay**: the exchange is held for a fixed pause, then passes — slow
+//!   but correct, must *not* trip failover on its own (only the deadline
+//!   may cut it off).
+//!
+//! Rates can be swapped at runtime ([`ChaosProxy::set_faults`]) to script
+//! phases: calm → blackout (ejection) → calm again (readmission).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection fault probabilities; the remainder passes through clean.
+/// Rates are checked in the listed precedence order and must sum to ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Close the client connection immediately, touching nothing.
+    pub refuse: f64,
+    /// Swallow the request and answer with silence until the client gives
+    /// up.
+    pub black_hole: f64,
+    /// Forward the request, then cut the response after
+    /// [`FaultRates::truncate_after`] bytes.
+    pub truncate: f64,
+    /// Hold the exchange for [`FaultRates::delay`] before passing it clean.
+    pub delay_rate: f64,
+    /// Bytes of response forwarded before a truncate cut.
+    pub truncate_after: usize,
+    /// Pause applied by a delay fault.
+    pub delay: Duration,
+}
+
+impl FaultRates {
+    /// No faults: every connection passes through.
+    pub fn calm() -> FaultRates {
+        FaultRates {
+            refuse: 0.0,
+            black_hole: 0.0,
+            truncate: 0.0,
+            delay_rate: 0.0,
+            truncate_after: 40,
+            delay: Duration::from_millis(20),
+        }
+    }
+
+    /// Every connection refused: a blackout, as seen from the router.
+    pub fn blackout() -> FaultRates {
+        FaultRates { refuse: 1.0, ..FaultRates::calm() }
+    }
+}
+
+/// What the proxy did to each connection, by fault class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Connections accepted from clients.
+    pub connections: u64,
+    /// Passed through untouched.
+    pub passed: u64,
+    /// Refused (closed before any byte).
+    pub refused: u64,
+    /// Black-holed (request swallowed, no response).
+    pub black_holed: u64,
+    /// Truncated mid-response.
+    pub truncated: u64,
+    /// Delayed, then passed.
+    pub delayed: u64,
+}
+
+struct Counters {
+    connections: AtomicU64,
+    passed: AtomicU64,
+    refused: AtomicU64,
+    black_holed: AtomicU64,
+    truncated: AtomicU64,
+    delayed: AtomicU64,
+}
+
+/// The per-connection fault decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    Pass,
+    Refuse,
+    BlackHole,
+    Truncate(usize),
+    Delay(Duration),
+}
+
+/// SplitMix64: the workspace's standard tiny deterministic generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from the stream.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn draw_fault(state: &mut u64, rates: &FaultRates) -> Fault {
+    let u = unit(state);
+    let mut edge = rates.refuse;
+    if u < edge {
+        return Fault::Refuse;
+    }
+    edge += rates.black_hole;
+    if u < edge {
+        return Fault::BlackHole;
+    }
+    edge += rates.truncate;
+    if u < edge {
+        return Fault::Truncate(rates.truncate_after);
+    }
+    edge += rates.delay_rate;
+    if u < edge {
+        return Fault::Delay(rates.delay);
+    }
+    Fault::Pass
+}
+
+/// A running chaos proxy; see module docs. Dropping it stops the listener
+/// and joins the accept thread (in-flight relay threads die with their
+/// sockets).
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    rates: Arc<Mutex<FaultRates>>,
+    counters: Arc<Counters>,
+}
+
+impl ChaosProxy {
+    /// Binds a loopback port (use `127.0.0.1:0` for ephemeral) forwarding
+    /// to `target`, with the given seed and initial fault rates.
+    pub fn start(
+        listen: &str,
+        target: SocketAddr,
+        seed: u64,
+        rates: FaultRates,
+    ) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let rates = Arc::new(Mutex::new(rates));
+        let counters = Arc::new(Counters {
+            connections: AtomicU64::new(0),
+            passed: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            black_holed: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+        });
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let rates = Arc::clone(&rates);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("ce-chaos-accept".into())
+                .spawn(move || accept_loop(listener, target, seed, stop, rates, counters))?
+        };
+        Ok(ChaosProxy {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            rates,
+            counters,
+        })
+    }
+
+    /// The proxy's dialable address (what the router should be given).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Swaps the fault rates; applies to connections accepted from now on.
+    pub fn set_faults(&self, rates: FaultRates) {
+        *self.rates.lock().unwrap_or_else(|e| e.into_inner()) = rates;
+    }
+
+    /// Per-fault connection counters.
+    pub fn stats(&self) -> ProxyStats {
+        ProxyStats {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            passed: self.counters.passed.load(Ordering::Relaxed),
+            refused: self.counters.refused.load(Ordering::Relaxed),
+            black_holed: self.counters.black_holed.load(Ordering::Relaxed),
+            truncated: self.counters.truncated.load(Ordering::Relaxed),
+            delayed: self.counters.delayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting and joins the accept thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    target: SocketAddr,
+    seed: u64,
+    stop: Arc<AtomicBool>,
+    rates: Arc<Mutex<FaultRates>>,
+    counters: Arc<Counters>,
+) {
+    let mut rng_state = seed ^ 0xc3a5_c85c_97cb_3127;
+    let mut relay_threads: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let fault = {
+                    let rates = rates.lock().unwrap_or_else(|e| e.into_inner());
+                    draw_fault(&mut rng_state, &rates)
+                };
+                let counters = Arc::clone(&counters);
+                let stop = Arc::clone(&stop);
+                relay_threads.push(
+                    std::thread::Builder::new()
+                        .name("ce-chaos-relay".into())
+                        .spawn(move || relay(client, target, fault, counters, stop))
+                        .expect("spawn relay thread"),
+                );
+                relay_threads.retain(|t| !t.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for thread in relay_threads {
+        let _ = thread.join();
+    }
+}
+
+/// Applies the drawn fault to one client connection.
+fn relay(
+    client: TcpStream,
+    target: SocketAddr,
+    fault: Fault,
+    counters: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+) {
+    match fault {
+        Fault::Refuse => {
+            counters.refused.fetch_add(1, Ordering::Relaxed);
+            // Dropping the stream closes it; the client's write or read
+            // fails with reset/EOF, the same signature as a dead shard.
+        }
+        Fault::BlackHole => {
+            counters.black_holed.fetch_add(1, Ordering::Relaxed);
+            black_hole(client, stop);
+        }
+        Fault::Truncate(after) => {
+            counters.truncated.fetch_add(1, Ordering::Relaxed);
+            forward(client, target, Some(after), Duration::ZERO, stop);
+        }
+        Fault::Delay(pause) => {
+            counters.delayed.fetch_add(1, Ordering::Relaxed);
+            forward(client, target, None, pause, stop);
+        }
+        Fault::Pass => {
+            counters.passed.fetch_add(1, Ordering::Relaxed);
+            forward(client, target, None, Duration::ZERO, stop);
+        }
+    }
+}
+
+/// Reads and discards client bytes without ever answering, until the client
+/// closes or the proxy stops — the "switch ate my packet" failure mode.
+fn black_hole(mut client: TcpStream, stop: Arc<AtomicBool>) {
+    let _ = client.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut sink = [0u8; 4 * 1024];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match client.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Bidirectional relay client ↔ target. `truncate_after` caps the bytes
+/// forwarded target→client before both sides are cut; `pause` is applied
+/// once before any byte flows.
+fn forward(
+    client: TcpStream,
+    target: SocketAddr,
+    truncate_after: Option<usize>,
+    pause: Duration,
+    stop: Arc<AtomicBool>,
+) {
+    if !pause.is_zero() {
+        std::thread::sleep(pause);
+    }
+    let Ok(upstream) = TcpStream::connect_timeout(&target, Duration::from_secs(2)) else {
+        return; // target gone: closing the client stream mimics a refusal
+    };
+    let _ = upstream.set_nodelay(true);
+    let _ = client.set_nodelay(true);
+    // client → target runs on its own thread; target → client (the side a
+    // truncate fault cuts) runs here.
+    let up = {
+        let (Ok(client_read), Ok(upstream_write)) =
+            (client.try_clone(), upstream.try_clone())
+        else {
+            return;
+        };
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("ce-chaos-up".into())
+            .spawn(move || copy_stream(client_read, upstream_write, None, stop))
+            .expect("spawn upstream copy")
+    };
+    copy_stream(upstream, client, truncate_after, stop);
+    // Dropping our ends unblocks the uploader's reads.
+    let _ = up.join();
+}
+
+/// Copies `from` into `to` until EOF, error, an optional byte cap, or stop.
+/// On the cap, both streams are shut down to force the mid-response cut.
+fn copy_stream(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    mut cap: Option<usize>,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => {
+                let _ = to.shutdown(std::net::Shutdown::Write);
+                return;
+            }
+            Ok(n) => {
+                if let Some(remaining) = cap.as_mut() {
+                    if n >= *remaining {
+                        let _ = to.write_all(&buf[..*remaining]);
+                        let _ = to.shutdown(std::net::Shutdown::Both);
+                        let _ = from.shutdown(std::net::Shutdown::Both);
+                        return;
+                    }
+                    *remaining -= n;
+                }
+                if to.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let rates = FaultRates {
+            refuse: 0.2,
+            black_hole: 0.1,
+            truncate: 0.1,
+            delay_rate: 0.1,
+            ..FaultRates::calm()
+        };
+        let draw_all = |seed: u64| -> Vec<Fault> {
+            let mut state = seed ^ 0xc3a5_c85c_97cb_3127;
+            (0..64).map(|_| draw_fault(&mut state, &rates)).collect()
+        };
+        assert_eq!(draw_all(7), draw_all(7), "same seed, same schedule");
+        assert_ne!(draw_all(7), draw_all(8), "different seeds diverge");
+        let sample = draw_all(7);
+        assert!(sample.contains(&Fault::Refuse));
+        assert!(sample.contains(&Fault::Pass));
+    }
+
+    #[test]
+    fn rates_partition_the_unit_interval_in_precedence_order() {
+        let rates = FaultRates {
+            refuse: 1.0,
+            black_hole: 1.0, // unreachable: refuse consumes everything first
+            ..FaultRates::calm()
+        };
+        let mut state = 1;
+        for _ in 0..32 {
+            assert_eq!(draw_fault(&mut state, &rates), Fault::Refuse);
+        }
+        let calm = FaultRates::calm();
+        for _ in 0..32 {
+            assert_eq!(draw_fault(&mut state, &calm), Fault::Pass);
+        }
+    }
+}

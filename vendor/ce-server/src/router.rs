@@ -1,0 +1,514 @@
+//! The consistent-hash request router: signature → ring candidates →
+//! forward with health-checked failover, bounded by a retry budget and a
+//! wall-clock deadline.
+//!
+//! [`Router`] is a forwarding *engine*, not a server — the serving layer
+//! above (e.g. `cardest::router`) owns the listening `HttpServer`, decides
+//! which paths are proxied, and computes each request's signature. Per
+//! forward:
+//!
+//! 1. The [`Fleet`] yields the signature's live candidates in ring order.
+//! 2. Each candidate leg reuses a pooled keep-alive connection when one
+//!    exists (a fresh connect otherwise), with the leg's read timeout
+//!    clamped to the remaining deadline. A pooled stream that fails is
+//!    silently retried once on a fresh connection — shards idle out
+//!    keep-alive streams, and a stale pool entry says nothing about shard
+//!    health — so only the fresh stream's verdict condemns the leg.
+//! 3. A leg fails over on an I/O error (connect refusal, reset, timeout,
+//!    framing loss) — which also feeds the fleet's hysteresis as a failure
+//!    observation — or on a shed `503` carrying `Retry-After`, which does
+//!    *not*: an overloaded shard is alive, and ejecting it for shedding
+//!    would amplify the overload onto its neighbours.
+//! 4. Failover stops at the retry budget or the deadline, whichever comes
+//!    first; exhaustion answers `502` (every leg died) or `503` +
+//!    `Retry-After` (the last leg shed), `504` on deadline, and `503` when
+//!    the ring is empty.
+//!
+//! A forwarded response is passed through body-byte-identical: the router
+//! copies status and entity headers and re-frames `Content-Length` /
+//! `Connection` itself, so an interval served through the router is
+//! bit-for-bit what the shard produced (the `cluster` experiment audits
+//! this).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::client::{ClientConfig, ClientResponse, HttpClient};
+use crate::health::Fleet;
+use crate::http::{Request, Response};
+
+/// Tuning for [`Router`].
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Extra legs allowed after the first (0 = no failover).
+    pub retry_budget: usize,
+    /// Whole-request wall-clock budget across every leg.
+    pub deadline: Duration,
+    /// TCP connect timeout per leg.
+    pub connect_timeout: Duration,
+    /// Read timeout per leg (further clamped to the remaining deadline).
+    pub read_timeout: Duration,
+    /// Pooled keep-alive connections kept per shard.
+    pub pool_per_shard: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            retry_budget: 2,
+            deadline: Duration::from_secs(2),
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_secs(1),
+            pool_per_shard: 8,
+        }
+    }
+}
+
+/// Counters over the router's forwarding history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Forward calls (client requests routed).
+    pub requests: u64,
+    /// Requests answered by their primary (first candidate).
+    pub served_primary: u64,
+    /// Requests answered by a non-primary candidate.
+    pub served_failover: u64,
+    /// Individual legs that failed with an I/O error.
+    pub leg_errors: u64,
+    /// Pooled streams found dead on reuse (shard idled them out) and
+    /// silently replaced by a fresh connection — not leg failures.
+    pub pool_stale: u64,
+    /// Individual legs answered with a shed `503` + `Retry-After`.
+    pub leg_sheds: u64,
+    /// Requests that exhausted every candidate / the retry budget.
+    pub exhausted: u64,
+    /// Requests that ran out of deadline mid-failover.
+    pub deadline_exceeded: u64,
+    /// Requests refused because no shard was live.
+    pub no_live_shards: u64,
+}
+
+struct Counters {
+    requests: AtomicU64,
+    served_primary: AtomicU64,
+    served_failover: AtomicU64,
+    leg_errors: AtomicU64,
+    pool_stale: AtomicU64,
+    leg_sheds: AtomicU64,
+    exhausted: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    no_live_shards: AtomicU64,
+}
+
+/// The forwarding engine; see module docs.
+pub struct Router {
+    fleet: Fleet,
+    config: RouterConfig,
+    /// Idle keep-alive connections per shard *name* (not address: a shard
+    /// restarted on a new port must not inherit stale streams — the pool is
+    /// keyed so its entries die with the report of the first failed leg).
+    pools: Mutex<HashMap<String, Vec<(SocketAddr, HttpClient)>>>,
+    counters: Counters,
+}
+
+/// One leg's outcome, internal to the failover walk.
+enum Leg {
+    /// A forwardable response (shed 503s are *not* this).
+    Served(ClientResponse),
+    /// The shard shed with `503` + `Retry-After`: alive, overloaded.
+    Shed(ClientResponse),
+    /// The leg died (connect/read/write error, framing loss).
+    Dead,
+}
+
+impl Router {
+    /// Builds a router over `fleet`.
+    pub fn new(fleet: Fleet, config: RouterConfig) -> Router {
+        Router {
+            fleet,
+            config,
+            pools: Mutex::new(HashMap::new()),
+            counters: Counters {
+                requests: AtomicU64::new(0),
+                served_primary: AtomicU64::new(0),
+                served_failover: AtomicU64::new(0),
+                leg_errors: AtomicU64::new(0),
+                pool_stale: AtomicU64::new(0),
+                leg_sheds: AtomicU64::new(0),
+                exhausted: AtomicU64::new(0),
+                deadline_exceeded: AtomicU64::new(0),
+                no_live_shards: AtomicU64::new(0),
+            },
+        }
+    }
+
+    /// The fleet this router routes over (shared with the health checker).
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Forwarding counters.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            served_primary: self.counters.served_primary.load(Ordering::Relaxed),
+            served_failover: self.counters.served_failover.load(Ordering::Relaxed),
+            leg_errors: self.counters.leg_errors.load(Ordering::Relaxed),
+            pool_stale: self.counters.pool_stale.load(Ordering::Relaxed),
+            leg_sheds: self.counters.leg_sheds.load(Ordering::Relaxed),
+            exhausted: self.counters.exhausted.load(Ordering::Relaxed),
+            deadline_exceeded: self.counters.deadline_exceeded.load(Ordering::Relaxed),
+            no_live_shards: self.counters.no_live_shards.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Routes one request by `signature` through the fleet; always returns
+    /// *some* response (routing failures map to 502/503/504 as per the
+    /// module docs).
+    pub fn forward(&self, request: &Request, signature: u64) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let deadline = Instant::now() + self.config.deadline;
+        let candidates = self.fleet.candidates(signature);
+        if candidates.is_empty() {
+            self.counters.no_live_shards.fetch_add(1, Ordering::Relaxed);
+            return Response::json(503, "{\"error\":\"no live shards\"}")
+                .header("Retry-After", "1");
+        }
+        let legs_allowed = self.config.retry_budget.saturating_add(1);
+        let mut last_shed: Option<ClientResponse> = None;
+        for (attempt, (name, addr)) in candidates.iter().take(legs_allowed).enumerate() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                return Response::json(504, "{\"error\":\"routing deadline exceeded\"}");
+            }
+            match self.try_leg(request, name, *addr, remaining) {
+                Leg::Served(resp) => {
+                    if attempt == 0 {
+                        self.counters.served_primary.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.counters.served_failover.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // A served leg is a success observation for hysteresis.
+                    self.fleet.report(name, true, false);
+                    return passthrough(&resp);
+                }
+                Leg::Shed(resp) => {
+                    // Alive but overloaded: fail over, but do not count
+                    // against the shard's health.
+                    self.counters.leg_sheds.fetch_add(1, Ordering::Relaxed);
+                    last_shed = Some(resp);
+                }
+                Leg::Dead => {
+                    self.counters.leg_errors.fetch_add(1, Ordering::Relaxed);
+                    self.fleet.report(name, false, false);
+                }
+            }
+        }
+        self.counters.exhausted.fetch_add(1, Ordering::Relaxed);
+        match last_shed {
+            // Every reachable candidate shed: surface the shed (with its
+            // Retry-After) rather than inventing a gateway error.
+            Some(resp) => passthrough(&resp),
+            None => Response::json(502, "{\"error\":\"all candidate shards failed\"}"),
+        }
+    }
+
+    /// One leg: pooled-or-fresh connection, send, classify.
+    ///
+    /// A pooled stream may have been closed by the shard while idle (the
+    /// server's keep-alive `read_timeout`), so its failure says nothing
+    /// about shard health: the leg gets one silent fresh-connection retry,
+    /// and only the fresh stream's verdict condemns the leg. Without this,
+    /// a low-traffic fleet answers spurious `502`s — every pooled leg gone
+    /// stale burns retry budget *and* a health strike against a healthy
+    /// shard.
+    fn try_leg(
+        &self,
+        request: &Request,
+        name: &str,
+        addr: SocketAddr,
+        remaining: Duration,
+    ) -> Leg {
+        let read_timeout = self.config.read_timeout.min(remaining);
+        if let Some(client) = self.checkout(name, addr) {
+            match self.send_leg(client, request, name, addr, read_timeout) {
+                Some(leg) => return leg,
+                None => {
+                    self.counters.pool_stale.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let config = ClientConfig {
+            connect_timeout: self.config.connect_timeout.min(remaining),
+            read_timeout,
+            write_timeout: read_timeout,
+        };
+        match HttpClient::connect_with(addr, config) {
+            Ok(client) => {
+                self.send_leg(client, request, name, addr, read_timeout).unwrap_or(Leg::Dead)
+            }
+            Err(_) => Leg::Dead,
+        }
+    }
+
+    /// Sends the request on one concrete stream. `None` means the stream
+    /// died (I/O error, framing loss) — the caller decides whether that
+    /// condemns the leg or just the stream.
+    fn send_leg(
+        &self,
+        mut client: HttpClient,
+        request: &Request,
+        name: &str,
+        addr: SocketAddr,
+        read_timeout: Duration,
+    ) -> Option<Leg> {
+        if client.set_read_timeout(read_timeout).is_err() {
+            return None;
+        }
+        let headers: Vec<(String, String)> = request
+            .headers
+            .iter()
+            .filter(|(k, _)| {
+                // Hop-by-hop / re-framed by the client leg itself.
+                k != "content-length" && k != "connection" && k != "host"
+            })
+            .cloned()
+            .collect();
+        match client.request(&request.method, &request.target, &headers, &request.body) {
+            Ok(resp) => {
+                let shed = resp.status == 503 && resp.retry_after().is_some();
+                // Keep the stream for the next leg to this shard. A shed
+                // response is still a well-framed keep-alive exchange.
+                self.checkin(name, addr, client);
+                if shed {
+                    Some(Leg::Shed(resp))
+                } else {
+                    Some(Leg::Served(resp))
+                }
+            }
+            Err(_) => None, // the stream is in an unknown state: drop it
+        }
+    }
+
+    /// Pops an idle pooled connection for `name`, discarding entries dialed
+    /// to a stale address.
+    fn checkout(&self, name: &str, addr: SocketAddr) -> Option<HttpClient> {
+        let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        let pool = pools.get_mut(name)?;
+        while let Some((dialed, client)) = pool.pop() {
+            if dialed == addr {
+                return Some(client);
+            }
+            // Stale address (shard restarted elsewhere): drop the stream.
+        }
+        None
+    }
+
+    /// Returns an idle connection to the pool, bounded per shard.
+    fn checkin(&self, name: &str, addr: SocketAddr, client: HttpClient) {
+        let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        let pool = pools.entry(name.to_string()).or_default();
+        if pool.len() < self.config.pool_per_shard {
+            pool.push((addr, client));
+        }
+    }
+}
+
+/// Re-frames a shard response for the router's own client: status and
+/// entity headers pass through, the body is byte-identical; framing headers
+/// are re-emitted by the server layer.
+fn passthrough(resp: &ClientResponse) -> Response {
+    let mut out = Response::new(resp.status);
+    for (name, value) in &resp.headers {
+        if name == "content-length" || name == "connection" {
+            continue;
+        }
+        out = out.header(name, value);
+    }
+    out.body(resp.body.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::HealthConfig;
+    use crate::server::{HttpServer, ServerConfig};
+    use std::sync::Arc;
+
+    fn shard(tag: &'static str) -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig { read_tick: Duration::from_millis(5), ..ServerConfig::default() },
+            Arc::new(move |req: &Request| match (req.method.as_str(), req.path()) {
+                ("GET", "/readyz") => Response::text(200, "ready"),
+                ("POST", "/echo") => {
+                    let mut body = req.body.clone();
+                    body.extend_from_slice(tag.as_bytes());
+                    Response::json(200, body)
+                }
+                ("POST", "/shed") => {
+                    Response::json(503, "{\"error\":\"busy\"}").header("Retry-After", "1")
+                }
+                _ => Response::text(404, "nope"),
+            }),
+        )
+        .expect("bind shard")
+    }
+
+    fn post(target: &str, body: &[u8]) -> Request {
+        Request {
+            method: "POST".into(),
+            target: target.into(),
+            http11: true,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.to_vec(),
+        }
+    }
+
+    fn fleet_of(shards: &[(&str, SocketAddr)], fail_threshold: u32) -> Fleet {
+        let pairs: Vec<(String, SocketAddr)> =
+            shards.iter().map(|(n, a)| (n.to_string(), *a)).collect();
+        Fleet::new(
+            &pairs,
+            32,
+            HealthConfig { fail_threshold, ..HealthConfig::default() },
+        )
+    }
+
+    #[test]
+    fn forwards_to_a_live_shard_and_passes_the_body_through() {
+        let a = shard("+A");
+        let fleet = fleet_of(&[("a", a.local_addr())], 3);
+        let router = Router::new(fleet, RouterConfig::default());
+        let resp = router.forward(&post("/echo", b"xyz"), 1);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"xyz+A");
+        assert_eq!(router.stats().served_primary, 1);
+        // Keep-alive reuse: a second forward pulls the pooled stream.
+        let resp = router.forward(&post("/echo", b"q"), 1);
+        assert_eq!(resp.body, b"q+A");
+        assert_eq!(a.stats().accepted, 1, "one connection, two requests");
+    }
+
+    #[test]
+    fn fails_over_to_the_next_ring_position_when_a_shard_is_dead() {
+        let a = shard("+A");
+        let b = shard("+B");
+        let dead: SocketAddr = {
+            // Bind-then-drop: the port is very likely refused right after.
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let fleet = fleet_of(
+            &[("a", a.local_addr()), ("b", b.local_addr()), ("dead", dead)],
+            3,
+        );
+        let router = Router::new(fleet, RouterConfig::default());
+        // Route every signature; the ones owned by `dead` must fail over.
+        let mut failovers = 0;
+        for sig in 0..64u64 {
+            let resp = router.forward(&post("/echo", b"x"), sig.wrapping_mul(0x9e3779b97f4a7c15));
+            assert_eq!(resp.status, 200, "every request must be served");
+            if resp.body.ends_with(b"+A") || resp.body.ends_with(b"+B") {
+                // served somewhere real
+            } else {
+                panic!("unexpected body {:?}", resp.body);
+            }
+        }
+        let stats = router.stats();
+        failovers += stats.served_failover;
+        assert!(failovers > 0, "some keys must be owned by the dead shard");
+        assert_eq!(stats.requests, 64);
+        assert_eq!(stats.served_primary + stats.served_failover, 64);
+        assert!(stats.leg_errors > 0);
+        // Repeated leg errors ejected the dead shard via router reports.
+        assert!(!router.fleet().is_live("dead"), "dead shard should be ejected");
+    }
+
+    #[test]
+    fn shed_503_fails_over_without_hurting_health() {
+        let a = shard("+A");
+        let b = shard("+B");
+        let fleet = fleet_of(&[("a", a.local_addr()), ("b", b.local_addr())], 1);
+        let router = Router::new(fleet, RouterConfig::default());
+        // /shed always sheds on either shard; the router retries the other
+        // and ultimately passes the shed through (both shed).
+        let resp = router.forward(&post("/shed", b""), 99);
+        assert_eq!(resp.status, 503);
+        assert!(resp.headers.iter().any(|(k, _)| k == "retry-after"));
+        let stats = router.stats();
+        assert_eq!(stats.leg_sheds, 2, "both candidates shed");
+        assert_eq!(stats.leg_errors, 0);
+        assert!(router.fleet().is_live("a") && router.fleet().is_live("b"),
+            "sheds must not eject (fail_threshold is 1 here)");
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_replaced_not_condemned() {
+        // A shard that idles out keep-alive streams quickly: the pooled
+        // connection from the first forward is dead by the second, which
+        // must be served on a silent fresh connection — zero leg errors,
+        // zero health strikes, no failover.
+        let a = HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                read_timeout: Duration::from_millis(50),
+                read_tick: Duration::from_millis(5),
+                ..ServerConfig::default()
+            },
+            Arc::new(move |req: &Request| match (req.method.as_str(), req.path()) {
+                ("POST", "/echo") => Response::json(200, req.body.clone()),
+                _ => Response::text(404, "nope"),
+            }),
+        )
+        .expect("bind shard");
+        let fleet = fleet_of(&[("a", a.local_addr())], 1);
+        let router = Router::new(fleet, RouterConfig::default());
+        assert_eq!(router.forward(&post("/echo", b"one"), 1).status, 200);
+        std::thread::sleep(Duration::from_millis(300)); // shard idles the stream out
+        let resp = router.forward(&post("/echo", b"two"), 1);
+        assert_eq!(resp.status, 200, "stale pooled stream must not fail the request");
+        assert_eq!(resp.body, b"two");
+        let stats = router.stats();
+        assert_eq!(stats.pool_stale, 1, "the dead pooled stream is accounted");
+        assert_eq!(stats.leg_errors, 0, "a stale pool entry is not a leg error");
+        assert_eq!(stats.served_primary, 2, "no failover happened");
+        assert!(
+            router.fleet().is_live("a"),
+            "fail_threshold 1: a health strike would have ejected the shard"
+        );
+    }
+
+    #[test]
+    fn empty_ring_answers_503_and_budget_bounds_legs() {
+        let fleet = fleet_of(&[("a", "127.0.0.1:1".parse().unwrap())], 1);
+        fleet.report("a", false, true); // threshold 1: ejected
+        let router = Router::new(fleet, RouterConfig::default());
+        let resp = router.forward(&post("/echo", b"x"), 5);
+        assert_eq!(resp.status, 503);
+        assert_eq!(router.stats().no_live_shards, 1);
+    }
+
+    #[test]
+    fn all_dead_candidates_answer_502_within_budget() {
+        // Three unreachable shards, budget 1 → at most 2 legs tried.
+        let dead = |_: usize| -> SocketAddr {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let fleet = fleet_of(&[("x", dead(0)), ("y", dead(1)), ("z", dead(2))], 10);
+        let router = Router::new(
+            fleet,
+            RouterConfig { retry_budget: 1, ..RouterConfig::default() },
+        );
+        let resp = router.forward(&post("/echo", b"x"), 7);
+        assert_eq!(resp.status, 502);
+        let stats = router.stats();
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.leg_errors, 2, "budget 1 means two legs max");
+    }
+}

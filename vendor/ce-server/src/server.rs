@@ -35,6 +35,15 @@ pub struct ServerConfig {
     /// Socket read timeout; an idle keep-alive connection is closed after
     /// this long without bytes.
     pub read_timeout: Duration,
+    /// Read tick: how often a blocked worker wakes to poll the stop flag
+    /// (and the acceptor polls for new connections when idle). Bounds how
+    /// long a drain — and anything gated on one, like a router noticing a
+    /// shard went away — can lag behind the stop signal. Health-probe
+    /// traffic answers as fast as bytes arrive regardless; the tick only
+    /// quantizes *shutdown* responsiveness, which is why the cluster router
+    /// and its shards run with a few-millisecond tick instead of the 100ms
+    /// general-serving default.
+    pub read_tick: Duration,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +54,7 @@ impl Default for ServerConfig {
             limits: ParserLimits::default(),
             keep_alive_max_requests: 1024,
             read_timeout: Duration::from_secs(5),
+            read_tick: Duration::from_millis(100),
         }
     }
 }
@@ -220,15 +230,21 @@ fn accept_loop(
                 queue.available.notify_one();
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
+                std::thread::sleep(accept_idle(&config));
             }
             Err(_) => {
                 // Transient accept errors (ECONNABORTED etc.): back off
                 // briefly and keep serving.
-                std::thread::sleep(Duration::from_millis(10));
+                std::thread::sleep(accept_idle(&config));
             }
         }
     }
+}
+
+/// Idle accept-poll interval: the configured read tick, capped at 10ms so a
+/// long tick never makes *accepting* sluggish.
+fn accept_idle(config: &ServerConfig) -> Duration {
+    config.read_tick.max(Duration::from_millis(1)).min(Duration::from_millis(10))
 }
 
 /// Answers an over-quota connection with a raw 503 and closes it. Best
@@ -280,7 +296,10 @@ fn serve_connection(
 ) {
     // Short read ticks let the worker notice the stop flag promptly while
     // still honoring the configured idle timeout across ticks.
-    let tick = Duration::from_millis(100).min(config.read_timeout.max(Duration::from_millis(1)));
+    let tick = config
+        .read_tick
+        .max(Duration::from_millis(1))
+        .min(config.read_timeout.max(Duration::from_millis(1)));
     let _ = stream.set_read_timeout(Some(tick));
     let _ = stream.set_write_timeout(Some(config.read_timeout));
     let _ = stream.set_nodelay(true);
@@ -424,6 +443,21 @@ mod tests {
         }
         assert_eq!(server.stats().requests, 40);
         server.shutdown();
+    }
+
+    #[test]
+    fn small_read_tick_drains_idle_connections_promptly() {
+        let server = echo_server(ServerConfig {
+            read_tick: Duration::from_millis(2),
+            ..ServerConfig::default()
+        });
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        // The connection is idle keep-alive; with a 2ms tick the worker
+        // notices the stop flag long before the 100ms default would.
+        let t = std::time::Instant::now();
+        server.shutdown();
+        assert!(t.elapsed() < Duration::from_millis(500), "drain lagged: {:?}", t.elapsed());
     }
 
     #[test]

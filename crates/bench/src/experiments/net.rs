@@ -1,8 +1,9 @@
 //! `net`: the HTTP serving layer — endpoint health, the wire bit-audit, a
-//! loopback client fleet, and admission-control shedding.
+//! prequential feedback fleet, a sustained multi-tier soak, and
+//! admission-control shedding.
 //!
-//! Four operational claims about the `ce-server` + `cardest::serve` stack
-//! are checked in one run (DESIGN.md §10):
+//! Five operational claims about the `ce-server` + `cardest::serve` stack
+//! are checked in one run (DESIGN.md §10, §12):
 //!
 //! 1. **It serves** — the server binds an ephemeral loopback port and all
 //!    four endpoints answer: `GET /healthz`, `GET /readyz`, `GET /metrics`
@@ -11,10 +12,14 @@
 //! 2. **Bit-identical** — intervals served over HTTP (JSON round-trip,
 //!    micro-batcher coalescing, worker threads) match direct in-process
 //!    `predict_batch` calls bit for bit.
-//! 3. **Fast enough** — a fleet of concurrent keep-alive clients streams
-//!    batches (with prequential truths) and the run records qps and
-//!    p50/p95/p99 request latency; a calm fleet sheds nothing.
-//! 4. **Bounded** — a request larger than the admission queue is shed with
+//! 3. **Feedback survives concurrency** — a fleet of keep-alive clients
+//!    streams batches with prequential truths; every truth lands in the
+//!    self-healing layer and nothing sheds.
+//! 4. **Sustained throughput** — a ≥100k-query soak sweeps client counts
+//!    1/2/4/8/16 and records the full qps + p50/p95/p99 curve per tier;
+//!    the 4-client tier is the headline number CI gates (generous floor /
+//!    ceiling so weak runners pass; committed numbers come from a real box).
+//! 5. **Bounded** — a request larger than the admission queue is shed with
 //!    `503` + `Retry-After` instead of queuing unboundedly, and after a
 //!    graceful drain the port stops accepting.
 //!
@@ -51,6 +56,31 @@ const REQUESTS_PER_CLIENT: usize = 40;
 /// Queries per fleet request (shipped with truths, so the fleet also
 /// exercises the prequential feedback path under concurrency).
 const FLEET_BATCH: usize = 8;
+
+/// Soak sweep: concurrent keep-alive clients per tier.
+const SOAK_TIERS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Queries per soak tier (5 tiers x 20k >= the 100k-query floor).
+const SOAK_QUERIES_PER_TIER: usize = 20_000;
+
+/// Queries per soak request body.
+const SOAK_BATCH: usize = 8;
+
+/// Distinct prebuilt soak bodies (cycled), so body serialization stays out
+/// of the timed loop.
+const SOAK_BODIES: usize = 32;
+
+/// The client tier whose qps/latency is the headline (and CI-gated) number.
+const SOAK_HEADLINE_CLIENTS: usize = 4;
+
+/// CI gate: headline-tier qps floor. Deliberately generous — shared CI
+/// runners are slow; the committed artifact from a dedicated box runs at
+/// ~48k qps, well above this.
+const SOAK_QPS_FLOOR: f64 = 15_000.0;
+
+/// CI gate: headline-tier p99 request-latency ceiling, microseconds.
+/// The committed artifact measures ~2.5ms p99 at the headline tier.
+const SOAK_P99_CEILING_US: f64 = 20_000.0;
 
 /// Queries audited for HTTP-vs-direct bit identity.
 const AUDIT_QUERIES: usize = 192;
@@ -108,6 +138,17 @@ pub(super) fn parse_intervals(body: &[u8]) -> Result<Vec<(f64, f64)>, String> {
         out.push((lo, hi));
     }
     Ok(out)
+}
+
+/// One soak tier's measurements: a fixed client count driving keep-alive
+/// connections until its query quota is met.
+struct SoakTier {
+    clients: usize,
+    queries: usize,
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
 }
 
 /// Percentile over an ascending-sorted latency sample (nearest-rank).
@@ -250,19 +291,14 @@ pub fn net(scale: &Scale) -> Vec<ExperimentRecord> {
     }
     let fleet_secs = fleet_t0.elapsed().as_secs_f64();
     latencies.sort_unstable();
-    let qps = fleet_queries as f64 / fleet_secs;
-    let p50_us = percentile(&latencies, 0.50);
-    let p95_us = percentile(&latencies, 0.95);
-    let p99_us = percentile(&latencies, 0.99);
+    let fleet_qps = fleet_queries as f64 / fleet_secs;
     let calm_stats = handle.batcher_stats();
     let calm_shed = calm_stats.shed;
     assert_eq!(calm_shed, 0, "calm fleet must not shed");
     rec.extra("fleet_clients", CLIENTS as f64);
     rec.extra("fleet_queries", fleet_queries as f64);
-    rec.extra("qps", qps);
-    rec.extra("p50_us", p50_us);
-    rec.extra("p95_us", p95_us);
-    rec.extra("p99_us", p99_us);
+    rec.extra("fleet_qps", fleet_qps);
+    rec.extra("fleet_p50_us", percentile(&latencies, 0.50));
     rec.extra("calm_shed", calm_shed as f64);
     rec.extra("batches", calm_stats.batches as f64);
     rec.extra("max_batch_seen", calm_stats.max_batch_seen as f64);
@@ -276,7 +312,119 @@ pub fn net(scale: &Scale) -> Vec<ExperimentRecord> {
     assert!(metrics_ok, "metrics scrape lost the serve gauges");
     rec.extra("observations", observations as f64);
 
+    // --- 3b. sustained soak: qps/latency curve over client tiers ---------
+    // First pin down the application floor: the direct (no-HTTP) cost of
+    // one SOAK_BATCH-sized `predict_batch` call, so the soak numbers can
+    // be read as floor + wire overhead.
+    let direct_batch_us = {
+        let rounds = 500usize;
+        let t = Instant::now();
+        for r in 0..rounds {
+            let at = (r * SOAK_BATCH) % bench.test.x.len().max(1);
+            let end = (at + SOAK_BATCH).min(bench.test.x.len());
+            for out in engine.predict_batch(&bench.test.x[at..end]) {
+                out.expect("direct floor predict");
+            }
+        }
+        t.elapsed().as_micros() as f64 / rounds as f64
+    };
+    rec.extra("direct_batch_us", direct_batch_us);
+    eprintln!("  [direct floor] {direct_batch_us:.0}us per {SOAK_BATCH}-query predict_batch");
+
+    // Truth-free (pure serving path), bodies prebuilt outside the timed
+    // loop, every tier >= SOAK_QUERIES_PER_TIER queries over keep-alive
+    // connections — the sweep that shows where the event loop saturates.
+    let soak_bodies: Arc<Vec<Vec<u8>>> = Arc::new(
+        (0..SOAK_BODIES)
+            .map(|b| {
+                let at = (b * SOAK_BATCH) % bench.test.x.len().max(1);
+                let end = (at + SOAK_BATCH).min(bench.test.x.len());
+                predict_body(&bench.test.x[at..end], None)
+            })
+            .collect(),
+    );
+    let mut soak_tiers: Vec<SoakTier> = Vec::with_capacity(SOAK_TIERS.len());
+    for &clients in &SOAK_TIERS {
+        let per_client = SOAK_QUERIES_PER_TIER.div_ceil(clients * SOAK_BATCH);
+        let t0 = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let bodies = Arc::clone(&soak_bodies);
+                std::thread::spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect soak client");
+                    let mut latencies_us = Vec::with_capacity(per_client);
+                    for r in 0..per_client {
+                        let body = &bodies[(c * per_client + r) % bodies.len()];
+                        let t = Instant::now();
+                        let resp = client.post("/v1/predict", body).expect("soak POST");
+                        latencies_us.push(t.elapsed().as_micros());
+                        assert_eq!(resp.status, 200, "soak predict shed or failed");
+                        // The server caps requests per keep-alive connection
+                        // (`keep_alive_max_requests`) and says so; reconnect
+                        // like any well-behaved client.
+                        if resp.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                        {
+                            client = HttpClient::connect(addr).expect("soak reconnect");
+                        }
+                    }
+                    latencies_us
+                })
+            })
+            .collect();
+        let mut lat: Vec<u128> = Vec::with_capacity(clients * per_client);
+        for w in workers {
+            lat.extend(w.join().expect("soak client panicked"));
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        lat.sort_unstable();
+        let queries = lat.len() * SOAK_BATCH;
+        let tier = SoakTier {
+            clients,
+            queries,
+            qps: queries as f64 / secs,
+            p50_us: percentile(&lat, 0.50),
+            p95_us: percentile(&lat, 0.95),
+            p99_us: percentile(&lat, 0.99),
+        };
+        println!(
+            "  [soak c={:2}] {:7} queries  {:9.0} qps  p50 {:6.0}us  p95 {:6.0}us  p99 {:6.0}us",
+            tier.clients, tier.queries, tier.qps, tier.p50_us, tier.p95_us, tier.p99_us
+        );
+        rec.extra(&format!("soak_qps_c{clients}"), tier.qps);
+        rec.extra(&format!("soak_p50_us_c{clients}"), tier.p50_us);
+        rec.extra(&format!("soak_p99_us_c{clients}"), tier.p99_us);
+        soak_tiers.push(tier);
+    }
+    let soak_queries: usize = soak_tiers.iter().map(|t| t.queries).sum();
+    assert!(soak_queries >= 100_000, "soak must cover >= 100k queries, got {soak_queries}");
+    let headline = soak_tiers
+        .iter()
+        .find(|t| t.clients == SOAK_HEADLINE_CLIENTS)
+        .expect("headline tier ran");
+    let qps = headline.qps;
+    let (p50_us, p95_us, p99_us) = (headline.p50_us, headline.p95_us, headline.p99_us);
+    let soak_qps_floor_met = qps >= SOAK_QPS_FLOOR;
+    let soak_p99_under_ceiling = p99_us <= SOAK_P99_CEILING_US;
+    assert!(
+        soak_qps_floor_met,
+        "headline tier ({SOAK_HEADLINE_CLIENTS} clients) qps {qps:.0} under the \
+         {SOAK_QPS_FLOOR:.0} floor"
+    );
+    assert!(
+        soak_p99_under_ceiling,
+        "headline tier p99 {p99_us:.0}us over the {SOAK_P99_CEILING_US:.0}us ceiling"
+    );
+    assert_eq!(handle.batcher_stats().shed, calm_shed, "soak must not shed");
+    rec.extra("soak_queries", soak_queries as f64);
+    rec.extra("qps", qps);
+    rec.extra("p50_us", p50_us);
+    rec.extra("p95_us", p95_us);
+    rec.extra("p99_us", p99_us);
+
     // --- 4. overload shed + graceful drain -------------------------------
+    // The probe connection idled through the soak past the server's
+    // keep-alive deadline and was reaped (by design); reconnect.
+    let mut probe = HttpClient::connect(addr).expect("reconnect probe client");
     // One request larger than the admission queue: all-or-nothing admission
     // rejects it up front with 503 + Retry-After (no partial enqueue).
     let oversized: Vec<Vec<f32>> = vec![bench.test.x[0].clone(); QUEUE_CAP + 1];
@@ -312,6 +460,8 @@ pub fn net(scale: &Scale) -> Vec<ExperimentRecord> {
         bit_audit_identical,
         calm_shed,
         overload_shed_503,
+        (soak_qps_floor_met, soak_p99_under_ceiling),
+        &soak_tiers,
         qps,
         (p50_us, p95_us, p99_us),
         &rec,
@@ -320,7 +470,7 @@ pub fn net(scale: &Scale) -> Vec<ExperimentRecord> {
 }
 
 /// Writes `BENCH_net.json` in the working directory: the gate fields CI
-/// greps plus the scalar metrics.
+/// greps, the per-tier soak curve, and the scalar metrics.
 #[allow(clippy::too_many_arguments)]
 fn write_bench_summary(
     scale: &Scale,
@@ -329,6 +479,8 @@ fn write_bench_summary(
     bit_audit_identical: bool,
     calm_shed: u64,
     overload_shed_503: bool,
+    (soak_qps_floor_met, soak_p99_under_ceiling): (bool, bool),
+    soak_tiers: &[SoakTier],
     qps: f64,
     (p50_us, p95_us, p99_us): (f64, f64, f64),
     rec: &ExperimentRecord,
@@ -340,10 +492,27 @@ fn write_bench_summary(
     json.push_str(&format!("  \"bit_audit_identical\": {bit_audit_identical},\n"));
     json.push_str(&format!("  \"calm_shed\": {calm_shed},\n"));
     json.push_str(&format!("  \"overload_shed_503\": {overload_shed_503},\n"));
+    json.push_str(&format!("  \"soak_qps_floor_met\": {soak_qps_floor_met},\n"));
+    json.push_str(&format!("  \"soak_p99_under_ceiling\": {soak_p99_under_ceiling},\n"));
     json.push_str(&format!("  \"qps\": {qps:.1},\n"));
     json.push_str(&format!("  \"p50_us\": {p50_us},\n"));
     json.push_str(&format!("  \"p95_us\": {p95_us},\n"));
     json.push_str(&format!("  \"p99_us\": {p99_us},\n"));
+    json.push_str("  \"soak\": [\n");
+    for (i, t) in soak_tiers.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"queries\": {}, \"qps\": {:.1}, \"p50_us\": {}, \
+             \"p95_us\": {}, \"p99_us\": {}}}{}\n",
+            t.clients,
+            t.queries,
+            t.qps,
+            t.p50_us,
+            t.p95_us,
+            t.p99_us,
+            if i + 1 < soak_tiers.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"metrics\": {\n");
     let scalars: Vec<String> = rec
         .extras

@@ -326,7 +326,7 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> SelfHealingService<M, S> {
         self.service.try_interval(features)
     }
 
-    /// Serves a whole batch in parallel (delegates to
+    /// Serves a whole batch with one batched calibrator call (delegates to
     /// [`PiService::predict_interval_batch`]).
     pub fn predict_interval_batch(&self, queries: &[Vec<f32>]) -> Vec<PredictionInterval>
     where
@@ -334,6 +334,15 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> SelfHealingService<M, S> {
         S: Sync,
     {
         self.service.predict_interval_batch(queries)
+    }
+
+    /// Batched [`SelfHealingService::try_interval`] (delegates to
+    /// [`PiService::try_interval_batch`]).
+    pub fn try_interval_batch(
+        &self,
+        queries: &[Vec<f32>],
+    ) -> Vec<Result<PredictionInterval, CardEstError>> {
+        self.service.try_interval_batch(queries)
     }
 
     /// Feeds back an executed query's truth and drives the remediation state

@@ -193,6 +193,48 @@ impl<M: Regressor, S: ScoreFunction> OnlineConformal<M, S> {
         Ok(PredictionInterval::new(lo, hi))
     }
 
+    /// Batched [`OnlineConformal::try_interval`]: one
+    /// [`Regressor::predict_batch`] call for the whole batch (models with a
+    /// real batch path amortize their forward pass), one threshold read,
+    /// per-query finiteness checks. Output `i` equals
+    /// `try_interval(&queries[i])` exactly — the threshold is a pure read
+    /// and the batch predict is row-identical by the regressor contract.
+    pub fn try_interval_batch(
+        &self,
+        queries: &[Vec<f32>],
+    ) -> Vec<Result<PredictionInterval, CardEstError>> {
+        let delta = self.delta();
+        self.model
+            .predict_batch(queries)
+            .into_iter()
+            .map(|y_hat| {
+                if !y_hat.is_finite() {
+                    return Err(CardEstError::NonFiniteScore {
+                        value: y_hat,
+                        context: "model prediction",
+                    });
+                }
+                let (lo, hi) = self.score.interval(y_hat, delta);
+                Ok(PredictionInterval::new(lo, hi))
+            })
+            .collect()
+    }
+
+    /// Batched [`OnlineConformal::interval`] (infallible form; a non-finite
+    /// prediction propagates into the interval exactly as on the single
+    /// path).
+    pub fn interval_batch(&self, queries: &[Vec<f32>]) -> Vec<PredictionInterval> {
+        let delta = self.delta();
+        self.model
+            .predict_batch(queries)
+            .into_iter()
+            .map(|y_hat| {
+                let (lo, hi) = self.score.interval(y_hat, delta);
+                PredictionInterval::new(lo, hi)
+            })
+            .collect()
+    }
+
     /// Folds an executed query's observed truth into the calibration set.
     /// A non-finite score (corrupt prediction or label) is recorded as `+∞`.
     pub fn observe(&mut self, features: &[f32], y_true: f64) {
@@ -303,6 +345,42 @@ impl<M: Regressor, S: ScoreFunction> WindowedConformal<M, S> {
         }
         let (lo, hi) = self.score.interval(y_hat, self.delta());
         Ok(PredictionInterval::new(lo, hi))
+    }
+
+    /// Batched [`WindowedConformal::try_interval`]; see
+    /// [`OnlineConformal::try_interval_batch`] for the identity guarantee.
+    pub fn try_interval_batch(
+        &self,
+        queries: &[Vec<f32>],
+    ) -> Vec<Result<PredictionInterval, CardEstError>> {
+        let delta = self.delta();
+        self.model
+            .predict_batch(queries)
+            .into_iter()
+            .map(|y_hat| {
+                if !y_hat.is_finite() {
+                    return Err(CardEstError::NonFiniteScore {
+                        value: y_hat,
+                        context: "model prediction",
+                    });
+                }
+                let (lo, hi) = self.score.interval(y_hat, delta);
+                Ok(PredictionInterval::new(lo, hi))
+            })
+            .collect()
+    }
+
+    /// Batched [`WindowedConformal::interval`] (infallible form).
+    pub fn interval_batch(&self, queries: &[Vec<f32>]) -> Vec<PredictionInterval> {
+        let delta = self.delta();
+        self.model
+            .predict_batch(queries)
+            .into_iter()
+            .map(|y_hat| {
+                let (lo, hi) = self.score.interval(y_hat, delta);
+                PredictionInterval::new(lo, hi)
+            })
+            .collect()
     }
 
     /// Observes an executed query, evicting the oldest score when full.

@@ -49,6 +49,19 @@ pub trait PiEstimator: Sync + Send {
     /// Prediction interval for one query.
     fn interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError>;
 
+    /// Prediction intervals for a whole batch, one `Result` per query in
+    /// input order. The default loops over [`PiEstimator::interval`];
+    /// estimators with a real batch path (one model forward for the whole
+    /// batch) override it. Implementations must keep output `i` equal to
+    /// `self.interval(&queries[i])` — the resilient batch fast path relies
+    /// on that identity.
+    fn interval_batch(
+        &self,
+        queries: &[Vec<f32>],
+    ) -> Vec<Result<PredictionInterval, CardEstError>> {
+        queries.iter().map(|q| self.interval(q)).collect()
+    }
+
     /// Folds an executed query's truth into the estimator's calibration.
     fn observe(&mut self, features: &[f32], y_true: f64);
 }
@@ -71,6 +84,12 @@ impl<M: Regressor + Sync + Send, S: ScoreFunction + Sync + Send> PiEstimator for
     fn interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
         self.try_interval(features)
     }
+    fn interval_batch(
+        &self,
+        queries: &[Vec<f32>],
+    ) -> Vec<Result<PredictionInterval, CardEstError>> {
+        self.try_interval_batch(queries)
+    }
     fn observe(&mut self, features: &[f32], y_true: f64) {
         OnlineConformal::observe(self, features, y_true);
     }
@@ -90,6 +109,12 @@ impl<M: Regressor + Sync + Send, S: ScoreFunction + Sync + Send> PiEstimator for
     fn interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
         self.try_interval(features)
     }
+    fn interval_batch(
+        &self,
+        queries: &[Vec<f32>],
+    ) -> Vec<Result<PredictionInterval, CardEstError>> {
+        self.try_interval_batch(queries)
+    }
     fn observe(&mut self, features: &[f32], y_true: f64) {
         WindowedConformal::observe(self, features, y_true);
     }
@@ -104,6 +129,12 @@ impl<M: Regressor + Clone + Sync + Send, S: ScoreFunction + Clone + Sync + Send>
     }
     fn interval(&self, features: &[f32]) -> Result<PredictionInterval, CardEstError> {
         self.try_interval(features)
+    }
+    fn interval_batch(
+        &self,
+        queries: &[Vec<f32>],
+    ) -> Vec<Result<PredictionInterval, CardEstError>> {
+        self.try_interval_batch(queries)
     }
     fn observe(&mut self, features: &[f32], y_true: f64) {
         PiService::observe(self, features, y_true);
@@ -316,6 +347,27 @@ fn run_guarded(
             )));
         }
     }
+}
+
+/// Batch counterpart of [`run_guarded`] for the phase-2a fast path: a
+/// *single* panic-isolated attempt with the call budget scaled by the batch
+/// size (a batch call legitimately does `n` queries of work). `None` means
+/// the whole call is discarded — panic or deadline overrun — and the caller
+/// falls back to the per-query serial walk, which carries the retry policy
+/// and per-query deadline, so nothing is lost besides the speedup.
+fn run_guarded_batch(
+    guard: &CallGuardConfig,
+    n: usize,
+    call: impl Fn() -> Vec<Result<PredictionInterval, CardEstError>>,
+) -> Option<Vec<Result<PredictionInterval, CardEstError>>> {
+    let start = (guard.budget_us != u64::MAX).then(Instant::now);
+    let outcome = catch_unwind(AssertUnwindSafe(&call)).ok()?;
+    let elapsed_us =
+        start.map_or(0, |s| u64::try_from(s.elapsed().as_micros()).unwrap_or(u64::MAX));
+    if elapsed_us > guard.budget_us.saturating_mul(n.max(1) as u64) {
+        return None;
+    }
+    Some(outcome)
 }
 
 /// Counters describing how a [`ResilientService`] has behaved so far.
@@ -690,16 +742,81 @@ impl ResilientService {
         let admitted: Vec<bool> =
             self.chain.iter_mut().map(|e| e.breaker.admit(now, &config)).collect();
 
-        // Phase 2 (parallel, read-only): walk the snapshotted chain. The
-        // guard applies inside the closure exactly as on the serial path —
-        // its backoff jitter is a pure function of (position, attempt), so
-        // outcomes stay bit-identical at any thread count.
+        // Phase 2a (read-only): batched primary fast path. One guarded
+        // `interval_batch` call on the first admitted estimator answers the
+        // whole sanitized batch when that estimator is healthy — estimators
+        // with a real batch path run one model forward for all queries
+        // instead of one per query. Any query the batch call does not
+        // answer `Ok` (typed failure, panic, deadline overrun, mis-sized
+        // return) re-runs the *unmodified* serial walk in phase 2b, so
+        // failure accounting, retry policy, and fallback order stay exactly
+        // the serial path's. Intervals are identical either way: the
+        // `PiEstimator::interval_batch` contract requires output `i` to
+        // equal `interval(&queries[i])`.
         let this: &Self = self;
+        let sanitized: Vec<Option<CardEstError>> =
+            queries.iter().map(|q| this.sanitize(q).err()).collect();
+        let primary = admitted.iter().position(|&a| a);
+        let mut fast: Vec<Option<PredictionInterval>> = vec![None; queries.len()];
+        if let Some(p) = primary {
+            let sane_idx: Vec<usize> =
+                (0..queries.len()).filter(|&i| sanitized[i].is_none()).collect();
+            if !sane_idx.is_empty() {
+                let estimator = &*this.chain[p].estimator;
+                let results = run_guarded_batch(&this.guard, sane_idx.len(), || {
+                    if sane_idx.len() == queries.len() {
+                        estimator.interval_batch(queries)
+                    } else {
+                        let subset: Vec<Vec<f32>> =
+                            sane_idx.iter().map(|&i| queries[i].clone()).collect();
+                        estimator.interval_batch(&subset)
+                    }
+                });
+                if let Some(results) = results.filter(|r| r.len() == sane_idx.len()) {
+                    for (&qi, result) in sane_idx.iter().zip(results) {
+                        if let Ok(interval) = result {
+                            fast[qi] = Some(interval);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2b (parallel, read-only): walk the snapshotted chain for
+        // everything the fast path did not answer. The guard applies inside
+        // the closure exactly as on the serial path — its backoff jitter is
+        // a pure function of (position, attempt), so outcomes stay
+        // bit-identical at any thread count.
         let admitted_ref = &admitted;
+        let sanitized_ref = &sanitized;
+        let fast_ref = &fast;
         let outcomes = ce_parallel::par_map(queries.len(), 4, |qi| {
             let features = &queries[qi];
-            if let Err(e) = this.sanitize(features) {
-                return BatchOutcome::Rejected(e);
+            if let Some(e) = &sanitized_ref[qi] {
+                return BatchOutcome::Rejected(e.clone());
+            }
+            if let Some(interval) = fast_ref[qi] {
+                // Same outcome shape the serial walk produces for a
+                // first-attempt success at `position`: circuit-open records
+                // for the skipped closed entries ahead of it, a clean
+                // one-attempt guard report.
+                let position = primary.expect("fast path implies an admitted estimator");
+                let failures: Vec<(usize, GuardReport, CardEstError)> = (0..position)
+                    .map(|skipped| {
+                        let estimator = this.chain[skipped].estimator.name().to_string();
+                        (
+                            skipped,
+                            GuardReport::default(),
+                            CardEstError::CircuitOpen { estimator },
+                        )
+                    })
+                    .collect();
+                return BatchOutcome::Served {
+                    position,
+                    interval,
+                    failures,
+                    report: GuardReport { attempts: 1, ..GuardReport::default() },
+                };
             }
             let mut failures: Vec<(usize, GuardReport, CardEstError)> = Vec::new();
             for (position, entry) in this.chain.iter().enumerate() {

@@ -180,13 +180,16 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
         }
     }
 
-    /// Serves a whole batch of queries under the *current* mode, evaluated
-    /// in parallel on the `ce-parallel` pool.
+    /// Serves a whole batch of queries under the *current* mode with one
+    /// batched calibrator call — a single [`Regressor::predict_batch`]
+    /// forward pass plus one threshold read for the whole batch.
     ///
     /// The serving mode and thresholds are snapshotted for the batch (the
     /// method takes `&self`, and feedback arrives separately via
     /// [`PiService::observe`]), so output `i` is exactly
-    /// `self.interval(&queries[i])` — bit-identical at any thread count.
+    /// `self.interval(&queries[i])` — the batch forward is row-identical by
+    /// the regressor contract, and any internal parallelism keeps the
+    /// bit-identical-at-any-thread-count guarantee.
     pub fn predict_interval_batch(&self, queries: &[Vec<f32>]) -> Vec<PredictionInterval>
     where
         M: Sync,
@@ -196,7 +199,27 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> PiService<M, S> {
         if ce_telemetry::enabled() {
             ce_telemetry::histogram("pi.batch_size").record(queries.len() as u64);
         }
-        ce_parallel::par_map(queries.len(), 16, |i| self.interval_inner(&queries[i]))
+        match self.mode {
+            ServiceMode::Stable => self.online.interval_batch(queries),
+            ServiceMode::Drifted => self.window.interval_batch(queries),
+        }
+    }
+
+    /// Batched [`PiService::try_interval`]: the fallible form of
+    /// [`PiService::predict_interval_batch`], with non-finite predictions
+    /// reported per query as typed errors.
+    pub fn try_interval_batch(
+        &self,
+        queries: &[Vec<f32>],
+    ) -> Vec<Result<PredictionInterval, CardEstError>> {
+        let _span = ce_telemetry::Span::enter("pi_batch");
+        if ce_telemetry::enabled() {
+            ce_telemetry::histogram("pi.batch_size").record(queries.len() as u64);
+        }
+        match self.mode {
+            ServiceMode::Stable => self.online.try_interval_batch(queries),
+            ServiceMode::Drifted => self.window.try_interval_batch(queries),
+        }
     }
 
     /// Feeds back an executed query's truth: updates both calibrators and

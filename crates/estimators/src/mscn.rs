@@ -305,6 +305,57 @@ impl Mscn {
         self.predict_log_selectivity(features).exp().clamp(self.sel_floor, 1.0)
     }
 
+    /// Predicted log-selectivities for a whole batch of encoded queries in
+    /// one pass: every query's predicate rows are packed into a single
+    /// matrix, run through the predicate module once, segment-pooled, and
+    /// the pooled+context rows go through the top network as one matrix.
+    ///
+    /// Output `i` is bit-identical to `predict_log_selectivity(&queries[i])`
+    /// — matmul rows and segment means accumulate independently per query —
+    /// but the batch amortizes layer dispatch, weight traffic, and
+    /// allocations across the batch, which is what makes the serving path's
+    /// micro-batching pay off below it.
+    pub fn predict_log_selectivity_batch(&self, queries: &[Vec<f32>]) -> Vec<f64> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let pred_width = self.layout.n_columns() + 3;
+        let mut pred_rows: Vec<Vec<f32>> = Vec::new();
+        let mut segments = Vec::with_capacity(queries.len());
+        let mut context_rows = Vec::with_capacity(queries.len());
+        for q in queries {
+            let (preds, ctx) = self.layout.extract(q);
+            segments.push(preds.len());
+            pred_rows.extend(preds);
+            context_rows.push(ctx);
+        }
+        let pred_matrix = if pred_rows.is_empty() {
+            Matrix::zeros(0, pred_width)
+        } else {
+            Matrix::from_rows(&pred_rows)
+        };
+        let hidden = self.pred_mlp.infer(&pred_matrix);
+        let pooled = segment_mean(&hidden, &segments);
+        let top_rows: Vec<Vec<f32>> = (0..queries.len())
+            .map(|q| {
+                let mut row = pooled.row(q).to_vec();
+                row.extend_from_slice(&context_rows[q]);
+                row
+            })
+            .collect();
+        let out = self.top_mlp.predict_scalar(&Matrix::from_rows(&top_rows));
+        out.into_iter().map(f64::from).collect()
+    }
+
+    /// Batched [`Mscn::predict_selectivity`]; see
+    /// [`Mscn::predict_log_selectivity_batch`] for the identity guarantee.
+    pub fn predict_selectivity_batch(&self, queries: &[Vec<f32>]) -> Vec<f64> {
+        self.predict_log_selectivity_batch(queries)
+            .into_iter()
+            .map(|log_sel| log_sel.exp().clamp(self.sel_floor, 1.0))
+            .collect()
+    }
+
     /// The layout this model was trained with.
     pub fn layout(&self) -> &MscnLayout {
         &self.layout
@@ -314,6 +365,10 @@ impl Mscn {
 impl Regressor for Mscn {
     fn predict(&self, features: &[f32]) -> f64 {
         self.predict_selectivity(features)
+    }
+
+    fn predict_batch(&self, features: &[Vec<f32>]) -> Vec<f64> {
+        self.predict_selectivity_batch(features)
     }
 }
 
@@ -438,5 +493,21 @@ mod tests {
         let table = dmv(100, 0);
         let feat = SingleTableFeaturizer::new(table.schema().clone());
         Mscn::fit(MscnLayout::Single(feat), &[], &[], &MscnConfig::default());
+    }
+
+    #[test]
+    fn batched_prediction_is_bit_identical_to_per_query() {
+        let (model, _, x, _) = trained_mscn(200, 10);
+        let batch = model.predict_selectivity_batch(&x);
+        assert_eq!(batch.len(), x.len());
+        for (f, &b) in x.iter().zip(&batch) {
+            let single = model.predict_selectivity(f);
+            assert_eq!(
+                single.to_bits(),
+                b.to_bits(),
+                "batched forward diverged from per-query: {single} vs {b}"
+            );
+        }
+        assert!(model.predict_selectivity_batch(&[]).is_empty());
     }
 }

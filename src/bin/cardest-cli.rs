@@ -343,9 +343,13 @@ struct ServeOptions {
     max_batch: usize,
     batch_window_us: u64,
     /// Server read tick in milliseconds (HTTP mode): how fast drains and
-    /// shutdowns propagate. Cluster shards keep this low so the router's
-    /// health probes and drain turn around promptly.
+    /// shutdowns propagate in the tick-polled fallback. Cluster shards keep
+    /// this low so the router's health probes and drain turn around
+    /// promptly. Ignored in the (default) event-driven mode.
     read_tick_ms: u64,
+    /// Readiness-loop poller threads (HTTP mode). 1 multiplexes thousands
+    /// of idle keep-alive connections; 0 forces the tick-polled fallback.
+    pollers: usize,
     /// Couple CoverageMonitor alarms to the Drifted-mode switch.
     alarm_coupled: bool,
 }
@@ -361,7 +365,7 @@ const SERVE_USAGE: &str = "usage: cardest-cli serve [--dataset dmv|census|forest
 [--rows N] [--queries N] [--stream N] [--checkpoint PATH] \
 [--checkpoint-every N] [--drift-at N] [--resume] [--listen ADDR] \
 [--workers N] [--queue N] [--max-batch N] [--batch-window-us N] \
-[--read-tick-ms N] [--alarm-coupled]\n\n\
+[--read-tick-ms N] [--pollers N] [--alarm-coupled]\n\n\
 Runs the self-healing PI service with periodic durable checkpoints. \
 Without --listen: a prequential text loop whose truths shift by +0.5 from \
 --drift-at (default stream/2) onward so the drift alarm and shadow-validated \
@@ -388,8 +392,12 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         workers: 4,
         queue: 1024,
         max_batch: 64,
-        batch_window_us: 500,
+        // Zero matches HttpServeConfig::default(): the batcher's inline
+        // fast path plus busy-runner coalescing beat a fixed linger window
+        // at every measured concurrency.
+        batch_window_us: 0,
         read_tick_ms: 10,
+        pollers: 1,
         alarm_coupled: false,
     };
     let mut i = 0;
@@ -416,6 +424,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                 opts.batch_window_us = number("--batch-window-us", value(i)?)?
             }
             "--read-tick-ms" => opts.read_tick_ms = number("--read-tick-ms", value(i)?)?,
+            "--pollers" => opts.pollers = number("--pollers", value(i)?)?,
             "--resume" => {
                 opts.resume = true;
                 i += 1;
@@ -661,6 +670,8 @@ fn run_serve_http<M>(
         max_batch: opts.max_batch,
         batch_window: std::time::Duration::from_micros(opts.batch_window_us),
         read_tick: std::time::Duration::from_millis(opts.read_tick_ms),
+        pollers: opts.pollers,
+        ..HttpServeConfig::default()
     };
     let handle = match start_server(std::sync::Arc::clone(&engine), listen, http_config) {
         Ok(handle) => handle,

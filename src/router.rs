@@ -165,7 +165,7 @@ pub fn start_cluster_router(
 }
 
 fn route(req: &Request, router: &Router, draining: &AtomicBool) -> Response {
-    match (req.method.as_str(), req.path()) {
+    match (req.method, req.path()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/readyz") => {
             if draining.load(Ordering::SeqCst) {
@@ -191,7 +191,7 @@ fn route(req: &Request, router: &Router, draining: &AtomicBool) -> Response {
                 return Response::json(503, "{\"error\":\"router draining\"}")
                     .header("Retry-After", "1");
             }
-            router.forward(req, request_signature(&req.body))
+            router.forward(req, request_signature(req.body))
         }
         (_, "/healthz" | "/readyz" | "/metrics" | "/v1/predict") => {
             Response::json(405, "{\"error\":\"method not allowed\"}")
@@ -264,10 +264,10 @@ mod tests {
                 read_tick: Duration::from_millis(5),
                 ..ServerConfig::default()
             },
-            Arc::new(move |req: &Request| match (req.method.as_str(), req.path()) {
+            Arc::new(move |req: &Request| match (req.method, req.path()) {
                 ("GET", "/readyz") => Response::text(200, "ready"),
                 ("POST", "/v1/predict") => {
-                    let mut body = req.body.clone();
+                    let mut body = req.body.to_vec();
                     body.extend_from_slice(tag.as_bytes());
                     Response::json(200, body)
                 }

@@ -21,8 +21,8 @@ use std::time::Duration;
 
 use cardest::router::request_signature;
 use cardest::server::{
-    Fleet, HashRing, HealthConfig, HttpClient, HttpServer, Request, Response, Router,
-    RouterConfig, ServerConfig,
+    Fleet, HashRing, Headers, HealthConfig, HttpClient, HttpServer, Request, Response,
+    Router, RouterConfig, ServerConfig,
 };
 use proptest::prelude::*;
 
@@ -155,10 +155,10 @@ fn echo_shard(tag: &'static str) -> HttpServer {
     HttpServer::bind(
         "127.0.0.1:0",
         ServerConfig { read_tick: Duration::from_millis(2), ..ServerConfig::default() },
-        Arc::new(move |req: &Request| match (req.method.as_str(), req.path()) {
+        Arc::new(move |req: &Request| match (req.method, req.path()) {
             ("GET", "/readyz") => Response::text(200, "ready"),
             ("POST", "/v1/predict") => {
-                let mut body = req.body.clone();
+                let mut body = req.body.to_vec();
                 body.extend_from_slice(tag.as_bytes());
                 Response::json(200, body)
             }
@@ -194,11 +194,11 @@ fn restarted_shard_on_a_new_port_gets_its_keys_back() {
     );
     let post = |router: &Router, body: &[u8]| -> Vec<u8> {
         let req = Request {
-            method: "POST".into(),
-            target: "/v1/predict".into(),
+            method: "POST",
+            target: "/v1/predict",
             http11: true,
-            headers: vec![("content-type".into(), "application/json".into())],
-            body: body.to_vec(),
+            headers: Headers::from_pairs(&[("content-type", "application/json")]),
+            body,
         };
         let resp = router.forward(&req, request_signature(body));
         assert_eq!(resp.status, 200, "forward failed");
@@ -250,11 +250,11 @@ fn refusing_shard_never_costs_a_request() {
     for i in 0..24 {
         let body = format!("{{\"q\":{i}}}").into_bytes();
         let req = Request {
-            method: "POST".into(),
-            target: "/v1/predict".into(),
+            method: "POST",
+            target: "/v1/predict",
             http11: true,
-            headers: vec![],
-            body: body.clone(),
+            headers: Headers::empty(),
+            body: &body,
         };
         let resp = router.forward(&req, request_signature(&body));
         assert_eq!(resp.status, 200, "request {i} lost to a refusing shard");

@@ -9,21 +9,30 @@
 //! hammer them from thread fleets and assert nothing deadlocks and no
 //! result is lost or cross-wired.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use cardest::conformal::{
     AbsoluteResidual, HealConfig, PiServiceConfig, SelfHealingService,
 };
 use cardest::serve::{start_server, HttpServeConfig, ServeEngine};
-use cardest::server::{BatcherConfig, HttpClient, MicroBatcher, ParserLimits, RequestParser};
+use cardest::server::{
+    BatcherConfig, HttpClient, HttpServer, MicroBatcher, ParserLimits, Request, RequestParser,
+    Response, ServerConfig,
+};
 use proptest::prelude::*;
 
 /// Drains every complete request currently parseable from `parser`.
-fn drain(parser: &mut RequestParser) -> Result<Vec<cardest::server::Request>, u16> {
+///
+/// The parser hands out zero-copy views borrowed from its buffer, so the
+/// helper detaches each one (`to_owned`) before pulling the next.
+fn drain(parser: &mut RequestParser) -> Result<Vec<cardest::server::OwnedRequest>, u16> {
     let mut out = Vec::new();
     loop {
         match parser.next_request() {
-            Ok(Some(req)) => out.push(req),
+            Ok(Some(req)) => out.push(req.to_owned()),
             Ok(None) => return Ok(out),
             Err(e) => return Err(e.status()),
         }
@@ -285,4 +294,169 @@ fn loopback_fleet_never_deadlocks_the_server() {
         HttpClient::connect(addr).is_err(),
         "port still accepting after graceful drain"
     );
+}
+
+/// A bare echo server for connection-level stress tests (no estimator, no
+/// batcher — just the event-driven substrate).
+fn stress_server(read_timeout: Duration) -> HttpServer {
+    HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            read_timeout,
+            max_conns: 2048,
+            ..ServerConfig::default()
+        },
+        Arc::new(|req: &Request| match (req.method, req.path()) {
+            ("GET", "/ping") => Response::text(200, "pong"),
+            ("POST", "/echo") => Response::json(200, req.body),
+            _ => Response::text(404, "nope"),
+        }),
+    )
+    .expect("bind stress server")
+}
+
+/// One poller thread multiplexes a thousand idle keep-alive connections:
+/// every connection stays open and parked between requests, sampled
+/// connections can still issue a second request (dispatched by the poller,
+/// not a per-connection thread), and the whole fleet fits in
+/// `workers + pollers + 1` server threads.
+#[test]
+fn one_poller_parks_a_thousand_idle_keepalive_connections() {
+    let server = stress_server(Duration::from_secs(30));
+    if !server.event_driven() {
+        eprintln!("skipping: event mode unsupported on this platform");
+        return;
+    }
+    let addr = server.local_addr();
+    let mut clients = Vec::with_capacity(1000);
+    for i in 0..1000 {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let resp = client.get("/ping").unwrap_or_else(|e| panic!("request {i}: {e}"));
+        assert_eq!(resp.status, 200);
+        clients.push(client);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.open, 1000, "every keep-alive connection must stay parked");
+    assert_eq!(stats.requests, 1000);
+    // Parked connections are live: a second request on a sample must be
+    // noticed by the poller and dispatched to a worker.
+    for client in clients.iter_mut().step_by(97) {
+        assert_eq!(client.get("/ping").expect("reuse parked conn").status, 200);
+    }
+    let stats = server.stats();
+    assert!(stats.poller_dispatches > 0, "reuse must flow through the poller");
+    drop(clients);
+    server.shutdown();
+}
+
+/// A slowloris client dripping bytes cannot wedge the server: while it
+/// drips, other clients are served (the poller never blocks a worker on the
+/// dripper); once the drip stops, the connection is reaped at the idle
+/// deadline instead of holding resources forever.
+#[test]
+fn slowloris_drip_neither_blocks_others_nor_survives_the_idle_deadline() {
+    let server = stress_server(Duration::from_millis(150));
+    let addr = server.local_addr();
+    let mut dripper = TcpStream::connect(addr).expect("connect dripper");
+    let mut healthy = HttpClient::connect(addr).expect("connect healthy");
+    // Drip a request head a few bytes at a time, slower than any sane
+    // client but faster than the idle deadline: the connection survives
+    // (bytes are activity) and healthy traffic flows throughout.
+    for chunk in [&b"GET /pi"[..], b"ng HTT", b"P/1."] {
+        dripper.write_all(chunk).expect("drip");
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(healthy.get("/ping").expect("healthy during drip").status, 200);
+    }
+    // Stop dripping mid-request-line: the idle deadline must reap the
+    // connection without ever producing a response.
+    dripper.set_read_timeout(Some(Duration::from_millis(250))).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut buf = [0u8; 64];
+    loop {
+        match dripper.read(&mut buf) {
+            Ok(0) => break, // clean EOF: reaped
+            Ok(n) => panic!("server answered a half-request: {:?}", &buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                assert!(Instant::now() < deadline, "stalled dripper never reaped");
+            }
+            Err(_) => break, // reset: an equally clean reap
+        }
+    }
+    assert_eq!(healthy.get("/ping").expect("healthy after reap").status, 200);
+    server.shutdown();
+}
+
+/// An abrupt half-close (FIN) mid-body releases the connection cleanly: no
+/// response is invented for the truncated request, the connection slot is
+/// freed, and the server keeps serving others.
+#[test]
+fn abrupt_half_close_mid_body_releases_the_connection() {
+    let server = stress_server(Duration::from_secs(5));
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(b"POST /echo HTTP/1.1\r\nContent-Length: 64\r\n\r\npartial")
+        .expect("send truncated request");
+    s.shutdown(std::net::Shutdown::Write).expect("half-close");
+    // The server sees EOF with an incomplete body: it must close without
+    // answering (an invented 200/400 here would desync any pipeline).
+    s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let mut rest = Vec::new();
+    // An Err here (reset) is an equally clean release.
+    if s.read_to_end(&mut rest).is_ok() {
+        assert!(rest.is_empty(), "no response for a truncated body");
+    }
+    // The slot is freed and service continues.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while server.stats().open > 0 {
+        assert!(Instant::now() < deadline, "half-closed connection never released");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut healthy = HttpClient::connect(addr).expect("connect after half-close");
+    assert_eq!(healthy.get("/ping").expect("serve after half-close").status, 200);
+    server.shutdown();
+}
+
+/// The SIGTERM drain path (`ServeHandle::drain`, what the CLI's signal
+/// handler invokes) completes promptly even with a fleet of idle
+/// connections parked in the poller — parked conns are dropped, in-flight
+/// work finishes, and the port closes.
+#[test]
+fn drain_completes_promptly_with_connections_parked_in_the_poller() {
+    let xs: Vec<Vec<f32>> = (0..32).map(|i| vec![i as f32 / 32.0]).collect();
+    let ys: Vec<f64> = (0..32).map(|i| i as f64 / 32.0).collect();
+    let healing = SelfHealingService::new(
+        |f: &[f32]| f[0] as f64,
+        AbsoluteResidual,
+        &xs,
+        &ys,
+        PiServiceConfig::default(),
+        HealConfig::default(),
+    );
+    let engine = Arc::new(ServeEngine::new(healing, Vec::new(), 1));
+    let handle = start_server(engine, "127.0.0.1:0", HttpServeConfig::default())
+        .expect("bind server");
+    let addr = handle.local_addr();
+    let clients: Vec<HttpClient> = (0..32)
+        .map(|_| {
+            let mut client = HttpClient::connect(addr).expect("connect");
+            assert_eq!(client.get("/healthz").expect("warm request").status, 200);
+            client
+        })
+        .collect();
+    // All 32 are idle and parked. Drain must not wait out any read timeout.
+    let t0 = Instant::now();
+    handle.drain();
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "drain stalled on parked connections ({:?})",
+        t0.elapsed()
+    );
+    assert!(HttpClient::connect(addr).is_err(), "port open after drain");
+    drop(clients);
 }

@@ -11,11 +11,21 @@
 //! The runner is panic-isolated: a panicking or mis-sized runner fails the
 //! affected jobs with [`BatchError::Failed`] rather than deadlocking their
 //! submitters, and the batcher thread survives to serve the next batch.
+//!
+//! **Inline fast path.** When a submission arrives while the queue is empty
+//! and the runner is idle, the submitter executes the batch on its own
+//! thread instead of handing off to the batcher — that skips two thread
+//! wakeups (submitter→batcher, batcher→submitter) per request, which
+//! dominate service time on small machines. Contended submissions (runner
+//! busy or jobs already queued) fall through to the queue, where the
+//! batcher thread coalesces them exactly as before — so under concurrency
+//! the coalescing window still does its job, and under light load the
+//! window's latency cost disappears entirely.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -125,14 +135,36 @@ pub struct BatcherStats {
     pub max_batch_seen: u64,
 }
 
+/// The batch executor, shared between the batcher thread and inline-path
+/// submitters. Whoever holds the lock runs the batch; the mutex is what
+/// makes "runner idle" observable to the fast path.
+type BoxedRunner<T, R> = Box<dyn FnMut(Vec<T>) -> Vec<R> + Send>;
+type Runner<T, R> = Mutex<BoxedRunner<T, R>>;
+
+fn lock_runner<T, R>(runner: &Runner<T, R>) -> MutexGuard<'_, BoxedRunner<T, R>> {
+    runner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs one batch under the runner lock with panic isolation; `None` means
+/// the runner panicked or returned a mis-sized result.
+fn invoke_runner<T, R>(runner: &mut dyn FnMut(Vec<T>) -> Vec<R>, items: Vec<T>) -> Option<Vec<R>> {
+    let n = items.len();
+    catch_unwind(AssertUnwindSafe(|| runner(items))).ok().filter(|r| r.len() == n)
+}
+
 /// See module docs.
 pub struct MicroBatcher<T: Send + 'static, R: Send + 'static> {
     shared: Arc<Shared<T, R>>,
+    runner: Arc<Runner<T, R>>,
     config: BatcherConfig,
     admitted: AtomicU64,
     shed: AtomicU64,
     batches: Arc<AtomicU64>,
     max_batch_seen: Arc<AtomicU64>,
+    /// Batch-size / window-wait telemetry, shared with the batcher thread
+    /// so the inline path records without a registry lookup per request.
+    occupancy: ce_telemetry::Histogram,
+    window_wait: ce_telemetry::Histogram,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -148,10 +180,14 @@ impl<T: Send + 'static, R: Send + 'static> MicroBatcher<T, R> {
             queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
             wake: Condvar::new(),
         });
+        let runner: Arc<Runner<T, R>> = Arc::new(Mutex::new(Box::new(runner)));
         let batches = Arc::new(AtomicU64::new(0));
         let max_batch_seen = Arc::new(AtomicU64::new(0));
+        let occupancy = ce_telemetry::histogram("server.batch_occupancy");
+        let window_wait = ce_telemetry::histogram("server.batch_wait_us");
         let worker = {
             let shared = Arc::clone(&shared);
+            let runner = Arc::clone(&runner);
             let batches = Arc::clone(&batches);
             let max_batch_seen = Arc::clone(&max_batch_seen);
             let cfg = config;
@@ -162,11 +198,14 @@ impl<T: Send + 'static, R: Send + 'static> MicroBatcher<T, R> {
         };
         Arc::new(MicroBatcher {
             shared,
+            runner,
             config,
             admitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             batches,
             max_batch_seen,
+            occupancy,
+            window_wait,
             worker: Mutex::new(Some(worker)),
         })
     }
@@ -179,6 +218,36 @@ impl<T: Send + 'static, R: Send + 'static> MicroBatcher<T, R> {
     pub fn submit_all(&self, items: Vec<T>) -> Result<Vec<R>, BatchError> {
         if items.is_empty() {
             return Ok(Vec::new());
+        }
+        // Inline fast path (module docs): with nothing queued and the
+        // runner idle, execute here and skip the batcher thread entirely.
+        // The runner is acquired *under* the queue lock so a job admitted
+        // concurrently can never be overtaken by this submission.
+        if items.len() <= self.config.max_batch {
+            let runner = {
+                let queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if queue.shutdown {
+                    return Err(BatchError::Shutdown);
+                }
+                if queue.jobs.is_empty() {
+                    match self.runner.try_lock() {
+                        Ok(guard) => Some(guard),
+                        Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                        Err(TryLockError::WouldBlock) => None,
+                    }
+                } else {
+                    None
+                }
+            };
+            if let Some(mut runner) = runner {
+                let n = items.len() as u64;
+                self.admitted.fetch_add(n, Ordering::Relaxed);
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                self.max_batch_seen.fetch_max(n, Ordering::Relaxed);
+                self.occupancy.record(n);
+                self.window_wait.record(0);
+                return invoke_runner(&mut **runner, items).ok_or(BatchError::Failed);
+            }
         }
         let slots: Vec<Arc<Slot<R>>> = {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -251,15 +320,17 @@ impl<T: Send + 'static, R: Send + 'static> Drop for MicroBatcher<T, R> {
     }
 }
 
-fn batcher_loop<T, R, F>(
+fn batcher_loop<T, R>(
     shared: Arc<Shared<T, R>>,
     config: BatcherConfig,
-    mut runner: F,
+    runner: Arc<Runner<T, R>>,
     batches: Arc<AtomicU64>,
     max_batch_seen: Arc<AtomicU64>,
-) where
-    F: FnMut(Vec<T>) -> Vec<R>,
-{
+) {
+    // Histogram handles cached for the thread's lifetime; recording is a
+    // no-op (atomic load + branch) while telemetry is disabled.
+    let occupancy = ce_telemetry::histogram("server.batch_occupancy");
+    let window_wait = ce_telemetry::histogram("server.batch_wait_us");
     loop {
         // Phase 1: wait for the first job (or shutdown with an empty queue).
         let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -274,7 +345,8 @@ fn batcher_loop<T, R, F>(
         }
         // Phase 2: first job in hand — linger up to `window` for stragglers,
         // unless the batch is already full or we're draining for shutdown.
-        let deadline = std::time::Instant::now() + config.window;
+        let first_job_at = std::time::Instant::now();
+        let deadline = first_job_at + config.window;
         while queue.jobs.len() < config.max_batch && !queue.shutdown {
             let now = std::time::Instant::now();
             let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
@@ -290,6 +362,17 @@ fn batcher_loop<T, R, F>(
                 break;
             }
         }
+        drop(queue);
+
+        // Phase 3: take the runner *before* draining the queue, so that
+        // while an inline submitter is mid-batch the waiting jobs stay
+        // queued — visible to `queued()` and counted against `queue_cap`
+        // by admission. Lock order here is runner → queue; the inline path
+        // only ever try_locks the runner under the queue lock, so the two
+        // orders cannot deadlock. Only this thread drains jobs, so the
+        // queue is still non-empty when the runner is finally ours.
+        let mut guard = lock_runner(&runner);
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         let take = queue.jobs.len().min(config.max_batch);
         let batch: Vec<Job<T, R>> = queue.jobs.drain(..take).collect();
         drop(queue);
@@ -297,12 +380,17 @@ fn batcher_loop<T, R, F>(
         let (items, slots): (Vec<T>, Vec<Arc<Slot<R>>>) =
             batch.into_iter().map(|j| (j.item, j.slot)).unzip();
         let n = slots.len();
+        if n == 0 {
+            drop(guard);
+            continue;
+        }
         batches.fetch_add(1, Ordering::Relaxed);
         max_batch_seen.fetch_max(n as u64, Ordering::Relaxed);
+        occupancy.record(n as u64);
+        window_wait.record(first_job_at.elapsed().as_micros() as u64);
 
-        let results = catch_unwind(AssertUnwindSafe(|| runner(items)))
-            .ok()
-            .filter(|r| r.len() == n);
+        let results = invoke_runner(&mut **guard, items);
+        drop(guard);
         match results {
             Some(results) => {
                 for (slot, result) in slots.into_iter().zip(results) {

@@ -2,8 +2,11 @@
 //! cluster router's shard legs.
 //!
 //! Speaks just enough of the protocol to exercise [`crate::HttpServer`]:
-//! keep-alive GET/POST with `Content-Length`-framed responses. Connect,
-//! read, and write timeouts are per-client configurable
+//! keep-alive GET/POST with `Content-Length`-framed responses. Each request
+//! is serialized into a reusable scratch buffer — head and body together —
+//! and sent with a **single write**, halving per-request syscalls on the
+//! hot path; response heads are parsed in place without intermediate
+//! strings. Connect, read, and write timeouts are per-client configurable
 //! ([`HttpClient::connect_with`]) and adjustable per request
 //! ([`HttpClient::set_read_timeout`]) so a router can clamp a shard leg to
 //! the remaining request deadline. `Retry-After` is surfaced as a typed
@@ -65,7 +68,10 @@ impl ClientResponse {
 /// A persistent (keep-alive) connection to one server.
 pub struct HttpClient {
     stream: TcpStream,
+    /// Response bytes read but not yet consumed.
     buf: Vec<u8>,
+    /// Reusable request-serialization scratch (head + body, one write).
+    wire: Vec<u8>,
 }
 
 impl HttpClient {
@@ -80,7 +86,7 @@ impl HttpClient {
         stream.set_read_timeout(Some(config.read_timeout.max(Duration::from_millis(1))))?;
         stream.set_write_timeout(Some(config.write_timeout.max(Duration::from_millis(1))))?;
         stream.set_nodelay(true)?;
-        Ok(HttpClient { stream, buf: Vec::new() })
+        Ok(HttpClient { stream, buf: Vec::new(), wire: Vec::new() })
     }
 
     /// Overrides the read timeout for subsequent requests on this
@@ -93,19 +99,26 @@ impl HttpClient {
 
     /// Sends a GET and reads the response.
     pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
-        let head = format!("GET {path} HTTP/1.1\r\nHost: loopback\r\n\r\n");
-        self.stream.write_all(head.as_bytes())?;
+        self.wire.clear();
+        self.wire.extend_from_slice(b"GET ");
+        self.wire.extend_from_slice(path.as_bytes());
+        self.wire.extend_from_slice(b" HTTP/1.1\r\nHost: loopback\r\n\r\n");
+        self.send_wire()?;
         self.read_response()
     }
 
     /// Sends a POST with a body and reads the response.
     pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
-        let head = format!(
-            "POST {path} HTTP/1.1\r\nHost: loopback\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
-            body.len()
+        self.wire.clear();
+        self.wire.extend_from_slice(b"POST ");
+        self.wire.extend_from_slice(path.as_bytes());
+        self.wire.extend_from_slice(
+            b" HTTP/1.1\r\nHost: loopback\r\nContent-Type: application/json\r\nContent-Length: ",
         );
-        self.stream.write_all(head.as_bytes())?;
-        self.stream.write_all(body)?;
+        push_dec(&mut self.wire, body.len() as u64);
+        self.wire.extend_from_slice(b"\r\n\r\n");
+        self.wire.extend_from_slice(body);
+        self.send_wire()?;
         self.read_response()
     }
 
@@ -113,30 +126,34 @@ impl HttpClient {
     /// verbatim, the given extra headers, and a `Content-Length`-framed
     /// body. Hop-by-hop framing headers (`Content-Length`, `Connection`,
     /// `Host`) are managed here and must not appear in `headers`.
-    pub fn request(
+    pub fn request<'h>(
         &mut self,
         method: &str,
         target: &str,
-        headers: &[(String, String)],
+        headers: impl IntoIterator<Item = (&'h str, &'h str)>,
         body: &[u8],
     ) -> io::Result<ClientResponse> {
-        let mut head = String::with_capacity(128);
-        head.push_str(method);
-        head.push(' ');
-        head.push_str(target);
-        head.push_str(" HTTP/1.1\r\nHost: loopback\r\n");
+        self.wire.clear();
+        self.wire.extend_from_slice(method.as_bytes());
+        self.wire.push(b' ');
+        self.wire.extend_from_slice(target.as_bytes());
+        self.wire.extend_from_slice(b" HTTP/1.1\r\nHost: loopback\r\n");
         for (name, value) in headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
+            self.wire.extend_from_slice(name.as_bytes());
+            self.wire.extend_from_slice(b": ");
+            self.wire.extend_from_slice(value.as_bytes());
+            self.wire.extend_from_slice(b"\r\n");
         }
-        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
-        self.stream.write_all(head.as_bytes())?;
-        if !body.is_empty() {
-            self.stream.write_all(body)?;
-        }
+        self.wire.extend_from_slice(b"Content-Length: ");
+        push_dec(&mut self.wire, body.len() as u64);
+        self.wire.extend_from_slice(b"\r\n\r\n");
+        self.wire.extend_from_slice(body);
+        self.send_wire()?;
         self.read_response()
+    }
+
+    fn send_wire(&mut self) -> io::Result<()> {
+        self.stream.write_all(&self.wire)
     }
 
     fn read_response(&mut self) -> io::Result<ClientResponse> {
@@ -146,25 +163,28 @@ impl HttpClient {
             }
             self.fill()?;
         };
-        let head: Vec<u8> = self.buf.drain(..head_end).collect();
-        let head = String::from_utf8(head)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 head"))?;
-        let mut lines = head.split("\r\n").filter(|l| !l.is_empty());
-        let status_line = lines
-            .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty head"))?;
-        let status: u16 = status_line
-            .split(' ')
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-        let mut headers = Vec::new();
-        for line in lines {
-            let (name, value) = line
-                .split_once(':')
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad header"))?;
-            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
-        }
+        let (status, headers) = {
+            let head = std::str::from_utf8(&self.buf[..head_end])
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 head"))?;
+            let mut lines = head.split("\r\n").filter(|l| !l.is_empty());
+            let status_line = lines
+                .next()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty head"))?;
+            let status: u16 = status_line
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+            let mut headers = Vec::new();
+            for line in lines {
+                let (name, value) = line
+                    .split_once(':')
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad header"))?;
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+            }
+            (status, headers)
+        };
+        self.buf.drain(..head_end);
         let len: usize = headers
             .iter()
             .find(|(k, _)| k == "content-length")
@@ -177,18 +197,40 @@ impl HttpClient {
         Ok(ClientResponse { status, headers, body })
     }
 
+    /// Reads one chunk from the socket directly into the buffer tail.
     fn fill(&mut self) -> io::Result<()> {
-        let mut chunk = [0u8; 8 * 1024];
-        let n = self.stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed mid-response",
-            ));
+        let old = self.buf.len();
+        self.buf.resize(old + 8 * 1024, 0);
+        match self.stream.read(&mut self.buf[old..]) {
+            Ok(0) => {
+                self.buf.truncate(old);
+                Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-response"))
+            }
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                Ok(())
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
         }
-        self.buf.extend_from_slice(&chunk[..n]);
-        Ok(())
     }
+}
+
+/// Appends `v` in decimal without going through `format!`.
+fn push_dec(out: &mut Vec<u8>, mut v: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&tmp[i..]);
 }
 
 fn find_double_crlf(buf: &[u8]) -> Option<usize> {

@@ -1,12 +1,25 @@
 //! Incremental HTTP/1.1 request parsing and response serialization.
 //!
 //! The parser is a push-style state machine over an internal buffer: feed it
-//! whatever bytes the socket produced ([`RequestParser::push`]), then drain
-//! complete requests ([`RequestParser::next_request`]). Partial reads,
-//! pipelined requests, and head/body split across arbitrary chunk boundaries
-//! all fall out of the same two calls. Every limit violation and syntax
-//! error is a typed [`HttpError`] carrying the status code the connection
-//! should die with — the parser never panics on hostile input.
+//! whatever bytes the socket produced ([`RequestParser::push`], or
+//! [`RequestParser::fill_from`] to read straight off the socket with no
+//! intermediate copy), then drain complete requests
+//! ([`RequestParser::next_request`]). Partial reads, pipelined requests, and
+//! head/body split across arbitrary chunk boundaries all fall out of the
+//! same two calls. Every limit violation and syntax error is a typed
+//! [`HttpError`] carrying the status code the connection should die with —
+//! the parser never panics on hostile input.
+//!
+//! Parsing is **zero-copy**: [`Request`] borrows its method, target, header
+//! fields, and body directly from the parser's buffer as `&str`/`&[u8]`
+//! slices — nothing is materialized per request. Header positions are
+//! recorded as offsets relative to the head start, so buffer compaction
+//! (which slides unconsumed bytes to the front to reclaim space) never
+//! invalidates them. In steady state a pooled connection's parser performs
+//! **zero heap allocations** per request: the buffer and the span table
+//! reach their high-water capacity during warm-up and are reused thereafter
+//! ([`RequestParser::alloc_events`] counts the growth events so tests and
+//! the server can assert this).
 //!
 //! Scope is deliberately the subset a loopback serving layer needs:
 //! `Content-Length` bodies only (a request bearing `Transfer-Encoding` is
@@ -14,6 +27,7 @@
 //! line endings.
 
 use std::fmt;
+use std::io;
 
 /// Byte/size caps enforced while parsing a request head and body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,140 +111,463 @@ impl fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
-/// One parsed request.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Request {
-    /// Request method, upper-case as received (`GET`, `POST`, …).
-    pub method: String,
-    /// Request target (path + optional query), as received.
-    pub target: String,
-    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
-    pub http11: bool,
-    /// Header fields in arrival order, names lower-cased.
-    pub headers: Vec<(String, String)>,
-    /// The (possibly empty) body.
-    pub body: Vec<u8>,
+/// Byte range of one header field inside the head region, relative to the
+/// head start (so compaction, which only slides the whole region, never
+/// invalidates it).
+#[derive(Debug, Clone, Copy)]
+struct HeaderSpan {
+    name: (usize, usize),
+    value: (usize, usize),
 }
 
-impl Request {
-    /// First value of header `name` (lower-case), if present.
-    pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+fn span_str(head: &[u8], span: (usize, usize)) -> &str {
+    std::str::from_utf8(&head[span.0..span.1]).expect("span utf8-validated at parse time")
+}
+
+/// A borrowed view of a request's header fields, in arrival order with
+/// original case (lookups are case-insensitive).
+///
+/// Backed either by the parser's span table (zero-copy path) or by a static
+/// slice of pairs ([`Headers::from_pairs`], for synthetic requests in tests
+/// and the router).
+#[derive(Clone, Copy)]
+pub struct Headers<'a> {
+    repr: HeadersRepr<'a>,
+}
+
+#[derive(Clone, Copy)]
+enum HeadersRepr<'a> {
+    Spans { head: &'a [u8], spans: &'a [HeaderSpan] },
+    Pairs(&'a [(&'a str, &'a str)]),
+}
+
+impl<'a> Headers<'a> {
+    fn from_spans(head: &'a [u8], spans: &'a [HeaderSpan]) -> Headers<'a> {
+        Headers { repr: HeadersRepr::Spans { head, spans } }
+    }
+
+    /// A header view over explicit name/value pairs (synthetic requests).
+    pub fn from_pairs(pairs: &'a [(&'a str, &'a str)]) -> Headers<'a> {
+        Headers { repr: HeadersRepr::Pairs(pairs) }
+    }
+
+    /// No header fields at all.
+    pub fn empty() -> Headers<'static> {
+        Headers { repr: HeadersRepr::Pairs(&[]) }
+    }
+
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn get(&self, name: &str) -> Option<&'a str> {
+        self.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v)
+    }
+
+    /// Iterates `(name, value)` pairs in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a str, &'a str)> + 'a {
+        let repr = self.repr;
+        let mut i = 0;
+        std::iter::from_fn(move || {
+            let out = match repr {
+                HeadersRepr::Spans { head, spans } => {
+                    let s = spans.get(i)?;
+                    (span_str(head, s.name), span_str(head, s.value))
+                }
+                HeadersRepr::Pairs(pairs) => *pairs.get(i)?,
+            };
+            i += 1;
+            Some(out)
+        })
+    }
+
+    /// Number of header fields.
+    pub fn len(&self) -> usize {
+        match self.repr {
+            HeadersRepr::Spans { spans, .. } => spans.len(),
+            HeadersRepr::Pairs(pairs) => pairs.len(),
+        }
+    }
+
+    /// Whether there are no header fields.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for Headers<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// One parsed request, borrowing everything from the parser's buffer.
+///
+/// The borrow ends at the next parser call; to keep a request past that
+/// (tests, queues), convert with [`Request::to_owned`].
+#[derive(Debug, Clone, Copy)]
+pub struct Request<'a> {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: &'a str,
+    /// Request target (path + optional query), as received.
+    pub target: &'a str,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    /// Header fields in arrival order, original case.
+    pub headers: Headers<'a>,
+    /// The (possibly empty) body.
+    pub body: &'a [u8],
+}
+
+impl<'a> Request<'a> {
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&'a str> {
+        self.headers.get(name)
     }
 
     /// Whether the connection should be kept open after this request:
     /// HTTP/1.1 defaults to keep-alive unless `Connection: close`; HTTP/1.0
     /// only persists with an explicit `Connection: keep-alive`.
     pub fn keep_alive(&self) -> bool {
-        let conn = self.header("connection").map(str::to_ascii_lowercase);
-        match (self.http11, conn.as_deref()) {
-            (_, Some("close")) => false,
-            (true, _) => true,
-            (false, Some("keep-alive")) => true,
-            (false, _) => false,
+        keep_alive_of(self.http11, self.header("connection"))
+    }
+
+    /// The path part of the target (query string stripped).
+    pub fn path(&self) -> &'a str {
+        path_of(self.target)
+    }
+
+    /// Copies the request into owned storage, detaching it from the parser.
+    pub fn to_owned(self) -> OwnedRequest {
+        OwnedRequest {
+            method: self.method.to_string(),
+            target: self.target.to_string(),
+            http11: self.http11,
+            headers: self.headers.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            body: self.body.to_vec(),
         }
+    }
+}
+
+/// An owned copy of a [`Request`] (see [`Request::to_owned`]) for callers
+/// that must hold requests past the parser's next call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedRequest {
+    /// Request method, upper-case as received.
+    pub method: String,
+    /// Request target, as received.
+    pub target: String,
+    /// `true` for HTTP/1.1.
+    pub http11: bool,
+    /// Header fields in arrival order, original case.
+    pub headers: Vec<(String, String)>,
+    /// The (possibly empty) body.
+    pub body: Vec<u8>,
+}
+
+impl OwnedRequest {
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// Same disposition logic as [`Request::keep_alive`].
+    pub fn keep_alive(&self) -> bool {
+        keep_alive_of(self.http11, self.header("connection"))
     }
 
     /// The path part of the target (query string stripped).
     pub fn path(&self) -> &str {
-        self.target.split('?').next().unwrap_or(&self.target)
+        path_of(&self.target)
     }
 }
 
-/// Internal phase of the parser between calls.
-#[derive(Debug)]
+fn keep_alive_of(http11: bool, connection: Option<&str>) -> bool {
+    match connection {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if !http11 && v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => http11,
+    }
+}
+
+fn path_of(target: &str) -> &str {
+    target.split('?').next().unwrap_or(target)
+}
+
+/// Internal phase of the parser between calls. Offsets are absolute buffer
+/// indices, adjusted in lockstep when the buffer is compacted.
+#[derive(Debug, Clone, Copy)]
 enum Phase {
     /// Accumulating head bytes until the blank line.
     Head,
-    /// Head parsed; waiting for `remaining` more body bytes.
-    Body { request: Request, remaining: usize },
+    /// Head parsed (spans populated); waiting for the full body.
+    Body { head_start: usize, head_len: usize, body_len: usize },
 }
 
 /// A push-style incremental request parser (see module docs).
 #[derive(Debug)]
 pub struct RequestParser {
     limits: ParserLimits,
+    /// Backing storage. `len()` is the high-water mark; the live region is
+    /// `start..end` (tracked separately so socket reads can land directly in
+    /// the tail without zero-fill or growth in steady state).
     buf: Vec<u8>,
+    start: usize,
+    end: usize,
     phase: Phase,
+    /// Request-line spans, relative to the head start.
+    method: (usize, usize),
+    target: (usize, usize),
+    http11: bool,
+    /// Header spans for the request being parsed, relative to head start.
+    spans: Vec<HeaderSpan>,
     /// Latched error: once poisoned, the connection must die.
     dead: Option<HttpError>,
+    /// Heap allocation events (buffer/span-table growth) since creation.
+    allocs: u64,
 }
+
+/// Socket read granularity for [`RequestParser::fill_from`].
+const FILL_CHUNK: usize = 16 * 1024;
 
 impl RequestParser {
     /// Creates a parser with the given limits.
     pub fn new(limits: ParserLimits) -> Self {
-        RequestParser { limits, buf: Vec::new(), phase: Phase::Head, dead: None }
+        RequestParser {
+            limits,
+            buf: Vec::new(),
+            start: 0,
+            end: 0,
+            phase: Phase::Head,
+            method: (0, 0),
+            target: (0, 0),
+            http11: false,
+            spans: Vec::new(),
+            dead: None,
+            allocs: 0,
+        }
     }
 
     /// Appends raw socket bytes to the internal buffer.
     pub fn push(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+        self.ensure_tail(bytes.len());
+        self.buf[self.end..self.end + bytes.len()].copy_from_slice(bytes);
+        self.end += bytes.len();
+    }
+
+    /// Reads one chunk from `src` directly into the buffer tail (no
+    /// intermediate copy) and returns the byte count (`Ok(0)` = EOF).
+    pub fn fill_from(&mut self, src: &mut impl io::Read) -> io::Result<usize> {
+        self.ensure_tail(FILL_CHUNK);
+        let n = src.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
     }
 
     /// Bytes currently buffered but not yet consumed by a parsed request.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.end - self.start
+    }
+
+    /// Heap allocation events (buffer or span-table growth) since creation.
+    /// Flat across requests in steady state — the zero-copy guarantee.
+    pub fn alloc_events(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Clears all parse state (buffered bytes, phase, poisoning) while
+    /// keeping the warmed buffers — this is what makes pooled reuse across
+    /// connections allocation-free.
+    pub fn reset(&mut self) {
+        self.start = 0;
+        self.end = 0;
+        self.phase = Phase::Head;
+        self.spans.clear();
+        self.dead = None;
     }
 
     /// Tries to drain one complete request from the buffer.
     ///
-    /// `Ok(None)` means "need more bytes"; an `Err` poisons the parser (every
-    /// later call returns the same error — the connection is unrecoverable
-    /// because the byte stream's framing is lost).
-    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+    /// The returned [`Request`] borrows from the parser and must be dropped
+    /// before the next parser call. `Ok(None)` means "need more bytes"; an
+    /// `Err` poisons the parser (every later call returns the same error —
+    /// the connection is unrecoverable because the byte stream's framing is
+    /// lost).
+    pub fn next_request(&mut self) -> Result<Option<Request<'_>>, HttpError> {
         if let Some(e) = &self.dead {
             return Err(e.clone());
         }
-        match self.try_next() {
-            Ok(out) => Ok(out),
+        let staged = match self.try_stage() {
+            Ok(staged) => staged,
             Err(e) => {
                 self.dead = Some(e.clone());
-                Err(e)
+                return Err(e);
+            }
+        };
+        if !staged {
+            return Ok(None);
+        }
+        let Phase::Body { head_start, head_len, body_len } = self.phase else {
+            unreachable!("try_stage returned true only from a complete Body phase");
+        };
+        // Consume the request's bytes *before* building the borrowed view:
+        // the next call starts fresh while this view pins the buffer.
+        let body_start = head_start + head_len;
+        self.phase = Phase::Head;
+        self.start = body_start + body_len;
+        let head = &self.buf[head_start..body_start];
+        Ok(Some(Request {
+            method: span_str(head, self.method),
+            target: span_str(head, self.target),
+            http11: self.http11,
+            headers: Headers::from_spans(head, &self.spans),
+            body: &self.buf[body_start..body_start + body_len],
+        }))
+    }
+
+    /// Advances the state machine until a complete request is staged
+    /// (`Ok(true)`), more bytes are needed (`Ok(false)`), or the stream is
+    /// malformed.
+    fn try_stage(&mut self) -> Result<bool, HttpError> {
+        loop {
+            match self.phase {
+                Phase::Head => {
+                    let window = &self.buf[self.start..self.end];
+                    let Some(head_len) = find_head_end(window) else {
+                        // No blank line yet: enforce caps on the partial head
+                        // so a drip-fed attacker cannot grow the buffer
+                        // unboundedly.
+                        if window.len() > self.limits.max_head_bytes {
+                            return Err(HttpError::HeadersTooLarge);
+                        }
+                        if !window.contains(&b'\n')
+                            && window.len() > self.limits.max_request_line
+                        {
+                            return Err(HttpError::RequestLineTooLong);
+                        }
+                        return Ok(false);
+                    };
+                    if head_len > self.limits.max_head_bytes {
+                        return Err(HttpError::HeadersTooLarge);
+                    }
+                    let head_start = self.start;
+                    self.parse_head(head_start, head_len)?;
+                    let body_len = self.resolve_body_len(head_start, head_len)?;
+                    self.phase = Phase::Body { head_start, head_len, body_len };
+                }
+                Phase::Body { head_start, head_len, body_len } => {
+                    return Ok(self.end >= head_start + head_len + body_len);
+                }
             }
         }
     }
 
-    fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
-        loop {
-            match &mut self.phase {
-                Phase::Head => {
-                    let Some(head_end) = find_head_end(&self.buf) else {
-                        // No blank line yet: enforce caps on the partial head
-                        // so a drip-fed attacker cannot grow the buffer
-                        // unboundedly.
-                        if self.buf.len() > self.limits.max_head_bytes {
-                            return Err(HttpError::HeadersTooLarge);
-                        }
-                        if !self.buf.contains(&b'\n')
-                            && self.buf.len() > self.limits.max_request_line
-                        {
-                            return Err(HttpError::RequestLineTooLong);
-                        }
-                        return Ok(None);
-                    };
-                    if head_end > self.limits.max_head_bytes {
-                        return Err(HttpError::HeadersTooLarge);
-                    }
-                    let head: Vec<u8> = self.buf.drain(..head_end).collect();
-                    let request = parse_head(&head, &self.limits)?;
-                    let body_len = content_length(&request, &self.limits)?;
-                    self.phase = Phase::Body { request, remaining: body_len };
-                }
-                Phase::Body { remaining, .. } => {
-                    if self.buf.len() < *remaining {
-                        return Ok(None);
-                    }
-                    let n = *remaining;
-                    let body: Vec<u8> = self.buf.drain(..n).collect();
-                    let Phase::Body { mut request, .. } =
-                        std::mem::replace(&mut self.phase, Phase::Head)
-                    else {
-                        unreachable!("phase checked above");
-                    };
-                    request.body = body;
-                    return Ok(Some(request));
-                }
+    /// Parses the head region into request-line fields and header spans
+    /// (all relative to `head_start`).
+    fn parse_head(&mut self, head_start: usize, head_len: usize) -> Result<(), HttpError> {
+        self.spans.clear();
+        let spans_cap = self.spans.capacity();
+        let head = &self.buf[head_start..head_start + head_len];
+        let mut saw_request_line = false;
+        let mut pos = 0;
+        while pos < head.len() {
+            let nl = match head[pos..].iter().position(|&b| b == b'\n') {
+                Some(off) => pos + off,
+                None => head.len(),
+            };
+            let mut line_end = nl;
+            if line_end > pos && head[line_end - 1] == b'\r' {
+                line_end -= 1;
             }
+            let line_off = pos;
+            let line_len = line_end - pos;
+            pos = nl + 1;
+            if line_len == 0 {
+                continue; // request-terminating blank line (or split artifact)
+            }
+            if !saw_request_line {
+                saw_request_line = true;
+                let (method, target, http11) =
+                    parse_request_line(head, line_off, line_len, &self.limits)?;
+                self.method = method;
+                self.target = target;
+                self.http11 = http11;
+            } else {
+                if self.spans.len() >= self.limits.max_headers {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                self.spans.push(parse_header_line(head, line_off, line_len)?);
+            }
+        }
+        if !saw_request_line {
+            return Err(HttpError::BadRequestLine);
+        }
+        if self.spans.capacity() != spans_cap {
+            self.allocs += 1;
+        }
+        Ok(())
+    }
+
+    /// Resolves the staged request's body length from its headers, enforcing
+    /// the body cap *before* any body byte is buffered.
+    fn resolve_body_len(&self, head_start: usize, head_len: usize) -> Result<usize, HttpError> {
+        let head = &self.buf[head_start..head_start + head_len];
+        let headers = Headers::from_spans(head, &self.spans);
+        if headers.get("transfer-encoding").is_some() {
+            return Err(HttpError::UnsupportedTransferEncoding);
+        }
+        let mut lengths =
+            headers.iter().filter(|(k, _)| k.eq_ignore_ascii_case("content-length"));
+        let Some((_, first)) = lengths.next() else {
+            return Ok(0);
+        };
+        // Duplicate Content-Length headers with different values are another
+        // smuggling vector.
+        if lengths.any(|(_, v)| v != first) {
+            return Err(HttpError::BadContentLength);
+        }
+        let n: usize = first.parse().map_err(|_| HttpError::BadContentLength)?;
+        if n > self.limits.max_body_bytes {
+            return Err(HttpError::BodyTooLarge);
+        }
+        Ok(n)
+    }
+
+    /// Makes room for `extra` more bytes at the tail: cheap index reset when
+    /// everything is consumed, compaction (slide live bytes to the front)
+    /// when leading space can be reclaimed, growth only as a last resort.
+    fn ensure_tail(&mut self, extra: usize) {
+        if self.start == self.end && matches!(self.phase, Phase::Head) {
+            self.start = 0;
+            self.end = 0;
+        }
+        if self.end + extra <= self.buf.len() {
+            return;
+        }
+        self.compact();
+        if self.end + extra <= self.buf.len() {
+            return;
+        }
+        let needed = self.end + extra;
+        if needed > self.buf.capacity() {
+            self.allocs += 1;
+            self.buf.reserve(needed - self.buf.len());
+        }
+        // Extend the high-water mark to the full capacity so later fills
+        // reuse it without further growth.
+        let cap = self.buf.capacity();
+        self.buf.resize(cap, 0);
+    }
+
+    /// Slides the live region to the buffer front, adjusting the absolute
+    /// offsets in `phase` (header spans are head-relative and unaffected).
+    fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        let shift = self.start;
+        self.buf.copy_within(shift..self.end, 0);
+        self.start = 0;
+        self.end -= shift;
+        if let Phase::Body { head_start, .. } = &mut self.phase {
+            *head_start -= shift;
         }
     }
 }
@@ -255,96 +592,82 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     None
 }
 
-/// Splits head bytes into lines, tolerating CRLF and bare LF endings.
-fn head_lines(head: &[u8]) -> Vec<&[u8]> {
-    let mut lines = Vec::new();
-    for line in head.split(|&b| b == b'\n') {
-        let line = line.strip_suffix(b"\r").unwrap_or(line);
-        if line.is_empty() {
-            continue; // request-terminating blank line (or trailing split artifact)
-        }
-        lines.push(line);
-    }
-    lines
-}
-
-fn parse_head(head: &[u8], limits: &ParserLimits) -> Result<Request, HttpError> {
-    let lines = head_lines(head);
-    let Some((request_line, header_lines)) = lines.split_first() else {
-        return Err(HttpError::BadRequestLine);
-    };
-    if request_line.len() > limits.max_request_line {
+/// Parses the request line at `head[off..off + len]`, returning head-relative
+/// method/target spans and the HTTP/1.1 flag.
+#[allow(clippy::type_complexity)]
+fn parse_request_line(
+    head: &[u8],
+    off: usize,
+    len: usize,
+    limits: &ParserLimits,
+) -> Result<((usize, usize), (usize, usize), bool), HttpError> {
+    let line = &head[off..off + len];
+    if line.len() > limits.max_request_line {
         return Err(HttpError::RequestLineTooLong);
     }
-    let text = std::str::from_utf8(request_line).map_err(|_| HttpError::BadRequestLine)?;
-    let mut parts = text.split(' ').filter(|p| !p.is_empty());
-    let method = parts.next().ok_or(HttpError::BadRequestLine)?;
-    let target = parts.next().ok_or(HttpError::BadRequestLine)?;
-    let version = parts.next().ok_or(HttpError::BadRequestLine)?;
-    if parts.next().is_some() {
+    std::str::from_utf8(line).map_err(|_| HttpError::BadRequestLine)?;
+    // Tokenize on (runs of) spaces: exactly three tokens expected.
+    let mut tokens = [(0usize, 0usize); 3];
+    let mut count = 0;
+    let mut i = 0;
+    while i < line.len() {
+        if line[i] == b' ' {
+            i += 1;
+            continue;
+        }
+        let t0 = i;
+        while i < line.len() && line[i] != b' ' {
+            i += 1;
+        }
+        if count == 3 {
+            return Err(HttpError::BadRequestLine);
+        }
+        tokens[count] = (t0, i);
+        count += 1;
+    }
+    if count != 3 {
         return Err(HttpError::BadRequestLine);
     }
-    if method.is_empty()
-        || !method.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    let [(m0, m1), (t0, t1), (v0, v1)] = tokens;
+    if !line[m0..m1]
+        .iter()
+        .all(|&b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
     {
         return Err(HttpError::BadRequestLine);
     }
-    let http11 = match version {
-        "HTTP/1.1" => true,
-        "HTTP/1.0" => false,
-        v if v.starts_with("HTTP/") => return Err(HttpError::UnsupportedVersion),
+    let http11 = match &line[v0..v1] {
+        b"HTTP/1.1" => true,
+        b"HTTP/1.0" => false,
+        v if v.starts_with(b"HTTP/") => return Err(HttpError::UnsupportedVersion),
         _ => return Err(HttpError::BadRequestLine),
     };
-    if header_lines.len() > limits.max_headers {
-        return Err(HttpError::HeadersTooLarge);
-    }
-    let mut headers = Vec::with_capacity(header_lines.len());
-    for line in header_lines {
-        // Obsolete line folding (continuation lines starting with SP/HTAB)
-        // is a request-smuggling vector; reject it outright.
-        if line[0] == b' ' || line[0] == b'\t' {
-            return Err(HttpError::BadHeader);
-        }
-        let text = std::str::from_utf8(line).map_err(|_| HttpError::BadHeader)?;
-        let (name, value) = text.split_once(':').ok_or(HttpError::BadHeader)?;
-        if name.is_empty()
-            || !name
-                .bytes()
-                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
-        {
-            return Err(HttpError::BadHeader);
-        }
-        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
-    }
-    Ok(Request {
-        method: method.to_string(),
-        target: target.to_string(),
-        http11,
-        headers,
-        body: Vec::new(),
-    })
+    Ok(((off + m0, off + m1), (off + t0, off + t1), http11))
 }
 
-/// Resolves the request's body length from its headers, enforcing the body
-/// cap *before* any body byte is buffered.
-fn content_length(request: &Request, limits: &ParserLimits) -> Result<usize, HttpError> {
-    if request.header("transfer-encoding").is_some() {
-        return Err(HttpError::UnsupportedTransferEncoding);
+/// Parses the header field at `head[off..off + len]` into a head-relative
+/// span, with the value trimmed of surrounding whitespace.
+fn parse_header_line(head: &[u8], off: usize, len: usize) -> Result<HeaderSpan, HttpError> {
+    let line = &head[off..off + len];
+    // Obsolete line folding (continuation lines starting with SP/HTAB) is a
+    // request-smuggling vector; reject it outright.
+    if line[0] == b' ' || line[0] == b'\t' {
+        return Err(HttpError::BadHeader);
     }
-    let mut lengths = request.headers.iter().filter(|(k, _)| k == "content-length");
-    let Some((_, first)) = lengths.next() else {
-        return Ok(0);
-    };
-    // Duplicate Content-Length headers with different values are another
-    // smuggling vector.
-    if lengths.any(|(_, v)| v != first) {
-        return Err(HttpError::BadContentLength);
+    let text = std::str::from_utf8(line).map_err(|_| HttpError::BadHeader)?;
+    let colon = text.find(':').ok_or(HttpError::BadHeader)?;
+    let name = &text[..colon];
+    if name.is_empty()
+        || !name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+    {
+        return Err(HttpError::BadHeader);
     }
-    let n: usize = first.parse().map_err(|_| HttpError::BadContentLength)?;
-    if n > limits.max_body_bytes {
-        return Err(HttpError::BodyTooLarge);
-    }
-    Ok(n)
+    let raw = &text[colon + 1..];
+    let lead = raw.len() - raw.trim_start().len();
+    let trimmed_len = raw.trim().len();
+    let v0 = colon + 1 + lead;
+    Ok(HeaderSpan { name: (off, off + colon), value: (off + v0, off + v0 + trimmed_len) })
 }
 
 /// Canonical reason phrase for the status codes this crate emits.
@@ -407,19 +730,26 @@ impl Response {
         Response::new(status).header("Content-Type", "application/json").body(body)
     }
 
-    /// Serializes the response head + body. `Content-Length` is always
-    /// emitted (responses are never chunked, so any client — including
-    /// pipelining ones — can frame them), plus the requested `Connection`
-    /// disposition.
-    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
-        let mut out = Vec::with_capacity(128 + self.body.len());
-        out.extend_from_slice(
-            format!("HTTP/1.1 {} {}\r\n", self.status, reason_phrase(self.status)).as_bytes(),
-        );
+    /// Serializes the response head + body into `out` (typically a pooled,
+    /// already-warm buffer — the allocation-free hot path). `Content-Length`
+    /// is always emitted (responses are never chunked, so any client —
+    /// including pipelining ones — can frame them), plus the requested
+    /// `Connection` disposition.
+    pub fn serialize_into(&self, keep_alive: bool, out: &mut Vec<u8>) {
+        out.extend_from_slice(b"HTTP/1.1 ");
+        push_dec(out, self.status as u64);
+        out.push(b' ');
+        out.extend_from_slice(reason_phrase(self.status).as_bytes());
+        out.extend_from_slice(b"\r\n");
         for (name, value) in &self.headers {
-            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
         }
-        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(b"Content-Length: ");
+        push_dec(out, self.body.len() as u64);
+        out.extend_from_slice(b"\r\n");
         out.extend_from_slice(if keep_alive {
             b"Connection: keep-alive\r\n".as_slice()
         } else {
@@ -427,18 +757,39 @@ impl Response {
         });
         out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
+    }
+
+    /// Serializes into a fresh buffer (see [`Response::serialize_into`]).
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        self.serialize_into(keep_alive, &mut out);
         out
     }
+}
+
+/// Appends `v` in decimal without going through `format!`.
+fn push_dec(out: &mut Vec<u8>, mut v: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&tmp[i..]);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse_one(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+    fn parse_one(bytes: &[u8]) -> Result<Option<OwnedRequest>, HttpError> {
         let mut p = RequestParser::new(ParserLimits::default());
         p.push(bytes);
-        p.next_request()
+        Ok(p.next_request()?.map(|r| r.to_owned()))
     }
 
     #[test]
@@ -474,7 +825,7 @@ mod tests {
                 assert!(out.is_none(), "complete too early at byte {i}");
             } else {
                 let req = out.expect("complete at last byte");
-                assert_eq!(req.body, b"xyz");
+                assert_eq!(req.body, b"xyz".as_slice());
                 assert_eq!(req.header("x-k"), Some("v"));
             }
         }
@@ -484,12 +835,12 @@ mod tests {
     fn pipelined_requests_drain_in_order() {
         let mut p = RequestParser::new(ParserLimits::default());
         p.push(b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n");
-        let a = p.next_request().unwrap().unwrap();
-        let b = p.next_request().unwrap().unwrap();
-        let c = p.next_request().unwrap().unwrap();
+        let a = p.next_request().unwrap().unwrap().to_owned();
+        let b = p.next_request().unwrap().unwrap().to_owned();
+        let c = p.next_request().unwrap().unwrap().to_owned();
         assert_eq!((a.target.as_str(), b.target.as_str(), c.target.as_str()), ("/a", "/b", "/c"));
         assert_eq!(b.body, b"hi");
-        assert_eq!(p.next_request().unwrap(), None);
+        assert!(p.next_request().unwrap().is_none());
         assert_eq!(p.buffered(), 0);
     }
 
@@ -512,6 +863,13 @@ mod tests {
     }
 
     #[test]
+    fn tolerates_runs_of_spaces_in_request_line() {
+        let req = parse_one(b"GET  /x   HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/x");
+    }
+
+    #[test]
     fn rejects_bad_headers_and_folding() {
         assert_eq!(
             parse_one(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
@@ -528,6 +886,16 @@ mod tests {
     }
 
     #[test]
+    fn header_names_keep_case_but_lookups_ignore_it() {
+        let req = parse_one(b"GET / HTTP/1.1\r\nX-Mixed-Case:  padded \r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.headers[0].0, "X-Mixed-Case");
+        assert_eq!(req.header("x-mixed-case"), Some("padded"));
+        assert_eq!(req.header("X-MIXED-CASE"), Some("padded"));
+    }
+
+    #[test]
     fn enforces_size_limits() {
         let limits = ParserLimits {
             max_request_line: 32,
@@ -538,20 +906,20 @@ mod tests {
         // Oversized request line, detected before the line terminator shows.
         let mut p = RequestParser::new(limits);
         p.push(&[b'A'; 64]);
-        assert_eq!(p.next_request(), Err(HttpError::RequestLineTooLong));
+        assert_eq!(p.next_request().unwrap_err(), HttpError::RequestLineTooLong);
         // Oversized head.
         let mut p = RequestParser::new(limits);
         p.push(b"GET / HTTP/1.1\r\n");
         p.push(&[b"X: ".as_slice(), &vec![b'y'; 256], b"\r\n\r\n"].concat());
-        assert_eq!(p.next_request(), Err(HttpError::HeadersTooLarge));
+        assert_eq!(p.next_request().unwrap_err(), HttpError::HeadersTooLarge);
         // Too many headers.
         let mut p = RequestParser::new(limits);
         p.push(b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\nD: 4\r\nE: 5\r\n\r\n");
-        assert_eq!(p.next_request(), Err(HttpError::HeadersTooLarge));
+        assert_eq!(p.next_request().unwrap_err(), HttpError::HeadersTooLarge);
         // Oversized declared body, rejected before body bytes arrive.
         let mut p = RequestParser::new(limits);
         p.push(b"POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
-        assert_eq!(p.next_request(), Err(HttpError::BodyTooLarge));
+        assert_eq!(p.next_request().unwrap_err(), HttpError::BodyTooLarge);
     }
 
     #[test]
@@ -577,7 +945,23 @@ mod tests {
         let mut p = RequestParser::new(ParserLimits::default());
         p.push(b"BOGUS\r\n\r\nGET / HTTP/1.1\r\n\r\n");
         let first = p.next_request().unwrap_err();
-        assert_eq!(p.next_request(), Err(first), "poisoned parser must stay failed");
+        assert_eq!(
+            p.next_request().unwrap_err(),
+            first,
+            "poisoned parser must stay failed"
+        );
+    }
+
+    #[test]
+    fn reset_clears_poisoning_and_reuses_buffers() {
+        let mut p = RequestParser::new(ParserLimits::default());
+        p.push(b"BOGUS\r\n\r\n");
+        assert!(p.next_request().is_err());
+        p.reset();
+        assert_eq!(p.buffered(), 0);
+        p.push(b"GET /after HTTP/1.1\r\n\r\n");
+        let req = p.next_request().unwrap().expect("fresh life after reset");
+        assert_eq!(req.target, "/after");
     }
 
     #[test]
@@ -597,6 +981,66 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_parsing_does_not_allocate() {
+        let raw = b"POST /v1/predict HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 24\r\n\r\n{\"queries\":[[1,2,3,4]]}x";
+        let mut p = RequestParser::new(ParserLimits::default());
+        // Warm-up: let the buffer and span table reach high water.
+        for _ in 0..3 {
+            p.push(raw);
+            assert!(p.next_request().unwrap().is_some());
+        }
+        let warmed = p.alloc_events();
+        for i in 0..500 {
+            p.push(raw);
+            let req = p.next_request().unwrap().expect("complete request");
+            assert_eq!(req.target, "/v1/predict");
+            assert_eq!(req.body.len(), 24);
+            assert_eq!(
+                p.alloc_events(),
+                warmed,
+                "allocation on steady-state request {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn fill_from_reads_without_intermediate_copies() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut src = io::Cursor::new(raw.to_vec());
+        let mut p = RequestParser::new(ParserLimits::default());
+        let n = p.fill_from(&mut src).unwrap();
+        assert_eq!(n, raw.len());
+        let req = p.next_request().unwrap().expect("complete");
+        assert_eq!(req.path(), "/healthz");
+        assert_eq!(p.fill_from(&mut src).unwrap(), 0, "EOF");
+    }
+
+    #[test]
+    fn spans_survive_compaction_across_pipelined_requests() {
+        // Drive the parser with many pipelined requests in small pushes so
+        // the live region slides and compaction fires repeatedly; header
+        // values must stay correct throughout.
+        let one = b"POST /q HTTP/1.1\r\nX-Seq: 7\r\nContent-Length: 5\r\n\r\nhello";
+        let mut stream = Vec::new();
+        for _ in 0..64 {
+            stream.extend_from_slice(one);
+        }
+        let mut p = RequestParser::new(ParserLimits::default());
+        let mut served = 0;
+        for chunk in stream.chunks(13) {
+            p.push(chunk);
+            while let Some(req) = p.next_request().unwrap() {
+                assert_eq!(req.target, "/q");
+                assert_eq!(req.header("x-seq"), Some("7"));
+                assert_eq!(req.body, b"hello".as_slice());
+                served += 1;
+            }
+        }
+        assert_eq!(served, 64);
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
     fn response_serialization_frames_with_content_length() {
         let resp = Response::text(200, "hello").serialize(true);
         let text = String::from_utf8(resp).unwrap();
@@ -608,5 +1052,15 @@ mod tests {
         let text = String::from_utf8(closed).unwrap();
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn serialize_into_matches_serialize_exactly() {
+        let resp = Response::json(422, "{\"error\":\"x\"}").header("Retry-After", "2");
+        for keep in [true, false] {
+            let mut pooled = Vec::new();
+            resp.serialize_into(keep, &mut pooled);
+            assert_eq!(pooled, resp.serialize(keep), "pooled path must be byte-identical");
+        }
     }
 }

@@ -1,15 +1,22 @@
-//! `ce-server` — dependency-free, std-only HTTP/1.1 serving substrate.
+//! `ce-server` — std-only HTTP/1.1 serving substrate (no external deps
+//! beyond the vendored `ce-telemetry`).
 //!
 //! Offline stand-in for a production HTTP stack (hyper/axum), built for the
-//! cardinality-estimation serving layer. Three pieces:
+//! cardinality-estimation serving layer. Four pieces:
 //!
-//! - [`http`]: incremental request parser with hard size limits and typed
-//!   errors, plus `Content-Length`-framed response serialization. Handles
-//!   partial reads and pipelining; rejects `Transfer-Encoding`, header
-//!   folding, and conflicting `Content-Length` (smuggling vectors).
-//! - [`server`]: nonblocking accept loop + bounded connection queue +
-//!   fixed worker pool with keep-alive and graceful drain. Connection
-//!   overflow sheds with a raw `503` + `Retry-After`.
+//! - [`http`]: zero-copy incremental request parser with hard size limits
+//!   and typed errors, plus `Content-Length`-framed response serialization
+//!   into pooled buffers. Requests are borrowed views into the connection
+//!   buffer — steady-state parsing allocates nothing. Handles partial
+//!   reads and pipelining; rejects `Transfer-Encoding`, header folding,
+//!   and conflicting `Content-Length` (smuggling vectors).
+//! - [`poll`]: a minimal libc-free `poll(2)` shim — the readiness
+//!   primitive, with a non-unix stub that reports unsupported.
+//! - [`server`]: event-driven readiness-loop server — poller threads
+//!   multiplex parked keep-alive connections and dispatch readable ones to
+//!   a fixed worker pool; idle/drain deadlines fire exactly, not on ticks.
+//!   Degrades to a tick-polled fallback where `poll(2)` is unavailable.
+//!   Connection overflow sheds with a raw `503` + `Retry-After`.
 //! - [`batch`]: deadline-bounded micro-batcher with a bounded admission
 //!   queue — concurrent request handlers coalesce work items into one
 //!   batched call; overflow sheds at admission, runner panics fail the
@@ -36,6 +43,7 @@ pub mod batch;
 pub mod client;
 pub mod health;
 pub mod http;
+pub mod poll;
 pub mod proxy;
 pub mod ring;
 pub mod router;
@@ -44,7 +52,9 @@ pub mod server;
 pub use batch::{BatchError, BatcherConfig, BatcherStats, MicroBatcher};
 pub use client::{ClientConfig, ClientResponse, HttpClient};
 pub use health::{Fleet, FleetStats, HealthChecker, HealthConfig};
-pub use http::{HttpError, ParserLimits, Request, RequestParser, Response};
+pub use http::{
+    Headers, HttpError, OwnedRequest, ParserLimits, Request, RequestParser, Response,
+};
 pub use proxy::{ChaosProxy, FaultRates, ProxyStats};
 pub use ring::{fnv1a64, HashRing};
 pub use router::{Router, RouterConfig, RouterStats};

@@ -1,0 +1,168 @@
+//! Minimal `poll(2)` shim — the readiness primitive behind the event-driven
+//! server (DESIGN.md §12).
+//!
+//! Follows the same libc-free pattern as the CLI's `signal(2)` hookup: the
+//! symbol is declared `extern "C"` and resolved from whatever libc the
+//! binary already links against, so the crate stays dependency-free while
+//! speaking the kernel's native readiness interface. `struct pollfd` has the
+//! same layout (`int fd; short events; short revents`) on every unix this
+//! targets, and the event bit values used here (`POLLIN` 0x001, `POLLOUT`
+//! 0x004, `POLLERR` 0x008, `POLLHUP` 0x010, `POLLNVAL` 0x020) are identical
+//! across Linux and the BSDs.
+//!
+//! On non-unix targets [`SUPPORTED`] is `false` and [`wait`] reports
+//! `Unsupported`; the server degrades to its tick-polled fallback loop
+//! instead of using readiness at all.
+
+use std::io;
+use std::time::Duration;
+
+/// Readable data (or a closed peer, which also reads as ready).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always checked in `revents`, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hang-up.
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (stale entry); treated as ready so the owner reaps it.
+pub const POLLNVAL: i16 = 0x020;
+
+/// Whether this target has the readiness syscall at all.
+pub const SUPPORTED: bool = cfg!(unix);
+
+/// One entry in a poll set; layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events` (e.g. [`POLLIN`]).
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd { fd, events, revents: 0 }
+    }
+
+    /// Whether any requested-or-error condition fired: readable/writable as
+    /// requested, or `POLLERR`/`POLLHUP`/`POLLNVAL` (which the kernel
+    /// reports regardless of the request and which all mean "the owner must
+    /// look at this fd now").
+    pub fn ready(&self) -> bool {
+        self.revents & (self.events | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::PollFd;
+
+    extern "C" {
+        // `nfds_t` is `unsigned long` on Linux and `unsigned int` on the
+        // BSDs; passing a zero-extended `usize` is correct for both ABIs
+        // for the set sizes this crate uses.
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+    }
+
+    pub fn poll_raw(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) }
+    }
+}
+
+/// Converts a timeout to poll's millisecond argument, rounding *up* so a
+/// sub-millisecond wait never becomes a busy-spin 0, and capping at ~60s
+/// (callers re-arm; an indefinite block would make shutdown sluggish).
+fn timeout_ms(timeout: Duration) -> i32 {
+    let ms = timeout.as_millis();
+    let rounded =
+        if !u64::from(timeout.subsec_nanos()).is_multiple_of(1_000_000) { ms + 1 } else { ms };
+    rounded.min(60_000) as i32
+}
+
+/// Blocks until at least one entry in `fds` is ready or `timeout` elapses;
+/// returns the number of ready entries (0 on timeout). `EINTR` is folded
+/// into `Ok(0)` — callers loop anyway and must re-check their stop flags.
+#[cfg(unix)]
+pub fn wait(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    for entry in fds.iter_mut() {
+        entry.revents = 0;
+    }
+    let rc = sys::poll_raw(fds, timeout_ms(timeout));
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        Ok(0)
+    } else {
+        Err(err)
+    }
+}
+
+/// Non-unix stub: always `Unsupported` (the server never calls it there —
+/// it selects the tick fallback when [`SUPPORTED`] is false).
+#[cfg(not(unix))]
+pub fn wait(_fds: &mut [PollFd], _timeout: Duration) -> io::Result<usize> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "poll(2) unavailable on this target"))
+}
+
+/// Waits for `fd` to become writable (used by workers when a response write
+/// hits `WouldBlock` on a nonblocking socket). Returns `true` if writable
+/// within `timeout`.
+pub fn wait_writable(fd: i32, timeout: Duration) -> io::Result<bool> {
+    let mut fds = [PollFd::new(fd, POLLOUT)];
+    Ok(wait(&mut fds, timeout)? > 0)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn times_out_on_a_silent_socket() {
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let t = std::time::Instant::now();
+        let n = wait(&mut fds, Duration::from_millis(20)).unwrap();
+        assert_eq!(n, 0, "nothing to read");
+        assert!(!fds[0].ready());
+        assert!(t.elapsed() >= Duration::from_millis(15), "returned too early");
+    }
+
+    #[test]
+    fn reports_readiness_when_bytes_arrive() {
+        let (a, mut b) = std::os::unix::net::UnixStream::pair().unwrap();
+        b.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = wait(&mut fds, Duration::from_millis(500)).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready());
+    }
+
+    #[test]
+    fn hup_reads_as_ready() {
+        let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = wait(&mut fds, Duration::from_millis(500)).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(), "peer close must wake the poller");
+    }
+
+    #[test]
+    fn writable_socket_reports_immediately() {
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        assert!(wait_writable(a.as_raw_fd(), Duration::from_millis(100)).unwrap());
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_round_up() {
+        assert_eq!(timeout_ms(Duration::from_micros(300)), 1);
+        assert_eq!(timeout_ms(Duration::from_millis(5)), 5);
+        assert_eq!(timeout_ms(Duration::from_secs(120)), 60_000);
+    }
+}

@@ -269,16 +269,15 @@ impl Router {
         if client.set_read_timeout(read_timeout).is_err() {
             return None;
         }
-        let headers: Vec<(String, String)> = request
-            .headers
-            .iter()
-            .filter(|(k, _)| {
-                // Hop-by-hop / re-framed by the client leg itself.
-                k != "content-length" && k != "connection" && k != "host"
-            })
-            .cloned()
-            .collect();
-        match client.request(&request.method, &request.target, &headers, &request.body) {
+        // Hop-by-hop / framing headers are re-emitted by the client leg
+        // itself; everything else passes through as a borrowed iterator —
+        // no per-leg header allocation.
+        let headers = request.headers.iter().filter(|(k, _)| {
+            !k.eq_ignore_ascii_case("content-length")
+                && !k.eq_ignore_ascii_case("connection")
+                && !k.eq_ignore_ascii_case("host")
+        });
+        match client.request(request.method, request.target, headers, request.body) {
             Ok(resp) => {
                 let shed = resp.status == 503 && resp.retry_after().is_some();
                 // Keep the stream for the next leg to this shard. A shed
@@ -336,6 +335,7 @@ fn passthrough(resp: &ClientResponse) -> Response {
 mod tests {
     use super::*;
     use crate::health::HealthConfig;
+    use crate::http::Headers;
     use crate::server::{HttpServer, ServerConfig};
     use std::sync::Arc;
 
@@ -343,10 +343,10 @@ mod tests {
         HttpServer::bind(
             "127.0.0.1:0",
             ServerConfig { read_tick: Duration::from_millis(5), ..ServerConfig::default() },
-            Arc::new(move |req: &Request| match (req.method.as_str(), req.path()) {
+            Arc::new(move |req: &Request| match (req.method, req.path()) {
                 ("GET", "/readyz") => Response::text(200, "ready"),
                 ("POST", "/echo") => {
-                    let mut body = req.body.clone();
+                    let mut body = req.body.to_vec();
                     body.extend_from_slice(tag.as_bytes());
                     Response::json(200, body)
                 }
@@ -359,13 +359,13 @@ mod tests {
         .expect("bind shard")
     }
 
-    fn post(target: &str, body: &[u8]) -> Request {
+    fn post<'a>(target: &'a str, body: &'a [u8]) -> Request<'a> {
         Request {
-            method: "POST".into(),
-            target: target.into(),
+            method: "POST",
+            target,
             http11: true,
-            headers: vec![("content-type".into(), "application/json".into())],
-            body: body.to_vec(),
+            headers: Headers::from_pairs(&[("content-type", "application/json")]),
+            body,
         }
     }
 
@@ -460,8 +460,8 @@ mod tests {
                 read_tick: Duration::from_millis(5),
                 ..ServerConfig::default()
             },
-            Arc::new(move |req: &Request| match (req.method.as_str(), req.path()) {
-                ("POST", "/echo") => Response::json(200, req.body.clone()),
+            Arc::new(move |req: &Request| match (req.method, req.path()) {
+                ("POST", "/echo") => Response::json(200, req.body),
                 _ => Response::text(404, "nope"),
             }),
         )

@@ -1,49 +1,93 @@
-//! Threaded HTTP/1.1 server: nonblocking accept loop, bounded connection
-//! queue, fixed worker pool, keep-alive connections, graceful drain.
+//! Event-driven HTTP/1.1 server: readiness-loop connection multiplexing,
+//! pooled per-connection buffers, fixed worker pool, keep-alive, graceful
+//! drain.
 //!
-//! Admission control happens at two layers. Connections that would
-//! overflow the bounded queue get an immediate raw `503` + `Retry-After`
-//! and are closed — the queue never grows unboundedly. (Request-level
-//! shedding — the micro-batcher's `QueueFull` → 503 — lives above this
-//! crate, in the handler.) [`HttpServer::shutdown`] drains gracefully:
-//! the acceptor stops, workers finish queued + in-flight requests with
-//! `Connection: close`, and the call blocks until every thread has joined.
+//! # Architecture (see DESIGN.md §12)
+//!
+//! Three thread roles cooperate:
+//!
+//! - The **acceptor** runs a nonblocking `accept` loop (readiness-waited on
+//!   the listener fd where `poll(2)` is available). New connections are
+//!   made nonblocking, given pooled scratch buffers, and handed straight to
+//!   the dispatch queue — the first worker read usually finds the request
+//!   bytes already behind the SYN.
+//! - One or more **pollers** each own a set of parked idle keep-alive
+//!   connections and multiplex them through a single `poll(2)` call (plus a
+//!   self-wake socketpair for registrations and shutdown). Connections that
+//!   turn readable (or hang up) move to the dispatch queue; connections
+//!   that idle past `read_timeout` are closed at their deadline — no ticks.
+//! - **Workers** pop ready connections, drain every buffered request
+//!   through the handler (serializing all responses into one pooled output
+//!   buffer and writing them in a single syscall), read until `WouldBlock`,
+//!   then park the connection back at its home poller.
+//!
+//! On targets without `poll(2)` — or with `event_driven` off — the same
+//! worker code runs in the legacy tick mode: each worker owns one blocking
+//! connection and re-reads on a short timeout, trading idle CPU wakeups for
+//! portability.
+//!
+//! Admission control happens at the edge: in event mode a connection that
+//! would exceed `max_conns` open connections — and in tick mode one that
+//! would overflow the bounded dispatch queue — gets an immediate raw `503`
+//! with `Retry-After` and is closed. (Request-level shedding — the
+//! micro-batcher's `QueueFull` → 503 — lives above this crate, in the
+//! handler.) [`HttpServer::shutdown`] drains gracefully: the acceptor
+//! stops, pollers close their parked (idle, between-requests) connections,
+//! workers finish queued + in-flight requests with `Connection: close`, and
+//! the call blocks until every thread has joined.
+//!
+//! # The zero-allocation hot path
+//!
+//! A pooled connection's steady-state request cycle — read, parse, respond
+//! — performs no heap allocation in this crate: socket bytes land directly
+//! in the parser's reusable buffer ([`RequestParser::fill_from`]), requests
+//! are borrowed views into that buffer, and responses serialize into the
+//! connection's reusable output buffer. [`ServerStats::buffer_allocs`]
+//! counts the remaining growth events (pool warm-up, oversized requests);
+//! tests assert it goes flat under steady load.
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::http::{ParserLimits, Request, RequestParser, Response};
+use crate::poll;
 
 /// Tuning knobs for [`HttpServer`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads handling connections.
+    /// Worker threads handling ready connections.
     pub workers: usize,
-    /// Bounded queue of accepted-but-unclaimed connections; overflow is
-    /// answered with a raw 503 and closed.
+    /// Tick mode only: bounded queue of accepted-but-unclaimed connections;
+    /// overflow is answered with a raw 503 and closed. (Event mode bounds
+    /// *open* connections via `max_conns` instead — the dispatch queue only
+    /// ever holds connections that are already admitted.)
     pub conn_queue: usize,
     /// Parser size limits applied per connection.
     pub limits: ParserLimits,
     /// Requests served per connection before the server forces
     /// `Connection: close` (bounds per-connection resource lifetime).
     pub keep_alive_max_requests: usize,
-    /// Socket read timeout; an idle keep-alive connection is closed after
-    /// this long without bytes.
+    /// Idle deadline: a keep-alive connection with no request activity for
+    /// this long is closed (at the deadline in event mode, at the next tick
+    /// in tick mode). Also the stall budget for blocked response writes.
     pub read_timeout: Duration,
-    /// Read tick: how often a blocked worker wakes to poll the stop flag
-    /// (and the acceptor polls for new connections when idle). Bounds how
-    /// long a drain — and anything gated on one, like a router noticing a
-    /// shard went away — can lag behind the stop signal. Health-probe
-    /// traffic answers as fast as bytes arrive regardless; the tick only
-    /// quantizes *shutdown* responsiveness, which is why the cluster router
-    /// and its shards run with a few-millisecond tick instead of the 100ms
-    /// general-serving default.
+    /// Tick mode only: how often a blocked worker wakes to poll the stop
+    /// flag. Bounds how long a drain can lag behind the stop signal there;
+    /// event mode is deadline-driven and ignores it.
     pub read_tick: Duration,
+    /// Use the readiness loop where `poll(2)` is available; `false` forces
+    /// the portable tick fallback everywhere.
+    pub event_driven: bool,
+    /// Poller threads multiplexing parked connections (event mode).
+    pub pollers: usize,
+    /// Event mode: maximum simultaneously open connections; beyond this,
+    /// new connections are shed with a raw 503.
+    pub max_conns: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +99,9 @@ impl Default for ServerConfig {
             keep_alive_max_requests: 1024,
             read_timeout: Duration::from_secs(5),
             read_tick: Duration::from_millis(100),
+            event_driven: true,
+            pollers: 1,
+            max_conns: 4096,
         }
     }
 }
@@ -63,14 +110,14 @@ impl Default for ServerConfig {
 /// for any `Fn(&Request) -> Response`.
 pub trait Handler: Send + Sync + 'static {
     /// Handles one parsed request.
-    fn handle(&self, request: &Request) -> Response;
+    fn handle(&self, request: &Request<'_>) -> Response;
 }
 
 impl<F> Handler for F
 where
-    F: Fn(&Request) -> Response + Send + Sync + 'static,
+    F: Fn(&Request<'_>) -> Response + Send + Sync + 'static,
 {
-    fn handle(&self, request: &Request) -> Response {
+    fn handle(&self, request: &Request<'_>) -> Response {
         self(request)
     }
 }
@@ -78,19 +125,24 @@ where
 /// Point-in-time counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerStats {
-    /// Connections accepted and queued.
+    /// Connections accepted and admitted.
     pub accepted: u64,
-    /// Connections refused with a raw 503 because the queue was full.
+    /// Connections refused with a raw 503 (connection-level admission).
     pub conn_shed: u64,
     /// Requests fully served (any status).
     pub requests: u64,
     /// Connections dropped on a parse error (after the error response).
     pub parse_errors: u64,
-}
-
-struct ConnQueue {
-    conns: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
+    /// Connections currently open (admitted, not yet closed).
+    pub open: u64,
+    /// Buffer growth events on pooled connection scratch (parser buffer,
+    /// span table, output buffer). Flat in steady state — the
+    /// zero-allocation guarantee, measured.
+    pub buffer_allocs: u64,
+    /// Times a poller woke from `poll(2)` (event mode).
+    pub poller_wakeups: u64,
+    /// Connections a poller handed to the worker pool (event mode).
+    pub poller_dispatches: u64,
 }
 
 struct Counters {
@@ -98,71 +150,298 @@ struct Counters {
     conn_shed: AtomicU64,
     requests: AtomicU64,
     parse_errors: AtomicU64,
+    open: AtomicU64,
+    buffer_allocs: AtomicU64,
+    poller_wakeups: AtomicU64,
+    poller_dispatches: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            accepted: AtomicU64::new(0),
+            conn_shed: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            open: AtomicU64::new(0),
+            buffer_allocs: AtomicU64::new(0),
+            poller_wakeups: AtomicU64::new(0),
+            poller_dispatches: AtomicU64::new(0),
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Free-list of warmed per-connection scratch (parser + output buffer),
+/// shared by every connection so short-lived connections still reuse the
+/// capacity earlier ones grew.
+struct ScratchPool {
+    free: Mutex<Vec<(RequestParser, Vec<u8>)>>,
+    cap: usize,
+    limits: ParserLimits,
+}
+
+impl ScratchPool {
+    fn checkout(&self) -> (RequestParser, Vec<u8>) {
+        if let Some((mut parser, mut out)) = lock(&self.free).pop() {
+            parser.reset();
+            out.clear();
+            (parser, out)
+        } else {
+            (RequestParser::new(self.limits), Vec::new())
+        }
+    }
+
+    fn release(&self, parser: RequestParser, out: Vec<u8>) {
+        let mut free = lock(&self.free);
+        if free.len() < self.cap {
+            free.push((parser, out));
+        }
+    }
+}
+
+/// Everything a connection needs to give back on close.
+struct ConnShared {
+    pool: ScratchPool,
+    counters: Arc<Counters>,
+}
+
+/// One live connection with its pooled scratch. Dropping it closes the
+/// socket, returns the buffers to the pool, and decrements the open count —
+/// so every exit path (served-to-close, parse error, idle expiry, drain)
+/// cleans up identically.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    out: Vec<u8>,
+    /// Last observed output-buffer capacity, for allocation accounting.
+    out_cap: usize,
+    /// Parser allocation events already accounted.
+    alloc_mark: u64,
+    /// Requests served on this connection.
+    served: usize,
+    /// Last request-activity time: reset on socket reads *and* whenever a
+    /// request is served, so a client patiently waiting out slow responses
+    /// to already-buffered pipelined requests is never idle-closed
+    /// mid-conversation.
+    last_activity: Instant,
+    /// Poller index this connection parks at (event mode).
+    home: usize,
+    shared: Arc<ConnShared>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, home: usize, shared: Arc<ConnShared>) -> Conn {
+        let (parser, out) = shared.pool.checkout();
+        shared.counters.open.fetch_add(1, Ordering::Relaxed);
+        let out_cap = out.capacity();
+        let alloc_mark = parser.alloc_events();
+        Conn {
+            stream,
+            parser,
+            out,
+            out_cap,
+            alloc_mark,
+            served: 0,
+            last_activity: Instant::now(),
+            home,
+            shared,
+        }
+    }
+
+    /// Folds scratch growth since the last call into the shared counter.
+    fn account_allocs(&mut self) {
+        let mut delta = self.parser.alloc_events() - self.alloc_mark;
+        self.alloc_mark = self.parser.alloc_events();
+        if self.out.capacity() != self.out_cap {
+            delta += 1;
+            self.out_cap = self.out.capacity();
+        }
+        if delta > 0 {
+            self.shared.counters.buffer_allocs.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        self.shared.counters.open.fetch_sub(1, Ordering::Relaxed);
+        let parser =
+            std::mem::replace(&mut self.parser, RequestParser::new(ParserLimits::default()));
+        let out = std::mem::take(&mut self.out);
+        self.shared.pool.release(parser, out);
+    }
+}
+
+/// Ready-connection queue between pollers/acceptor and workers.
+struct DispatchQueue {
+    ready: Mutex<VecDeque<Conn>>,
+    available: Condvar,
+}
+
+impl DispatchQueue {
+    fn push(&self, conn: Conn) {
+        lock(&self.ready).push_back(conn);
+        self.available.notify_one();
+    }
+}
+
+/// Registration side of one poller thread: parked-connection inbox plus a
+/// self-wake socketpair so registrations and shutdown interrupt `poll(2)`
+/// immediately.
+#[cfg(unix)]
+struct Poller {
+    inbox: Mutex<Vec<Conn>>,
+    wake_tx: Mutex<std::os::unix::net::UnixStream>,
+}
+
+#[cfg(unix)]
+impl Poller {
+    fn park(&self, conn: Conn) {
+        lock(&self.inbox).push(conn);
+        self.wake();
+    }
+
+    fn wake(&self) {
+        // Nonblocking: a full wake pipe already guarantees a pending wakeup.
+        let _ = (&*lock(&self.wake_tx)).write(&[1u8]);
+    }
+}
+
+/// What a processing round decided about the connection's future.
+enum ConnFate {
+    /// Keep-alive, no more buffered bytes: park for readiness.
+    Park,
+    /// Close (served-to-close, EOF, error, or stall).
+    Close,
+}
+
+struct WorkerCtx {
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    dispatch: Arc<DispatchQueue>,
+    counters: Arc<Counters>,
+    handler: Arc<dyn Handler>,
+    /// Park targets; empty in tick mode.
+    #[cfg(unix)]
+    pollers: Vec<Arc<Poller>>,
 }
 
 /// A running server; see module docs.
 pub struct HttpServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    queue: Arc<ConnQueue>,
+    dispatch: Arc<DispatchQueue>,
     counters: Arc<Counters>,
+    event_driven: bool,
+    #[cfg(unix)]
+    pollers: Vec<Arc<Poller>>,
     acceptor: Mutex<Option<JoinHandle<()>>>,
+    poller_threads: Mutex<Vec<JoinHandle<()>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl HttpServer {
     /// Binds `addr` (use port 0 for an ephemeral port — read it back via
-    /// [`HttpServer::local_addr`]) and starts the acceptor + worker pool.
+    /// [`HttpServer::local_addr`]) and starts the acceptor, pollers (where
+    /// supported), and worker pool.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         config: ServerConfig,
         handler: Arc<dyn Handler>,
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
-        // Nonblocking so the acceptor can poll the stop flag between
-        // accepts instead of parking in the kernel forever.
+        // Nonblocking so the acceptor can wait for readiness (or tick) and
+        // still notice the stop flag, instead of parking in the kernel.
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let event = config.event_driven && poll::SUPPORTED && config.pollers > 0;
         let stop = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(ConnQueue {
-            conns: Mutex::new(VecDeque::new()),
+        let dispatch = Arc::new(DispatchQueue {
+            ready: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
         });
-        let counters = Arc::new(Counters {
-            accepted: AtomicU64::new(0),
-            conn_shed: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            parse_errors: AtomicU64::new(0),
+        let counters = Arc::new(Counters::new());
+        let shared = Arc::new(ConnShared {
+            pool: ScratchPool {
+                free: Mutex::new(Vec::new()),
+                cap: config.max_conns.clamp(64, 1024),
+                limits: config.limits,
+            },
+            counters: Arc::clone(&counters),
         });
+
+        #[cfg(unix)]
+        let mut pollers: Vec<Arc<Poller>> = Vec::new();
+        let mut poller_threads: Vec<JoinHandle<()>> = Vec::new();
+        #[cfg(unix)]
+        if event {
+            for i in 0..config.pollers {
+                let (wake_tx, wake_rx) = std::os::unix::net::UnixStream::pair()?;
+                wake_tx.set_nonblocking(true)?;
+                wake_rx.set_nonblocking(true)?;
+                let poller = Arc::new(Poller {
+                    inbox: Mutex::new(Vec::new()),
+                    wake_tx: Mutex::new(wake_tx),
+                });
+                pollers.push(Arc::clone(&poller));
+                let stop = Arc::clone(&stop);
+                let dispatch = Arc::clone(&dispatch);
+                let counters = Arc::clone(&counters);
+                let read_timeout = config.read_timeout;
+                poller_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("ce-server-poll-{i}"))
+                        .spawn(move || {
+                            poller_loop(poller, wake_rx, stop, dispatch, counters, read_timeout)
+                        })?,
+                );
+            }
+        }
 
         let acceptor = {
             let stop = Arc::clone(&stop);
-            let queue = Arc::clone(&queue);
+            let dispatch = Arc::clone(&dispatch);
             let counters = Arc::clone(&counters);
-            std::thread::Builder::new()
-                .name("ce-server-accept".into())
-                .spawn(move || accept_loop(listener, config, stop, queue, counters))?
+            let shared = Arc::clone(&shared);
+            let poller_count = if event { config.pollers } else { 0 };
+            std::thread::Builder::new().name("ce-server-accept".into()).spawn(move || {
+                accept_loop(listener, config, poller_count, stop, dispatch, counters, shared)
+            })?
         };
 
+        let ctx = Arc::new(WorkerCtx {
+            config,
+            stop: Arc::clone(&stop),
+            dispatch: Arc::clone(&dispatch),
+            counters: Arc::clone(&counters),
+            handler,
+            #[cfg(unix)]
+            pollers: if event { pollers.clone() } else { Vec::new() },
+        });
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
-            let stop = Arc::clone(&stop);
-            let queue = Arc::clone(&queue);
-            let counters = Arc::clone(&counters);
-            let handler = Arc::clone(&handler);
+            let ctx = Arc::clone(&ctx);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ce-server-worker-{i}"))
-                    .spawn(move || worker_loop(config, stop, queue, counters, handler))?,
+                    .spawn(move || worker_loop(&ctx))?,
             );
         }
 
         Ok(HttpServer {
             local_addr,
             stop,
-            queue,
+            dispatch,
             counters,
+            event_driven: event,
+            #[cfg(unix)]
+            pollers,
             acceptor: Mutex::new(Some(acceptor)),
+            poller_threads: Mutex::new(poller_threads),
             workers: Mutex::new(workers),
         })
     }
@@ -172,6 +451,11 @@ impl HttpServer {
         self.local_addr
     }
 
+    /// Whether the readiness loop is active (`false` = tick fallback).
+    pub fn event_driven(&self) -> bool {
+        self.event_driven
+    }
+
     /// Point-in-time counters.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
@@ -179,22 +463,37 @@ impl HttpServer {
             conn_shed: self.counters.conn_shed.load(Ordering::Relaxed),
             requests: self.counters.requests.load(Ordering::Relaxed),
             parse_errors: self.counters.parse_errors.load(Ordering::Relaxed),
+            open: self.counters.open.load(Ordering::Relaxed),
+            buffer_allocs: self.counters.buffer_allocs.load(Ordering::Relaxed),
+            poller_wakeups: self.counters.poller_wakeups.load(Ordering::Relaxed),
+            poller_dispatches: self.counters.poller_dispatches.load(Ordering::Relaxed),
         }
     }
 
-    /// Graceful drain: stop accepting, finish queued + in-flight requests
-    /// (responses carry `Connection: close`), join all threads. Idempotent;
-    /// blocks until the drain completes.
+    /// Graceful drain: stop accepting, close parked idle connections at the
+    /// pollers, finish queued + in-flight requests (responses carry
+    /// `Connection: close`), join all threads. Idempotent; blocks until the
+    /// drain completes.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        self.queue.available.notify_all();
-        if let Some(handle) =
-            self.acceptor.lock().unwrap_or_else(|e| e.into_inner()).take()
+        #[cfg(unix)]
+        for poller in &self.pollers {
+            poller.wake();
+        }
         {
+            // Hold the queue lock while notifying so no worker can slip
+            // between its stop check and its wait.
+            let _guard = lock(&self.dispatch.ready);
+            self.dispatch.available.notify_all();
+        }
+        if let Some(handle) = lock(&self.acceptor).take() {
             let _ = handle.join();
         }
-        let workers: Vec<JoinHandle<()>> =
-            self.workers.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+        let poller_threads: Vec<JoinHandle<()>> = lock(&self.poller_threads).drain(..).collect();
+        for handle in poller_threads {
+            let _ = handle.join();
+        }
+        let workers: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
         for handle in workers {
             let _ = handle.join();
         }
@@ -210,35 +509,75 @@ impl Drop for HttpServer {
 fn accept_loop(
     listener: TcpListener,
     config: ServerConfig,
+    poller_count: usize,
     stop: Arc<AtomicBool>,
-    queue: Arc<ConnQueue>,
+    dispatch: Arc<DispatchQueue>,
     counters: Arc<Counters>,
+    shared: Arc<ConnShared>,
 ) {
+    let event = poller_count > 0;
+    let mut next_home = 0usize;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let mut conns = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
-                if conns.len() >= config.conn_queue {
-                    drop(conns);
-                    counters.conn_shed.fetch_add(1, Ordering::Relaxed);
-                    shed_connection(stream);
-                    continue;
+                if event {
+                    if counters.open.load(Ordering::Relaxed) >= config.max_conns as u64 {
+                        counters.conn_shed.fetch_add(1, Ordering::Relaxed);
+                        shed_connection(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let home = next_home;
+                    next_home = (next_home + 1) % poller_count;
+                    counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    // Straight to a worker: the request bytes are usually
+                    // right behind the SYN, and a nonblocking first read is
+                    // cheap if they are not (the worker parks it).
+                    dispatch.push(Conn::new(stream, home, Arc::clone(&shared)));
+                } else {
+                    let mut ready = lock(&dispatch.ready);
+                    if ready.len() >= config.conn_queue {
+                        drop(ready);
+                        counters.conn_shed.fetch_add(1, Ordering::Relaxed);
+                        shed_connection(stream);
+                        continue;
+                    }
+                    counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    ready.push_back(Conn::new(stream, 0, Arc::clone(&shared)));
+                    drop(ready);
+                    dispatch.available.notify_one();
                 }
-                conns.push_back(stream);
-                counters.accepted.fetch_add(1, Ordering::Relaxed);
-                drop(conns);
-                queue.available.notify_one();
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(accept_idle(&config));
+                accept_wait(&listener, &config, event);
             }
             Err(_) => {
                 // Transient accept errors (ECONNABORTED etc.): back off
                 // briefly and keep serving.
-                std::thread::sleep(accept_idle(&config));
+                accept_wait(&listener, &config, event);
             }
         }
     }
+}
+
+/// Waits for the listener to (probably) have a connection: readiness-based
+/// in event mode, a capped sleep otherwise. Bounded so the stop flag is
+/// re-checked promptly either way.
+fn accept_wait(listener: &TcpListener, config: &ServerConfig, event: bool) {
+    let idle = accept_idle(config);
+    #[cfg(unix)]
+    if event {
+        use std::os::fd::AsRawFd;
+        let mut fds = [poll::PollFd::new(listener.as_raw_fd(), poll::POLLIN)];
+        if poll::wait(&mut fds, idle).is_ok() {
+            return;
+        }
+    }
+    let _ = (listener, event);
+    std::thread::sleep(idle);
 }
 
 /// Idle accept-poll interval: the configured read tick, capped at 10ms so a
@@ -250,6 +589,7 @@ fn accept_idle(config: &ServerConfig) -> Duration {
 /// Answers an over-quota connection with a raw 503 and closes it. Best
 /// effort — the peer may already be gone.
 fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let _ = stream.write_all(
         Response::new(503)
@@ -260,102 +600,261 @@ fn shed_connection(mut stream: TcpStream) {
     let _ = stream.flush();
 }
 
-fn worker_loop(
-    config: ServerConfig,
+/// The readiness loop: multiplexes parked connections through one `poll(2)`
+/// set, expiring idle ones at their deadline and dispatching readable ones
+/// to the workers.
+#[cfg(unix)]
+fn poller_loop(
+    poller: Arc<Poller>,
+    wake_rx: std::os::unix::net::UnixStream,
     stop: Arc<AtomicBool>,
-    queue: Arc<ConnQueue>,
+    dispatch: Arc<DispatchQueue>,
     counters: Arc<Counters>,
-    handler: Arc<dyn Handler>,
+    read_timeout: Duration,
 ) {
+    use std::os::fd::AsRawFd;
+    let tm_wakeups = ce_telemetry::counter("server.poller_wakeups");
+    let tm_dispatches = ce_telemetry::counter("server.poller_dispatches");
+    let mut parked: Vec<Conn> = Vec::new();
+    let mut fds: Vec<poll::PollFd> = Vec::new();
     loop {
-        let stream = {
-            let mut conns = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
-            loop {
-                if let Some(stream) = conns.pop_front() {
-                    break Some(stream);
-                }
-                // Drain semantics: exit only once stopped AND the queue is
-                // empty, so accepted connections are always served.
-                if stop.load(Ordering::SeqCst) {
-                    break None;
-                }
-                conns = queue.available.wait(conns).unwrap_or_else(|e| e.into_inner());
+        parked.append(&mut lock(&poller.inbox));
+        if stop.load(Ordering::SeqCst) {
+            // Drain: parked connections are idle *between* requests, so
+            // closing them here loses nothing; in-flight ones finish at the
+            // workers with `Connection: close`.
+            parked.clear();
+            lock(&poller.inbox).clear();
+            return;
+        }
+
+        // Expire idle connections and find the nearest remaining deadline.
+        let now = Instant::now();
+        let mut next_deadline = read_timeout;
+        let mut i = 0;
+        while i < parked.len() {
+            let idle = now.duration_since(parked[i].last_activity);
+            if idle >= read_timeout {
+                drop(parked.swap_remove(i));
+            } else {
+                next_deadline = next_deadline.min(read_timeout - idle);
+                i += 1;
             }
-        };
-        let Some(stream) = stream else { return };
-        serve_connection(stream, &config, &stop, &counters, handler.as_ref());
+        }
+
+        fds.clear();
+        fds.push(poll::PollFd::new(wake_rx.as_raw_fd(), poll::POLLIN));
+        for conn in &parked {
+            fds.push(poll::PollFd::new(conn.stream.as_raw_fd(), poll::POLLIN));
+        }
+        // Cap the sleep so a missed wake can never stall the loop for long.
+        let timeout = next_deadline.min(Duration::from_secs(1));
+        if poll::wait(&mut fds, timeout).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        counters.poller_wakeups.fetch_add(1, Ordering::Relaxed);
+        tm_wakeups.inc();
+
+        if fds[0].ready() {
+            let mut scratch = [0u8; 64];
+            while matches!((&wake_rx).read(&mut scratch), Ok(n) if n > 0) {}
+        }
+        let mut dispatched = 0u64;
+        for idx in (0..parked.len()).rev() {
+            if fds[idx + 1].ready() {
+                dispatch.push(parked.swap_remove(idx));
+                dispatched += 1;
+            }
+        }
+        if dispatched > 0 {
+            counters.poller_dispatches.fetch_add(dispatched, Ordering::Relaxed);
+            tm_dispatches.add(dispatched);
+        }
     }
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
-    config: &ServerConfig,
-    stop: &AtomicBool,
-    counters: &Counters,
-    handler: &dyn Handler,
-) {
-    // Short read ticks let the worker notice the stop flag promptly while
-    // still honoring the configured idle timeout across ticks.
+fn worker_loop(ctx: &WorkerCtx) {
+    loop {
+        let conn = {
+            let mut ready = lock(&ctx.dispatch.ready);
+            loop {
+                if let Some(conn) = ready.pop_front() {
+                    break Some(conn);
+                }
+                // Drain semantics: exit only once stopped AND the queue is
+                // empty, so dispatched connections are always served.
+                if ctx.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                ready = ctx.dispatch.available.wait(ready).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(mut conn) = conn else { return };
+        #[cfg(unix)]
+        if !ctx.pollers.is_empty() {
+            loop {
+                let fate = drive(&mut conn, ctx);
+                conn.account_allocs();
+                if !matches!(fate, ConnFate::Park) || ctx.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Hot-connection linger: when every open connection can
+                // have a dedicated worker and no dispatched work is
+                // waiting, a request-response peer's next request is
+                // usually one RTT away — wait for it right here and skip
+                // the park → poller wakeup → re-dispatch round-trip (two
+                // thread handoffs per request). The wait sleeps in
+                // poll(2), so it costs no CPU, and it is skipped the
+                // moment connections outnumber workers or the dispatch
+                // queue has work for this thread.
+                if linger_for_next_request(&conn, ctx) {
+                    continue;
+                }
+                let home = conn.home;
+                ctx.pollers[home].park(conn);
+                break;
+            }
+            continue;
+        }
+        serve_connection_tick(conn, ctx);
+    }
+}
+
+/// See the call site: `true` means the connection became readable within the
+/// linger window and the worker should drive it again instead of parking.
+#[cfg(unix)]
+fn linger_for_next_request(conn: &Conn, ctx: &WorkerCtx) -> bool {
+    use std::os::fd::AsRawFd;
+    let crowded = ctx.counters.open.load(Ordering::Relaxed) > ctx.config.workers.max(1) as u64;
+    if crowded || !lock(&ctx.dispatch.ready).is_empty() {
+        return false;
+    }
+    let mut fds = [poll::PollFd::new(conn.stream.as_raw_fd(), poll::POLLIN)];
+    matches!(poll::wait(&mut fds, LINGER), Ok(n) if n > 0 && fds[0].ready())
+}
+
+/// How long a worker waits on a hot connection before handing it to the
+/// poller. One scheduler tick of poll(2) granularity: long enough for a
+/// loopback/LAN peer to send its next request, short enough that a newly
+/// idle connection reaches the poller (and the idle clock) promptly.
+#[cfg(unix)]
+const LINGER: Duration = Duration::from_millis(1);
+
+/// Tick fallback: the worker owns the (blocking) connection for its whole
+/// life, re-reading on a short timeout so stop/idle are noticed within a
+/// tick. Same request engine as event mode — only the waiting differs.
+fn serve_connection_tick(mut conn: Conn, ctx: &WorkerCtx) {
+    let config = &ctx.config;
     let tick = config
         .read_tick
         .max(Duration::from_millis(1))
         .min(config.read_timeout.max(Duration::from_millis(1)));
-    let _ = stream.set_read_timeout(Some(tick));
-    let _ = stream.set_write_timeout(Some(config.read_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut parser = RequestParser::new(config.limits);
-    let mut buf = [0u8; 16 * 1024];
-    let mut served = 0usize;
-    let mut idle_since = std::time::Instant::now();
+    let _ = conn.stream.set_read_timeout(Some(tick));
+    let _ = conn.stream.set_write_timeout(Some(config.read_timeout));
+    let _ = conn.stream.set_nodelay(true);
     loop {
-        // Drain anything already buffered (pipelined requests) before
-        // touching the socket again.
-        loop {
-            match parser.next_request() {
-                Ok(Some(request)) => {
-                    let response = handler.handle(&request);
-                    served += 1;
-                    let keep = request.keep_alive()
-                        && served < config.keep_alive_max_requests
-                        && !stop.load(Ordering::SeqCst);
-                    counters.requests.fetch_add(1, Ordering::Relaxed);
-                    if stream.write_all(&response.serialize(keep)).is_err() {
-                        return;
-                    }
-                    if !keep {
-                        let _ = stream.flush();
-                        return;
-                    }
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    counters.parse_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = stream.write_all(&Response::new(e.status()).serialize(false));
-                    let _ = stream.flush();
-                    return;
-                }
-            }
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => return, // peer closed
-            Ok(n) => {
-                parser.push(&buf[..n]);
-                idle_since = std::time::Instant::now();
-            }
-            Err(e)
-                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-            {
+        let fate = drive(&mut conn, ctx);
+        conn.account_allocs();
+        match fate {
+            ConnFate::Close => return,
+            ConnFate::Park => {
                 // No bytes this tick: close once stopping (drain) or once
                 // the connection has idled past the full read timeout.
-                if stop.load(Ordering::SeqCst)
-                    || idle_since.elapsed() >= config.read_timeout
+                if ctx.stop.load(Ordering::SeqCst)
+                    || conn.last_activity.elapsed() >= config.read_timeout
                 {
                     return;
                 }
             }
-            Err(_) => return,
         }
     }
+}
+
+/// One processing round: serve every buffered request (responses batched
+/// into the pooled output buffer, flushed in as few writes as possible),
+/// then read until the socket has nothing more.
+fn drive(conn: &mut Conn, ctx: &WorkerCtx) -> ConnFate {
+    let config = &ctx.config;
+    loop {
+        // Drain anything already buffered (pipelined requests) before
+        // touching the socket again.
+        loop {
+            match conn.parser.next_request() {
+                Ok(Some(request)) => {
+                    let response = ctx.handler.handle(&request);
+                    conn.served += 1;
+                    let keep = request.keep_alive()
+                        && conn.served < config.keep_alive_max_requests
+                        && !ctx.stop.load(Ordering::SeqCst);
+                    ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    response.serialize_into(keep, &mut conn.out);
+                    // Serving counts as activity: a client draining our
+                    // responses must not be idle-closed mid-conversation.
+                    conn.last_activity = Instant::now();
+                    if !keep {
+                        let _ = flush_out(conn, config);
+                        return ConnFate::Close;
+                    }
+                    if conn.out.len() >= 64 * 1024 && !flush_out(conn, config) {
+                        return ConnFate::Close;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    ctx.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    Response::new(e.status()).serialize_into(false, &mut conn.out);
+                    let _ = flush_out(conn, config);
+                    return ConnFate::Close;
+                }
+            }
+        }
+        if !conn.out.is_empty() && !flush_out(conn, config) {
+            return ConnFate::Close;
+        }
+        match conn.parser.fill_from(&mut conn.stream) {
+            Ok(0) => return ConnFate::Close, // peer closed
+            Ok(_) => conn.last_activity = Instant::now(),
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                return ConnFate::Park;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ConnFate::Close,
+        }
+    }
+}
+
+/// Writes the whole output buffer, riding out `WouldBlock` via writability
+/// waits bounded by the stall budget. `false` = connection is unusable.
+fn flush_out(conn: &mut Conn, config: &ServerConfig) -> bool {
+    let mut off = 0;
+    while off < conn.out.len() {
+        match conn.stream.write(&conn.out[off..]) {
+            Ok(0) => return false,
+            Ok(n) => off += n,
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                #[cfg(unix)]
+                {
+                    use std::os::fd::AsRawFd;
+                    match poll::wait_writable(conn.stream.as_raw_fd(), config.read_timeout) {
+                        Ok(true) => continue,
+                        _ => return false,
+                    }
+                }
+                #[cfg(not(unix))]
+                return false;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    conn.out.clear();
+    let _ = config;
+    true
 }
 
 #[cfg(test)]
@@ -368,9 +867,9 @@ mod tests {
             "127.0.0.1:0",
             config,
             Arc::new(|req: &Request| {
-                match (req.method.as_str(), req.path()) {
+                match (req.method, req.path()) {
                     ("GET", "/healthz") => Response::text(200, "ok"),
-                    ("POST", "/echo") => Response::json(200, req.body.clone()),
+                    ("POST", "/echo") => Response::json(200, req.body),
                     _ => Response::text(404, "not found"),
                 }
             }),
@@ -378,9 +877,37 @@ mod tests {
         .expect("bind")
     }
 
+    fn tick_config() -> ServerConfig {
+        ServerConfig { event_driven: false, ..ServerConfig::default() }
+    }
+
+    /// Manual latency probe (`cargo test -p ce-server --release -- --ignored
+    /// --nocapture raw_round_trip`): isolates the HTTP-stack cost of one
+    /// keep-alive round-trip from any handler/application work.
+    #[test]
+    #[ignore]
+    fn raw_round_trip_latency_probe() {
+        let server =
+            echo_server(ServerConfig { keep_alive_max_requests: usize::MAX, ..Default::default() });
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let body = vec![b'x'; 512];
+        for _ in 0..500 {
+            client.post("/echo", &body).unwrap();
+        }
+        let n = 5000u32;
+        let t = Instant::now();
+        for _ in 0..n {
+            client.post("/echo", &body).unwrap();
+        }
+        let per = t.elapsed() / n;
+        println!("raw HTTP round-trip: {per:?} ({n} reqs, 512B body)");
+        server.shutdown();
+    }
+
     #[test]
     fn serves_get_and_post_over_keep_alive() {
         let server = echo_server(ServerConfig::default());
+        assert_eq!(server.event_driven(), poll::SUPPORTED);
         let mut client = HttpClient::connect(server.local_addr()).unwrap();
         let resp = client.get("/healthz").unwrap();
         assert_eq!(resp.status, 200);
@@ -391,6 +918,36 @@ mod tests {
         assert_eq!(resp.body, b"{\"x\":1}");
         let resp = client.get("/nope").unwrap();
         assert_eq!(resp.status, 404);
+        assert_eq!(server.stats().requests, 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn large_bodies_round_trip_across_fill_chunks() {
+        // A body far larger than one FILL_CHUNK read: the request spans many
+        // readiness cycles and the response spans multiple socket writes.
+        let server = echo_server(ServerConfig::default());
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let body: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        for round in 0..2 {
+            let resp = client.post("/echo", &body).unwrap();
+            assert_eq!(resp.status, 200, "round {round}");
+            assert_eq!(resp.body, body, "round {round}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn tick_fallback_serves_identically() {
+        let server = echo_server(tick_config());
+        assert!(!server.event_driven());
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        for i in 0..3 {
+            let body = format!("{{\"i\":{i}}}");
+            let resp = client.post("/echo", body.as_bytes()).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, body.as_bytes());
+        }
         assert_eq!(server.stats().requests, 3);
         server.shutdown();
     }
@@ -446,18 +1003,74 @@ mod tests {
     }
 
     #[test]
+    fn drain_with_idle_parked_connections_is_prompt() {
+        let server = echo_server(ServerConfig::default());
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        // The connection is idle keep-alive (parked in the poller in event
+        // mode); the drain must not wait out the 5s read timeout.
+        let t = Instant::now();
+        server.shutdown();
+        assert!(t.elapsed() < Duration::from_millis(500), "drain lagged: {:?}", t.elapsed());
+    }
+
+    #[test]
     fn small_read_tick_drains_idle_connections_promptly() {
         let server = echo_server(ServerConfig {
             read_tick: Duration::from_millis(2),
-            ..ServerConfig::default()
+            ..tick_config()
         });
         let mut client = HttpClient::connect(server.local_addr()).unwrap();
         assert_eq!(client.get("/healthz").unwrap().status, 200);
         // The connection is idle keep-alive; with a 2ms tick the worker
         // notices the stop flag long before the 100ms default would.
-        let t = std::time::Instant::now();
+        let t = Instant::now();
         server.shutdown();
         assert!(t.elapsed() < Duration::from_millis(500), "drain lagged: {:?}", t.elapsed());
+    }
+
+    #[test]
+    fn idle_clock_resets_when_requests_are_served() {
+        // Regression: a keep-alive client that keeps a request/response
+        // conversation going, with per-exchange gaps just under the idle
+        // timeout, must never be idle-closed — serving is activity too.
+        let server = echo_server(ServerConfig {
+            read_timeout: Duration::from_millis(150),
+            read_tick: Duration::from_millis(5),
+            ..ServerConfig::default()
+        });
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(100)); // under the idle deadline
+            let resp = client.get("/healthz").expect("connection stayed open");
+            assert_eq!(resp.status, 200);
+        }
+        // And past the deadline the server *does* close it.
+        std::thread::sleep(Duration::from_millis(400));
+        let gone = client.get("/healthz").is_err();
+        assert!(gone, "idle connection should have been reaped");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pooled_connections_serve_without_allocating() {
+        let server = echo_server(ServerConfig::default());
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let body = vec![b'q'; 512];
+        // Warm-up: grow every pooled buffer to its high-water mark.
+        for _ in 0..20 {
+            assert_eq!(client.post("/echo", &body).unwrap().status, 200);
+        }
+        let warmed = server.stats().buffer_allocs;
+        for _ in 0..200 {
+            assert_eq!(client.post("/echo", &body).unwrap().status, 200);
+        }
+        let after = server.stats().buffer_allocs;
+        assert_eq!(
+            after, warmed,
+            "steady-state keep-alive serving must not grow any buffer"
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -365,6 +365,10 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> SelfHealingService<M, S> {
                         coverage: self.service.coverage_monitor().coverage(),
                     });
                     ce_telemetry::counter("heal.alarm").inc();
+                    ce_telemetry::trace::anomaly(
+                        "coverage_alarm",
+                        &format!("coverage {:.4}", self.service.coverage_monitor().coverage()),
+                    );
                     self.publish_state();
                 }
             }
@@ -417,6 +421,10 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> SelfHealingService<M, S> {
                 candidate_delta: candidate,
             });
             ce_telemetry::counter("heal.promoted").inc();
+            ce_telemetry::trace::event(
+                "recalibration_promoted",
+                &format!("shadow coverage {shadow_coverage:.4}"),
+            );
         } else {
             let reason = if width_ok {
                 HealReason::ShadowCoverageLow
@@ -436,6 +444,10 @@ impl<M: Regressor + Clone, S: ScoreFunction + Clone> SelfHealingService<M, S> {
                 cooldown_until: self.cooldown_until,
             });
             ce_telemetry::counter("heal.rolled_back").inc();
+            ce_telemetry::trace::event(
+                "recalibration_rolled_back",
+                &format!("shadow coverage {shadow_coverage:.4}"),
+            );
         }
         self.gathered.clear();
         self.publish_state();

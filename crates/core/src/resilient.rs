@@ -683,6 +683,7 @@ impl ResilientService {
                 Ok(interval) => {
                     if entry.breaker.record_success() {
                         ce_telemetry::counter("resilient.breaker_close").inc();
+                        ce_telemetry::trace::event("breaker_close", entry.estimator.name());
                     }
                     self.stats.answered += 1;
                     self.stats.served_by[position] += 1;
@@ -698,6 +699,7 @@ impl ResilientService {
             if entry.breaker.record_failure(now, &self.breaker_config) {
                 self.stats.breaker_trips += 1;
                 ce_telemetry::counter("resilient.breaker_open").inc();
+                ce_telemetry::trace::anomaly("breaker_open", entry.estimator.name());
             }
         }
         let tried = errors.len();
@@ -862,6 +864,7 @@ impl ResilientService {
                     self.fold_report(&report);
                     if self.chain[position].breaker.record_success() {
                         ce_telemetry::counter("resilient.breaker_close").inc();
+                        ce_telemetry::trace::event("breaker_close", self.chain[position].estimator.name());
                     }
                     self.stats.answered += 1;
                     self.stats.served_by[position] += 1;
@@ -914,6 +917,7 @@ impl ResilientService {
             if self.chain[position].breaker.record_failure(now, &config) {
                 self.stats.breaker_trips += 1;
                 ce_telemetry::counter("resilient.breaker_open").inc();
+                ce_telemetry::trace::anomaly("breaker_open", self.chain[position].estimator.name());
             }
         }
     }

@@ -352,6 +352,10 @@ struct ServeOptions {
     pollers: usize,
     /// Couple CoverageMonitor alarms to the Drifted-mode switch.
     alarm_coupled: bool,
+    /// Trace head-sampling rate (HTTP mode): trace one request in N. 0
+    /// disables tracing, 1 traces everything; anomalies trace everything
+    /// for a window regardless.
+    trace_sample: u64,
 }
 
 /// Outcome of parsing `serve` arguments: run, or print usage and stop.
@@ -365,7 +369,7 @@ const SERVE_USAGE: &str = "usage: cardest-cli serve [--dataset dmv|census|forest
 [--rows N] [--queries N] [--stream N] [--checkpoint PATH] \
 [--checkpoint-every N] [--drift-at N] [--resume] [--listen ADDR] \
 [--workers N] [--queue N] [--max-batch N] [--batch-window-us N] \
-[--read-tick-ms N] [--pollers N] [--alarm-coupled]\n\n\
+[--read-tick-ms N] [--pollers N] [--trace-sample N] [--alarm-coupled]\n\n\
 Runs the self-healing PI service with periodic durable checkpoints. \
 Without --listen: a prequential text loop whose truths shift by +0.5 from \
 --drift-at (default stream/2) onward so the drift alarm and shadow-validated \
@@ -399,6 +403,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         read_tick_ms: 10,
         pollers: 1,
         alarm_coupled: false,
+        trace_sample: ce_telemetry::trace::DEFAULT_SAMPLE_RATE,
     };
     let mut i = 0;
     while i < args.len() {
@@ -425,6 +430,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             }
             "--read-tick-ms" => opts.read_tick_ms = number("--read-tick-ms", value(i)?)?,
             "--pollers" => opts.pollers = number("--pollers", value(i)?)?,
+            "--trace-sample" => opts.trace_sample = number("--trace-sample", value(i)?)?,
             "--resume" => {
                 opts.resume = true;
                 i += 1;
@@ -663,6 +669,7 @@ fn run_serve_http<M>(
         }
     }
     ce_telemetry::set_enabled(true);
+    ce_telemetry::trace::set_sample_rate(opts.trace_sample);
     let http_config = HttpServeConfig {
         workers: opts.workers,
         conn_queue: opts.queue.max(16),
@@ -688,7 +695,11 @@ fn run_serve_http<M>(
         opts.max_batch,
         opts.batch_window_us,
     );
-    eprintln!("endpoints: POST /v1/predict, GET /metrics, GET /healthz, GET /readyz");
+    eprintln!(
+        "endpoints: POST /v1/predict, GET /metrics, GET /debug/trace, \
+         GET /healthz, GET /readyz (trace sampling 1 in {})",
+        opts.trace_sample,
+    );
 
     let mut last_checkpoint_obs = engine.observations();
     while !SHUTDOWN.load(Ordering::SeqCst) {
@@ -812,6 +823,9 @@ struct RouteOptions {
     probe_interval_ms: u64,
     fail_threshold: u32,
     recover_threshold: u32,
+    /// Trace head-sampling rate: trace one routed request in N (0 off,
+    /// 1 everything).
+    trace_sample: u64,
 }
 
 /// Outcome of parsing `route` arguments: run, or print usage and stop.
@@ -823,7 +837,8 @@ enum RouteArgs {
 
 const ROUTE_USAGE: &str = "usage: cardest-cli route --shard NAME=ADDR [--shard NAME=ADDR ...] \
 [--listen ADDR] [--vnodes N] [--workers N] [--retry-budget N] [--deadline-ms N] \
-[--probe-interval-ms N] [--fail-threshold N] [--recover-threshold N]\n\n\
+[--probe-interval-ms N] [--fail-threshold N] [--recover-threshold N] \
+[--trace-sample N]\n\n\
 Fronts a fleet of shared-nothing `serve --listen` shards with a \
 consistent-hash router: each predict request's body hashes to a signature \
 that pins it to one shard, a background prober ejects shards after \
@@ -846,6 +861,7 @@ fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
         probe_interval_ms: 50,
         fail_threshold: 3,
         recover_threshold: 2,
+        trace_sample: ce_telemetry::trace::DEFAULT_SAMPLE_RATE,
     };
     let mut i = 0;
     while i < args.len() {
@@ -884,6 +900,7 @@ fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
             "--recover-threshold" => {
                 opts.recover_threshold = number("--recover-threshold", value(i)?)?
             }
+            "--trace-sample" => opts.trace_sample = number("--trace-sample", value(i)?)?,
             "--help" | "-h" => return Ok(RouteArgs::Help),
             other => return Err(format!("unknown route flag {other} (try route --help)")),
         }
@@ -921,6 +938,7 @@ fn run_route(args: &[String]) {
     };
     install_signal_handlers();
     ce_telemetry::set_enabled(true);
+    ce_telemetry::trace::set_sample_rate(opts.trace_sample);
     let config = cardest::router::ClusterRouterConfig {
         workers: opts.workers,
         vnodes: opts.vnodes,
@@ -985,10 +1003,194 @@ fn run_route(args: &[String]) {
     ce_telemetry::set_enabled(false);
 }
 
+/// Options for the `trace` subcommand.
+#[cfg_attr(test, derive(Debug))]
+struct TraceOptions {
+    addr: String,
+    json: bool,
+}
+
+/// Outcome of parsing `trace` arguments: run, or print usage and stop.
+#[cfg_attr(test, derive(Debug))]
+enum TraceArgs {
+    Help,
+    Run(TraceOptions),
+}
+
+const TRACE_USAGE: &str = "usage: cardest-cli trace [--addr HOST:PORT] [--json]\n\n\
+Fetches GET /debug/trace from a running `serve --listen` shard or `route` \
+router and pretty-prints the flight recorder: the last traced requests with \
+per-stage latency attribution (park, dispatch, queue, window, infer, write, \
+route, network ...) and the structured event log (breaker transitions, \
+coverage alarms, shard ejections, sheds). --json dumps the raw snapshot \
+instead.";
+
+/// Pure argument parser for `trace`; same contract as the other subcommand
+/// parsers — every problem is an `Err`.
+fn parse_trace_args(args: &[String]) -> Result<TraceArgs, String> {
+    let mut opts = TraceOptions { addr: "127.0.0.1:8600".to_string(), json: false };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                opts.addr = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| "missing value for --addr".to_string())?;
+                i += 2;
+            }
+            "--json" => {
+                opts.json = true;
+                i += 1;
+            }
+            "--help" | "-h" => return Ok(TraceArgs::Help),
+            other => return Err(format!("unknown trace flag {other} (try trace --help)")),
+        }
+    }
+    Ok(TraceArgs::Run(opts))
+}
+
+/// Renders nanoseconds as a human-scaled duration.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Pretty-prints one `/debug/trace` snapshot; falls back to raw text when
+/// the body is not the expected shape (e.g. a future schema).
+fn print_trace_snapshot(text: &str) -> Result<(), serde_json::Error> {
+    let value = serde_json::parse(text)?;
+    let rate = value.field("sample_rate")?.as_f64()? as u64;
+    match rate {
+        0 => println!("flight recorder (tracing off; anomalies still sample)"),
+        1 => println!("flight recorder (tracing every request)"),
+        n => println!("flight recorder (sampling 1 in {n})"),
+    }
+    let serde_json::Value::Array(traces) = value.field("traces")? else {
+        return Err(serde_json::Error::new("`traces` is not an array"));
+    };
+    println!("traces ({}, oldest first):", traces.len());
+    for t in traces {
+        let id = match t.field("trace")? {
+            serde_json::Value::Str(s) => s.clone(),
+            _ => "?".to_string(),
+        };
+        let total = t.field("total_ns")?.as_f64()?;
+        let serde_json::Value::Array(stages) = t.field("stages")? else {
+            continue;
+        };
+        let mut parts = Vec::with_capacity(stages.len());
+        // Sum only the transport stages: span-joined stages (pi_batch, …)
+        // nest inside `infer` and would double-count the wall clock.
+        let mut accounted = 0.0;
+        for s in stages {
+            let name = match s.field("stage")? {
+                serde_json::Value::Str(s) => s.clone(),
+                _ => "?".to_string(),
+            };
+            let ns = s.field("ns")?.as_f64()?;
+            if ce_telemetry::trace::TRANSPORT_STAGES.contains(&name.as_str()) {
+                accounted += ns;
+            }
+            parts.push(format!("{name} {}", fmt_ns(ns)));
+        }
+        println!(
+            "  {id}  total {} ({} attributed): {}",
+            fmt_ns(total),
+            fmt_ns(accounted),
+            if parts.is_empty() { "-".to_string() } else { parts.join(", ") },
+        );
+    }
+    let serde_json::Value::Array(events) = value.field("events")? else {
+        return Err(serde_json::Error::new("`events` is not an array"));
+    };
+    println!("events ({}, oldest first):", events.len());
+    for e in events {
+        let at_s = e.field("at_ns")?.as_f64()? / 1e9;
+        let kind = match e.field("kind")? {
+            serde_json::Value::Str(s) => s.clone(),
+            _ => "?".to_string(),
+        };
+        let anomaly = matches!(e.field("anomaly")?, serde_json::Value::Bool(true));
+        let detail = match e.field("detail")? {
+            serde_json::Value::Str(s) => s.clone(),
+            _ => String::new(),
+        };
+        println!(
+            "  [+{at_s:.3}s] {kind}{}{}{}",
+            if anomaly { " (ANOMALY)" } else { "" },
+            if detail.is_empty() { "" } else { ": " },
+            detail,
+        );
+    }
+    Ok(())
+}
+
+/// `cardest-cli trace`: fetch and render a running server's flight recorder.
+fn run_trace(args: &[String]) {
+    let opts = match parse_trace_args(args) {
+        Ok(TraceArgs::Run(opts)) => opts,
+        Ok(TraceArgs::Help) => {
+            println!("{TRACE_USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{TRACE_USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let addr: std::net::SocketAddr = match opts.addr.parse() {
+        Ok(addr) => addr,
+        Err(_) => {
+            eprintln!("--addr must be HOST:PORT, got `{}`", opts.addr);
+            std::process::exit(2);
+        }
+    };
+    let mut client = match cardest::server::HttpClient::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let resp = match client.get("/debug/trace") {
+        Ok(resp) => resp,
+        Err(e) => {
+            eprintln!("GET /debug/trace failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if resp.status != 200 {
+        eprintln!("GET /debug/trace answered {}", resp.status);
+        std::process::exit(1);
+    }
+    let text = String::from_utf8_lossy(&resp.body);
+    if opts.json {
+        println!("{text}");
+        return;
+    }
+    if let Err(e) = print_trace_snapshot(&text) {
+        eprintln!("unexpected snapshot shape ({e}); raw body:");
+        println!("{text}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("stats") {
         run_stats(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        run_trace(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("serve") {
@@ -1257,6 +1459,47 @@ mod tests {
         assert_eq!(opts.batch_window_us, 250);
         assert!(opts.alarm_coupled);
         assert!(opts.resume);
+    }
+
+    #[test]
+    fn trace_args_parse_and_reject() {
+        let TraceArgs::Run(opts) = parse_trace_args(&[]).unwrap() else {
+            panic!("no flags should run with defaults");
+        };
+        assert_eq!(opts.addr, "127.0.0.1:8600");
+        assert!(!opts.json);
+        let TraceArgs::Run(opts) =
+            parse_trace_args(&argv(&["--addr", "127.0.0.1:9000", "--json"])).unwrap()
+        else {
+            panic!("flags should parse to a run");
+        };
+        assert_eq!(opts.addr, "127.0.0.1:9000");
+        assert!(opts.json);
+        assert!(parse_trace_args(&argv(&["--addr"])).is_err(), "missing value");
+        assert!(parse_trace_args(&argv(&["--bogus"])).is_err());
+        assert!(matches!(parse_trace_args(&argv(&["--help"])), Ok(TraceArgs::Help)));
+    }
+
+    #[test]
+    fn trace_sample_flags_parse() {
+        let ServeArgs::Run(opts) = parse_serve_args(&argv(&["--trace-sample", "8"])).unwrap()
+        else {
+            panic!("flags should parse to a run");
+        };
+        assert_eq!(opts.trace_sample, 8);
+        let ServeArgs::Run(opts) = parse_serve_args(&[]).unwrap() else { panic!() };
+        assert_eq!(opts.trace_sample, ce_telemetry::trace::DEFAULT_SAMPLE_RATE);
+        let args = argv(&["--shard", "a=127.0.0.1:9101", "--trace-sample", "0"]);
+        let RouteArgs::Run(opts) = parse_route_args(&args).unwrap() else { panic!() };
+        assert_eq!(opts.trace_sample, 0, "0 turns routed tracing off");
+    }
+
+    #[test]
+    fn trace_snapshot_pretty_printer_accepts_the_wire_shape() {
+        let text = r#"{"sample_rate": 64, "traces": [{"trace": "00000000000000000000000000000abc", "at_ns": 5000, "total_ns": 900, "stages": [{"stage": "infer", "ns": 700}, {"stage": "write", "ns": 100}]}], "events": [{"at_ns": 1000, "kind": "breaker_open", "anomaly": true, "detail": "mscn"}]}"#;
+        print_trace_snapshot(text).expect("wire shape must print");
+        assert!(print_trace_snapshot("[]").is_err(), "non-object rejected");
+        assert!(print_trace_snapshot("{}").is_err(), "missing fields rejected");
     }
 
     #[test]

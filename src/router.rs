@@ -25,19 +25,30 @@
 //!
 //! Local endpoints (not proxied): `GET /healthz` (router liveness),
 //! `GET /readyz` (`200` iff ≥ 1 live shard), `GET /metrics` (router,
-//! fleet, and server counters as Prometheus text). `POST /v1/predict` is
-//! routed; everything else is `404`/`405` at the router without burning a
-//! shard leg.
+//! fleet, and server counters as Prometheus text — plus every live shard's
+//! own `/metrics`, each sample re-labeled with `shard="<name>"` so one
+//! scrape shows the whole fleet), `GET /debug/trace` (the router's flight
+//! recorder as JSON). `POST /v1/predict` is routed; everything else is
+//! `404`/`405` at the router without burning a shard leg.
+//!
+//! Tracing (DESIGN.md §13): a sampled predict (or any predict carrying a
+//! valid 32-hex `x-ce-trace`) is traced across the hop — the router mints
+//! or adopts the ID, injects it into the forwarded request, merges the
+//! shard's `x-ce-stages` report into its own record, and attributes the
+//! un-reported remainder of the forward time to the `network` stage. The
+//! response carries the router's ID and combined stage view.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ce_server::{
-    fnv1a64, Fleet, FleetStats, HealthChecker, HealthConfig, HttpServer, Request, Response,
-    Router, RouterConfig, RouterStats, ServerConfig, ServerStats,
+    fnv1a64, ClientConfig, Fleet, FleetStats, HealthChecker, HealthConfig, HttpClient,
+    HttpServer, Request, Response, Router, RouterConfig, RouterStats, ServerConfig,
+    ServerStats, STAGES_HEADER, TRACE_HEADER,
 };
+use ce_telemetry::trace::{self, TraceId};
 
 /// Tuning for [`start_cluster_router`]: the front server, the failover
 /// engine, and the health prober in one bundle.
@@ -110,7 +121,9 @@ impl ClusterRouterHandle {
     /// Graceful drain: readiness flips to 503, the prober stops, the accept
     /// loop stops, and in-flight requests finish. Blocks; idempotent.
     pub fn drain(&self) {
-        self.draining.store(true, Ordering::SeqCst);
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            trace::event("drain", "router drain requested");
+        }
         self.checker.lock().unwrap_or_else(|e| e.into_inner()).stop();
         self.server.shutdown();
     }
@@ -137,6 +150,8 @@ pub fn start_cluster_router(
     listen: &str,
     config: ClusterRouterConfig,
 ) -> std::io::Result<ClusterRouterHandle> {
+    // Pre-size the flight recorder off the hot path.
+    trace::warm();
     let fleet = Fleet::new(shards, config.vnodes, config.health.clone());
     let router = Arc::new(Router::new(fleet.clone(), config.router));
     let checker = HealthChecker::start(fleet);
@@ -178,26 +193,145 @@ fn route(req: &Request, router: &Router, draining: &AtomicBool) -> Response {
         }
         ("GET", "/metrics") => {
             publish_metrics(router);
-            if ce_telemetry::enabled() {
-                Response::new(200)
-                    .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-                    .body(ce_telemetry::global().to_prometheus())
+            let mut body = if ce_telemetry::enabled() {
+                ce_telemetry::global().to_prometheus()
             } else {
-                Response::text(200, metrics_text(router))
-            }
+                metrics_text(router)
+            };
+            body.push_str(&fleet_metrics(router));
+            // Either branch is the Prometheus text exposition format, so
+            // both must carry the `version=0.0.4` content type — scrapers
+            // key parsing off it.
+            Response::new(200)
+                .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+                .body(body)
         }
+        ("GET", "/debug/trace") => Response::json(200, trace::snapshot_json()),
         ("POST", "/v1/predict") => {
             if draining.load(Ordering::SeqCst) {
                 return Response::json(503, "{\"error\":\"router draining\"}")
                     .header("Retry-After", "1");
             }
-            router.forward(req, request_signature(req.body))
+            forward_traced(req, router)
         }
-        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/predict") => {
+        (_, "/healthz" | "/readyz" | "/metrics" | "/debug/trace" | "/v1/predict") => {
             Response::json(405, "{\"error\":\"method not allowed\"}")
         }
         _ => Response::json(404, "{\"error\":\"no such endpoint\"}"),
     }
+}
+
+/// Forwards one predict request, threading the distributed trace across the
+/// hop: the router's ID rides the outgoing leg as `x-ce-trace`, the shard's
+/// `x-ce-stages` report is merged into the router's record, and whatever
+/// part of the forward time the shard did not account for is attributed to
+/// the `network` stage. Un-sampled requests take the plain forwarding path
+/// untouched.
+fn forward_traced(req: &Request, router: &Router) -> Response {
+    let signature = request_signature(req.body);
+    // A valid client-supplied trace ID forces sampling (the upstream
+    // decision propagates); a malformed one is ignored, never an error.
+    let client_id = req.header(TRACE_HEADER).and_then(TraceId::parse);
+    if client_id.is_none() && !trace::should_sample() {
+        return router.forward(req, signature);
+    }
+    let id = client_id.unwrap_or_else(trace::mint);
+    trace::begin(id);
+    let id_text = id.to_string();
+    let t_handle = Instant::now();
+    let mut resp =
+        router.forward_with_header(req, signature, Some((TRACE_HEADER, &id_text)));
+    let forward_ns = t_handle.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    // Merge the shard's stage breakdown; the rest of the forward time is
+    // connect/serialize/wire/shard-unreported — the network's share.
+    let merged_ns = resp
+        .headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(STAGES_HEADER))
+        .map(|(_, v)| trace::merge_stages_header(v))
+        .unwrap_or(0);
+    trace::stage("network", forward_ns.saturating_sub(merged_ns));
+    trace::stage("route", now_sub(t_handle).saturating_sub(forward_ns));
+    // The response presents the *router's* combined view: drop whatever
+    // trace headers the shard echoed and emit our own.
+    resp.headers.retain(|(k, _)| {
+        !k.eq_ignore_ascii_case(TRACE_HEADER) && !k.eq_ignore_ascii_case(STAGES_HEADER)
+    });
+    let mut resp = resp.header(TRACE_HEADER, &id_text);
+    if let Some(stages) = trace::stages_header() {
+        resp = resp.header(STAGES_HEADER, &stages);
+    }
+    resp
+}
+
+/// Saturating nanoseconds since `t`.
+fn now_sub(t: Instant) -> u64 {
+    t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Scrapes every live shard's `/metrics` and re-labels each sample with
+/// `shard="<name>"` (label values escaped per the exposition format — shard
+/// names are operator-controlled and may contain anything), producing one
+/// fleet-wide Prometheus view. Dead shards are skipped; a slow or broken
+/// scrape only omits that shard's section.
+fn fleet_metrics(router: &Router) -> String {
+    let scrape_config = ClientConfig {
+        connect_timeout: Duration::from_millis(200),
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_millis(200),
+    };
+    let mut out = String::new();
+    for (name, addr, live) in router.fleet().snapshot() {
+        if !live {
+            continue;
+        }
+        let Ok(mut client) = HttpClient::connect_with(addr, scrape_config) else { continue };
+        let Ok(resp) = client.get("/metrics") else { continue };
+        if resp.status != 200 {
+            continue;
+        }
+        let body = String::from_utf8_lossy(&resp.body);
+        out.push_str(&inject_shard_label(&body, &name));
+    }
+    out
+}
+
+/// Rewrites one shard's Prometheus text so every sample carries a
+/// `shard="<escaped name>"` label. Comment lines (`# TYPE`, `# HELP`) are
+/// dropped — repeated per-shard metadata would make the merged exposition
+/// invalid.
+fn inject_shard_label(body: &str, shard: &str) -> String {
+    let label = format!("shard=\"{}\"", ce_telemetry::escape_label_value(shard));
+    let mut out = String::with_capacity(body.len() + body.lines().count() * (label.len() + 2));
+    for line in body.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(space) = line.rfind(' ') else { continue };
+        let (series, value) = line.split_at(space);
+        match series.find('{') {
+            // `name{le="…"} v` → `name{shard="…",le="…"} v`
+            Some(brace) => {
+                out.push_str(&series[..=brace]);
+                out.push_str(&label);
+                if !series[brace + 1..].trim_start().starts_with('}') {
+                    out.push(',');
+                }
+                out.push_str(&series[brace + 1..]);
+            }
+            // `name v` → `name{shard="…"} v`
+            None => {
+                out.push_str(series);
+                out.push('{');
+                out.push_str(&label);
+                out.push('}');
+            }
+        }
+        out.push_str(value);
+        out.push('\n');
+    }
+    out
 }
 
 /// Mirrors router + fleet counters into the `ce-telemetry` registry (scraped

@@ -16,10 +16,22 @@
 //!   `predict_interval_batch` calls; admission overflow sheds with `503` +
 //!   `Retry-After`. Optional `truths` feed the prequential loop (calibration,
 //!   drift detection, self-healing) after the predictions are made.
-//! - `GET /metrics` — Prometheus text from the `ce-telemetry` registry.
+//! - `GET /metrics` — Prometheus text from the `ce-telemetry` registry,
+//!   including the server's connection/poller counters.
+//! - `GET /debug/trace` — JSON snapshot of the flight recorder: the last
+//!   traced requests with per-stage latency attribution plus structured
+//!   events (DESIGN.md §13).
 //! - `GET /healthz` — liveness (always `200` while the process serves).
 //! - `GET /readyz` — readiness; `503` while the self-healing layer is
 //!   recalibrating or the server is draining.
+//!
+//! Tracing: a sampled `POST /v1/predict` (head sampling, default 1 in
+//! `ce_telemetry::trace::DEFAULT_SAMPLE_RATE`; every request inside an
+//! anomaly window) is traced end to end. The client may supply its own
+//! 32-hex-digit `x-ce-trace` ID; a missing or malformed header mints a fresh
+//! one — a hostile value can only ever be ignored, never poisons the
+//! connection. The response echoes `x-ce-trace` and reports this hop's stage
+//! breakdown in `x-ce-stages` so an upstream router can merge it.
 //!
 //! Determinism contract: the batcher's request coalescing never changes
 //! results — `predict_interval_batch` snapshots state per batch and per-query
@@ -29,7 +41,7 @@
 //! `"nan"` since JSON has no `Infinity`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 use crate::conformal::{
@@ -39,8 +51,9 @@ use crate::conformal::{
 };
 use ce_server::{
     BatchError, BatcherConfig, BatcherStats, HttpServer, MicroBatcher, Request, Response,
-    ServerConfig, ServerStats,
+    ServerConfig, ServerStats, ServerStatsProbe, STAGES_HEADER, TRACE_HEADER,
 };
+use ce_telemetry::trace::{self, TraceId};
 
 /// A [`SelfHealingService`] shared between the HTTP workers (read: serve
 /// intervals) and the feedback path (write: observe truths), adapted to the
@@ -292,7 +305,9 @@ impl ServeHandle {
     /// requests finish (their batcher submissions included), the batcher
     /// flushes, and all threads join. Blocks until done; idempotent.
     pub fn drain(&self) {
-        self.draining.store(true, Ordering::SeqCst);
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            trace::event("drain", "serve drain requested");
+        }
         self.server.shutdown();
         self.batcher.shutdown();
     }
@@ -317,6 +332,9 @@ where
     M: Regressor + Clone + Send + Sync + 'static,
     S: ScoreFunction + Clone + Send + Sync + 'static,
 {
+    // Pre-size the flight recorder off the hot path: the first traced
+    // request must not pay the ring allocation.
+    trace::warm();
     let batch_engine = Arc::clone(&engine);
     let batcher = MicroBatcher::new(
         BatcherConfig {
@@ -328,11 +346,16 @@ where
     );
     let draining = Arc::new(AtomicBool::new(false));
 
+    // The handler closure outlives `bind`, but the server's stats probe only
+    // exists after it — a OnceLock filled post-bind closes the loop so
+    // `/metrics` can report connection/poller counters.
+    let probe: Arc<OnceLock<ServerStatsProbe>> = Arc::new(OnceLock::new());
     let handler = {
         let engine = Arc::clone(&engine);
         let batcher = Arc::clone(&batcher);
         let draining = Arc::clone(&draining);
-        move |req: &Request| route(req, &engine, &batcher, &draining)
+        let probe = Arc::clone(&probe);
+        move |req: &Request| route(req, &engine, &batcher, &draining, &probe)
     };
     let server = HttpServer::bind(
         listen,
@@ -347,6 +370,7 @@ where
         },
         Arc::new(handler),
     )?;
+    let _ = probe.set(server.stats_probe());
     Ok(ServeHandle { server, batcher, draining })
 }
 
@@ -385,11 +409,32 @@ fn json_error(status: u16, message: &str) -> Response {
     Response::json(status, format!("{{\"error\":\"{escaped}\"}}"))
 }
 
+/// Mirrors the server's connection/poller counters into the telemetry
+/// registry (satellite of `/metrics`: the PR 7 event-loop counters —
+/// `poller_wakeups`, `poller_dispatches`, the parked-connection gauge, and
+/// the instantaneous dispatch depth — become scrapeable).
+fn publish_server_stats(stats: &ServerStats) {
+    if !ce_telemetry::enabled() {
+        return;
+    }
+    ce_telemetry::gauge("serve.conns_accepted").set(stats.accepted as f64);
+    ce_telemetry::gauge("serve.conns_shed").set(stats.conn_shed as f64);
+    ce_telemetry::gauge("serve.conns_open").set(stats.open as f64);
+    ce_telemetry::gauge("serve.requests").set(stats.requests as f64);
+    ce_telemetry::gauge("serve.parse_errors").set(stats.parse_errors as f64);
+    ce_telemetry::gauge("serve.buffer_allocs").set(stats.buffer_allocs as f64);
+    ce_telemetry::gauge("serve.poller_wakeups").set(stats.poller_wakeups as f64);
+    ce_telemetry::gauge("serve.poller_dispatches").set(stats.poller_dispatches as f64);
+    ce_telemetry::gauge("serve.parked_conns").set(stats.parked as f64);
+    ce_telemetry::gauge("serve.dispatch_depth").set(stats.dispatch_depth as f64);
+}
+
 fn route<M, S>(
     req: &Request,
     engine: &ServeEngine<M, S>,
     batcher: &MicroBatcher<Vec<f32>, Result<PredictionInterval, CardEstError>>,
     draining: &AtomicBool,
+    probe: &OnceLock<ServerStatsProbe>,
 ) -> Response
 where
     M: Regressor + Clone + Send + Sync + 'static,
@@ -415,12 +460,18 @@ where
                 ce_telemetry::gauge("serve.batches").set(stats.batches as f64);
                 ce_telemetry::gauge("serve.max_batch").set(stats.max_batch_seen as f64);
             }
+            if let Some(probe) = probe.get() {
+                publish_server_stats(&probe.stats());
+            }
             Response::new(200)
                 .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
                 .body(ce_telemetry::global().to_prometheus())
         }
+        ("GET", "/debug/trace") => Response::json(200, trace::snapshot_json()),
         ("POST", "/v1/predict") => predict(req, engine, batcher),
-        (_, "/healthz" | "/readyz" | "/metrics") => json_error(405, "method not allowed"),
+        (_, "/healthz" | "/readyz" | "/metrics" | "/debug/trace") => {
+            json_error(405, "method not allowed")
+        }
         (_, "/v1/predict") => json_error(405, "method not allowed"),
         _ => json_error(404, "no such endpoint"),
     }
@@ -481,6 +532,39 @@ where
     M: Regressor + Clone + Send + Sync + 'static,
     S: ScoreFunction + Clone + Send + Sync + 'static,
 {
+    // A valid client-supplied ID (exactly 32 lowercase hex digits) is an
+    // explicit opt-in: it forces sampling so an upstream hop's decision
+    // propagates. Otherwise head sampling decides and a fresh ID is minted.
+    // A malformed or oversized header is simply ignored — the request
+    // itself always proceeds.
+    let client_id = req.header(TRACE_HEADER).and_then(TraceId::parse);
+    if client_id.is_some() || trace::should_sample() {
+        trace::begin(client_id.unwrap_or_else(trace::mint));
+    }
+    let response = predict_inner(req, engine, batcher);
+    // While a trace is active, echo its ID and report this hop's stage
+    // breakdown so an upstream router can merge it. The server's connection
+    // loop appends the `write` stage and publishes the record after flush.
+    if let Some(id) = trace::active_id() {
+        let mut response = response.header(TRACE_HEADER, &id.to_string());
+        if let Some(stages) = trace::stages_header() {
+            response = response.header(STAGES_HEADER, &stages);
+        }
+        response
+    } else {
+        response
+    }
+}
+
+fn predict_inner<M, S>(
+    req: &Request,
+    engine: &ServeEngine<M, S>,
+    batcher: &MicroBatcher<Vec<f32>, Result<PredictionInterval, CardEstError>>,
+) -> Response
+where
+    M: Regressor + Clone + Send + Sync + 'static,
+    S: ScoreFunction + Clone + Send + Sync + 'static,
+{
     let (features, truths) = match parse_predict_body(req.body) {
         Ok(parsed) => parsed,
         Err(msg) => return json_error(422, &msg),
@@ -488,6 +572,7 @@ where
     let results = match batcher.submit_all(features.clone()) {
         Ok(results) => results,
         Err(BatchError::QueueFull) => {
+            trace::event("shed", "admission queue full");
             return json_error(503, "admission queue full").header("Retry-After", "1");
         }
         Err(BatchError::Shutdown) => {

@@ -1,0 +1,398 @@
+//! End-to-end tests for distributed request tracing (DESIGN.md §13): trace
+//! ID propagation across the router→shard hop, per-stage latency
+//! attribution, the anomaly flight recorder, and the observability
+//! satellites (Prometheus content type, fleet-labeled aggregation, poller
+//! counters).
+//!
+//! The trace rings, sample rate, and anomaly window are process-global by
+//! design (one flight recorder per process), so every test here serializes
+//! on a local mutex and resets the subsystem before touching it.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use cardest::conformal::{
+    AbsoluteResidual, BreakerConfig, HealConfig, OnlineConformal, PiServiceConfig,
+    ResilientService, SelfHealingService,
+};
+use cardest::router::{start_cluster_router, ClusterRouterConfig, ClusterRouterHandle};
+use cardest::serve::{start_server, HttpServeConfig, ServeEngine, ServeHandle};
+use cardest::server::{
+    HealthConfig, HttpClient, HttpServer, Request, Response, ServerConfig, TRACE_HEADER,
+};
+use ce_telemetry::trace;
+
+/// Serializes tests in this binary: the trace subsystem is process-global.
+fn trace_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A real PI-serving shard (tiny calibrated model) bound on an ephemeral
+/// port. `delay` is injected into every model forward — tests that assert
+/// on stage attribution use it to make inference the dominant cost, so
+/// scheduling jitter stays inside their tolerance.
+fn pi_shard(delay: Duration) -> ServeHandle {
+    let n = 32usize;
+    let xs: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / n as f32]).collect();
+    let ys: Vec<f64> = (0..n).map(|i| i as f64 / n as f64 + 0.01).collect();
+    let model = move |f: &[f32]| {
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        f[0] as f64
+    };
+    let healing = SelfHealingService::new(
+        model,
+        AbsoluteResidual,
+        &xs,
+        &ys,
+        PiServiceConfig::default(),
+        HealConfig::default(),
+    );
+    let engine = Arc::new(ServeEngine::new(healing, Vec::new(), 1));
+    start_server(
+        engine,
+        "127.0.0.1:0",
+        HttpServeConfig { workers: 2, ..Default::default() },
+    )
+    .expect("bind pi shard")
+}
+
+/// A router over one live PI shard, with a fast prober so readiness
+/// settles immediately.
+fn router_over(shard: &ServeHandle) -> ClusterRouterHandle {
+    start_cluster_router(
+        &[("shard-0".to_string(), shard.local_addr())],
+        "127.0.0.1:0",
+        ClusterRouterConfig {
+            health: HealthConfig {
+                probe_interval: Duration::from_millis(10),
+                fail_threshold: 2,
+                recover_threshold: 1,
+                ..HealthConfig::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind router")
+}
+
+const PREDICT_BODY: &[u8] = b"{\"features\":[[0.5]]}";
+
+/// Waits for a trace record to land in the flight recorder. The serving
+/// thread publishes it right *after* flushing the response bytes, so a
+/// client that just read the response can race the publish by a hair.
+fn wait_for_record(id: u128) -> trace::TraceRecord {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        if let Some(r) = trace::trace_snapshot().into_iter().find(|r| r.id == id) {
+            return r;
+        }
+        assert!(Instant::now() < deadline, "trace {id:x} never reached the flight recorder");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn post_predict(
+    client: &mut HttpClient,
+    trace_header: Option<&str>,
+) -> cardest::server::ClientResponse {
+    let headers: Vec<(&str, &str)> = match trace_header {
+        Some(v) => vec![("content-type", "application/json"), (TRACE_HEADER, v)],
+        None => vec![("content-type", "application/json")],
+    };
+    client
+        .request("POST", "/v1/predict", headers, PREDICT_BODY)
+        .expect("predict request")
+}
+
+/// A client-minted trace ID rides the request direct to a shard and comes
+/// back on the response — even with head sampling off, because an explicit
+/// upstream ID forces sampling at this hop.
+#[test]
+fn client_trace_id_round_trips_direct_to_shard() {
+    let _guard = trace_lock();
+    trace::reset();
+    trace::set_sample_rate(0);
+    let shard = pi_shard(Duration::ZERO);
+    let mut client = HttpClient::connect(shard.local_addr()).expect("connect");
+
+    // No header, sampling off: the response carries no trace ID.
+    let resp = post_predict(&mut client, None);
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.trace_id(), None, "untraced request must not mint an ID");
+
+    let id = "00000000000000000000000000c0ffee";
+    let resp = post_predict(&mut client, Some(id));
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.trace_id(), Some(id), "shard must echo the client's trace ID");
+    let stages = resp.header("x-ce-stages").expect("stage breakdown header");
+    assert!(stages.contains("infer="), "stage header missing infer: {stages}");
+
+    // The flight recorder retained the record under the client's ID.
+    wait_for_record(0xc0ffee);
+    shard.drain();
+}
+
+/// Satellite: a request sent *through the router* returns the same trace
+/// ID the client supplied — the router adopts it, propagates it to the
+/// shard, and re-emits it on the merged response.
+#[test]
+fn router_echoes_the_clients_trace_id_end_to_end() {
+    let _guard = trace_lock();
+    trace::reset();
+    trace::set_sample_rate(0);
+    let shard = pi_shard(Duration::ZERO);
+    let router = router_over(&shard);
+    let mut client = HttpClient::connect(router.local_addr()).expect("connect");
+
+    let id = "0000000000000000000000000000beef";
+    let resp = post_predict(&mut client, Some(id));
+    assert_eq!(resp.status, 200, "body: {}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(resp.trace_id(), Some(id), "router must echo the client's trace ID");
+    // The router's merged stage view spans both hops: its own transport
+    // stages plus the shard-reported inference breakdown.
+    let stages = resp.header("x-ce-stages").expect("merged stage header");
+    for stage in ["network=", "route=", "infer="] {
+        assert!(stages.contains(stage), "merged stages missing {stage}: {stages}");
+    }
+    // Exactly one trace header on the wire — the router strips the shard's
+    // echo before emitting its own.
+    let count = resp.headers.iter().filter(|(k, _)| k == TRACE_HEADER).count();
+    assert_eq!(count, 1, "duplicate trace headers on the routed response");
+
+    router.drain();
+    shard.drain();
+}
+
+/// Malformed or oversized `x-ce-trace` values are ignored — never an
+/// error, never a minted trace — and the connection keeps working.
+#[test]
+fn malformed_trace_headers_are_ignored_without_poisoning_the_connection() {
+    let _guard = trace_lock();
+    trace::reset();
+    trace::set_sample_rate(0);
+    let shard = pi_shard(Duration::ZERO);
+    let router = router_over(&shard);
+    let oversized = "f".repeat(1024);
+    let hostile = [
+        "deadbeef",                            // too short
+        "DEADBEEFDEADBEEFDEADBEEFDEADBEEF",    // uppercase hex
+        "00000000000000000000000000000000",    // all-zero (reserved)
+        "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz",    // non-hex
+        "00000000000000000000000000c0ffeez",   // trailing junk
+        oversized.as_str(),                    // oversized
+    ];
+    for addr in [shard.local_addr(), router.local_addr()] {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        for bad in hostile {
+            let resp = post_predict(&mut client, Some(bad));
+            assert_eq!(resp.status, 200, "malformed trace header must not fail the request");
+            assert_eq!(resp.trace_id(), None, "malformed ID {bad:?} must not be adopted");
+        }
+        // Same connection, valid request: the parser state survived.
+        let resp = post_predict(&mut client, Some("00000000000000000000000000000abc"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.trace_id(), Some("00000000000000000000000000000abc"));
+    }
+    router.drain();
+    shard.drain();
+}
+
+/// Acceptance: one traced request's transport stages sum to within 10% of
+/// the client-observed end-to-end latency. The model forward is slowed to
+/// 25ms so fixed costs — loopback RTT, thread wakeups — stay inside the
+/// tolerance.
+#[test]
+fn stage_attribution_accounts_for_the_observed_latency() {
+    let _guard = trace_lock();
+    trace::reset();
+    trace::set_sample_rate(0);
+    let shard = pi_shard(Duration::from_millis(25));
+    let mut client = HttpClient::connect(shard.local_addr()).expect("connect");
+    // Warm the connection and the serving path untraced.
+    assert_eq!(post_predict(&mut client, None).status, 200);
+
+    let id = "00000000000000000000000000001a7e";
+    let t0 = Instant::now();
+    let resp = post_predict(&mut client, Some(id));
+    let e2e_ns = t0.elapsed().as_nanos() as u64;
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.trace_id(), Some(id));
+
+    let record = wait_for_record(0x1a7e);
+    // Sum only the transport stages: telemetry span names (pi_batch, …)
+    // nest inside `infer` and would double-count.
+    let sum: u64 = record
+        .stages()
+        .iter()
+        .filter(|s| trace::TRANSPORT_STAGES.contains(&s.name))
+        .map(|s| s.ns)
+        .sum();
+    let delay_ns = 25_000_000u64;
+    assert!(e2e_ns >= delay_ns, "the model delay bounds e2e from below");
+    assert!(
+        sum <= e2e_ns,
+        "server-side stages ({sum}ns) cannot exceed client e2e ({e2e_ns}ns)"
+    );
+    assert!(
+        sum >= e2e_ns - e2e_ns / 10,
+        "stages must attribute >=90% of e2e: sum {sum}ns vs e2e {e2e_ns}ns \
+         (stages: {:?})",
+        record.stages()
+    );
+    shard.drain();
+}
+
+/// Acceptance: tripping a circuit breaker freezes a flight-recorder
+/// snapshot containing the triggering event and at least one trace that
+/// preceded it.
+#[test]
+fn breaker_open_freezes_an_anomaly_snapshot_with_preceding_traces() {
+    let _guard = trace_lock();
+    trace::reset();
+    trace::set_sample_rate(1);
+    let shard = pi_shard(Duration::ZERO);
+    let mut client = HttpClient::connect(shard.local_addr()).expect("connect");
+
+    // A healthy traced request first, so the dump has history to show.
+    let id = "0000000000000000000000000000f00d";
+    assert_eq!(post_predict(&mut client, Some(id)).status, 200);
+    wait_for_record(0xf00d);
+
+    // Force a breaker trip: a primary that only produces NaN, threshold 1.
+    let nan_model = |_: &[f32]| f64::NAN;
+    let primary = OnlineConformal::new(nan_model, AbsoluteResidual, &[], &[], 0.1);
+    let mut svc = ResilientService::new(Box::new(primary))
+        .with_breaker(BreakerConfig { failure_threshold: 1, cooldown_queries: 8 });
+    svc.interval(&[0.5]).expect("conservative floor still answers");
+    assert!(svc.stats().breaker_trips >= 1, "breaker must have tripped");
+
+    let dump = trace::last_anomaly_dump().expect("anomaly must freeze a snapshot");
+    assert!(dump.contains("breaker_open"), "dump missing the trigger: {dump}");
+    assert!(
+        dump.contains("0000000000000000000000000000f00d"),
+        "dump missing the preceding trace"
+    );
+    // The live debug endpoint serves the same flight recorder.
+    let resp = client.get("/debug/trace").expect("debug endpoint");
+    assert_eq!(resp.status, 200);
+    let body = String::from_utf8_lossy(&resp.body).to_string();
+    assert!(body.contains("breaker_open"), "/debug/trace missing the event");
+    assert!(body.contains("\"anomaly\": true"), "event not flagged anomalous");
+    shard.drain();
+}
+
+/// Satellite regression: every `/metrics` endpoint — the shard's, and the
+/// router's with telemetry on *and* off — declares the Prometheus
+/// text-exposition version in its Content-Type.
+#[test]
+fn metrics_content_type_carries_the_prometheus_version_everywhere() {
+    let _guard = trace_lock();
+    trace::reset();
+    trace::set_sample_rate(0);
+    let shard = pi_shard(Duration::ZERO);
+    let router = router_over(&shard);
+    let was_enabled = ce_telemetry::enabled();
+    for telemetry_on in [true, false] {
+        ce_telemetry::set_enabled(telemetry_on);
+        for addr in [shard.local_addr(), router.local_addr()] {
+            let mut client = HttpClient::connect(addr).expect("connect");
+            let resp = client.get("/metrics").expect("scrape");
+            assert_eq!(resp.status, 200);
+            let ct = resp.header("content-type").expect("content type");
+            assert!(
+                ct.contains("version=0.0.4"),
+                "telemetry={telemetry_on}: missing exposition version in {ct:?}"
+            );
+        }
+    }
+    ce_telemetry::set_enabled(was_enabled);
+    router.drain();
+    shard.drain();
+}
+
+/// Satellite: the event-driven poller's counters surface on the shard's
+/// `/metrics` exposition.
+#[test]
+fn poller_counters_surface_in_shard_metrics() {
+    let _guard = trace_lock();
+    trace::reset();
+    trace::set_sample_rate(0);
+    let was_enabled = ce_telemetry::enabled();
+    ce_telemetry::set_enabled(true);
+    let shard = pi_shard(Duration::ZERO);
+    let mut client = HttpClient::connect(shard.local_addr()).expect("connect");
+    assert_eq!(post_predict(&mut client, None).status, 200);
+    let resp = client.get("/metrics").expect("scrape");
+    assert_eq!(resp.status, 200);
+    let body = String::from_utf8_lossy(&resp.body).to_string();
+    for metric in [
+        "cardest_serve_poller_wakeups",
+        "cardest_serve_poller_dispatches",
+        "cardest_serve_parked_conns",
+        "cardest_serve_dispatch_depth",
+    ] {
+        assert!(body.contains(metric), "missing {metric} in exposition:\n{body}");
+    }
+    ce_telemetry::set_enabled(was_enabled);
+    shard.drain();
+}
+
+/// The router's `/metrics` aggregates every live shard's exposition with a
+/// `shard="…"` label — and hostile shard names (quotes, newlines) are
+/// escaped per the Prometheus text format.
+#[test]
+fn router_metrics_aggregate_the_fleet_with_escaped_labels() {
+    let _guard = trace_lock();
+    trace::reset();
+    trace::set_sample_rate(0);
+    let was_enabled = ce_telemetry::enabled();
+    ce_telemetry::set_enabled(true);
+    let shard = pi_shard(Duration::ZERO);
+    // A second "shard" with a hostile name, exposing one bare metric line.
+    let hostile = HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Arc::new(|req: &Request| match (req.method, req.path()) {
+            ("GET", "/readyz") => Response::text(200, "ready"),
+            ("GET", "/metrics") => Response::new(200)
+                .header("Content-Type", "text/plain; version=0.0.4")
+                .body("# TYPE hostile_up gauge\nhostile_up 1\n".to_string()),
+            _ => Response::text(404, "nope"),
+        }),
+    )
+    .expect("bind hostile shard");
+    let router = start_cluster_router(
+        &[
+            ("shard-0".to_string(), shard.local_addr()),
+            ("ev\"il\nshard".to_string(), hostile.local_addr()),
+        ],
+        "127.0.0.1:0",
+        ClusterRouterConfig::default(),
+    )
+    .expect("bind router");
+    let mut client = HttpClient::connect(router.local_addr()).expect("connect");
+    // Prime the shard's own metrics registry, then scrape the router.
+    let mut shard_client = HttpClient::connect(shard.local_addr()).expect("connect");
+    assert_eq!(shard_client.get("/metrics").expect("prime").status, 200);
+    let resp = client.get("/metrics").expect("scrape");
+    assert_eq!(resp.status, 200);
+    let body = String::from_utf8_lossy(&resp.body).to_string();
+    assert!(
+        body.contains("{shard=\"shard-0\"}") || body.contains("shard=\"shard-0\","),
+        "missing shard-labeled samples:\n{body}"
+    );
+    assert!(
+        body.contains("hostile_up{shard=\"ev\\\"il\\nshard\"} 1"),
+        "hostile shard name not escaped:\n{body}"
+    );
+    // The merged view must stay free of per-shard comment lines (duplicate
+    // # TYPE metadata would make the exposition invalid).
+    assert!(!body.contains("# TYPE hostile_up"), "shard comments must be dropped");
+    ce_telemetry::set_enabled(was_enabled);
+    router.drain();
+    hostile.shutdown();
+    shard.drain();
+}

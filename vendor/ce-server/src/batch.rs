@@ -82,11 +82,24 @@ impl std::error::Error for BatchError {}
 struct Slot<R> {
     result: Mutex<Option<Result<R, BatchError>>>,
     ready: Condvar,
+    /// Stage timings (trace attribution) deposited by the batcher thread
+    /// before delivery: the submitting thread — where the distributed trace
+    /// lives — reads them back after `wait` returns. Release/acquire comes
+    /// for free from the result mutex, so relaxed stores suffice.
+    queue_ns: AtomicU64,
+    window_ns: AtomicU64,
+    infer_ns: AtomicU64,
 }
 
 impl<R> Slot<R> {
     fn new() -> Arc<Self> {
-        Arc::new(Slot { result: Mutex::new(None), ready: Condvar::new() })
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+            queue_ns: AtomicU64::new(0),
+            window_ns: AtomicU64::new(0),
+            infer_ns: AtomicU64::new(0),
+        })
     }
 
     fn deliver(&self, value: Result<R, BatchError>) {
@@ -109,6 +122,7 @@ impl<R> Slot<R> {
 struct Job<T, R> {
     item: T,
     slot: Arc<Slot<R>>,
+    enqueued_at: std::time::Instant,
 }
 
 struct Shared<T, R> {
@@ -143,6 +157,11 @@ type Runner<T, R> = Mutex<BoxedRunner<T, R>>;
 
 fn lock_runner<T, R>(runner: &Runner<T, R>) -> MutexGuard<'_, BoxedRunner<T, R>> {
     runner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Saturating nanoseconds since `t`.
+fn elapsed_ns(t: std::time::Instant) -> u64 {
+    t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 /// Runs one batch under the runner lock with panic isolation; `None` means
@@ -246,7 +265,18 @@ impl<T: Send + 'static, R: Send + 'static> MicroBatcher<T, R> {
                 self.max_batch_seen.fetch_max(n, Ordering::Relaxed);
                 self.occupancy.record(n);
                 self.window_wait.record(0);
-                return invoke_runner(&mut **runner, items).ok_or(BatchError::Failed);
+                // Inline execution never queues or lingers; attribute the
+                // runner time to the active trace (clock reads only when a
+                // trace is actually live on this thread).
+                let t_infer =
+                    ce_telemetry::trace::active_id().is_some().then(std::time::Instant::now);
+                let result = invoke_runner(&mut **runner, items).ok_or(BatchError::Failed);
+                if let Some(t_infer) = t_infer {
+                    ce_telemetry::trace::stage("queue", 0);
+                    ce_telemetry::trace::stage("window", 0);
+                    ce_telemetry::trace::stage("infer", elapsed_ns(t_infer));
+                }
+                return result;
             }
         }
         let slots: Vec<Arc<Slot<R>>> = {
@@ -260,8 +290,9 @@ impl<T: Send + 'static, R: Send + 'static> MicroBatcher<T, R> {
                 return Err(BatchError::QueueFull);
             }
             let slots: Vec<Arc<Slot<R>>> = items.iter().map(|_| Slot::new()).collect();
+            let enqueued_at = std::time::Instant::now();
             for (item, slot) in items.into_iter().zip(&slots) {
-                queue.jobs.push_back(Job { item, slot: Arc::clone(slot) });
+                queue.jobs.push_back(Job { item, slot: Arc::clone(slot), enqueued_at });
             }
             self.admitted.fetch_add(slots.len() as u64, Ordering::Relaxed);
             slots
@@ -271,11 +302,24 @@ impl<T: Send + 'static, R: Send + 'static> MicroBatcher<T, R> {
         // coalesce these jobs with other submitters' while we block.
         let mut out = Vec::with_capacity(slots.len());
         let mut failure = None;
-        for slot in slots {
+        let mut queue_ns = 0u64;
+        let mut window_ns = 0u64;
+        let mut infer_ns = 0u64;
+        for slot in &slots {
             match slot.wait() {
                 Ok(r) => out.push(r),
                 Err(e) => failure = Some(e),
             }
+            queue_ns = queue_ns.max(slot.queue_ns.load(Ordering::Relaxed));
+            window_ns = window_ns.max(slot.window_ns.load(Ordering::Relaxed));
+            infer_ns = infer_ns.max(slot.infer_ns.load(Ordering::Relaxed));
+        }
+        // Attribute the batcher-thread stages to this (submitting) thread's
+        // active trace; the stage calls are no-ops when none is live.
+        if ce_telemetry::trace::active_id().is_some() {
+            ce_telemetry::trace::stage("queue", queue_ns);
+            ce_telemetry::trace::stage("window", window_ns);
+            ce_telemetry::trace::stage("infer", infer_ns);
         }
         match failure {
             None => Ok(out),
@@ -377,8 +421,23 @@ fn batcher_loop<T, R>(
         let batch: Vec<Job<T, R>> = queue.jobs.drain(..take).collect();
         drop(queue);
 
-        let (items, slots): (Vec<T>, Vec<Arc<Slot<R>>>) =
-            batch.into_iter().map(|j| (j.item, j.slot)).unzip();
+        // Trace attribution (deposited per slot, read by the submitter):
+        // `window` is the coalescing linger shared by the whole batch;
+        // `queue` is whatever a job waited beyond that — zero in a calm
+        // system, the backlog signal when the runner can't keep up.
+        let drained_at = std::time::Instant::now();
+        let batch_window_ns = drained_at.duration_since(first_job_at).as_nanos();
+        let batch_window_ns = batch_window_ns.min(u128::from(u64::MAX)) as u64;
+        let (items, slots): (Vec<T>, Vec<Arc<Slot<R>>>) = batch
+            .into_iter()
+            .map(|j| {
+                let waited = drained_at.duration_since(j.enqueued_at).as_nanos();
+                let waited = waited.min(u128::from(u64::MAX)) as u64;
+                j.slot.queue_ns.store(waited.saturating_sub(batch_window_ns), Ordering::Relaxed);
+                j.slot.window_ns.store(batch_window_ns, Ordering::Relaxed);
+                (j.item, j.slot)
+            })
+            .unzip();
         let n = slots.len();
         if n == 0 {
             drop(guard);
@@ -389,8 +448,13 @@ fn batcher_loop<T, R>(
         occupancy.record(n as u64);
         window_wait.record(first_job_at.elapsed().as_micros() as u64);
 
+        let t_infer = std::time::Instant::now();
         let results = invoke_runner(&mut **guard, items);
         drop(guard);
+        let infer_ns = elapsed_ns(t_infer);
+        for slot in &slots {
+            slot.infer_ns.store(infer_ns, Ordering::Relaxed);
+        }
         match results {
             Some(results) => {
                 for (slot, result) in slots.into_iter().zip(results) {

@@ -56,6 +56,11 @@ impl ClientResponse {
         self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
     }
 
+    /// The `x-ce-trace` trace ID echoed by the server, if any.
+    pub fn trace_id(&self) -> Option<&str> {
+        self.header(crate::http::TRACE_HEADER)
+    }
+
     /// The `Retry-After` delay in seconds, if the response carries one as a
     /// non-negative integer (the only form this stack emits). A shed `503`
     /// with `Retry-After` means "alive but overloaded — come back later";

@@ -230,6 +230,7 @@ impl Fleet {
                 inner.ring.readmit(&name);
                 inner.stats.readmissions += 1;
                 inner.health[i] = ShardHealth::default();
+                ce_telemetry::trace::event("shard_readmitted", &name);
                 return true;
             }
         } else {
@@ -241,6 +242,7 @@ impl Fleet {
                 inner.ring.eject(&name);
                 inner.stats.ejections += 1;
                 inner.health[i] = ShardHealth::default();
+                ce_telemetry::trace::anomaly("shard_ejected", &name);
                 return true;
             }
         }

@@ -29,6 +29,16 @@
 use std::fmt;
 use std::io;
 
+/// Request/response header carrying the 128-bit distributed trace ID as 32
+/// lowercase hex characters. The router mints one if the client did not send
+/// one; shards echo it back so the caller can correlate.
+pub const TRACE_HEADER: &str = "x-ce-trace";
+
+/// Response header carrying per-stage latency attribution as
+/// `name=ns;name=ns;…` — a shard reports its stages here so the router can
+/// merge them into its own trace record for the same request.
+pub const STAGES_HEADER: &str = "x-ce-stages";
+
 /// Byte/size caps enforced while parsing a request head and body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParserLimits {

@@ -169,6 +169,19 @@ impl Router {
     /// *some* response (routing failures map to 502/503/504 as per the
     /// module docs).
     pub fn forward(&self, request: &Request, signature: u64) -> Response {
+        self.forward_with_header(request, signature, None)
+    }
+
+    /// Same as [`Router::forward`], but appends `extra` as a request header
+    /// on every outgoing leg when the original request does not already
+    /// carry it — how the cluster router propagates a minted trace ID to
+    /// the shard that serves the request.
+    pub fn forward_with_header(
+        &self,
+        request: &Request,
+        signature: u64,
+        extra: Option<(&str, &str)>,
+    ) -> Response {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let deadline = Instant::now() + self.config.deadline;
         let candidates = self.fleet.candidates(signature);
@@ -185,7 +198,7 @@ impl Router {
                 self.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                 return Response::json(504, "{\"error\":\"routing deadline exceeded\"}");
             }
-            match self.try_leg(request, name, *addr, remaining) {
+            match self.try_leg(request, extra, name, *addr, remaining) {
                 Leg::Served(resp) => {
                     if attempt == 0 {
                         self.counters.served_primary.fetch_add(1, Ordering::Relaxed);
@@ -204,11 +217,13 @@ impl Router {
                 }
                 Leg::Dead => {
                     self.counters.leg_errors.fetch_add(1, Ordering::Relaxed);
+                    ce_telemetry::trace::event("leg_dead", name);
                     self.fleet.report(name, false, false);
                 }
             }
         }
         self.counters.exhausted.fetch_add(1, Ordering::Relaxed);
+        ce_telemetry::trace::anomaly("route_exhausted", "all candidate legs failed or shed");
         match last_shed {
             // Every reachable candidate shed: surface the shed (with its
             // Retry-After) rather than inventing a gateway error.
@@ -229,13 +244,14 @@ impl Router {
     fn try_leg(
         &self,
         request: &Request,
+        extra: Option<(&str, &str)>,
         name: &str,
         addr: SocketAddr,
         remaining: Duration,
     ) -> Leg {
         let read_timeout = self.config.read_timeout.min(remaining);
         if let Some(client) = self.checkout(name, addr) {
-            match self.send_leg(client, request, name, addr, read_timeout) {
+            match self.send_leg(client, request, extra, name, addr, read_timeout) {
                 Some(leg) => return leg,
                 None => {
                     self.counters.pool_stale.fetch_add(1, Ordering::Relaxed);
@@ -248,9 +264,9 @@ impl Router {
             write_timeout: read_timeout,
         };
         match HttpClient::connect_with(addr, config) {
-            Ok(client) => {
-                self.send_leg(client, request, name, addr, read_timeout).unwrap_or(Leg::Dead)
-            }
+            Ok(client) => self
+                .send_leg(client, request, extra, name, addr, read_timeout)
+                .unwrap_or(Leg::Dead),
             Err(_) => Leg::Dead,
         }
     }
@@ -262,6 +278,7 @@ impl Router {
         &self,
         mut client: HttpClient,
         request: &Request,
+        extra: Option<(&str, &str)>,
         name: &str,
         addr: SocketAddr,
         read_timeout: Duration,
@@ -277,6 +294,10 @@ impl Router {
                 && !k.eq_ignore_ascii_case("connection")
                 && !k.eq_ignore_ascii_case("host")
         });
+        // The injected header only fills a gap — a client-supplied value
+        // keeps precedence so end-to-end IDs survive the hop untouched.
+        let extra = extra.filter(|(k, _)| request.headers.get(k).is_none());
+        let headers = headers.chain(extra);
         match client.request(request.method, request.target, headers, request.body) {
             Ok(resp) => {
                 let shed = resp.status == 503 && resp.retry_after().is_some();

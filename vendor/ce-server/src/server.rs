@@ -143,6 +143,11 @@ pub struct ServerStats {
     pub poller_wakeups: u64,
     /// Connections a poller handed to the worker pool (event mode).
     pub poller_dispatches: u64,
+    /// Connections currently parked idle at the pollers (event mode).
+    pub parked: u64,
+    /// Ready connections currently waiting in the dispatch queue for a
+    /// worker — the instantaneous worker backlog.
+    pub dispatch_depth: u64,
 }
 
 struct Counters {
@@ -154,6 +159,7 @@ struct Counters {
     buffer_allocs: AtomicU64,
     poller_wakeups: AtomicU64,
     poller_dispatches: AtomicU64,
+    parked: AtomicU64,
 }
 
 impl Counters {
@@ -167,6 +173,7 @@ impl Counters {
             buffer_allocs: AtomicU64::new(0),
             poller_wakeups: AtomicU64::new(0),
             poller_dispatches: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
         }
     }
 }
@@ -230,6 +237,15 @@ struct Conn {
     last_activity: Instant,
     /// Poller index this connection parks at (event mode).
     home: usize,
+    /// Poller latency attributable to the *next* request on this connection
+    /// (trace stage `park`): time from the `poll(2)` wake that found it
+    /// readable until the poller pushed it to dispatch. Deliberately
+    /// excludes the idle wait before the request's bytes arrived — that is
+    /// the client thinking, not the server queueing.
+    park_ns: u64,
+    /// When the connection entered the dispatch queue; consumed into the
+    /// trace stage `dispatch` by the first request a worker serves.
+    queued_at: Option<Instant>,
     shared: Arc<ConnShared>,
 }
 
@@ -248,6 +264,8 @@ impl Conn {
             served: 0,
             last_activity: Instant::now(),
             home,
+            park_ns: 0,
+            queued_at: None,
             shared,
         }
     }
@@ -283,7 +301,8 @@ struct DispatchQueue {
 }
 
 impl DispatchQueue {
-    fn push(&self, conn: Conn) {
+    fn push(&self, mut conn: Conn) {
+        conn.queued_at = Some(Instant::now());
         lock(&self.ready).push_back(conn);
         self.available.notify_one();
     }
@@ -458,15 +477,16 @@ impl HttpServer {
 
     /// Point-in-time counters.
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            accepted: self.counters.accepted.load(Ordering::Relaxed),
-            conn_shed: self.counters.conn_shed.load(Ordering::Relaxed),
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            parse_errors: self.counters.parse_errors.load(Ordering::Relaxed),
-            open: self.counters.open.load(Ordering::Relaxed),
-            buffer_allocs: self.counters.buffer_allocs.load(Ordering::Relaxed),
-            poller_wakeups: self.counters.poller_wakeups.load(Ordering::Relaxed),
-            poller_dispatches: self.counters.poller_dispatches.load(Ordering::Relaxed),
+        read_stats(&self.counters, &self.dispatch)
+    }
+
+    /// A cloneable handle that reads [`ServerStats`] without borrowing the
+    /// server — so a handler closure (built before `bind` returns) can
+    /// export server counters from inside its own `/metrics` endpoint.
+    pub fn stats_probe(&self) -> ServerStatsProbe {
+        ServerStatsProbe {
+            counters: Arc::clone(&self.counters),
+            dispatch: Arc::clone(&self.dispatch),
         }
     }
 
@@ -503,6 +523,35 @@ impl HttpServer {
 impl Drop for HttpServer {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// See [`HttpServer::stats_probe`].
+#[derive(Clone)]
+pub struct ServerStatsProbe {
+    counters: Arc<Counters>,
+    dispatch: Arc<DispatchQueue>,
+}
+
+impl ServerStatsProbe {
+    /// Point-in-time counters, identical to [`HttpServer::stats`].
+    pub fn stats(&self) -> ServerStats {
+        read_stats(&self.counters, &self.dispatch)
+    }
+}
+
+fn read_stats(counters: &Counters, dispatch: &DispatchQueue) -> ServerStats {
+    ServerStats {
+        accepted: counters.accepted.load(Ordering::Relaxed),
+        conn_shed: counters.conn_shed.load(Ordering::Relaxed),
+        requests: counters.requests.load(Ordering::Relaxed),
+        parse_errors: counters.parse_errors.load(Ordering::Relaxed),
+        open: counters.open.load(Ordering::Relaxed),
+        buffer_allocs: counters.buffer_allocs.load(Ordering::Relaxed),
+        poller_wakeups: counters.poller_wakeups.load(Ordering::Relaxed),
+        poller_dispatches: counters.poller_dispatches.load(Ordering::Relaxed),
+        parked: counters.parked.load(Ordering::Relaxed),
+        dispatch_depth: lock(&dispatch.ready).len() as u64,
     }
 }
 
@@ -618,11 +667,18 @@ fn poller_loop(
     let mut parked: Vec<Conn> = Vec::new();
     let mut fds: Vec<poll::PollFd> = Vec::new();
     loop {
-        parked.append(&mut lock(&poller.inbox));
+        {
+            let mut inbox = lock(&poller.inbox);
+            if !inbox.is_empty() {
+                counters.parked.fetch_add(inbox.len() as u64, Ordering::Relaxed);
+                parked.append(&mut inbox);
+            }
+        }
         if stop.load(Ordering::SeqCst) {
             // Drain: parked connections are idle *between* requests, so
             // closing them here loses nothing; in-flight ones finish at the
             // workers with `Connection: close`.
+            counters.parked.fetch_sub(parked.len() as u64, Ordering::Relaxed);
             parked.clear();
             lock(&poller.inbox).clear();
             return;
@@ -635,6 +691,7 @@ fn poller_loop(
         while i < parked.len() {
             let idle = now.duration_since(parked[i].last_activity);
             if idle >= read_timeout {
+                counters.parked.fetch_sub(1, Ordering::Relaxed);
                 drop(parked.swap_remove(i));
             } else {
                 next_deadline = next_deadline.min(read_timeout - idle);
@@ -655,6 +712,7 @@ fn poller_loop(
         }
         counters.poller_wakeups.fetch_add(1, Ordering::Relaxed);
         tm_wakeups.inc();
+        let woke = Instant::now();
 
         if fds[0].ready() {
             let mut scratch = [0u8; 64];
@@ -663,11 +721,17 @@ fn poller_loop(
         let mut dispatched = 0u64;
         for idx in (0..parked.len()).rev() {
             if fds[idx + 1].ready() {
-                dispatch.push(parked.swap_remove(idx));
+                let mut conn = parked.swap_remove(idx);
+                // Stage `park`: poller latency between the poll(2) wake that
+                // found this connection readable and its dispatch (see the
+                // field docs for why the idle wait itself is excluded).
+                conn.park_ns = woke.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                dispatch.push(conn);
                 dispatched += 1;
             }
         }
         if dispatched > 0 {
+            counters.parked.fetch_sub(dispatched, Ordering::Relaxed);
             counters.poller_dispatches.fetch_add(dispatched, Ordering::Relaxed);
             tm_dispatches.add(dispatched);
         }
@@ -782,6 +846,23 @@ fn drive(conn: &mut Conn, ctx: &WorkerCtx) -> ConnFate {
         loop {
             match conn.parser.next_request() {
                 Ok(Some(request)) => {
+                    // Stage the pre-handler waits (poller park, dispatch
+                    // queue) for the handler's sampling decision; both are
+                    // one-shot — pipelined followers on this wake see zero.
+                    let t_handle = Instant::now();
+                    ce_telemetry::trace::clear_pending();
+                    let park_ns = std::mem::take(&mut conn.park_ns);
+                    if park_ns > 0 {
+                        ce_telemetry::trace::pending_stage("park", park_ns);
+                    }
+                    let dispatch_ns = conn
+                        .queued_at
+                        .take()
+                        .map(|at| at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
+                        .unwrap_or(0);
+                    if dispatch_ns > 0 {
+                        ce_telemetry::trace::pending_stage("dispatch", dispatch_ns);
+                    }
                     let response = ctx.handler.handle(&request);
                     conn.served += 1;
                     let keep = request.keep_alive()
@@ -792,6 +873,29 @@ fn drive(conn: &mut Conn, ctx: &WorkerCtx) -> ConnFate {
                     // Serving counts as activity: a client draining our
                     // responses must not be idle-closed mid-conversation.
                     conn.last_activity = Instant::now();
+                    // A sampled request (the handler started a trace) is
+                    // flushed inline so its `write` stage is real and the
+                    // record can be published with the full server-side
+                    // total; everything else keeps the batched flush.
+                    let traced = ce_telemetry::trace::active_id().is_some();
+                    if traced {
+                        let t_write = Instant::now();
+                        let ok = flush_out(conn, config);
+                        ce_telemetry::trace::stage(
+                            "write",
+                            t_write.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                        );
+                        let total = park_ns
+                            .saturating_add(dispatch_ns)
+                            .saturating_add(
+                                t_handle.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                            );
+                        ce_telemetry::trace::finish(Some(total));
+                        if !ok || !keep {
+                            return ConnFate::Close;
+                        }
+                        continue;
+                    }
                     if !keep {
                         let _ = flush_out(conn, config);
                         return ConnFate::Close;

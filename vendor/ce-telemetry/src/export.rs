@@ -94,6 +94,25 @@ pub(crate) fn to_json(snapshot: &BTreeMap<String, MetricValue>) -> String {
     )
 }
 
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote, and newline become `\\`, `\"`, and `\n`. Every
+/// string interpolated into a `label="…"` position must pass through here —
+/// fleet aggregation puts shard names (operator-controlled, potentially
+/// hostile) into labels, and an unescaped quote would corrupt the whole
+/// scrape.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Prometheus metric name: `cardest_` prefix, any character outside
 /// `[a-zA-Z0-9_]` replaced by `_`.
 fn prom_name(name: &str) -> String {
@@ -201,6 +220,69 @@ mod tests {
         assert!(text.contains("cardest_span_serve_predict_bucket{le=\"+Inf\"} 4"), "{text}");
         assert!(text.contains("cardest_span_serve_predict_sum 1030"), "{text}");
         assert!(text.contains("cardest_span_serve_predict_count 4"), "{text}");
+    }
+
+    /// Un-escapes one Prometheus label value the way a scraper would,
+    /// walking escape sequences left to right.
+    fn unescape_label_value(escaped: &str) -> String {
+        let mut out = String::with_capacity(escaped.len());
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip_through_escaping() {
+        let hostile = [
+            "plain-shard",
+            "quote\"inject",
+            "back\\slash",
+            "new\nline",
+            "all\\three\"at\nonce",
+            "trailing\\",
+            "\"} fake_metric 1\n",
+            "",
+        ];
+        for name in hostile {
+            let escaped = escape_label_value(name);
+            // A scraper recovers the exact original value...
+            assert_eq!(unescape_label_value(&escaped), name, "escaped form {escaped:?}");
+            // ...and the escaped form can never terminate the quoted label
+            // early (no raw quote) or split the sample line (no raw newline).
+            assert!(!escaped.contains('\n'), "raw newline survived in {escaped:?}");
+            let mut prev_backslash = false;
+            for c in escaped.chars() {
+                if c == '"' {
+                    assert!(prev_backslash, "unescaped quote in {escaped:?}");
+                }
+                prev_backslash = c == '\\' && !prev_backslash;
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_hostile_values_stay_distinct_after_escaping() {
+        // Injection-style collisions: these pairs differ, and must still
+        // differ after escaping (otherwise two shards could alias one label).
+        let pairs = [("a\\nb", "a\nb"), ("a\\\"b", "a\"b"), ("x\\\\", "x\\\\\\\\")];
+        for (a, b) in pairs {
+            assert_ne!(escape_label_value(a), escape_label_value(b), "{a:?} vs {b:?}");
+        }
     }
 
     #[test]

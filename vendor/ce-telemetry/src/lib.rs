@@ -48,9 +48,11 @@ mod export;
 mod metric;
 mod registry;
 mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub use export::escape_label_value;
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{global, MetricValue, Registry};
 pub use span::Span;

@@ -21,6 +21,7 @@ thread_local! {
 /// even if telemetry is enabled before it drops.
 #[must_use = "a span records its timing when dropped"]
 pub struct Span {
+    name: &'static str,
     start: Option<Instant>,
 }
 
@@ -29,10 +30,10 @@ impl Span {
     /// disabled.
     pub fn enter(name: &'static str) -> Span {
         if !crate::enabled() {
-            return Span { start: None };
+            return Span { name, start: None };
         }
         STACK.with(|stack| stack.borrow_mut().push(name));
-        Span { start: Some(Instant::now()) }
+        Span { name, start: Some(Instant::now()) }
     }
 }
 
@@ -47,6 +48,10 @@ impl Drop for Span {
             path
         });
         crate::global().histogram(&path).record(elapsed_ns);
+        // Join the span tree with the active distributed trace, if any: the
+        // span's leaf name becomes a stage so one trace record shows the
+        // conformal layer's time next to the transport stages.
+        crate::trace::stage(self.name, elapsed_ns);
     }
 }
 

@@ -1,0 +1,842 @@
+//! Distributed trace context, per-stage latency attribution, and the anomaly
+//! flight recorder (DESIGN.md §13).
+//!
+//! A request is traced end to end by a 128-bit [`TraceId`] minted at the
+//! first hop (router, or shard for direct traffic) and propagated in the
+//! `x-ce-trace` request/response header. While a request is being served,
+//! the serving thread holds an *active trace* in thread-local storage; each
+//! layer appends named stages (`park`, `dispatch`, `queue`, `window`,
+//! `infer`, `write`, …) as plain `(name, nanoseconds)` pairs into a
+//! fixed-capacity array — no allocation on the hot path. When the response
+//! is flushed the completed [`TraceRecord`] is published into the *flight
+//! recorder*: a lock-free seqlock ring that retains the last
+//! [`TRACE_RING_CAP`] records plus the last [`EVENT_RING_CAP`] structured
+//! [`EventRecord`]s (breaker transitions, coverage alarms, shard
+//! ejection/readmission, shed/drain decisions).
+//!
+//! ## Sampling
+//!
+//! Tracing is head-sampled: [`should_sample`] admits one request in
+//! [`sample_rate`] (default 64; `0` disables tracing entirely, `1` traces
+//! everything). An un-sampled request costs one relaxed `fetch_add` and a
+//! compare. An [`anomaly`] — a breaker opening, a coverage alarm firing —
+//! opens a window during which *every* request is sampled, so the flight
+//! recorder fills with the traffic surrounding the incident; the anomaly
+//! also freezes a JSON snapshot of the ring, retrievable with
+//! [`last_anomaly_dump`].
+//!
+//! ## Out-of-band contract
+//!
+//! Like the rest of `ce-telemetry`, tracing observes computations and never
+//! participates in them: no traced code path reads trace state back to make
+//! a decision, so results are byte-identical at any sample rate.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Maximum number of stages retained per trace; later stages are dropped.
+pub const MAX_STAGES: usize = 16;
+/// Completed trace records retained by the flight recorder.
+pub const TRACE_RING_CAP: usize = 256;
+/// Structured events retained by the flight recorder.
+pub const EVENT_RING_CAP: usize = 128;
+/// Maximum bytes of free-form detail retained per event.
+pub const EVENT_DETAIL_CAP: usize = 64;
+/// Default head-sampling rate: one request in this many is traced.
+pub const DEFAULT_SAMPLE_RATE: u64 = 64;
+/// How long after an anomaly every request is sampled.
+pub const ANOMALY_WINDOW: Duration = Duration::from_secs(2);
+
+// ---------------------------------------------------------------------------
+// Trace IDs
+// ---------------------------------------------------------------------------
+
+/// A 128-bit trace identifier, wire-formatted as exactly 32 lowercase hex
+/// digits. Zero is reserved to mean "no trace" and never minted or parsed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TraceId(pub u128);
+
+impl TraceId {
+    /// Parses the wire form: exactly 32 lowercase hex digits, nonzero.
+    /// Anything else — wrong length, uppercase, stray characters — is
+    /// rejected so a hostile header can only ever be ignored.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        if s.len() != 32 {
+            return None;
+        }
+        let mut v: u128 = 0;
+        for b in s.bytes() {
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                _ => return None,
+            };
+            v = (v << 4) | u128::from(digit);
+        }
+        if v == 0 {
+            None
+        } else {
+            Some(TraceId(v))
+        }
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mints a fresh trace ID: a process-unique sequence number pushed through
+/// SplitMix64 twice, seeded once per process from the wall clock and an
+/// address (ASLR) so concurrent fleets do not collide.
+pub fn mint() -> TraceId {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed);
+        let aslr = &SEQ as *const AtomicU64 as u64;
+        splitmix64(clock ^ aslr.rotate_left(17))
+    });
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let hi = splitmix64(seed ^ splitmix64(n));
+    let lo = splitmix64(hi ^ n.wrapping_add(0x6a09_e667_f3bc_c909));
+    let id = (u128::from(hi) << 64) | u128::from(lo);
+    TraceId(if id == 0 { 1 } else { id })
+}
+
+// ---------------------------------------------------------------------------
+// Process-relative clock
+// ---------------------------------------------------------------------------
+
+fn process_start() -> Instant {
+    static T0: OnceLock<Instant> = OnceLock::new();
+    *T0.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the first trace-clock read in this process. Trace and
+/// event records are stamped on this monotonic scale so they order correctly
+/// even across wall-clock adjustments.
+pub fn now_ns() -> u64 {
+    process_start().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------------
+
+static SAMPLE_RATE: AtomicU64 = AtomicU64::new(DEFAULT_SAMPLE_RATE);
+static SAMPLE_SEQ: AtomicU64 = AtomicU64::new(0);
+static ANOMALY_UNTIL_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the head-sampling rate: trace one request in `rate`. `0` disables
+/// tracing, `1` traces every request.
+pub fn set_sample_rate(rate: u64) {
+    SAMPLE_RATE.store(rate, Ordering::Relaxed);
+}
+
+/// The current head-sampling rate (see [`set_sample_rate`]).
+pub fn sample_rate() -> u64 {
+    SAMPLE_RATE.load(Ordering::Relaxed)
+}
+
+/// Head-sampling decision for one request. Inside an anomaly window every
+/// request is sampled; otherwise one in [`sample_rate`] is. The un-sampled
+/// cost is one relaxed `fetch_add` plus a compare.
+pub fn should_sample() -> bool {
+    let until = ANOMALY_UNTIL_NS.load(Ordering::Relaxed);
+    if until != 0 {
+        if now_ns() < until {
+            return true;
+        }
+        // Window elapsed: fold it shut so later requests skip the clock read.
+        let _ = ANOMALY_UNTIL_NS.compare_exchange(until, 0, Ordering::Relaxed, Ordering::Relaxed);
+    }
+    match SAMPLE_RATE.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        rate => SAMPLE_SEQ.fetch_add(1, Ordering::Relaxed).is_multiple_of(rate),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stages and the active trace
+// ---------------------------------------------------------------------------
+
+/// One attributed latency stage inside a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stage {
+    /// Stage name from the fixed taxonomy (DESIGN.md §13): `park`,
+    /// `dispatch`, `queue`, `window`, `infer`, `write`, `route`, `network`,
+    /// or a telemetry span name joined from the conformal layer.
+    pub name: &'static str,
+    /// Wall-clock nanoseconds attributed to this stage.
+    pub ns: u64,
+}
+
+const NO_STAGE: Stage = Stage { name: "", ns: 0 };
+
+/// A completed, published trace: the unit stored in the flight recorder and
+/// served by `GET /debug/trace`.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRecord {
+    /// The 128-bit trace ID (see [`TraceId`]).
+    pub id: u128,
+    /// Completion time in nanoseconds on the [`now_ns`] process clock.
+    pub at_ns: u64,
+    /// End-to-end nanoseconds observed at the hop that published the record.
+    pub total_ns: u64,
+    stages: [Stage; MAX_STAGES],
+    len: u8,
+}
+
+impl TraceRecord {
+    const EMPTY: TraceRecord =
+        TraceRecord { id: 0, at_ns: 0, total_ns: 0, stages: [NO_STAGE; MAX_STAGES], len: 0 };
+
+    /// The recorded stages, in arrival order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages[..usize::from(self.len)]
+    }
+
+    /// Sum of all recorded stage durations in nanoseconds.
+    pub fn stage_sum_ns(&self) -> u64 {
+        self.stages().iter().map(|s| s.ns).sum()
+    }
+}
+
+#[derive(Clone, Copy)]
+struct ActiveTrace {
+    id: u128,
+    started_ns: u64,
+    stages: [Stage; MAX_STAGES],
+    len: u8,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+    /// Pre-handler stages (poller park, dispatch wait) stamped by the server
+    /// before the sampling decision is taken; adopted by `begin`, discarded
+    /// by the next `clear_pending`.
+    static PENDING: RefCell<([Stage; 4], u8)> = const { RefCell::new(([NO_STAGE; 4], 0)) };
+}
+
+/// Discards any pre-handler stages staged on this thread. The server calls
+/// this at the top of each request so stages from a previous request on the
+/// same connection can never leak into the next trace.
+pub fn clear_pending() {
+    PENDING.with(|p| p.borrow_mut().1 = 0);
+}
+
+/// Stages a pre-handler latency (poller park, dispatch-queue wait) measured
+/// before the sampling decision exists. If the handler then starts a trace,
+/// [`begin`] adopts these; otherwise the next [`clear_pending`] drops them.
+pub fn pending_stage(name: &'static str, ns: u64) {
+    PENDING.with(|p| {
+        let (stages, len) = &mut *p.borrow_mut();
+        if usize::from(*len) < stages.len() {
+            stages[usize::from(*len)] = Stage { name, ns };
+            *len += 1;
+        }
+    });
+}
+
+/// Starts the active trace for this thread under `id`, adopting any staged
+/// pre-handler stages. Replaces a previous active trace, if any (a trace
+/// left unfinished is dropped, never published half-built).
+pub fn begin(id: TraceId) {
+    let mut trace =
+        ActiveTrace { id: id.0, started_ns: now_ns(), stages: [NO_STAGE; MAX_STAGES], len: 0 };
+    PENDING.with(|p| {
+        let (stages, len) = &mut *p.borrow_mut();
+        for stage in &stages[..usize::from(*len)] {
+            trace.stages[usize::from(trace.len)] = *stage;
+            trace.len += 1;
+        }
+        *len = 0;
+    });
+    ACTIVE.with(|a| *a.borrow_mut() = Some(trace));
+}
+
+/// The ID of the trace active on this thread, if any.
+pub fn active_id() -> Option<TraceId> {
+    ACTIVE.with(|a| a.borrow().as_ref().map(|t| TraceId(t.id)))
+}
+
+/// Appends a stage to the active trace. No-op (one thread-local borrow) when
+/// no trace is active; stages past [`MAX_STAGES`] are dropped.
+pub fn stage(name: &'static str, ns: u64) {
+    ACTIVE.with(|a| {
+        if let Some(trace) = a.borrow_mut().as_mut() {
+            if usize::from(trace.len) < MAX_STAGES {
+                trace.stages[usize::from(trace.len)] = Stage { name, ns };
+                trace.len += 1;
+            }
+        }
+    });
+}
+
+/// Completes the active trace and publishes it to the flight recorder.
+/// `total_ns` is the caller-observed end-to-end time; pass `None` to use the
+/// time since [`begin`]. No-op when no trace is active.
+pub fn finish(total_ns: Option<u64>) {
+    let Some(trace) = ACTIVE.with(|a| a.borrow_mut().take()) else { return };
+    let at_ns = now_ns();
+    let record = TraceRecord {
+        id: trace.id,
+        at_ns,
+        total_ns: total_ns.unwrap_or_else(|| at_ns.saturating_sub(trace.started_ns)),
+        stages: trace.stages,
+        len: trace.len,
+    };
+    trace_ring().push(record);
+}
+
+/// Drops the active trace without publishing it (e.g. when a request dies
+/// before producing a response).
+pub fn abandon() {
+    ACTIVE.with(|a| *a.borrow_mut() = None);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-hop stage propagation (the `x-ce-stages` response header)
+// ---------------------------------------------------------------------------
+
+/// Stage names a downstream hop may report in its `x-ce-stages` header.
+/// Merging interns against this table so stage names stay `&'static str`
+/// (and a hostile header can only ever contribute known names).
+const KNOWN_STAGES: &[&str] = &[
+    "park",
+    "dispatch",
+    "queue",
+    "window",
+    "infer",
+    "write",
+    "route",
+    "network",
+    "serve_predict",
+    "pi_interval",
+    "pi_batch",
+    "pi_observe",
+    "resilient_serve",
+    "resilient_batch",
+    "resilient_observe",
+    "sanitize",
+];
+
+/// The stages that partition a hop's wall clock end to end. Everything
+/// else in [`KNOWN_STAGES`] is a telemetry span joined as a stage — those
+/// *nest inside* `infer`, so summing them alongside the transport stages
+/// would double-count.
+pub const TRANSPORT_STAGES: &[&str] =
+    &["park", "dispatch", "queue", "window", "infer", "write", "route", "network"];
+
+fn intern_stage(name: &str) -> Option<&'static str> {
+    KNOWN_STAGES.iter().find(|k| **k == name).copied()
+}
+
+/// Renders the active trace's stages as the `x-ce-stages` wire form
+/// (`name=ns;name=ns;…`) so a downstream hop can report its breakdown to the
+/// hop that minted the trace. `None` when no trace is active.
+pub fn stages_header() -> Option<String> {
+    ACTIVE.with(|a| {
+        let borrow = a.borrow();
+        let trace = borrow.as_ref()?;
+        let mut out = String::new();
+        for stage in &trace.stages[..usize::from(trace.len)] {
+            if !out.is_empty() {
+                out.push(';');
+            }
+            let _ = write!(out, "{}={}", stage.name, stage.ns);
+        }
+        Some(out)
+    })
+}
+
+/// Merges a downstream hop's `x-ce-stages` header into the active trace.
+/// Unknown stage names and malformed pairs are skipped (the header crosses a
+/// network boundary and is untrusted). Returns the summed nanoseconds of the
+/// *transport* stages merged — span-joined stages nest inside `infer` and
+/// must not count twice — so the caller can attribute the remainder of its
+/// own forward time to the network.
+pub fn merge_stages_header(header: &str) -> u64 {
+    let mut merged = 0u64;
+    for pair in header.split(';') {
+        let Some((name, ns)) = pair.split_once('=') else { continue };
+        let Some(name) = intern_stage(name.trim()) else { continue };
+        let Ok(ns) = ns.trim().parse::<u64>() else { continue };
+        stage(name, ns);
+        if TRANSPORT_STAGES.contains(&name) {
+            merged = merged.saturating_add(ns);
+        }
+    }
+    merged
+}
+
+// ---------------------------------------------------------------------------
+// Structured events
+// ---------------------------------------------------------------------------
+
+/// A structured flight-recorder event: a breaker transition, coverage alarm,
+/// shard ejection/readmission, or shed/drain decision.
+#[derive(Clone, Copy, Debug)]
+pub struct EventRecord {
+    /// Event time in nanoseconds on the [`now_ns`] process clock.
+    pub at_ns: u64,
+    /// Event kind, e.g. `breaker_open`, `coverage_alarm`, `shard_ejected`.
+    pub kind: &'static str,
+    /// Whether this event opened an anomaly sampling window.
+    pub anomaly: bool,
+    detail: [u8; EVENT_DETAIL_CAP],
+    detail_len: u8,
+}
+
+impl EventRecord {
+    const EMPTY: EventRecord = EventRecord {
+        at_ns: 0,
+        kind: "",
+        anomaly: false,
+        detail: [0; EVENT_DETAIL_CAP],
+        detail_len: 0,
+    };
+
+    fn new(kind: &'static str, detail: &str, anomaly: bool) -> EventRecord {
+        let mut record = EventRecord { at_ns: now_ns(), kind, anomaly, ..EventRecord::EMPTY };
+        // Truncate to capacity on a char boundary so the stored bytes stay
+        // valid UTF-8.
+        let mut cut = detail.len().min(EVENT_DETAIL_CAP);
+        while cut > 0 && !detail.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        record.detail[..cut].copy_from_slice(&detail.as_bytes()[..cut]);
+        record.detail_len = cut as u8;
+        record
+    }
+
+    /// The free-form detail string (truncated to [`EVENT_DETAIL_CAP`] bytes).
+    pub fn detail(&self) -> &str {
+        std::str::from_utf8(&self.detail[..usize::from(self.detail_len)]).unwrap_or("")
+    }
+}
+
+/// Records a routine structured event into the flight recorder.
+pub fn event(kind: &'static str, detail: &str) {
+    event_ring().push(EventRecord::new(kind, detail, false));
+}
+
+/// Records an *anomaly* event: besides entering the flight recorder, it
+/// opens an [`ANOMALY_WINDOW`] during which every request is sampled, and
+/// freezes a JSON snapshot of the recorder (the triggering event plus the
+/// traces and events that preceded it), retrievable with
+/// [`last_anomaly_dump`].
+pub fn anomaly(kind: &'static str, detail: &str) {
+    event_ring().push(EventRecord::new(kind, detail, true));
+    let now = now_ns();
+    let until = now.saturating_add(ANOMALY_WINDOW.as_nanos().min(u128::from(u64::MAX)) as u64);
+    let prev = ANOMALY_UNTIL_NS.swap(until, Ordering::Relaxed);
+    // Freeze (and print) only for the anomaly that *opens* a window. A
+    // storm of follow-on trips — a flapping breaker under load — extends
+    // the 100%-sampling window but must not re-freeze per trip: the
+    // forensically interesting state is the one surrounding the first
+    // trigger, and the serialization is the only expensive step here.
+    if prev >= now {
+        return;
+    }
+    let dump = snapshot_json();
+    eprintln!("flight-recorder: anomaly `{kind}` ({detail}); snapshot frozen");
+    *last_anomaly().lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(dump);
+}
+
+fn last_anomaly() -> &'static Mutex<Option<String>> {
+    static LAST: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    LAST.get_or_init(|| Mutex::new(None))
+}
+
+/// The JSON snapshot frozen by the most recent [`anomaly`], if any.
+pub fn last_anomaly_dump() -> Option<String> {
+    last_anomaly().lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
+
+// ---------------------------------------------------------------------------
+// The flight recorder: lock-free seqlock rings
+// ---------------------------------------------------------------------------
+
+/// A fixed-capacity, lock-free, multi-writer ring of `Copy` records.
+///
+/// Writers claim a monotonically increasing index with one `fetch_add` and
+/// publish through a per-slot sequence word (seqlock protocol: odd while a
+/// write is in flight, `2·generation + 2` once slot content for that lap is
+/// stable). Readers take no lock and never block a writer: a slot whose
+/// sequence word moved during the copy is simply discarded, so a snapshot
+/// only ever contains records that were fully written.
+struct Ring<T: Copy> {
+    cursor: AtomicU64,
+    seqs: Box<[AtomicU64]>,
+    slots: Box<[UnsafeCell<T>]>,
+}
+
+// SAFETY: all access to `slots` is mediated by the seqlock protocol above —
+// readers discard any slot observed mid-write, writers own distinct indexes.
+unsafe impl<T: Copy + Send> Sync for Ring<T> {}
+
+impl<T: Copy> Ring<T> {
+    fn new(cap: usize, empty: T) -> Ring<T> {
+        Ring {
+            cursor: AtomicU64::new(0),
+            seqs: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..cap).map(|_| UnsafeCell::new(empty)).collect(),
+        }
+    }
+
+    fn push(&self, value: T) {
+        let cap = self.seqs.len() as u64;
+        let idx = self.cursor.fetch_add(1, Ordering::AcqRel);
+        let slot = (idx % cap) as usize;
+        let generation = idx / cap;
+        self.seqs[slot].store(2 * generation + 1, Ordering::Release);
+        // SAFETY: writers collide on a slot only if the cursor laps the whole
+        // ring mid-write; the volatile write cannot be torn *observably*
+        // because readers validate the sequence word on both sides of their
+        // copy and discard the slot on any mismatch.
+        unsafe { std::ptr::write_volatile(self.slots[slot].get(), value) };
+        self.seqs[slot].store(2 * generation + 2, Ordering::Release);
+    }
+
+    /// The last `cap` fully-written records, oldest first.
+    fn snapshot(&self) -> Vec<T> {
+        let end = self.cursor.load(Ordering::Acquire);
+        let cap = self.seqs.len() as u64;
+        let start = end.saturating_sub(cap);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for idx in start..end {
+            let slot = (idx % cap) as usize;
+            let want = 2 * (idx / cap) + 2;
+            if self.seqs[slot].load(Ordering::Acquire) != want {
+                continue;
+            }
+            // SAFETY: seqlock read — the copy is only kept if the sequence
+            // word is unchanged on both sides, proving no concurrent write.
+            let value = unsafe { std::ptr::read_volatile(self.slots[slot].get()) };
+            if self.seqs[slot].load(Ordering::Acquire) == want {
+                out.push(value);
+            }
+        }
+        out
+    }
+
+    fn reset(&self) {
+        self.cursor.store(0, Ordering::Release);
+        for seq in self.seqs.iter() {
+            seq.store(0, Ordering::Release);
+        }
+    }
+}
+
+fn trace_ring() -> &'static Ring<TraceRecord> {
+    static RING: OnceLock<Ring<TraceRecord>> = OnceLock::new();
+    RING.get_or_init(|| Ring::new(TRACE_RING_CAP, TraceRecord::EMPTY))
+}
+
+fn event_ring() -> &'static Ring<EventRecord> {
+    static RING: OnceLock<Ring<EventRecord>> = OnceLock::new();
+    RING.get_or_init(|| Ring::new(EVENT_RING_CAP, EventRecord::EMPTY))
+}
+
+/// Forces the flight recorder's one-time allocations (the two rings) so a
+/// server can take them at startup instead of on the first sampled request.
+pub fn warm() {
+    let _ = trace_ring();
+    let _ = event_ring();
+}
+
+/// The last [`TRACE_RING_CAP`] completed traces, oldest first.
+pub fn trace_snapshot() -> Vec<TraceRecord> {
+    trace_ring().snapshot()
+}
+
+/// The last [`EVENT_RING_CAP`] structured events, oldest first.
+pub fn event_snapshot() -> Vec<EventRecord> {
+    event_ring().snapshot()
+}
+
+/// Clears the flight recorder, the anomaly window, and the frozen anomaly
+/// snapshot. Test/bench isolation only — never called on a serving path.
+#[doc(hidden)]
+pub fn reset() {
+    trace_ring().reset();
+    event_ring().reset();
+    ANOMALY_UNTIL_NS.store(0, Ordering::Relaxed);
+    *last_anomaly().lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    ACTIVE.with(|a| *a.borrow_mut() = None);
+    PENDING.with(|p| p.borrow_mut().1 = 0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one trace record as a JSON object.
+pub fn trace_to_json(record: &TraceRecord) -> String {
+    let stages: Vec<String> = record
+        .stages()
+        .iter()
+        .map(|s| format!("{{\"stage\": \"{}\", \"ns\": {}}}", json_escape(s.name), s.ns))
+        .collect();
+    format!(
+        "{{\"trace\": \"{:032x}\", \"at_ns\": {}, \"total_ns\": {}, \"stages\": [{}]}}",
+        record.id,
+        record.at_ns,
+        record.total_ns,
+        stages.join(", ")
+    )
+}
+
+fn event_to_json(record: &EventRecord) -> String {
+    format!(
+        "{{\"at_ns\": {}, \"kind\": \"{}\", \"anomaly\": {}, \"detail\": \"{}\"}}",
+        record.at_ns,
+        json_escape(record.kind),
+        record.anomaly,
+        json_escape(record.detail())
+    )
+}
+
+/// Renders the whole flight recorder — sample rate, retained traces, and
+/// retained events — as one JSON object. This is the body of
+/// `GET /debug/trace` and the payload frozen by [`anomaly`].
+pub fn snapshot_json() -> String {
+    let traces: Vec<String> = trace_snapshot().iter().map(trace_to_json).collect();
+    let events: Vec<String> = event_snapshot().iter().map(event_to_json).collect();
+    format!(
+        "{{\n\"sample_rate\": {},\n\"traces\": [{}],\n\"events\": [{}]\n}}",
+        sample_rate(),
+        traces.join(", "),
+        events.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_round_trip_and_reject_garbage() {
+        let id = mint();
+        assert_ne!(id.0, 0);
+        let wire = id.to_string();
+        assert_eq!(wire.len(), 32);
+        assert_eq!(TraceId::parse(&wire), Some(id));
+        for bad in [
+            "",
+            "123",
+            "g2345678901234567890123456789012",                                  // non-hex
+            "1234567890123456789012345678901",                                   // 31 chars
+            "123456789012345678901234567890123",                                 // 33 chars
+            "A2345678901234567890123456789012",                                  // uppercase
+            "00000000000000000000000000000000",                                  // zero
+            "0x345678901234567890123456789012",                                  // prefix
+        ] {
+            assert_eq!(TraceId::parse(bad), None, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn minted_ids_are_distinct() {
+        let a = mint();
+        let b = mint();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stages_accumulate_and_publish() {
+        let _guard = crate::test_lock();
+        reset();
+        let id = mint();
+        clear_pending();
+        pending_stage("park", 11);
+        pending_stage("dispatch", 22);
+        begin(id);
+        assert_eq!(active_id(), Some(id));
+        stage("queue", 33);
+        stage("infer", 44);
+        finish(Some(1000));
+        assert_eq!(active_id(), None);
+        let traces = trace_snapshot();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.id, id.0);
+        assert_eq!(t.total_ns, 1000);
+        let names: Vec<&str> = t.stages().iter().map(|s| s.name).collect();
+        assert_eq!(names, ["park", "dispatch", "queue", "infer"]);
+        assert_eq!(t.stage_sum_ns(), 11 + 22 + 33 + 44);
+        reset();
+    }
+
+    #[test]
+    fn pending_stages_do_not_leak_across_requests() {
+        let _guard = crate::test_lock();
+        reset();
+        pending_stage("park", 99);
+        clear_pending(); // next request: the server clears before staging
+        begin(mint());
+        finish(None);
+        let traces = trace_snapshot();
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].stages().is_empty(), "leaked: {:?}", traces[0].stages());
+        reset();
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_newest_records() {
+        let _guard = crate::test_lock();
+        reset();
+        for i in 0..(TRACE_RING_CAP as u64 + 10) {
+            begin(TraceId(u128::from(i) + 1));
+            finish(Some(i));
+        }
+        let traces = trace_snapshot();
+        assert_eq!(traces.len(), TRACE_RING_CAP);
+        assert_eq!(traces.first().unwrap().total_ns, 10);
+        assert_eq!(traces.last().unwrap().total_ns, TRACE_RING_CAP as u64 + 9);
+        reset();
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_a_torn_snapshot() {
+        let _guard = crate::test_lock();
+        reset();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        begin(TraceId((u128::from(t) << 64) | u128::from(i + 1)));
+                        stage("infer", t * 1_000_000 + i);
+                        finish(Some(t * 1_000_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            for record in trace_snapshot() {
+                // Invariant linking the fields: a torn read would mix them.
+                assert_eq!(record.stages().len(), 1);
+                assert_eq!(record.stages()[0].ns, record.total_ns);
+            }
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        reset();
+    }
+
+    #[test]
+    fn sampling_honors_rate_and_anomaly_window() {
+        let _guard = crate::test_lock();
+        reset();
+        set_sample_rate(0);
+        assert!(!should_sample());
+        set_sample_rate(1);
+        assert!(should_sample());
+        set_sample_rate(4);
+        let hits = (0..400).filter(|_| should_sample()).count();
+        assert_eq!(hits, 100, "1-in-4 sampling admitted {hits}/400");
+        // An anomaly forces sampling regardless of rate.
+        set_sample_rate(0);
+        anomaly("test_anomaly", "forced");
+        assert!(should_sample());
+        let dump = last_anomaly_dump().expect("anomaly froze a snapshot");
+        assert!(dump.contains("test_anomaly"), "{dump}");
+        set_sample_rate(DEFAULT_SAMPLE_RATE);
+        reset();
+    }
+
+    #[test]
+    fn stages_header_round_trips_between_hops() {
+        let _guard = crate::test_lock();
+        reset();
+        // Downstream hop (shard): record stages, render the header.
+        begin(mint());
+        stage("queue", 100);
+        stage("window", 200);
+        stage("infer", 300);
+        let header = stages_header().expect("active trace renders");
+        assert_eq!(header, "queue=100;window=200;infer=300");
+        abandon();
+        // Upstream hop (router): merge into its own trace.
+        begin(mint());
+        let merged = merge_stages_header(&header);
+        assert_eq!(merged, 600);
+        // Hostile header: unknown names and junk pairs are skipped.
+        assert_eq!(merge_stages_header("evil=1;queue;=;queue=abc;infer=7"), 7);
+        // Span-joined stages merge into the trace but do not count toward
+        // the wall-clock sum — they nest inside `infer`.
+        assert_eq!(merge_stages_header("pi_batch=5000;write=40"), 40);
+        finish(None);
+        let t = trace_snapshot();
+        let names: Vec<&str> = t[0].stages().iter().map(|s| s.name).collect();
+        assert_eq!(names, ["queue", "window", "infer", "infer", "pi_batch", "write"]);
+        reset();
+    }
+
+    #[test]
+    fn events_retain_kind_and_truncated_detail() {
+        let _guard = crate::test_lock();
+        reset();
+        event("shard_ejected", "shard=alpha probes=3");
+        let long = "x".repeat(EVENT_DETAIL_CAP + 40);
+        event("shed", &long);
+        let events = event_snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "shard_ejected");
+        assert_eq!(events[0].detail(), "shard=alpha probes=3");
+        assert!(!events[0].anomaly);
+        assert_eq!(events[1].detail().len(), EVENT_DETAIL_CAP);
+        reset();
+    }
+
+    #[test]
+    fn snapshot_json_carries_traces_and_events() {
+        let _guard = crate::test_lock();
+        reset();
+        begin(TraceId(0xabc));
+        stage("infer", 42);
+        finish(Some(99));
+        event("drain", "graceful");
+        let json = snapshot_json();
+        assert!(json.contains("\"trace\": \"00000000000000000000000000000abc\""), "{json}");
+        assert!(json.contains("\"stage\": \"infer\", \"ns\": 42"), "{json}");
+        assert!(json.contains("\"kind\": \"drain\""), "{json}");
+        assert!(json.contains("\"sample_rate\": "), "{json}");
+        reset();
+    }
+}

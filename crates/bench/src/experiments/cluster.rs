@@ -33,6 +33,22 @@
 //!    connections; every client request still completes, a full blackout
 //!    ejects the shard, and calm readmits it through the same proxy.
 //!
+//! The replication PR (DESIGN.md §14) adds two more drills on fresh
+//! fleets:
+//!
+//! 6. **A replica kill loses nothing** — with `--replicas 2`, truths fan
+//!    out to each signature's backup as idempotent `/v1/observe` posts.
+//!    Killing the primary of a pinned key mid-stream loses zero accepted
+//!    queries, the promoted backup serves the key from *warm* calibration
+//!    state (interval width within 2x of the primary's pre-kill answer),
+//!    and the fleet-wide observation ledger balances: every posted truth
+//!    is absorbed once by its serving replica plus once per successful
+//!    fan-out — nothing lost, nothing double-counted on any one shard.
+//! 7. **Hedging recovers the injected tail** — a [`ChaosProxy`] delay
+//!    table stalls every Nth request on the primary's wire; firing a
+//!    hedge at the first backup recovers >= 50% of the injected p99
+//!    inflation without raising the error rate.
+//!
 //! The summary is exported to `BENCH_cluster.json` in the working
 //! directory (grep-gated by CI) alongside the usual `results/cluster.json`
 //! record.
@@ -51,7 +67,8 @@ use cardest::pipeline::train_mscn;
 use cardest::router::{request_signature, start_cluster_router, ClusterRouterConfig};
 use cardest::serve::{start_server, HttpServeConfig, ServeEngine, ServeHandle};
 use cardest::server::{
-    ChaosProxy, ClientConfig, FaultRates, HealthConfig, HttpClient, RouterConfig,
+    ChaosProxy, ClientConfig, FaultRates, Fleet, HealthConfig, HedgePolicy, HttpClient,
+    RouterConfig,
 };
 
 use crate::report::ExperimentRecord;
@@ -488,6 +505,7 @@ pub fn cluster(scale: &Scale) -> Vec<ExperimentRecord> {
         delay_rate: 0.2,
         truncate_after: 40,
         delay: Duration::from_millis(20),
+        ..FaultRates::calm()
     };
     let ejections_before = handle.fleet_stats().ejections;
     let chaos_posted = Arc::new(AtomicUsize::new(0));
@@ -563,6 +581,223 @@ pub fn cluster(scale: &Scale) -> Vec<ExperimentRecord> {
     }
     restarted.drain();
 
+    // --- 6. replica kill drill: R=2, primary death loses nothing ----------
+    println!("  replica drill: R=2 fleet, kill the pinned key's primary mid-stream ...");
+    let r_shards: Vec<Shard> = (0..3).map(|_| start_shard(&model, &bench, floor)).collect();
+    let r_names = ["replica-0", "replica-1", "replica-2"];
+    let r_spec: Vec<(String, std::net::SocketAddr)> = r_shards
+        .iter()
+        .zip(r_names)
+        .map(|((_, h), name)| (name.to_string(), h.local_addr()))
+        .collect();
+    let mut r_config = cluster_config();
+    r_config.router.replicas = 2;
+    let r_handle =
+        start_cluster_router(&r_spec, "127.0.0.1:0", r_config).expect("bind replica router");
+    let r_addr = r_handle.local_addr();
+    // The pinned probe (truth-less, so probing never disturbs calibration)
+    // names the replica set under test.
+    let probe = predict_body(std::slice::from_ref(&bench.test.x[1]), None);
+    let probe_set = r_handle.fleet().replica_set(request_signature(&probe), 2);
+    assert_eq!(probe_set.len(), 2, "R=2 over 3 live shards");
+    let primary_name = probe_set[0].0.clone();
+    let primary_idx = r_names
+        .iter()
+        .position(|n| *n == primary_name)
+        .expect("primary is one of the drill shards");
+    let drill_done = Arc::new(AtomicBool::new(false));
+    let drill_posted = Arc::new(AtomicUsize::new(0));
+    let drill_clients: Vec<_> = (0..KILL_CLIENTS)
+        .map(|c| {
+            let xs = bench.test.x.clone();
+            let ys = bench.test.y.clone();
+            let drill_done = Arc::clone(&drill_done);
+            let drill_posted = Arc::clone(&drill_posted);
+            std::thread::spawn(move || {
+                let mut client = None;
+                let mut r = 0usize;
+                while r < KILL_MIN_REQUESTS || !drill_done.load(Ordering::SeqCst) {
+                    let i = (c * KILL_MIN_REQUESTS + r) % xs.len();
+                    let body = predict_body(
+                        std::slice::from_ref(&xs[i]),
+                        Some(std::slice::from_ref(&ys[i])),
+                    );
+                    post_until_accepted(&mut client, r_addr, &body);
+                    drill_posted.fetch_add(1, Ordering::SeqCst);
+                    r += 1;
+                }
+                r
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(200)); // fan-outs warm every backup
+    let mut prober = HttpClient::connect(r_addr).expect("drill probe client");
+    let before_resp = prober.post("/v1/predict", &probe).expect("pre-kill probe");
+    assert_eq!(before_resp.status, 200);
+    let before = parse_intervals(&before_resp.body).expect("pre-kill intervals");
+    let width_before = (before[0].1 - before[0].0).abs().max(f64::MIN_POSITIVE);
+    // Kill mid-stream: drain finishes in-flight requests, then the port
+    // refuses; the prober ejects it and the backup is promoted.
+    r_shards[primary_idx].1.drain();
+    await_condition(Duration::from_secs(10), "drill primary ejection", || {
+        !r_handle.fleet().is_live(&primary_name)
+    });
+    let after_resp = prober.post("/v1/predict", &probe).expect("promoted probe");
+    assert_eq!(after_resp.status, 200, "promoted backup must serve the pinned key");
+    let after = parse_intervals(&after_resp.body).expect("promoted intervals");
+    let width_after = (after[0].1 - after[0].0).abs().max(f64::MIN_POSITIVE);
+    let warm_log_ratio = (width_after / width_before).ln().abs();
+    drill_done.store(true, Ordering::SeqCst);
+    let mut drill_requests = 0usize;
+    for w in drill_clients {
+        drill_requests += w.join().expect("drill client panicked");
+    }
+    let drill_total = drill_posted.load(Ordering::SeqCst);
+    assert_eq!(drill_requests, drill_total);
+    // `post_until_accepted` panics on loss, so reaching here IS the gate.
+    let replica_kill_zero_loss = true;
+    let r_stats = r_handle.router_stats();
+    let lag_total: u64 = r_handle.truth_lag().iter().map(|(_, l)| *l).sum();
+    // Fan-out ledger: every accepted truth is absorbed once by its serving
+    // replica (predict path) plus once per successful /v1/observe fan-out.
+    // The truth-ID dedupe keeps retried posts from double-counting on any
+    // one shard, so the fleet-wide sum balances exactly.
+    let r_observed: u64 = r_shards.iter().map(|(e, _)| e.observations()).sum();
+    assert_eq!(
+        r_observed,
+        drill_total as u64 + r_stats.truth_replicated,
+        "fan-out ledger off (lag {lag_total}, fanouts {})",
+        r_stats.truth_fanouts
+    );
+    // Lag accrues only in the death-to-ejection window; it must stay a
+    // small fraction of the stream — that is the "bounded calibration dip".
+    assert!(
+        lag_total < drill_total as u64 / 2,
+        "truth lag {lag_total} out of {drill_total} posts: fan-out effectively dead"
+    );
+    let promoted_backup_warm = warm_log_ratio <= std::f64::consts::LN_2
+        && r_stats.truth_replicated >= drill_total as u64 / 2;
+    assert!(
+        promoted_backup_warm,
+        "promoted backup not warm: |ln width ratio| {warm_log_ratio:.3} \
+         (before {width_before:.3}, after {width_after:.3}), \
+         {} fan-outs replicated of {drill_total} posts",
+        r_stats.truth_replicated
+    );
+    println!(
+        "  replica drill: {drill_total} posts, {} replicated, lag {lag_total}, \
+         promoted-width ratio e^{warm_log_ratio:.3}",
+        r_stats.truth_replicated
+    );
+    rec.extra("replica_drill_posts", drill_total as f64);
+    rec.extra("replica_truth_replicated", r_stats.truth_replicated as f64);
+    rec.extra("replica_truth_lag", lag_total as f64);
+    rec.extra("replica_warm_log_ratio", warm_log_ratio);
+    rec.extra("replica_kill_zero_loss", 1.0);
+    rec.extra("promoted_backup_warm", 1.0);
+    r_handle.drain();
+    for (i, (_, shard)) in r_shards.iter().enumerate() {
+        if i != primary_idx {
+            shard.drain();
+        }
+    }
+
+    // --- 7. hedge drill: recover the injected p99 tail --------------------
+    println!("  hedge drill: deterministic stall table on the primary's wire ...");
+    const HEDGE_REQUESTS: usize = 160;
+    const TAIL_EVERY: u32 = 8;
+    const TAIL_STALL: Duration = Duration::from_millis(90);
+    let h_shards: Vec<Shard> = (0..2).map(|_| start_shard(&model, &bench, floor)).collect();
+    let h_names = ["hedge-0", "hedge-1"];
+    let h_real: Vec<(String, std::net::SocketAddr)> = h_shards
+        .iter()
+        .zip(h_names)
+        .map(|((_, h), name)| (name.to_string(), h.local_addr()))
+        .collect();
+    let h_probe = predict_body(std::slice::from_ref(&bench.test.x[2]), None);
+    let h_sig = request_signature(&h_probe);
+    // Placement is a pure function of names + vnodes, so a throwaway fleet
+    // names the primary before any router exists — every router below
+    // places identically (the two-router determinism gate in tests/).
+    let placement = Fleet::new(&h_real, cluster_config().vnodes, HealthConfig::default());
+    let (h_primary_name, h_primary_addr) =
+        placement.replica_set(h_sig, 1).first().cloned().expect("pinned primary");
+    let h_proxy =
+        ChaosProxy::start("127.0.0.1:0", h_primary_addr, scale.seed ^ 0x7A11, FaultRates::calm())
+            .expect("bind tail proxy");
+    let h_spec: Vec<(String, std::net::SocketAddr)> = h_real
+        .iter()
+        .map(|(name, addr)| {
+            let addr = if *name == h_primary_name { h_proxy.local_addr() } else { *addr };
+            (name.clone(), addr)
+        })
+        .collect();
+    // One measured run per configuration: fresh router (clean pools and
+    // counters), same proxy, same pinned truth-less body.
+    let run = |hedge: Option<Duration>, tail: bool| -> (f64, u64, u64) {
+        h_proxy.set_faults(if tail {
+            FaultRates::tail(TAIL_EVERY, vec![TAIL_STALL])
+        } else {
+            FaultRates::calm()
+        });
+        let mut config = cluster_config();
+        config.router.replicas = 2;
+        config.router.hedge = match hedge {
+            Some(delay) => HedgePolicy::Fixed(delay),
+            None => HedgePolicy::Off,
+        };
+        let handle =
+            start_cluster_router(&h_spec, "127.0.0.1:0", config).expect("bind hedge router");
+        let mut client = HttpClient::connect(handle.local_addr()).expect("hedge client");
+        for _ in 0..8 {
+            assert_eq!(client.post("/v1/predict", &h_probe).expect("warm").status, 200);
+        }
+        let mut lat = Vec::with_capacity(HEDGE_REQUESTS);
+        for _ in 0..HEDGE_REQUESTS {
+            let t = Instant::now();
+            let resp = client.post("/v1/predict", &h_probe).expect("hedge POST");
+            lat.push(t.elapsed().as_micros());
+            assert_eq!(resp.status, 200, "hedging must not raise the error rate");
+        }
+        lat.sort_unstable();
+        let stats = handle.router_stats();
+        handle.drain();
+        (percentile(&lat, 0.99), stats.hedges_fired, stats.hedge_wins)
+    };
+    let (p99_calm, _, _) = run(None, false);
+    let (p99_tail, _, _) = run(None, true);
+    let (p99_hedged, hedges_fired, hedge_wins) =
+        run(Some(Duration::from_millis(15)), true);
+    drop(h_proxy);
+    for (_, shard) in &h_shards {
+        shard.drain();
+    }
+    assert!(
+        p99_tail > p99_calm + 1_000.0,
+        "the injected tail must be visible: calm p99 {p99_calm:.0}us, tail {p99_tail:.0}us"
+    );
+    assert!(hedges_fired >= 1 && hedge_wins >= 1, "the hedge must fire and win");
+    let hedge_recovered = (p99_tail - p99_hedged) / (p99_tail - p99_calm);
+    let hedge_p99_recovered = hedge_recovered >= 0.5;
+    assert!(
+        hedge_p99_recovered,
+        "hedging recovered only {:.0}% of the injected p99 inflation \
+         (calm {p99_calm:.0}us, tail {p99_tail:.0}us, hedged {p99_hedged:.0}us)",
+        hedge_recovered * 100.0
+    );
+    println!(
+        "  hedge drill: p99 calm {p99_calm:.0}us / tail {p99_tail:.0}us / hedged \
+         {p99_hedged:.0}us — {:.0}% recovered, {hedges_fired} fired, {hedge_wins} wins",
+        hedge_recovered * 100.0
+    );
+    rec.extra("hedge_p99_calm_us", p99_calm);
+    rec.extra("hedge_p99_tail_us", p99_tail);
+    rec.extra("hedge_p99_hedged_us", p99_hedged);
+    rec.extra("hedge_recovered_frac", hedge_recovered);
+    rec.extra("hedges_fired", hedges_fired as f64);
+    rec.extra("hedge_wins", hedge_wins as f64);
+    rec.extra("hedge_p99_recovered", 1.0);
+
     write_bench_summary(
         scale,
         (qps_1, qps_2, qps_4),
@@ -571,6 +806,7 @@ pub fn cluster(scale: &Scale) -> Vec<ExperimentRecord> {
         zero_loss,
         resume_divergence,
         faults_injected,
+        (replica_kill_zero_loss, promoted_backup_warm, hedge_p99_recovered),
         &rec,
     );
     vec![rec]
@@ -587,6 +823,7 @@ fn write_bench_summary(
     zero_loss: bool,
     resume_divergence: usize,
     faults_injected: u64,
+    (replica_kill_zero_loss, promoted_backup_warm, hedge_p99_recovered): (bool, bool, bool),
     rec: &ExperimentRecord,
 ) {
     let mut json = String::from("{\n");
@@ -601,6 +838,9 @@ fn write_bench_summary(
     json.push_str(&format!("  \"zero_loss\": {zero_loss},\n"));
     json.push_str(&format!("  \"resume_divergence\": {resume_divergence},\n"));
     json.push_str(&format!("  \"chaos_faults_injected\": {faults_injected},\n"));
+    json.push_str(&format!("  \"replica_kill_zero_loss\": {replica_kill_zero_loss},\n"));
+    json.push_str(&format!("  \"promoted_backup_warm\": {promoted_backup_warm},\n"));
+    json.push_str(&format!("  \"hedge_p99_recovered\": {hedge_p99_recovered},\n"));
     json.push_str("  \"metrics\": {\n");
     let scalars: Vec<String> = rec
         .extras

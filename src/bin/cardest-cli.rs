@@ -826,6 +826,10 @@ struct RouteOptions {
     /// Trace head-sampling rate: trace one routed request in N (0 off,
     /// 1 everything).
     trace_sample: u64,
+    /// Replica set size per signature (1 = single-owner, PR 6 behavior).
+    replicas: usize,
+    /// Fixed hedge delay in ms; `None` leaves hedging off.
+    hedge_ms: Option<u64>,
 }
 
 /// Outcome of parsing `route` arguments: run, or print usage and stop.
@@ -838,7 +842,7 @@ enum RouteArgs {
 const ROUTE_USAGE: &str = "usage: cardest-cli route --shard NAME=ADDR [--shard NAME=ADDR ...] \
 [--listen ADDR] [--vnodes N] [--workers N] [--retry-budget N] [--deadline-ms N] \
 [--probe-interval-ms N] [--fail-threshold N] [--recover-threshold N] \
-[--trace-sample N]\n\n\
+[--trace-sample N] [--replicas N] [--hedge-ms MS]\n\n\
 Fronts a fleet of shared-nothing `serve --listen` shards with a \
 consistent-hash router: each predict request's body hashes to a signature \
 that pins it to one shard, a background prober ejects shards after \
@@ -846,7 +850,14 @@ consecutive /readyz failures and readmits them after consecutive successes, \
 and refused/failed legs fail over to the next ring candidate within a \
 bounded retry budget and deadline. Shards are keyed by NAME — restart a \
 shard anywhere (e.g. `serve --resume --listen :0`) and point the same name \
-at the new address without moving any keys.";
+at the new address without moving any keys.\n\n\
+--replicas N (default 1) keeps each signature's calibration truths on its \
+first N distinct ring candidates: predictions go to the primary (failover \
+prefers the backups), truth-carrying bodies fan out to the rest of the \
+replica set as idempotent /v1/observe posts, so a promoted backup serves \
+from warm state. --hedge-ms MS fires a second request at the first backup \
+when the primary has not answered within MS milliseconds (first response \
+wins); omit it to leave hedging off.";
 
 /// Pure argument parser for `route`; mirrors `parse_serve_args`' contract —
 /// every problem is an `Err`, never a warning-and-continue.
@@ -862,6 +873,8 @@ fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
         fail_threshold: 3,
         recover_threshold: 2,
         trace_sample: ce_telemetry::trace::DEFAULT_SAMPLE_RATE,
+        replicas: 1,
+        hedge_ms: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -901,6 +914,8 @@ fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
                 opts.recover_threshold = number("--recover-threshold", value(i)?)?
             }
             "--trace-sample" => opts.trace_sample = number("--trace-sample", value(i)?)?,
+            "--replicas" => opts.replicas = number("--replicas", value(i)?)?,
+            "--hedge-ms" => opts.hedge_ms = Some(number("--hedge-ms", value(i)?)?),
             "--help" | "-h" => return Ok(RouteArgs::Help),
             other => return Err(format!("unknown route flag {other} (try route --help)")),
         }
@@ -908,6 +923,12 @@ fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
     }
     if opts.shards.is_empty() {
         return Err("route needs at least one --shard NAME=ADDR".to_string());
+    }
+    if opts.replicas == 0 {
+        return Err("--replicas must be at least 1 (1 = single-owner)".to_string());
+    }
+    if opts.hedge_ms == Some(0) {
+        return Err("--hedge-ms must be at least 1 millisecond".to_string());
     }
     if opts.vnodes == 0 {
         return Err("--vnodes must be at least 1".to_string());
@@ -945,6 +966,13 @@ fn run_route(args: &[String]) {
         router: cardest::server::RouterConfig {
             retry_budget: opts.retry_budget,
             deadline: std::time::Duration::from_millis(opts.deadline_ms),
+            replicas: opts.replicas,
+            hedge: match opts.hedge_ms {
+                Some(ms) => cardest::server::HedgePolicy::Fixed(
+                    std::time::Duration::from_millis(ms),
+                ),
+                None => cardest::server::HedgePolicy::Off,
+            },
             ..cardest::server::RouterConfig::default()
         },
         health: cardest::server::HealthConfig {
@@ -962,13 +990,19 @@ fn run_route(args: &[String]) {
             std::process::exit(1);
         }
     };
+    let hedge_text = match opts.hedge_ms {
+        Some(ms) => format!("hedge {ms}ms"),
+        None => "hedge off".to_string(),
+    };
     eprintln!(
-        "routing on http://{} over {} shards (vnodes {}, retry budget {}, deadline {}ms)",
+        "routing on http://{} over {} shards (vnodes {}, retry budget {}, deadline {}ms, \
+replicas {}, {hedge_text})",
         handle.local_addr(),
         opts.shards.len(),
         opts.vnodes,
         opts.retry_budget,
         opts.deadline_ms,
+        opts.replicas,
     );
     for (name, addr) in &opts.shards {
         eprintln!("  shard {name} -> {addr}");
@@ -990,6 +1024,14 @@ fn run_route(args: &[String]) {
         stats.leg_sheds,
         stats.exhausted,
         stats.deadline_exceeded,
+    );
+    println!(
+        "hedging: {} fired ({} wins, {} cancelled); truths: {} fan-outs, {} replica posts",
+        stats.hedges_fired,
+        stats.hedge_wins,
+        stats.hedge_cancelled,
+        stats.truth_fanouts,
+        stats.truth_replicated,
     );
     println!(
         "fleet: {} probe rounds ({} ok, {} failed), {} ejections, {} readmissions, {} live at exit",
@@ -1431,6 +1473,33 @@ mod tests {
         assert!(with(&["--recover-threshold", "0"]).is_err());
         assert!(with(&["--bogus"]).is_err());
         assert!(matches!(parse_route_args(&argv(&["--help"])), Ok(RouteArgs::Help)));
+    }
+
+    #[test]
+    fn route_args_replication_and_hedging_flags() {
+        let with = |extra: &[&str]| {
+            let mut v = vec!["--shard", "a=127.0.0.1:9101"];
+            v.extend_from_slice(extra);
+            parse_route_args(&argv(&v))
+        };
+        // Defaults: single-owner, hedging off — byte-identical to PR 6.
+        let RouteArgs::Run(opts) = with(&[]).unwrap() else { panic!("should run") };
+        assert_eq!(opts.replicas, 1);
+        assert_eq!(opts.hedge_ms, None);
+        let RouteArgs::Run(opts) = with(&["--replicas", "2", "--hedge-ms", "15"]).unwrap()
+        else {
+            panic!("should run")
+        };
+        assert_eq!(opts.replicas, 2);
+        assert_eq!(opts.hedge_ms, Some(15));
+        // Zero guards and malformed numbers are errors, not warnings.
+        let err = with(&["--replicas", "0"]).unwrap_err();
+        assert!(err.contains("--replicas"), "{err}");
+        let err = with(&["--hedge-ms", "0"]).unwrap_err();
+        assert!(err.contains("--hedge-ms"), "{err}");
+        assert!(with(&["--replicas", "two"]).is_err());
+        assert!(with(&["--hedge-ms", "99999999999999999999999"]).is_err(), "overflow");
+        assert!(with(&["--replicas"]).is_err(), "missing value");
     }
 
     #[test]

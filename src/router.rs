@@ -37,16 +37,28 @@
 //! shard's `x-ce-stages` report into its own record, and attributes the
 //! un-reported remainder of the forward time to the `network` stage. The
 //! response carries the router's ID and combined stage view.
+//!
+//! Replication and hedging (DESIGN.md §14): with `replicas > 1` each
+//! signature owns an R-way replica set (the first R distinct live shards
+//! clockwise on the ring). Predictions go to the primary with failover
+//! preferring the backups, optionally hedged against tail latency
+//! (`RouterConfig::hedge`). Truth-carrying predicts are stamped with a
+//! minted `x-ce-truth-id` and, after a successful response, fanned out to
+//! the remaining replicas as `POST /v1/observe` — best-effort with a
+//! bounded retry budget, so a promoted backup serves from warm calibration
+//! state. The truth ID makes the fan-out idempotent per shard: a backup
+//! that already absorbed the truths (it served the hedged predict) drops
+//! the duplicate.
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use ce_server::{
-    fnv1a64, ClientConfig, Fleet, FleetStats, HealthChecker, HealthConfig, HttpClient,
-    HttpServer, Request, Response, Router, RouterConfig, RouterStats, ServerConfig,
-    ServerStats, STAGES_HEADER, TRACE_HEADER,
+    fnv1a64, ClientConfig, Fleet, FleetStats, Headers, HealthChecker, HealthConfig,
+    HttpClient, HttpServer, Request, Response, Router, RouterConfig, RouterStats,
+    ServerConfig, ServerStats, STAGES_HEADER, TRACE_HEADER, TRUTH_HEADER,
 };
 use ce_telemetry::trace::{self, TraceId};
 
@@ -106,6 +118,12 @@ impl ClusterRouterHandle {
     /// Forwarding counters.
     pub fn router_stats(&self) -> RouterStats {
         self.router.stats()
+    }
+
+    /// Per-backup truth propagation lag: replicas that missed fan-outs
+    /// (after the retry budget), sorted by shard name.
+    pub fn truth_lag(&self) -> Vec<(String, u64)> {
+        self.router.truth_lag()
     }
 
     /// Health/hysteresis counters.
@@ -221,27 +239,104 @@ fn route(req: &Request, router: &Router, draining: &AtomicBool) -> Response {
     }
 }
 
+/// Mints a process-unique truth ID: 16 lowercase hex digits, never zero.
+/// A SplitMix64 stream over an atomic sequence, seeded once per process
+/// from the clock and PID so two routers never collide on a stream.
+fn mint_truth_id() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        nanos ^ (u64::from(std::process::id()) << 32)
+    });
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut z = seed.wrapping_add((n.wrapping_add(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    if z == 0 {
+        z = 1; // zero is the shard-side "no ID" sentinel
+    }
+    format!("{z:016x}")
+}
+
+/// Whether a predict body carries calibration truths. A substring probe,
+/// not a JSON parse — a `"truths"` key inside a string literal is a false
+/// positive, which costs one redundant fan-out of a body the shards will
+/// ignore, never a lost truth.
+fn body_has_truths(body: &[u8]) -> bool {
+    body.windows(8).any(|w| w == b"\"truths\"")
+}
+
+/// After a served truth-carrying predict, re-posts the truths to the other
+/// replicas as `POST /v1/observe` so a promoted backup serves from warm
+/// calibration state. Best-effort: failures land in the router's
+/// `truth_lag` ledger, never in the client's response.
+fn replicate_truths(router: &Router, body: &[u8], signature: u64, id: &str, served: Option<&str>) {
+    let headers = [("content-type", "application/json"), (TRUTH_HEADER, id)];
+    let observe = Request {
+        method: "POST",
+        target: "/v1/observe",
+        http11: true,
+        headers: Headers::from_pairs(&headers),
+        body,
+    };
+    router.replicate(&observe, signature, served, &[]);
+}
+
 /// Forwards one predict request, threading the distributed trace across the
 /// hop: the router's ID rides the outgoing leg as `x-ce-trace`, the shard's
 /// `x-ce-stages` report is merged into the router's record, and whatever
 /// part of the forward time the shard did not account for is attributed to
 /// the `network` stage. Un-sampled requests take the plain forwarding path
 /// untouched.
+///
+/// Replication rides the same path: at `replicas > 1` a truth-carrying
+/// body is stamped with a minted truth ID on the predict leg and, on a
+/// `200`, fanned out to the backups before the response returns. Hedging
+/// is vetoed for truth-carrying bodies at single-owner — a lost hedge race
+/// would observe the truths on a shard that does not own the key.
 fn forward_traced(req: &Request, router: &Router) -> Response {
     let signature = request_signature(req.body);
+    let has_truths = body_has_truths(req.body);
+    let replicas = router.config().replicas;
+    let allow_hedge = replicas > 1 || !has_truths;
+    let truth_id =
+        if has_truths && replicas > 1 { Some(mint_truth_id()) } else { None };
     // A valid client-supplied trace ID forces sampling (the upstream
     // decision propagates); a malformed one is ignored, never an error.
     let client_id = req.header(TRACE_HEADER).and_then(TraceId::parse);
     if client_id.is_none() && !trace::should_sample() {
-        return router.forward(req, signature);
+        let mut extras: Vec<(&str, &str)> = Vec::new();
+        if let Some(id) = &truth_id {
+            extras.push((TRUTH_HEADER, id));
+        }
+        let (resp, outcome) = router.forward_opts(req, signature, &extras, allow_hedge);
+        if let Some(id) = &truth_id {
+            if resp.status == 200 {
+                replicate_truths(router, req.body, signature, id, outcome.served_by.as_deref());
+            }
+        }
+        return resp;
     }
     let id = client_id.unwrap_or_else(trace::mint);
     trace::begin(id);
     let id_text = id.to_string();
+    let mut extras: Vec<(&str, &str)> = vec![(TRACE_HEADER, &id_text)];
+    if let Some(tid) = &truth_id {
+        extras.push((TRUTH_HEADER, tid));
+    }
     let t_handle = Instant::now();
-    let mut resp =
-        router.forward_with_header(req, signature, Some((TRACE_HEADER, &id_text)));
+    let (mut resp, outcome) = router.forward_opts(req, signature, &extras, allow_hedge);
     let forward_ns = t_handle.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    if let Some(tid) = &truth_id {
+        if resp.status == 200 {
+            replicate_truths(router, req.body, signature, tid, outcome.served_by.as_deref());
+        }
+    }
     // Merge the shard's stage breakdown; the rest of the forward time is
     // connect/serialize/wire/shard-unreported — the network's share.
     let merged_ns = resp
@@ -269,29 +364,81 @@ fn now_sub(t: Instant) -> u64 {
     t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
+/// Shard scrapes dropped at the fleet-wide deadline (satellite of the
+/// replication PR): a hung shard must never stall `/metrics` exposition.
+static FLEET_SCRAPE_TIMEOUTS: AtomicU64 = AtomicU64::new(0);
+
 /// Scrapes every live shard's `/metrics` and re-labels each sample with
 /// `shard="<name>"` (label values escaped per the exposition format — shard
 /// names are operator-controlled and may contain anything), producing one
 /// fleet-wide Prometheus view. Dead shards are skipped; a slow or broken
 /// scrape only omits that shard's section.
+///
+/// Shards are scraped in parallel against one fleet-wide deadline: a
+/// black-holed shard (accepting but never answering) costs at most
+/// `SCRAPE_DEADLINE`, not a serial head-of-line stall of everyone behind
+/// it. Shards missing at the deadline are counted in
+/// `fleet_scrape_timeouts`; their threads finish on their own client
+/// timeouts and their late sections are discarded.
 fn fleet_metrics(router: &Router) -> String {
+    const SCRAPE_DEADLINE: Duration = Duration::from_millis(750);
     let scrape_config = ClientConfig {
         connect_timeout: Duration::from_millis(200),
         read_timeout: Duration::from_millis(500),
         write_timeout: Duration::from_millis(200),
     };
-    let mut out = String::new();
+    let (tx, rx) = mpsc::channel::<(String, Option<String>)>();
+    let mut expected = 0usize;
     for (name, addr, live) in router.fleet().snapshot() {
         if !live {
             continue;
         }
-        let Ok(mut client) = HttpClient::connect_with(addr, scrape_config) else { continue };
-        let Ok(resp) = client.get("/metrics") else { continue };
-        if resp.status != 200 {
-            continue;
+        let tx = tx.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("ce-scrape-{name}"))
+            .spawn(move || {
+                let section = (|| {
+                    let mut client = HttpClient::connect_with(addr, scrape_config).ok()?;
+                    let resp = client.get("/metrics").ok()?;
+                    if resp.status != 200 {
+                        return None;
+                    }
+                    Some(String::from_utf8_lossy(&resp.body).into_owned())
+                })();
+                let _ = tx.send((name, section));
+            });
+        if spawned.is_ok() {
+            expected += 1;
         }
-        let body = String::from_utf8_lossy(&resp.body);
-        out.push_str(&inject_shard_label(&body, &name));
+    }
+    drop(tx);
+    let deadline = Instant::now() + SCRAPE_DEADLINE;
+    let mut sections: Vec<(String, String)> = Vec::with_capacity(expected);
+    let mut received = 0usize;
+    while received < expected {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        match rx.recv_timeout(remaining) {
+            Ok((name, Some(body))) => {
+                sections.push((name, body));
+                received += 1;
+            }
+            Ok((_, None)) => received += 1,
+            Err(_) => break,
+        }
+    }
+    let missing = (expected - received) as u64;
+    if missing > 0 {
+        FLEET_SCRAPE_TIMEOUTS.fetch_add(missing, Ordering::Relaxed);
+        trace::event("scrape_timeout", "shard metrics scrape hit the fleet deadline");
+    }
+    // Deterministic section order regardless of which scrape won the race.
+    sections.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (name, body) in &sections {
+        out.push_str(&inject_shard_label(body, name));
     }
     out
 }
@@ -349,6 +496,16 @@ fn publish_metrics(router: &Router) {
     ce_telemetry::gauge("cluster.leg_sheds").set(stats.leg_sheds as f64);
     ce_telemetry::gauge("cluster.exhausted").set(stats.exhausted as f64);
     ce_telemetry::gauge("cluster.deadline_exceeded").set(stats.deadline_exceeded as f64);
+    ce_telemetry::gauge("cluster.hedges_fired").set(stats.hedges_fired as f64);
+    ce_telemetry::gauge("cluster.hedge_wins").set(stats.hedge_wins as f64);
+    ce_telemetry::gauge("cluster.hedge_cancelled").set(stats.hedge_cancelled as f64);
+    ce_telemetry::gauge("cluster.truth_fanouts").set(stats.truth_fanouts as f64);
+    ce_telemetry::gauge("cluster.truth_replicated").set(stats.truth_replicated as f64);
+    ce_telemetry::gauge("cluster.fleet_scrape_timeouts")
+        .set(FLEET_SCRAPE_TIMEOUTS.load(Ordering::Relaxed) as f64);
+    for (name, lag) in router.truth_lag() {
+        ce_telemetry::gauge(&format!("cluster.truth_lag.{name}")).set(lag as f64);
+    }
     let fleet = router.fleet().stats();
     ce_telemetry::gauge("cluster.live_shards").set(router.fleet().live_count() as f64);
     ce_telemetry::gauge("cluster.ejections").set(fleet.ejections as f64);
@@ -371,6 +528,12 @@ fn metrics_text(router: &Router) -> String {
         ("cluster_leg_sheds", stats.leg_sheds),
         ("cluster_exhausted", stats.exhausted),
         ("cluster_deadline_exceeded", stats.deadline_exceeded),
+        ("cluster_hedges_fired", stats.hedges_fired),
+        ("cluster_hedge_wins", stats.hedge_wins),
+        ("cluster_hedge_cancelled", stats.hedge_cancelled),
+        ("cluster_truth_fanouts", stats.truth_fanouts),
+        ("cluster_truth_replicated", stats.truth_replicated),
+        ("cluster_fleet_scrape_timeouts", FLEET_SCRAPE_TIMEOUTS.load(Ordering::Relaxed)),
         ("cluster_live_shards", router.fleet().live_count() as u64),
         ("cluster_ejections", fleet.ejections),
         ("cluster_readmissions", fleet.readmissions),
@@ -379,6 +542,13 @@ fn metrics_text(router: &Router) -> String {
         out.push_str(name);
         out.push(' ');
         out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    for (name, lag) in router.truth_lag() {
+        out.push_str("cluster_truth_lag{shard=\"");
+        out.push_str(&ce_telemetry::escape_label_value(&name));
+        out.push_str("\"} ");
+        out.push_str(&lag.to_string());
         out.push('\n');
     }
     out
@@ -420,6 +590,104 @@ mod tests {
             recover_threshold: 2,
             ..HealthConfig::default()
         }
+    }
+
+    #[test]
+    fn truth_ids_are_unique_nonzero_lowercase_hex() {
+        let a = mint_truth_id();
+        let b = mint_truth_id();
+        assert_ne!(a, b, "sequential mints must differ");
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16);
+            assert!(id.bytes().all(|c| matches!(c, b'0'..=b'9' | b'a'..=b'f')));
+            assert_ne!(u64::from_str_radix(id, 16).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn body_has_truths_probes_for_the_key() {
+        assert!(body_has_truths(br#"{"features":[[1.0]],"truths":[2.0]}"#));
+        assert!(!body_has_truths(br#"{"features":[[1.0]]}"#));
+        assert!(!body_has_truths(b""));
+    }
+
+    /// A stub shard that also counts `/v1/observe` posts, for the
+    /// replication fan-out test.
+    fn counting_shard(
+        tag: &'static str,
+        observes: Arc<std::sync::atomic::AtomicU64>,
+    ) -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                read_tick: Duration::from_millis(5),
+                ..ServerConfig::default()
+            },
+            Arc::new(move |req: &Request| match (req.method, req.path()) {
+                ("GET", "/readyz") => Response::text(200, "ready"),
+                ("POST", "/v1/predict") => {
+                    let mut body = req.body.to_vec();
+                    body.extend_from_slice(tag.as_bytes());
+                    Response::json(200, body)
+                }
+                ("POST", "/v1/observe") => {
+                    observes.fetch_add(1, Ordering::Relaxed);
+                    Response::json(200, "{\"observed\":1,\"deduped\":false}")
+                }
+                _ => Response::text(404, "nope"),
+            }),
+        )
+        .expect("bind counting shard")
+    }
+
+    #[test]
+    fn truths_fan_out_to_the_backup_replica_only() {
+        let obs0 = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let obs1 = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let s0 = counting_shard("@0", Arc::clone(&obs0));
+        let s1 = counting_shard("@1", Arc::clone(&obs1));
+        let shards = vec![
+            ("shard-0".to_string(), s0.local_addr()),
+            ("shard-1".to_string(), s1.local_addr()),
+        ];
+        let handle = start_cluster_router(
+            &shards,
+            "127.0.0.1:0",
+            ClusterRouterConfig {
+                router: RouterConfig { replicas: 2, ..RouterConfig::default() },
+                health: quick_health(),
+                ..Default::default()
+            },
+        )
+        .expect("bind router");
+        let mut client = HttpClient::connect(handle.local_addr()).unwrap();
+        // Truth-less predict: served, but no fan-out.
+        let resp = client.post("/v1/predict", br#"{"features":[[1.0]]}"#).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            obs0.load(Ordering::Relaxed) + obs1.load(Ordering::Relaxed),
+            0,
+            "no truths, no fan-out"
+        );
+        // Truth-carrying predict: the serving shard absorbs via the predict
+        // path, the *other* replica gets exactly one /v1/observe post.
+        let body = br#"{"features":[[1.0]],"truths":[4.0]}"#;
+        let resp = client.post("/v1/predict", body).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            obs0.load(Ordering::Relaxed) + obs1.load(Ordering::Relaxed),
+            1,
+            "exactly the non-serving replica is posted to"
+        );
+        let stats = handle.router_stats();
+        assert_eq!(stats.truth_fanouts, 1);
+        assert_eq!(stats.truth_replicated, 1);
+        assert!(handle.router_stats().requests >= 2);
+        assert!(
+            handle.truth_lag().iter().all(|(_, lag)| *lag == 0),
+            "healthy backups must not accrue lag"
+        );
+        handle.drain();
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //!   `predict_interval_batch` calls; admission overflow sheds with `503` +
 //!   `Retry-After`. Optional `truths` feed the prequential loop (calibration,
 //!   drift detection, self-healing) after the predictions are made.
+//! - `POST /v1/observe` — the same body with `truths` *required*, feeding
+//!   calibration without serving predictions. This is the replication
+//!   target: a cluster router fans each observed truth out to the key's
+//!   backup replicas here, so a promoted backup serves from warm
+//!   calibration (DESIGN.md §14). Both observe paths deduplicate by the
+//!   router-minted `x-ce-truth-id` header (bounded id memory), so fan-out
+//!   overlap and hedge duplicates cannot double-count an observation.
 //! - `GET /metrics` — Prometheus text from the `ce-telemetry` registry,
 //!   including the server's connection/poller counters.
 //! - `GET /debug/trace` — JSON snapshot of the flight recorder: the last
@@ -51,7 +58,7 @@ use crate::conformal::{
 };
 use ce_server::{
     BatchError, BatcherConfig, BatcherStats, HttpServer, MicroBatcher, Request, Response,
-    ServerConfig, ServerStats, ServerStatsProbe, STAGES_HEADER, TRACE_HEADER,
+    ServerConfig, ServerStats, ServerStatsProbe, STAGES_HEADER, TRACE_HEADER, TRUTH_HEADER,
 };
 use ce_telemetry::trace::{self, TraceId};
 
@@ -120,6 +127,44 @@ where
 pub struct ServeEngine<M, S> {
     healing: SharedHealing<M, S>,
     resilient: Mutex<ResilientService>,
+    truth_dedupe: Mutex<TruthDedupe>,
+}
+
+/// Bounded memory of recently seen truth-post IDs (`x-ce-truth-id`). A
+/// replicated truth post and a hedge duplicate both replay an observation
+/// body the shard may already have absorbed; observing it twice would put
+/// the same residual into calibration twice and skew coverage. The set is
+/// bounded FIFO — old IDs age out once the window of plausible replays
+/// (router retry budget × fan-out) is long past.
+struct TruthDedupe {
+    seen: std::collections::HashSet<u64>,
+    order: std::collections::VecDeque<u64>,
+}
+
+impl TruthDedupe {
+    /// IDs remembered; far beyond any in-flight replay window.
+    const CAP: usize = 4096;
+
+    fn new() -> TruthDedupe {
+        TruthDedupe {
+            seen: std::collections::HashSet::new(),
+            order: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Claims `id`; `false` means it was already seen (a replay).
+    fn claim(&mut self, id: u64) -> bool {
+        if !self.seen.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        if self.order.len() > Self::CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        true
+    }
 }
 
 impl<M, S> ServeEngine<M, S>
@@ -142,7 +187,11 @@ where
         for fallback in fallbacks {
             resilient = resilient.with_fallback(fallback);
         }
-        ServeEngine { healing, resilient: Mutex::new(resilient) }
+        ServeEngine {
+            healing,
+            resilient: Mutex::new(resilient),
+            truth_dedupe: Mutex::new(TruthDedupe::new()),
+        }
     }
 
     fn resilient(&self) -> std::sync::MutexGuard<'_, ResilientService> {
@@ -163,6 +212,26 @@ where
     /// write routes into the self-healing state machine.
     pub fn observe(&self, features: &[f32], y_true: f64) {
         self.resilient().observe(features, y_true);
+    }
+
+    /// Feeds a whole batch of truths, atomically claiming `truth_id` first
+    /// when one is present. Returns `false` — and observes *nothing* — when
+    /// the ID was already seen: the batch is a replica-fan-out or hedge
+    /// replay of an observation this shard has absorbed. The claim happens
+    /// outside the chain locks, so the dedupe check never extends the
+    /// serving critical section.
+    pub fn observe_all(&self, features: &[Vec<f32>], truths: &[f64], truth_id: Option<u64>) -> bool {
+        if let Some(id) = truth_id {
+            let fresh = self.truth_dedupe.lock().unwrap_or_else(|e| e.into_inner()).claim(id);
+            if !fresh {
+                ce_telemetry::counter("serve.truth_deduped").inc();
+                return false;
+            }
+        }
+        for (x, y) in features.iter().zip(truths) {
+            self.observe(x, *y);
+        }
+        true
     }
 
     /// Serving mode of the wrapped [`crate::conformal::PiService`].
@@ -469,12 +538,48 @@ where
         }
         ("GET", "/debug/trace") => Response::json(200, trace::snapshot_json()),
         ("POST", "/v1/predict") => predict(req, engine, batcher),
+        ("POST", "/v1/observe") => observe_post(req, engine),
         (_, "/healthz" | "/readyz" | "/metrics" | "/debug/trace") => {
             json_error(405, "method not allowed")
         }
-        (_, "/v1/predict") => json_error(405, "method not allowed"),
+        (_, "/v1/predict" | "/v1/observe") => json_error(405, "method not allowed"),
         _ => json_error(404, "no such endpoint"),
     }
+}
+
+/// Parses `x-ce-truth-id`: exactly 16 lowercase hex digits encoding a
+/// nonzero `u64`. Anything else — wrong length, uppercase, zero — yields
+/// `None` and the post proceeds *undeduplicated*: a malformed ID can only
+/// cost idempotency, never reject the observation.
+fn parse_truth_id(text: &str) -> Option<u64> {
+    if text.len() != 16 || !text.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return None;
+    }
+    match u64::from_str_radix(text, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
+}
+
+/// `POST /v1/observe`: calibration feedback without predictions — the truth
+/// replication target (module docs). Same body as `/v1/predict` but
+/// `truths` is mandatory; answers `{"observed":N,"deduped":bool}`.
+fn observe_post<M, S>(req: &Request, engine: &ServeEngine<M, S>) -> Response
+where
+    M: Regressor + Clone + Send + Sync + 'static,
+    S: ScoreFunction + Clone + Send + Sync + 'static,
+{
+    let (features, truths) = match parse_predict_body(req.body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return json_error(422, &msg),
+    };
+    let Some(truths) = truths else {
+        return json_error(422, "`truths` is required on /v1/observe");
+    };
+    let truth_id = req.header(TRUTH_HEADER).and_then(parse_truth_id);
+    let fresh = engine.observe_all(&features, &truths, truth_id);
+    let observed = if fresh { truths.len() } else { 0 };
+    Response::json(200, format!("{{\"observed\":{observed},\"deduped\":{}}}", !fresh))
 }
 
 /// A parsed predict request: feature rows plus optional truths.
@@ -583,9 +688,8 @@ where
     // Prequential feedback strictly after the predictions: the intervals
     // above were served from pre-feedback state, like the offline loops.
     if let Some(truths) = &truths {
-        for (x, y) in features.iter().zip(truths) {
-            engine.observe(x, *y);
-        }
+        let truth_id = req.header(TRUTH_HEADER).and_then(parse_truth_id);
+        engine.observe_all(&features, truths, truth_id);
     }
     let mode = match engine.mode() {
         ServiceMode::Stable => "stable",
@@ -656,5 +760,32 @@ mod tests {
             "length mismatch"
         );
         assert!(parse_predict_body(br#"{"features":[["x"]]}"#).is_err(), "non-number");
+    }
+
+    #[test]
+    fn parse_truth_id_accepts_only_nonzero_lowercase_hex64() {
+        assert_eq!(parse_truth_id("00000000000000ff"), Some(0xff));
+        assert_eq!(parse_truth_id("ffffffffffffffff"), Some(u64::MAX));
+        assert_eq!(parse_truth_id("0000000000000000"), None, "zero is reserved");
+        assert_eq!(parse_truth_id("00000000000000FF"), None, "uppercase");
+        assert_eq!(parse_truth_id("ff"), None, "too short");
+        assert_eq!(parse_truth_id("00000000000000ff0"), None, "too long");
+        assert_eq!(parse_truth_id("00000000000000fg"), None, "non-hex");
+        assert_eq!(parse_truth_id(""), None);
+    }
+
+    #[test]
+    fn truth_dedupe_claims_once_and_evicts_fifo() {
+        let mut dedupe = TruthDedupe::new();
+        assert!(dedupe.claim(7));
+        assert!(!dedupe.claim(7), "replay rejected");
+        // Fill past capacity: the oldest id (7) falls out and can be
+        // claimed again, while a recent one stays deduplicated.
+        for id in 1_000..(1_000 + TruthDedupe::CAP as u64) {
+            assert!(dedupe.claim(id));
+        }
+        assert!(dedupe.claim(7), "evicted id is claimable again");
+        let recent = 1_000 + TruthDedupe::CAP as u64 - 1;
+        assert!(!dedupe.claim(recent), "recent id still deduplicated");
     }
 }

@@ -106,7 +106,7 @@ proptest! {
 
     /// Determinism: placement and failover order are pure functions of the
     /// configuration — two independently constructed rings agree on every
-    /// key's owner and on the full candidate walk.
+    /// key's owner, on the full candidate walk, and on every replica set.
     #[test]
     fn independently_built_rings_agree_on_every_placement(
         n_shards in 1usize..8,
@@ -118,6 +118,76 @@ proptest! {
         for &k in &signatures(seed, 500) {
             prop_assert_eq!(a.primary(k), b.primary(k));
             prop_assert_eq!(a.candidates(k), b.candidates(k));
+            prop_assert_eq!(a.replica_set(k, 2), b.replica_set(k, 2));
+            prop_assert_eq!(a.replica_set(k, 3), b.replica_set(k, 3));
+        }
+    }
+
+    /// Replica sets are distinct live prefixes of the candidate walk: the
+    /// set has exactly `min(r, live)` members, no duplicates, every member
+    /// live, and failover order (the walk) starts with exactly the set.
+    #[test]
+    fn replica_sets_are_distinct_live_prefixes_of_the_candidate_walk(
+        n_shards in 1usize..8,
+        r in 1usize..5,
+        ejected in 0usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let mut ring = ring(n_shards, 32);
+        if n_shards > 1 {
+            ring.eject(&format!("shard-{}", ejected % n_shards));
+        }
+        for &k in &signatures(seed, 200) {
+            let set = ring.replica_set(k, r);
+            prop_assert_eq!(set.len(), r.min(ring.live_count()));
+            let mut uniq = set.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), set.len(), "duplicate replica");
+            for name in &set {
+                prop_assert!(ring.is_live(name), "dead shard in a replica set");
+            }
+            prop_assert_eq!(&ring.candidates(k)[..set.len()], &set[..]);
+        }
+    }
+
+    /// Ejection stability: only replica sets containing the dead shard
+    /// change, and those change in exactly one position — the victim drops
+    /// out, every survivor keeps its slot and relative order, and the next
+    /// eligible shard (if any) is appended at the end. This is what keeps
+    /// an R-1 subset of every affected set warm across a failure.
+    #[test]
+    fn ejection_changes_only_sets_containing_the_victim_and_only_in_one_slot(
+        n_shards in 2usize..8,
+        victim in 0usize..8,
+        r in 2usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let victim_name = format!("shard-{}", victim % n_shards);
+        let mut ring = ring(n_shards, 64);
+        let keys = signatures(seed, 500);
+        let before: Vec<Vec<String>> = keys
+            .iter()
+            .map(|&k| ring.replica_set(k, r).iter().map(|s| s.to_string()).collect())
+            .collect();
+        ring.eject(&victim_name);
+        for (&k, old) in keys.iter().zip(&before) {
+            let new: Vec<String> =
+                ring.replica_set(k, r).iter().map(|s| s.to_string()).collect();
+            if !old.contains(&victim_name) {
+                prop_assert_eq!(&new, old, "an unaffected replica set changed");
+                continue;
+            }
+            let survivors: Vec<String> =
+                old.iter().filter(|s| **s != victim_name).cloned().collect();
+            prop_assert!(
+                new.len() >= survivors.len() && new.len() <= survivors.len() + 1,
+                "ejection changed more than one slot: {:?} -> {:?}", old, new
+            );
+            prop_assert_eq!(
+                &new[..survivors.len()], &survivors[..],
+                "survivors must keep their slots and order"
+            );
         }
     }
 
@@ -300,4 +370,179 @@ fn cluster_router_end_to_end_over_loopback() {
         HttpClient::connect(handle.local_addr()).is_err(),
         "router port still accepting after drain"
     );
+}
+
+/// The router-fleet gate: two independently constructed fleets serve
+/// byte-identical replica placements through a scripted churn sequence —
+/// ejection, live shard addition, readmission, a second ejection. Any
+/// router replica (or an offline audit) can therefore compute where a
+/// query and its backups live at every point in the fleet's history.
+#[test]
+fn two_fleets_agree_on_replica_placement_under_scripted_churn() {
+    let spec: Vec<(String, std::net::SocketAddr)> = (0..4)
+        .map(|i| (format!("shard-{i}"), format!("127.0.0.1:{}", 9100 + i).parse().unwrap()))
+        .collect();
+    let config = HealthConfig {
+        fail_threshold: 1,
+        recover_threshold: 1,
+        ..HealthConfig::default()
+    };
+    let a = Fleet::new(&spec, 128, config.clone());
+    let b = Fleet::new(&spec, 128, config.clone());
+    let sigs = signatures(1234, 400);
+    let check = |a: &Fleet, b: &Fleet, step: &str| {
+        for &sig in &sigs {
+            for r in [1usize, 2, 3] {
+                assert_eq!(
+                    a.replica_set(sig, r),
+                    b.replica_set(sig, r),
+                    "fleets diverged after {step} (r={r})"
+                );
+            }
+        }
+    };
+    check(&a, &b, "construction");
+    for fleet in [&a, &b] {
+        fleet.report("shard-2", false, true);
+    }
+    check(&a, &b, "ejecting shard-2");
+    let new_addr: std::net::SocketAddr = "127.0.0.1:9104".parse().unwrap();
+    for fleet in [&a, &b] {
+        assert!(fleet.add_shard("shard-4", new_addr), "live addition must register");
+    }
+    check(&a, &b, "adding shard-4");
+    for fleet in [&a, &b] {
+        fleet.report("shard-2", true, true);
+    }
+    check(&a, &b, "readmitting shard-2");
+    // With every shard live again, the *grown* fleet must place exactly
+    // like a fleet constructed fresh with the full five-shard roster —
+    // live addition is indistinguishable from having always been there.
+    let mut full_spec = spec.clone();
+    full_spec.push(("shard-4".to_string(), new_addr));
+    let fresh = Fleet::new(&full_spec, 128, config);
+    check(&a, &fresh, "comparing grown against fresh construction");
+    for fleet in [&a, &b] {
+        fleet.report("shard-0", false, true);
+    }
+    check(&a, &b, "ejecting shard-0");
+}
+
+/// A raw TCP stub that answers any request with headers and then dribbles
+/// the body one byte at a time — each individual read on the scraping side
+/// succeeds within its socket timeout, so only a wall-clock deadline can
+/// bound the scrape. Returns the address and a stop flag.
+fn dribble_shard() -> (std::net::SocketAddr, Arc<std::sync::atomic::AtomicBool>) {
+    use std::io::{Read, Write};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind dribbler");
+    let addr = listener.local_addr().expect("dribbler addr");
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if flag.load(std::sync::atomic::Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut stream) = stream else { break };
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let _ = stream.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 100\r\n\r\n");
+                for _ in 0..100 {
+                    if flag.load(std::sync::atomic::Ordering::SeqCst) {
+                        break;
+                    }
+                    if stream.write_all(b"x").is_err() {
+                        break;
+                    }
+                    let _ = stream.flush();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            });
+        }
+    });
+    (addr, stop)
+}
+
+/// A shard whose `/metrics` is a fixed marker line, so the fleet scrape
+/// test can recognize its section in the merged exposition.
+fn metric_shard(marker: &'static str) -> HttpServer {
+    HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig { read_tick: Duration::from_millis(2), ..ServerConfig::default() },
+        Arc::new(move |req: &Request| match (req.method, req.path()) {
+            ("GET", "/readyz") => Response::text(200, "ready"),
+            ("GET", "/metrics") => Response::text(200, marker),
+            _ => Response::text(404, "nope"),
+        }),
+    )
+    .expect("bind metric shard")
+}
+
+/// Scrape-timeout regression: a shard that accepts connections but
+/// dribbles its `/metrics` body byte by byte must not stall the router's
+/// fleet exposition. The merged view returns within the fleet deadline,
+/// still carries the healthy shard's section, and `fleet_scrape_timeouts`
+/// records the drop.
+#[test]
+fn a_dribbling_shard_cannot_stall_fleet_metrics() {
+    let (slow_addr, stop) = dribble_shard();
+    let healthy = metric_shard("healthy_scrape_marker 7\n");
+    let handle = cardest::router::start_cluster_router(
+        &[
+            ("shard-slow".to_string(), slow_addr),
+            ("shard-ok".to_string(), healthy.local_addr()),
+        ],
+        "127.0.0.1:0",
+        cardest::router::ClusterRouterConfig {
+            // Keep the prober out of the picture: the dribbler only speaks
+            // to the scrape, and hysteresis never ejects it mid-test.
+            health: HealthConfig {
+                probe_interval: Duration::from_secs(60),
+                fail_threshold: 1_000,
+                ..HealthConfig::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind cluster router");
+    let mut client = HttpClient::connect_with(
+        handle.local_addr(),
+        cardest::server::ClientConfig {
+            read_timeout: Duration::from_secs(10),
+            ..cardest::server::ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    // First scrape hits the deadline and charges the counter; the counter
+    // line itself is rendered before the fleet section, so a second scrape
+    // reads the recorded drop.
+    for round in 0..2 {
+        let t = std::time::Instant::now();
+        let resp = client.get("/metrics").expect("metrics");
+        let elapsed = t.elapsed();
+        assert_eq!(resp.status, 200);
+        assert!(
+            elapsed < Duration::from_secs(3),
+            "scrape round {round} stalled for {elapsed:?}"
+        );
+        let body = String::from_utf8_lossy(&resp.body).into_owned();
+        assert!(
+            body.contains("healthy_scrape_marker{shard=\"shard-ok\"} 7"),
+            "healthy shard's section missing:\n{body}"
+        );
+    }
+    let resp = client.get("/metrics").expect("metrics");
+    let body = String::from_utf8_lossy(&resp.body).into_owned();
+    let timeouts: u64 = body
+        .lines()
+        .find_map(|line| line.strip_prefix("cluster_fleet_scrape_timeouts "))
+        .expect("fleet_scrape_timeouts line")
+        .trim()
+        .parse()
+        .expect("counter value");
+    assert!(timeouts >= 2, "dribbled scrapes must be counted, saw {timeouts}");
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.drain();
 }

@@ -47,6 +47,15 @@ pub struct HealthConfig {
     pub fail_threshold: u32,
     /// Consecutive probe successes that readmit an ejected shard.
     pub recover_threshold: u32,
+    /// Fractional jitter on `probe_interval` (±`probe_jitter` of the
+    /// interval, uniformly drawn from a seeded SplitMix64 stream). A large
+    /// fleet of probers started together would otherwise hit every shard in
+    /// lockstep, turning the probe round itself into a synchronized load
+    /// spike. `0.0` disables jitter; values are clamped to `[0, 1]`.
+    pub probe_jitter: f64,
+    /// Seed for the jitter stream — deterministic per checker, so test runs
+    /// reproduce the same probe cadence.
+    pub probe_seed: u64,
 }
 
 impl Default for HealthConfig {
@@ -58,6 +67,8 @@ impl Default for HealthConfig {
             read_timeout: Duration::from_millis(500),
             fail_threshold: 3,
             recover_threshold: 2,
+            probe_jitter: 0.15,
+            probe_seed: 0x9e37_79b9_7f4a_7c15,
         }
     }
 }
@@ -198,6 +209,43 @@ impl Fleet {
             .collect()
     }
 
+    /// The first `r` distinct live shards for `signature` as `(name, addr)`:
+    /// `replicas[0]` is the primary, the rest are backups in failover order.
+    /// See [`HashRing::replica_set`] for the stability guarantees.
+    pub fn replica_set(&self, signature: u64, r: usize) -> Vec<(String, SocketAddr)> {
+        let inner = self.lock();
+        inner
+            .ring
+            .replica_set(signature, r)
+            .into_iter()
+            .map(|name| {
+                let i = inner
+                    .ring
+                    .shards()
+                    .iter()
+                    .position(|s| s == name)
+                    .expect("replica name is in the ring");
+                (name.to_string(), inner.addrs[i])
+            })
+            .collect()
+    }
+
+    /// Adds a shard to the *running* fleet: ring points land via
+    /// [`HashRing::add_shard`] (bounded movement — keys only move *to* the
+    /// newcomer), the address is registered, and hysteresis counters start
+    /// fresh. The shard is immediately live and routable; the prober picks
+    /// it up on its next round. Returns `false` on a duplicate name.
+    pub fn add_shard(&self, name: &str, addr: SocketAddr) -> bool {
+        let mut inner = self.lock();
+        if !inner.ring.add_shard(name) {
+            return false;
+        }
+        inner.addrs.push(addr);
+        inner.health.push(ShardHealth::default());
+        ce_telemetry::trace::event("shard_added", name);
+        true
+    }
+
     /// Feeds one success/failure observation for `name` into the hysteresis
     /// state machine. `from_probe` marks prober observations, the only kind
     /// allowed to readmit an ejected shard. Returns `true` if liveness
@@ -291,6 +339,16 @@ impl Drop for HealthChecker {
     }
 }
 
+/// SplitMix64 step for the probe-jitter stream: deterministic, seeded, and
+/// private to the checker thread (no contention with the ring's hashing).
+fn jitter_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 fn probe_loop(fleet: Fleet, stop: Arc<AtomicBool>) {
     let config = fleet.config().clone();
     let client_config = ClientConfig {
@@ -298,17 +356,37 @@ fn probe_loop(fleet: Fleet, stop: Arc<AtomicBool>) {
         read_timeout: config.read_timeout,
         write_timeout: config.read_timeout,
     };
+    let jitter = config.probe_jitter.clamp(0.0, 1.0);
+    let mut rng_state = config.probe_seed;
     while !stop.load(Ordering::SeqCst) {
         for (name, addr, _live) in fleet.snapshot() {
             if stop.load(Ordering::SeqCst) {
                 return;
             }
+            let started = std::time::Instant::now();
             let ok = probe_once(addr, &config.probe_path, client_config);
+            if ce_telemetry::enabled() {
+                // Per-shard probe latency (log2 buckets): a shard whose
+                // probes slow down is drifting toward ejection before its
+                // first failed probe — the histogram shows it early.
+                ce_telemetry::histogram(&format!("cluster.probe_us.{name}"))
+                    .record(started.elapsed().as_micros() as u64);
+            }
             fleet.report(&name, ok, true);
         }
         fleet.note_probe_round();
+        // Jitter the inter-round sleep by ±probe_jitter so a fleet of
+        // checkers does not probe in lockstep. The draw is uniform over
+        // [1-j, 1+j] × interval from a seeded stream, so any single cadence
+        // is reproducible under test.
+        let mut remaining = if jitter > 0.0 {
+            let unit = jitter_next(&mut rng_state) as f64 / (u64::MAX as f64 + 1.0);
+            let scale = 1.0 + jitter * (2.0 * unit - 1.0);
+            config.probe_interval.mul_f64(scale)
+        } else {
+            config.probe_interval
+        };
         // Sleep in small slices so stop() never waits a full interval.
-        let mut remaining = config.probe_interval;
         while remaining > Duration::ZERO && !stop.load(Ordering::SeqCst) {
             let slice = remaining.min(Duration::from_millis(10));
             std::thread::sleep(slice);
@@ -404,5 +482,35 @@ mod tests {
         let f = fleet(1, 1, 1);
         assert!(!f.report("ghost", false, true));
         assert!(f.is_live("s0"));
+    }
+
+    #[test]
+    fn replica_set_is_the_candidate_prefix_with_addrs() {
+        let f = fleet(4, 3, 2);
+        for sig in [0u64, 7, 0xdead_beef, u64::MAX] {
+            let cands = f.candidates(sig);
+            let set = f.replica_set(sig, 2);
+            assert_eq!(set.len(), 2);
+            assert_eq!(set[..], cands[..2], "replica set must be the failover prefix");
+            for (name, addr) in &set {
+                assert_eq!(f.addr_of(name), Some(*addr));
+            }
+        }
+    }
+
+    #[test]
+    fn add_shard_joins_live_and_routable() {
+        let f = fleet(2, 3, 2);
+        let addr: SocketAddr = "127.0.0.1:9100".parse().unwrap();
+        assert!(f.add_shard("s2", addr));
+        assert!(!f.add_shard("s2", addr), "duplicate add rejected");
+        assert!(f.is_live("s2"));
+        assert_eq!(f.addr_of("s2"), Some(addr));
+        assert_eq!(f.live_count(), 3);
+        // The newcomer is reachable through the hysteresis machinery too.
+        assert!(!f.report("s2", false, false));
+        assert!(!f.report("s2", false, false));
+        assert!(f.report("s2", false, false), "third strike ejects the newcomer");
+        assert!(!f.is_live("s2"));
     }
 }

@@ -39,6 +39,12 @@ pub const TRACE_HEADER: &str = "x-ce-trace";
 /// merge them into its own trace record for the same request.
 pub const STAGES_HEADER: &str = "x-ce-stages";
 
+/// Request header carrying a router-minted observation identity as 16
+/// lowercase hex characters (a nonzero `u64`). Replicated truth posts and
+/// hedge duplicates reuse the ID, so shards can deduplicate the prequential
+/// update — observing the same truth twice would skew calibration.
+pub const TRUTH_HEADER: &str = "x-ce-truth-id";
+
 /// Byte/size caps enforced while parsing a request head and body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParserLimits {

@@ -54,9 +54,9 @@ pub use client::{ClientConfig, ClientResponse, HttpClient};
 pub use health::{Fleet, FleetStats, HealthChecker, HealthConfig};
 pub use http::{
     Headers, HttpError, OwnedRequest, ParserLimits, Request, RequestParser, Response,
-    STAGES_HEADER, TRACE_HEADER,
+    STAGES_HEADER, TRACE_HEADER, TRUTH_HEADER,
 };
 pub use proxy::{ChaosProxy, FaultRates, ProxyStats};
 pub use ring::{fnv1a64, HashRing};
-pub use router::{Router, RouterConfig, RouterStats};
+pub use router::{ForwardOutcome, HedgePolicy, Router, RouterConfig, RouterStats};
 pub use server::{Handler, HttpServer, ServerConfig, ServerStats, ServerStatsProbe};

@@ -35,7 +35,17 @@ use std::time::Duration;
 
 /// Per-connection fault probabilities; the remainder passes through clean.
 /// Rates are checked in the listed precedence order and must sum to ≤ 1.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `delay_every`/`delay_table` are a separate, *per-burst* mechanism: the
+/// per-connection faults above draw once per accepted connection, which is
+/// useless against a router that multiplexes every request over one pooled
+/// keep-alive stream — the whole stream gets one draw. The burst table
+/// instead counts client→upstream read bursts across *all* connections
+/// (under request/response ping-pong each single-write request arrives as
+/// one burst) and stalls every `delay_every`-th one by the next table
+/// entry, cycling. That yields a deterministic per-request latency tail
+/// through a pooled connection — what the hedge drill injects.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultRates {
     /// Close the client connection immediately, touching nothing.
     pub refuse: f64,
@@ -51,6 +61,10 @@ pub struct FaultRates {
     pub truncate_after: usize,
     /// Pause applied by a delay fault.
     pub delay: Duration,
+    /// Stall every N-th client→upstream burst (0 disables the mechanism).
+    pub delay_every: u32,
+    /// Pauses applied to the selected bursts, cycled in order.
+    pub delay_table: Vec<Duration>,
 }
 
 impl FaultRates {
@@ -63,12 +77,20 @@ impl FaultRates {
             delay_rate: 0.0,
             truncate_after: 40,
             delay: Duration::from_millis(20),
+            delay_every: 0,
+            delay_table: Vec::new(),
         }
     }
 
     /// Every connection refused: a blackout, as seen from the router.
     pub fn blackout() -> FaultRates {
         FaultRates { refuse: 1.0, ..FaultRates::calm() }
+    }
+
+    /// A clean stream with a deterministic latency tail: every `every`-th
+    /// request burst is stalled by the next entry of `table`.
+    pub fn tail(every: u32, table: Vec<Duration>) -> FaultRates {
+        FaultRates { delay_every: every, delay_table: table, ..FaultRates::calm() }
     }
 }
 
@@ -87,8 +109,11 @@ pub struct ProxyStats {
     pub truncated: u64,
     /// Delayed, then passed.
     pub delayed: u64,
+    /// Individual bursts stalled by the `delay_every` table.
+    pub burst_delays: u64,
 }
 
+#[derive(Default)]
 struct Counters {
     connections: AtomicU64,
     passed: AtomicU64,
@@ -96,6 +121,39 @@ struct Counters {
     black_holed: AtomicU64,
     truncated: AtomicU64,
     delayed: AtomicU64,
+    burst_delays: AtomicU64,
+}
+
+/// The shared per-burst delay schedule (see [`FaultRates::delay_every`]):
+/// one global counter across every relay thread, so the schedule is a pure
+/// function of arrival order — deterministic under ping-pong traffic.
+#[derive(Clone)]
+struct BurstDelayer {
+    counter: Arc<AtomicU64>,
+    rates: Arc<Mutex<FaultRates>>,
+    counters: Arc<Counters>,
+}
+
+impl BurstDelayer {
+    /// Accounts one burst; returns the pause to apply to it, if selected.
+    fn on_burst(&self) -> Option<Duration> {
+        let n = self.counter.fetch_add(1, Ordering::SeqCst) + 1; // 1-based
+        let (every, pause) = {
+            let rates = self.rates.lock().unwrap_or_else(|e| e.into_inner());
+            if rates.delay_every == 0 || rates.delay_table.is_empty() {
+                return None;
+            }
+            let every = u64::from(rates.delay_every);
+            let pick = ((n / every).saturating_sub(1)) as usize % rates.delay_table.len();
+            (every, rates.delay_table[pick])
+        };
+        if n.is_multiple_of(every) {
+            self.counters.burst_delays.fetch_add(1, Ordering::Relaxed);
+            Some(pause)
+        } else {
+            None
+        }
+    }
 }
 
 /// The per-connection fault decision.
@@ -168,14 +226,7 @@ impl ChaosProxy {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let rates = Arc::new(Mutex::new(rates));
-        let counters = Arc::new(Counters {
-            connections: AtomicU64::new(0),
-            passed: AtomicU64::new(0),
-            refused: AtomicU64::new(0),
-            black_holed: AtomicU64::new(0),
-            truncated: AtomicU64::new(0),
-            delayed: AtomicU64::new(0),
-        });
+        let counters = Arc::new(Counters::default());
         let accept_thread = {
             let stop = Arc::clone(&stop);
             let rates = Arc::clone(&rates);
@@ -212,6 +263,7 @@ impl ChaosProxy {
             black_holed: self.counters.black_holed.load(Ordering::Relaxed),
             truncated: self.counters.truncated.load(Ordering::Relaxed),
             delayed: self.counters.delayed.load(Ordering::Relaxed),
+            burst_delays: self.counters.burst_delays.load(Ordering::Relaxed),
         }
     }
 
@@ -240,6 +292,7 @@ fn accept_loop(
 ) {
     let mut rng_state = seed ^ 0xc3a5_c85c_97cb_3127;
     let mut relay_threads: Vec<JoinHandle<()>> = Vec::new();
+    let burst_counter = Arc::new(AtomicU64::new(0));
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((client, _peer)) => {
@@ -248,12 +301,17 @@ fn accept_loop(
                     let rates = rates.lock().unwrap_or_else(|e| e.into_inner());
                     draw_fault(&mut rng_state, &rates)
                 };
+                let delayer = BurstDelayer {
+                    counter: Arc::clone(&burst_counter),
+                    rates: Arc::clone(&rates),
+                    counters: Arc::clone(&counters),
+                };
                 let counters = Arc::clone(&counters);
                 let stop = Arc::clone(&stop);
                 relay_threads.push(
                     std::thread::Builder::new()
                         .name("ce-chaos-relay".into())
-                        .spawn(move || relay(client, target, fault, counters, stop))
+                        .spawn(move || relay(client, target, fault, delayer, counters, stop))
                         .expect("spawn relay thread"),
                 );
                 relay_threads.retain(|t| !t.is_finished());
@@ -274,6 +332,7 @@ fn relay(
     client: TcpStream,
     target: SocketAddr,
     fault: Fault,
+    delayer: BurstDelayer,
     counters: Arc<Counters>,
     stop: Arc<AtomicBool>,
 ) {
@@ -289,15 +348,15 @@ fn relay(
         }
         Fault::Truncate(after) => {
             counters.truncated.fetch_add(1, Ordering::Relaxed);
-            forward(client, target, Some(after), Duration::ZERO, stop);
+            forward(client, target, Some(after), Duration::ZERO, delayer, stop);
         }
         Fault::Delay(pause) => {
             counters.delayed.fetch_add(1, Ordering::Relaxed);
-            forward(client, target, None, pause, stop);
+            forward(client, target, None, pause, delayer, stop);
         }
         Fault::Pass => {
             counters.passed.fetch_add(1, Ordering::Relaxed);
-            forward(client, target, None, Duration::ZERO, stop);
+            forward(client, target, None, Duration::ZERO, delayer, stop);
         }
     }
 }
@@ -329,6 +388,7 @@ fn forward(
     target: SocketAddr,
     truncate_after: Option<usize>,
     pause: Duration,
+    delayer: BurstDelayer,
     stop: Arc<AtomicBool>,
 ) {
     if !pause.is_zero() {
@@ -340,7 +400,9 @@ fn forward(
     let _ = upstream.set_nodelay(true);
     let _ = client.set_nodelay(true);
     // client → target runs on its own thread; target → client (the side a
-    // truncate fault cuts) runs here.
+    // truncate fault cuts) runs here. The burst delayer rides the request
+    // direction only — a stalled request inflates the client's observed
+    // latency without touching response framing.
     let up = {
         let (Ok(client_read), Ok(upstream_write)) =
             (client.try_clone(), upstream.try_clone())
@@ -350,20 +412,23 @@ fn forward(
         let stop = Arc::clone(&stop);
         std::thread::Builder::new()
             .name("ce-chaos-up".into())
-            .spawn(move || copy_stream(client_read, upstream_write, None, stop))
+            .spawn(move || copy_stream(client_read, upstream_write, None, Some(delayer), stop))
             .expect("spawn upstream copy")
     };
-    copy_stream(upstream, client, truncate_after, stop);
+    copy_stream(upstream, client, truncate_after, None, stop);
     // Dropping our ends unblocks the uploader's reads.
     let _ = up.join();
 }
 
 /// Copies `from` into `to` until EOF, error, an optional byte cap, or stop.
 /// On the cap, both streams are shut down to force the mid-response cut.
+/// With a `delayer`, every read burst is accounted and the selected ones
+/// are stalled *before* their bytes move on.
 fn copy_stream(
     mut from: TcpStream,
     mut to: TcpStream,
     mut cap: Option<usize>,
+    delayer: Option<BurstDelayer>,
     stop: Arc<AtomicBool>,
 ) {
     let _ = from.set_read_timeout(Some(Duration::from_millis(20)));
@@ -378,6 +443,11 @@ fn copy_stream(
                 return;
             }
             Ok(n) => {
+                if let Some(delayer) = &delayer {
+                    if let Some(pause) = delayer.on_burst() {
+                        std::thread::sleep(pause);
+                    }
+                }
                 if let Some(remaining) = cap.as_mut() {
                     if n >= *remaining {
                         let _ = to.write_all(&buf[..*remaining]);
@@ -437,5 +507,85 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(draw_fault(&mut state, &calm), Fault::Pass);
         }
+    }
+
+    #[test]
+    fn burst_delayer_selects_every_nth_and_cycles_the_table() {
+        let table = vec![Duration::from_millis(5), Duration::from_millis(9)];
+        let delayer = BurstDelayer {
+            counter: Arc::new(AtomicU64::new(0)),
+            rates: Arc::new(Mutex::new(FaultRates::tail(3, table))),
+            counters: Arc::new(Counters::default()),
+        };
+        let schedule: Vec<Option<Duration>> = (0..12).map(|_| delayer.on_burst()).collect();
+        let ms = Duration::from_millis;
+        assert_eq!(
+            schedule,
+            vec![
+                None, None, Some(ms(5)),
+                None, None, Some(ms(9)),
+                None, None, Some(ms(5)),
+                None, None, Some(ms(9)),
+            ],
+            "every 3rd burst stalls, table entries cycle"
+        );
+        assert_eq!(delayer.counters.burst_delays.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn burst_delayer_is_inert_when_disabled() {
+        let delayer = BurstDelayer {
+            counter: Arc::new(AtomicU64::new(0)),
+            rates: Arc::new(Mutex::new(FaultRates::calm())),
+            counters: Arc::new(Counters::default()),
+        };
+        assert!((0..16).all(|_| delayer.on_burst().is_none()));
+        // An empty table never panics even with delay_every set.
+        let delayer = BurstDelayer {
+            counter: Arc::new(AtomicU64::new(0)),
+            rates: Arc::new(Mutex::new(FaultRates::tail(2, Vec::new()))),
+            counters: Arc::new(Counters::default()),
+        };
+        assert!((0..16).all(|_| delayer.on_burst().is_none()));
+    }
+
+    #[test]
+    fn burst_tail_stalls_requests_through_one_keepalive_connection() {
+        use crate::client::HttpClient;
+        use crate::http::{Request, Response};
+        use crate::server::{HttpServer, ServerConfig};
+
+        let upstream = HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig { read_tick: Duration::from_millis(2), ..ServerConfig::default() },
+            Arc::new(|_req: &Request| Response::text(200, "ok")),
+        )
+        .expect("bind upstream");
+        let proxy = ChaosProxy::start(
+            "127.0.0.1:0",
+            upstream.local_addr(),
+            7,
+            FaultRates::tail(4, vec![Duration::from_millis(60)]),
+        )
+        .expect("start proxy");
+        // One keep-alive connection, eight ping-pong requests: the 4th and
+        // 8th burst hit the table even though the *connection* drew Pass.
+        let mut client = HttpClient::connect(proxy.local_addr()).expect("connect");
+        let mut slow = 0usize;
+        for i in 1..=8 {
+            let started = std::time::Instant::now();
+            let resp = client.get("/x").expect("request through proxy");
+            assert_eq!(resp.status, 200);
+            let elapsed = started.elapsed();
+            if i % 4 == 0 {
+                assert!(elapsed >= Duration::from_millis(50), "burst {i} must stall: {elapsed:?}");
+                slow += 1;
+            } else {
+                assert!(elapsed < Duration::from_millis(50), "burst {i} must pass: {elapsed:?}");
+            }
+        }
+        assert_eq!(slow, 2);
+        assert_eq!(proxy.stats().burst_delays, 2);
+        assert_eq!(proxy.stats().connections, 1, "the pool reused one stream");
     }
 }

@@ -49,6 +49,9 @@ pub struct HashRing {
     /// `(point, shard index)` sorted by point; ties broken by shard index
     /// (deterministic even on hash collisions).
     points: Vec<(u64, u32)>,
+    /// Points contributed per shard — kept so [`HashRing::add_shard`] can
+    /// grow the ring with the same density it was built with.
+    vnodes: usize,
 }
 
 impl HashRing {
@@ -75,7 +78,61 @@ impl HashRing {
         }
         points.sort_unstable();
         let live = vec![true; shards.len()];
-        HashRing { shards, live, points }
+        HashRing { shards, live, points, vnodes }
+    }
+
+    /// Adds a shard to a live ring: `vnodes` (the construction density) new
+    /// points land on the circle, each claiming the arc between itself and
+    /// its predecessor. Movement is *bounded and minimal by construction*:
+    /// a key either keeps its owner or moves **to the new shard** (a key
+    /// only changes hands when one of the new points falls between the key
+    /// and its old owner), so live addition never shuffles keys between
+    /// existing shards. The new shard starts live. Returns `false` on a
+    /// duplicate name (the ring is untouched).
+    pub fn add_shard(&mut self, name: &str) -> bool {
+        if self.shards.iter().any(|s| s == name) {
+            return false;
+        }
+        let idx = self.shards.len() as u32;
+        self.shards.push(name.to_string());
+        self.live.push(true);
+        for replica in 0..self.vnodes {
+            let point = mix64(fnv1a64(format!("{name}#{replica}").as_bytes()));
+            // Insert keeping the (point, idx) sort order; ties break toward
+            // the lower shard id, same as the construction-time sort.
+            let at = self.points.partition_point(|&entry| entry < (point, idx));
+            self.points.insert(at, (point, idx));
+        }
+        true
+    }
+
+    /// The first `r` *distinct live* shards clockwise from `signature` —
+    /// the key's replica set. `replicas[0]` is the primary, the rest are
+    /// backups in failover order. Returns fewer than `r` names when the
+    /// live fleet is smaller. Because liveness is a mask, replica sets are
+    /// maximally stable: ejecting a shard rewrites only the sets that
+    /// contained it (the survivors keep their relative order and the next
+    /// clockwise candidate fills in at the tail), and readmission restores
+    /// every set exactly.
+    pub fn replica_set(&self, signature: u64, r: usize) -> Vec<&str> {
+        let mut seen = vec![false; self.shards.len()];
+        let want = r.min(self.live_count());
+        let mut out = Vec::with_capacity(want);
+        if want == 0 {
+            return out;
+        }
+        for idx in self.walk(signature) {
+            if !seen[idx] {
+                seen[idx] = true;
+                if self.live[idx] {
+                    out.push(self.shards[idx].as_str());
+                }
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
     }
 
     /// Shard names in id order.
@@ -242,6 +299,84 @@ mod tests {
     #[should_panic(expected = "duplicate shard name")]
     fn duplicate_names_rejected() {
         let _ = HashRing::new(&["a", "a"], 8);
+    }
+
+    #[test]
+    fn replica_set_is_a_distinct_prefix_of_candidates() {
+        let ring = HashRing::new(&names(5), 64);
+        for sig in (0..2_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            let cands = ring.candidates(sig);
+            for r in 0..=6 {
+                let set = ring.replica_set(sig, r);
+                assert_eq!(set.len(), r.min(5), "set capped at live fleet size");
+                assert_eq!(&set[..], &cands[..set.len()], "replica set is the candidate prefix");
+                let mut dedup: Vec<&str> = set.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                assert_eq!(dedup.len(), set.len(), "replicas are distinct shards");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_set_respects_liveness_mask() {
+        let mut ring = HashRing::new(&names(4), 64);
+        ring.eject("shard-1");
+        for sig in (0..2_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            let set = ring.replica_set(sig, 3);
+            assert_eq!(set.len(), 3);
+            assert!(!set.contains(&"shard-1"), "ejected shard in replica set");
+        }
+        ring.eject("shard-0");
+        ring.eject("shard-2");
+        ring.eject("shard-3");
+        assert!(ring.replica_set(7, 2).is_empty(), "dead fleet has no replicas");
+    }
+
+    #[test]
+    fn add_shard_moves_keys_only_to_the_new_shard() {
+        let mut ring = HashRing::new(&names(4), 64);
+        let sigs: Vec<u64> =
+            (0..5_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        let before: Vec<String> =
+            sigs.iter().map(|&s| ring.primary(s).unwrap().to_string()).collect();
+        assert!(ring.add_shard("shard-4"));
+        assert!(ring.is_live("shard-4"), "new shard starts live");
+        let mut moved = 0usize;
+        for (sig, owner) in sigs.iter().zip(&before) {
+            let now = ring.primary(*sig).unwrap();
+            if now != owner {
+                assert_eq!(now, "shard-4", "key moved between pre-existing shards");
+                moved += 1;
+            }
+        }
+        // Expected share of a 5-shard ring is 1/5; allow generous slack but
+        // insist the movement is bounded well below a rebuild.
+        let frac = moved as f64 / sigs.len() as f64;
+        assert!(frac > 0.05, "new shard took no keys ({frac:.3})");
+        assert!(frac < 0.40, "addition moved {frac:.3} of the keyspace");
+    }
+
+    #[test]
+    fn add_shard_matches_fresh_construction() {
+        // Growing a ring live must be indistinguishable from building it
+        // with the full roster — the router-fleet gate depends on this.
+        let mut grown = HashRing::new(&names(3), 64);
+        assert!(grown.add_shard("shard-3"));
+        let fresh = HashRing::new(&names(4), 64);
+        for sig in (0..5_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            assert_eq!(grown.primary(sig), fresh.primary(sig));
+            assert_eq!(grown.replica_set(sig, 2), fresh.replica_set(sig, 2));
+        }
+    }
+
+    #[test]
+    fn add_shard_rejects_duplicates() {
+        let mut ring = HashRing::new(&names(2), 8);
+        let points_before = ring.points.len();
+        assert!(!ring.add_shard("shard-1"));
+        assert_eq!(ring.points.len(), points_before, "duplicate add touched the ring");
+        assert_eq!(ring.shards().len(), 2);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! forward:
 //!
 //! 1. The [`Fleet`] yields the signature's live candidates in ring order.
+//!    With `replicas > 1` the first R candidates are the key's *replica
+//!    set*: the primary serves, the rest are warm backups (see
+//!    [`Router::replicate`]).
 //! 2. Each candidate leg reuses a pooled keep-alive connection when one
 //!    exists (a fresh connect otherwise), with the leg's read timeout
 //!    clamped to the remaining deadline. A pooled stream that fails is
@@ -24,6 +27,41 @@
 //!    `Retry-After` (the last leg shed), `504` on deadline, and `503` when
 //!    the ring is empty.
 //!
+//! # Hedging
+//!
+//! With a [`HedgePolicy`] other than `Off`, a request that the primary has
+//! not answered within the hedge delay gets a *second, concurrent* leg at
+//! the first backup — first response wins. This trades a bounded amount of
+//! duplicate work for the tail: a primary stalled by GC, a queue spike, or
+//! an injected network delay no longer drags the request to its read
+//! timeout when a warm backup can answer in microseconds. Accounting is
+//! deterministic at decision time: `hedges_fired` counts races started,
+//! and exactly one of `hedge_wins` (the backup answered first) or
+//! `hedge_cancelled` (the primary answered first after all) follows per
+//! race that produces a response. A primary that *fails fast* (dead or
+//! shed before the hedge delay) falls over sequentially — that is ordinary
+//! failover, not a hedge. The losing leg is never aborted mid-flight
+//! (HTTP/1.1 has no cancel); it finishes on its own detached thread,
+//! reports its health observation, and parks its connection back in the
+//! pool — so a hedge costs one duplicated request, not a poisoned stream.
+//!
+//! `HedgePolicy::Adaptive` derives the delay from the rolling p99 of the
+//! last 256 served legs (clamped to `[1ms, read_timeout]`), so the hedge
+//! threshold tracks the fleet's actual tail rather than a guess; until 32
+//! samples exist no hedge fires.
+//!
+//! # Truth fan-out
+//!
+//! [`Router::replicate`] re-posts an observation body to every replica of
+//! its key except the shard that already served it, so each backup's
+//! prequential calibration state tracks the live stream and a promoted
+//! backup serves from *warm* calibration. Propagation is best-effort with
+//! a per-replica retry budget; replicas that miss an observation are
+//! accounted per shard in [`Router::truth_lag`]. Shards deduplicate
+//! replayed observations by the `x-ce-truth-id` header, so the fan-out
+//! (and a hedge duplicate) is idempotent — see `DESIGN.md` §14 for why
+//! best-effort is safe for prequential calibration.
+//!
 //! A forwarded response is passed through body-byte-identical: the router
 //! copies status and entity headers and re-frames `Content-Length` /
 //! `Connection` itself, so an interval served through the router is
@@ -33,12 +71,24 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::client::{ClientConfig, ClientResponse, HttpClient};
 use crate::health::Fleet;
-use crate::http::{Request, Response};
+use crate::http::{Headers, Request, Response};
+
+/// When (if ever) the router races a second leg against a slow primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HedgePolicy {
+    /// Never hedge (single-leg failover only) — the PR 6 behavior.
+    Off,
+    /// Hedge when the primary has not answered within the given delay.
+    Fixed(Duration),
+    /// Hedge at the rolling p99 of served-leg latency (256-sample window,
+    /// clamped to `[1ms, read_timeout]`); inactive below 32 samples.
+    Adaptive,
+}
 
 /// Tuning for [`Router`].
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +103,12 @@ pub struct RouterConfig {
     pub read_timeout: Duration,
     /// Pooled keep-alive connections kept per shard.
     pub pool_per_shard: usize,
+    /// Replicas per key (1 = single owner, no fan-out — PR 6 semantics).
+    pub replicas: usize,
+    /// Tail-latency hedging policy for forwarded requests.
+    pub hedge: HedgePolicy,
+    /// Extra attempts per replica when fanning out a truth post.
+    pub truth_retry_budget: usize,
 }
 
 impl Default for RouterConfig {
@@ -63,6 +119,9 @@ impl Default for RouterConfig {
             connect_timeout: Duration::from_millis(250),
             read_timeout: Duration::from_secs(1),
             pool_per_shard: 8,
+            replicas: 1,
+            hedge: HedgePolicy::Off,
+            truth_retry_budget: 1,
         }
     }
 }
@@ -89,8 +148,19 @@ pub struct RouterStats {
     pub deadline_exceeded: u64,
     /// Requests refused because no shard was live.
     pub no_live_shards: u64,
+    /// Hedge races started (primary outlived the hedge delay).
+    pub hedges_fired: u64,
+    /// Races the hedge leg won (backup answered first).
+    pub hedge_wins: u64,
+    /// Races the primary won after the hedge fired (duplicate discarded).
+    pub hedge_cancelled: u64,
+    /// Truth posts fanned out to at least one replica.
+    pub truth_fanouts: u64,
+    /// Individual replica truth posts acknowledged with `200`.
+    pub truth_replicated: u64,
 }
 
+#[derive(Default)]
 struct Counters {
     requests: AtomicU64,
     served_primary: AtomicU64,
@@ -101,17 +171,22 @@ struct Counters {
     exhausted: AtomicU64,
     deadline_exceeded: AtomicU64,
     no_live_shards: AtomicU64,
+    hedges_fired: AtomicU64,
+    hedge_wins: AtomicU64,
+    hedge_cancelled: AtomicU64,
+    truth_fanouts: AtomicU64,
+    truth_replicated: AtomicU64,
 }
 
-/// The forwarding engine; see module docs.
-pub struct Router {
-    fleet: Fleet,
-    config: RouterConfig,
-    /// Idle keep-alive connections per shard *name* (not address: a shard
-    /// restarted on a new port must not inherit stale streams — the pool is
-    /// keyed so its entries die with the report of the first failed leg).
-    pools: Mutex<HashMap<String, Vec<(SocketAddr, HttpClient)>>>,
-    counters: Counters,
+/// What a forward did beyond the response itself — which shard answered
+/// (the serving layer needs it to skip that shard in the truth fan-out)
+/// and whether a hedge race was started.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardOutcome {
+    /// Name of the shard whose response was returned, if any leg served.
+    pub served_by: Option<String>,
+    /// Whether the hedge leg was launched for this request.
+    pub hedge_fired: bool,
 }
 
 /// One leg's outcome, internal to the failover walk.
@@ -124,111 +199,92 @@ enum Leg {
     Dead,
 }
 
-impl Router {
-    /// Builds a router over `fleet`.
-    pub fn new(fleet: Fleet, config: RouterConfig) -> Router {
-        Router {
-            fleet,
-            config,
-            pools: Mutex::new(HashMap::new()),
-            counters: Counters {
-                requests: AtomicU64::new(0),
-                served_primary: AtomicU64::new(0),
-                served_failover: AtomicU64::new(0),
-                leg_errors: AtomicU64::new(0),
-                pool_stale: AtomicU64::new(0),
-                leg_sheds: AtomicU64::new(0),
-                exhausted: AtomicU64::new(0),
-                deadline_exceeded: AtomicU64::new(0),
-                no_live_shards: AtomicU64::new(0),
-            },
+/// Rolling window of served-leg latencies feeding the adaptive hedge
+/// delay. Fixed 256 slots; `p99` sorts a copy (the window is tiny and the
+/// lock is held only for the copy).
+struct LatencyWindow {
+    slots: [u64; 256],
+    len: usize,
+    next: usize,
+}
+
+impl LatencyWindow {
+    const MIN_SAMPLES: usize = 32;
+
+    fn new() -> LatencyWindow {
+        LatencyWindow { slots: [0; 256], len: 0, next: 0 }
+    }
+
+    fn record(&mut self, micros: u64) {
+        self.slots[self.next] = micros;
+        self.next = (self.next + 1) % self.slots.len();
+        self.len = (self.len + 1).min(self.slots.len());
+    }
+
+    /// p99 of the window, `None` until enough samples exist to make the
+    /// tail estimate meaningful.
+    fn p99_micros(&self) -> Option<u64> {
+        if self.len < Self::MIN_SAMPLES {
+            return None;
         }
+        let mut sorted = self.slots[..self.len].to_vec();
+        sorted.sort_unstable();
+        let idx = (self.len * 99 / 100).min(self.len - 1);
+        Some(sorted[idx])
     }
+}
 
-    /// The fleet this router routes over (shared with the health checker).
-    pub fn fleet(&self) -> &Fleet {
-        &self.fleet
-    }
+/// The shareable half of the router: everything a leg needs to run to
+/// completion — fleet (for health reports), config, connection pools, and
+/// counters. Hedge legs clone this into their detached threads so a losing
+/// leg can still park its connection and file its health observation after
+/// the request has been answered.
+#[derive(Clone)]
+struct LegRunner {
+    fleet: Fleet,
+    config: RouterConfig,
+    /// Idle keep-alive connections per shard *name* (not address: a shard
+    /// restarted on a new port must not inherit stale streams — the pool is
+    /// keyed so its entries die with the report of the first failed leg).
+    pools: Arc<Mutex<PoolMap>>,
+    counters: Arc<Counters>,
+}
 
-    /// Forwarding counters.
-    pub fn stats(&self) -> RouterStats {
-        RouterStats {
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            served_primary: self.counters.served_primary.load(Ordering::Relaxed),
-            served_failover: self.counters.served_failover.load(Ordering::Relaxed),
-            leg_errors: self.counters.leg_errors.load(Ordering::Relaxed),
-            pool_stale: self.counters.pool_stale.load(Ordering::Relaxed),
-            leg_sheds: self.counters.leg_sheds.load(Ordering::Relaxed),
-            exhausted: self.counters.exhausted.load(Ordering::Relaxed),
-            deadline_exceeded: self.counters.deadline_exceeded.load(Ordering::Relaxed),
-            no_live_shards: self.counters.no_live_shards.load(Ordering::Relaxed),
-        }
-    }
+/// Idle connections per shard name; each entry remembers the address it was
+/// opened against so a restart on a new port invalidates it.
+type PoolMap = HashMap<String, Vec<(SocketAddr, HttpClient)>>;
 
-    /// Routes one request by `signature` through the fleet; always returns
-    /// *some* response (routing failures map to 502/503/504 as per the
-    /// module docs).
-    pub fn forward(&self, request: &Request, signature: u64) -> Response {
-        self.forward_with_header(request, signature, None)
-    }
-
-    /// Same as [`Router::forward`], but appends `extra` as a request header
-    /// on every outgoing leg when the original request does not already
-    /// carry it — how the cluster router propagates a minted trace ID to
-    /// the shard that serves the request.
-    pub fn forward_with_header(
+impl LegRunner {
+    /// Runs one complete leg: connect/send/classify *and* the bookkeeping
+    /// that goes with the verdict (health report, leg counters, trace
+    /// events). Keeping the bookkeeping here means a hedge leg finishing
+    /// after its request was answered still feeds hysteresis correctly.
+    fn run_leg(
         &self,
         request: &Request,
-        signature: u64,
-        extra: Option<(&str, &str)>,
-    ) -> Response {
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let deadline = Instant::now() + self.config.deadline;
-        let candidates = self.fleet.candidates(signature);
-        if candidates.is_empty() {
-            self.counters.no_live_shards.fetch_add(1, Ordering::Relaxed);
-            return Response::json(503, "{\"error\":\"no live shards\"}")
-                .header("Retry-After", "1");
-        }
-        let legs_allowed = self.config.retry_budget.saturating_add(1);
-        let mut last_shed: Option<ClientResponse> = None;
-        for (attempt, (name, addr)) in candidates.iter().take(legs_allowed).enumerate() {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                self.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-                return Response::json(504, "{\"error\":\"routing deadline exceeded\"}");
+        extras: &[(&str, &str)],
+        name: &str,
+        addr: SocketAddr,
+        remaining: Duration,
+    ) -> Leg {
+        match self.try_leg(request, extras, name, addr, remaining) {
+            Leg::Served(resp) => {
+                // A served leg is a success observation for hysteresis.
+                self.fleet.report(name, true, false);
+                Leg::Served(resp)
             }
-            match self.try_leg(request, extra, name, *addr, remaining) {
-                Leg::Served(resp) => {
-                    if attempt == 0 {
-                        self.counters.served_primary.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        self.counters.served_failover.fetch_add(1, Ordering::Relaxed);
-                    }
-                    // A served leg is a success observation for hysteresis.
-                    self.fleet.report(name, true, false);
-                    return passthrough(&resp);
-                }
-                Leg::Shed(resp) => {
-                    // Alive but overloaded: fail over, but do not count
-                    // against the shard's health.
-                    self.counters.leg_sheds.fetch_add(1, Ordering::Relaxed);
-                    last_shed = Some(resp);
-                }
-                Leg::Dead => {
-                    self.counters.leg_errors.fetch_add(1, Ordering::Relaxed);
-                    ce_telemetry::trace::event("leg_dead", name);
-                    self.fleet.report(name, false, false);
-                }
+            Leg::Shed(resp) => {
+                // Alive but overloaded: fail over, but do not count
+                // against the shard's health.
+                self.counters.leg_sheds.fetch_add(1, Ordering::Relaxed);
+                Leg::Shed(resp)
             }
-        }
-        self.counters.exhausted.fetch_add(1, Ordering::Relaxed);
-        ce_telemetry::trace::anomaly("route_exhausted", "all candidate legs failed or shed");
-        match last_shed {
-            // Every reachable candidate shed: surface the shed (with its
-            // Retry-After) rather than inventing a gateway error.
-            Some(resp) => passthrough(&resp),
-            None => Response::json(502, "{\"error\":\"all candidate shards failed\"}"),
+            Leg::Dead => {
+                self.counters.leg_errors.fetch_add(1, Ordering::Relaxed);
+                ce_telemetry::trace::event("leg_dead", name);
+                self.fleet.report(name, false, false);
+                Leg::Dead
+            }
         }
     }
 
@@ -244,14 +300,14 @@ impl Router {
     fn try_leg(
         &self,
         request: &Request,
-        extra: Option<(&str, &str)>,
+        extras: &[(&str, &str)],
         name: &str,
         addr: SocketAddr,
         remaining: Duration,
     ) -> Leg {
         let read_timeout = self.config.read_timeout.min(remaining);
         if let Some(client) = self.checkout(name, addr) {
-            match self.send_leg(client, request, extra, name, addr, read_timeout) {
+            match self.send_leg(client, request, extras, name, addr, read_timeout) {
                 Some(leg) => return leg,
                 None => {
                     self.counters.pool_stale.fetch_add(1, Ordering::Relaxed);
@@ -265,7 +321,7 @@ impl Router {
         };
         match HttpClient::connect_with(addr, config) {
             Ok(client) => self
-                .send_leg(client, request, extra, name, addr, read_timeout)
+                .send_leg(client, request, extras, name, addr, read_timeout)
                 .unwrap_or(Leg::Dead),
             Err(_) => Leg::Dead,
         }
@@ -278,7 +334,7 @@ impl Router {
         &self,
         mut client: HttpClient,
         request: &Request,
-        extra: Option<(&str, &str)>,
+        extras: &[(&str, &str)],
         name: &str,
         addr: SocketAddr,
         read_timeout: Duration,
@@ -294,10 +350,13 @@ impl Router {
                 && !k.eq_ignore_ascii_case("connection")
                 && !k.eq_ignore_ascii_case("host")
         });
-        // The injected header only fills a gap — a client-supplied value
-        // keeps precedence so end-to-end IDs survive the hop untouched.
-        let extra = extra.filter(|(k, _)| request.headers.get(k).is_none());
-        let headers = headers.chain(extra);
+        // Injected headers only fill gaps — a client-supplied value keeps
+        // precedence so end-to-end IDs survive the hop untouched.
+        let extras = extras
+            .iter()
+            .filter(|(k, _)| request.headers.get(k).is_none())
+            .map(|&(k, v)| (k, v));
+        let headers = headers.chain(extras);
         match client.request(request.method, request.target, headers, request.body) {
             Ok(resp) => {
                 let shed = resp.status == 503 && resp.retry_after().is_some();
@@ -338,6 +397,363 @@ impl Router {
     }
 }
 
+/// The forwarding engine; see module docs.
+pub struct Router {
+    runner: LegRunner,
+    latency: Mutex<LatencyWindow>,
+    truth_lag: Mutex<HashMap<String, u64>>,
+}
+
+impl Router {
+    /// Builds a router over `fleet`.
+    pub fn new(fleet: Fleet, config: RouterConfig) -> Router {
+        Router {
+            runner: LegRunner {
+                fleet,
+                config,
+                pools: Arc::new(Mutex::new(HashMap::new())),
+                counters: Arc::new(Counters::default()),
+            },
+            latency: Mutex::new(LatencyWindow::new()),
+            truth_lag: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The fleet this router routes over (shared with the health checker).
+    pub fn fleet(&self) -> &Fleet {
+        &self.runner.fleet
+    }
+
+    /// The configuration this router was built with.
+    pub fn config(&self) -> &RouterConfig {
+        &self.runner.config
+    }
+
+    /// Forwarding counters.
+    pub fn stats(&self) -> RouterStats {
+        let c = &self.runner.counters;
+        RouterStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            served_primary: c.served_primary.load(Ordering::Relaxed),
+            served_failover: c.served_failover.load(Ordering::Relaxed),
+            leg_errors: c.leg_errors.load(Ordering::Relaxed),
+            pool_stale: c.pool_stale.load(Ordering::Relaxed),
+            leg_sheds: c.leg_sheds.load(Ordering::Relaxed),
+            exhausted: c.exhausted.load(Ordering::Relaxed),
+            deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+            no_live_shards: c.no_live_shards.load(Ordering::Relaxed),
+            hedges_fired: c.hedges_fired.load(Ordering::Relaxed),
+            hedge_wins: c.hedge_wins.load(Ordering::Relaxed),
+            hedge_cancelled: c.hedge_cancelled.load(Ordering::Relaxed),
+            truth_fanouts: c.truth_fanouts.load(Ordering::Relaxed),
+            truth_replicated: c.truth_replicated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Observations each backup has missed (best-effort fan-out failures),
+    /// sorted by shard name. An operator watching these sees exactly how
+    /// stale each backup's calibration can be.
+    pub fn truth_lag(&self) -> Vec<(String, u64)> {
+        let lag = self.truth_lag.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, u64)> = lag.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Routes one request by `signature` through the fleet; always returns
+    /// *some* response (routing failures map to 502/503/504 as per the
+    /// module docs).
+    pub fn forward(&self, request: &Request, signature: u64) -> Response {
+        self.forward_opts(request, signature, &[], true).0
+    }
+
+    /// Same as [`Router::forward`], but appends `extra` as a request header
+    /// on every outgoing leg when the original request does not already
+    /// carry it — how the cluster router propagates a minted trace ID to
+    /// the shard that serves the request.
+    pub fn forward_with_header(
+        &self,
+        request: &Request,
+        signature: u64,
+        extra: Option<(&str, &str)>,
+    ) -> Response {
+        match extra {
+            Some(pair) => self.forward_opts(request, signature, &[pair], true).0,
+            None => self.forward_opts(request, signature, &[], true).0,
+        }
+    }
+
+    /// Full-control forward: gap-filling `extras` headers on every leg, and
+    /// `allow_hedge` to veto hedging per request (the serving layer turns
+    /// it off when a duplicate would not be idempotent). Returns the
+    /// response plus which shard served it and whether a hedge fired.
+    pub fn forward_opts(
+        &self,
+        request: &Request,
+        signature: u64,
+        extras: &[(&str, &str)],
+        allow_hedge: bool,
+    ) -> (Response, ForwardOutcome) {
+        let runner = &self.runner;
+        runner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let deadline = start + runner.config.deadline;
+        let candidates = runner.fleet.candidates(signature);
+        let mut outcome = ForwardOutcome::default();
+        if candidates.is_empty() {
+            runner.counters.no_live_shards.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::json(503, "{\"error\":\"no live shards\"}")
+                .header("Retry-After", "1");
+            return (resp, outcome);
+        }
+        let legs_allowed = runner.config.retry_budget.saturating_add(1);
+        let mut last_shed: Option<ClientResponse> = None;
+        // Index of the next candidate to try == legs consumed so far.
+        let mut next_leg = 0usize;
+
+        // Hedged race over candidates[0] (primary) and candidates[1]
+        // (first backup). Requires a backup to hedge *to* and budget for a
+        // second leg; the delay itself comes from the policy.
+        if allow_hedge && candidates.len() >= 2 && legs_allowed >= 2 {
+            if let Some(delay) = self.hedge_delay() {
+                let (tx, rx) = mpsc::channel::<(usize, Leg)>();
+                let spawn_leg = |idx: usize| {
+                    let runner = runner.clone();
+                    let tx = tx.clone();
+                    let (name, addr) = candidates[idx].clone();
+                    // Explicit call: `request.to_owned()` would resolve to
+                    // the `ToOwned` blanket impl on the `Copy` receiver and
+                    // keep borrowing the parser buffer.
+                    let owned = Request::to_owned(*request);
+                    let extras_owned: Vec<(String, String)> =
+                        extras.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    std::thread::Builder::new()
+                        .name(format!("ce-route-leg-{idx}"))
+                        .spawn(move || {
+                            let header_pairs: Vec<(&str, &str)> = owned
+                                .headers
+                                .iter()
+                                .map(|(k, v)| (k.as_str(), v.as_str()))
+                                .collect();
+                            let extra_pairs: Vec<(&str, &str)> = extras_owned
+                                .iter()
+                                .map(|(k, v)| (k.as_str(), v.as_str()))
+                                .collect();
+                            let req = Request {
+                                method: &owned.method,
+                                target: &owned.target,
+                                http11: owned.http11,
+                                headers: Headers::from_pairs(&header_pairs),
+                                body: &owned.body,
+                            };
+                            let leg = runner.run_leg(&req, &extra_pairs, &name, addr, remaining);
+                            // The receiver is gone once the race is decided;
+                            // a late loser's result is intentionally dropped
+                            // (its health report already happened above).
+                            let _ = tx.send((idx, leg));
+                        })
+                        .expect("spawn hedge leg");
+                };
+                spawn_leg(0);
+                next_leg = 1;
+                let wait = delay.min(deadline.saturating_duration_since(Instant::now()));
+                match rx.recv_timeout(wait) {
+                    Ok((idx, Leg::Served(resp))) => {
+                        // The primary answered inside the hedge window: the
+                        // common case, identical to the unhedged path.
+                        return (self.finish(&candidates, idx, resp, start, &mut outcome), outcome);
+                    }
+                    Ok((_, Leg::Shed(resp))) => {
+                        // Fast failure before the timer: plain failover.
+                        last_shed = Some(resp);
+                    }
+                    Ok((_, Leg::Dead)) => {}
+                    Err(_) => {
+                        // The primary outlived the hedge delay: fire the
+                        // race leg at the first backup.
+                        outcome.hedge_fired = true;
+                        runner.counters.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                        ce_telemetry::trace::event("hedge_fired", &candidates[1].0);
+                        spawn_leg(1);
+                        next_leg = 2;
+                        let mut outstanding = 2usize;
+                        while outstanding > 0 {
+                            let remaining = deadline.saturating_duration_since(Instant::now());
+                            if remaining.is_zero() {
+                                runner.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                let resp =
+                                    Response::json(504, "{\"error\":\"routing deadline exceeded\"}");
+                                return (resp, outcome);
+                            }
+                            match rx.recv_timeout(remaining) {
+                                Ok((idx, Leg::Served(resp))) => {
+                                    // Decision point: exactly one of wins /
+                                    // cancelled per race that serves.
+                                    if idx == 1 {
+                                        runner.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        runner
+                                            .counters
+                                            .hedge_cancelled
+                                            .fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    return (
+                                        self.finish(&candidates, idx, resp, start, &mut outcome),
+                                        outcome,
+                                    );
+                                }
+                                Ok((_, Leg::Shed(resp))) => {
+                                    outstanding -= 1;
+                                    last_shed = Some(resp);
+                                }
+                                Ok((_, Leg::Dead)) => outstanding -= 1,
+                                Err(_) => {
+                                    runner
+                                        .counters
+                                        .deadline_exceeded
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    let resp = Response::json(
+                                        504,
+                                        "{\"error\":\"routing deadline exceeded\"}",
+                                    );
+                                    return (resp, outcome);
+                                }
+                            }
+                        }
+                        // Both race legs failed; the sequential walk below
+                        // resumes at candidates[2] within the leg budget.
+                    }
+                }
+            }
+        }
+
+        // Sequential failover walk (the whole request when not hedging;
+        // the continuation when a race burned the first legs).
+        while next_leg < candidates.len().min(legs_allowed) {
+            let (name, addr) = &candidates[next_leg];
+            let attempt = next_leg;
+            next_leg += 1;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                runner.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                return (Response::json(504, "{\"error\":\"routing deadline exceeded\"}"), outcome);
+            }
+            let leg_start = Instant::now();
+            match runner.run_leg(request, extras, name, *addr, remaining) {
+                Leg::Served(resp) => {
+                    return (
+                        self.finish(&candidates, attempt, resp, leg_start, &mut outcome),
+                        outcome,
+                    );
+                }
+                Leg::Shed(resp) => last_shed = Some(resp),
+                Leg::Dead => {}
+            }
+        }
+        runner.counters.exhausted.fetch_add(1, Ordering::Relaxed);
+        ce_telemetry::trace::anomaly("route_exhausted", "all candidate legs failed or shed");
+        let resp = match last_shed {
+            // Every reachable candidate shed: surface the shed (with its
+            // Retry-After) rather than inventing a gateway error.
+            Some(resp) => passthrough(&resp),
+            None => Response::json(502, "{\"error\":\"all candidate shards failed\"}"),
+        };
+        (resp, outcome)
+    }
+
+    /// Fans an observation body out to every replica of `signature` except
+    /// `skip` (the shard that already served it). Best-effort: each replica
+    /// gets `truth_retry_budget + 1` attempts; a replica that still misses
+    /// the post is accounted in [`Router::truth_lag`] — its calibration
+    /// simply lags the stream by one observation, which prequential updates
+    /// absorb (no replay, no reconciliation). Returns `(attempted, ok)`.
+    pub fn replicate(
+        &self,
+        request: &Request,
+        signature: u64,
+        skip: Option<&str>,
+        extras: &[(&str, &str)],
+    ) -> (usize, usize) {
+        let runner = &self.runner;
+        if runner.config.replicas <= 1 {
+            return (0, 0);
+        }
+        let replicas = runner.fleet.replica_set(signature, runner.config.replicas);
+        let mut attempted = 0usize;
+        let mut ok = 0usize;
+        for (name, addr) in &replicas {
+            if Some(name.as_str()) == skip {
+                continue;
+            }
+            attempted += 1;
+            let mut served = false;
+            for _ in 0..=runner.config.truth_retry_budget {
+                match runner.run_leg(request, extras, name, *addr, runner.config.read_timeout) {
+                    Leg::Served(resp) if resp.status == 200 => {
+                        served = true;
+                        break;
+                    }
+                    // The shard answered but rejected the post: replaying
+                    // the same bytes cannot change the verdict.
+                    Leg::Served(_) => break,
+                    // Dead or shed: worth another attempt within budget.
+                    _ => {}
+                }
+            }
+            if served {
+                ok += 1;
+                runner.counters.truth_replicated.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let mut lag = self.truth_lag.lock().unwrap_or_else(|e| e.into_inner());
+                *lag.entry(name.clone()).or_insert(0) += 1;
+                ce_telemetry::trace::event("truth_lagged", name);
+            }
+        }
+        if attempted > 0 {
+            runner.counters.truth_fanouts.fetch_add(1, Ordering::Relaxed);
+        }
+        (attempted, ok)
+    }
+
+    /// Win bookkeeping shared by the race and sequential paths: primary /
+    /// failover counters, the latency window sample, and the outcome.
+    fn finish(
+        &self,
+        candidates: &[(String, SocketAddr)],
+        idx: usize,
+        resp: ClientResponse,
+        leg_start: Instant,
+        outcome: &mut ForwardOutcome,
+    ) -> Response {
+        if idx == 0 {
+            self.runner.counters.served_primary.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.runner.counters.served_failover.fetch_add(1, Ordering::Relaxed);
+        }
+        let micros = leg_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latency.lock().unwrap_or_else(|e| e.into_inner()).record(micros);
+        outcome.served_by = Some(candidates[idx].0.clone());
+        passthrough(&resp)
+    }
+
+    /// The active hedge delay, if the policy yields one right now.
+    fn hedge_delay(&self) -> Option<Duration> {
+        let read_timeout = self.runner.config.read_timeout;
+        match self.runner.config.hedge {
+            HedgePolicy::Off => None,
+            HedgePolicy::Fixed(d) if d > Duration::ZERO => Some(d.min(read_timeout)),
+            HedgePolicy::Fixed(_) => None,
+            HedgePolicy::Adaptive => {
+                let window = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+                window.p99_micros().map(|us| {
+                    Duration::from_micros(us).clamp(Duration::from_millis(1), read_timeout)
+                })
+            }
+        }
+    }
+}
+
 /// Re-frames a shard response for the router's own client: status and
 /// entity headers pass through, the body is byte-identical; framing headers
 /// are re-emitted by the server layer.
@@ -361,12 +777,19 @@ mod tests {
     use std::sync::Arc;
 
     fn shard(tag: &'static str) -> HttpServer {
+        shard_with_delay(tag, Duration::ZERO)
+    }
+
+    fn shard_with_delay(tag: &'static str, delay: Duration) -> HttpServer {
         HttpServer::bind(
             "127.0.0.1:0",
             ServerConfig { read_tick: Duration::from_millis(5), ..ServerConfig::default() },
             Arc::new(move |req: &Request| match (req.method, req.path()) {
                 ("GET", "/readyz") => Response::text(200, "ready"),
                 ("POST", "/echo") => {
+                    if delay > Duration::ZERO {
+                        std::thread::sleep(delay);
+                    }
                     let mut body = req.body.to_vec();
                     body.extend_from_slice(tag.as_bytes());
                     Response::json(200, body)
@@ -398,6 +821,14 @@ mod tests {
             32,
             HealthConfig { fail_threshold, ..HealthConfig::default() },
         )
+    }
+
+    /// A signature whose primary is `name` on this fleet.
+    fn sig_owned_by(fleet: &Fleet, name: &str) -> u64 {
+        (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .find(|&sig| fleet.candidates(sig)[0].0 == name)
+            .expect("some signature lands on every shard")
     }
 
     #[test]
@@ -531,5 +962,159 @@ mod tests {
         let stats = router.stats();
         assert_eq!(stats.exhausted, 1);
         assert_eq!(stats.leg_errors, 2, "budget 1 means two legs max");
+    }
+
+    #[test]
+    fn hedge_fires_and_the_backup_wins_against_a_slow_primary() {
+        let slow = shard_with_delay("+S", Duration::from_millis(150));
+        let fast = shard("+F");
+        let fleet = fleet_of(&[("slow", slow.local_addr()), ("fast", fast.local_addr())], 5);
+        let sig = sig_owned_by(&fleet, "slow");
+        let router = Router::new(
+            fleet,
+            RouterConfig {
+                hedge: HedgePolicy::Fixed(Duration::from_millis(20)),
+                ..RouterConfig::default()
+            },
+        );
+        let start = Instant::now();
+        let (resp, outcome) = router.forward_opts(&post("/echo", b"x"), sig, &[], true);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"x+F", "the backup's response wins the race");
+        assert!(outcome.hedge_fired);
+        assert_eq!(outcome.served_by.as_deref(), Some("fast"));
+        assert!(
+            start.elapsed() < Duration::from_millis(120),
+            "the hedge must beat the primary's 150ms stall"
+        );
+        let stats = router.stats();
+        assert_eq!(stats.hedges_fired, 1);
+        assert_eq!(stats.hedge_wins, 1);
+        assert_eq!(stats.hedge_cancelled, 0);
+        assert_eq!(stats.served_failover, 1);
+        assert!(router.fleet().is_live("slow"), "slow is not dead — no health strike");
+    }
+
+    #[test]
+    fn hedge_is_cancelled_when_the_primary_answers_first() {
+        // Primary is mildly slow (outlives the hedge delay) but the backup
+        // is slower still: the race fires and the primary wins it.
+        let primary = shard_with_delay("+P", Duration::from_millis(40));
+        let backup = shard_with_delay("+B", Duration::from_millis(300));
+        let fleet =
+            fleet_of(&[("p", primary.local_addr()), ("b", backup.local_addr())], 5);
+        let sig = sig_owned_by(&fleet, "p");
+        let router = Router::new(
+            fleet,
+            RouterConfig {
+                hedge: HedgePolicy::Fixed(Duration::from_millis(10)),
+                ..RouterConfig::default()
+            },
+        );
+        let (resp, outcome) = router.forward_opts(&post("/echo", b"y"), sig, &[], true);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"y+P", "the primary's response wins");
+        assert!(outcome.hedge_fired);
+        let stats = router.stats();
+        assert_eq!(stats.hedges_fired, 1);
+        assert_eq!(stats.hedge_cancelled, 1);
+        assert_eq!(stats.hedge_wins, 0);
+        assert_eq!(stats.served_primary, 1);
+    }
+
+    #[test]
+    fn allow_hedge_false_vetoes_the_race() {
+        let slow = shard_with_delay("+S", Duration::from_millis(80));
+        let fast = shard("+F");
+        let fleet = fleet_of(&[("slow", slow.local_addr()), ("fast", fast.local_addr())], 5);
+        let sig = sig_owned_by(&fleet, "slow");
+        let router = Router::new(
+            fleet,
+            RouterConfig {
+                hedge: HedgePolicy::Fixed(Duration::from_millis(10)),
+                ..RouterConfig::default()
+            },
+        );
+        let (resp, outcome) = router.forward_opts(&post("/echo", b"z"), sig, &[], false);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"z+S", "no hedge: the slow primary serves");
+        assert!(!outcome.hedge_fired);
+        assert_eq!(router.stats().hedges_fired, 0);
+    }
+
+    #[test]
+    fn replicate_fans_out_to_backups_and_skips_the_server() {
+        let a = shard("+A");
+        let b = shard("+B");
+        let fleet = fleet_of(&[("a", a.local_addr()), ("b", b.local_addr())], 5);
+        let sig = sig_owned_by(&fleet, "a");
+        let router = Router::new(
+            fleet,
+            RouterConfig { replicas: 2, ..RouterConfig::default() },
+        );
+        // Primary served: the fan-out posts to the backup only.
+        let (attempted, ok) = router.replicate(&post("/echo", b"t"), sig, Some("a"), &[]);
+        assert_eq!((attempted, ok), (1, 1));
+        let stats = router.stats();
+        assert_eq!(stats.truth_fanouts, 1);
+        assert_eq!(stats.truth_replicated, 1);
+        assert!(router.truth_lag().is_empty());
+        // No skip: both replicas get the post.
+        let (attempted, ok) = router.replicate(&post("/echo", b"t"), sig, None, &[]);
+        assert_eq!((attempted, ok), (2, 2));
+    }
+
+    #[test]
+    fn replicate_accounts_lag_for_an_unreachable_backup() {
+        let a = shard("+A");
+        let dead: SocketAddr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let fleet = fleet_of(&[("a", a.local_addr()), ("dead", dead)], 10);
+        let sig = sig_owned_by(&fleet, "a");
+        let router = Router::new(
+            fleet,
+            RouterConfig {
+                replicas: 2,
+                truth_retry_budget: 1,
+                connect_timeout: Duration::from_millis(100),
+                ..RouterConfig::default()
+            },
+        );
+        let (attempted, ok) = router.replicate(&post("/echo", b"t"), sig, Some("a"), &[]);
+        assert_eq!((attempted, ok), (1, 0));
+        assert_eq!(router.truth_lag(), vec![("dead".to_string(), 1)]);
+        assert_eq!(router.stats().truth_replicated, 0);
+    }
+
+    #[test]
+    fn replicate_is_a_no_op_at_single_owner() {
+        let a = shard("+A");
+        let fleet = fleet_of(&[("a", a.local_addr())], 5);
+        let router = Router::new(fleet, RouterConfig::default());
+        let (attempted, ok) = router.replicate(&post("/echo", b"t"), 1, None, &[]);
+        assert_eq!((attempted, ok), (0, 0));
+        assert_eq!(router.stats().truth_fanouts, 0);
+    }
+
+    #[test]
+    fn latency_window_p99_needs_samples_and_tracks_the_tail() {
+        let mut w = LatencyWindow::new();
+        assert_eq!(w.p99_micros(), None);
+        for _ in 0..31 {
+            w.record(100);
+        }
+        assert_eq!(w.p99_micros(), None, "below the sample floor");
+        w.record(100);
+        assert_eq!(w.p99_micros(), Some(100));
+        // One outlier in 32 samples sits exactly at the p99 index.
+        w.record(9_000);
+        assert_eq!(w.p99_micros(), Some(9_000));
+        // Saturate the ring: old samples age out.
+        for _ in 0..256 {
+            w.record(50);
+        }
+        assert_eq!(w.p99_micros(), Some(50));
     }
 }

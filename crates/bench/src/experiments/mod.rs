@@ -15,6 +15,7 @@ pub mod postgres;
 pub mod resilience;
 pub mod scoring;
 pub mod single_table;
+pub mod tenant;
 pub mod zoo;
 
 use std::path::Path;
@@ -26,7 +27,7 @@ use crate::scale::Scale;
 pub const ALL_IDS: &[&str] = &[
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
     "fig11", "fig12", "fig13", "fig14", "tab1", "guide", "ablation", "ext", "clt", "zoo",
-    "resil", "perf", "obs", "heal", "net", "cluster",
+    "resil", "perf", "obs", "heal", "net", "cluster", "tenant",
 ];
 
 /// Runs one experiment by id, printing and saving its records.
@@ -63,6 +64,7 @@ pub fn run_experiment(id: &str, scale: &Scale, results_dir: &Path) -> Vec<Experi
         "heal" => heal::heal(scale),
         "net" => net::net(scale),
         "cluster" => cluster::cluster(scale),
+        "tenant" => tenant::tenant(scale),
         other => panic!("unknown experiment id `{other}` (known: {ALL_IDS:?})"),
     };
     for rec in &records {

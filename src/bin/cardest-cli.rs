@@ -49,7 +49,7 @@ use cardest::pipeline::{
     ScoreKind, SingleTableBench, SplitSpec,
 };
 use cardest::query::{parse_query, GeneratorConfig};
-use cardest::serve::{start_server, HttpServeConfig, ServeEngine};
+use cardest::serve::{HttpServeConfig, ServeEngine};
 
 struct Options {
     dataset: String,
@@ -356,10 +356,23 @@ struct ServeOptions {
     /// disables tracing, 1 traces everything; anomalies trace everything
     /// for a window regardless.
     trace_sample: u64,
+    /// Additional model names to register besides `default` (HTTP mode).
+    /// Each gets its own self-healing engine over the shared trained model
+    /// and its own checkpoint file at `{checkpoint}.{name}`.
+    models: Vec<String>,
+    /// Per-tenant token-bucket refill rate in requests/second (HTTP mode).
+    /// Unset disables rate limiting.
+    tenant_rate: Option<f64>,
+    /// Token-bucket burst capacity (only meaningful with --tenant-rate).
+    tenant_burst: f64,
+    /// Interval-cache capacity in entries (HTTP mode); 0 disables caching.
+    cache_cap: usize,
 }
 
 /// Outcome of parsing `serve` arguments: run, or print usage and stop.
+/// One short-lived value per invocation, so the size skew is harmless.
 #[cfg_attr(test, derive(Debug))]
+#[allow(clippy::large_enum_variant)]
 enum ServeArgs {
     Help,
     Run(ServeOptions),
@@ -369,15 +382,21 @@ const SERVE_USAGE: &str = "usage: cardest-cli serve [--dataset dmv|census|forest
 [--rows N] [--queries N] [--stream N] [--checkpoint PATH] \
 [--checkpoint-every N] [--drift-at N] [--resume] [--listen ADDR] \
 [--workers N] [--queue N] [--max-batch N] [--batch-window-us N] \
-[--read-tick-ms N] [--pollers N] [--trace-sample N] [--alarm-coupled]\n\n\
+[--read-tick-ms N] [--pollers N] [--trace-sample N] [--alarm-coupled] \
+[--models a,b,...] [--tenant-rate R] [--tenant-burst B] [--cache-cap N]\n\n\
 Runs the self-healing PI service with periodic durable checkpoints. \
 Without --listen: a prequential text loop whose truths shift by +0.5 from \
 --drift-at (default stream/2) onward so the drift alarm and shadow-validated \
 recalibration fire mid-run. With --listen ADDR (e.g. 127.0.0.1:8080): a \
-network HTTP server exposing POST /v1/predict, GET /metrics, /healthz and \
-/readyz, with micro-batched admission-controlled serving through the full \
-resilient fallback chain. SIGTERM/SIGINT checkpoint and exit gracefully; \
---resume restores (chain breakers included) and continues bit-for-bit.";
+network HTTP server exposing POST /v1/predict[/{model}], \
+POST /v1/observe[/{model}], POST /v1/admin/models/{model} (hot reload from a \
+posted checkpoint, shadow-validated with rollback), GET /metrics, /healthz \
+and /readyz, with micro-batched admission-controlled serving through the \
+full resilient fallback chain. --models registers extra named engines (each \
+checkpointing to {checkpoint}.{name}); --tenant-rate/--tenant-burst \
+rate-limit per x-ce-tenant header; --cache-cap enables the epoch-keyed \
+interval cache. SIGTERM/SIGINT checkpoint and exit gracefully; --resume \
+restores (chain breakers included) and continues bit-for-bit.";
 
 /// Pure argument parser for `serve` — every problem (unknown flag, missing
 /// or malformed value) is an `Err`, never a warning-and-continue, so a typo
@@ -404,6 +423,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         pollers: 1,
         alarm_coupled: false,
         trace_sample: ce_telemetry::trace::DEFAULT_SAMPLE_RATE,
+        models: Vec::new(),
+        tenant_rate: None,
+        tenant_burst: 8.0,
+        cache_cap: 0,
     };
     let mut i = 0;
     while i < args.len() {
@@ -431,6 +454,33 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             "--read-tick-ms" => opts.read_tick_ms = number("--read-tick-ms", value(i)?)?,
             "--pollers" => opts.pollers = number("--pollers", value(i)?)?,
             "--trace-sample" => opts.trace_sample = number("--trace-sample", value(i)?)?,
+            "--models" => {
+                let raw = value(i)?;
+                let mut names = Vec::new();
+                for name in raw.split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        return Err("--models names must be non-empty".to_string());
+                    }
+                    if name.contains('/') || name.contains(char::is_whitespace) {
+                        return Err(format!(
+                            "--models name `{name}` must not contain `/` or whitespace \
+                             (it becomes a URL path segment)"
+                        ));
+                    }
+                    if !names.iter().any(|n| n == name) {
+                        names.push(name.to_string());
+                    }
+                }
+                opts.models = names;
+            }
+            "--tenant-rate" => {
+                opts.tenant_rate = Some(number("--tenant-rate", value(i)?)?)
+            }
+            "--tenant-burst" => {
+                opts.tenant_burst = number("--tenant-burst", value(i)?)?
+            }
+            "--cache-cap" => opts.cache_cap = number("--cache-cap", value(i)?)?,
             "--resume" => {
                 opts.resume = true;
                 i += 1;
@@ -457,6 +507,14 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
     }
     if opts.read_tick_ms == 0 {
         return Err("--read-tick-ms must be at least 1".to_string());
+    }
+    if let Some(rate) = opts.tenant_rate {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err("--tenant-rate must be a positive number".to_string());
+        }
+    }
+    if !opts.tenant_burst.is_finite() || opts.tenant_burst < 1.0 {
+        return Err("--tenant-burst must be at least 1".to_string());
     }
     Ok(ServeArgs::Run(opts))
 }
@@ -585,7 +643,7 @@ fn run_serve(args: &[String]) {
     };
 
     if let Some(listen) = &opts.listen {
-        run_serve_http(listen, &opts, svc, saved_breakers, &bench, seed, alpha);
+        run_serve_http(listen, &opts, svc, saved_breakers, model, &bench, seed, alpha);
         return;
     }
 
@@ -623,45 +681,63 @@ fn run_serve(args: &[String]) {
     print_remediation_text(&svc);
 }
 
-/// The HTTP serving mode: wires the self-healing service as the primary of
-/// a resilient AVI/sampling fallback chain, restores breaker snapshots from
-/// the checkpoint, and serves `POST /v1/predict`, `GET /metrics`,
-/// `/healthz`, `/readyz` until SIGTERM/SIGINT, checkpointing the full chain
-/// every `--checkpoint-every` observations and once more on drain.
+/// The HTTP serving mode: a multi-tenant [`ModelRegistry`] (DESIGN.md §15)
+/// whose `default` model is the resumed self-healing service behind a
+/// resilient AVI/sampling fallback chain, plus one independent engine per
+/// `--models` name (each with its own `{checkpoint}.{name}` file). Serves
+/// `POST /v1/predict[/{model}]`, `POST /v1/observe[/{model}]`, the hot
+/// reload admin route, and `GET /metrics` until SIGTERM/SIGINT,
+/// checkpointing every model's full chain every `--checkpoint-every`
+/// observations and once more on drain.
+#[allow(clippy::too_many_arguments)]
 fn run_serve_http<M>(
     listen: &str,
     opts: &ServeOptions,
     svc: SelfHealingService<M, AbsoluteResidual>,
     saved_breakers: Vec<cardest::conformal::BreakerSnapshot>,
+    model: M,
     bench: &SingleTableBench,
     seed: u64,
     alpha: f64,
 ) where
     M: Regressor + Clone + Send + Sync + 'static,
 {
+    use cardest::tenant::{start_registry_server, ModelRegistry, RegistryTuning, DEFAULT_MODEL};
+
     let floor = 1.0 / bench.table.n_rows() as f64;
     let dims = bench.calib.x.first().map(Vec::len).unwrap_or(0);
     eprintln!("building fallback chain: self-healing -> avi -> sampling ...");
     let avi = AviModel::build(&bench.table, floor);
     let sampling =
         SamplingEstimator::build(&bench.table, (opts.rows / 100).max(50), seed + 7, floor);
-    let fallbacks: Vec<Box<dyn PiEstimator>> = vec![
-        Box::new(OnlineConformal::new(
-            avi,
-            AbsoluteResidual,
-            &bench.calib.x,
-            &bench.calib.y,
-            alpha,
-        )),
-        Box::new(OnlineConformal::new(
-            sampling,
-            AbsoluteResidual,
-            &bench.calib.x,
-            &bench.calib.y,
-            alpha,
-        )),
-    ];
-    let engine = std::sync::Arc::new(ServeEngine::new(svc, fallbacks, dims));
+    // The fallback chain is rebuilt per engine (extra models, hot reloads):
+    // the heavy parts (AVI histograms, the row sample) are built once above
+    // and cloned; only the cheap conformal wrappers are fresh each time.
+    let calib_x = bench.calib.x.clone();
+    let calib_y = bench.calib.y.clone();
+    let make_fallbacks: std::sync::Arc<dyn Fn() -> Vec<Box<dyn PiEstimator>> + Send + Sync> = {
+        let (avi, sampling) = (avi, sampling);
+        let (calib_x, calib_y) = (calib_x.clone(), calib_y.clone());
+        std::sync::Arc::new(move || {
+            vec![
+                Box::new(OnlineConformal::new(
+                    avi.clone(),
+                    AbsoluteResidual,
+                    &calib_x,
+                    &calib_y,
+                    alpha,
+                )) as Box<dyn PiEstimator>,
+                Box::new(OnlineConformal::new(
+                    sampling.clone(),
+                    AbsoluteResidual,
+                    &calib_x,
+                    &calib_y,
+                    alpha,
+                )),
+            ]
+        })
+    };
+    let engine = std::sync::Arc::new(ServeEngine::new(svc, make_fallbacks(), dims));
     if !saved_breakers.is_empty() {
         match engine.restore_breakers(&saved_breakers) {
             Ok(()) => eprintln!("restored {} breaker snapshots", saved_breakers.len()),
@@ -680,7 +756,100 @@ fn run_serve_http<M>(
         pollers: opts.pollers,
         ..HttpServeConfig::default()
     };
-    let handle = match start_server(std::sync::Arc::clone(&engine), listen, http_config) {
+    let mut tuning = RegistryTuning::from_http(&http_config);
+    tuning.cache_entries = opts.cache_cap;
+    // The reload factory marries a posted checkpoint to the shared trained
+    // model and a fresh fallback chain — the same recipe --resume uses.
+    let mut registry = ModelRegistry::new(tuning).with_factory(Box::new({
+        let model = model.clone();
+        let make_fallbacks = std::sync::Arc::clone(&make_fallbacks);
+        move |ckpt: cardest::conformal::Checkpoint| {
+            let breakers = ckpt.breakers.clone();
+            let svc = SelfHealingService::restore(model.clone(), AbsoluteResidual, ckpt)?;
+            let engine = ServeEngine::new(svc, make_fallbacks(), dims);
+            engine.restore_breakers(&breakers)?;
+            Ok(engine)
+        }
+    }));
+    if let Some(rate) = opts.tenant_rate {
+        let Some(limit) = cardest::server::RateLimit::new(rate, opts.tenant_burst) else {
+            eprintln!("invalid --tenant-rate/--tenant-burst ({rate}/{})", opts.tenant_burst);
+            std::process::exit(2);
+        };
+        registry = registry.with_limiter(limit);
+        eprintln!("tenant rate limiting: {rate}/s per tenant, burst {}", opts.tenant_burst);
+    }
+    if opts.cache_cap > 0 {
+        eprintln!("interval cache: {} entries (epoch-keyed)", opts.cache_cap);
+    }
+    let registry = std::sync::Arc::new(registry);
+    // Checkpointing goes through the registry entries, not the construction
+    // Arcs: after a hot reload the entry points at the new engine, and that
+    // is the state worth persisting.
+    let mut entries = vec![(
+        opts.checkpoint.clone(),
+        registry.register_shared(DEFAULT_MODEL, std::sync::Arc::clone(&engine)),
+    )];
+    let fresh_model = |m: M| {
+        SelfHealingService::new(
+            m,
+            AbsoluteResidual,
+            &calib_x,
+            &calib_y,
+            PiServiceConfig {
+                alpha,
+                couple_coverage_alarm: opts.alarm_coupled,
+                ..Default::default()
+            },
+            HealConfig { min_history: 60, cooldown_base: 100, ..Default::default() },
+        )
+    };
+    for name in &opts.models {
+        if name == DEFAULT_MODEL {
+            continue;
+        }
+        let path = PathBuf::from(format!("{}.{name}", opts.checkpoint.display()));
+        let loaded = if opts.resume && path.exists() {
+            match read_checkpoint(&path) {
+                Ok(ckpt) => Some(ckpt),
+                Err(e) => {
+                    eprintln!("model {name}: checkpoint unusable ({e}); cold-starting");
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let breakers = loaded.as_ref().map(|c| c.breakers.clone()).unwrap_or_default();
+        let svc_m = match loaded {
+            Some(ckpt) => {
+                match SelfHealingService::restore(model.clone(), AbsoluteResidual, ckpt) {
+                    Ok(svc) => {
+                        eprintln!(
+                            "model {name}: resumed from {} at observation {}",
+                            path.display(),
+                            svc.observations()
+                        );
+                        svc
+                    }
+                    Err(e) => {
+                        eprintln!("model {name}: checkpoint unusable ({e}); cold-starting");
+                        fresh_model(model.clone())
+                    }
+                }
+            }
+            None => fresh_model(model.clone()),
+        };
+        let engine_m = ServeEngine::new(svc_m, make_fallbacks(), dims);
+        if !breakers.is_empty() {
+            if let Err(e) = engine_m.restore_breakers(&breakers) {
+                eprintln!("model {name}: breaker snapshots not restored ({e})");
+            }
+        }
+        entries.push((path, registry.register(name, engine_m)));
+    }
+    let handle = match start_registry_server(std::sync::Arc::clone(&registry), listen, http_config)
+    {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("cannot bind {listen}: {e}");
@@ -688,31 +857,39 @@ fn run_serve_http<M>(
         }
     };
     eprintln!(
-        "listening on http://{} (workers {}, queue {}, max-batch {}, window {}us)",
+        "listening on http://{} (workers {}, queue {}, max-batch {}, window {}us, models: {})",
         handle.local_addr(),
         opts.workers,
         opts.queue,
         opts.max_batch,
         opts.batch_window_us,
+        registry.names().join(", "),
     );
     eprintln!(
-        "endpoints: POST /v1/predict, GET /metrics, GET /debug/trace, \
+        "endpoints: POST /v1/predict[/{{model}}], POST /v1/observe[/{{model}}], \
+         POST /v1/admin/models/{{model}}, GET /metrics, GET /debug/trace, \
          GET /healthz, GET /readyz (trace sampling 1 in {})",
         opts.trace_sample,
     );
 
-    let mut last_checkpoint_obs = engine.observations();
+    let mut last_obs: Vec<u64> =
+        entries.iter().map(|(_, entry)| entry.engine().observations()).collect();
     while !SHUTDOWN.load(Ordering::SeqCst) {
         std::thread::sleep(std::time::Duration::from_millis(200));
-        let obs = engine.observations();
-        if obs >= last_checkpoint_obs + opts.every as u64 {
-            write_engine_checkpoint(&engine, &opts.checkpoint, "periodic");
-            last_checkpoint_obs = obs;
+        for ((path, entry), last) in entries.iter().zip(last_obs.iter_mut()) {
+            let current = entry.engine();
+            let obs = current.observations();
+            if obs >= *last + opts.every as u64 {
+                write_engine_checkpoint(&current, path, "periodic");
+                *last = obs;
+            }
         }
     }
     eprintln!("shutdown signal received; draining ...");
     handle.drain();
-    write_engine_checkpoint(&engine, &opts.checkpoint, "final");
+    for (path, entry) in &entries {
+        write_engine_checkpoint(&entry.engine(), path, "final");
+    }
     let server = handle.server_stats();
     let batcher = handle.batcher_stats();
     println!(
@@ -1528,6 +1705,49 @@ mod tests {
         assert_eq!(opts.batch_window_us, 250);
         assert!(opts.alarm_coupled);
         assert!(opts.resume);
+    }
+
+    #[test]
+    fn serve_args_tenant_flags_parse_with_defaults() {
+        // Defaults: single default model, no limiter, cache off — the PR 9
+        // single-engine surface byte for byte.
+        let ServeArgs::Run(opts) = parse_serve_args(&[]).unwrap() else { panic!() };
+        assert!(opts.models.is_empty());
+        assert_eq!(opts.tenant_rate, None);
+        assert_eq!(opts.cache_cap, 0);
+        let args = argv(&[
+            "--models",
+            "mscn, lwnn,mscn",
+            "--tenant-rate",
+            "50.5",
+            "--tenant-burst",
+            "20",
+            "--cache-cap",
+            "4096",
+        ]);
+        let ServeArgs::Run(opts) = parse_serve_args(&args).unwrap() else {
+            panic!("flags should parse to a run");
+        };
+        assert_eq!(
+            opts.models,
+            vec!["mscn".to_string(), "lwnn".to_string()],
+            "names are trimmed and deduplicated"
+        );
+        assert_eq!(opts.tenant_rate, Some(50.5));
+        assert_eq!(opts.tenant_burst, 20.0);
+        assert_eq!(opts.cache_cap, 4096);
+    }
+
+    #[test]
+    fn serve_args_tenant_flags_reject_bad_values() {
+        assert!(parse_serve_args(&argv(&["--models", "a,,b"])).is_err(), "empty name");
+        assert!(parse_serve_args(&argv(&["--models", "a/b"])).is_err(), "slash in name");
+        assert!(parse_serve_args(&argv(&["--models", "a b"])).is_err(), "whitespace");
+        assert!(parse_serve_args(&argv(&["--tenant-rate", "0"])).is_err());
+        assert!(parse_serve_args(&argv(&["--tenant-rate", "-2"])).is_err());
+        assert!(parse_serve_args(&argv(&["--tenant-rate", "inf"])).is_err());
+        assert!(parse_serve_args(&argv(&["--tenant-burst", "0.5"])).is_err());
+        assert!(parse_serve_args(&argv(&["--cache-cap", "many"])).is_err());
     }
 
     #[test]

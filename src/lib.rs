@@ -39,6 +39,7 @@
 pub mod pipeline;
 pub mod router;
 pub mod serve;
+pub mod tenant;
 
 pub use ce_conformal as conformal;
 pub use ce_server as server;

@@ -160,6 +160,31 @@ pub fn request_signature(body: &[u8]) -> u64 {
     fnv1a64(body)
 }
 
+/// The placement key for a (possibly model-addressed) predict request.
+///
+/// The bare `POST /v1/predict` keeps its original content-addressed key
+/// ([`request_signature`]) — a PR 9 fleet's placement is unchanged byte for
+/// byte. A named `POST /v1/predict/{model}` folds the model name into the
+/// FNV-1a chain *before* the body (`name ++ '/' ++ body` — `/` cannot
+/// appear inside a path segment, so distinct (model, body) pairs can never
+/// collide by concatenation), so the same query text against two models
+/// lands on independently-placed shards: one hot model cannot gravitate an
+/// entire multi-tenant workload onto one shard's calibration state.
+pub fn placement_signature(model: Option<&str>, body: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    match model {
+        None => fnv1a64(body),
+        Some(name) => {
+            let mut hash = fnv1a64(name.as_bytes());
+            for &byte in std::iter::once(&b'/').chain(body) {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+            hash
+        }
+    }
+}
+
 /// Starts the cluster router on `listen` over `shards` (`(name, addr)`
 /// pairs; names are the stable ring identity, addresses may be updated
 /// later via [`Fleet::set_addr`]).
@@ -230,13 +255,33 @@ fn route(req: &Request, router: &Router, draining: &AtomicBool) -> Response {
                 return Response::json(503, "{\"error\":\"router draining\"}")
                     .header("Retry-After", "1");
             }
-            forward_traced(req, router)
+            forward_traced(req, router, None)
+        }
+        // Multi-tenant passthrough (DESIGN.md §15): a named predict is
+        // forwarded verbatim — the shard resolves the model — but its
+        // placement key folds the model name in, so per-model workloads
+        // spread independently across the ring.
+        ("POST", p) if model_suffix(p).is_some() => {
+            if draining.load(Ordering::SeqCst) {
+                return Response::json(503, "{\"error\":\"router draining\"}")
+                    .header("Retry-After", "1");
+            }
+            forward_traced(req, router, model_suffix(p))
         }
         (_, "/healthz" | "/readyz" | "/metrics" | "/debug/trace" | "/v1/predict") => {
             Response::json(405, "{\"error\":\"method not allowed\"}")
         }
+        (_, p) if model_suffix(p).is_some() => {
+            Response::json(405, "{\"error\":\"method not allowed\"}")
+        }
         _ => Response::json(404, "{\"error\":\"no such endpoint\"}"),
     }
+}
+
+/// `/v1/predict/foo` → `Some("foo")`; the bare path (or an empty trailing
+/// segment) is not a named route.
+fn model_suffix(path: &str) -> Option<&str> {
+    path.strip_prefix("/v1/predict/").filter(|rest| !rest.is_empty())
 }
 
 /// Mints a process-unique truth ID: 16 lowercase hex digits, never zero.
@@ -272,14 +317,26 @@ fn body_has_truths(body: &[u8]) -> bool {
 }
 
 /// After a served truth-carrying predict, re-posts the truths to the other
-/// replicas as `POST /v1/observe` so a promoted backup serves from warm
-/// calibration state. Best-effort: failures land in the router's
-/// `truth_lag` ledger, never in the client's response.
-fn replicate_truths(router: &Router, body: &[u8], signature: u64, id: &str, served: Option<&str>) {
+/// replicas as `POST /v1/observe` (or the model-addressed
+/// `POST /v1/observe/{model}` when the predict was named) so a promoted
+/// backup serves from warm calibration state. Best-effort: failures land in
+/// the router's `truth_lag` ledger, never in the client's response.
+fn replicate_truths(
+    router: &Router,
+    body: &[u8],
+    signature: u64,
+    id: &str,
+    served: Option<&str>,
+    model: Option<&str>,
+) {
     let headers = [("content-type", "application/json"), (TRUTH_HEADER, id)];
+    let target = match model {
+        Some(name) => format!("/v1/observe/{name}"),
+        None => "/v1/observe".to_string(),
+    };
     let observe = Request {
         method: "POST",
-        target: "/v1/observe",
+        target: &target,
         http11: true,
         headers: Headers::from_pairs(&headers),
         body,
@@ -299,8 +356,8 @@ fn replicate_truths(router: &Router, body: &[u8], signature: u64, id: &str, serv
 /// `200`, fanned out to the backups before the response returns. Hedging
 /// is vetoed for truth-carrying bodies at single-owner — a lost hedge race
 /// would observe the truths on a shard that does not own the key.
-fn forward_traced(req: &Request, router: &Router) -> Response {
-    let signature = request_signature(req.body);
+fn forward_traced(req: &Request, router: &Router, model: Option<&str>) -> Response {
+    let signature = placement_signature(model, req.body);
     let has_truths = body_has_truths(req.body);
     let replicas = router.config().replicas;
     let allow_hedge = replicas > 1 || !has_truths;
@@ -317,7 +374,14 @@ fn forward_traced(req: &Request, router: &Router) -> Response {
         let (resp, outcome) = router.forward_opts(req, signature, &extras, allow_hedge);
         if let Some(id) = &truth_id {
             if resp.status == 200 {
-                replicate_truths(router, req.body, signature, id, outcome.served_by.as_deref());
+                replicate_truths(
+                    router,
+                    req.body,
+                    signature,
+                    id,
+                    outcome.served_by.as_deref(),
+                    model,
+                );
             }
         }
         return resp;
@@ -334,7 +398,14 @@ fn forward_traced(req: &Request, router: &Router) -> Response {
     let forward_ns = t_handle.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
     if let Some(tid) = &truth_id {
         if resp.status == 200 {
-            replicate_truths(router, req.body, signature, tid, outcome.served_by.as_deref());
+            replicate_truths(
+                router,
+                req.body,
+                signature,
+                tid,
+                outcome.served_by.as_deref(),
+                model,
+            );
         }
     }
     // Merge the shard's stage breakdown; the rest of the forward time is
@@ -570,7 +641,7 @@ mod tests {
             },
             Arc::new(move |req: &Request| match (req.method, req.path()) {
                 ("GET", "/readyz") => Response::text(200, "ready"),
-                ("POST", "/v1/predict") => {
+                ("POST", p) if p.starts_with("/v1/predict") => {
                     let mut body = req.body.to_vec();
                     body.extend_from_slice(tag.as_bytes());
                     Response::json(200, body)
@@ -697,6 +768,85 @@ mod tests {
         let c = request_signature(b"{\"features\":[[1.0,2.5]]}");
         assert_eq!(a, b, "same bytes, same signature");
         assert_ne!(a, c, "different bytes, different signature");
+    }
+
+    /// Property sweep over generated (model, body) pairs: the placement
+    /// key is deterministic, the bare path is bit-compatible with the PR 9
+    /// content-addressed key, the model fold is exactly FNV-1a over
+    /// `name ++ '/' ++ body` (so any implementation of the chain agrees),
+    /// and distinct models separate identical bodies.
+    #[test]
+    fn placement_signature_is_deterministic_and_folds_the_model() {
+        let bodies: Vec<Vec<u8>> = (0..32)
+            .map(|i| format!("{{\"features\":[[{i}.0,{}.5]]}}", i * 7 % 13).into_bytes())
+            .collect();
+        let models = ["default", "mscn", "lw-nn", "a/b", "m"];
+        for body in &bodies {
+            assert_eq!(
+                placement_signature(None, body),
+                request_signature(body),
+                "bare path must keep the PR 9 placement"
+            );
+            for model in models {
+                let named = placement_signature(Some(model), body);
+                assert_eq!(
+                    named,
+                    placement_signature(Some(model), body),
+                    "placement must be a pure function"
+                );
+                let mut concat = model.as_bytes().to_vec();
+                concat.push(b'/');
+                concat.extend_from_slice(body);
+                assert_eq!(
+                    named,
+                    fnv1a64(&concat),
+                    "chained fold must equal FNV-1a of the concatenation"
+                );
+            }
+            // Same body, different models → independent placement keys.
+            let keys: std::collections::HashSet<u64> = models
+                .iter()
+                .map(|m| placement_signature(Some(m), body))
+                .collect();
+            assert_eq!(keys.len(), models.len(), "models must not collide on {body:?}");
+        }
+    }
+
+    #[test]
+    fn model_suffix_extracts_only_named_predicts() {
+        assert_eq!(model_suffix("/v1/predict/mscn"), Some("mscn"));
+        assert_eq!(model_suffix("/v1/predict/"), None, "empty segment");
+        assert_eq!(model_suffix("/v1/predict"), None, "bare path");
+        assert_eq!(model_suffix("/v1/observe/mscn"), None, "observe is not proxied");
+    }
+
+    #[test]
+    fn named_predicts_pass_through_and_pin_per_model() {
+        let s0 = stub_shard("@0");
+        let s1 = stub_shard("@1");
+        let shards = vec![
+            ("shard-0".to_string(), s0.local_addr()),
+            ("shard-1".to_string(), s1.local_addr()),
+        ];
+        let handle = start_cluster_router(
+            &shards,
+            "127.0.0.1:0",
+            ClusterRouterConfig { health: quick_health(), ..Default::default() },
+        )
+        .expect("bind router");
+        let mut client = HttpClient::connect(handle.local_addr()).unwrap();
+        let body = br#"{"features":[[0.5]]}"#;
+        // Named predicts forward (stub shards answer any predict path) and
+        // pin: the same (model, body) repeatedly lands on one shard.
+        let first = client.post("/v1/predict/mscn", body).unwrap();
+        assert_eq!(first.status, 200);
+        for _ in 0..5 {
+            let again = client.post("/v1/predict/mscn", body).unwrap();
+            assert_eq!(again.body, first.body, "named route must pin per (model, body)");
+        }
+        // Wrong method on a named route is 405, not a burned shard leg.
+        assert_eq!(client.get("/v1/predict/mscn").unwrap().status, 405);
+        handle.drain();
     }
 
     #[test]

@@ -47,20 +47,17 @@
 //! this; non-finite endpoints travel as the JSON strings `"inf"`/`"-inf"`/
 //! `"nan"` since JSON has no `Infinity`).
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use crate::conformal::{
-    BreakerSnapshot, CardEstError, Checkpoint, HealState, PiEstimator, PredictionInterval,
-    Regressor, ResilienceStats, ResilientService, ScoreFunction, SelfHealingService,
-    ServiceMode,
+    BreakerSnapshot, BreakerState, CardEstError, Checkpoint, HealConfig, HealState,
+    PiEstimator, PredictionInterval, Regressor, ResilienceStats, ResilientService,
+    ScoreFunction, SelfHealingService, ServiceMode,
 };
-use ce_server::{
-    BatchError, BatcherConfig, BatcherStats, HttpServer, MicroBatcher, Request, Response,
-    ServerConfig, ServerStats, ServerStatsProbe, STAGES_HEADER, TRACE_HEADER, TRUTH_HEADER,
-};
-use ce_telemetry::trace::{self, TraceId};
+use ce_server::{BatcherStats, HttpServer, Response, ServerStats};
+use ce_telemetry::trace;
 
 /// A [`SelfHealingService`] shared between the HTTP workers (read: serve
 /// intervals) and the feedback path (write: observe truths), adapted to the
@@ -128,6 +125,15 @@ pub struct ServeEngine<M, S> {
     healing: SharedHealing<M, S>,
     resilient: Mutex<ResilientService>,
     truth_dedupe: Mutex<TruthDedupe>,
+    /// Serving-state epoch, seqlock-style (DESIGN.md §15): odd while an
+    /// observation window is mutating calibration state, bumped by two for
+    /// every atomic serving-state change (a breaker transition during a
+    /// predict batch, a breaker restore). Two reads of the same *even*
+    /// value bracketing a prediction prove the serving state was quiescent
+    /// in between — the basis of the interval cache's byte-identity
+    /// guarantee. Promotion and rollback both happen inside `observe`, so
+    /// they are covered by the observation window.
+    epoch: AtomicU64,
 }
 
 /// Bounded memory of recently seen truth-post IDs (`x-ce-truth-id`). A
@@ -191,6 +197,7 @@ where
             healing,
             resilient: Mutex::new(resilient),
             truth_dedupe: Mutex::new(TruthDedupe::new()),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -200,18 +207,38 @@ where
 
     /// Serves a batch through the full resilient chain (breakers, fallbacks,
     /// conservative floor all apply). Pure with respect to calibration
-    /// state: feedback only ever arrives via [`ServeEngine::observe`].
+    /// state: feedback only ever arrives via [`ServeEngine::observe`]. A
+    /// breaker transition *during* the batch (trip, half-open admission,
+    /// close-on-success) changes which estimator answers, so it bumps the
+    /// serving epoch while the chain lock is still held.
     pub fn predict_batch(
         &self,
         queries: &[Vec<f32>],
     ) -> Vec<Result<PredictionInterval, CardEstError>> {
-        self.resilient().predict_interval_batch(queries)
+        let mut resilient = self.resilient();
+        let before = breaker_fingerprint(&resilient);
+        let results = resilient.predict_interval_batch(queries);
+        if breaker_fingerprint(&resilient) != before {
+            self.epoch.fetch_add(2, Ordering::SeqCst);
+        }
+        results
     }
 
     /// Feeds one executed query's truth to every chain entry — the primary's
-    /// write routes into the self-healing state machine.
+    /// write routes into the self-healing state machine. The serving epoch
+    /// is odd for the duration: calibration state (and, on promotion or
+    /// rollback, the serving threshold itself) mutates inside.
     pub fn observe(&self, features: &[f32], y_true: f64) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
         self.resilient().observe(features, y_true);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The serving-state epoch (see the field docs): even means quiescent,
+    /// and two equal even reads bracketing a prediction prove no serving
+    /// state changed in between.
+    pub fn serving_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     /// Feeds a whole batch of truths, atomically claiming `truth_id` first
@@ -259,9 +286,23 @@ where
 
     /// Restores breaker state from a checkpoint's snapshots (the healing
     /// half is restored by constructing the engine from
-    /// [`SelfHealingService::restore`]).
+    /// [`SelfHealingService::restore`]). Counts as a serving-state change:
+    /// the epoch advances so no cached interval predates the restore.
     pub fn restore_breakers(&self, snapshots: &[BreakerSnapshot]) -> Result<(), CardEstError> {
-        self.resilient().restore_breakers(snapshots)
+        let result = self.resilient().restore_breakers(snapshots);
+        self.epoch.fetch_add(2, Ordering::SeqCst);
+        result
+    }
+
+    /// The healing layer's remediation tuning (the reload validator reuses
+    /// its `epsilon` slack and `max_width_blowup` guard).
+    pub fn heal_config(&self) -> HealConfig {
+        self.healing.read().heal_config()
+    }
+
+    /// The wrapped service's miscoverage target α.
+    pub fn alpha(&self) -> f64 {
+        self.healing.read().service().config().alpha
     }
 
     /// Resilience counters (copied out; the chain lock is released before
@@ -292,6 +333,15 @@ where
             ce_telemetry::gauge("serve.rollbacks").set(healing.rollback_count() as f64);
         }
     }
+}
+
+/// Point-in-time fingerprint of every chain breaker's state. Which
+/// estimator answers a query depends only on these states (and the
+/// calibration state covered by the observe window), so an unchanged
+/// fingerprint across a predict batch means serving behaviour was
+/// unchanged by it.
+fn breaker_fingerprint(resilient: &ResilientService) -> Vec<BreakerState> {
+    (0..).map_while(|position| resilient.breaker_state(position)).collect()
 }
 
 /// Tuning for [`start_server`].
@@ -348,10 +398,15 @@ impl Default for HttpServeConfig {
 
 /// A running HTTP PI server; dropping it (or calling
 /// [`ServeHandle::drain`]) shuts it down gracefully.
+///
+/// Since the multi-tenant registry landed (DESIGN.md §15) every server —
+/// including the single-engine [`start_server`] path — serves a
+/// [`crate::tenant::ModelRegistry`]; the handle reaches the per-model
+/// micro-batchers through the registry's control surface.
 pub struct ServeHandle {
-    server: HttpServer,
-    batcher: Arc<MicroBatcher<Vec<f32>, Result<PredictionInterval, CardEstError>>>,
-    draining: Arc<AtomicBool>,
+    pub(crate) server: HttpServer,
+    pub(crate) registry: Arc<dyn crate::tenant::RegistryCtl>,
+    pub(crate) draining: Arc<AtomicBool>,
 }
 
 impl ServeHandle {
@@ -365,20 +420,21 @@ impl ServeHandle {
         self.server.stats()
     }
 
-    /// Micro-batcher counters (admitted/shed/batches).
+    /// Micro-batcher counters (admitted/shed/batches), summed over every
+    /// registered model's batcher (`max_batch_seen` is the max).
     pub fn batcher_stats(&self) -> BatcherStats {
-        self.batcher.stats()
+        self.registry.batcher_stats_sum()
     }
 
     /// Graceful drain: readiness flips to 503, the acceptor stops, in-flight
-    /// requests finish (their batcher submissions included), the batcher
-    /// flushes, and all threads join. Blocks until done; idempotent.
+    /// requests finish (their batcher submissions included), every model's
+    /// batcher flushes, and all threads join. Blocks until done; idempotent.
     pub fn drain(&self) {
         if !self.draining.swap(true, Ordering::SeqCst) {
             trace::event("drain", "serve drain requested");
         }
         self.server.shutdown();
-        self.batcher.shutdown();
+        self.registry.shutdown_batchers();
     }
 }
 
@@ -388,7 +444,13 @@ impl Drop for ServeHandle {
     }
 }
 
-/// Starts the HTTP server for `engine` on `listen` (e.g. `127.0.0.1:0`).
+/// Starts the HTTP server for a single `engine` on `listen` (e.g.
+/// `127.0.0.1:0`), registered as the `default` model of a fresh
+/// [`crate::tenant::ModelRegistry`] — so `POST /v1/predict` and
+/// `POST /v1/predict/default` are the same engine, byte for byte. No
+/// reload factory, rate limiter, or interval cache is attached; use
+/// [`crate::tenant::start_registry_server`] for the full multi-tenant
+/// surface.
 ///
 /// The returned handle owns the accept/worker/batcher threads; the caller
 /// keeps its own `Arc` to the engine for checkpointing and shutdown policy.
@@ -401,46 +463,11 @@ where
     M: Regressor + Clone + Send + Sync + 'static,
     S: ScoreFunction + Clone + Send + Sync + 'static,
 {
-    // Pre-size the flight recorder off the hot path: the first traced
-    // request must not pay the ring allocation.
-    trace::warm();
-    let batch_engine = Arc::clone(&engine);
-    let batcher = MicroBatcher::new(
-        BatcherConfig {
-            queue_cap: config.queue_cap,
-            max_batch: config.max_batch,
-            window: config.batch_window,
-        },
-        move |items: Vec<Vec<f32>>| batch_engine.predict_batch(&items),
-    );
-    let draining = Arc::new(AtomicBool::new(false));
-
-    // The handler closure outlives `bind`, but the server's stats probe only
-    // exists after it — a OnceLock filled post-bind closes the loop so
-    // `/metrics` can report connection/poller counters.
-    let probe: Arc<OnceLock<ServerStatsProbe>> = Arc::new(OnceLock::new());
-    let handler = {
-        let engine = Arc::clone(&engine);
-        let batcher = Arc::clone(&batcher);
-        let draining = Arc::clone(&draining);
-        let probe = Arc::clone(&probe);
-        move |req: &Request| route(req, &engine, &batcher, &draining, &probe)
-    };
-    let server = HttpServer::bind(
-        listen,
-        ServerConfig {
-            workers: config.workers,
-            conn_queue: config.conn_queue,
-            read_tick: config.read_tick,
-            pollers: config.pollers,
-            event_driven: config.event_driven,
-            max_conns: config.max_conns,
-            ..ServerConfig::default()
-        },
-        Arc::new(handler),
-    )?;
-    let _ = probe.set(server.stats_probe());
-    Ok(ServeHandle { server, batcher, draining })
+    let registry = Arc::new(crate::tenant::ModelRegistry::new(
+        crate::tenant::RegistryTuning::from_http(&config),
+    ));
+    registry.register_shared(crate::tenant::DEFAULT_MODEL, engine);
+    crate::tenant::start_registry_server(registry, listen, config)
 }
 
 /// Formats an f64 for the JSON wire: finite values use Rust's shortest
@@ -473,7 +500,7 @@ pub fn value_to_f64(value: &serde_json::Value) -> Result<f64, String> {
     }
 }
 
-fn json_error(status: u16, message: &str) -> Response {
+pub(crate) fn json_error(status: u16, message: &str) -> Response {
     let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
     Response::json(status, format!("{{\"error\":\"{escaped}\"}}"))
 }
@@ -482,7 +509,7 @@ fn json_error(status: u16, message: &str) -> Response {
 /// registry (satellite of `/metrics`: the PR 7 event-loop counters —
 /// `poller_wakeups`, `poller_dispatches`, the parked-connection gauge, and
 /// the instantaneous dispatch depth — become scrapeable).
-fn publish_server_stats(stats: &ServerStats) {
+pub(crate) fn publish_server_stats(stats: &ServerStats) {
     if !ce_telemetry::enabled() {
         return;
     }
@@ -498,60 +525,11 @@ fn publish_server_stats(stats: &ServerStats) {
     ce_telemetry::gauge("serve.dispatch_depth").set(stats.dispatch_depth as f64);
 }
 
-fn route<M, S>(
-    req: &Request,
-    engine: &ServeEngine<M, S>,
-    batcher: &MicroBatcher<Vec<f32>, Result<PredictionInterval, CardEstError>>,
-    draining: &AtomicBool,
-    probe: &OnceLock<ServerStatsProbe>,
-) -> Response
-where
-    M: Regressor + Clone + Send + Sync + 'static,
-    S: ScoreFunction + Clone + Send + Sync + 'static,
-{
-    match (req.method, req.path()) {
-        ("GET", "/healthz") => Response::text(200, "ok\n"),
-        ("GET", "/readyz") => {
-            if draining.load(Ordering::SeqCst) {
-                Response::text(503, "draining\n")
-            } else if engine.heal_state() == HealState::Recalibrating {
-                Response::text(503, "recalibrating\n")
-            } else {
-                Response::text(200, "ready\n")
-            }
-        }
-        ("GET", "/metrics") => {
-            engine.publish_metrics();
-            if ce_telemetry::enabled() {
-                let stats = batcher.stats();
-                ce_telemetry::gauge("serve.batch_admitted").set(stats.admitted as f64);
-                ce_telemetry::gauge("serve.batch_shed").set(stats.shed as f64);
-                ce_telemetry::gauge("serve.batches").set(stats.batches as f64);
-                ce_telemetry::gauge("serve.max_batch").set(stats.max_batch_seen as f64);
-            }
-            if let Some(probe) = probe.get() {
-                publish_server_stats(&probe.stats());
-            }
-            Response::new(200)
-                .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-                .body(ce_telemetry::global().to_prometheus())
-        }
-        ("GET", "/debug/trace") => Response::json(200, trace::snapshot_json()),
-        ("POST", "/v1/predict") => predict(req, engine, batcher),
-        ("POST", "/v1/observe") => observe_post(req, engine),
-        (_, "/healthz" | "/readyz" | "/metrics" | "/debug/trace") => {
-            json_error(405, "method not allowed")
-        }
-        (_, "/v1/predict" | "/v1/observe") => json_error(405, "method not allowed"),
-        _ => json_error(404, "no such endpoint"),
-    }
-}
-
 /// Parses `x-ce-truth-id`: exactly 16 lowercase hex digits encoding a
 /// nonzero `u64`. Anything else — wrong length, uppercase, zero — yields
 /// `None` and the post proceeds *undeduplicated*: a malformed ID can only
 /// cost idempotency, never reject the observation.
-fn parse_truth_id(text: &str) -> Option<u64> {
+pub(crate) fn parse_truth_id(text: &str) -> Option<u64> {
     if text.len() != 16 || !text.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
         return None;
     }
@@ -561,33 +539,12 @@ fn parse_truth_id(text: &str) -> Option<u64> {
     }
 }
 
-/// `POST /v1/observe`: calibration feedback without predictions — the truth
-/// replication target (module docs). Same body as `/v1/predict` but
-/// `truths` is mandatory; answers `{"observed":N,"deduped":bool}`.
-fn observe_post<M, S>(req: &Request, engine: &ServeEngine<M, S>) -> Response
-where
-    M: Regressor + Clone + Send + Sync + 'static,
-    S: ScoreFunction + Clone + Send + Sync + 'static,
-{
-    let (features, truths) = match parse_predict_body(req.body) {
-        Ok(parsed) => parsed,
-        Err(msg) => return json_error(422, &msg),
-    };
-    let Some(truths) = truths else {
-        return json_error(422, "`truths` is required on /v1/observe");
-    };
-    let truth_id = req.header(TRUTH_HEADER).and_then(parse_truth_id);
-    let fresh = engine.observe_all(&features, &truths, truth_id);
-    let observed = if fresh { truths.len() } else { 0 };
-    Response::json(200, format!("{{\"observed\":{observed},\"deduped\":{}}}", !fresh))
-}
-
 /// A parsed predict request: feature rows plus optional truths.
-type PredictBody = (Vec<Vec<f32>>, Option<Vec<f64>>);
+pub(crate) type PredictBody = (Vec<Vec<f32>>, Option<Vec<f64>>);
 
 /// Parses the predict request body: `{"features": [[f32...]...],
 /// "truths": [f64...]?}`.
-fn parse_predict_body(body: &[u8]) -> Result<PredictBody, String> {
+pub(crate) fn parse_predict_body(body: &[u8]) -> Result<PredictBody, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let value = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let features_value = value.field("features").map_err(|e| e.to_string())?;
@@ -628,70 +585,15 @@ fn parse_predict_body(body: &[u8]) -> Result<PredictBody, String> {
     Ok((features, truths))
 }
 
-fn predict<M, S>(
-    req: &Request,
-    engine: &ServeEngine<M, S>,
-    batcher: &MicroBatcher<Vec<f32>, Result<PredictionInterval, CardEstError>>,
-) -> Response
-where
-    M: Regressor + Clone + Send + Sync + 'static,
-    S: ScoreFunction + Clone + Send + Sync + 'static,
-{
-    // A valid client-supplied ID (exactly 32 lowercase hex digits) is an
-    // explicit opt-in: it forces sampling so an upstream hop's decision
-    // propagates. Otherwise head sampling decides and a fresh ID is minted.
-    // A malformed or oversized header is simply ignored — the request
-    // itself always proceeds.
-    let client_id = req.header(TRACE_HEADER).and_then(TraceId::parse);
-    if client_id.is_some() || trace::should_sample() {
-        trace::begin(client_id.unwrap_or_else(trace::mint));
-    }
-    let response = predict_inner(req, engine, batcher);
-    // While a trace is active, echo its ID and report this hop's stage
-    // breakdown so an upstream router can merge it. The server's connection
-    // loop appends the `write` stage and publishes the record after flush.
-    if let Some(id) = trace::active_id() {
-        let mut response = response.header(TRACE_HEADER, &id.to_string());
-        if let Some(stages) = trace::stages_header() {
-            response = response.header(STAGES_HEADER, &stages);
-        }
-        response
-    } else {
-        response
-    }
-}
-
-fn predict_inner<M, S>(
-    req: &Request,
-    engine: &ServeEngine<M, S>,
-    batcher: &MicroBatcher<Vec<f32>, Result<PredictionInterval, CardEstError>>,
-) -> Response
-where
-    M: Regressor + Clone + Send + Sync + 'static,
-    S: ScoreFunction + Clone + Send + Sync + 'static,
-{
-    let (features, truths) = match parse_predict_body(req.body) {
-        Ok(parsed) => parsed,
-        Err(msg) => return json_error(422, &msg),
-    };
-    let results = match batcher.submit_all(features.clone()) {
-        Ok(results) => results,
-        Err(BatchError::QueueFull) => {
-            trace::event("shed", "admission queue full");
-            return json_error(503, "admission queue full").header("Retry-After", "1");
-        }
-        Err(BatchError::Shutdown) => {
-            return json_error(503, "server draining").header("Retry-After", "1");
-        }
-        Err(BatchError::Failed) => return json_error(500, "batch execution failed"),
-    };
-    // Prequential feedback strictly after the predictions: the intervals
-    // above were served from pre-feedback state, like the offline loops.
-    if let Some(truths) = &truths {
-        let truth_id = req.header(TRUTH_HEADER).and_then(parse_truth_id);
-        engine.observe_all(&features, truths, truth_id);
-    }
-    let mode = match engine.mode() {
+/// Renders a batch of interval results as the predict response body:
+/// `{"mode":"…","results":[{"lo":…,"hi":…}|{"error":"…"}…]}`. The byte
+/// layout is part of the determinism contract — the interval cache stores
+/// these bodies verbatim and the bit-audits compare them on the wire.
+pub(crate) fn render_predict_body(
+    mode: ServiceMode,
+    results: &[Result<PredictionInterval, CardEstError>],
+) -> String {
+    let mode = match mode {
         ServiceMode::Stable => "stable",
         ServiceMode::Drifted => "drifted",
     };
@@ -720,7 +622,7 @@ where
         }
     }
     body.push_str("]}");
-    Response::json(200, body)
+    body
 }
 
 #[cfg(test)]

@@ -45,6 +45,12 @@ pub const STAGES_HEADER: &str = "x-ce-stages";
 /// update — observing the same truth twice would skew calibration.
 pub const TRUTH_HEADER: &str = "x-ce-truth-id";
 
+/// Request header naming the tenant a request bills against for per-tenant
+/// admission control (token-bucket rate limiting and queue-depth gauges).
+/// Absent or empty means the unlabeled tenant: requests without the header
+/// still share one bucket rather than bypassing fairness entirely.
+pub const TENANT_HEADER: &str = "x-ce-tenant";
+
 /// Byte/size caps enforced while parsing a request head and body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParserLimits {

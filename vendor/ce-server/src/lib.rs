@@ -43,6 +43,7 @@ pub mod batch;
 pub mod client;
 pub mod health;
 pub mod http;
+pub mod limit;
 pub mod poll;
 pub mod proxy;
 pub mod ring;
@@ -54,8 +55,9 @@ pub use client::{ClientConfig, ClientResponse, HttpClient};
 pub use health::{Fleet, FleetStats, HealthChecker, HealthConfig};
 pub use http::{
     Headers, HttpError, OwnedRequest, ParserLimits, Request, RequestParser, Response,
-    STAGES_HEADER, TRACE_HEADER, TRUTH_HEADER,
+    STAGES_HEADER, TENANT_HEADER, TRACE_HEADER, TRUTH_HEADER,
 };
+pub use limit::{Admission, RateLimit, TenantLimiter, TenantStats};
 pub use proxy::{ChaosProxy, FaultRates, ProxyStats};
 pub use ring::{fnv1a64, HashRing};
 pub use router::{ForwardOutcome, HedgePolicy, Router, RouterConfig, RouterStats};

@@ -1,0 +1,372 @@
+//! Per-tenant token-bucket admission control.
+//!
+//! A serving process shared by many tenants needs *fairness before
+//! capacity*: one tenant replaying its workload in a tight loop must not
+//! starve the worker queue for everyone else. This module implements the
+//! classic token bucket, keyed by an opaque tenant label (the
+//! [`TENANT_HEADER`](crate::TENANT_HEADER) value on the wire):
+//!
+//! - each tenant owns a bucket of `burst` tokens, refilled continuously at
+//!   `rate_per_sec` tokens per second;
+//! - admitting a request costs one token; an empty bucket denies with a
+//!   deterministic whole-second `Retry-After` hint (time until one token).
+//!
+//! Refill is computed lazily from a caller-supplied monotonic clock (nanos
+//! since an arbitrary process anchor), so the limiter itself never reads a
+//! clock: tests drive time explicitly and two calls at the same instant
+//! see the same bucket state. Alongside the bucket, the limiter keeps
+//! per-tenant counters the serving layer surfaces in `/metrics`: requests
+//! admitted, requests denied (`shed`), queue-overflow sheds, and the
+//! instantaneous in-flight depth (the per-tenant queue-depth gauge).
+//!
+//! The tenant map is bounded: past [`TenantLimiter::MAX_TENANTS`] distinct
+//! labels, admitting a *new* tenant first evicts the stalest bucket that is
+//! both idle (nothing in flight) and fully refilled — an idle-full bucket is
+//! indistinguishable from a fresh one, so eviction never changes admission
+//! behaviour. If no bucket is evictable the new tenant shares the
+//! conservative overflow bucket keyed by the empty label.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Token-bucket tuning shared by every tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained refill rate, tokens (requests) per second. Must be > 0.
+    pub rate_per_sec: f64,
+    /// Bucket capacity: the largest instantaneous burst admitted after an
+    /// idle period. Clamped to at least 1 token.
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// Validated constructor: non-finite or non-positive rates and bursts
+    /// are rejected by the caller-facing builder instead of silently
+    /// admitting everything.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Option<RateLimit> {
+        if rate_per_sec.is_finite() && rate_per_sec > 0.0 && burst.is_finite() && burst >= 1.0 {
+            Some(RateLimit { rate_per_sec, burst })
+        } else {
+            None
+        }
+    }
+}
+
+/// One tenant's bucket plus its observability counters.
+#[derive(Debug, Clone)]
+struct Bucket {
+    /// Tokens available now (≤ burst); fractional between refills.
+    tokens: f64,
+    /// Monotonic nanos of the last refill computation.
+    refilled_at: u64,
+    /// Requests admitted.
+    admitted: u64,
+    /// Requests denied by the bucket (rate-limit sheds).
+    shed: u64,
+    /// Requests that passed the bucket but were shed downstream at the
+    /// admission queue (the 503 overflow path).
+    overflow_shed: u64,
+    /// Requests currently in flight (admitted, response not yet written).
+    in_flight: u64,
+}
+
+impl Bucket {
+    fn fresh(limit: &RateLimit, now_nanos: u64) -> Bucket {
+        Bucket {
+            tokens: limit.burst,
+            refilled_at: now_nanos,
+            admitted: 0,
+            shed: 0,
+            overflow_shed: 0,
+            in_flight: 0,
+        }
+    }
+
+    /// Lazy continuous refill: deterministic in `(now - refilled_at)`.
+    fn refill(&mut self, limit: &RateLimit, now_nanos: u64) {
+        let elapsed = now_nanos.saturating_sub(self.refilled_at);
+        if elapsed > 0 {
+            self.tokens =
+                (self.tokens + elapsed as f64 * 1e-9 * limit.rate_per_sec).min(limit.burst);
+            self.refilled_at = now_nanos;
+        }
+    }
+}
+
+/// Admission verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted; one token consumed, in-flight depth incremented. The
+    /// caller must pair this with [`TenantLimiter::finish`].
+    Allowed,
+    /// Denied: the bucket is empty. `retry_after_secs` is the whole-second
+    /// wait (≥ 1) until one token will have refilled.
+    Limited {
+        /// Deterministic `Retry-After` hint in seconds.
+        retry_after_secs: u64,
+    },
+}
+
+/// Point-in-time per-tenant counters for the metrics surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// Tenant label (the `x-ce-tenant` header value; empty = unlabeled).
+    pub tenant: String,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests shed by the rate limit (429).
+    pub shed: u64,
+    /// Requests shed downstream at the admission queue (503).
+    pub overflow_shed: u64,
+    /// Requests in flight right now (queue-depth gauge).
+    pub in_flight: u64,
+    /// Tokens available right now (not refreshed; as of last touch).
+    pub tokens: f64,
+}
+
+/// Per-tenant token-bucket limiter with in-flight accounting.
+pub struct TenantLimiter {
+    limit: RateLimit,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl TenantLimiter {
+    /// Bound on distinct tenant buckets (see module docs for the eviction
+    /// rule past it).
+    pub const MAX_TENANTS: usize = 4096;
+
+    /// Builds a limiter where every tenant gets `limit`.
+    pub fn new(limit: RateLimit) -> TenantLimiter {
+        TenantLimiter { limit, buckets: Mutex::new(HashMap::new()) }
+    }
+
+    /// The shared per-tenant limit.
+    pub fn limit(&self) -> RateLimit {
+        self.limit
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Bucket>> {
+        self.buckets.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Resolves the bucket key for `tenant`, evicting the stalest idle
+    /// bucket (nothing in flight, oldest refill time) when the map is at
+    /// capacity and `tenant` is new. An evicted tenant that returns starts
+    /// from a fresh full bucket — a bounded allowance bump that only
+    /// matters under 4096-plus-tenant churn. Returns the key to use —
+    /// `tenant` itself, or `""` (the shared overflow bucket) when nothing
+    /// was evictable.
+    fn admit_key<'t>(map: &mut HashMap<String, Bucket>, tenant: &'t str) -> &'t str {
+        if map.contains_key(tenant) || map.len() < Self::MAX_TENANTS {
+            return tenant;
+        }
+        let evict = map
+            .iter()
+            .filter(|(_, b)| b.in_flight == 0)
+            .map(|(k, b)| (k.clone(), b.refilled_at))
+            .min_by_key(|&(_, at)| at);
+        match evict {
+            Some((key, _)) => {
+                map.remove(&key);
+                tenant
+            }
+            None => "",
+        }
+    }
+
+    /// Tries to admit one request for `tenant` at monotonic time
+    /// `now_nanos`. On `Allowed` the in-flight depth is incremented; the
+    /// caller must call [`TenantLimiter::finish`] once the response is
+    /// done, whatever its status.
+    pub fn admit(&self, tenant: &str, now_nanos: u64) -> Admission {
+        let mut map = self.lock();
+        let key = Self::admit_key(&mut map, tenant);
+        let bucket = map
+            .entry(key.to_string())
+            .or_insert_with(|| Bucket::fresh(&self.limit, now_nanos));
+        bucket.refill(&self.limit, now_nanos);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            bucket.admitted += 1;
+            bucket.in_flight += 1;
+            Admission::Allowed
+        } else {
+            bucket.shed += 1;
+            let deficit = 1.0 - bucket.tokens;
+            let secs = (deficit / self.limit.rate_per_sec).ceil();
+            Admission::Limited { retry_after_secs: (secs as u64).max(1) }
+        }
+    }
+
+    /// Marks one admitted request finished (response written or failed);
+    /// decrements the in-flight depth. Unknown tenants are a no-op — an
+    /// evicted bucket loses its depth, which only under-reports a gauge.
+    pub fn finish(&self, tenant: &str) {
+        let mut map = self.lock();
+        if let Some(bucket) = map.get_mut(tenant) {
+            bucket.in_flight = bucket.in_flight.saturating_sub(1);
+        } else if let Some(bucket) = map.get_mut("") {
+            bucket.in_flight = bucket.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Records a downstream admission-queue shed (503 overflow) for
+    /// `tenant`, so the overload `Retry-After` hint and the metrics can
+    /// distinguish rate-limit sheds from capacity sheds.
+    pub fn note_overflow(&self, tenant: &str) {
+        let mut map = self.lock();
+        if let Some(bucket) = map.get_mut(tenant) {
+            bucket.overflow_shed += 1;
+        }
+    }
+
+    /// Whether `tenant` currently holds more than its fair share of the
+    /// total in-flight depth (fair share = total / active tenants). The
+    /// overload path uses this to hand the over-budget tenant a longer
+    /// `Retry-After` hint than the victim of its burst.
+    pub fn over_fair_share(&self, tenant: &str) -> bool {
+        let map = self.lock();
+        let total: u64 = map.values().map(|b| b.in_flight).sum();
+        let active = map.values().filter(|b| b.in_flight > 0).count().max(1) as u64;
+        match map.get(tenant) {
+            Some(bucket) => bucket.in_flight > total / active,
+            None => false,
+        }
+    }
+
+    /// Per-tenant counters, sorted by label for stable metrics output.
+    pub fn snapshot(&self) -> Vec<TenantStats> {
+        let map = self.lock();
+        let mut out: Vec<TenantStats> = map
+            .iter()
+            .map(|(tenant, b)| TenantStats {
+                tenant: tenant.clone(),
+                admitted: b.admitted,
+                shed: b.shed,
+                overflow_shed: b.overflow_shed,
+                in_flight: b.in_flight,
+                tokens: b.tokens,
+            })
+            .collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn limiter(rate: f64, burst: f64) -> TenantLimiter {
+        TenantLimiter::new(RateLimit::new(rate, burst).expect("valid limit"))
+    }
+
+    #[test]
+    fn rate_limit_rejects_nonsense() {
+        assert!(RateLimit::new(0.0, 4.0).is_none());
+        assert!(RateLimit::new(-1.0, 4.0).is_none());
+        assert!(RateLimit::new(f64::NAN, 4.0).is_none());
+        assert!(RateLimit::new(10.0, 0.5).is_none(), "burst under one token");
+        assert!(RateLimit::new(10.0, f64::INFINITY).is_none());
+        assert!(RateLimit::new(10.0, 1.0).is_some());
+    }
+
+    #[test]
+    fn burst_then_deny_then_deterministic_refill() {
+        let l = limiter(2.0, 3.0);
+        for _ in 0..3 {
+            assert_eq!(l.admit("a", 0), Admission::Allowed);
+        }
+        // Empty: denied with ceil((1-0)/2) = 1s hint.
+        assert_eq!(l.admit("a", 0), Admission::Limited { retry_after_secs: 1 });
+        // 500ms refills one token at 2/s.
+        assert_eq!(l.admit("a", SEC / 2), Admission::Allowed);
+        assert!(matches!(l.admit("a", SEC / 2), Admission::Limited { .. }));
+        // Same instant, same state: the deny did not consume anything.
+        assert!(matches!(l.admit("a", SEC / 2), Admission::Limited { .. }));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let l = limiter(1000.0, 2.0);
+        assert_eq!(l.admit("a", 0), Admission::Allowed);
+        assert_eq!(l.admit("a", 0), Admission::Allowed);
+        // An hour later the bucket holds exactly `burst`, not rate × 3600.
+        for _ in 0..2 {
+            assert_eq!(l.admit("a", 3600 * SEC), Admission::Allowed);
+        }
+        assert!(matches!(l.admit("a", 3600 * SEC), Admission::Limited { .. }));
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let l = limiter(1.0, 2.0);
+        assert_eq!(l.admit("aggressor", 0), Admission::Allowed);
+        assert_eq!(l.admit("aggressor", 0), Admission::Allowed);
+        assert!(matches!(l.admit("aggressor", 0), Admission::Limited { .. }));
+        // The victim's bucket is untouched by the aggressor's exhaustion.
+        assert_eq!(l.admit("victim", 0), Admission::Allowed);
+        let stats = l.snapshot();
+        let aggr = stats.iter().find(|s| s.tenant == "aggressor").unwrap();
+        let victim = stats.iter().find(|s| s.tenant == "victim").unwrap();
+        assert_eq!((aggr.admitted, aggr.shed), (2, 1));
+        assert_eq!((victim.admitted, victim.shed), (1, 0));
+    }
+
+    #[test]
+    fn retry_after_scales_with_deficit() {
+        let l = limiter(0.5, 1.0); // one token every 2 seconds
+        assert_eq!(l.admit("a", 0), Admission::Allowed);
+        assert_eq!(l.admit("a", 0), Admission::Limited { retry_after_secs: 2 });
+        // Half-refilled after a second: one more second to a whole token.
+        assert_eq!(l.admit("a", SEC), Admission::Limited { retry_after_secs: 1 });
+    }
+
+    #[test]
+    fn in_flight_depth_and_fair_share() {
+        let l = limiter(100.0, 100.0);
+        for _ in 0..6 {
+            assert_eq!(l.admit("hog", 0), Admission::Allowed);
+        }
+        assert_eq!(l.admit("calm", 0), Admission::Allowed);
+        assert!(l.over_fair_share("hog"), "6 of 7 in flight is over a 2-way split");
+        assert!(!l.over_fair_share("calm"));
+        assert!(!l.over_fair_share("missing"));
+        for _ in 0..6 {
+            l.finish("hog");
+        }
+        assert!(!l.over_fair_share("hog"));
+        let depth =
+            l.snapshot().iter().find(|s| s.tenant == "hog").map(|s| s.in_flight).unwrap();
+        assert_eq!(depth, 0);
+        l.finish("hog"); // over-finishing saturates at zero, never wraps
+        assert_eq!(
+            l.snapshot().iter().find(|s| s.tenant == "hog").map(|s| s.in_flight),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn overflow_counter_is_separate_from_rate_sheds() {
+        let l = limiter(10.0, 10.0);
+        assert_eq!(l.admit("a", 0), Admission::Allowed);
+        l.note_overflow("a");
+        l.note_overflow("a");
+        let s = l.snapshot();
+        let a = s.iter().find(|s| s.tenant == "a").unwrap();
+        assert_eq!(a.overflow_shed, 2);
+        assert_eq!(a.shed, 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_tenant() {
+        let l = limiter(10.0, 10.0);
+        for t in ["zeta", "alpha", "mid"] {
+            let _ = l.admit(t, 0);
+        }
+        let names: Vec<String> = l.snapshot().into_iter().map(|s| s.tenant).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}
